@@ -1,0 +1,77 @@
+//! Design-choice ablation (DESIGN.md §5, paper Appendix A): the generative
+//! label model vs. an unweighted majority vote over labeling functions.
+//!
+//! Data programming's pitch is that estimating LF accuracies yields better
+//! training labels than counting votes. This ablation trains the same
+//! discriminative model on both label sources across all four domains.
+
+use fonduer_bench::*;
+use fonduer_candidates::ContextScope;
+use fonduer_core::is_train_doc;
+use fonduer_features::Featurizer;
+use fonduer_learning::{prepare, FonduerModel, ProbClassifier};
+use fonduer_nlp::HashedVocab;
+use fonduer_supervision::{
+    majority_vote, GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction,
+};
+use fonduer_synth::Domain;
+
+fn main() {
+    headline("Ablation: generative label model vs majority vote (avg F1)");
+    println!("{:<8} {:>11} {:>14}", "Sys.", "Generative", "Majority vote");
+    let cfg = fonduer_core::PipelineConfig::default();
+    for domain in Domain::ALL {
+        let ds = bench_dataset(domain);
+        let mut f1 = [0.0f64; 2];
+        let rels = bench_relations(domain);
+        for rel in &rels {
+            let task = task_for(domain, &ds, rel, ContextScope::Document);
+            let cands = task.extractor.extract(&ds.corpus);
+            let feats = Featurizer::new(cfg.features).featurize(&ds.corpus, &cands);
+            let vocab = HashedVocab::new(cfg.vocab_size);
+            let dataset = prepare(&ds.corpus, &cands, &feats, &vocab, cfg.window);
+            let train_idx: Vec<usize> = cands
+                .candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let subset = fonduer_candidates::CandidateSet {
+                schema: cands.schema.clone(),
+                candidates: train_idx
+                    .iter()
+                    .map(|&i| cands.candidates[i].clone())
+                    .collect(),
+            };
+            let refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+            let lm = LabelMatrix::apply(&refs, &ds.corpus, &subset);
+            let gen_targets = GenerativeModel::fit(&lm, &GenerativeOptions::default()).predict(&lm);
+            let mv_targets = majority_vote(&lm);
+            for (which, targets) in [(0usize, &gen_targets), (1, &mv_targets)] {
+                let mut inputs = Vec::new();
+                let mut tvals = Vec::new();
+                for (k, &i) in train_idx.iter().enumerate() {
+                    if lm.row(k).iter().any(|&v| v != 0) {
+                        inputs.push(dataset.inputs[i].clone());
+                        tvals.push(targets[k] as f32);
+                    }
+                }
+                let mut model = FonduerModel::new(
+                    cfg.model.clone(),
+                    dataset.vocab_size,
+                    dataset.n_features,
+                    dataset.arity,
+                );
+                model.fit(&inputs, &tvals);
+                let marginals = model.predict(&dataset.inputs);
+                f1[which] +=
+                    heldout_metrics(&ds, rel, &cands, &marginals, cfg.threshold, &cfg).f1;
+            }
+        }
+        let n = rels.len() as f64;
+        println!("{:<8} {:>11.2} {:>14.2}", domain.label(), f1[0] / n, f1[1] / n);
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 4 — Tradeoff between quality and execution time when pruning
+//! candidates with throttlers (paper §4.1).
+//!
+//! Sweep the fraction of candidates filtered; report (a) P/R/F1 and (b) the
+//! speed-up of everything downstream of candidate generation. Shape
+//! targets: near-linear speed-up in the filter ratio; quality does not
+//! improve monotonically — recall collapses at high filter ratios.
+
+use fonduer_bench::*;
+use fonduer_candidates::{ContextScope, UniformPruneThrottler};
+use fonduer_core::{run_task, PipelineConfig};
+use fonduer_synth::Domain;
+
+fn main() {
+    headline("Figure 4: throttling quality/performance tradeoff (ELEC)");
+    let domain = Domain::Electronics;
+    let ds = bench_dataset(domain);
+    let rel = "has_collector_current";
+    let cfg = PipelineConfig::default();
+    println!(
+        "{:>9} {:>9} {:>7} {:>7} {:>5} {:>10} {:>8}",
+        "%filtered", "#cands", "Prec.", "Rec.", "F1", "time(ms)", "speedup"
+    );
+    let mut base_time = None;
+    for pct in [0u32, 25, 50, 75, 90] {
+        let mut task = task_for(domain, &ds, rel, ContextScope::Document);
+        if pct > 0 {
+            task.extractor = task.extractor.with_throttler(Box::new(UniformPruneThrottler {
+                prune_frac: pct as f64 / 100.0,
+                salt: 4,
+            }));
+        }
+        let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+        // Downstream time: featurize + supervise + train + infer.
+        let downstream = out.timings.total_ms() - out.timings.candgen_ms;
+        let base = *base_time.get_or_insert(downstream.max(1));
+        println!(
+            "{:>9} {:>9} {:>7.2} {:>7.2} {:>5.2} {:>10} {:>7.1}x",
+            pct,
+            out.candidates.len(),
+            out.metrics.precision,
+            out.metrics.recall,
+            out.metrics.f1,
+            downstream,
+            base as f64 / downstream.max(1) as f64,
+        );
+    }
+}

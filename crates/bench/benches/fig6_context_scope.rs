@@ -1,0 +1,52 @@
+//! Figure 6 — Average F1 over the four ELECTRONICS relations when
+//! broadening the extraction context scope (paper §5.3.1).
+//!
+//! Shape targets: monotone increase sentence → table → page → document,
+//! with a very large sentence→document gap (the paper reports 12.8×) and a
+//! modest page→document gap (most datasheet relations live on page 1).
+
+use fonduer_bench::*;
+use fonduer_candidates::ContextScope;
+use fonduer_core::{run_task, PipelineConfig};
+use fonduer_synth::Domain;
+
+fn main() {
+    headline("Figure 6: context-scope study (ELEC, avg over 4 relations)");
+    let domain = Domain::Electronics;
+    let ds = bench_dataset(domain);
+    let cfg = PipelineConfig::default();
+    println!("{:>10} {:>7} {:>7} {:>6} {:>9}", "Scope", "Prec.", "Rec.", "F1", "#cands");
+    let mut sentence_f1 = None;
+    for scope in ContextScope::FIGURE6 {
+        let mut p = 0.0;
+        let mut r = 0.0;
+        let mut f1 = 0.0;
+        let mut n_cands = 0usize;
+        let rels = bench_relations(domain);
+        for rel in &rels {
+            let task = task_for(domain, &ds, rel, scope);
+            let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+            p += out.metrics.precision;
+            r += out.metrics.recall;
+            f1 += out.metrics.f1;
+            n_cands += out.candidates.len();
+        }
+        let n = rels.len() as f64;
+        let avg_f1 = f1 / n;
+        sentence_f1.get_or_insert(avg_f1);
+        let base = sentence_f1.unwrap();
+        let factor = if base > 0.01 {
+            format!("({:.1}x over sentence)", avg_f1 / base)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>10} {:>7.2} {:>7.2} {:>6.2} {:>9}   {factor}",
+            scope.label(),
+            p / n,
+            r / n,
+            avg_f1,
+            n_cands,
+        );
+    }
+}

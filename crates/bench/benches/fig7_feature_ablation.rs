@@ -1,0 +1,56 @@
+//! Figure 7 — Impact of each modality in the feature library (paper
+//! §5.3.2): disable one feature modality at a time, leaving the rest on.
+//!
+//! "Textual" is the learned Bi-LSTM representation (disabling it turns the
+//! LSTM path off); structural/tabular/visual are the extended-library
+//! modalities. Shape targets: "All" is best or tied in every domain; each
+//! domain leans on different modalities (GENOMICS on structural/tabular —
+//! it has no visual modality at all).
+
+use fonduer_bench::*;
+use fonduer_core::PipelineConfig;
+use fonduer_synth::Domain;
+
+fn config(ablate: &str) -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    match ablate {
+        "all" => {}
+        "textual" => cfg.model.use_lstm = false,
+        other => {
+            let mut f = cfg.features;
+            match other {
+                "structural" => f.structural = false,
+                "tabular" => f.tabular = false,
+                "visual" => f.visual = false,
+                _ => panic!("unknown modality {other}"),
+            }
+            cfg.features = f;
+        }
+    }
+    cfg
+}
+
+fn main() {
+    headline("Figure 7: feature-library modality ablation (avg F1)");
+    println!(
+        "{:<8} {:>6} {:>11} {:>13} {:>10} {:>10}",
+        "Sys.", "All", "No Textual", "No Structural", "No Tabular", "No Visual"
+    );
+    for domain in Domain::ALL {
+        let ds = bench_dataset(domain);
+        let mut row = Vec::new();
+        for ablate in ["all", "textual", "structural", "tabular", "visual"] {
+            let outputs = run_domain(domain, &ds, &config(ablate));
+            row.push(average_metrics(&outputs).f1);
+        }
+        println!(
+            "{:<8} {:>6.2} {:>11.2} {:>13.2} {:>10.2} {:>10.2}",
+            domain.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 9 — User study (paper §6): supervision via manual annotation vs.
+//! labeling functions over a 30-minute budget, on the ELECTRONICS
+//! maximum collector-emitter voltage task; plus the modality distribution
+//! of the LF library.
+//!
+//! The human-factors element is simulated mechanically at the throughputs
+//! the paper measured (~9.5 manual labels/min; ~7 LFs in 30 min) — see
+//! DESIGN.md §2. Shape targets: the LF arm overtakes manual annotation
+//! early and roughly doubles its final F1; the LF library is
+//! tabular-dominated.
+
+use fonduer_bench::*;
+use fonduer_candidates::ContextScope;
+use fonduer_core::{is_train_doc, PipelineConfig};
+use fonduer_features::Featurizer;
+use fonduer_learning::{prepare, FonduerModel, ProbClassifier};
+use fonduer_nlp::HashedVocab;
+use fonduer_supervision::{
+    modality_distribution, GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction,
+    LfProcess, ManualProcess,
+};
+use fonduer_synth::Domain;
+
+fn main() {
+    headline("Figure 9: simulated user study (ELEC max CE voltage)");
+    let domain = Domain::Electronics;
+    let ds = bench_dataset(domain);
+    let rel = "max_ce_voltage";
+    let cfg = PipelineConfig::default();
+    let task = task_for(domain, &ds, rel, ContextScope::Document);
+    let library = fonduer_core::domains::electronics::user_study_library();
+
+    // Shared preparation.
+    let cands = task.extractor.extract(&ds.corpus);
+    let feats = Featurizer::new(cfg.features).featurize(&ds.corpus, &cands);
+    let vocab = HashedVocab::new(cfg.vocab_size);
+    let dataset = prepare(&ds.corpus, &cands, &feats, &vocab, cfg.window);
+    let train_idx: Vec<usize> = cands
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed))
+        .map(|(i, _)| i)
+        .collect();
+    let gold_flags: Vec<bool> = train_idx
+        .iter()
+        .map(|&i| {
+            let c = &cands.candidates[i];
+            let d = ds.corpus.doc(c.doc);
+            ds.gold
+                .tuples(rel)
+                .contains(&(d.name.clone(), c.arg_texts(d)))
+        })
+        .collect();
+    let train_subset = fonduer_candidates::CandidateSet {
+        schema: cands.schema.clone(),
+        candidates: train_idx
+            .iter()
+            .map(|&i| cands.candidates[i].clone())
+            .collect(),
+    };
+
+    let train_model = |inputs: &[fonduer_learning::CandidateInput], targets: &[f32]| -> f64 {
+        let mut model = FonduerModel::new(
+            cfg.model.clone(),
+            dataset.vocab_size,
+            dataset.n_features,
+            dataset.arity,
+        );
+        model.fit(inputs, targets);
+        let marginals = model.predict(&dataset.inputs);
+        heldout_metrics(&ds, rel, &cands, &marginals, cfg.threshold, &cfg).f1
+    };
+
+    let manual = ManualProcess::default();
+    let lf_proc = LfProcess::default();
+    println!(
+        "{:>7} {:>14} {:>12} {:>9} {:>7}",
+        "minute", "manual-labels", "manual-F1", "#LFs", "LF-F1"
+    );
+    for minute in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+        // Manual arm: first k train candidates, hard (noisy) labels.
+        let labels = manual.labels_at(minute, &gold_flags);
+        let m_inputs: Vec<_> = labels
+            .iter()
+            .map(|&(k, _)| dataset.inputs[train_idx[k]].clone())
+            .collect();
+        let m_targets: Vec<f32> = labels
+            .iter()
+            .map(|&(_, l)| if l { 0.95 } else { 0.05 })
+            .collect();
+        let manual_f1 = train_model(&m_inputs, &m_targets);
+
+        // LF arm: the library prefix available at this minute.
+        let available = lf_proc.available(minute, &library);
+        let lf_f1 = if available.is_empty() {
+            0.0
+        } else {
+            let refs: Vec<&LabelingFunction> = available.iter().collect();
+            let lm = LabelMatrix::apply(&refs, &ds.corpus, &train_subset);
+            let gm = GenerativeModel::fit(&lm, &GenerativeOptions::default());
+            let marg = gm.predict(&lm);
+            let mut inputs = Vec::new();
+            let mut targets = Vec::new();
+            for (k, &i) in train_idx.iter().enumerate() {
+                if lm.row(k).iter().any(|&v| v != 0) {
+                    inputs.push(dataset.inputs[i].clone());
+                    targets.push(marg[k] as f32);
+                }
+            }
+            train_model(&inputs, &targets)
+        };
+        println!(
+            "{:>7} {:>14} {:>12.2} {:>9} {:>7.2}",
+            minute as u32,
+            labels.len(),
+            manual_f1,
+            available.len(),
+            lf_f1
+        );
+    }
+
+    println!("\nLF library modality distribution (Figure 9, right):");
+    for (modality, frac) in modality_distribution(&library) {
+        println!("  {:<5} {:>5.1}%", modality.label(), frac * 100.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 1 — Summary of the datasets used in the experiments.
+//!
+//! Paper row format: Dataset | Size | #Docs | #Rels | Format.
+//! Our corpora are reproduction-scale; the shape to check is the format mix
+//! (PDF/HTML/XML) and the relation counts (4/4/10/4).
+
+use fonduer_bench::{bench_dataset, headline};
+use fonduer_synth::Domain;
+
+fn main() {
+    headline("Table 1: dataset summary");
+    println!(
+        "{:<8} {:>10} {:>7} {:>6} {:>7} {:>9} {:>9}",
+        "Dataset", "Size", "#Docs", "#Rels", "Format", "#Words", "#Gold"
+    );
+    for domain in Domain::ALL {
+        let ds = bench_dataset(domain);
+        let (bytes, docs, rels) = ds.summary();
+        let format = ds
+            .corpus
+            .iter()
+            .next()
+            .map(|(_, d)| d.format.label())
+            .unwrap_or("-");
+        println!(
+            "{:<8} {:>9}K {:>7} {:>6} {:>7} {:>9} {:>9}",
+            domain.label(),
+            bytes / 1024,
+            docs,
+            rels,
+            format,
+            ds.corpus.word_count(),
+            ds.gold.total(),
+        );
+    }
+}

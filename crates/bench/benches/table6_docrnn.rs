@@ -1,0 +1,125 @@
+//! Table 6 — Document-level RNN vs. Fonduer's deep-learning model on a
+//! single ELECTRONICS relation (paper §5.3.3).
+//!
+//! The document-level RNN "learns a single representation across all
+//! possible modalities" by reading the *entire* serialized document per
+//! candidate; Fonduer instead appends non-textual information at the last
+//! layer over short mention windows. Shape targets: the doc-level RNN is
+//! orders of magnitude slower per training epoch and reaches far lower F1.
+
+use fonduer_bench::*;
+use fonduer_candidates::ContextScope;
+use fonduer_core::{is_train_doc, PipelineConfig};
+use fonduer_features::Featurizer;
+use fonduer_learning::{
+    doc_token_ids, prepare, DocRnnModel, FonduerModel, ModelConfig, ProbClassifier,
+};
+use fonduer_nlp::HashedVocab;
+use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction};
+use fonduer_synth::Domain;
+use std::time::Instant;
+
+fn main() {
+    headline("Table 6: document-level RNN vs Fonduer (single ELEC relation)");
+    let domain = Domain::Electronics;
+    let ds = domain.generate(30, bench_seed(domain));
+    let rel = "has_collector_current";
+    let cfg = PipelineConfig::default();
+    let task = task_for(domain, &ds, rel, ContextScope::Document);
+
+    // Shared supervision (both learners see the same probabilistic labels).
+    let cands = task.extractor.extract(&ds.corpus);
+    let feats = Featurizer::new(cfg.features).featurize(&ds.corpus, &cands);
+    let vocab = HashedVocab::new(cfg.vocab_size);
+    let dataset = prepare(&ds.corpus, &cands, &feats, &vocab, cfg.window);
+    let train_idx: Vec<usize> = cands
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed))
+        .map(|(i, _)| i)
+        .collect();
+    let subset = fonduer_candidates::CandidateSet {
+        schema: cands.schema.clone(),
+        candidates: train_idx
+            .iter()
+            .map(|&i| cands.candidates[i].clone())
+            .collect(),
+    };
+    let lf_refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+    let lm = LabelMatrix::apply(&lf_refs, &ds.corpus, &subset);
+    let gm = GenerativeModel::fit(&lm, &GenerativeOptions::default());
+    let marginals = gm.predict(&lm);
+    let mut train_inputs = Vec::new();
+    let mut train_targets = Vec::new();
+    let mut labeled_idx = Vec::new();
+    for (k, &i) in train_idx.iter().enumerate() {
+        if lm.row(k).iter().any(|&v| v != 0) {
+            train_inputs.push(dataset.inputs[i].clone());
+            train_targets.push(marginals[k] as f32);
+            labeled_idx.push(i);
+        }
+    }
+
+    // --- Fonduer's model: short mention windows + feature library.
+    let epochs = 6usize;
+    let mut fonduer = FonduerModel::new(
+        ModelConfig {
+            epochs,
+            ..Default::default()
+        },
+        dataset.vocab_size,
+        dataset.n_features,
+        dataset.arity,
+    );
+    let t0 = Instant::now();
+    fonduer.fit(&train_inputs, &train_targets);
+    let fonduer_per_epoch = t0.elapsed().as_secs_f64() / epochs as f64;
+    let fonduer_marginals = fonduer.predict(&dataset.inputs);
+    let fonduer_f1 = heldout_metrics(&ds, rel, &cands, &fonduer_marginals, cfg.threshold, &cfg);
+
+    // --- Document-level RNN: the whole serialized document per candidate.
+    const DOC_CAP: usize = 1500;
+    let doc_seqs: Vec<Vec<u32>> = labeled_idx
+        .iter()
+        .map(|&i| doc_token_ids(&ds.corpus, &cands.candidates[i], &vocab, DOC_CAP))
+        .collect();
+    let mean_len: f64 =
+        doc_seqs.iter().map(|s| s.len() as f64).sum::<f64>() / doc_seqs.len().max(1) as f64;
+    let doc_epochs = 2usize;
+    let mut doc_rnn = DocRnnModel::new(
+        ModelConfig {
+            epochs: doc_epochs,
+            ..Default::default()
+        },
+        dataset.vocab_size,
+    );
+    let t0 = Instant::now();
+    for _ in 0..doc_epochs {
+        doc_rnn.train_epoch(&doc_seqs, &train_targets);
+    }
+    let doc_per_epoch = t0.elapsed().as_secs_f64() / doc_epochs as f64;
+    let doc_marginals: Vec<f32> = cands
+        .candidates
+        .iter()
+        .map(|c| doc_rnn.predict_doc(&doc_token_ids(&ds.corpus, c, &vocab, DOC_CAP)))
+        .collect();
+    let doc_f1 = heldout_metrics(&ds, rel, &cands, &doc_marginals, cfg.threshold, &cfg);
+
+    println!(
+        "{:<22} {:>18} {:>12}",
+        "Learning Model", "secs/epoch", "Quality (F1)"
+    );
+    println!(
+        "{:<22} {:>18.2} {:>12.2}   (mean doc seq {:.0} tokens)",
+        "Document-level RNN", doc_per_epoch, doc_f1.f1, mean_len
+    );
+    println!(
+        "{:<22} {:>18.2} {:>12.2}",
+        "Fonduer", fonduer_per_epoch, fonduer_f1.f1
+    );
+    println!(
+        "\nslowdown: {:.0}x per epoch",
+        doc_per_epoch / fonduer_per_epoch.max(1e-9)
+    );
+}

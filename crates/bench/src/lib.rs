@@ -1,0 +1,182 @@
+//! # fonduer-bench
+//!
+//! Shared harness code for the per-table/per-figure benchmark targets in
+//! `benches/`. Every table and figure of the paper's evaluation section has
+//! one target (see DESIGN.md §3); each prints paper-style rows so
+//! EXPERIMENTS.md can record paper-vs-measured values.
+
+#![warn(missing_docs)]
+
+use fonduer_core::domains::{ads, electronics, genomics, paleo};
+use fonduer_core::{PipelineConfig, PipelineOutput, PrF1, Task};
+use fonduer_candidates::ContextScope;
+use fonduer_synth::{Domain, SynthDataset};
+
+/// Reproduction-scale corpus sizes per domain (documented in EXPERIMENTS.md;
+/// the paper's corpora are 7K–9.3M documents).
+pub fn bench_docs(domain: Domain) -> usize {
+    match domain {
+        Domain::Electronics => 60,
+        Domain::Ads => 120,
+        Domain::Paleo => 24,
+        Domain::Genomics => 50,
+    }
+}
+
+/// Deterministic per-domain seed.
+pub fn bench_seed(domain: Domain) -> u64 {
+    match domain {
+        Domain::Electronics => 7,
+        Domain::Ads => 11,
+        Domain::Paleo => 13,
+        Domain::Genomics => 17,
+    }
+}
+
+/// Generate a domain's bench dataset.
+pub fn bench_dataset(domain: Domain) -> SynthDataset {
+    domain.generate(bench_docs(domain), bench_seed(domain))
+}
+
+/// Representative relations evaluated per domain (all of them, except PALEO
+/// where three of the seven measurement relations stand in for the rest to
+/// bound bench runtime; noted in EXPERIMENTS.md).
+pub fn bench_relations(domain: Domain) -> Vec<String> {
+    match domain {
+        Domain::Electronics => fonduer_synth::ELECTRONICS_RELATIONS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        Domain::Ads => fonduer_synth::ADS_RELATIONS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        Domain::Paleo => vec![
+            "formation_period".to_string(),
+            "taxon_formation".to_string(),
+            "taxon_measurement_femur".to_string(),
+            "taxon_measurement_skull".to_string(),
+        ],
+        Domain::Genomics => fonduer_synth::GENOMICS_RELATIONS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    }
+}
+
+/// Build the default task for one relation of one domain at a given scope.
+pub fn task_for(domain: Domain, ds: &SynthDataset, rel: &str, scope: ContextScope) -> Task {
+    match domain {
+        Domain::Electronics => {
+            let rel_static: &'static str = fonduer_synth::ELECTRONICS_RELATIONS
+                .iter()
+                .find(|r| **r == rel)
+                .expect("known relation");
+            Task {
+                extractor: electronics::extractor(ds, rel, scope)
+                    .with_throttler(electronics::default_throttler(rel_static)),
+                lfs: electronics::lfs(rel),
+            }
+        }
+        Domain::Ads => Task {
+            extractor: ads::extractor(ds, rel, scope),
+            lfs: ads::lfs(static_ads_rel(rel)),
+        },
+        Domain::Paleo => Task {
+            extractor: paleo::extractor(ds, rel, scope),
+            lfs: paleo::lfs(rel),
+        },
+        Domain::Genomics => Task {
+            extractor: genomics::extractor(ds, rel, scope),
+            lfs: genomics::lfs(static_gen_rel(rel)),
+        },
+    }
+}
+
+fn static_ads_rel(rel: &str) -> &'static str {
+    fonduer_synth::ADS_RELATIONS
+        .iter()
+        .find(|r| **r == rel)
+        .expect("known ADS relation")
+}
+
+fn static_gen_rel(rel: &str) -> &'static str {
+    fonduer_synth::GENOMICS_RELATIONS
+        .iter()
+        .find(|r| **r == rel)
+        .expect("known GENOMICS relation")
+}
+
+/// Run the full pipeline for every bench relation of a domain, returning
+/// `(relation, output)` pairs.
+pub fn run_domain(
+    domain: Domain,
+    ds: &SynthDataset,
+    cfg: &PipelineConfig,
+) -> Vec<(String, PipelineOutput)> {
+    bench_relations(domain)
+        .into_iter()
+        .map(|rel| {
+            let task = task_for(domain, ds, &rel, ContextScope::Document);
+            let out = fonduer_core::run_task(&ds.corpus, &ds.gold, &task, cfg);
+            (rel, out)
+        })
+        .collect()
+}
+
+/// Average P/R/F1 over per-relation outputs.
+pub fn average_metrics(outputs: &[(String, PipelineOutput)]) -> PrF1 {
+    let n = outputs.len().max(1) as f64;
+    let (mut p, mut r, mut f) = (0.0, 0.0, 0.0);
+    for (_, o) in outputs {
+        p += o.metrics.precision;
+        r += o.metrics.recall;
+        f += o.metrics.f1;
+    }
+    PrF1 {
+        precision: p / n,
+        recall: r / n,
+        f1: f / n,
+        tp: 0,
+        fp: 0,
+        fn_: 0,
+    }
+}
+
+/// Print a separator headline.
+pub fn headline(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Tuple-level held-out metrics from raw candidate marginals (for bench
+/// targets that drive learners outside the standard pipeline, e.g. the
+/// document-level RNN of Table 6).
+pub fn heldout_metrics(
+    ds: &SynthDataset,
+    relation: &str,
+    cands: &fonduer_candidates::CandidateSet,
+    marginals: &[f32],
+    threshold: f32,
+    cfg: &PipelineConfig,
+) -> PrF1 {
+    use std::collections::BTreeSet;
+    let mut test_docs = BTreeSet::new();
+    for (_, doc) in ds.corpus.iter() {
+        if !fonduer_core::is_train_doc(&doc.name, cfg.train_frac, cfg.seed) {
+            test_docs.insert(doc.name.clone());
+        }
+    }
+    let pred: BTreeSet<fonduer_core::Tuple> = cands
+        .candidates
+        .iter()
+        .zip(marginals)
+        .filter(|(_, &p)| p >= threshold)
+        .map(|(c, _)| {
+            let d = ds.corpus.doc(c.doc);
+            (d.name.clone(), c.arg_texts(d))
+        })
+        .filter(|(d, _)| test_docs.contains(d))
+        .collect();
+    let gold = fonduer_core::gold_tuples_for_docs(&ds.gold, relation, &test_docs);
+    fonduer_core::eval_tuples(&pred, &gold)
+}

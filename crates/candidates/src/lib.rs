@@ -1,0 +1,29 @@
+//! # fonduer-candidates
+//!
+//! Candidate generation for Fonduer (paper §3.2 Phase 2, §4.1): users
+//! declare *matchers* describing what each mention type looks like and
+//! optional *throttlers* that prune the combinatorial cross-product of
+//! document-level mention tuples; the extractor walks the data model's
+//! leaves, applies matchers, forms scoped n-ary candidates, and filters
+//! them.
+//!
+//! The [`ContextScope`] type captures both the cumulative scope sweep of
+//! Figure 6 (sentence → table → page → document) and the strict scopes the
+//! Table 2 oracle baselines use.
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod extract;
+pub mod matcher;
+pub mod scope;
+pub mod throttler;
+
+pub use candidate::{Candidate, CandidateSet, RelationSchema};
+pub use extract::CandidateExtractor;
+pub use matcher::{
+    extract_mentions, DictionaryMatcher, FnMatcher, Matcher, MentionType, NumberRangeMatcher,
+    UnionMatcher,
+};
+pub use scope::ContextScope;
+pub use throttler::{FnThrottler, Throttler, ThrottlerChain, UniformPruneThrottler};

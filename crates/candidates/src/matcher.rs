@@ -1,0 +1,328 @@
+//! Matchers: how users specify what a mention looks like (paper §3.2,
+//! Example 3.3).
+//!
+//! A matcher is a predicate over a candidate span with full access to the
+//! data model — "ranging from simple regular expressions to complicated
+//! functions that take into account signals across multiple modalities".
+//! In the paper matchers are Python functions; here they are trait objects
+//! (closures wrap via [`FnMatcher`]).
+
+use fonduer_datamodel::{Document, Span};
+use std::collections::BTreeSet;
+
+/// Predicate deciding whether a span is a mention of some type.
+pub trait Matcher: Send + Sync {
+    /// Whether `span` in `doc` satisfies the match conditions.
+    fn matches(&self, doc: &Document, span: Span) -> bool;
+
+    /// Longest span (in tokens) this matcher can accept; extraction will
+    /// not enumerate longer windows. Defaults to 1.
+    fn max_tokens(&self) -> usize {
+        1
+    }
+}
+
+/// Declaration of one mention type in a relation schema: a name plus the
+/// matcher that recognizes its mentions.
+pub struct MentionType {
+    /// Type name (e.g. `"transistor_part"`).
+    pub name: String,
+    /// The matcher.
+    pub matcher: Box<dyn Matcher>,
+}
+
+impl MentionType {
+    /// Declare a mention type.
+    pub fn new(name: impl Into<String>, matcher: Box<dyn Matcher>) -> Self {
+        Self {
+            name: name.into(),
+            matcher,
+        }
+    }
+}
+
+impl std::fmt::Debug for MentionType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MentionType")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Dictionary matcher: matches spans whose normalized text equals a
+/// dictionary entry (paper Example 3.3's transistor-part dictionary).
+/// Entries are normalized with the Fonduer tokenizer, so multi-word entries
+/// like `"Tyrannosaurus rex"` or `"type 2 diabetes"` match multi-token
+/// spans.
+pub struct DictionaryMatcher {
+    entries: BTreeSet<String>,
+    max_tokens: usize,
+}
+
+impl DictionaryMatcher {
+    /// Build from raw dictionary strings.
+    pub fn new<I, S>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut set = BTreeSet::new();
+        let mut max_tokens = 1;
+        for e in entries {
+            let toks = fonduer_nlp::token_texts(e.as_ref());
+            max_tokens = max_tokens.max(toks.len());
+            let norm = toks
+                .iter()
+                .map(|t| t.to_lowercase())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if !norm.is_empty() {
+                set.insert(norm);
+            }
+        }
+        Self {
+            entries: set,
+            max_tokens,
+        }
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Matcher for DictionaryMatcher {
+    fn matches(&self, doc: &Document, span: Span) -> bool {
+        self.entries.contains(&span.normalized_text(doc))
+    }
+
+    fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+}
+
+/// Matches single numeric tokens whose value lies in `[min, max]`
+/// (Example 3.3's "numbers between 100 and 995" current matcher).
+pub struct NumberRangeMatcher {
+    /// Inclusive lower bound.
+    pub min: f64,
+    /// Inclusive upper bound.
+    pub max: f64,
+}
+
+impl NumberRangeMatcher {
+    /// A matcher for numbers in `[min, max]`.
+    pub fn new(min: f64, max: f64) -> Self {
+        Self { min, max }
+    }
+}
+
+impl Matcher for NumberRangeMatcher {
+    fn matches(&self, doc: &Document, span: Span) -> bool {
+        if span.len() != 1 {
+            return false;
+        }
+        let s = doc.sentence(span.sentence);
+        let idx = span.start as usize;
+        if s.ling[idx].ner != "NUMBER" {
+            return false;
+        }
+        match s.words[idx].parse::<f64>() {
+            Ok(v) => v >= self.min && v <= self.max,
+            Err(_) => false,
+        }
+    }
+}
+
+/// Wraps an arbitrary closure as a matcher.
+pub struct FnMatcher<F> {
+    f: F,
+    max_tokens: usize,
+}
+
+impl<F> FnMatcher<F>
+where
+    F: Fn(&Document, Span) -> bool + Send + Sync,
+{
+    /// Wrap `f`, enumerating spans up to `max_tokens` long.
+    pub fn new(max_tokens: usize, f: F) -> Self {
+        Self { f, max_tokens }
+    }
+}
+
+impl<F> Matcher for FnMatcher<F>
+where
+    F: Fn(&Document, Span) -> bool + Send + Sync,
+{
+    fn matches(&self, doc: &Document, span: Span) -> bool {
+        (self.f)(doc, span)
+    }
+
+    fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+}
+
+/// Union of matchers: matches if any child matches.
+pub struct UnionMatcher {
+    children: Vec<Box<dyn Matcher>>,
+}
+
+impl UnionMatcher {
+    /// Combine matchers.
+    pub fn new(children: Vec<Box<dyn Matcher>>) -> Self {
+        Self { children }
+    }
+}
+
+impl Matcher for UnionMatcher {
+    fn matches(&self, doc: &Document, span: Span) -> bool {
+        self.children.iter().any(|c| c.matches(doc, span))
+    }
+
+    fn max_tokens(&self) -> usize {
+        self.children
+            .iter()
+            .map(|c| c.max_tokens())
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+/// Extract all mentions of one type from a document by applying the matcher
+/// to every span of up to `matcher.max_tokens()` tokens in every sentence
+/// (the paper's "applying matchers to each leaf of the data model").
+///
+/// Matching is greedy maximal-munch: at each start position the longest
+/// matching span wins, and overlapped shorter starts are skipped. Mentions
+/// are returned in document order.
+pub fn extract_mentions(doc: &Document, ty: &MentionType) -> Vec<Span> {
+    let mut out = Vec::new();
+    let max_len = ty.matcher.max_tokens().max(1);
+    for sid in doc.sentence_ids() {
+        let n = doc.sentence(sid).len();
+        let mut start = 0usize;
+        while start < n {
+            let mut matched_end = None;
+            let upper = (start + max_len).min(n);
+            for end in (start + 1..=upper).rev() {
+                let span = Span::new(sid, start as u32, end as u32);
+                if ty.matcher.matches(doc, span) {
+                    matched_end = Some(end);
+                    break;
+                }
+            }
+            match matched_end {
+                Some(end) => {
+                    out.push(Span::new(sid, start as u32, end as u32));
+                    start = end;
+                }
+                None => start += 1,
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::{ContextRef, DocFormat, DocumentBuilder};
+    use fonduer_nlp::preprocess_sentence;
+
+    fn doc_with(text: &str) -> Document {
+        let mut b = DocumentBuilder::new("t", DocFormat::Html);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        b.sentence(p, preprocess_sentence(text, &Default::default()));
+        b.finish()
+    }
+
+    #[test]
+    fn dictionary_single_token() {
+        let d = doc_with("The SMBT3904 is a transistor");
+        let ty = MentionType::new(
+            "part",
+            Box::new(DictionaryMatcher::new(["SMBT3904", "BC547"])),
+        );
+        let m = extract_mentions(&d, &ty);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].text(&d), "SMBT3904");
+    }
+
+    #[test]
+    fn dictionary_multi_token_maximal_munch() {
+        let d = doc_with("Remains of Tyrannosaurus rex were found");
+        let ty = MentionType::new(
+            "taxon",
+            Box::new(DictionaryMatcher::new(["Tyrannosaurus rex", "rex"])),
+        );
+        let m = extract_mentions(&d, &ty);
+        // Maximal match wins; the inner "rex" is not separately extracted.
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].text(&d), "Tyrannosaurus rex");
+    }
+
+    #[test]
+    fn number_range() {
+        let d = doc_with("values 50 200 995 1000 and 200.5");
+        let ty = MentionType::new("cur", Box::new(NumberRangeMatcher::new(100.0, 995.0)));
+        let m = extract_mentions(&d, &ty);
+        let texts: Vec<String> = m.iter().map(|s| s.text(&d)).collect();
+        assert_eq!(texts, vec!["200", "995", "200.5"]);
+    }
+
+    #[test]
+    fn number_range_rejects_codes() {
+        // "SMBT3904" contains digits but is a CODE token, not a NUMBER.
+        let d = doc_with("SMBT3904");
+        let ty = MentionType::new("cur", Box::new(NumberRangeMatcher::new(0.0, 1e9)));
+        assert!(extract_mentions(&d, &ty).is_empty());
+    }
+
+    #[test]
+    fn fn_matcher_with_context() {
+        // Match numbers only when the sentence contains the lemma "current".
+        let d1 = doc_with("Collector current is 200");
+        let d2 = doc_with("Storage temperature is 200");
+        let mk = || {
+            MentionType::new(
+                "cur",
+                Box::new(FnMatcher::new(1, |doc: &Document, sp: Span| {
+                    let s = doc.sentence(sp.sentence);
+                    s.ling[sp.start as usize].ner == "NUMBER"
+                        && s.ling.iter().any(|l| l.lemma == "current")
+                })),
+            )
+        };
+        assert_eq!(extract_mentions(&d1, &mk()).len(), 1);
+        assert!(extract_mentions(&d2, &mk()).is_empty());
+    }
+
+    #[test]
+    fn union_matcher() {
+        let d = doc_with("BC547 rated 200");
+        let u = UnionMatcher::new(vec![
+            Box::new(DictionaryMatcher::new(["BC547"])),
+            Box::new(NumberRangeMatcher::new(100.0, 995.0)),
+        ]);
+        let ty = MentionType::new("any", Box::new(u));
+        assert_eq!(extract_mentions(&d, &ty).len(), 2);
+    }
+
+    #[test]
+    fn empty_dictionary_matches_nothing() {
+        let d = doc_with("anything at all");
+        let dict = DictionaryMatcher::new(Vec::<String>::new());
+        assert!(dict.is_empty());
+        let ty = MentionType::new("none", Box::new(dict));
+        assert!(extract_mentions(&d, &ty).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Throttlers: hard filtering rules over candidates (paper §3.2,
+//! Example 3.4; §4.1).
+//!
+//! Throttlers "act as hard filtering rules to reduce the number of
+//! candidates that are materialized" — the knob trading precision against
+//! recall that makes document-level candidate generation tractable
+//! (Figure 4).
+
+use crate::candidate::Candidate;
+use fonduer_datamodel::Document;
+
+/// Predicate deciding whether a candidate is kept.
+pub trait Throttler: Send + Sync {
+    /// `true` keeps the candidate, `false` prunes it.
+    fn keep(&self, doc: &Document, cand: &Candidate) -> bool;
+}
+
+/// Wraps a closure as a throttler.
+pub struct FnThrottler<F>(pub F);
+
+impl<F> Throttler for FnThrottler<F>
+where
+    F: Fn(&Document, &Candidate) -> bool + Send + Sync,
+{
+    fn keep(&self, doc: &Document, cand: &Candidate) -> bool {
+        (self.0)(doc, cand)
+    }
+}
+
+/// Conjunction: keeps a candidate only if every child throttler keeps it.
+#[derive(Default)]
+pub struct ThrottlerChain {
+    children: Vec<Box<dyn Throttler>>,
+}
+
+impl ThrottlerChain {
+    /// An empty chain (keeps everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a throttler.
+    pub fn push(&mut self, t: Box<dyn Throttler>) -> &mut Self {
+        self.children.push(t);
+        self
+    }
+
+    /// Number of throttlers in the chain.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Throttler for ThrottlerChain {
+    fn keep(&self, doc: &Document, cand: &Candidate) -> bool {
+        self.children.iter().all(|t| t.keep(doc, cand))
+    }
+}
+
+/// A tunable throttler used by the Figure 4 sweep: keeps a candidate with
+/// probability determined by a deterministic hash, pruning approximately
+/// `prune_frac` of candidates uniformly. Composed *after* semantic
+/// throttlers, it models "% of candidates filtered" as a continuous knob.
+pub struct UniformPruneThrottler {
+    /// Fraction of candidates to prune (0.0 = keep all, 1.0 = prune all).
+    pub prune_frac: f64,
+    /// Hash salt so different sweeps prune different subsets.
+    pub salt: u64,
+}
+
+impl Throttler for UniformPruneThrottler {
+    fn keep(&self, _doc: &Document, cand: &Candidate) -> bool {
+        let mut key = Vec::with_capacity(16 + cand.mentions.len() * 12);
+        key.extend_from_slice(&self.salt.to_le_bytes());
+        key.extend_from_slice(&cand.doc.0.to_le_bytes());
+        for m in &cand.mentions {
+            key.extend_from_slice(&m.sentence.0.to_le_bytes());
+            key.extend_from_slice(&m.start.to_le_bytes());
+            key.extend_from_slice(&m.end.to_le_bytes());
+        }
+        let h = fonduer_nlp::fnv1a(&key);
+        let unit = (h % 1_000_000) as f64 / 1_000_000.0;
+        unit >= self.prune_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::{DocFormat, DocId, Document, Span, SentenceId};
+
+    fn cand(i: u32) -> Candidate {
+        Candidate::new(DocId(0), vec![Span::new(SentenceId(i), 0, 1)])
+    }
+
+    fn dummy_doc() -> Document {
+        Document::new("d", DocFormat::Html)
+    }
+
+    #[test]
+    fn fn_throttler_filters() {
+        let t = FnThrottler(|_: &Document, c: &Candidate| c.mentions[0].sentence.0 % 2 == 0);
+        let d = dummy_doc();
+        assert!(t.keep(&d, &cand(0)));
+        assert!(!t.keep(&d, &cand(1)));
+    }
+
+    #[test]
+    fn chain_is_conjunction() {
+        let mut chain = ThrottlerChain::new();
+        assert!(chain.is_empty());
+        let d = dummy_doc();
+        assert!(chain.keep(&d, &cand(3))); // empty chain keeps all
+        chain.push(Box::new(FnThrottler(|_: &Document, c: &Candidate| {
+            c.mentions[0].sentence.0 > 1
+        })));
+        chain.push(Box::new(FnThrottler(|_: &Document, c: &Candidate| {
+            c.mentions[0].sentence.0 < 5
+        })));
+        assert_eq!(chain.len(), 2);
+        assert!(chain.keep(&d, &cand(3)));
+        assert!(!chain.keep(&d, &cand(0)));
+        assert!(!chain.keep(&d, &cand(7)));
+    }
+
+    #[test]
+    fn uniform_prune_approximates_fraction() {
+        let d = dummy_doc();
+        for frac in [0.0, 0.3, 0.7, 1.0] {
+            let t = UniformPruneThrottler {
+                prune_frac: frac,
+                salt: 42,
+            };
+            let kept = (0..2000).filter(|&i| t.keep(&d, &cand(i))).count();
+            let observed = kept as f64 / 2000.0;
+            assert!(
+                (observed - (1.0 - frac)).abs() < 0.05,
+                "frac={frac} observed={observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_prune_is_deterministic() {
+        let d = dummy_doc();
+        let t = UniformPruneThrottler {
+            prune_frac: 0.5,
+            salt: 1,
+        };
+        let a: Vec<bool> = (0..100).map(|i| t.keep(&d, &cand(i))).collect();
+        let b: Vec<bool> = (0..100).map(|i| t.keep(&d, &cand(i))).collect();
+        assert_eq!(a, b);
+    }
+}

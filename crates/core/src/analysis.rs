@@ -1,0 +1,266 @@
+//! Error analysis for the iterative development loop (paper §3.3: "Fonduer
+//! enables users to easily inspect the resulting candidates and provides a
+//! set of labeling function metrics, such as coverage, conflict, and
+//! overlap").
+//!
+//! [`LfReport`] summarizes every labeling function against the label matrix
+//! (and against gold when available); [`ErrorBuckets`] splits a model's
+//! held-out mistakes into inspectable groups. The `diagnose` example is a
+//! CLI over this module.
+
+use fonduer_candidates::CandidateSet;
+use fonduer_datamodel::Corpus;
+use fonduer_supervision::{LabelMatrix, LabelingFunction};
+use fonduer_synth::GoldKb;
+
+/// Per-LF development metrics.
+#[derive(Debug, Clone)]
+pub struct LfRow {
+    /// LF name.
+    pub name: String,
+    /// Modality label.
+    pub modality: &'static str,
+    /// Fraction of candidates the LF labels.
+    pub coverage: f64,
+    /// Fraction it labels that another LF also labels.
+    pub overlap: f64,
+    /// Fraction it labels where another LF disagrees.
+    pub conflict: f64,
+    /// Number of positive votes.
+    pub positives: usize,
+    /// Number of negative votes.
+    pub negatives: usize,
+    /// Empirical accuracy against gold, if gold was supplied.
+    pub empirical_accuracy: Option<f64>,
+}
+
+/// A full labeling-function report.
+#[derive(Debug, Clone)]
+pub struct LfReport {
+    /// One row per LF, in library order.
+    pub rows: Vec<LfRow>,
+    /// Fraction of candidates with at least one label.
+    pub total_coverage: f64,
+}
+
+impl LfReport {
+    /// Build the report. `gold` enables the empirical-accuracy column; pass
+    /// an empty gold KB for unsupervised development metrics only.
+    pub fn build(
+        lfs: &[LabelingFunction],
+        matrix: &LabelMatrix,
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        gold: &GoldKb,
+    ) -> Self {
+        assert_eq!(matrix.n_rows(), cands.len());
+        assert_eq!(matrix.n_cols(), lfs.len());
+        let has_gold = !gold.is_empty();
+        let gold_flags: Vec<bool> = if has_gold {
+            cands
+                .candidates
+                .iter()
+                .map(|c| {
+                    let d = corpus.doc(c.doc);
+                    gold.contains(&cands.schema.name, &d.name, &c.arg_texts(d))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let rows = lfs
+            .iter()
+            .enumerate()
+            .map(|(j, lf)| {
+                let mut positives = 0;
+                let mut negatives = 0;
+                let mut correct = 0;
+                for i in 0..matrix.n_rows() {
+                    match matrix.get(i, j) {
+                        1 => {
+                            positives += 1;
+                            if has_gold && gold_flags[i] {
+                                correct += 1;
+                            }
+                        }
+                        -1 => {
+                            negatives += 1;
+                            if has_gold && !gold_flags[i] {
+                                correct += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let voted = positives + negatives;
+                LfRow {
+                    name: lf.name.clone(),
+                    modality: lf.modality.label(),
+                    coverage: matrix.coverage(j),
+                    overlap: matrix.overlap(j),
+                    conflict: matrix.conflict(j),
+                    positives,
+                    negatives,
+                    empirical_accuracy: if has_gold && voted > 0 {
+                        Some(correct as f64 / voted as f64)
+                    } else {
+                        None
+                    },
+                }
+            })
+            .collect();
+        Self {
+            rows,
+            total_coverage: matrix.total_coverage(),
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<50} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+            "labeling function", "mod", "cov", "ovl", "cfl", "+", "-", "emp.acc"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<50} {:>5} {:>6.2} {:>6.2} {:>6.2} {:>6} {:>6} {:>7}\n",
+                r.name,
+                r.modality,
+                r.coverage,
+                r.overlap,
+                r.conflict,
+                r.positives,
+                r.negatives,
+                r.empirical_accuracy
+                    .map(|a| format!("{a:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+            ));
+        }
+        out.push_str(&format!("total coverage: {:.2}\n", self.total_coverage));
+        out
+    }
+}
+
+/// Held-out mistakes of a classifier, bucketed for inspection.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorBuckets {
+    /// Candidate indices predicted positive but not gold.
+    pub false_positives: Vec<usize>,
+    /// Candidate indices gold but predicted negative.
+    pub false_negatives: Vec<usize>,
+}
+
+impl ErrorBuckets {
+    /// Bucket errors over an evaluated candidate set.
+    pub fn build(
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        marginals: &[f32],
+        threshold: f32,
+        gold: &GoldKb,
+    ) -> Self {
+        let mut out = Self::default();
+        for (i, (c, &p)) in cands.candidates.iter().zip(marginals).enumerate() {
+            let d = corpus.doc(c.doc);
+            let is_gold = gold.contains(&cands.schema.name, &d.name, &c.arg_texts(d));
+            match (p >= threshold, is_gold) {
+                (true, false) => out.false_positives.push(i),
+                (false, true) => out.false_negatives.push(i),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total number of errors.
+    pub fn len(&self) -> usize {
+        self.false_positives.len() + self.false_negatives.len()
+    }
+
+    /// Whether the classifier made no mistakes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_candidates::{
+        CandidateExtractor, DictionaryMatcher, MentionType, NumberRangeMatcher, RelationSchema,
+    };
+    use fonduer_datamodel::DocFormat;
+    use fonduer_parser::{parse_document, ParseOptions};
+    use fonduer_supervision::{LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
+
+    fn setup() -> (Corpus, CandidateSet, Vec<LabelingFunction>, GoldKb) {
+        let html = r#"<h1>BC547</h1>
+            <table><tr><th>Parameter</th><th>Value</th></tr>
+            <tr><td>Collector current</td><td>100</td></tr>
+            <tr><td>Junction temperature</td><td>150</td></tr></table>"#;
+        let mut corpus = Corpus::new("t");
+        corpus.add(parse_document("d0", html, DocFormat::Pdf, &ParseOptions::default()));
+        let cands = CandidateExtractor::new(
+            RelationSchema::new("has_collector_current", &["part", "current"]),
+            vec![
+                MentionType::new("part", Box::new(DictionaryMatcher::new(["BC547"]))),
+                MentionType::new("cur", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+            ],
+        )
+        .extract(&corpus);
+        let lfs = vec![
+            LabelingFunction::new("collector_row", Modality::Tabular, |doc, cand| {
+                let row = crate::domains::row_words(doc, crate::domains::arg(cand, 1));
+                if fonduer_nlp::contains_word(&row, "collector") {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }),
+            LabelingFunction::new("noop", Modality::Textual, |_, _| ABSTAIN),
+        ];
+        let mut gold = GoldKb::new();
+        gold.add("has_collector_current", "d0", &["BC547", "100"]);
+        (corpus, cands, lfs, gold)
+    }
+
+    #[test]
+    fn report_metrics_and_accuracy() {
+        let (corpus, cands, lfs, gold) = setup();
+        let refs: Vec<&LabelingFunction> = lfs.iter().collect();
+        let lm = LabelMatrix::apply(&refs, &corpus, &cands);
+        let report = LfReport::build(&lfs, &lm, &corpus, &cands, &gold);
+        assert_eq!(report.rows.len(), 2);
+        let row = &report.rows[0];
+        assert_eq!(row.coverage, 1.0);
+        assert_eq!((row.positives, row.negatives), (1, 1));
+        assert_eq!(row.empirical_accuracy, Some(1.0));
+        assert_eq!(report.rows[1].coverage, 0.0);
+        assert_eq!(report.rows[1].empirical_accuracy, None);
+        let text = report.to_text();
+        assert!(text.contains("collector_row"));
+        assert!(text.contains("total coverage: 1.00"));
+    }
+
+    #[test]
+    fn report_without_gold_has_no_accuracy() {
+        let (corpus, cands, lfs, _) = setup();
+        let refs: Vec<&LabelingFunction> = lfs.iter().collect();
+        let lm = LabelMatrix::apply(&refs, &corpus, &cands);
+        let report = LfReport::build(&lfs, &lm, &corpus, &cands, &GoldKb::new());
+        assert!(report.rows.iter().all(|r| r.empirical_accuracy.is_none()));
+    }
+
+    #[test]
+    fn error_buckets() {
+        let (corpus, cands, _, gold) = setup();
+        // Candidate order: (BC547, 100) gold, (BC547, 150) not.
+        let buckets = ErrorBuckets::build(&corpus, &cands, &[0.2, 0.9], 0.5, &gold);
+        assert_eq!(buckets.false_negatives, vec![0]);
+        assert_eq!(buckets.false_positives, vec![1]);
+        assert_eq!(buckets.len(), 2);
+        let perfect = ErrorBuckets::build(&corpus, &cands, &[0.9, 0.1], 0.5, &gold);
+        assert!(perfect.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! ADVERTISEMENTS task definitions: four attribute relations anchored to a
+//! contact phone number, over heterogeneous ad layouts (paper §5.1).
+
+use super::*;
+use crate::pipeline::Task;
+use fonduer_candidates::{
+    CandidateExtractor, ContextScope, DictionaryMatcher, FnMatcher, MentionType,
+    NumberRangeMatcher, RelationSchema,
+};
+use fonduer_supervision::{LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
+use fonduer_synth::SynthDataset;
+
+/// The four ADS relations.
+pub const RELATIONS: [&str; 4] = ["ad_price", "ad_location", "ad_age", "ad_name"];
+
+/// Phone matcher: the token pattern `NNN - NNN - NNNN` (five tokens).
+fn phone_matcher() -> Box<FnMatcher<impl Fn(&Document, fonduer_datamodel::Span) -> bool>> {
+    Box::new(FnMatcher::new(5, |doc: &Document, sp| {
+        if sp.len() != 5 {
+            return false;
+        }
+        let s = doc.sentence(sp.sentence);
+        let w = &s.words[sp.start as usize..sp.end as usize];
+        let is_num =
+            |t: &String, len: usize| t.len() == len && t.chars().all(|c| c.is_ascii_digit());
+        is_num(&w[0], 3) && w[1] == "-" && is_num(&w[2], 3) && w[3] == "-" && is_num(&w[4], 4)
+    }))
+}
+
+fn second_type(ds: &SynthDataset, rel: &str) -> MentionType {
+    match rel {
+        "ad_price" => MentionType::new("price", Box::new(NumberRangeMatcher::new(50.0, 999.0))),
+        "ad_age" => MentionType::new("age", Box::new(NumberRangeMatcher::new(18.0, 49.0))),
+        "ad_location" => MentionType::new(
+            "location",
+            Box::new(DictionaryMatcher::new(ds.dictionary("cities"))),
+        ),
+        "ad_name" => MentionType::new(
+            "name",
+            Box::new(DictionaryMatcher::new(ds.dictionary("first_names"))),
+        ),
+        other => panic!("unknown ADS relation {other}"),
+    }
+}
+
+/// Candidate extractor for one ADS relation.
+pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> CandidateExtractor {
+    let arg_name = rel.strip_prefix("ad_").unwrap_or(rel);
+    CandidateExtractor::new(
+        RelationSchema::new(rel, &["phone", arg_name]),
+        vec![
+            MentionType::new("phone", phone_matcher()),
+            second_type(ds, rel),
+        ],
+    )
+    .with_scope(scope)
+}
+
+/// Labeling functions for one ADS relation.
+pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
+    let mut out: Vec<LabelingFunction> = Vec::new();
+    match rel {
+        "ad_price" => {
+            out.push(LabelingFunction::new(
+                "ad_price:rate_words_in_sentence",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_words(doc, arg(cand, 1));
+                    if any_in(&w, &["roses", "$", "donation", "rate", "special", "hr", "hour"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_price:rate_row",
+                Modality::Tabular,
+                |doc: &Document, cand: &Candidate| {
+                    let row = row_words(doc, arg(cand, 1));
+                    if row.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&row, &["rate", "price", "donation", "hourly"]) {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_price:stats_sentence",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_words(doc, arg(cand, 1));
+                    if any_in(&w, &["measurements", "height", "ft"]) {
+                        FALSE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_price:claims_sentence",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_words(doc, arg(cand, 1));
+                    if any_in(&w, &["%", "photos", "minutes", "viewed"]) {
+                        FALSE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_price:meta_block",
+                Modality::Structural,
+                |doc: &Document, cand: &Candidate| {
+                    let st = &doc.sentence(arg(cand, 1).sentence).structural;
+                    if st.attr("class") == Some("meta") || st.attr("class") == Some("stats") {
+                        FALSE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "ad_age" => {
+            out.push(LabelingFunction::new(
+                "ad_age:age_words",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_words(doc, arg(cand, 1));
+                    if any_in(&w, &["years", "yo", "old", "age"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_age:age_row",
+                Modality::Tabular,
+                |doc: &Document, cand: &Candidate| {
+                    let row = row_words(doc, arg(cand, 1));
+                    if row.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&row, &["age"]) {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_age:slash_follows",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    // "24/7" availability is not an age.
+                    let v = arg(cand, 1);
+                    let s = doc.sentence(v.sentence);
+                    match s.words.get(v.end as usize) {
+                        Some(next) if next == "/" => FALSE,
+                        _ => ABSTAIN,
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_age:stats_sentence",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_words(doc, arg(cand, 1));
+                    if any_in(&w, &["measurements", "ft", "post", "updated"]) {
+                        FALSE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "ad_location" => {
+            out.push(LabelingFunction::new(
+                "ad_location:movement_words",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let v = arg(cand, 1);
+                    let s = doc.sentence(v.sentence);
+                    let prev = v
+                        .start
+                        .checked_sub(1)
+                        .map(|i| s.ling[i as usize].lemma.clone());
+                    match prev.as_deref() {
+                        Some("in") | Some("visiting") | Some("to") => TRUE,
+                        _ => ABSTAIN,
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_location:location_row",
+                Modality::Tabular,
+                |doc: &Document, cand: &Candidate| {
+                    let row = row_words(doc, arg(cand, 1));
+                    if row.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&row, &["location", "city"]) {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_location:body_text",
+                Modality::Structural,
+                |doc: &Document, cand: &Candidate| {
+                    // City names in running text ("Now in Phoenix") are real.
+                    let tag = tag_of(doc, arg(cand, 1));
+                    if tag == "li" || tag == "p" {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "ad_name" => {
+            out.push(LabelingFunction::new(
+                "ad_name:title_name",
+                Modality::Structural,
+                |doc: &Document, cand: &Candidate| {
+                    if tag_of(doc, arg(cand, 1)) == "h1" {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_name:introduction",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_words(doc, arg(cand, 1));
+                    if any_in(&w, &["am", "ask", "here"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "ad_name:name_row",
+                Modality::Tabular,
+                |doc: &Document, cand: &Candidate| {
+                    let row = row_words(doc, arg(cand, 1));
+                    if row.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&row, &["name"]) {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+        }
+        other => panic!("unknown ADS relation {other}"),
+    }
+    // Shared visual sanity LF: the phone and the attribute of a one-page ad
+    // render on the same page.
+    out.push(LabelingFunction::new(
+        format!("{rel}:same_page_as_phone"),
+        Modality::Visual,
+        |doc: &Document, cand: &Candidate| {
+            let p = arg(cand, 0);
+            let v = arg(cand, 1);
+            match (p.page(doc), v.page(doc)) {
+                (Some(a), Some(b)) if a != b => FALSE,
+                _ => ABSTAIN,
+            }
+        },
+    ));
+    out
+}
+
+/// The complete ADS tasks at document scope.
+pub fn tasks(ds: &SynthDataset) -> Vec<Task> {
+    RELATIONS
+        .iter()
+        .map(|rel| Task {
+            extractor: extractor(ds, rel, ContextScope::Document),
+            lfs: lfs(rel),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_task, PipelineConfig};
+    use fonduer_synth::{generate_ads, AdsConfig};
+
+    fn ds() -> SynthDataset {
+        generate_ads(&AdsConfig {
+            n_docs: 60,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn phone_matcher_finds_all_phones() {
+        let ds = ds();
+        let ex = extractor(&ds, "ad_price", ContextScope::Document);
+        let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
+        let gold = ds.gold.tuples("ad_price");
+        let covered = gold.iter().filter(|t| reachable.contains(*t)).count();
+        assert_eq!(covered, gold.len());
+    }
+
+    #[test]
+    fn all_four_relations_extract_candidates() {
+        let ds = ds();
+        for rel in RELATIONS {
+            let set = extractor(&ds, rel, ContextScope::Document).extract(&ds.corpus);
+            assert!(!set.is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_price_quality() {
+        let ds = ds();
+        let task = Task {
+            extractor: extractor(&ds, "ad_price", ContextScope::Document),
+            lfs: lfs("ad_price"),
+        };
+        let out = run_task(&ds.corpus, &ds.gold, &task, &PipelineConfig::default());
+        assert!(
+            out.metrics.f1 > 0.6,
+            "F1 {} (p={} r={})",
+            out.metrics.f1,
+            out.metrics.precision,
+            out.metrics.recall
+        );
+    }
+
+    #[test]
+    fn sentence_scope_recall_matches_mixture() {
+        // Roughly the inline fraction of ads is sentence-recoverable.
+        let ds = generate_ads(&AdsConfig {
+            n_docs: 150,
+            ..Default::default()
+        });
+        let ex = extractor(&ds, "ad_price", ContextScope::Sentence);
+        let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
+        let gold = ds.gold.tuples("ad_price");
+        let covered = gold.iter().filter(|t| reachable.contains(*t)).count() as f64;
+        let recall = covered / gold.len() as f64;
+        assert!((0.30..0.60).contains(&recall), "text recall {recall}");
+    }
+}

@@ -1,0 +1,372 @@
+//! GENOMICS task definitions: four relations pairing table-borne SNPs and
+//! genes with text-borne phenotypes, populations, and platforms in native
+//! XML papers (paper §5.1). Every candidate is cross-context.
+
+use super::*;
+use crate::pipeline::Task;
+use fonduer_candidates::{
+    CandidateExtractor, ContextScope, DictionaryMatcher, FnMatcher, MentionType, RelationSchema,
+};
+use fonduer_datamodel::Document;
+use fonduer_candidates::Candidate;
+use fonduer_supervision::{LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
+use fonduer_synth::SynthDataset;
+
+/// The four GENOMICS relations.
+pub const RELATIONS: [&str; 4] = [
+    "snp_phenotype",
+    "gene_phenotype",
+    "snp_population",
+    "snp_platform",
+];
+
+/// Matcher for SNP reference ids (`rs` followed by digits).
+fn rsid_matcher() -> Box<FnMatcher<impl Fn(&Document, fonduer_datamodel::Span) -> bool>> {
+    Box::new(FnMatcher::new(1, |doc: &Document, sp| {
+        let s = doc.sentence(sp.sentence);
+        let w = &s.words[sp.start as usize];
+        w.len() > 3 && w.starts_with("rs") && w[2..].chars().all(|c| c.is_ascii_digit())
+    }))
+}
+
+/// Candidate extractor for one GENOMICS relation.
+pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> CandidateExtractor {
+    let dict = |name: &str, dict_name: &str| {
+        MentionType::new(
+            name,
+            Box::new(DictionaryMatcher::new(ds.dictionary(dict_name))),
+        )
+    };
+    match rel {
+        "snp_phenotype" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["snp", "phenotype"]),
+            vec![
+                MentionType::new("snp", rsid_matcher()),
+                dict("phenotype", "phenotypes"),
+            ],
+        )
+        .with_scope(scope),
+        "gene_phenotype" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["gene", "phenotype"]),
+            vec![dict("gene", "genes"), dict("phenotype", "phenotypes")],
+        )
+        .with_scope(scope),
+        "snp_population" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["snp", "population"]),
+            vec![
+                MentionType::new("snp", rsid_matcher()),
+                dict("population", "populations"),
+            ],
+        )
+        .with_scope(scope),
+        "snp_platform" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["snp", "platform"]),
+            vec![
+                MentionType::new("snp", rsid_matcher()),
+                dict("platform", "platforms"),
+            ],
+        )
+        .with_scope(scope),
+        other => panic!("unknown GENOMICS relation {other}"),
+    }
+}
+
+/// Significance LFs shared by the table-borne argument (SNP or gene).
+fn table_side_lfs(rel: &str, out: &mut Vec<LabelingFunction>) {
+    out.push(LabelingFunction::new(
+        format!("{rel}:suggestive_table"),
+        Modality::Tabular,
+        |doc: &Document, cand: &Candidate| {
+            let cap = caption_words(doc, arg(cand, 0));
+            if cap.is_empty() {
+                ABSTAIN
+            } else if any_in(&cap, &["suggestive", "not"]) {
+                FALSE
+            } else if any_in(&cap, &["significance", "significant"]) {
+                TRUE
+            } else {
+                ABSTAIN
+            }
+        },
+    ));
+    out.push(LabelingFunction::new(
+        format!("{rel}:row_pvalue_significant"),
+        Modality::Tabular,
+        |doc: &Document, cand: &Candidate| {
+            let nums = row_numbers(doc, arg(cand, 0));
+            let p = nums.iter().cloned().filter(|v| *v < 1.0).fold(f64::NAN, f64::min);
+            if p.is_nan() {
+                ABSTAIN
+            } else if p < 5e-7 {
+                TRUE
+            } else {
+                FALSE
+            }
+        },
+    ));
+    out.push(LabelingFunction::new(
+        format!("{rel}:arg_not_in_table"),
+        Modality::Structural,
+        |doc: &Document, cand: &Candidate| {
+            if in_table(doc, arg(cand, 0)) {
+                ABSTAIN
+            } else {
+                FALSE
+            }
+        },
+    ));
+}
+
+/// Labeling functions for one GENOMICS relation.
+pub fn lfs(rel: &'static str) -> Vec<LabelingFunction> {
+    let mut out: Vec<LabelingFunction> = Vec::new();
+    table_side_lfs(rel, &mut out);
+    match rel {
+        "snp_phenotype" | "gene_phenotype" => {
+            // Conjunctive over both sides: the studied phenotype (title)
+            // paired with a SNP/gene whose row reached significance. A
+            // phenotype-side test alone fires on every candidate and would
+            // be pure prior, not evidence.
+            out.push(LabelingFunction::new(
+                format!("{rel}:title_phenotype_significant_row"),
+                Modality::Structural,
+                |doc: &Document, cand: &Candidate| {
+                    if tag_of(doc, arg(cand, 1)) != "title" {
+                        return ABSTAIN;
+                    }
+                    let p = row_numbers(doc, arg(cand, 0))
+                        .into_iter()
+                        .filter(|v| *v < 1.0)
+                        .fold(f64::NAN, f64::min);
+                    if p.is_nan() {
+                        ABSTAIN
+                    } else if p < 5e-7 {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                format!("{rel}:study_phenotype_significant_caption"),
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 1));
+                    if !any_in(&w, &["association", "study"]) {
+                        return ABSTAIN;
+                    }
+                    let cap = caption_words(doc, arg(cand, 0));
+                    if cap.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&cap, &["suggestive", "not"]) {
+                        FALSE
+                    } else if any_in(&cap, &["significance", "significant"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "snp_population" => {
+            out.push(LabelingFunction::new(
+                "snp_population:individuals_sentence",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 1));
+                    if any_in(&w, &["individual", "individuals"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "snp_platform" => {
+            out.push(LabelingFunction::new(
+                "snp_platform:genotyped_sentence",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 1));
+                    if any_in(&w, &["genotype", "genotyped", "array"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "snp_platform:abstract_platform",
+                Modality::Structural,
+                |doc: &Document, cand: &Candidate| {
+                    // Platform names appear in methods <p> blocks, never in
+                    // tables or titles.
+                    let tag = tag_of(doc, arg(cand, 1));
+                    if tag == "title" || in_table(doc, arg(cand, 1)) {
+                        FALSE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        other => panic!("unknown GENOMICS relation {other}"),
+    }
+    out
+}
+
+/// Ternary extension task: `snp_gene_phenotype(snp, gene, phenotype)` —
+/// a three-argument relation joining two table mentions (which must share a
+/// row) with a text mention. Exercises the n-ary candidate machinery beyond
+/// the paper's binary schemas.
+pub fn ternary_task(ds: &SynthDataset) -> Task {
+    let extractor = CandidateExtractor::new(
+        RelationSchema::new("snp_gene_phenotype", &["snp", "gene", "phenotype"]),
+        vec![
+            MentionType::new("snp", rsid_matcher()),
+            MentionType::new(
+                "gene",
+                Box::new(DictionaryMatcher::new(ds.dictionary("genes"))),
+            ),
+            MentionType::new(
+                "phenotype",
+                Box::new(DictionaryMatcher::new(ds.dictionary("phenotypes"))),
+            ),
+        ],
+    )
+    // Throttler: the SNP and gene must share a table row, taming the
+    // three-way cross-product (paper §4.1's combinatorial-explosion knob).
+    .with_throttler(Box::new(fonduer_candidates::FnThrottler(
+        |doc: &Document, cand: &Candidate| {
+            let (a, b) = (cell_of(doc, arg(cand, 0)), cell_of(doc, arg(cand, 1)));
+            match (a, b) {
+                (Some(ca), Some(cb)) => {
+                    let (ca, cb) = (doc.cell(ca), doc.cell(cb));
+                    ca.table == cb.table && ca.row_start == cb.row_start
+                }
+                _ => false,
+            }
+        },
+    )));
+    let mut lfs: Vec<LabelingFunction> = Vec::new();
+    table_side_lfs("snp_gene_phenotype", &mut lfs);
+    lfs.push(LabelingFunction::new(
+        "snp_gene_phenotype:phenotype_in_title_significant",
+        Modality::Structural,
+        |doc: &Document, cand: &Candidate| {
+            if tag_of(doc, arg(cand, 2)) != "title" {
+                return ABSTAIN;
+            }
+            let p = row_numbers(doc, arg(cand, 0))
+                .into_iter()
+                .filter(|v| *v < 1.0)
+                .fold(f64::NAN, f64::min);
+            if p.is_nan() {
+                ABSTAIN
+            } else if p < 5e-7 {
+                TRUE
+            } else {
+                FALSE
+            }
+        },
+    ));
+    Task { extractor, lfs }
+}
+
+/// The complete GENOMICS tasks at document scope.
+pub fn tasks(ds: &SynthDataset) -> Vec<Task> {
+    RELATIONS
+        .iter()
+        .map(|rel| Task {
+            extractor: extractor(ds, rel, ContextScope::Document),
+            lfs: lfs(rel),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_task, PipelineConfig};
+    use fonduer_synth::{generate_genomics, GenomicsConfig};
+
+    fn ds() -> SynthDataset {
+        generate_genomics(&GenomicsConfig {
+            n_docs: 40,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn text_and_table_oracles_find_nothing() {
+        let ds = ds();
+        for rel in RELATIONS {
+            for scope in [ContextScope::Sentence, ContextScope::TableStrict] {
+                let ex = extractor(&ds, rel, scope);
+                let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
+                let gold = ds.gold.tuples(rel);
+                let covered = gold.iter().filter(|t| reachable.contains(*t)).count();
+                assert_eq!(covered, 0, "{rel} at {}", scope.label());
+            }
+        }
+    }
+
+    #[test]
+    fn document_scope_reaches_gold() {
+        let ds = ds();
+        for rel in RELATIONS {
+            let ex = extractor(&ds, rel, ContextScope::Document);
+            let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
+            let gold = ds.gold.tuples(rel);
+            let covered = gold.iter().filter(|t| reachable.contains(*t)).count();
+            assert_eq!(covered, gold.len(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_snp_phenotype_quality() {
+        let ds = ds();
+        let task = Task {
+            extractor: extractor(&ds, "snp_phenotype", ContextScope::Document),
+            lfs: lfs("snp_phenotype"),
+        };
+        let out = run_task(&ds.corpus, &ds.gold, &task, &PipelineConfig::default());
+        assert!(
+            out.metrics.f1 > 0.6,
+            "F1 {} (p={} r={})",
+            out.metrics.f1,
+            out.metrics.precision,
+            out.metrics.recall
+        );
+    }
+}
+
+#[cfg(test)]
+mod ternary_tests {
+    use super::*;
+    use crate::pipeline::{run_task, PipelineConfig};
+    use fonduer_synth::{generate_genomics, GenomicsConfig};
+
+    #[test]
+    fn ternary_relation_end_to_end() {
+        let ds = generate_genomics(&GenomicsConfig {
+            n_docs: 30,
+            ..Default::default()
+        });
+        let task = ternary_task(&ds);
+        assert_eq!(task.extractor.schema.arity(), 3);
+        let out = run_task(&ds.corpus, &ds.gold, &task, &PipelineConfig::default());
+        assert!(!out.candidates.is_empty());
+        assert!(
+            out.metrics.f1 > 0.6,
+            "ternary F1 {} (p={} r={})",
+            out.metrics.f1,
+            out.metrics.precision,
+            out.metrics.recall
+        );
+        // Every KB entry has three arguments.
+        for ((_, args), _) in &out.kb.entries {
+            assert_eq!(args.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Task definitions for the paper's four evaluation applications: matchers,
+//! throttlers, and labeling-function libraries written exactly the way a
+//! Fonduer user would write them (paper Examples 3.3–3.5), but in Rust.
+
+pub mod ads;
+pub mod electronics;
+pub mod genomics;
+pub mod paleo;
+
+use fonduer_candidates::Candidate;
+use fonduer_datamodel::{CellId, ContextRef, Document, Span};
+
+/// Lower-cased words of the cells sharing the span's table row (empty when
+/// the span is not inside a cell). Mirrors Example 3.5's `row_ngrams`.
+pub fn row_words(doc: &Document, span: Span) -> Vec<String> {
+    match doc.cell_of_sentence(span.sentence) {
+        Some(cell) => doc.row_words(cell),
+        None => Vec::new(),
+    }
+}
+
+/// Lower-cased words of the span's column-header cells (Example 3.4's
+/// `header_ngrams`).
+pub fn col_header_words(doc: &Document, span: Span) -> Vec<String> {
+    match doc.cell_of_sentence(span.sentence) {
+        Some(cell) => doc.col_header_words(cell),
+        None => Vec::new(),
+    }
+}
+
+/// Whether the span lives inside a table cell.
+pub fn in_table(doc: &Document, span: Span) -> bool {
+    doc.cell_of_sentence(span.sentence).is_some()
+}
+
+/// Lower-cased words of the span's own sentence.
+pub fn sentence_words(doc: &Document, span: Span) -> Vec<String> {
+    doc.sentence(span.sentence)
+        .words
+        .iter()
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+/// Lemmas of the span's own sentence.
+pub fn sentence_lemmas(doc: &Document, span: Span) -> Vec<String> {
+    doc.sentence(span.sentence)
+        .ling
+        .iter()
+        .map(|l| l.lemma.clone())
+        .collect()
+}
+
+/// Lower-cased caption words of the table containing the span, if any.
+pub fn caption_words(doc: &Document, span: Span) -> Vec<String> {
+    let Some(table) = doc.table_of_sentence(span.sentence) else {
+        return Vec::new();
+    };
+    let Some(cap) = doc.table(table).caption else {
+        return Vec::new();
+    };
+    doc.sentences_in(ContextRef::Caption(cap))
+        .into_iter()
+        .flat_map(|sid| {
+            doc.sentence(sid)
+                .words
+                .iter()
+                .map(|w| w.to_lowercase())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Lower-cased words of the span's whole paragraph (all sibling sentences).
+pub fn paragraph_words(doc: &Document, span: Span) -> Vec<String> {
+    let para = doc.sentence(span.sentence).parent;
+    doc.paragraph(para)
+        .sentences
+        .iter()
+        .flat_map(|&sid| {
+            doc.sentence(sid)
+                .words
+                .iter()
+                .map(|w| w.to_lowercase())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Lemmas visually aligned with the span on its page (empty without a
+/// rendering).
+pub fn aligned_lemmas(doc: &Document, span: Span) -> Vec<String> {
+    let (Some(page), Some(bbox)) = (span.page(doc), span.bbox(doc)) else {
+        return Vec::new();
+    };
+    doc.visually_aligned_lemmas(page, &bbox, span.sentence)
+}
+
+/// Lemmas horizontally aligned with the span (same visual line).
+pub fn h_aligned_lemmas(doc: &Document, span: Span) -> Vec<String> {
+    let (Some(page), Some(bbox)) = (span.page(doc), span.bbox(doc)) else {
+        return Vec::new();
+    };
+    doc.horizontally_aligned_lemmas(page, &bbox, span.sentence)
+}
+
+/// Whether any of `words` appears in `haystack` (all lower-case).
+pub fn any_in(haystack: &[String], words: &[&str]) -> bool {
+    words.iter().any(|w| haystack.iter().any(|h| h == w))
+}
+
+/// Whether all of `words` appear in `haystack`.
+pub fn all_in(haystack: &[String], words: &[&str]) -> bool {
+    words.iter().all(|w| haystack.iter().any(|h| h == w))
+}
+
+/// The cell of a span, if any.
+pub fn cell_of(doc: &Document, span: Span) -> Option<CellId> {
+    doc.cell_of_sentence(span.sentence)
+}
+
+/// Structural tag of the span's sentence.
+pub fn tag_of(doc: &Document, span: Span) -> String {
+    doc.sentence(span.sentence).structural.tag.clone()
+}
+
+/// Numeric values appearing in the span's table row (parsed row words).
+pub fn row_numbers(doc: &Document, span: Span) -> Vec<f64> {
+    row_words(doc, span)
+        .iter()
+        .filter_map(|w| w.parse::<f64>().ok())
+        .collect()
+}
+
+/// Convenience accessors on candidates: the mention span of argument `i`.
+pub fn arg(cand: &Candidate, i: usize) -> Span {
+    cand.mentions[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::DocFormat;
+    use fonduer_parser::{parse_document, ParseOptions};
+
+    fn doc() -> Document {
+        parse_document(
+            "d",
+            r#"<table><caption>Maximum Ratings</caption>
+               <tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>200</td></tr></table>
+               <p>Free text 42 here.</p>"#,
+            DocFormat::Pdf,
+            &ParseOptions::default(),
+        )
+    }
+
+    fn span_of(d: &Document, word: &str) -> Span {
+        for sid in d.sentence_ids() {
+            if let Some(i) = d.sentence(sid).words.iter().position(|w| w == word) {
+                return Span::new(sid, i as u32, i as u32 + 1);
+            }
+        }
+        panic!("{word} missing");
+    }
+
+    #[test]
+    fn helpers_on_table_span() {
+        let d = doc();
+        let v = span_of(&d, "200");
+        assert!(in_table(&d, v));
+        assert!(any_in(&row_words(&d, v), &["current"]));
+        assert!(all_in(&row_words(&d, v), &["collector", "current"]));
+        assert!(any_in(&col_header_words(&d, v), &["value"]));
+        assert!(any_in(&caption_words(&d, v), &["ratings"]));
+        assert_eq!(tag_of(&d, v), "td");
+        assert!(!aligned_lemmas(&d, v).is_empty());
+    }
+
+    #[test]
+    fn helpers_on_text_span() {
+        let d = doc();
+        let t = span_of(&d, "42");
+        assert!(!in_table(&d, t));
+        assert!(row_words(&d, t).is_empty());
+        assert!(caption_words(&d, t).is_empty());
+        assert!(any_in(&sentence_words(&d, t), &["free"]));
+        assert_eq!(tag_of(&d, t), "p");
+    }
+
+    #[test]
+    fn row_numbers_parse() {
+        let d = doc();
+        // The label cell "Collector current" shares a row with "200".
+        let label = span_of(&d, "Collector");
+        assert_eq!(row_numbers(&d, label), vec![200.0]);
+    }
+}

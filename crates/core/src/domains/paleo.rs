@@ -1,0 +1,376 @@
+//! PALEONTOLOGY task definitions: ten relations linking text-borne entities
+//! (taxa, formations) to table-borne facts (measurements, stratigraphy)
+//! across many-page articles (paper §5.1).
+
+use super::*;
+use crate::pipeline::Task;
+use fonduer_candidates::{
+    CandidateExtractor, ContextScope, DictionaryMatcher, FnThrottler, MentionType,
+    NumberRangeMatcher, RelationSchema,
+};
+use fonduer_supervision::{LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
+use fonduer_synth::SynthDataset;
+
+/// Skeletal elements with a measurement relation each.
+pub const ELEMENTS: [&str; 7] = [
+    "femur", "tibia", "skull", "humerus", "ulna", "scapula", "ilium",
+];
+
+/// All ten PALEO relation names.
+pub fn relations() -> Vec<String> {
+    let mut out = vec![
+        "formation_period".to_string(),
+        "formation_location".to_string(),
+        "taxon_formation".to_string(),
+    ];
+    for e in ELEMENTS {
+        out.push(format!("taxon_measurement_{e}"));
+    }
+    out
+}
+
+/// Candidate extractor for one PALEO relation.
+pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> CandidateExtractor {
+    let taxon = || {
+        MentionType::new(
+            "taxon",
+            Box::new(DictionaryMatcher::new(ds.dictionary("taxa"))),
+        )
+    };
+    let formation = || {
+        MentionType::new(
+            "formation",
+            Box::new(DictionaryMatcher::new(ds.dictionary("formations"))),
+        )
+    };
+    match rel {
+        "formation_period" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["formation", "period"]),
+            vec![
+                formation(),
+                MentionType::new(
+                    "period",
+                    Box::new(DictionaryMatcher::new(ds.dictionary("periods"))),
+                ),
+            ],
+        )
+        .with_scope(scope),
+        "formation_location" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["formation", "location"]),
+            vec![
+                formation(),
+                MentionType::new(
+                    "location",
+                    Box::new(DictionaryMatcher::new(ds.dictionary("countries"))),
+                ),
+            ],
+        )
+        .with_scope(scope),
+        "taxon_formation" => CandidateExtractor::new(
+            RelationSchema::new(rel, &["taxon", "formation"]),
+            vec![taxon(), formation()],
+        )
+        .with_scope(scope),
+        _ if rel.starts_with("taxon_measurement_") => CandidateExtractor::new(
+            RelationSchema::new(rel, &["taxon", "value"]),
+            vec![
+                taxon(),
+                MentionType::new("value", Box::new(NumberRangeMatcher::new(100.0, 1600.0))),
+            ],
+        )
+        .with_scope(scope)
+        // Measurements only occur inside tables; prune free-text numbers
+        // (specimen ids, years, coordinates).
+        .with_throttler(Box::new(FnThrottler(
+            |doc: &Document, cand: &Candidate| in_table(doc, arg(cand, 1)),
+        ))),
+        other => panic!("unknown PALEO relation {other}"),
+    }
+}
+
+/// Labeling functions for one PALEO relation.
+pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
+    let mut out: Vec<LabelingFunction> = Vec::new();
+    if let Some(element) = rel.strip_prefix("taxon_measurement_") {
+        let element: &'static str = ELEMENTS
+            .iter()
+            .find(|e| **e == element)
+            .expect("known element");
+        // LFs for document-level relations are written over the *candidate*
+        // — conjunctions across both mentions — because each side alone is
+        // uninformative (the title taxon pairs with every number in the
+        // document). This mirrors how the paper's users combine modalities
+        // in one function (§6).
+        out.push(LabelingFunction::new(
+            format!("{rel}:element_row_with_focal_taxon"),
+            Modality::Tabular,
+            move |doc: &Document, cand: &Candidate| {
+                let row = row_words(doc, arg(cand, 1));
+                if row.is_empty() || !any_in(&row, &[element]) {
+                    return FALSE; // value not in this element's row
+                }
+                // Right row; require the taxon side to look focal.
+                if tag_of(doc, arg(cand, 0)) == "h1" {
+                    TRUE
+                } else {
+                    ABSTAIN
+                }
+            },
+        ));
+        out.push(LabelingFunction::new(
+            format!("{rel}:holotype_taxon_with_element_row"),
+            Modality::Textual,
+            move |doc: &Document, cand: &Candidate| {
+                let w = paragraph_words(doc, arg(cand, 0));
+                if !any_in(&w, &["holotype"]) {
+                    return ABSTAIN;
+                }
+                let row = row_words(doc, arg(cand, 1));
+                let cap = caption_words(doc, arg(cand, 1));
+                if any_in(&row, &[element]) && !any_in(&cap, &["comparative"]) {
+                    TRUE
+                } else {
+                    ABSTAIN
+                }
+            },
+        ));
+        out.push(LabelingFunction::new(
+            format!("{rel}:strat_rows"),
+            Modality::Tabular,
+            |doc: &Document, cand: &Candidate| {
+                let row = row_words(doc, arg(cand, 1));
+                if any_in(&row, &["thickness", "stage", "region"]) {
+                    FALSE
+                } else {
+                    ABSTAIN
+                }
+            },
+        ));
+        out.push(LabelingFunction::new(
+            format!("{rel}:comparative_caption"),
+            Modality::Tabular,
+            |doc: &Document, cand: &Candidate| {
+                let cap = caption_words(doc, arg(cand, 1));
+                if any_in(&cap, &["comparative"]) {
+                    FALSE
+                } else {
+                    ABSTAIN
+                }
+            },
+        ));
+        out.push(LabelingFunction::new(
+            format!("{rel}:caption_names_taxon"),
+            Modality::Tabular,
+            move |doc: &Document, cand: &Candidate| {
+                // The rare documents whose measurement caption names the
+                // taxon directly (genus word match).
+                let row = row_words(doc, arg(cand, 1));
+                let cap = caption_words(doc, arg(cand, 1));
+                let taxon = arg(cand, 0);
+                let genus = doc.sentence(taxon.sentence).words[taxon.start as usize].to_lowercase();
+                if cap.contains(&genus) && any_in(&row, &[element]) {
+                    TRUE
+                } else {
+                    ABSTAIN
+                }
+            },
+        ));
+        out.push(LabelingFunction::new(
+            format!("{rel}:comparison_taxon"),
+            Modality::Textual,
+            |doc: &Document, cand: &Candidate| {
+                let w = sentence_lemmas(doc, arg(cand, 0));
+                if any_in(&w, &["relative", "compare", "compared"]) {
+                    FALSE
+                } else {
+                    ABSTAIN
+                }
+            },
+        ));
+        out.push(LabelingFunction::new(
+            format!("{rel}:value_early_page"),
+            Modality::Visual,
+            |doc: &Document, cand: &Candidate| {
+                // Measurement tables live deep in the article; numbers on
+                // page 1 (abstract, geology) are not measurements.
+                match arg(cand, 1).page(doc) {
+                    Some(1) => FALSE,
+                    _ => ABSTAIN,
+                }
+            },
+        ));
+        return out;
+    }
+    match rel {
+        "formation_period" => {
+            out.push(LabelingFunction::new(
+                "formation_period:stage_row",
+                Modality::Tabular,
+                |doc: &Document, cand: &Candidate| {
+                    let row = row_words(doc, arg(cand, 1));
+                    if row.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&row, &["stage"]) {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "formation_period:collected_text",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 0));
+                    if any_in(&w, &["collect", "collected", "exposure"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "formation_location" => {
+            out.push(LabelingFunction::new(
+                "formation_location:region_row",
+                Modality::Tabular,
+                |doc: &Document, cand: &Candidate| {
+                    let row = row_words(doc, arg(cand, 1));
+                    if row.is_empty() {
+                        ABSTAIN
+                    } else if any_in(&row, &["region"]) {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "formation_location:collected_text",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 0));
+                    if any_in(&w, &["collect", "collected", "exposure"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        "taxon_formation" => {
+            out.push(LabelingFunction::new(
+                "taxon_formation:taxon_in_title",
+                Modality::Structural,
+                |doc: &Document, cand: &Candidate| {
+                    if tag_of(doc, arg(cand, 0)) == "h1" {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "taxon_formation:comparison_taxon",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 0));
+                    if any_in(&w, &["relative", "compare", "compared"]) {
+                        FALSE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+            out.push(LabelingFunction::new(
+                "taxon_formation:collected_from",
+                Modality::Textual,
+                |doc: &Document, cand: &Candidate| {
+                    let w = sentence_lemmas(doc, arg(cand, 1));
+                    if any_in(&w, &["collect", "collected", "exposure"]) {
+                        TRUE
+                    } else {
+                        ABSTAIN
+                    }
+                },
+            ));
+        }
+        other => panic!("unknown PALEO relation {other}"),
+    }
+    out
+}
+
+/// The complete PALEO tasks at document scope.
+pub fn tasks(ds: &SynthDataset) -> Vec<Task> {
+    relations()
+        .iter()
+        .map(|rel| Task {
+            extractor: extractor(ds, rel, ContextScope::Document),
+            lfs: lfs(rel),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_task, PipelineConfig};
+    use fonduer_synth::{generate_paleo, PaleoConfig};
+
+    fn ds() -> SynthDataset {
+        generate_paleo(&PaleoConfig {
+            n_docs: 40,
+            filler_paragraphs: 25,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ten_tasks_defined() {
+        let ds = ds();
+        assert_eq!(tasks(&ds).len(), 10);
+        assert_eq!(relations().len(), 10);
+    }
+
+    #[test]
+    fn document_scope_reaches_gold() {
+        let ds = ds();
+        for rel in ["taxon_measurement_femur", "formation_period", "taxon_formation"] {
+            let ex = extractor(&ds, rel, ContextScope::Document);
+            let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
+            let gold = ds.gold.tuples(rel);
+            let covered = gold.iter().filter(|t| reachable.contains(*t)).count();
+            assert_eq!(covered, gold.len(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn sentence_scope_reaches_nothing() {
+        let ds = ds();
+        for rel in ["taxon_measurement_femur", "formation_period"] {
+            let ex = extractor(&ds, rel, ContextScope::Sentence);
+            let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
+            let gold = ds.gold.tuples(rel);
+            let covered = gold.iter().filter(|t| reachable.contains(*t)).count();
+            assert_eq!(covered, 0, "{rel}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_femur_quality() {
+        let ds = ds();
+        let rel = "taxon_measurement_femur";
+        let task = Task {
+            extractor: extractor(&ds, rel, ContextScope::Document),
+            lfs: lfs(rel),
+        };
+        let out = run_task(&ds.corpus, &ds.gold, &task, &PipelineConfig::default());
+        assert!(
+            out.metrics.f1 > 0.4,
+            "F1 {} (p={} r={})",
+            out.metrics.f1,
+            out.metrics.precision,
+            out.metrics.recall
+        );
+    }
+}

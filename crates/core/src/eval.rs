@@ -1,0 +1,238 @@
+//! Evaluation: precision/recall/F1 against gold tuples, oracle upper
+//! bounds (Table 2), and existing-KB comparison metrics (Table 3).
+
+use fonduer_synth::{ExistingKb, GoldKb};
+use std::collections::BTreeSet;
+
+/// A `(doc, args)` tuple in normalized form.
+pub type Tuple = (String, Vec<String>);
+
+/// Precision / recall / F1 with raw counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl PrF1 {
+    /// Compute from counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+            tp,
+            fp,
+            fn_,
+        }
+    }
+
+    /// The zero score.
+    pub fn zero() -> Self {
+        Self::from_counts(0, 0, 0)
+    }
+}
+
+/// Score a predicted tuple set against a gold tuple set.
+pub fn eval_tuples(pred: &BTreeSet<Tuple>, gold: &BTreeSet<Tuple>) -> PrF1 {
+    let tp = pred.intersection(gold).count();
+    let fp = pred.len() - tp;
+    let fn_ = gold.len() - tp;
+    PrF1::from_counts(tp, fp, fn_)
+}
+
+/// Gold tuples of one relation restricted to a document subset.
+pub fn gold_tuples_for_docs(
+    gold: &GoldKb,
+    relation: &str,
+    docs: &BTreeSet<String>,
+) -> BTreeSet<Tuple> {
+    gold.tuples(relation)
+        .iter()
+        .filter(|(d, _)| docs.contains(d))
+        .cloned()
+        .collect()
+}
+
+/// Oracle upper bound (Table 2's comparison method): given the tuples
+/// *reachable* by a candidate-generation technique, assume a perfect filter
+/// (precision = 1.0) and report the resulting metrics.
+pub fn oracle_upper_bound(reachable: &BTreeSet<Tuple>, gold: &BTreeSet<Tuple>) -> PrF1 {
+    let tp = reachable.intersection(gold).count();
+    let fn_ = gold.len() - tp;
+    // Precision fixed at 1.0 by assumption (unless nothing is reachable).
+    if tp == 0 {
+        return PrF1 {
+            precision: if reachable.is_empty() { 0.0 } else { 1.0 },
+            recall: 0.0,
+            f1: 0.0,
+            tp: 0,
+            fp: 0,
+            fn_,
+        };
+    }
+    PrF1::from_counts(tp, 0, fn_)
+}
+
+/// Table 3 row: comparison of an extracted KB against an existing curated
+/// KB, with gold as the accuracy referee.
+#[derive(Debug, Clone)]
+pub struct KbComparison {
+    /// Existing-KB name.
+    pub kb_name: String,
+    /// `# Entries in KB`.
+    pub kb_entries: usize,
+    /// `# Entries in Fonduer` (correct or not).
+    pub fonduer_entries: usize,
+    /// Fraction of KB entries that Fonduer also extracted.
+    pub coverage: f64,
+    /// Fraction of Fonduer's entries that are correct per gold.
+    pub accuracy: f64,
+    /// Correct Fonduer entries absent from the existing KB.
+    pub new_correct: usize,
+    /// Correct Fonduer entries ÷ KB size.
+    pub increase: f64,
+}
+
+/// Compare entity-level extracted entries against an existing KB
+/// (Table 3). `extracted` are deduplicated argument tuples; `gold_entities`
+/// is the full set of true entries.
+pub fn compare_with_existing_kb(
+    extracted: &BTreeSet<Vec<String>>,
+    gold_entities: &BTreeSet<Vec<String>>,
+    kb: &ExistingKb,
+) -> KbComparison {
+    let covered = kb.entries.iter().filter(|e| extracted.contains(*e)).count();
+    let correct: BTreeSet<&Vec<String>> = extracted
+        .iter()
+        .filter(|e| gold_entities.contains(*e))
+        .collect();
+    let new_correct = correct.iter().filter(|e| !kb.entries.contains(**e)).count();
+    KbComparison {
+        kb_name: kb.name.clone(),
+        kb_entries: kb.len(),
+        fonduer_entries: extracted.len(),
+        coverage: if kb.is_empty() {
+            0.0
+        } else {
+            covered as f64 / kb.len() as f64
+        },
+        accuracy: if extracted.is_empty() {
+            0.0
+        } else {
+            correct.len() as f64 / extracted.len() as f64
+        },
+        new_correct,
+        increase: if kb.is_empty() {
+            0.0
+        } else {
+            correct.len() as f64 / kb.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(doc: &str, args: &[&str]) -> Tuple {
+        (doc.into(), args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn prf1_math() {
+        let m = PrF1::from_counts(8, 2, 2);
+        assert!((m.precision - 0.8).abs() < 1e-9);
+        assert!((m.recall - 0.8).abs() < 1e-9);
+        assert!((m.f1 - 0.8).abs() < 1e-9);
+        let z = PrF1::zero();
+        assert_eq!(z.f1, 0.0);
+    }
+
+    #[test]
+    fn tuple_eval() {
+        let pred: BTreeSet<Tuple> = [t("d1", &["a", "1"]), t("d1", &["b", "2"])].into();
+        let gold: BTreeSet<Tuple> = [t("d1", &["a", "1"]), t("d2", &["c", "3"])].into();
+        let m = eval_tuples(&pred, &gold);
+        assert_eq!((m.tp, m.fp, m.fn_), (1, 1, 1));
+        assert!((m.precision - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_assumes_perfect_precision() {
+        let reach: BTreeSet<Tuple> = [t("d", &["a"]), t("d", &["b"])].into();
+        let gold: BTreeSet<Tuple> = [t("d", &["a"]), t("d", &["c"]), t("d", &["e"])].into();
+        let m = oracle_upper_bound(&reach, &gold);
+        assert_eq!(m.precision, 1.0);
+        assert!((m.recall - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.fp, 0);
+        // Nothing reachable → all-zero row (the paper's 0.00# cells).
+        let empty = oracle_upper_bound(&BTreeSet::new(), &gold);
+        assert_eq!(empty.precision, 0.0);
+        assert_eq!(empty.f1, 0.0);
+    }
+
+    #[test]
+    fn kb_comparison_metrics() {
+        let extracted: BTreeSet<Vec<String>> = [
+            vec!["a".into(), "1".into()],
+            vec!["b".into(), "2".into()],
+            vec!["x".into(), "9".into()], // wrong entry
+        ]
+        .into();
+        let gold: BTreeSet<Vec<String>> = [
+            vec!["a".into(), "1".into()],
+            vec!["b".into(), "2".into()],
+            vec!["c".into(), "3".into()],
+        ]
+        .into();
+        let kb = ExistingKb {
+            name: "KB".into(),
+            relation: "r".into(),
+            entries: [vec!["a".into(), "1".into()], vec!["c".into(), "3".into()]].into(),
+        };
+        let cmp = compare_with_existing_kb(&extracted, &gold, &kb);
+        assert_eq!(cmp.kb_entries, 2);
+        assert_eq!(cmp.fonduer_entries, 3);
+        assert!((cmp.coverage - 0.5).abs() < 1e-9); // found a/1, missed c/3
+        assert!((cmp.accuracy - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cmp.new_correct, 1); // b/2
+        assert!((cmp.increase - 1.0).abs() < 1e-9); // 2 correct / 2 KB
+    }
+
+    #[test]
+    fn gold_filter_by_docs() {
+        let mut g = GoldKb::new();
+        g.add("r", "d1", &["a"]);
+        g.add("r", "d2", &["b"]);
+        let docs: BTreeSet<String> = ["d1".to_string()].into();
+        let tuples = gold_tuples_for_docs(&g, "r", &docs);
+        assert_eq!(tuples.len(), 1);
+        assert!(tuples.contains(&t("d1", &["a"])));
+    }
+}

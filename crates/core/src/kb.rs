@@ -1,0 +1,133 @@
+//! The output knowledge base: relation mentions classified "True", stored
+//! in a relational form (paper §2.1: "The output of the system is a
+//! relational database containing facts extracted from the input").
+
+use crate::eval::Tuple;
+use std::collections::BTreeSet;
+
+/// One extracted relation's table.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    /// Relation name.
+    pub relation: String,
+    /// Argument names (column headers).
+    pub arg_names: Vec<String>,
+    /// Extracted `(doc, args)` tuples with their marginal probabilities.
+    pub entries: Vec<(Tuple, f32)>,
+}
+
+impl KnowledgeBase {
+    /// Build from classified candidates: keep tuples whose marginal exceeds
+    /// `threshold`, deduplicating per `(doc, args)` and keeping the highest
+    /// marginal.
+    pub fn from_marginals(
+        relation: &str,
+        arg_names: &[String],
+        tuples: impl IntoIterator<Item = (Tuple, f32)>,
+        threshold: f32,
+    ) -> Self {
+        let mut best: std::collections::BTreeMap<Tuple, f32> = Default::default();
+        for (t, p) in tuples {
+            if p >= threshold {
+                let e = best.entry(t).or_insert(p);
+                if p > *e {
+                    *e = p;
+                }
+            }
+        }
+        Self {
+            relation: relation.to_string(),
+            arg_names: arg_names.to_vec(),
+            entries: best.into_iter().collect(),
+        }
+    }
+
+    /// Distinct `(doc, args)` tuples.
+    pub fn tuple_set(&self) -> BTreeSet<Tuple> {
+        self.entries.iter().map(|(t, _)| t.clone()).collect()
+    }
+
+    /// Entity-level entries: distinct argument tuples across documents
+    /// (Table 3 granularity).
+    pub fn entity_entries(&self) -> BTreeSet<Vec<String>> {
+        self.entries.iter().map(|((_, args), _)| args.clone()).collect()
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the KB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render as TSV (header + rows), the relational output format.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("doc\t");
+        out.push_str(&self.arg_names.join("\t"));
+        out.push_str("\tmarginal\n");
+        for ((doc, args), p) in &self.entries {
+            out.push_str(doc);
+            for a in args {
+                out.push('\t');
+                out.push_str(a);
+            }
+            out.push_str(&format!("\t{p:.3}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(doc: &str, args: &[&str]) -> Tuple {
+        (doc.into(), args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn threshold_and_dedup() {
+        let kb = KnowledgeBase::from_marginals(
+            "r",
+            &["part".into(), "current".into()],
+            vec![
+                (t("d1", &["a", "1"]), 0.9),
+                (t("d1", &["a", "1"]), 0.7), // duplicate, lower marginal
+                (t("d1", &["b", "2"]), 0.3), // below threshold
+            ],
+            0.5,
+        );
+        assert_eq!(kb.len(), 1);
+        assert_eq!(kb.entries[0].1, 0.9);
+        assert_eq!(kb.entity_entries().len(), 1);
+    }
+
+    #[test]
+    fn entity_entries_collapse_docs() {
+        let kb = KnowledgeBase::from_marginals(
+            "r",
+            &["x".into()],
+            vec![(t("d1", &["a"]), 0.9), (t("d2", &["a"]), 0.8)],
+            0.5,
+        );
+        assert_eq!(kb.len(), 2);
+        assert_eq!(kb.entity_entries().len(), 1);
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let kb = KnowledgeBase::from_marginals(
+            "r",
+            &["part".into(), "current".into()],
+            vec![(t("d1", &["smbt3904", "200"]), 0.95)],
+            0.5,
+        );
+        let tsv = kb.to_tsv();
+        assert!(tsv.starts_with("doc\tpart\tcurrent\tmarginal\n"));
+        assert!(tsv.contains("d1\tsmbt3904\t200\t0.950"));
+    }
+}

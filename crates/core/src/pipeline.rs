@@ -1,0 +1,312 @@
+//! The three-phase Fonduer pipeline (paper Figure 2): KBC initialization →
+//! candidate generation → multimodal featurization, supervision, and
+//! classification.
+
+use crate::eval::{eval_tuples, gold_tuples_for_docs, PrF1, Tuple};
+use crate::kb::KnowledgeBase;
+use fonduer_candidates::{CandidateExtractor, CandidateSet};
+use fonduer_datamodel::Corpus;
+use fonduer_features::{FeatureConfig, Featurizer};
+use fonduer_learning::{prepare, FonduerModel, LogRegModel, ModelConfig, ProbClassifier};
+use fonduer_nlp::{fnv1a, HashedVocab};
+use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction};
+use fonduer_synth::GoldKb;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// A complete KBC task: the user inputs of all three phases.
+pub struct Task {
+    /// Candidate generation (schema + matchers + throttlers + scope).
+    pub extractor: CandidateExtractor,
+    /// Labeling functions for weak supervision.
+    pub lfs: Vec<LabelingFunction>,
+}
+
+/// Which discriminative learner classifies candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Learner {
+    /// Fonduer's multimodal LSTM (configured via [`ModelConfig`]).
+    MultimodalLstm,
+    /// Sparse logistic regression over the explicit feature matrix (the
+    /// human-tuned / SRV baselines).
+    LogReg,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Discriminative learner selection.
+    pub learner: Learner,
+    /// Neural model hyperparameters (for [`Learner::MultimodalLstm`]).
+    pub model: ModelConfig,
+    /// Feature-library modalities. Fonduer's default excludes textual
+    /// features from the explicit library because the LSTM learns them.
+    pub features: FeatureConfig,
+    /// Generative-model options.
+    pub gen_opts: GenerativeOptions,
+    /// Classification threshold over marginals (§3.2 "Classification").
+    pub threshold: f32,
+    /// Hashed word-vocabulary size.
+    pub vocab_size: usize,
+    /// Sentence window (tokens each side of a mention).
+    pub window: usize,
+    /// Fraction of documents assigned to the training split.
+    pub train_frac: f64,
+    /// Split-hash seed.
+    pub seed: u64,
+    /// Worker threads for candidate generation and featurization (documents
+    /// are independent units of work). 1 = sequential.
+    pub n_threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            learner: Learner::MultimodalLstm,
+            model: ModelConfig::default(),
+            features: FeatureConfig {
+                textual: false,
+                structural: true,
+                tabular: true,
+                visual: true,
+            },
+            gen_opts: GenerativeOptions::default(),
+            threshold: 0.5,
+            vocab_size: 2048,
+            window: 6,
+            train_frac: 0.7,
+            seed: 1,
+            n_threads: 1,
+        }
+    }
+}
+
+/// Wall-clock stage timings in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Candidate generation.
+    pub candgen_ms: u128,
+    /// Multimodal featurization.
+    pub featurize_ms: u128,
+    /// LF application + generative model.
+    pub supervise_ms: u128,
+    /// Discriminative training.
+    pub train_ms: u128,
+    /// Inference over all candidates.
+    pub infer_ms: u128,
+}
+
+impl Timings {
+    /// Total pipeline time.
+    pub fn total_ms(&self) -> u128 {
+        self.candgen_ms + self.featurize_ms + self.supervise_ms + self.train_ms + self.infer_ms
+    }
+}
+
+/// Everything the pipeline produces.
+pub struct PipelineOutput {
+    /// All extracted candidates.
+    pub candidates: CandidateSet,
+    /// Marginal P(true) per candidate (aligned with `candidates`).
+    pub marginals: Vec<f32>,
+    /// The output knowledge base (all documents).
+    pub kb: KnowledgeBase,
+    /// Documents in the training split.
+    pub train_docs: BTreeSet<String>,
+    /// Documents in the held-out split.
+    pub test_docs: BTreeSet<String>,
+    /// Quality on the held-out split against gold.
+    pub metrics: PrF1,
+    /// Fraction of training candidates with at least one LF label.
+    pub label_coverage: f64,
+    /// Stage timings.
+    pub timings: Timings,
+}
+
+/// Assign a document to the training split by name hash.
+pub fn is_train_doc(name: &str, train_frac: f64, seed: u64) -> bool {
+    let mut key = name.as_bytes().to_vec();
+    key.extend_from_slice(&seed.to_le_bytes());
+    let h = fnv1a(&key) % 10_000;
+    (h as f64 / 10_000.0) < train_frac
+}
+
+/// Run the full pipeline for one task on one corpus, evaluating against
+/// `gold` on the held-out document split.
+pub fn run_task(corpus: &Corpus, gold: &GoldKb, task: &Task, cfg: &PipelineConfig) -> PipelineOutput {
+    // Phase 2: candidate generation.
+    let t0 = Instant::now();
+    let candidates = task.extractor.extract_parallel(corpus, cfg.n_threads);
+    let candgen_ms = t0.elapsed().as_millis();
+
+    // Split documents.
+    let mut train_docs = BTreeSet::new();
+    let mut test_docs = BTreeSet::new();
+    for (_, doc) in corpus.iter() {
+        if is_train_doc(&doc.name, cfg.train_frac, cfg.seed) {
+            train_docs.insert(doc.name.clone());
+        } else {
+            test_docs.insert(doc.name.clone());
+        }
+    }
+
+    // Phase 3a: multimodal featurization.
+    let t0 = Instant::now();
+    let feats = Featurizer::new(cfg.features).featurize_parallel(corpus, &candidates, cfg.n_threads);
+    let featurize_ms = t0.elapsed().as_millis();
+    let vocab = HashedVocab::new(cfg.vocab_size);
+    let dataset = prepare(corpus, &candidates, &feats, &vocab, cfg.window);
+
+    // Phase 3b: supervision on the training split.
+    let t0 = Instant::now();
+    let train_idx: Vec<usize> = candidates
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
+        .map(|(i, _)| i)
+        .collect();
+    let train_subset = CandidateSet {
+        schema: candidates.schema.clone(),
+        candidates: train_idx
+            .iter()
+            .map(|&i| candidates.candidates[i].clone())
+            .collect(),
+    };
+    let lf_refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+    let label_matrix = LabelMatrix::apply(&lf_refs, corpus, &train_subset);
+    let gen = GenerativeModel::fit(&label_matrix, &cfg.gen_opts);
+    let train_marginals = gen.predict(&label_matrix);
+    let label_coverage = label_matrix.total_coverage();
+    let supervise_ms = t0.elapsed().as_millis();
+
+    // Keep only candidates some LF labeled (Snorkel's behavior).
+    let mut train_inputs = Vec::new();
+    let mut train_targets = Vec::new();
+    for (k, &i) in train_idx.iter().enumerate() {
+        if label_matrix.row(k).iter().any(|&v| v != 0) {
+            train_inputs.push(dataset.inputs[i].clone());
+            train_targets.push(train_marginals[k] as f32);
+        }
+    }
+
+    // Phase 3c: discriminative training + classification.
+    let t0 = Instant::now();
+    let mut model: Box<dyn ProbClassifier> = match cfg.learner {
+        Learner::MultimodalLstm => Box::new(FonduerModel::new(
+            cfg.model.clone(),
+            dataset.vocab_size,
+            dataset.n_features,
+            dataset.arity,
+        )),
+        Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
+    };
+    model.fit(&train_inputs, &train_targets);
+    let train_ms = t0.elapsed().as_millis();
+    let t1 = Instant::now();
+    let marginals = model.predict(&dataset.inputs);
+    let infer_ms = t1.elapsed().as_millis();
+    finish(
+        corpus,
+        gold,
+        candidates,
+        marginals,
+        cfg,
+        train_docs,
+        test_docs,
+        label_coverage,
+        Timings {
+            candgen_ms,
+            featurize_ms,
+            supervise_ms,
+            train_ms,
+            infer_ms,
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    corpus: &Corpus,
+    gold: &GoldKb,
+    candidates: CandidateSet,
+    marginals: Vec<f32>,
+    cfg: &PipelineConfig,
+    train_docs: BTreeSet<String>,
+    test_docs: BTreeSet<String>,
+    label_coverage: f64,
+    timings: Timings,
+) -> PipelineOutput {
+    let relation = candidates.schema.name.clone();
+    let arg_names = candidates.schema.arg_names.clone();
+    let tuples_with_p: Vec<(Tuple, f32)> = candidates
+        .candidates
+        .iter()
+        .zip(&marginals)
+        .map(|(c, &p)| {
+            let doc = corpus.doc(c.doc);
+            ((doc.name.clone(), c.arg_texts(doc)), p)
+        })
+        .collect();
+    let kb = KnowledgeBase::from_marginals(&relation, &arg_names, tuples_with_p.clone(), cfg.threshold);
+    // Held-out evaluation.
+    let pred_test: BTreeSet<Tuple> = tuples_with_p
+        .iter()
+        .filter(|((d, _), p)| *p >= cfg.threshold && test_docs.contains(d))
+        .map(|(t, _)| t.clone())
+        .collect();
+    let gold_test = gold_tuples_for_docs(gold, &relation, &test_docs);
+    let metrics = eval_tuples(&pred_test, &gold_test);
+    PipelineOutput {
+        candidates,
+        marginals,
+        kb,
+        train_docs,
+        test_docs,
+        metrics,
+        label_coverage,
+        timings,
+    }
+}
+
+/// Reachable-tuple set of a candidate extractor: the distinct `(doc,
+/// normalized args)` pairs it can produce. Used for the oracle upper bounds
+/// of Table 2 and the context-scope study of Figure 6.
+pub fn reachable_tuples(corpus: &Corpus, extractor: &CandidateExtractor) -> BTreeSet<Tuple> {
+    let set = extractor.extract(corpus);
+    set.candidates
+        .iter()
+        .map(|c| {
+            let doc = corpus.doc(c.doc);
+            (doc.name.clone(), c.arg_texts(doc))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_deterministic_and_roughly_fractional() {
+        let names: Vec<String> = (0..1000).map(|i| format!("doc_{i}")).collect();
+        let train = names
+            .iter()
+            .filter(|n| is_train_doc(n, 0.7, 1))
+            .count();
+        assert!((600..800).contains(&train), "{train}");
+        for n in &names {
+            assert_eq!(is_train_doc(n, 0.7, 1), is_train_doc(n, 0.7, 1));
+        }
+        // Different seed gives a different split.
+        let set1: BTreeSet<&String> = names.iter().filter(|n| is_train_doc(n, 0.7, 1)).collect();
+        let set2: BTreeSet<&String> = names.iter().filter(|n| is_train_doc(n, 0.7, 2)).collect();
+        assert_ne!(set1, set2);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        assert!(!is_train_doc("a", 0.0, 1));
+        assert!(is_train_doc("a", 1.0, 1));
+    }
+}

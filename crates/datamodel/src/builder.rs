@@ -1,0 +1,404 @@
+//! Incremental construction of [`Document`]s.
+//!
+//! Parsers and corpus generators build documents top-down: open a section,
+//! add text blocks / tables / figures, fill paragraphs with sentences. The
+//! builder wires all parent/child links and grid membership (row and column
+//! cell lists) so that invariants checked by [`crate::validate`] hold by
+//! construction.
+
+use crate::attrs::{DocFormat, Structural, WordLinguistic, WordVisual};
+use crate::document::*;
+use crate::ids::*;
+
+/// Everything needed to append one sentence. Produced by NLP preprocessing
+/// (see `fonduer-nlp`) or synthesized directly in tests.
+#[derive(Debug, Clone, Default)]
+pub struct SentenceData {
+    /// Full sentence text.
+    pub text: String,
+    /// Tokenized words.
+    pub words: Vec<String>,
+    /// Byte offsets of each word in `text`.
+    pub char_offsets: Vec<(u32, u32)>,
+    /// Per-word linguistic attributes; if shorter than `words` it is padded
+    /// with defaults.
+    pub ling: Vec<WordLinguistic>,
+    /// Per-word visual attributes, if the document has a rendering.
+    pub visual: Option<Vec<WordVisual>>,
+    /// Structural attributes of the sentence.
+    pub structural: Structural,
+}
+
+impl SentenceData {
+    /// Build sentence data from raw words with whitespace joining and
+    /// default linguistic attributes. Convenient for tests.
+    pub fn from_words<S: AsRef<str>>(words: &[S]) -> Self {
+        let mut text = String::new();
+        let mut offsets = Vec::with_capacity(words.len());
+        for (i, w) in words.iter().enumerate() {
+            if i > 0 {
+                text.push(' ');
+            }
+            let start = text.len() as u32;
+            text.push_str(w.as_ref());
+            offsets.push((start, text.len() as u32));
+        }
+        let words: Vec<String> = words.iter().map(|w| w.as_ref().to_string()).collect();
+        let ling = words
+            .iter()
+            .map(|w| WordLinguistic {
+                pos: "X".into(),
+                lemma: w.to_lowercase(),
+                ner: "O".into(),
+            })
+            .collect();
+        Self {
+            text,
+            words,
+            char_offsets: offsets,
+            ling,
+            visual: None,
+            structural: Structural::default(),
+        }
+    }
+}
+
+/// Builder for [`Document`]. See module docs.
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    doc: Document,
+}
+
+impl DocumentBuilder {
+    /// Start building a document.
+    pub fn new(name: impl Into<String>, format: DocFormat) -> Self {
+        Self {
+            doc: Document::new(name, format),
+        }
+    }
+
+    /// The format declared at construction.
+    pub fn format(&self) -> DocFormat {
+        self.doc.format
+    }
+
+    /// Append a new section.
+    pub fn section(&mut self) -> SectionId {
+        let id = SectionId::from_usize(self.doc.sections.len());
+        self.doc.sections.push(Section {
+            position: id.0,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Append a text block to `section`.
+    pub fn text_block(&mut self, section: SectionId) -> TextBlockId {
+        let id = TextBlockId::from_usize(self.doc.text_blocks.len());
+        let position = self.doc.sections[section.index()].children.len() as u32;
+        self.doc.text_blocks.push(TextBlock {
+            parent: section,
+            position,
+            paragraphs: Vec::new(),
+        });
+        self.doc.sections[section.index()]
+            .children
+            .push(ContextRef::TextBlock(id));
+        id
+    }
+
+    /// Append a table with an `n_rows` × `n_cols` grid to `section`. Row and
+    /// column contexts are created eagerly; cells are added with
+    /// [`DocumentBuilder::cell`].
+    pub fn table(&mut self, section: SectionId, n_rows: u32, n_cols: u32) -> TableId {
+        let id = TableId::from_usize(self.doc.tables.len());
+        let position = self.doc.sections[section.index()].children.len() as u32;
+        let mut rows = Vec::with_capacity(n_rows as usize);
+        for r in 0..n_rows {
+            let rid = RowId::from_usize(self.doc.rows.len());
+            self.doc.rows.push(Row {
+                table: id,
+                index: r,
+                cells: Vec::new(),
+            });
+            rows.push(rid);
+        }
+        let mut columns = Vec::with_capacity(n_cols as usize);
+        for c in 0..n_cols {
+            let cid = ColumnId::from_usize(self.doc.columns.len());
+            self.doc.columns.push(Column {
+                table: id,
+                index: c,
+                cells: Vec::new(),
+            });
+            columns.push(cid);
+        }
+        self.doc.tables.push(Table {
+            parent: section,
+            position,
+            n_rows,
+            n_cols,
+            rows,
+            columns,
+            cells: Vec::new(),
+            caption: None,
+        });
+        self.doc.sections[section.index()]
+            .children
+            .push(ContextRef::Table(id));
+        id
+    }
+
+    /// Append a figure to `section`.
+    pub fn figure(&mut self, section: SectionId, src: impl Into<String>) -> FigureId {
+        let id = FigureId::from_usize(self.doc.figures.len());
+        let position = self.doc.sections[section.index()].children.len() as u32;
+        self.doc.figures.push(Figure {
+            parent: section,
+            position,
+            src: src.into(),
+            caption: None,
+        });
+        self.doc.sections[section.index()]
+            .children
+            .push(ContextRef::Figure(id));
+        id
+    }
+
+    /// Attach a caption to a table.
+    pub fn table_caption(&mut self, table: TableId) -> CaptionId {
+        let id = CaptionId::from_usize(self.doc.captions.len());
+        self.doc.captions.push(Caption {
+            parent: ContextRef::Table(table),
+            paragraphs: Vec::new(),
+        });
+        self.doc.tables[table.index()].caption = Some(id);
+        id
+    }
+
+    /// Attach a caption to a figure.
+    pub fn figure_caption(&mut self, figure: FigureId) -> CaptionId {
+        let id = CaptionId::from_usize(self.doc.captions.len());
+        self.doc.captions.push(Caption {
+            parent: ContextRef::Figure(figure),
+            paragraphs: Vec::new(),
+        });
+        self.doc.figures[figure.index()].caption = Some(id);
+        id
+    }
+
+    /// Add a cell covering grid rows `row_start..=row_end` and columns
+    /// `col_start..=col_end` (inclusive, allowing spanning cells).
+    ///
+    /// # Panics
+    /// Panics if the span lies outside the table grid or is inverted.
+    pub fn cell(
+        &mut self,
+        table: TableId,
+        row_start: u32,
+        row_end: u32,
+        col_start: u32,
+        col_end: u32,
+    ) -> CellId {
+        let t = &self.doc.tables[table.index()];
+        assert!(
+            row_start <= row_end && row_end < t.n_rows,
+            "cell row span {row_start}..={row_end} outside grid of {} rows",
+            t.n_rows
+        );
+        assert!(
+            col_start <= col_end && col_end < t.n_cols,
+            "cell col span {col_start}..={col_end} outside grid of {} cols",
+            t.n_cols
+        );
+        let id = CellId::from_usize(self.doc.cells.len());
+        let row_ids: Vec<RowId> = (row_start..=row_end)
+            .map(|r| t.rows[r as usize])
+            .collect();
+        let col_ids: Vec<ColumnId> = (col_start..=col_end)
+            .map(|c| t.columns[c as usize])
+            .collect();
+        self.doc.cells.push(Cell {
+            table,
+            row_start,
+            row_end,
+            col_start,
+            col_end,
+            paragraphs: Vec::new(),
+        });
+        self.doc.tables[table.index()].cells.push(id);
+        for rid in row_ids {
+            self.doc.rows[rid.index()].cells.push(id);
+        }
+        for cid in col_ids {
+            self.doc.columns[cid.index()].cells.push(id);
+        }
+        id
+    }
+
+    /// Shorthand for a non-spanning cell at `(row, col)`.
+    pub fn cell_at(&mut self, table: TableId, row: u32, col: u32) -> CellId {
+        self.cell(table, row, row, col, col)
+    }
+
+    /// Open a paragraph inside any text-bearing context (text block, cell,
+    /// or caption).
+    ///
+    /// # Panics
+    /// Panics if `parent` is not text-bearing.
+    pub fn paragraph(&mut self, parent: ContextRef) -> ParagraphId {
+        let id = ParagraphId::from_usize(self.doc.paragraphs.len());
+        let position = match parent {
+            ContextRef::TextBlock(t) => {
+                let p = &mut self.doc.text_blocks[t.index()];
+                p.paragraphs.push(id);
+                p.paragraphs.len() as u32 - 1
+            }
+            ContextRef::Cell(c) => {
+                let p = &mut self.doc.cells[c.index()];
+                p.paragraphs.push(id);
+                p.paragraphs.len() as u32 - 1
+            }
+            ContextRef::Caption(c) => {
+                let p = &mut self.doc.captions[c.index()];
+                p.paragraphs.push(id);
+                p.paragraphs.len() as u32 - 1
+            }
+            other => panic!("paragraphs cannot be attached to a {} context", other.kind()),
+        };
+        self.doc.paragraphs.push(Paragraph {
+            parent,
+            position,
+            sentences: Vec::new(),
+        });
+        id
+    }
+
+    /// Append a sentence to `paragraph`. `ling` is padded with defaults if
+    /// shorter than `words`.
+    pub fn sentence(&mut self, paragraph: ParagraphId, data: SentenceData) -> SentenceId {
+        let id = SentenceId::from_usize(self.doc.sentences.len());
+        let mut ling = data.ling;
+        ling.resize(data.words.len(), WordLinguistic::default());
+        if let Some(v) = &data.visual {
+            assert_eq!(
+                v.len(),
+                data.words.len(),
+                "visual attributes must be per-word"
+            );
+        }
+        self.doc.sentences.push(Sentence {
+            parent: paragraph,
+            abs_position: id.0,
+            text: data.text,
+            words: data.words,
+            char_offsets: data.char_offsets,
+            ling,
+            visual: data.visual,
+            structural: data.structural,
+        });
+        self.doc.paragraphs[paragraph.index()].sentences.push(id);
+        id
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> Document {
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_doc() -> Document {
+        let mut b = DocumentBuilder::new("t", DocFormat::Html);
+        let s = b.section();
+        let tb = b.text_block(s);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        b.sentence(p, SentenceData::from_words(&["Hello", "world"]));
+        let t = b.table(s, 2, 2);
+        let c = b.cell_at(t, 0, 0);
+        let cp = b.paragraph(ContextRef::Cell(c));
+        b.sentence(cp, SentenceData::from_words(&["Value"]));
+        b.finish()
+    }
+
+    #[test]
+    fn builder_wires_links() {
+        let d = tiny_doc();
+        assert_eq!(d.sections.len(), 1);
+        assert_eq!(d.sections[0].children.len(), 2);
+        assert_eq!(d.text_blocks.len(), 1);
+        assert_eq!(d.tables.len(), 1);
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.columns.len(), 2);
+        assert_eq!(d.cells.len(), 1);
+        assert_eq!(d.sentences.len(), 2);
+        assert_eq!(d.sentences[0].abs_position, 0);
+        assert_eq!(d.sentences[1].abs_position, 1);
+        // Cell is registered with its row and column.
+        assert_eq!(d.rows[0].cells, vec![CellId(0)]);
+        assert_eq!(d.columns[0].cells, vec![CellId(0)]);
+        assert!(d.rows[1].cells.is_empty());
+    }
+
+    #[test]
+    fn spanning_cell_joins_multiple_rows() {
+        let mut b = DocumentBuilder::new("t", DocFormat::Html);
+        let s = b.section();
+        let t = b.table(s, 3, 2);
+        let c = b.cell(t, 0, 2, 1, 1);
+        let d = b.finish();
+        assert_eq!(d.cells[c.index()].row_span(), 3);
+        for r in 0..3 {
+            assert_eq!(d.rows[r].cells, vec![c]);
+        }
+        assert_eq!(d.columns[1].cells, vec![c]);
+        assert!(d.columns[0].cells.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn cell_outside_grid_panics() {
+        let mut b = DocumentBuilder::new("t", DocFormat::Html);
+        let s = b.section();
+        let t = b.table(s, 1, 1);
+        b.cell_at(t, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be attached")]
+    fn paragraph_in_table_panics() {
+        let mut b = DocumentBuilder::new("t", DocFormat::Html);
+        let s = b.section();
+        let t = b.table(s, 1, 1);
+        b.paragraph(ContextRef::Table(t));
+    }
+
+    #[test]
+    fn from_words_computes_offsets() {
+        let d = SentenceData::from_words(&["ab", "c", "def"]);
+        assert_eq!(d.text, "ab c def");
+        assert_eq!(d.char_offsets, vec![(0, 2), (3, 4), (5, 8)]);
+        assert_eq!(d.ling.len(), 3);
+        assert_eq!(d.ling[2].lemma, "def");
+    }
+
+    #[test]
+    fn caption_attachment() {
+        let mut b = DocumentBuilder::new("t", DocFormat::Pdf);
+        let s = b.section();
+        let t = b.table(s, 1, 1);
+        let cap = b.table_caption(t);
+        let p = b.paragraph(ContextRef::Caption(cap));
+        b.sentence(p, SentenceData::from_words(&["Table", "1"]));
+        let f = b.figure(s, "fig1.png");
+        let fcap = b.figure_caption(f);
+        let d = b.finish();
+        assert_eq!(d.tables[0].caption, Some(cap));
+        assert_eq!(d.figures[0].caption, Some(fcap));
+        assert_eq!(d.captions[cap.index()].parent, ContextRef::Table(t));
+        assert_eq!(d.captions[cap.index()].paragraphs.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! A corpus: the collection of parsed documents a KBC task runs over.
+
+use crate::document::Document;
+use crate::ids::DocId;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of documents with stable [`DocId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Corpus name (e.g. `"electronics"`).
+    pub name: String,
+    docs: Vec<Document>,
+}
+
+impl Corpus {
+    /// Create an empty corpus.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            docs: Vec::new(),
+        }
+    }
+
+    /// Append a document, returning its id.
+    pub fn add(&mut self, doc: Document) -> DocId {
+        let id = DocId::from_usize(self.docs.len());
+        self.docs.push(doc);
+        id
+    }
+
+    /// Look up a document.
+    #[inline]
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate over `(id, document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId::from_usize(i), d))
+    }
+
+    /// All document ids.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> + '_ {
+        (0..self.docs.len()).map(DocId::from_usize)
+    }
+
+    /// Total words across all documents.
+    pub fn word_count(&self) -> usize {
+        self.docs.iter().map(|d| d.word_count()).sum()
+    }
+
+    /// Total sentences across all documents.
+    pub fn sentence_count(&self) -> usize {
+        self.docs.iter().map(|d| d.sentences.len()).sum()
+    }
+
+    /// Approximate corpus size in bytes (Table 1's "Size" column).
+    pub fn approx_bytes(&self) -> usize {
+        self.docs.iter().map(|d| d.approx_bytes()).sum()
+    }
+}
+
+impl std::ops::Index<DocId> for Corpus {
+    type Output = Document;
+
+    fn index(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::DocFormat;
+
+    #[test]
+    fn corpus_ids_are_stable() {
+        let mut c = Corpus::new("test");
+        assert!(c.is_empty());
+        let a = c.add(Document::new("a", DocFormat::Pdf));
+        let b = c.add(Document::new("b", DocFormat::Pdf));
+        assert_eq!(a, DocId(0));
+        assert_eq!(b, DocId(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.doc(b).name, "b");
+        assert_eq!(c[a].name, "a");
+        let names: Vec<&str> = c.iter().map(|(_, d)| d.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn counts_aggregate() {
+        let mut c = Corpus::new("test");
+        c.add(Document::new("a", DocFormat::Pdf));
+        assert_eq!(c.word_count(), 0);
+        assert_eq!(c.sentence_count(), 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The document context DAG (paper §3.1, Figure 3).
+//!
+//! A [`Document`] owns flat arenas of every context type. The DAG structure
+//! of Figure 3 is expressed by child-id lists on each node plus a `parent`
+//! back-pointer, so that both downward traversal (candidate extraction walks
+//! leaves) and upward traversal (feature generation walks ancestors) are
+//! cheap index lookups rather than pointer chasing.
+
+use crate::attrs::{BBox, DocFormat, Structural, WordLinguistic, WordVisual};
+use crate::ids::*;
+use serde::{Deserialize, Serialize};
+
+/// A top-level section of a document. Sections partition the document into
+/// sequences of text blocks, tables, and figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Section {
+    /// 0-based position of this section within the document.
+    pub position: u32,
+    /// Children in document order (text blocks, tables, figures).
+    pub children: Vec<ContextRef>,
+}
+
+/// A block of running text (document header, description paragraph, etc.).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextBlock {
+    /// The owning section.
+    pub parent: SectionId,
+    /// 0-based position among the section's children.
+    pub position: u32,
+    /// Paragraphs inside this block, in order.
+    pub paragraphs: Vec<ParagraphId>,
+}
+
+/// A table: a grid of cells, addressable by rows and columns, optionally
+/// with a caption.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The owning section.
+    pub parent: SectionId,
+    /// 0-based position among the section's children.
+    pub position: u32,
+    /// Number of row slots in the grid.
+    pub n_rows: u32,
+    /// Number of column slots in the grid.
+    pub n_cols: u32,
+    /// Row contexts, in order.
+    pub rows: Vec<RowId>,
+    /// Column contexts, in order.
+    pub columns: Vec<ColumnId>,
+    /// All cells, in row-major document order.
+    pub cells: Vec<CellId>,
+    /// Optional caption.
+    pub caption: Option<CaptionId>,
+}
+
+/// A figure (image). Fonduer stores figures as contexts so that captions and
+/// surrounding text can reference them; their pixel content is not modeled.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// The owning section.
+    pub parent: SectionId,
+    /// 0-based position among the section's children.
+    pub position: u32,
+    /// Source reference (e.g. a filename) from the markup.
+    pub src: String,
+    /// Optional caption.
+    pub caption: Option<CaptionId>,
+}
+
+/// A caption attached to a table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Caption {
+    /// The table or figure this caption belongs to.
+    pub parent: ContextRef,
+    /// Paragraphs inside the caption.
+    pub paragraphs: Vec<ParagraphId>,
+}
+
+/// A table row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// The owning table.
+    pub table: TableId,
+    /// 0-based row index within the table grid.
+    pub index: u32,
+    /// Cells whose row span covers this row.
+    pub cells: Vec<CellId>,
+}
+
+/// A table column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    /// The owning table.
+    pub table: TableId,
+    /// 0-based column index within the table grid.
+    pub index: u32,
+    /// Cells whose column span covers this column.
+    pub cells: Vec<CellId>,
+}
+
+/// A table cell. Spanning cells cover inclusive ranges of rows and columns
+/// (paper Example 1.4: tables come with "a variety of spanning cells, header
+/// hierarchies, and layout orientations").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// The owning table.
+    pub table: TableId,
+    /// First grid row covered (inclusive).
+    pub row_start: u32,
+    /// Last grid row covered (inclusive).
+    pub row_end: u32,
+    /// First grid column covered (inclusive).
+    pub col_start: u32,
+    /// Last grid column covered (inclusive).
+    pub col_end: u32,
+    /// Paragraphs inside this cell.
+    pub paragraphs: Vec<ParagraphId>,
+}
+
+impl Cell {
+    /// Number of grid rows this cell spans.
+    pub fn row_span(&self) -> u32 {
+        self.row_end - self.row_start + 1
+    }
+
+    /// Number of grid columns this cell spans.
+    pub fn col_span(&self) -> u32 {
+        self.col_end - self.col_start + 1
+    }
+}
+
+/// A paragraph: the unit that groups sentences beneath any text-bearing
+/// context (text block, cell, or caption).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Paragraph {
+    /// The text block, cell, or caption containing this paragraph.
+    pub parent: ContextRef,
+    /// 0-based position within the parent.
+    pub position: u32,
+    /// Sentences in order.
+    pub sentences: Vec<SentenceId>,
+}
+
+/// A sentence: the leaf context. Words and all per-word modality attributes
+/// live here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sentence {
+    /// The owning paragraph.
+    pub parent: ParagraphId,
+    /// Global document-order index of this sentence (0-based). Used for
+    /// textual distance features and document-scope iteration order.
+    pub abs_position: u32,
+    /// The full sentence text.
+    pub text: String,
+    /// Tokenized words, in order.
+    pub words: Vec<String>,
+    /// `(start, end)` byte offsets of each word within `text`.
+    pub char_offsets: Vec<(u32, u32)>,
+    /// Linguistic attributes per word (same length as `words`).
+    pub ling: Vec<WordLinguistic>,
+    /// Visual attributes per word; `None` for formats without a rendering
+    /// (native XML), `Some` with one entry per word otherwise.
+    pub visual: Option<Vec<WordVisual>>,
+    /// Structural (markup-tree) attributes of the sentence.
+    pub structural: Structural,
+}
+
+impl Sentence {
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the sentence has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Page the sentence starts on, if visual information is available.
+    pub fn page(&self) -> Option<u16> {
+        self.visual.as_ref().and_then(|v| v.first()).map(|w| w.page)
+    }
+
+    /// Union bounding box of a word range `[start, end)`, if visual
+    /// information is available and the range is non-empty and in bounds.
+    pub fn bbox_of(&self, start: usize, end: usize) -> Option<BBox> {
+        let vis = self.visual.as_ref()?;
+        if start >= end || end > vis.len() {
+            return None;
+        }
+        let mut acc = vis[start].bbox;
+        for w in &vis[start + 1..end] {
+            acc = acc.union(&w.bbox);
+        }
+        Some(acc)
+    }
+}
+
+/// A parsed document: the root of the context DAG, owning flat arenas of all
+/// context nodes (paper Figure 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    /// Document name (stable across runs; e.g. a filename).
+    pub name: String,
+    /// Source format.
+    pub format: DocFormat,
+    /// Sections in order.
+    pub sections: Vec<Section>,
+    /// Arena of text blocks.
+    pub text_blocks: Vec<TextBlock>,
+    /// Arena of tables.
+    pub tables: Vec<Table>,
+    /// Arena of figures.
+    pub figures: Vec<Figure>,
+    /// Arena of captions.
+    pub captions: Vec<Caption>,
+    /// Arena of rows.
+    pub rows: Vec<Row>,
+    /// Arena of columns.
+    pub columns: Vec<Column>,
+    /// Arena of cells.
+    pub cells: Vec<Cell>,
+    /// Arena of paragraphs.
+    pub paragraphs: Vec<Paragraph>,
+    /// Arena of sentences, in document order.
+    pub sentences: Vec<Sentence>,
+}
+
+impl Document {
+    /// Create an empty document.
+    pub fn new(name: impl Into<String>, format: DocFormat) -> Self {
+        Self {
+            name: name.into(),
+            format,
+            sections: Vec::new(),
+            text_blocks: Vec::new(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            captions: Vec::new(),
+            rows: Vec::new(),
+            columns: Vec::new(),
+            cells: Vec::new(),
+            paragraphs: Vec::new(),
+            sentences: Vec::new(),
+        }
+    }
+
+    /// Look up a sentence.
+    #[inline]
+    pub fn sentence(&self, id: SentenceId) -> &Sentence {
+        &self.sentences[id.index()]
+    }
+
+    /// Look up a paragraph.
+    #[inline]
+    pub fn paragraph(&self, id: ParagraphId) -> &Paragraph {
+        &self.paragraphs[id.index()]
+    }
+
+    /// Look up a cell.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Look up a table.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Look up a row.
+    #[inline]
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id.index()]
+    }
+
+    /// Look up a column.
+    #[inline]
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.columns[id.index()]
+    }
+
+    /// Look up a caption.
+    #[inline]
+    pub fn caption(&self, id: CaptionId) -> &Caption {
+        &self.captions[id.index()]
+    }
+
+    /// Look up a text block.
+    #[inline]
+    pub fn text_block(&self, id: TextBlockId) -> &TextBlock {
+        &self.text_blocks[id.index()]
+    }
+
+    /// Look up a figure.
+    #[inline]
+    pub fn figure(&self, id: FigureId) -> &Figure {
+        &self.figures[id.index()]
+    }
+
+    /// Look up a section.
+    #[inline]
+    pub fn section(&self, id: SectionId) -> &Section {
+        &self.sections[id.index()]
+    }
+
+    /// Iterate over all sentence ids in document order.
+    pub fn sentence_ids(&self) -> impl Iterator<Item = SentenceId> + '_ {
+        (0..self.sentences.len()).map(SentenceId::from_usize)
+    }
+
+    /// Total number of words in the document.
+    pub fn word_count(&self) -> usize {
+        self.sentences.iter().map(|s| s.words.len()).sum()
+    }
+
+    /// Approximate serialized size in bytes (used for Table 1's corpus-size
+    /// column): full sentence text plus a fixed per-node overhead.
+    pub fn approx_bytes(&self) -> usize {
+        let text: usize = self.sentences.iter().map(|s| s.text.len()).sum();
+        let nodes = self.sections.len()
+            + self.text_blocks.len()
+            + self.tables.len()
+            + self.figures.len()
+            + self.captions.len()
+            + self.rows.len()
+            + self.columns.len()
+            + self.cells.len()
+            + self.paragraphs.len()
+            + self.sentences.len();
+        text + nodes * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_spans() {
+        let c = Cell {
+            table: TableId(0),
+            row_start: 1,
+            row_end: 3,
+            col_start: 0,
+            col_end: 0,
+            paragraphs: vec![],
+        };
+        assert_eq!(c.row_span(), 3);
+        assert_eq!(c.col_span(), 1);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new("empty", DocFormat::Html);
+        assert_eq!(d.word_count(), 0);
+        assert_eq!(d.sentence_ids().count(), 0);
+        assert!(d.approx_bytes() == 0);
+    }
+
+    #[test]
+    fn sentence_bbox_union_and_page() {
+        let vis = vec![
+            WordVisual {
+                page: 2,
+                bbox: BBox::new(10.0, 10.0, 20.0, 15.0),
+                font: "Arial".into(),
+                font_size: 10.0,
+                bold: false,
+            },
+            WordVisual {
+                page: 2,
+                bbox: BBox::new(22.0, 10.0, 40.0, 16.0),
+                font: "Arial".into(),
+                font_size: 10.0,
+                bold: false,
+            },
+        ];
+        let s = Sentence {
+            parent: ParagraphId(0),
+            abs_position: 0,
+            text: "ab cd".into(),
+            words: vec!["ab".into(), "cd".into()],
+            char_offsets: vec![(0, 2), (3, 5)],
+            ling: vec![WordLinguistic::default(), WordLinguistic::default()],
+            visual: Some(vis),
+            structural: Structural::default(),
+        };
+        assert_eq!(s.page(), Some(2));
+        let bb = s.bbox_of(0, 2).unwrap();
+        assert_eq!(bb, BBox::new(10.0, 10.0, 40.0, 16.0));
+        assert!(s.bbox_of(1, 1).is_none());
+        assert!(s.bbox_of(0, 3).is_none());
+    }
+
+    #[test]
+    fn sentence_without_visual_has_no_page() {
+        let s = Sentence {
+            parent: ParagraphId(0),
+            abs_position: 0,
+            text: String::new(),
+            words: vec![],
+            char_offsets: vec![],
+            ling: vec![],
+            visual: None,
+            structural: Structural::default(),
+        };
+        assert_eq!(s.page(), None);
+        assert!(s.is_empty());
+    }
+}

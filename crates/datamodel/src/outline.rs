@@ -1,0 +1,103 @@
+//! Human-readable document outlines for debugging and error analysis.
+
+use crate::document::Document;
+use crate::ids::ContextRef;
+
+impl Document {
+    /// Render an indented outline of the context DAG with per-node summary
+    /// text — the quickest way to see what a parser produced.
+    pub fn outline(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Document '{}' [{}] ({} sections, {} tables, {} sentences)\n",
+            self.name,
+            self.format.label(),
+            self.sections.len(),
+            self.tables.len(),
+            self.sentences.len()
+        ));
+        for (si, sec) in self.sections.iter().enumerate() {
+            out.push_str(&format!("  Section {si}\n"));
+            for &child in &sec.children {
+                match child {
+                    ContextRef::TextBlock(id) => {
+                        let tb = self.text_block(id);
+                        let preview = tb
+                            .paragraphs
+                            .first()
+                            .and_then(|p| self.paragraph(*p).sentences.first())
+                            .map(|&s| truncate(&self.sentence(s).text, 48))
+                            .unwrap_or_default();
+                        let tag = tb
+                            .paragraphs
+                            .first()
+                            .and_then(|p| self.paragraph(*p).sentences.first())
+                            .map(|&s| self.sentence(s).structural.tag.clone())
+                            .unwrap_or_default();
+                        out.push_str(&format!("    Text <{tag}> \"{preview}\"\n"));
+                    }
+                    ContextRef::Table(id) => {
+                        let t = self.table(id);
+                        out.push_str(&format!(
+                            "    Table {}x{} ({} cells{})\n",
+                            t.n_rows,
+                            t.n_cols,
+                            t.cells.len(),
+                            if t.caption.is_some() { ", captioned" } else { "" }
+                        ));
+                    }
+                    ContextRef::Figure(id) => {
+                        out.push_str(&format!("    Figure src=\"{}\"\n", self.figure(id).src));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::DocFormat;
+    use crate::builder::{DocumentBuilder, SentenceData};
+
+    #[test]
+    fn outline_summarizes_structure() {
+        let mut b = DocumentBuilder::new("sheet", DocFormat::Pdf);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        b.sentence(p, SentenceData::from_words(&["Hello", "world"]));
+        let t = b.table(sec, 2, 3);
+        b.table_caption(t);
+        b.cell_at(t, 0, 0);
+        b.figure(sec, "x.png");
+        let d = b.finish();
+        let o = d.outline();
+        assert!(o.contains("Document 'sheet' [PDF]"));
+        assert!(o.contains("Section 0"));
+        assert!(o.contains("Hello world"));
+        assert!(o.contains("Table 2x3 (1 cells, captioned)"));
+        assert!(o.contains("Figure src=\"x.png\""));
+    }
+
+    #[test]
+    fn truncate_long_text() {
+        assert_eq!(truncate("short", 10), "short");
+        let long = "x".repeat(60);
+        let t = truncate(&long, 48);
+        assert!(t.ends_with('…'));
+        assert_eq!(t.chars().count(), 49);
+    }
+}

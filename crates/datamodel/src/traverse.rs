@@ -1,0 +1,460 @@
+//! Traversal over the context DAG.
+//!
+//! Feature generation (paper §4.2) and labeling functions (§4.3) work by
+//! "locating each mention in the data model and traversing the DAG" — walking
+//! ancestors for structural features, sibling cells for tabular features, and
+//! page geometry for visual features. All of those walks live here.
+
+use crate::attrs::BBox;
+use crate::document::Document;
+use crate::ids::*;
+
+impl Document {
+    /// Parent of a context node, or `None` for the document root.
+    pub fn parent_of(&self, ctx: ContextRef) -> Option<ContextRef> {
+        match ctx {
+            ContextRef::Document => None,
+            ContextRef::Section(_) => Some(ContextRef::Document),
+            ContextRef::TextBlock(id) => {
+                Some(ContextRef::Section(self.text_blocks[id.index()].parent))
+            }
+            ContextRef::Table(id) => Some(ContextRef::Section(self.tables[id.index()].parent)),
+            ContextRef::Figure(id) => Some(ContextRef::Section(self.figures[id.index()].parent)),
+            ContextRef::Caption(id) => Some(self.captions[id.index()].parent),
+            ContextRef::Row(id) => Some(ContextRef::Table(self.rows[id.index()].table)),
+            ContextRef::Column(id) => Some(ContextRef::Table(self.columns[id.index()].table)),
+            ContextRef::Cell(id) => Some(ContextRef::Table(self.cells[id.index()].table)),
+            ContextRef::Paragraph(id) => Some(self.paragraphs[id.index()].parent),
+            ContextRef::Sentence(id) => {
+                Some(ContextRef::Paragraph(self.sentences[id.index()].parent))
+            }
+        }
+    }
+
+    /// Path from `ctx` (inclusive) up to the document root (inclusive).
+    pub fn ancestors(&self, ctx: ContextRef) -> Vec<ContextRef> {
+        let mut path = vec![ctx];
+        let mut cur = ctx;
+        while let Some(p) = self.parent_of(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Lowest common ancestor of two contexts, together with the distance
+    /// (number of edges) from each context up to it. The paper uses the
+    /// minimum of the two distances as the `LOWEST_ANCESTOR_DEPTH` structural
+    /// feature and the common ancestor path for `COMMON_ANCESTOR`.
+    pub fn lowest_common_ancestor(
+        &self,
+        a: ContextRef,
+        b: ContextRef,
+    ) -> (ContextRef, usize, usize) {
+        let pa = self.ancestors(a);
+        let pb = self.ancestors(b);
+        // Walk from the root down until the paths diverge.
+        let mut ia = pa.len();
+        let mut ib = pb.len();
+        let mut lca = ContextRef::Document;
+        while ia > 0 && ib > 0 && pa[ia - 1] == pb[ib - 1] {
+            lca = pa[ia - 1];
+            ia -= 1;
+            ib -= 1;
+        }
+        (lca, ia, ib)
+    }
+
+    /// The cell containing a sentence, if the sentence lives inside a table.
+    pub fn cell_of_sentence(&self, s: SentenceId) -> Option<CellId> {
+        let para = self.sentences[s.index()].parent;
+        match self.paragraphs[para.index()].parent {
+            ContextRef::Cell(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The table containing a sentence, whether via a cell or a caption.
+    pub fn table_of_sentence(&self, s: SentenceId) -> Option<TableId> {
+        let para = self.sentences[s.index()].parent;
+        match self.paragraphs[para.index()].parent {
+            ContextRef::Cell(c) => Some(self.cells[c.index()].table),
+            ContextRef::Caption(c) => match self.captions[c.index()].parent {
+                ContextRef::Table(t) => Some(t),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The section containing a sentence.
+    pub fn section_of_sentence(&self, s: SentenceId) -> SectionId {
+        for ctx in self.ancestors(ContextRef::Sentence(s)) {
+            if let ContextRef::Section(id) = ctx {
+                return id;
+            }
+        }
+        unreachable!("every sentence is reachable from a section")
+    }
+
+    /// All sentence ids under a context, in document order.
+    pub fn sentences_in(&self, ctx: ContextRef) -> Vec<SentenceId> {
+        let mut out = Vec::new();
+        self.collect_sentences(ctx, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_sentences(&self, ctx: ContextRef, out: &mut Vec<SentenceId>) {
+        match ctx {
+            ContextRef::Document => {
+                out.extend(self.sentence_ids());
+            }
+            ContextRef::Section(id) => {
+                for &child in &self.sections[id.index()].children {
+                    self.collect_sentences(child, out);
+                }
+            }
+            ContextRef::TextBlock(id) => {
+                for &p in &self.text_blocks[id.index()].paragraphs {
+                    out.extend(&self.paragraphs[p.index()].sentences);
+                }
+            }
+            ContextRef::Table(id) => {
+                let t = &self.tables[id.index()];
+                for &c in &t.cells {
+                    self.collect_sentences(ContextRef::Cell(c), out);
+                }
+                if let Some(cap) = t.caption {
+                    self.collect_sentences(ContextRef::Caption(cap), out);
+                }
+            }
+            ContextRef::Figure(id) => {
+                if let Some(cap) = self.figures[id.index()].caption {
+                    self.collect_sentences(ContextRef::Caption(cap), out);
+                }
+            }
+            ContextRef::Caption(id) => {
+                for &p in &self.captions[id.index()].paragraphs {
+                    out.extend(&self.paragraphs[p.index()].sentences);
+                }
+            }
+            ContextRef::Row(id) => {
+                for &c in &self.rows[id.index()].cells {
+                    self.collect_sentences(ContextRef::Cell(c), out);
+                }
+            }
+            ContextRef::Column(id) => {
+                for &c in &self.columns[id.index()].cells {
+                    self.collect_sentences(ContextRef::Cell(c), out);
+                }
+            }
+            ContextRef::Cell(id) => {
+                for &p in &self.cells[id.index()].paragraphs {
+                    out.extend(&self.paragraphs[p.index()].sentences);
+                }
+            }
+            ContextRef::Paragraph(id) => {
+                out.extend(&self.paragraphs[id.index()].sentences);
+            }
+            ContextRef::Sentence(id) => out.push(id),
+        }
+    }
+
+    /// Lower-cased words in all cells that share a grid row with `cell`,
+    /// excluding `cell` itself. This backs the paper's `row_ngrams` helper
+    /// (Example 3.5) and the `ROW` feature template.
+    pub fn row_words(&self, cell: CellId) -> Vec<String> {
+        self.axis_words(cell, true)
+    }
+
+    /// Lower-cased words in all cells that share a grid column with `cell`,
+    /// excluding `cell` itself (`col_ngrams` / `COL` feature template).
+    pub fn col_words(&self, cell: CellId) -> Vec<String> {
+        self.axis_words(cell, false)
+    }
+
+    fn axis_words(&self, cell: CellId, row_axis: bool) -> Vec<String> {
+        let c = &self.cells[cell.index()];
+        let t = &self.tables[c.table.index()];
+        let mut out = Vec::new();
+        let ids = if row_axis {
+            (c.row_start..=c.row_end)
+                .map(|r| t.rows[r as usize].index())
+                .collect::<Vec<_>>()
+        } else {
+            (c.col_start..=c.col_end)
+                .map(|cx| t.columns[cx as usize].index())
+                .collect::<Vec<_>>()
+        };
+        for axis_idx in ids {
+            let cells = if row_axis {
+                &self.rows[axis_idx].cells
+            } else {
+                &self.columns[axis_idx].cells
+            };
+            for &other in cells {
+                if other == cell {
+                    continue;
+                }
+                for s in self.sentences_in(ContextRef::Cell(other)) {
+                    for w in &self.sentences[s.index()].words {
+                        out.push(w.to_lowercase());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Lower-cased words of the row-header cells for `cell`: cells in the
+    /// first grid column that share a row with `cell` (`ROW_HEAD`). For a
+    /// cell already in the first column this is empty.
+    pub fn row_header_words(&self, cell: CellId) -> Vec<String> {
+        self.header_words(cell, true)
+    }
+
+    /// Lower-cased words of the column-header cells for `cell`: cells in the
+    /// first grid row that share a column with `cell` (`COL_HEAD`,
+    /// Example 3.4's `header_ngrams`).
+    pub fn col_header_words(&self, cell: CellId) -> Vec<String> {
+        self.header_words(cell, false)
+    }
+
+    fn header_words(&self, cell: CellId, row_axis: bool) -> Vec<String> {
+        let c = &self.cells[cell.index()];
+        if (row_axis && c.col_start == 0) || (!row_axis && c.row_start == 0) {
+            return Vec::new();
+        }
+        let t = &self.tables[c.table.index()];
+        let mut out = Vec::new();
+        for &other_id in &t.cells {
+            if other_id == cell {
+                continue;
+            }
+            let o = &self.cells[other_id.index()];
+            let is_header = if row_axis {
+                // Same row range, first column.
+                o.col_start == 0 && o.row_start <= c.row_end && c.row_start <= o.row_end
+            } else {
+                // Same column range, first row.
+                o.row_start == 0 && o.col_start <= c.col_end && c.col_start <= o.col_end
+            };
+            if is_header {
+                for s in self.sentences_in(ContextRef::Cell(other_id)) {
+                    for w in &self.sentences[s.index()].words {
+                        out.push(w.to_lowercase());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Lemmas of words visually aligned with the given bounding box on
+    /// `page`: words whose boxes overlap in y (same visual line) or in x
+    /// (same visual column), excluding words of `skip_sentence`. Backs the
+    /// `ALIGNED` visual feature template.
+    pub fn visually_aligned_lemmas(
+        &self,
+        page: u16,
+        bbox: &BBox,
+        skip_sentence: SentenceId,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for (si, s) in self.sentences.iter().enumerate() {
+            if si == skip_sentence.index() {
+                continue;
+            }
+            let Some(vis) = &s.visual else { continue };
+            for (wi, wv) in vis.iter().enumerate() {
+                if wv.page == page && (wv.bbox.y_overlaps(bbox) || wv.bbox.x_overlaps(bbox)) {
+                    out.push(s.ling[wi].lemma.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Lemmas of words horizontally aligned with the given bounding box on
+    /// `page` (y-overlap only: words on the same visual line), excluding
+    /// words of `skip_sentence`. Backs row-style visual labeling functions
+    /// like Example 3.5's `y_axis_aligned`.
+    pub fn horizontally_aligned_lemmas(
+        &self,
+        page: u16,
+        bbox: &BBox,
+        skip_sentence: SentenceId,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for (si, s) in self.sentences.iter().enumerate() {
+            if si == skip_sentence.index() {
+                continue;
+            }
+            let Some(vis) = &s.visual else { continue };
+            for (wi, wv) in vis.iter().enumerate() {
+                if wv.page == page && wv.bbox.y_overlaps(bbox) {
+                    out.push(s.ling[wi].lemma.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of pages rendered, 0 when the document has no visual modality.
+    pub fn page_count(&self) -> u16 {
+        self.sentences
+            .iter()
+            .filter_map(|s| {
+                s.visual
+                    .as_ref()
+                    .and_then(|v| v.iter().map(|w| w.page).max())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{DocFormat, WordVisual};
+    use crate::builder::{DocumentBuilder, SentenceData};
+
+    /// Build a document with one text block and one 3x3 table:
+    ///   row 0: headers  H0 H1 H2
+    ///   col 0: headers  H0 R1 R2
+    ///   cell (1,1)=V11, (1,2)=V12, (2,1)=V21
+    fn table_doc() -> (Document, Vec<CellId>) {
+        let mut b = DocumentBuilder::new("t", DocFormat::Html);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        b.sentence(p, SentenceData::from_words(&["Intro", "text"]));
+        let t = b.table(sec, 3, 3);
+        let mut cells = Vec::new();
+        let labels = [
+            (0, 0, "corner"),
+            (0, 1, "HdrB"),
+            (0, 2, "HdrC"),
+            (1, 0, "RowX"),
+            (2, 0, "RowY"),
+            (1, 1, "V11"),
+            (1, 2, "V12"),
+            (2, 1, "V21"),
+        ];
+        for &(r, c, w) in &labels {
+            let cell = b.cell_at(t, r, c);
+            let p = b.paragraph(ContextRef::Cell(cell));
+            b.sentence(p, SentenceData::from_words(&[w]));
+            cells.push(cell);
+        }
+        (b.finish(), cells)
+    }
+
+    #[test]
+    fn ancestors_reach_root() {
+        let (d, _) = table_doc();
+        let s0 = SentenceId(0);
+        let path = d.ancestors(ContextRef::Sentence(s0));
+        assert_eq!(*path.last().unwrap(), ContextRef::Document);
+        assert_eq!(path[0], ContextRef::Sentence(s0));
+        // sentence -> paragraph -> text block -> section -> document
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn lca_of_cells_is_table() {
+        let (d, cells) = table_doc();
+        let (lca, da, db) =
+            d.lowest_common_ancestor(ContextRef::Cell(cells[5]), ContextRef::Cell(cells[6]));
+        assert!(matches!(lca, ContextRef::Table(_)));
+        assert_eq!(da, 1);
+        assert_eq!(db, 1);
+    }
+
+    #[test]
+    fn lca_of_text_and_cell_is_section() {
+        let (d, cells) = table_doc();
+        let (lca, _, _) =
+            d.lowest_common_ancestor(ContextRef::Sentence(SentenceId(0)), ContextRef::Cell(cells[5]));
+        assert!(matches!(lca, ContextRef::Section(_)));
+    }
+
+    #[test]
+    fn cell_and_table_of_sentence() {
+        let (d, cells) = table_doc();
+        // Sentence 0 is the intro text.
+        assert_eq!(d.cell_of_sentence(SentenceId(0)), None);
+        assert_eq!(d.table_of_sentence(SentenceId(0)), None);
+        // Sentence 1 is in the first cell.
+        assert_eq!(d.cell_of_sentence(SentenceId(1)), Some(cells[0]));
+        assert_eq!(d.table_of_sentence(SentenceId(1)), Some(TableId(0)));
+    }
+
+    #[test]
+    fn row_and_col_words() {
+        let (d, cells) = table_doc();
+        // V11 at (1,1): row mates are RowX and V12; col mates are HdrB and V21.
+        let v11 = cells[5];
+        let mut row = d.row_words(v11);
+        row.sort();
+        assert_eq!(row, vec!["rowx", "v12"]);
+        let mut col = d.col_words(v11);
+        col.sort();
+        assert_eq!(col, vec!["hdrb", "v21"]);
+    }
+
+    #[test]
+    fn header_words() {
+        let (d, cells) = table_doc();
+        let v12 = cells[6]; // at (1,2)
+        assert_eq!(d.row_header_words(v12), vec!["rowx"]);
+        assert_eq!(d.col_header_words(v12), vec!["hdrc"]);
+        // A first-column cell has no row header.
+        assert!(d.row_header_words(cells[3]).is_empty());
+        // A first-row cell has no column header.
+        assert!(d.col_header_words(cells[1]).is_empty());
+    }
+
+    #[test]
+    fn sentences_in_contexts() {
+        let (d, cells) = table_doc();
+        assert_eq!(d.sentences_in(ContextRef::Document).len(), 9);
+        assert_eq!(d.sentences_in(ContextRef::Table(TableId(0))).len(), 8);
+        assert_eq!(d.sentences_in(ContextRef::Cell(cells[0])).len(), 1);
+        assert_eq!(
+            d.sentences_in(ContextRef::Row(d.tables[0].rows[1])).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn visual_alignment() {
+        let mut b = DocumentBuilder::new("v", DocFormat::Pdf);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let mk = |x: f32, y: f32, word: &str| {
+            let mut sd = SentenceData::from_words(&[word]);
+            sd.visual = Some(vec![WordVisual {
+                page: 1,
+                bbox: BBox::new(x, y, x + 20.0, y + 10.0),
+                font: "Arial".into(),
+                font_size: 10.0,
+                bold: false,
+            }]);
+            sd
+        };
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        let s0 = b.sentence(p, mk(10.0, 100.0, "anchor"));
+        b.sentence(p, mk(200.0, 102.0, "sameline"));
+        b.sentence(p, mk(12.0, 300.0, "samecol"));
+        b.sentence(p, mk(400.0, 400.0, "far"));
+        let d = b.finish();
+        let bbox = d.sentences[0].bbox_of(0, 1).unwrap();
+        let mut aligned = d.visually_aligned_lemmas(1, &bbox, s0);
+        aligned.sort();
+        assert_eq!(aligned, vec!["samecol", "sameline"]);
+        assert_eq!(d.page_count(), 1);
+    }
+}

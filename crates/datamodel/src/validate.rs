@@ -1,0 +1,194 @@
+//! Structural validation of documents.
+//!
+//! Parsers and generators are expected to produce documents satisfying these
+//! invariants; property-based tests validate arbitrary generated documents
+//! against them.
+
+use crate::document::Document;
+use crate::ids::ContextRef;
+
+/// Check every structural invariant of a document. Returns a list of
+/// human-readable violations (empty when the document is valid).
+pub fn validate(doc: &Document) -> Vec<String> {
+    let mut errs = Vec::new();
+
+    // Section children point at real nodes owned by that section.
+    for (si, sec) in doc.sections.iter().enumerate() {
+        for &child in &sec.children {
+            match child {
+                ContextRef::TextBlock(id) => {
+                    if id.index() >= doc.text_blocks.len() {
+                        errs.push(format!("section {si}: dangling text block {id}"));
+                    } else if doc.text_blocks[id.index()].parent.index() != si {
+                        errs.push(format!("text block {id} parent mismatch"));
+                    }
+                }
+                ContextRef::Table(id) => {
+                    if id.index() >= doc.tables.len() {
+                        errs.push(format!("section {si}: dangling table {id}"));
+                    } else if doc.tables[id.index()].parent.index() != si {
+                        errs.push(format!("table {id} parent mismatch"));
+                    }
+                }
+                ContextRef::Figure(id) => {
+                    if id.index() >= doc.figures.len() {
+                        errs.push(format!("section {si}: dangling figure {id}"));
+                    } else if doc.figures[id.index()].parent.index() != si {
+                        errs.push(format!("figure {id} parent mismatch"));
+                    }
+                }
+                other => errs.push(format!(
+                    "section {si}: illegal child kind {}",
+                    other.kind()
+                )),
+            }
+        }
+    }
+
+    // Cells fit in their table grid and are registered with rows/columns.
+    for (ci, cell) in doc.cells.iter().enumerate() {
+        let t = &doc.tables[cell.table.index()];
+        if cell.row_start > cell.row_end || cell.row_end >= t.n_rows {
+            errs.push(format!("cell {ci}: row span outside grid"));
+        }
+        if cell.col_start > cell.col_end || cell.col_end >= t.n_cols {
+            errs.push(format!("cell {ci}: col span outside grid"));
+        }
+        for r in cell.row_start..=cell.row_end.min(t.n_rows.saturating_sub(1)) {
+            let row = &doc.rows[t.rows[r as usize].index()];
+            if !row.cells.iter().any(|c| c.index() == ci) {
+                errs.push(format!("cell {ci}: missing from row {r} membership"));
+            }
+        }
+        for c in cell.col_start..=cell.col_end.min(t.n_cols.saturating_sub(1)) {
+            let col = &doc.columns[t.columns[c as usize].index()];
+            if !col.cells.iter().any(|cc| cc.index() == ci) {
+                errs.push(format!("cell {ci}: missing from column {c} membership"));
+            }
+        }
+    }
+
+    // Tables: grid cells must not overlap.
+    for (ti, t) in doc.tables.iter().enumerate() {
+        let mut occupied = vec![false; (t.n_rows * t.n_cols) as usize];
+        for &cid in &t.cells {
+            let cell = &doc.cells[cid.index()];
+            for r in cell.row_start..=cell.row_end.min(t.n_rows.saturating_sub(1)) {
+                for c in cell.col_start..=cell.col_end.min(t.n_cols.saturating_sub(1)) {
+                    let slot = (r * t.n_cols + c) as usize;
+                    if occupied[slot] {
+                        errs.push(format!("table {ti}: overlapping cells at ({r},{c})"));
+                    }
+                    occupied[slot] = true;
+                }
+            }
+        }
+    }
+
+    // Paragraph parents are text-bearing; sentence membership is consistent.
+    for (pi, p) in doc.paragraphs.iter().enumerate() {
+        match p.parent {
+            ContextRef::TextBlock(_) | ContextRef::Cell(_) | ContextRef::Caption(_) => {}
+            other => errs.push(format!(
+                "paragraph {pi}: illegal parent kind {}",
+                other.kind()
+            )),
+        }
+        for &sid in &p.sentences {
+            if sid.index() >= doc.sentences.len() {
+                errs.push(format!("paragraph {pi}: dangling sentence {sid}"));
+            } else if doc.sentences[sid.index()].parent.index() != pi {
+                errs.push(format!("sentence {sid} parent mismatch"));
+            }
+        }
+    }
+
+    // Sentences: attribute vectors are per-word; offsets are in range and
+    // monotone; abs_position matches arena order.
+    for (si, s) in doc.sentences.iter().enumerate() {
+        if s.abs_position as usize != si {
+            errs.push(format!("sentence {si}: abs_position {}", s.abs_position));
+        }
+        if s.ling.len() != s.words.len() {
+            errs.push(format!("sentence {si}: ling length mismatch"));
+        }
+        if s.char_offsets.len() != s.words.len() {
+            errs.push(format!("sentence {si}: offsets length mismatch"));
+        }
+        if let Some(v) = &s.visual {
+            if v.len() != s.words.len() {
+                errs.push(format!("sentence {si}: visual length mismatch"));
+            }
+        }
+        let mut prev_end = 0u32;
+        for (wi, &(a, b)) in s.char_offsets.iter().enumerate() {
+            if a > b || b as usize > s.text.len() {
+                errs.push(format!("sentence {si} word {wi}: offsets out of range"));
+            }
+            if a < prev_end {
+                errs.push(format!("sentence {si} word {wi}: offsets not monotone"));
+            }
+            prev_end = b;
+        }
+        // XML documents carry no visual modality.
+        if !doc.format.has_visual() && s.visual.is_some() {
+            errs.push(format!("sentence {si}: visual data in XML document"));
+        }
+    }
+
+    errs
+}
+
+/// Panic with a readable report if a document is invalid. Test helper.
+pub fn assert_valid(doc: &Document) {
+    let errs = validate(doc);
+    assert!(
+        errs.is_empty(),
+        "document '{}' invalid:\n  {}",
+        doc.name,
+        errs.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::DocFormat;
+    use crate::builder::{DocumentBuilder, SentenceData};
+    use crate::ids::ContextRef;
+
+    #[test]
+    fn valid_document_passes() {
+        let mut b = DocumentBuilder::new("ok", DocFormat::Html);
+        let sec = b.section();
+        let t = b.table(sec, 2, 2);
+        let c = b.cell(t, 0, 1, 0, 0);
+        let p = b.paragraph(ContextRef::Cell(c));
+        b.sentence(p, SentenceData::from_words(&["hi"]));
+        assert_valid(&b.finish());
+    }
+
+    #[test]
+    fn detects_overlapping_cells() {
+        let mut b = DocumentBuilder::new("bad", DocFormat::Html);
+        let sec = b.section();
+        let t = b.table(sec, 2, 2);
+        b.cell(t, 0, 1, 0, 0);
+        b.cell_at(t, 1, 0); // overlaps the spanning cell
+        let errs = validate(&b.finish());
+        assert!(errs.iter().any(|e| e.contains("overlapping")), "{errs:?}");
+    }
+
+    #[test]
+    fn detects_bad_offsets() {
+        let mut b = DocumentBuilder::new("bad", DocFormat::Html);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        let mut sd = SentenceData::from_words(&["one", "two"]);
+        sd.char_offsets[1] = (100, 200); // out of range
+        b.sentence(p, sd);
+        let errs = validate(&b.finish());
+        assert!(errs.iter().any(|e| e.contains("out of range")), "{errs:?}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Binary (mention-pair) feature templates from Table 7: relations between
+//! two mentions of a candidate across structural, tabular, visual, and
+//! textual modalities.
+
+use crate::config::FeatureConfig;
+use crate::unary::bucket;
+use fonduer_datamodel::{ContextRef, Document, Span};
+
+/// Generate all enabled binary features for the mention pair `(a, b)` into
+/// `out`.
+pub fn binary_features(
+    doc: &Document,
+    a: Span,
+    b: Span,
+    cfg: &FeatureConfig,
+    out: &mut Vec<String>,
+) {
+    if cfg.textual {
+        textual(doc, a, b, out);
+    }
+    if cfg.structural {
+        structural(doc, a, b, out);
+    }
+    if cfg.tabular {
+        tabular(doc, a, b, out);
+    }
+    if cfg.visual {
+        visual(doc, a, b, out);
+    }
+}
+
+fn textual(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+    if a.sentence == b.sentence {
+        out.push("SAME_SENTENCE".to_string());
+        let (lo, hi) = if a.start <= b.start { (a, b) } else { (b, a) };
+        let gap = hi.start.saturating_sub(lo.end) as usize;
+        out.push(format!("TOKEN_DIST_{}", bucket(gap)));
+        let s = doc.sentence(a.sentence);
+        for i in lo.end..hi.start {
+            out.push(format!("BETWEEN_LEMMA_{}", s.ling[i as usize].lemma));
+        }
+    } else {
+        let d = doc
+            .sentence(a.sentence)
+            .abs_position
+            .abs_diff(doc.sentence(b.sentence).abs_position);
+        out.push(format!("SENT_DIST_{}", bucket(d as usize)));
+    }
+}
+
+fn structural(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+    let (lca, da, db) = doc.lowest_common_ancestor(
+        ContextRef::Sentence(a.sentence),
+        ContextRef::Sentence(b.sentence),
+    );
+    out.push(format!("COMMON_ANCESTOR_{}", lca.kind()));
+    out.push(format!("LOWEST_ANCESTOR_DEPTH_{}", bucket(da.min(db))));
+}
+
+fn tabular(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+    let ca = doc.cell_of_sentence(a.sentence);
+    let cb = doc.cell_of_sentence(b.sentence);
+    let (Some(ca), Some(cb)) = (ca, cb) else {
+        return;
+    };
+    let cell_a = doc.cell(ca);
+    let cell_b = doc.cell(cb);
+    let row_diff = cell_a.row_start.abs_diff(cell_b.row_start) as usize;
+    let col_diff = cell_a.col_start.abs_diff(cell_b.col_start) as usize;
+    if cell_a.table == cell_b.table {
+        out.push("SAME_TABLE".to_string());
+        out.push(format!("SAME_TABLE_ROW_DIFF_{}", bucket(row_diff)));
+        out.push(format!("SAME_TABLE_COL_DIFF_{}", bucket(col_diff)));
+        out.push(format!(
+            "SAME_TABLE_MANHATTAN_DIST_{}",
+            bucket(row_diff + col_diff)
+        ));
+        if ca == cb {
+            out.push("SAME_CELL".to_string());
+            if a.sentence == b.sentence {
+                out.push("SAME_PHRASE".to_string());
+                let (lo, hi) = if a.start <= b.start { (a, b) } else { (b, a) };
+                let word_diff = hi.start.saturating_sub(lo.end) as usize;
+                out.push(format!("WORD_DIFF_{}", bucket(word_diff)));
+                let s = doc.sentence(a.sentence);
+                let (ca_off, _) = s.char_offsets[lo.start as usize];
+                let (cb_off, _) = s.char_offsets[hi.start as usize];
+                out.push(format!(
+                    "CHAR_DIFF_{}",
+                    bucket(cb_off.saturating_sub(ca_off) as usize)
+                ));
+            }
+        }
+    } else {
+        out.push("DIFF_TABLE".to_string());
+        out.push(format!("DIFF_TABLE_ROW_DIFF_{}", bucket(row_diff)));
+        out.push(format!("DIFF_TABLE_COL_DIFF_{}", bucket(col_diff)));
+        out.push(format!(
+            "DIFF_TABLE_MANHATTAN_DIST_{}",
+            bucket(row_diff + col_diff)
+        ));
+    }
+}
+
+fn visual(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+    let (Some(pa), Some(pb)) = (a.page(doc), b.page(doc)) else {
+        return;
+    };
+    if pa == pb {
+        out.push("SAME_PAGE".to_string());
+    }
+    let (Some(ba), Some(bb)) = (a.bbox(doc), b.bbox(doc)) else {
+        return;
+    };
+    if pa == pb {
+        const EPS: f32 = 2.0;
+        if ba.y_overlaps(&bb) {
+            out.push("HORZ_ALIGNED".to_string());
+        }
+        if ba.x_overlaps(&bb) {
+            out.push("VERT_ALIGNED".to_string());
+        }
+        if (ba.x0 - bb.x0).abs() < EPS {
+            out.push("VERT_ALIGNED_LEFT".to_string());
+        }
+        if (ba.x1 - bb.x1).abs() < EPS {
+            out.push("VERT_ALIGNED_RIGHT".to_string());
+        }
+        if (ba.cx() - bb.cx()).abs() < EPS {
+            out.push("VERT_ALIGNED_CENTER".to_string());
+        }
+    }
+    // Same-font pairing (Figure 5 highlights "Same Font" as a signal).
+    let fa = &doc.sentence(a.sentence).visual.as_ref().unwrap()[a.start as usize];
+    let fb = &doc.sentence(b.sentence).visual.as_ref().unwrap()[b.start as usize];
+    if fa.font == fb.font {
+        out.push("SAME_FONT".to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::DocFormat;
+    use fonduer_parser::{parse_document, ParseOptions};
+
+    fn doc() -> Document {
+        let html = r#"
+<h1>SMBT3904</h1>
+<table>
+ <tr><th>Parameter</th><th>Value</th></tr>
+ <tr><td>Collector current</td><td>200</td></tr>
+ <tr><td>Junction temperature</td><td>150</td></tr>
+</table>
+<table><tr><td>999</td></tr></table>"#;
+        parse_document("d", html, DocFormat::Pdf, &ParseOptions::default())
+    }
+
+    fn span_of(d: &Document, word: &str) -> Span {
+        for sid in d.sentence_ids() {
+            if let Some(i) = d.sentence(sid).words.iter().position(|w| w == word) {
+                return Span::new(sid, i as u32, i as u32 + 1);
+            }
+        }
+        panic!("{word} not found");
+    }
+
+    fn feats(d: &Document, a: &str, b: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        binary_features(d, span_of(d, a), span_of(d, b), &FeatureConfig::all(), &mut out);
+        out
+    }
+
+    #[test]
+    fn same_table_distances() {
+        let d = doc();
+        let f = feats(&d, "200", "150");
+        assert!(f.contains(&"SAME_TABLE".to_string()));
+        assert!(f.contains(&"SAME_TABLE_ROW_DIFF_1".to_string()));
+        assert!(f.contains(&"SAME_TABLE_COL_DIFF_0".to_string()));
+        assert!(f.contains(&"SAME_TABLE_MANHATTAN_DIST_1".to_string()));
+        assert!(f.contains(&"VERT_ALIGNED".to_string()));
+        assert!(!f.contains(&"SAME_CELL".to_string()));
+    }
+
+    #[test]
+    fn diff_table_features() {
+        let d = doc();
+        let f = feats(&d, "200", "999");
+        assert!(f.contains(&"DIFF_TABLE".to_string()));
+        assert!(!f.contains(&"SAME_TABLE".to_string()));
+    }
+
+    #[test]
+    fn same_cell_and_phrase() {
+        let d = doc();
+        let a = span_of(&d, "Collector");
+        let b = span_of(&d, "current");
+        let mut f = Vec::new();
+        binary_features(&d, a, b, &FeatureConfig::all(), &mut f);
+        assert!(f.contains(&"SAME_CELL".to_string()));
+        assert!(f.contains(&"SAME_PHRASE".to_string()));
+        assert!(f.contains(&"WORD_DIFF_0".to_string()));
+        assert!(f.contains(&"SAME_SENTENCE".to_string()));
+    }
+
+    #[test]
+    fn cross_context_pair_gets_structural_lca() {
+        let d = doc();
+        let f = feats(&d, "SMBT3904", "200");
+        // Header vs table cell: common ancestor is the section.
+        assert!(f.contains(&"COMMON_ANCESTOR_section".to_string()));
+        assert!(f.iter().any(|x| x.starts_with("SENT_DIST_")));
+        assert!(f.contains(&"SAME_PAGE".to_string()));
+        assert!(f.contains(&"SAME_FONT".to_string()));
+        // Header is not in any cell: no tabular pair features at all.
+        assert!(!f.iter().any(|x| x.contains("TABLE")));
+    }
+
+    #[test]
+    fn horizontal_alignment_same_row() {
+        let d = doc();
+        let f = feats(&d, "Collector", "200");
+        assert!(f.contains(&"HORZ_ALIGNED".to_string()), "{f:?}");
+        assert!(f.contains(&"SAME_TABLE_ROW_DIFF_0".to_string()));
+    }
+
+    #[test]
+    fn xml_has_no_visual_pair_features() {
+        let d = parse_document(
+            "x",
+            "<p>one two</p><p>three</p>",
+            DocFormat::Xml,
+            &ParseOptions::default(),
+        );
+        let f = {
+            let mut out = Vec::new();
+            binary_features(
+                &d,
+                span_of(&d, "one"),
+                span_of(&d, "three"),
+                &FeatureConfig::all(),
+                &mut out,
+            );
+            out
+        };
+        assert!(!f.iter().any(|x| x.contains("PAGE") || x.contains("ALIGNED")));
+    }
+}

@@ -1,0 +1,92 @@
+//! Featurization configuration: which modalities contribute features.
+//!
+//! The Figure 7 ablation disables one modality at a time; this config is
+//! the switchboard.
+
+use serde::{Deserialize, Serialize};
+
+/// Which feature modalities are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Textual features (mention words/lemmas/POS, windows, between-text).
+    pub textual: bool,
+    /// Structural features (markup tags, ancestors, common ancestor).
+    pub structural: bool,
+    /// Tabular features (row/column membership, headers, alignment in grid).
+    pub tabular: bool,
+    /// Visual features (page, fonts, geometric alignment).
+    pub visual: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl FeatureConfig {
+    /// Every modality enabled (Fonduer's default).
+    pub fn all() -> Self {
+        Self {
+            textual: true,
+            structural: true,
+            tabular: true,
+            visual: true,
+        }
+    }
+
+    /// Only textual features (the classic-KBC configuration).
+    pub fn textual_only() -> Self {
+        Self {
+            textual: true,
+            structural: false,
+            tabular: false,
+            visual: false,
+        }
+    }
+
+    /// Disable one modality by name (Figure 7's per-domain ablation rows).
+    /// Valid names: `"textual"`, `"structural"`, `"tabular"`, `"visual"`.
+    pub fn without(name: &str) -> Self {
+        let mut c = Self::all();
+        match name {
+            "textual" => c.textual = false,
+            "structural" => c.structural = false,
+            "tabular" => c.tabular = false,
+            "visual" => c.visual = false,
+            other => panic!("unknown modality {other:?}"),
+        }
+        c
+    }
+
+    /// Bitmask used as part of cache keys.
+    pub fn mask(&self) -> u8 {
+        (self.textual as u8)
+            | (self.structural as u8) << 1
+            | (self.tabular as u8) << 2
+            | (self.visual as u8) << 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_switches() {
+        let c = FeatureConfig::without("tabular");
+        assert!(c.textual && c.structural && c.visual && !c.tabular);
+        assert_eq!(FeatureConfig::all().mask(), 0b1111);
+        assert_eq!(FeatureConfig::textual_only().mask(), 0b0001);
+        assert_ne!(
+            FeatureConfig::without("visual").mask(),
+            FeatureConfig::without("textual").mask()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown modality")]
+    fn unknown_modality_panics() {
+        FeatureConfig::without("acoustic");
+    }
+}

@@ -1,0 +1,507 @@
+//! The multimodal featurizer: candidates → sparse feature matrix, with the
+//! document-level mention-feature cache of Appendix C.1.
+//!
+//! "All features are cached until all candidates in a document are fully
+//! featurized, after which the cache is flushed. Because Fonduer operates
+//! on documents atomically, caching a single document at a time improves
+//! performance without adding significant memory overhead."
+
+use crate::binary::binary_features;
+use crate::config::FeatureConfig;
+use crate::sparse::LilMatrix;
+use crate::unary::unary_features;
+use fonduer_candidates::{Candidate, CandidateSet};
+use fonduer_datamodel::{Corpus, Document, Span};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interns feature strings to dense column indices.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureVocab {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl FeatureVocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a feature string, returning its column index.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.map.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.map.insert(name.to_string(), i);
+        self.names.push(name.to_string());
+        i
+    }
+
+    /// Look up an existing feature.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Feature name of a column.
+    pub fn name(&self, col: u32) -> &str {
+        &self.names[col as usize]
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Cache effectiveness counters (reported by the Appendix C.1 bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Mention featurizations served from the cache.
+    pub hits: usize,
+    /// Mention featurizations computed.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1].
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The featurization result: an interned vocabulary plus one sparse row per
+/// candidate (the paper's `Features(id, LSTM_textual, feature_lib_others)`
+/// relation, minus the learned LSTM part which lives in `fonduer-learning`).
+#[derive(Debug, Clone)]
+pub struct FeatureSet {
+    /// Feature-name interning table.
+    pub vocab: FeatureVocab,
+    /// One row per candidate; presence-valued (1.0) per Appendix B's
+    /// bit-vector semantics.
+    pub matrix: LilMatrix,
+    /// Cache statistics accumulated over the run.
+    pub stats: CacheStats,
+}
+
+/// Multimodal featurizer.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    /// Enabled modalities.
+    pub cfg: FeatureConfig,
+    /// Whether the per-document mention cache is used (Appendix C.1; the
+    /// `appc_caching` bench flips this).
+    pub cache_enabled: bool,
+}
+
+impl Default for Featurizer {
+    fn default() -> Self {
+        Self {
+            cfg: FeatureConfig::all(),
+            cache_enabled: true,
+        }
+    }
+}
+
+impl Featurizer {
+    /// Featurizer with a modality configuration and caching on.
+    pub fn new(cfg: FeatureConfig) -> Self {
+        Self {
+            cfg,
+            cache_enabled: true,
+        }
+    }
+
+    /// Feature strings of one candidate (unprefixed computation, prefixed
+    /// assembly): `A{i}_` for argument `i`'s unary features and `A{i}{j}_`
+    /// for pair features.
+    pub fn features_of(
+        &self,
+        doc: &Document,
+        cand: &Candidate,
+        cache: &mut HashMap<Span, Arc<Vec<String>>>,
+        stats: &mut CacheStats,
+    ) -> Vec<String> {
+        let mut out = Vec::with_capacity(64);
+        for (i, &m) in cand.mentions.iter().enumerate() {
+            let unary = if self.cache_enabled {
+                if let Some(hit) = cache.get(&m) {
+                    stats.hits += 1;
+                    hit.clone()
+                } else {
+                    stats.misses += 1;
+                    let mut feats = Vec::with_capacity(32);
+                    unary_features(doc, m, &self.cfg, &mut feats);
+                    let arc = Arc::new(feats);
+                    cache.insert(m, arc.clone());
+                    arc
+                }
+            } else {
+                stats.misses += 1;
+                let mut feats = Vec::with_capacity(32);
+                unary_features(doc, m, &self.cfg, &mut feats);
+                Arc::new(feats)
+            };
+            for f in unary.iter() {
+                out.push(format!("A{i}_{f}"));
+            }
+        }
+        for i in 0..cand.mentions.len() {
+            for j in i + 1..cand.mentions.len() {
+                let mut feats = Vec::with_capacity(16);
+                binary_features(doc, cand.mentions[i], cand.mentions[j], &self.cfg, &mut feats);
+                for f in feats {
+                    out.push(format!("A{i}{j}_{f}"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Featurize an entire candidate set over its corpus. Candidates are
+    /// processed document-atomically; the mention cache lives for one
+    /// document and is then flushed.
+    ///
+    /// With the cache enabled, each mention's unary features are computed,
+    /// prefixed, and interned exactly once per document: repeat candidates
+    /// reuse the interned column ids directly (Appendix C.1).
+    pub fn featurize(&self, corpus: &Corpus, cands: &CandidateSet) -> FeatureSet {
+        let mut vocab = FeatureVocab::new();
+        let mut matrix = LilMatrix::new();
+        let mut stats = CacheStats::default();
+        // Keyed by (mention span, argument index): the prefix differs per
+        // argument position, so interned ids are cached per position.
+        let mut cache: HashMap<(Span, u8), Arc<Vec<u32>>> = HashMap::new();
+        let mut current_doc = None;
+        let mut scratch: Vec<String> = Vec::with_capacity(64);
+        for cand in &cands.candidates {
+            if current_doc != Some(cand.doc) {
+                cache.clear(); // flush at document boundary
+                current_doc = Some(cand.doc);
+            }
+            let doc = corpus.doc(cand.doc);
+            let mut row: Vec<(u32, f32)> = Vec::with_capacity(96);
+            for (i, &m) in cand.mentions.iter().enumerate() {
+                let key = (m, i as u8);
+                let ids: Arc<Vec<u32>> = if self.cache_enabled {
+                    if let Some(hit) = cache.get(&key) {
+                        stats.hits += 1;
+                        hit.clone()
+                    } else {
+                        stats.misses += 1;
+                        let ids = Arc::new(Self::unary_ids(doc, m, i, &self.cfg, &mut vocab));
+                        cache.insert(key, ids.clone());
+                        ids
+                    }
+                } else {
+                    stats.misses += 1;
+                    Arc::new(Self::unary_ids(doc, m, i, &self.cfg, &mut vocab))
+                };
+                row.extend(ids.iter().map(|&c| (c, 1.0)));
+            }
+            for i in 0..cand.mentions.len() {
+                for j in i + 1..cand.mentions.len() {
+                    scratch.clear();
+                    binary_features(doc, cand.mentions[i], cand.mentions[j], &self.cfg, &mut scratch);
+                    for f in &scratch {
+                        row.push((vocab.intern(&format!("A{i}{j}_{f}")), 1.0));
+                    }
+                }
+            }
+            matrix.push_row(row);
+        }
+        FeatureSet {
+            vocab,
+            matrix,
+            stats,
+        }
+    }
+
+    /// Compute, prefix, and intern one mention's unary features.
+    fn unary_ids(
+        doc: &Document,
+        m: Span,
+        arg: usize,
+        cfg: &FeatureConfig,
+        vocab: &mut FeatureVocab,
+    ) -> Vec<u32> {
+        let mut feats = Vec::with_capacity(48);
+        unary_features(doc, m, cfg, &mut feats);
+        feats
+            .iter()
+            .map(|f| vocab.intern(&format!("A{arg}_{f}")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_candidates::{
+        CandidateExtractor, ContextScope, DictionaryMatcher, MentionType, NumberRangeMatcher,
+        RelationSchema,
+    };
+    use fonduer_datamodel::DocFormat;
+    use fonduer_parser::{parse_document, ParseOptions};
+
+    fn setup() -> (Corpus, CandidateSet) {
+        let html = r#"
+<h1>SMBT3904...MMBT3904</h1>
+<table>
+ <tr><th>Parameter</th><th>Value</th><th>Unit</th></tr>
+ <tr><td>Collector current</td><td>200</td><td>mA</td></tr>
+ <tr><td>Junction temperature</td><td>150</td><td>°C</td></tr>
+ <tr><td>Gain</td><td>300</td><td></td></tr>
+</table>"#;
+        let mut c = Corpus::new("t");
+        c.add(parse_document("d0", html, DocFormat::Pdf, &ParseOptions::default()));
+        let ex = CandidateExtractor::new(
+            RelationSchema::new("has_collector_current", &["part", "current"]),
+            vec![
+                MentionType::new(
+                    "part",
+                    Box::new(DictionaryMatcher::new(["SMBT3904", "MMBT3904"])),
+                ),
+                MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+            ],
+        )
+        .with_scope(ContextScope::Document);
+        let set = ex.extract(&c);
+        (c, set)
+    }
+
+    #[test]
+    fn featurize_produces_row_per_candidate() {
+        let (c, set) = setup();
+        assert_eq!(set.len(), 6); // 2 parts × 3 numbers
+        let fs = Featurizer::default().featurize(&c, &set);
+        assert_eq!(fs.matrix.n_rows(), 6);
+        assert!(fs.vocab.len() > 20);
+        // Every row non-empty, presence-valued.
+        use crate::sparse::SparseAccess;
+        for r in 0..6 {
+            let row = fs.matrix.row_of(r);
+            assert!(!row.is_empty());
+            assert!(row.iter().all(|&(_, v)| v == 1.0));
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_mentions() {
+        let (c, set) = setup();
+        let fs = Featurizer::default().featurize(&c, &set);
+        // 6 candidates × 2 mentions = 12 lookups over 5 distinct mentions.
+        assert_eq!(fs.stats.hits + fs.stats.misses, 12);
+        assert_eq!(fs.stats.misses, 5);
+        assert_eq!(fs.stats.hits, 7);
+        assert!(fs.stats.hit_ratio() > 0.5);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_everything() {
+        let (c, set) = setup();
+        let mut f = Featurizer::default();
+        f.cache_enabled = false;
+        let fs = f.featurize(&c, &set);
+        assert_eq!(fs.stats.hits, 0);
+        assert_eq!(fs.stats.misses, 12);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let (c, set) = setup();
+        let with = Featurizer::default().featurize(&c, &set);
+        let mut f = Featurizer::default();
+        f.cache_enabled = false;
+        let without = f.featurize(&c, &set);
+        use crate::sparse::SparseAccess;
+        assert_eq!(with.vocab.len(), without.vocab.len());
+        for r in 0..set.len() {
+            assert_eq!(with.matrix.row_of(r), without.matrix.row_of(r));
+        }
+    }
+
+    #[test]
+    fn argument_prefixes_distinguish_mentions() {
+        let (c, set) = setup();
+        let fs = Featurizer::default().featurize(&c, &set);
+        assert!(fs.vocab.get("A0_TAG_h1").is_some());
+        assert!(fs.vocab.get("A1_COL_HEAD_value").is_some());
+        assert!(fs.vocab.get("A01_COMMON_ANCESTOR_section").is_some());
+        // The part mention never carries table features.
+        assert!(fs.vocab.get("A0_COL_HEAD_value").is_none());
+    }
+
+    #[test]
+    fn ablation_removes_modal_features() {
+        let (c, set) = setup();
+        let fs = Featurizer::new(FeatureConfig::without("visual")).featurize(&c, &set);
+        for col in 0..fs.vocab.len() as u32 {
+            let name = fs.vocab.name(col);
+            assert!(
+                !name.contains("ALIGNED") && !name.contains("FONT") && !name.contains("PAGE"),
+                "visual feature leaked: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn vocab_interning_is_stable() {
+        let mut v = FeatureVocab::new();
+        let a = v.intern("X");
+        let b = v.intern("Y");
+        assert_eq!(v.intern("X"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.name(a), "X");
+        assert_eq!(v.len(), 2);
+    }
+}
+
+impl Featurizer {
+    /// Parallel featurization over `n_threads` workers: candidates are
+    /// partitioned at document boundaries (the mention cache is per-document,
+    /// so documents are independent units of work), feature strings are
+    /// computed in parallel, and interning happens sequentially afterwards —
+    /// producing a [`FeatureSet`] identical to [`Featurizer::featurize`].
+    pub fn featurize_parallel(
+        &self,
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        n_threads: usize,
+    ) -> FeatureSet {
+        let n_threads = n_threads.max(1);
+        if n_threads == 1 || cands.len() < 2 {
+            return self.featurize(corpus, cands);
+        }
+        // Split candidate ranges at document boundaries.
+        let mut boundaries = vec![0usize];
+        for i in 1..cands.candidates.len() {
+            if cands.candidates[i].doc != cands.candidates[i - 1].doc {
+                boundaries.push(i);
+            }
+        }
+        boundaries.push(cands.candidates.len());
+        let n_docs = boundaries.len() - 1;
+        let docs_per_chunk = n_docs.div_ceil(n_threads);
+        /// One worker's output: starting candidate index, feature strings
+        /// per candidate, cache statistics.
+        type ChunkResult = (usize, Vec<Vec<String>>, CacheStats);
+        let results: parking_lot::Mutex<Vec<ChunkResult>> = parking_lot::Mutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for (chunk_idx, chunk) in boundaries[..n_docs]
+                .chunks(docs_per_chunk)
+                .enumerate()
+            {
+                let start = chunk[0];
+                let end_doc = (chunk_idx + 1) * docs_per_chunk;
+                let end = boundaries[end_doc.min(n_docs)];
+                let results = &results;
+                s.spawn(move |_| {
+                    let mut cache: HashMap<Span, Arc<Vec<String>>> = HashMap::new();
+                    let mut stats = CacheStats::default();
+                    let mut current_doc = None;
+                    let mut rows = Vec::with_capacity(end - start);
+                    for cand in &cands.candidates[start..end] {
+                        if current_doc != Some(cand.doc) {
+                            cache.clear();
+                            current_doc = Some(cand.doc);
+                        }
+                        let doc = corpus.doc(cand.doc);
+                        rows.push(self.features_of(doc, cand, &mut cache, &mut stats));
+                    }
+                    results.lock().push((start, rows, stats));
+                });
+            }
+        })
+        .expect("featurization worker panicked");
+        let mut chunks = results.into_inner();
+        chunks.sort_by_key(|(start, _, _)| *start);
+        let mut vocab = FeatureVocab::new();
+        let mut matrix = LilMatrix::new();
+        let mut stats = CacheStats::default();
+        for (_, rows, st) in chunks {
+            stats.hits += st.hits;
+            stats.misses += st.misses;
+            for feats in rows {
+                let row: Vec<(u32, f32)> = feats.iter().map(|f| (vocab.intern(f), 1.0)).collect();
+                matrix.push_row(row);
+            }
+        }
+        FeatureSet {
+            vocab,
+            matrix,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use fonduer_candidates::{
+        CandidateExtractor, DictionaryMatcher, MentionType, NumberRangeMatcher, RelationSchema,
+    };
+    use fonduer_datamodel::DocFormat;
+    use fonduer_parser::{parse_document, ParseOptions};
+
+    #[test]
+    fn parallel_featurization_matches_sequential() {
+        let mut corpus = Corpus::new("p");
+        let mut parts = Vec::new();
+        for i in 0..6 {
+            let part = format!("PART{i}A");
+            let html = format!(
+                "<h1>{part}</h1><table><tr><th>Value</th></tr>\
+                 <tr><td>{}</td></tr><tr><td>{}</td></tr></table>",
+                100 + i,
+                300 + i
+            );
+            corpus.add(parse_document(
+                &format!("d{i}"),
+                &html,
+                DocFormat::Pdf,
+                &ParseOptions::default(),
+            ));
+            parts.push(part);
+        }
+        let ex = CandidateExtractor::new(
+            RelationSchema::new("r", &["part", "value"]),
+            vec![
+                MentionType::new("part", Box::new(DictionaryMatcher::new(parts))),
+                MentionType::new("value", Box::new(NumberRangeMatcher::new(1.0, 999.0))),
+            ],
+        );
+        let cands = ex.extract(&corpus);
+        assert!(cands.len() >= 12);
+        let f = Featurizer::default();
+        let seq = f.featurize(&corpus, &cands);
+        use crate::sparse::SparseAccess;
+        for threads in [2, 3, 16] {
+            let par = f.featurize_parallel(&corpus, &cands, threads);
+            assert_eq!(par.vocab.len(), seq.vocab.len(), "threads={threads}");
+            for r in 0..cands.len() {
+                // Compare by feature names (interning order may differ).
+                let names = |fs: &FeatureSet, r: usize| -> std::collections::BTreeSet<String> {
+                    fs.matrix
+                        .row_of(r)
+                        .into_iter()
+                        .map(|(c, _)| fs.vocab.name(c).to_string())
+                        .collect()
+                };
+                assert_eq!(names(&par, r), names(&seq, r), "row {r} threads={threads}");
+            }
+            assert_eq!(par.stats.hits + par.stats.misses, seq.stats.hits + seq.stats.misses);
+        }
+    }
+}

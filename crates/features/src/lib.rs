@@ -1,0 +1,27 @@
+//! # fonduer-features
+//!
+//! Fonduer's extended multimodal feature library (paper §4.2, Appendix B,
+//! Table 7): automatically generated structural, tabular, and visual
+//! features that augment learned textual representations, "only obtainable
+//! through traversing and accessing modality attributes stored in the data
+//! model".
+//!
+//! Also home to the scalability machinery of Appendix C:
+//! * [`featurizer::Featurizer`] caches mention-level features per document
+//!   (C.1's 100× speed-up);
+//! * [`sparse`] provides the LIL and COO representations whose access
+//!   patterns C.2 compares.
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod config;
+pub mod featurizer;
+pub mod sparse;
+pub mod unary;
+
+pub use binary::binary_features;
+pub use config::FeatureConfig;
+pub use featurizer::{CacheStats, FeatureSet, FeatureVocab, Featurizer};
+pub use sparse::{CooMatrix, LilMatrix, SparseAccess};
+pub use unary::unary_features;

@@ -1,0 +1,267 @@
+//! Unary (per-mention) feature templates from the extended feature library
+//! (paper Appendix B, Table 7), plus textual mention features used by the
+//! human-tuned baseline.
+//!
+//! Feature values are strings; the caller prefixes them with the argument
+//! index so the learner can distinguish which mention a feature describes.
+
+use crate::config::FeatureConfig;
+use fonduer_datamodel::{Document, Span};
+
+/// Size of the lemma window to the left/right of a mention for textual
+/// context features.
+const WINDOW: usize = 3;
+
+/// Bucketize a small count so the feature space stays bounded.
+pub(crate) fn bucket(n: usize) -> &'static str {
+    match n {
+        0 => "0",
+        1 => "1",
+        2 => "2",
+        3 => "3",
+        4..=5 => "4-5",
+        6..=10 => "6-10",
+        _ => "10+",
+    }
+}
+
+/// Generate all enabled unary features of one mention into `out`.
+pub fn unary_features(doc: &Document, span: Span, cfg: &FeatureConfig, out: &mut Vec<String>) {
+    if cfg.textual {
+        textual(doc, span, out);
+    }
+    if cfg.structural {
+        structural(doc, span, out);
+    }
+    if cfg.tabular {
+        tabular(doc, span, out);
+    }
+    if cfg.visual {
+        visual(doc, span, out);
+    }
+}
+
+fn textual(doc: &Document, span: Span, out: &mut Vec<String>) {
+    let s = doc.sentence(span.sentence);
+    let (a, b) = (span.start as usize, span.end as usize);
+    for w in &s.words[a..b] {
+        out.push(format!("WORD_{}", w.to_lowercase()));
+    }
+    for l in &s.ling[a..b] {
+        out.push(format!("LEMMA_{}", l.lemma));
+        out.push(format!("NER_{}", l.ner));
+    }
+    let pos_seq: Vec<&str> = s.ling[a..b].iter().map(|l| l.pos.as_str()).collect();
+    out.push(format!("POS_{}", pos_seq.join("_")));
+    out.push(format!("LEN_{}", bucket(b - a)));
+    for i in a.saturating_sub(WINDOW)..a {
+        out.push(format!("LEFT_LEMMA_{}", s.ling[i].lemma));
+    }
+    for i in b..(b + WINDOW).min(s.len()) {
+        out.push(format!("RIGHT_LEMMA_{}", s.ling[i].lemma));
+    }
+}
+
+fn structural(doc: &Document, span: Span, out: &mut Vec<String>) {
+    let st = &doc.sentence(span.sentence).structural;
+    out.push(format!("TAG_{}", st.tag));
+    for (k, v) in &st.attrs {
+        out.push(format!("HTML_ATTR_{k}:{v}"));
+    }
+    out.push(format!("PARENT_TAG_{}", st.parent_tag));
+    if let Some(t) = &st.prev_sibling_tag {
+        out.push(format!("PREV_SIB_TAG_{t}"));
+    }
+    if let Some(t) = &st.next_sibling_tag {
+        out.push(format!("NEXT_SIB_TAG_{t}"));
+    }
+    out.push(format!("NODE_POS_{}", bucket(st.node_pos as usize)));
+    out.push(format!("ANCESTOR_TAG_{}", st.ancestor_tags.join(">")));
+    for c in &st.ancestor_classes {
+        out.push(format!("ANCESTOR_CLASS_{c}"));
+    }
+    for i in &st.ancestor_ids {
+        out.push(format!("ANCESTOR_ID_{i}"));
+    }
+}
+
+fn tabular(doc: &Document, span: Span, out: &mut Vec<String>) {
+    let Some(cell_id) = doc.cell_of_sentence(span.sentence) else {
+        out.push("NOT_IN_TABLE".to_string());
+        return;
+    };
+    let cell = doc.cell(cell_id);
+    out.push(format!("ROW_NUM_{}", bucket(cell.row_start as usize)));
+    out.push(format!("COL_NUM_{}", bucket(cell.col_start as usize)));
+    out.push(format!("ROW_SPAN_{}", cell.row_span()));
+    out.push(format!("COL_SPAN_{}", cell.col_span()));
+    // Words sharing the mention's cell (excluding the mention's own tokens).
+    let s = doc.sentence(span.sentence);
+    for (i, w) in s.words.iter().enumerate() {
+        if (i as u32) < span.start || (i as u32) >= span.end {
+            out.push(format!("CELL_{}", w.to_lowercase()));
+        }
+    }
+    for w in doc.row_header_words(cell_id) {
+        out.push(format!("ROW_HEAD_{w}"));
+    }
+    for w in doc.col_header_words(cell_id) {
+        out.push(format!("COL_HEAD_{w}"));
+    }
+    for w in doc.row_words(cell_id) {
+        out.push(format!("ROW_{w}"));
+    }
+    for w in doc.col_words(cell_id) {
+        out.push(format!("COL_{w}"));
+    }
+    // Caption n-grams of the containing table: captions carry the table's
+    // role ("Maximum Ratings", "suggestive loci"), a signal the data model
+    // preserves as a table-attached context.
+    if let Some(table) = doc.table_of_sentence(span.sentence) {
+        if let Some(cap) = doc.table(table).caption {
+            for sid in doc.sentences_in(fonduer_datamodel::ContextRef::Caption(cap)) {
+                for w in &doc.sentence(sid).words {
+                    out.push(format!("CAPTION_{}", w.to_lowercase()));
+                }
+            }
+        }
+    }
+}
+
+fn visual(doc: &Document, span: Span, out: &mut Vec<String>) {
+    let s = doc.sentence(span.sentence);
+    let Some(vis) = &s.visual else {
+        out.push("NO_VISUAL".to_string());
+        return;
+    };
+    let first = &vis[span.start as usize];
+    out.push(format!("PAGE_{}", first.page));
+    out.push(format!("FONT_{}", first.font));
+    out.push(format!("FONT_SIZE_{}", first.font_size as u32));
+    if first.bold {
+        out.push("BOLD".to_string());
+    }
+    if let Some(bbox) = span.bbox(doc) {
+        // Coarse page-position buckets (top/middle/bottom thirds): position
+        // on a page "may imply when text is a title or header".
+        let page_h = 792.0f32;
+        let third = ((bbox.cy() / page_h) * 3.0).min(2.0) as u32;
+        out.push(format!("PAGE_THIRD_{third}"));
+        for lemma in doc.visually_aligned_lemmas(first.page, &bbox, span.sentence) {
+            out.push(format!("ALIGNED_{lemma}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::DocFormat;
+    use fonduer_parser::{parse_document, ParseOptions};
+
+    fn doc() -> Document {
+        let html = r#"
+<h1 class="title">SMBT3904</h1>
+<table>
+ <tr><th>Parameter</th><th>Value</th><th>Unit</th></tr>
+ <tr><td>Collector current</td><td>200</td><td>mA</td></tr>
+</table>"#;
+        parse_document("d", html, DocFormat::Pdf, &ParseOptions::default())
+    }
+
+    fn span_of(d: &Document, word: &str) -> Span {
+        for sid in d.sentence_ids() {
+            if let Some(i) = d.sentence(sid).words.iter().position(|w| w == word) {
+                return Span::new(sid, i as u32, i as u32 + 1);
+            }
+        }
+        panic!("{word} not found");
+    }
+
+    fn feats(d: &Document, word: &str, cfg: FeatureConfig) -> Vec<String> {
+        let mut out = Vec::new();
+        unary_features(d, span_of(d, word), &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn textual_features_of_header_mention() {
+        let d = doc();
+        let f = feats(&d, "SMBT3904", FeatureConfig::textual_only());
+        assert!(f.contains(&"WORD_smbt3904".to_string()));
+        assert!(f.contains(&"NER_CODE".to_string()));
+        assert!(f.iter().any(|x| x.starts_with("POS_")));
+        assert!(f.contains(&"LEN_1".to_string()));
+    }
+
+    #[test]
+    fn structural_features_record_tag_and_class() {
+        let d = doc();
+        let f = feats(&d, "SMBT3904", FeatureConfig::without("textual"));
+        assert!(f.contains(&"TAG_h1".to_string()));
+        assert!(f.contains(&"HTML_ATTR_class:title".to_string()));
+        assert!(f.iter().any(|x| x.starts_with("ANCESTOR_TAG_")));
+    }
+
+    #[test]
+    fn tabular_features_of_value_cell() {
+        let d = doc();
+        let f = feats(&d, "200", FeatureConfig::all());
+        assert!(f.contains(&"COL_HEAD_value".to_string()), "{f:?}");
+        assert!(f.contains(&"ROW_HEAD_collector".to_string()));
+        assert!(f.contains(&"ROW_ma".to_string()));
+        assert!(f.contains(&"ROW_NUM_1".to_string()));
+        assert!(f.contains(&"COL_NUM_1".to_string()));
+    }
+
+    #[test]
+    fn text_mention_is_marked_not_in_table() {
+        let d = doc();
+        let f = feats(&d, "SMBT3904", FeatureConfig::all());
+        assert!(f.contains(&"NOT_IN_TABLE".to_string()));
+    }
+
+    #[test]
+    fn visual_features_record_font_and_alignment() {
+        let d = doc();
+        let f = feats(&d, "200", FeatureConfig::all());
+        assert!(f.contains(&"FONT_Arial".to_string()));
+        assert!(f.iter().any(|x| x.starts_with("PAGE_1")));
+        // "Value" is the column header directly above "200" → x-aligned.
+        assert!(f.contains(&"ALIGNED_value".to_string()), "{f:?}");
+        // Header mention is bold and larger.
+        let h = feats(&d, "SMBT3904", FeatureConfig::all());
+        assert!(h.contains(&"BOLD".to_string()));
+        assert!(h.contains(&"FONT_SIZE_16".to_string()));
+    }
+
+    #[test]
+    fn xml_document_yields_no_visual() {
+        let d = parse_document(
+            "x",
+            "<p>alpha beta</p>",
+            DocFormat::Xml,
+            &ParseOptions::default(),
+        );
+        let mut out = Vec::new();
+        unary_features(&d, Span::new(fonduer_datamodel::SentenceId(0), 0, 1), &FeatureConfig::all(), &mut out);
+        assert!(out.contains(&"NO_VISUAL".to_string()));
+    }
+
+    #[test]
+    fn modality_gating_respected() {
+        let d = doc();
+        let f = feats(&d, "200", FeatureConfig::without("tabular"));
+        assert!(!f.iter().any(|x| x.starts_with("ROW_") || x.starts_with("COL_")));
+        let f = feats(&d, "200", FeatureConfig::without("visual"));
+        assert!(!f.iter().any(|x| x.starts_with("ALIGNED_") || x.starts_with("FONT_")));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), "0");
+        assert_eq!(bucket(4), "4-5");
+        assert_eq!(bucket(10), "6-10");
+        assert_eq!(bucket(50), "10+");
+    }
+}

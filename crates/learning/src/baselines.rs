@@ -1,0 +1,267 @@
+//! Baseline learners the paper compares against.
+//!
+//! * [`LogRegModel`] — sparse logistic regression over an explicit feature
+//!   set. With the full multimodal feature library (including textual
+//!   n-grams) it is the "human-tuned" feature-engineering baseline of
+//!   Table 4; restricted to structural+textual features it is the
+//!   SRV-style HTML learner of Table 5.
+//! * [`DocRnnModel`] — a document-level RNN (Table 6): one Bi-LSTM with
+//!   attention over the *entire* document token stream per candidate,
+//!   learning a single representation across all modalities' serialized
+//!   order. Accurate modeling of why it loses: enormous sequences make it
+//!   orders of magnitude slower per epoch and hard to fit.
+
+use crate::input::CandidateInput;
+use crate::model::{ModelConfig, ProbClassifier};
+use fonduer_nn::{
+    bce_with_logit, sigmoid, Attention, BiLstm, Embedding, Linear, ParamId, ParamStore,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sparse logistic regression over feature columns.
+pub struct LogRegModel {
+    store: ParamStore,
+    w: ParamId,
+    b: ParamId,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl LogRegModel {
+    /// Build for a feature space of `n_features` columns.
+    pub fn new(n_features: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new(seed);
+        let w = store.alloc_zeros(n_features.max(1), 1);
+        let b = store.alloc_zeros(1, 1);
+        Self {
+            store,
+            w,
+            b,
+            epochs: 12,
+            lr: 0.05,
+            seed,
+        }
+    }
+
+    fn logit(&self, input: &CandidateInput) -> f32 {
+        let w = self.store.p(self.w);
+        let mut z = self.store.p(self.b)[0];
+        for &c in &input.features {
+            z += w[c as usize];
+        }
+        z
+    }
+}
+
+impl ProbClassifier for LogRegModel {
+    fn fit(&mut self, inputs: &[CandidateInput], targets: &[f32]) {
+        if inputs.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbeef);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        for _ in 0..self.epochs {
+            for i in 0..order.len() {
+                let j = rng.gen_range(i..order.len());
+                order.swap(i, j);
+            }
+            for &i in &order {
+                self.store.zero_grad();
+                let z = self.logit(&inputs[i]);
+                let (_, dz) = bce_with_logit(z, targets[i]);
+                {
+                    let g = self.store.grad_mut(self.w);
+                    for &c in &inputs[i].features {
+                        g[c as usize] += dz;
+                    }
+                }
+                self.store.grad_mut(self.b)[0] += dz;
+                self.store.adam_step(self.lr, Some(5.0));
+            }
+        }
+    }
+
+    fn predict_one(&self, input: &CandidateInput) -> f32 {
+        sigmoid(self.logit(input))
+    }
+}
+
+/// Document-level RNN baseline: Bi-LSTM + attention over the whole document
+/// token stream of each candidate.
+pub struct DocRnnModel {
+    cfg: ModelConfig,
+    store: ParamStore,
+    emb: Embedding,
+    bilstm: BiLstm,
+    attn: Attention,
+    out: Linear,
+}
+
+impl DocRnnModel {
+    /// Build for a token vocabulary of `vocab_size` rows.
+    pub fn new(cfg: ModelConfig, vocab_size: usize) -> Self {
+        let mut store = ParamStore::new(cfg.seed);
+        let emb = Embedding::new(&mut store, vocab_size, cfg.d_emb);
+        let bilstm = BiLstm::new(&mut store, cfg.d_emb, cfg.d_h);
+        let attn = Attention::new(&mut store, 2 * cfg.d_h, cfg.d_attn);
+        let out = Linear::new(&mut store, cfg.d_attn, 1);
+        Self {
+            cfg,
+            store,
+            emb,
+            bilstm,
+            attn,
+            out,
+        }
+    }
+
+    fn forward(&self, toks: &[u32]) -> f32 {
+        let xs: Vec<Vec<f32>> = toks
+            .iter()
+            .map(|&t| self.emb.forward(&self.store, t as usize))
+            .collect();
+        let (hs, _) = self.bilstm.forward_seq(&self.store, &xs);
+        let (t, _) = self.attn.forward(&self.store, &hs);
+        self.out.forward(&self.store, &t)[0]
+    }
+
+    /// One training epoch over `(doc token stream, target)` pairs; returns
+    /// the mean loss. Exposed per-epoch so Table 6 can time it.
+    pub fn train_epoch(&mut self, seqs: &[Vec<u32>], targets: &[f32]) -> f32 {
+        assert_eq!(seqs.len(), targets.len());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xd0c);
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        for i in 0..order.len() {
+            let j = rng.gen_range(i..order.len());
+            order.swap(i, j);
+        }
+        let mut total = 0.0f32;
+        for &i in &order {
+            self.store.zero_grad();
+            let toks = &seqs[i];
+            let xs: Vec<Vec<f32>> = toks
+                .iter()
+                .map(|&t| self.emb.forward(&self.store, t as usize))
+                .collect();
+            let (hs, lc) = self.bilstm.forward_seq(&self.store, &xs);
+            let (t, ac) = self.attn.forward(&self.store, &hs);
+            let z = self.out.forward(&self.store, &t)[0];
+            let (loss, dz) = bce_with_logit(z, targets[i]);
+            total += loss;
+            let dt = self.out.backward(&mut self.store, &t, &[dz]);
+            let dhs = self.attn.backward(&mut self.store, &ac, &dt);
+            let dxs = self.bilstm.backward_seq(&mut self.store, &lc, &dhs);
+            for (k, &tok) in toks.iter().enumerate() {
+                self.emb.backward(&mut self.store, tok as usize, &dxs[k]);
+            }
+            self.store.adam_step(self.cfg.lr, Some(self.cfg.clip));
+        }
+        total / seqs.len().max(1) as f32
+    }
+
+    /// Train for the configured number of epochs.
+    pub fn fit_docs(&mut self, seqs: &[Vec<u32>], targets: &[f32]) {
+        for _ in 0..self.cfg.epochs {
+            self.train_epoch(seqs, targets);
+        }
+    }
+
+    /// Marginal probability for one document token stream.
+    pub fn predict_doc(&self, toks: &[u32]) -> f32 {
+        sigmoid(self.forward(toks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature_dataset(n: usize) -> (Vec<CandidateInput>, Vec<f32>) {
+        (0..n)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                (
+                    CandidateInput {
+                        mention_tokens: vec![vec![1], vec![2]],
+                        features: if pos { vec![0, 2] } else { vec![1, 2] },
+                    },
+                    if pos { 0.95 } else { 0.05 },
+                )
+            })
+            .unzip()
+    }
+
+    #[test]
+    fn logreg_learns_separable_features() {
+        let (inputs, targets) = feature_dataset(40);
+        let mut m = LogRegModel::new(3, 1);
+        m.fit(&inputs, &targets);
+        for (inp, &t) in inputs.iter().zip(&targets) {
+            assert_eq!(m.predict_one(inp) > 0.5, t > 0.5);
+        }
+        // The discriminative features got opposite-sign weights.
+        let w = m.store.p(m.w);
+        assert!(w[0] > 0.5 && w[1] < -0.5, "{w:?}");
+    }
+
+    #[test]
+    fn logreg_handles_empty_features() {
+        let mut m = LogRegModel::new(0, 1);
+        let inp = CandidateInput {
+            mention_tokens: vec![],
+            features: vec![],
+        };
+        m.fit(&[inp.clone()], &[1.0]);
+        assert!(m.predict_one(&inp) > 0.5);
+    }
+
+    #[test]
+    fn doc_rnn_learns_short_sequences() {
+        // Positives contain token 7, negatives token 8 — same task shape as
+        // the doc RNN faces, tiny scale.
+        let seqs: Vec<Vec<u32>> = (0..30)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![1, 2, 7, 3, 4]
+                } else {
+                    vec![1, 2, 8, 3, 4]
+                }
+            })
+            .collect();
+        let targets: Vec<f32> = (0..30).map(|i| if i % 2 == 0 { 0.9 } else { 0.1 }).collect();
+        let mut m = DocRnnModel::new(
+            ModelConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            20,
+        );
+        m.fit_docs(&seqs, &targets);
+        let acc = seqs
+            .iter()
+            .zip(&targets)
+            .filter(|(s, &t)| (m.predict_doc(s) > 0.5) == (t > 0.5))
+            .count();
+        assert!(acc >= 27, "{acc}/30");
+    }
+
+    #[test]
+    fn doc_rnn_epoch_reports_decreasing_loss() {
+        let seqs: Vec<Vec<u32>> = (0..20)
+            .map(|i| if i % 2 == 0 { vec![7; 5] } else { vec![8; 5] })
+            .collect();
+        let targets: Vec<f32> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let mut m = DocRnnModel::new(ModelConfig::default(), 20);
+        let first = m.train_epoch(&seqs, &targets);
+        for _ in 0..4 {
+            m.train_epoch(&seqs, &targets);
+        }
+        let last = m.train_epoch(&seqs, &targets);
+        assert!(last < first, "{last} !< {first}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Input preparation: candidates → token sequences + sparse feature columns.
+//!
+//! Each mention contributes its sentence, windowed around the mention and
+//! wrapped in *candidate markers* — the paper's `[[1 SMBT3904 1]] ... [[2
+//! 200 2]]` sequence in Figure 5 — so the LSTM knows which span it is
+//! classifying. Markers are reserved vocabulary rows above the hashed word
+//! vocabulary.
+
+use fonduer_candidates::{Candidate, CandidateSet};
+use fonduer_datamodel::Corpus;
+use fonduer_features::{FeatureSet, SparseAccess};
+use fonduer_nlp::HashedVocab;
+
+/// Maximum relation arity supported by the marker scheme.
+pub const MAX_ARITY: usize = 4;
+
+/// One candidate's model-ready input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateInput {
+    /// Per-mention token-id sequences (windowed sentence with markers).
+    pub mention_tokens: Vec<Vec<u32>>,
+    /// Column ids of active sparse features.
+    pub features: Vec<u32>,
+}
+
+/// A prepared dataset: aligned with the candidate set it was built from.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// One input per candidate, in candidate-set order.
+    pub inputs: Vec<CandidateInput>,
+    /// Sparse feature-space size.
+    pub n_features: usize,
+    /// Token-id space size (hashed vocab + marker rows).
+    pub vocab_size: usize,
+    /// Relation arity.
+    pub arity: usize,
+}
+
+/// Token id of the opening marker for argument `i`.
+pub fn start_marker(vocab: &HashedVocab, i: usize) -> u32 {
+    (vocab.size() + 2 * i) as u32
+}
+
+/// Token id of the closing marker for argument `i`.
+pub fn end_marker(vocab: &HashedVocab, i: usize) -> u32 {
+    (vocab.size() + 2 * i + 1) as u32
+}
+
+/// Total embedding rows needed for a vocabulary (words + markers).
+pub fn vocab_rows(vocab: &HashedVocab) -> usize {
+    vocab.size() + 2 * MAX_ARITY
+}
+
+/// Windowed, marker-wrapped token ids for one mention of one candidate.
+pub fn mention_token_ids(
+    corpus: &Corpus,
+    cand: &Candidate,
+    arg: usize,
+    vocab: &HashedVocab,
+    window: usize,
+) -> Vec<u32> {
+    let doc = corpus.doc(cand.doc);
+    let m = cand.mentions[arg];
+    let s = doc.sentence(m.sentence);
+    let (a, b) = (m.start as usize, m.end as usize);
+    let lo = a.saturating_sub(window);
+    let hi = (b + window).min(s.len());
+    let mut out = Vec::with_capacity(hi - lo + 2);
+    for (k, w) in s.words[lo..hi].iter().enumerate() {
+        let idx = lo + k;
+        if idx == a {
+            out.push(start_marker(vocab, arg));
+        }
+        out.push(vocab.index(w) as u32);
+        if idx + 1 == b {
+            out.push(end_marker(vocab, arg));
+        }
+    }
+    out
+}
+
+/// Prepare a full candidate set for training/inference.
+pub fn prepare(
+    corpus: &Corpus,
+    cands: &CandidateSet,
+    feats: &FeatureSet,
+    vocab: &HashedVocab,
+    window: usize,
+) -> PreparedDataset {
+    assert_eq!(feats.matrix.n_rows(), cands.len(), "features per candidate");
+    let arity = cands.schema.arity();
+    assert!(arity <= MAX_ARITY, "arity above marker capacity");
+    let inputs = cands
+        .candidates
+        .iter()
+        .enumerate()
+        .map(|(row, cand)| {
+            let mention_tokens = (0..arity)
+                .map(|i| mention_token_ids(corpus, cand, i, vocab, window))
+                .collect();
+            let features = feats.matrix.row(row).iter().map(|&(c, _)| c).collect();
+            CandidateInput {
+                mention_tokens,
+                features,
+            }
+        })
+        .collect();
+    PreparedDataset {
+        inputs,
+        n_features: feats.vocab.len(),
+        vocab_size: vocab_rows(vocab),
+        arity,
+    }
+}
+
+/// Document-level token stream with all candidate markers inserted, capped
+/// at `max_tokens` (input for the document-level RNN baseline of Table 6).
+pub fn doc_token_ids(
+    corpus: &Corpus,
+    cand: &Candidate,
+    vocab: &HashedVocab,
+    max_tokens: usize,
+) -> Vec<u32> {
+    let doc = corpus.doc(cand.doc);
+    let mut out = Vec::new();
+    for sid in doc.sentence_ids() {
+        let s = doc.sentence(sid);
+        for (k, w) in s.words.iter().enumerate() {
+            for (arg, m) in cand.mentions.iter().enumerate() {
+                if m.sentence == sid && m.start as usize == k {
+                    out.push(start_marker(vocab, arg));
+                }
+            }
+            out.push(vocab.index(w) as u32);
+            for (arg, m) in cand.mentions.iter().enumerate() {
+                if m.sentence == sid && m.end as usize == k + 1 {
+                    out.push(end_marker(vocab, arg));
+                }
+            }
+        }
+    }
+    if out.len() > max_tokens {
+        // Keep a prefix; ensure markers survive by also appending any
+        // marker-adjacent windows that fell beyond the cap.
+        let mut kept: Vec<u32> = out[..max_tokens].to_vec();
+        let marker_base = vocab.size() as u32;
+        for (idx, &tok) in out[max_tokens..].iter().enumerate() {
+            if tok >= marker_base {
+                let pos = max_tokens + idx;
+                let lo = pos.saturating_sub(3);
+                kept.extend_from_slice(&out[lo..(pos + 4).min(out.len())]);
+            }
+        }
+        return kept;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_candidates::{
+        CandidateExtractor, ContextScope, DictionaryMatcher, MentionType, NumberRangeMatcher,
+        RelationSchema,
+    };
+    use fonduer_datamodel::DocFormat;
+    use fonduer_features::Featurizer;
+    use fonduer_parser::{parse_document, ParseOptions};
+
+    fn setup() -> (Corpus, CandidateSet, FeatureSet) {
+        let html = r#"
+<h1>SMBT3904</h1>
+<table><tr><th>Value</th></tr><tr><td>200</td></tr></table>"#;
+        let mut c = Corpus::new("t");
+        c.add(parse_document("d", html, DocFormat::Pdf, &ParseOptions::default()));
+        let ex = CandidateExtractor::new(
+            RelationSchema::new("r", &["part", "current"]),
+            vec![
+                MentionType::new("part", Box::new(DictionaryMatcher::new(["SMBT3904"]))),
+                MentionType::new("cur", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+            ],
+        )
+        .with_scope(ContextScope::Document);
+        let set = ex.extract(&c);
+        let feats = Featurizer::default().featurize(&c, &set);
+        (c, set, feats)
+    }
+
+    #[test]
+    fn markers_wrap_mentions() {
+        let (c, set, feats) = setup();
+        let vocab = HashedVocab::new(1000);
+        let ds = prepare(&c, &set, &feats, &vocab, 8);
+        assert_eq!(ds.inputs.len(), 1);
+        assert_eq!(ds.arity, 2);
+        assert_eq!(ds.vocab_size, 1000 + 8);
+        let m0 = &ds.inputs[0].mention_tokens[0];
+        assert_eq!(m0[0], start_marker(&vocab, 0));
+        assert!(m0.contains(&(vocab.index("SMBT3904") as u32)));
+        assert!(m0.contains(&end_marker(&vocab, 0)));
+        let m1 = &ds.inputs[0].mention_tokens[1];
+        assert!(m1.contains(&start_marker(&vocab, 1)));
+        assert!(!ds.inputs[0].features.is_empty());
+    }
+
+    #[test]
+    fn window_bounds_sequence_length() {
+        let (c, set, feats) = setup();
+        let vocab = HashedVocab::new(1000);
+        let ds = prepare(&c, &set, &feats, &vocab, 2);
+        for input in &ds.inputs {
+            for toks in &input.mention_tokens {
+                // window 2 each side + mention (1) + 2 markers = at most 7.
+                assert!(toks.len() <= 7, "{}", toks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn doc_tokens_contain_all_markers() {
+        let (c, set, _) = setup();
+        let vocab = HashedVocab::new(1000);
+        let toks = doc_token_ids(&c, &set.candidates[0], &vocab, 10_000);
+        assert!(toks.contains(&start_marker(&vocab, 0)));
+        assert!(toks.contains(&end_marker(&vocab, 1)));
+        // Document stream is longer than any single mention window.
+        assert!(toks.len() > 6);
+    }
+
+    #[test]
+    fn doc_tokens_cap_preserves_markers() {
+        let (c, set, _) = setup();
+        let vocab = HashedVocab::new(1000);
+        let toks = doc_token_ids(&c, &set.candidates[0], &vocab, 3);
+        assert!(toks.contains(&start_marker(&vocab, 0)));
+        assert!(toks.contains(&start_marker(&vocab, 1)));
+    }
+
+    #[test]
+    fn marker_ids_are_distinct() {
+        let vocab = HashedVocab::new(100);
+        let mut ids: Vec<u32> = Vec::new();
+        for i in 0..MAX_ARITY {
+            ids.push(start_marker(&vocab, i));
+            ids.push(end_marker(&vocab, i));
+        }
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        assert!(ids.iter().all(|&i| i >= 100));
+        assert!(ids.iter().all(|&i| (i as usize) < vocab_rows(&vocab)));
+    }
+}

@@ -1,0 +1,31 @@
+//! # fonduer-nlp
+//!
+//! NLP preprocessing substrate for Fonduer (paper §3.1: "standard NLP
+//! pre-processing tools are used to generate linguistic attributes, such as
+//! lemmas, parts of speech tags, named entity recognition tags ... for each
+//! Sentence"). Everything is rule-based and deterministic — a from-scratch
+//! stand-in for CoreNLP-style tooling, documented as a substitution in
+//! DESIGN.md.
+//!
+//! * [`token`] — tokenizer aware of numbers, units, part codes, intervals;
+//! * [`sentence`] — sentence splitter with abbreviation/decimal protection;
+//! * [`tag`] — POS tagger, lemmatizer, entity-style tagger;
+//! * [`ngram`] — n-gram helpers used by matchers and labeling functions;
+//! * [`vocab`] — hashed vocabulary backing trainable word embeddings;
+//! * [`preprocess`] — raw text → `SentenceData` for the document builder.
+
+#![warn(missing_docs)]
+
+pub mod ngram;
+pub mod preprocess;
+pub mod sentence;
+pub mod tag;
+pub mod token;
+pub mod vocab;
+
+pub use ngram::{contains_word, ngrams, up_to_ngrams};
+pub use preprocess::{preprocess, preprocess_sentence};
+pub use sentence::{sentence_texts, split_sentences};
+pub use tag::{is_number, lemmatize, ner_tag, pos_tag, UNITS};
+pub use token::{token_texts, tokenize, Token};
+pub use vocab::{fnv1a, HashedVocab};

@@ -1,0 +1,76 @@
+//! N-gram utilities used by matchers, throttlers, labeling functions, and
+//! the feature library (feature templates default to 1-grams; see paper
+//! Table 7 footnote a).
+
+/// Produce all `n`-grams of `words` as space-joined lower-case strings.
+pub fn ngrams(words: &[String], n: usize) -> Vec<String> {
+    if n == 0 || words.len() < n {
+        return Vec::new();
+    }
+    words
+        .windows(n)
+        .map(|w| {
+            w.iter()
+                .map(|s| s.to_lowercase())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// All 1..=`max_n` grams, concatenated.
+pub fn up_to_ngrams(words: &[String], max_n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        out.extend(ngrams(words, n));
+    }
+    out
+}
+
+/// Case-insensitive containment test used throughout labeling functions
+/// (e.g. "does the word *current* appear in this cell's row?").
+pub fn contains_word(haystack: &[String], needle: &str) -> bool {
+    let needle = needle.to_lowercase();
+    haystack.iter().any(|w| w.to_lowercase() == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_lowercase() {
+        assert_eq!(ngrams(&w(&["Collector", "Current"]), 1), vec![
+            "collector", "current"
+        ]);
+    }
+
+    #[test]
+    fn bigrams() {
+        assert_eq!(ngrams(&w(&["a", "b", "c"]), 2), vec!["a b", "b c"]);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(ngrams(&w(&["a"]), 2).is_empty());
+        assert!(ngrams(&w(&["a"]), 0).is_empty());
+        assert!(ngrams(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn up_to() {
+        assert_eq!(up_to_ngrams(&w(&["a", "b"]), 2), vec!["a", "b", "a b"]);
+    }
+
+    #[test]
+    fn containment_is_case_insensitive() {
+        let h = w(&["Collector", "Current"]);
+        assert!(contains_word(&h, "current"));
+        assert!(contains_word(&h, "COLLECTOR"));
+        assert!(!contains_word(&h, "voltage"));
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end preprocessing: raw text → [`SentenceData`] ready for the
+//! document builder.
+
+use crate::sentence::split_sentences;
+use crate::tag::{lemmatize, ner_tag, pos_tag};
+use crate::token::tokenize;
+use fonduer_datamodel::{SentenceData, Structural, WordLinguistic};
+
+/// Preprocess one block of raw text into sentence data: split sentences,
+/// tokenize, and attach linguistic attributes. Structural and visual
+/// attributes are the caller's responsibility (they come from the markup
+/// tree and the layout engine, not from the text).
+pub fn preprocess(text: &str, structural: &Structural) -> Vec<SentenceData> {
+    split_sentences(text)
+        .into_iter()
+        .map(|(a, b)| {
+            let sent_text = &text[a..b];
+            preprocess_sentence(sent_text, structural)
+        })
+        .collect()
+}
+
+/// Preprocess text known to be a single sentence (e.g. a table cell's
+/// contents, which should not be split on periods inside part codes).
+pub fn preprocess_sentence(sent_text: &str, structural: &Structural) -> SentenceData {
+    let toks = tokenize(sent_text);
+    let mut words = Vec::with_capacity(toks.len());
+    let mut offsets = Vec::with_capacity(toks.len());
+    let mut ling = Vec::with_capacity(toks.len());
+    for (i, t) in toks.iter().enumerate() {
+        ling.push(WordLinguistic {
+            pos: pos_tag(&t.text, i == 0).to_string(),
+            lemma: lemmatize(&t.text),
+            ner: ner_tag(&t.text).to_string(),
+        });
+        offsets.push((t.start, t.end));
+        words.push(t.text.clone());
+    }
+    SentenceData {
+        text: sent_text.to_string(),
+        words,
+        char_offsets: offsets,
+        ling,
+        visual: None,
+        structural: structural.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_tags() {
+        let s = Structural::default();
+        let out = preprocess("High DC current gain. Low saturation voltage.", &s);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].words[0], "High");
+        assert_eq!(out[0].ling[0].pos, "JJ");
+        assert_eq!(out[1].words[0], "Low");
+        // Offsets are relative to each sentence's own text.
+        let (a, b) = out[1].char_offsets[0];
+        assert_eq!(&out[1].text[a as usize..b as usize], "Low");
+    }
+
+    #[test]
+    fn single_sentence_mode_preserves_codes() {
+        let s = Structural::default();
+        let out = preprocess_sentence("SMBT3904...MMBT3904", &s);
+        assert_eq!(out.words, vec!["SMBT3904", "...", "MMBT3904"]);
+        assert_eq!(out.ling[0].ner, "CODE");
+    }
+
+    #[test]
+    fn ling_lengths_match() {
+        let s = Structural::default();
+        for out in preprocess("VCEO 40 V. IC 200 mA.", &s) {
+            assert_eq!(out.words.len(), out.ling.len());
+            assert_eq!(out.words.len(), out.char_offsets.len());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Rule-based part-of-speech tagging, lemmatization, and entity-style
+//! tagging.
+//!
+//! Fonduer's data model stores "lemmas, parts of speech tags, named entity
+//! recognition tags" per word (paper §3.1) produced by "standard NLP
+//! pre-processing tools". This module is the from-scratch stand-in: the tags
+//! it emits are consistent and information-bearing, which is all the
+//! downstream feature library requires.
+
+/// Coarse Penn-style POS tags emitted by [`pos_tag`].
+pub const POS_TAGS: &[&str] = &[
+    "CD", "DT", "IN", "CC", "TO", "MD", "PRP", "JJ", "RB", "VB", "VBD", "VBG", "VBZ", "NN", "NNS",
+    "NNP", "SYM", "PUNCT",
+];
+
+const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "each"];
+const PREPOSITIONS: &[&str] = &[
+    "in", "on", "at", "of", "for", "with", "from", "by", "over", "under", "between", "into",
+    "through", "per", "within",
+];
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
+const MODALS: &[&str] = &["can", "may", "must", "shall", "will", "should", "would", "could"];
+const PRONOUNS: &[&str] = &["it", "they", "we", "he", "she", "you", "i"];
+const ADJECTIVES: &[&str] = &[
+    "high", "low", "maximum", "minimum", "typical", "total", "new", "small", "large", "silicon",
+];
+const VERBS_BASE: &[&str] = &[
+    "be", "is", "are", "was", "were", "have", "has", "show", "shows", "contain", "contains",
+    "exceed", "exceeds", "provide", "provides", "measure", "found", "use", "uses",
+];
+
+/// Whether the token is numeric (optionally signed decimal).
+pub fn is_number(tok: &str) -> bool {
+    let t = tok.strip_prefix(['-', '+']).unwrap_or(tok);
+    !t.is_empty()
+        && t.chars().all(|c| c.is_ascii_digit() || c == '.')
+        && t.chars().any(|c| c.is_ascii_digit())
+        && t.matches('.').count() <= 1
+}
+
+/// Tag one token given its sentence position.
+pub fn pos_tag(tok: &str, is_sentence_initial: bool) -> &'static str {
+    if is_number(tok) {
+        return "CD";
+    }
+    let first = match tok.chars().next() {
+        Some(c) => c,
+        None => return "PUNCT",
+    };
+    if !first.is_alphanumeric() && first != '°' {
+        return if tok.chars().all(|c| c.is_ascii_punctuation()) {
+            "PUNCT"
+        } else {
+            "SYM"
+        };
+    }
+    let lower = tok.to_lowercase();
+    if tok == "to" {
+        return "TO";
+    }
+    if DETERMINERS.contains(&lower.as_str()) {
+        return "DT";
+    }
+    if PREPOSITIONS.contains(&lower.as_str()) {
+        return "IN";
+    }
+    if CONJUNCTIONS.contains(&lower.as_str()) {
+        return "CC";
+    }
+    if MODALS.contains(&lower.as_str()) {
+        return "MD";
+    }
+    if PRONOUNS.contains(&lower.as_str()) {
+        return "PRP";
+    }
+    if ADJECTIVES.contains(&lower.as_str()) {
+        return "JJ";
+    }
+    if VERBS_BASE.contains(&lower.as_str()) {
+        return if lower.ends_with('s') { "VBZ" } else { "VB" };
+    }
+    if lower.ends_with("ing") && lower.len() > 4 {
+        return "VBG";
+    }
+    if lower.ends_with("ed") && lower.len() > 3 {
+        return "VBD";
+    }
+    if lower.ends_with("ly") && lower.len() > 3 {
+        return "RB";
+    }
+    // Capitalized mid-sentence (or all-caps code) → proper noun.
+    if !is_sentence_initial && first.is_uppercase() {
+        return "NNP";
+    }
+    if tok.chars().any(|c| c.is_ascii_digit()) {
+        // Mixed alphanumerics like part codes.
+        return "NNP";
+    }
+    if lower.ends_with('s') && lower.len() > 3 {
+        return "NNS";
+    }
+    "NN"
+}
+
+/// Lemmatize one token: lower-case plus light suffix stripping.
+pub fn lemmatize(tok: &str) -> String {
+    let lower = tok.to_lowercase();
+    if is_number(&lower) {
+        return lower;
+    }
+    // Irregulars that matter for technical prose.
+    match lower.as_str() {
+        "is" | "are" | "was" | "were" | "been" | "being" => return "be".to_string(),
+        "has" | "had" => return "have".to_string(),
+        "found" => return "find".to_string(),
+        _ => {}
+    }
+    if let Some(stem) = lower.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = lower.strip_suffix("sses") {
+        return format!("{stem}ss");
+    }
+    if let Some(stem) = lower.strip_suffix("es") {
+        if stem.len() >= 3 && (stem.ends_with("sh") || stem.ends_with("ch") || stem.ends_with('x'))
+        {
+            return stem.to_string();
+        }
+    }
+    if let Some(stem) = lower.strip_suffix('s') {
+        if stem.len() >= 3 && !stem.ends_with('s') && !stem.ends_with('u') {
+            return stem.to_string();
+        }
+    }
+    lower
+}
+
+/// Unit dictionary for the entity tagger: electrical, physical, biological.
+pub const UNITS: &[&str] = &[
+    "v", "mv", "kv", "a", "ma", "ua", "na", "w", "mw", "kw", "hz", "khz", "mhz", "ghz", "°c",
+    "°f", "k", "ohm", "kohm", "mohm", "pf", "nf", "uf", "mm", "cm", "m", "km", "g", "kg", "mg",
+    "s", "ms", "us", "ns", "db", "usd", "%",
+];
+
+/// Entity-style tag for one token: `NUMBER`, `UNIT`, `CODE` (alphanumeric
+/// identifier such as a part number or an rs-id), or `O`.
+pub fn ner_tag(tok: &str) -> &'static str {
+    if is_number(tok) {
+        return "NUMBER";
+    }
+    let lower = tok.to_lowercase();
+    if UNITS.contains(&lower.as_str()) {
+        return "UNIT";
+    }
+    let has_alpha = tok.chars().any(|c| c.is_alphabetic());
+    let has_digit = tok.chars().any(|c| c.is_ascii_digit());
+    if has_alpha && has_digit {
+        return "CODE";
+    }
+    "O"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_cd() {
+        for t in ["200", "-65", "0.1", "+12.5"] {
+            assert_eq!(pos_tag(t, false), "CD", "{t}");
+            assert_eq!(ner_tag(t), "NUMBER", "{t}");
+        }
+        assert!(!is_number("1.2.3"));
+        assert!(!is_number("-"));
+        assert!(!is_number("mA"));
+    }
+
+    #[test]
+    fn closed_class_words() {
+        assert_eq!(pos_tag("the", false), "DT");
+        assert_eq!(pos_tag("of", false), "IN");
+        assert_eq!(pos_tag("and", false), "CC");
+        assert_eq!(pos_tag("to", false), "TO");
+        assert_eq!(pos_tag("can", false), "MD");
+    }
+
+    #[test]
+    fn morphology_rules() {
+        assert_eq!(pos_tag("switching", false), "VBG");
+        assert_eq!(pos_tag("measured", false), "VBD");
+        assert_eq!(pos_tag("quickly", false), "RB");
+        assert_eq!(pos_tag("transistors", true), "NNS");
+    }
+
+    #[test]
+    fn proper_nouns_and_codes() {
+        assert_eq!(pos_tag("SMBT3904", false), "NNP");
+        assert_eq!(pos_tag("Infineon", false), "NNP");
+        // Sentence-initial capitalization alone does not make a proper noun.
+        assert_eq!(pos_tag("Voltage", true), "NN");
+    }
+
+    #[test]
+    fn punctuation_and_symbols() {
+        assert_eq!(pos_tag(",", false), "PUNCT");
+        assert_eq!(pos_tag("≤", false), "SYM");
+    }
+
+    #[test]
+    fn lemmatizer_rules() {
+        assert_eq!(lemmatize("Transistors"), "transistor");
+        assert_eq!(lemmatize("voltages"), "voltage");
+        assert_eq!(lemmatize("bodies"), "body");
+        assert_eq!(lemmatize("is"), "be");
+        assert_eq!(lemmatize("has"), "have");
+        assert_eq!(lemmatize("matches"), "match");
+        assert_eq!(lemmatize("200"), "200");
+        // Short words and trailing double-s are not stripped.
+        assert_eq!(lemmatize("gas"), "gas");
+        assert_eq!(lemmatize("class"), "class");
+    }
+
+    #[test]
+    fn unit_tagging() {
+        assert_eq!(ner_tag("mA"), "UNIT");
+        assert_eq!(ner_tag("V"), "UNIT");
+        assert_eq!(ner_tag("°C"), "UNIT");
+        assert_eq!(ner_tag("SMBT3904"), "CODE");
+        assert_eq!(ner_tag("rs7329174"), "CODE");
+        assert_eq!(ner_tag("voltage"), "O");
+    }
+}

@@ -1,0 +1,216 @@
+//! Tokenization.
+//!
+//! A deterministic rule-based tokenizer tuned for richly formatted technical
+//! text: it splits punctuation, separates numbers from attached units
+//! (`"200mA"` → `"200"`, `"mA"`), keeps signed and decimal numbers together
+//! (`"-65"`, `"0.1"`), and preserves interval ellipses (`"..."`) and symbol
+//! tokens (`"°C"`, `"≤"`, `"~"`) that carry meaning in datasheets.
+
+/// A token: its text and byte offsets into the source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// Byte offset of the first byte in the source.
+    pub start: u32,
+    /// Byte offset one past the last byte in the source.
+    pub end: u32,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '°'
+}
+
+fn is_digitish(c: char) -> bool {
+    c.is_ascii_digit()
+}
+
+/// Tokenize `text` into [`Token`]s with byte offsets.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let bytes: Vec<(usize, char)> = text.char_indices().collect();
+    let n = bytes.len();
+    let mut i = 0;
+    let push = |out: &mut Vec<Token>, text: &str, a: usize, b: usize| {
+        out.push(Token {
+            text: text[a..b].to_string(),
+            start: a as u32,
+            end: b as u32,
+        });
+    };
+    while i < n {
+        let (pos, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Signed / decimal number: [-+]?digits(.digits)? — a leading sign
+        // counts as part of the number only if a digit follows directly AND
+        // the sign is not glued to a preceding alphanumeric (so "-65" after
+        // whitespace is signed, but the dashes in "555-0147" are separators).
+        let sign_ok = (c == '-' || c == '+')
+            && i + 1 < n
+            && is_digitish(bytes[i + 1].1)
+            && (i == 0 || !bytes[i - 1].1.is_alphanumeric());
+        if is_digitish(c) || sign_ok {
+            let start = pos;
+            let mut j = i;
+            if c == '-' || c == '+' {
+                j += 1;
+            }
+            while j < n && is_digitish(bytes[j].1) {
+                j += 1;
+            }
+            // Decimal point must be followed by a digit (so "150." splits).
+            if j + 1 < n && bytes[j].1 == '.' && is_digitish(bytes[j + 1].1) {
+                j += 1;
+                while j < n && is_digitish(bytes[j].1) {
+                    j += 1;
+                }
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            push(&mut out, text, start, end);
+            i = j;
+            continue;
+        }
+        // Ellipsis used for intervals: "...".
+        if c == '.' && i + 2 < n && bytes[i + 1].1 == '.' && bytes[i + 2].1 == '.' {
+            let start = pos;
+            let mut j = i;
+            while j < n && bytes[j].1 == '.' {
+                j += 1;
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            push(&mut out, text, start, end);
+            i = j;
+            continue;
+        }
+        // Word: letters/digits/underscore/degree-sign run, but break at a
+        // letter→digit or digit→letter boundary only when the prefix is all
+        // digits (keeps part numbers like "SMBT3904" whole while splitting
+        // "200mA").
+        if is_word_char(c) {
+            let start = pos;
+            let mut j = i;
+            let mut saw_letter = false;
+            while j < n && is_word_char(bytes[j].1) {
+                let ch = bytes[j].1;
+                if is_digitish(ch) {
+                    j += 1;
+                } else {
+                    // A letter after a pure-digit prefix starts a new token
+                    // (unit attached to a number).
+                    if !saw_letter && j > i {
+                        break;
+                    }
+                    saw_letter = true;
+                    j += 1;
+                }
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            push(&mut out, text, start, end);
+            i = j;
+            continue;
+        }
+        // Any other single character is its own token (punctuation, math
+        // symbols like ≤, ~, ±).
+        let end = if i + 1 < n { bytes[i + 1].0 } else { text.len() };
+        push(&mut out, text, pos, end);
+        i += 1;
+    }
+    out
+}
+
+/// Tokenize and return only the token texts. Convenience for tests.
+pub fn token_texts(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_whitespace_and_punct() {
+        assert_eq!(
+            token_texts("Hello, world."),
+            vec!["Hello", ",", "world", "."]
+        );
+    }
+
+    #[test]
+    fn keeps_part_numbers_whole() {
+        assert_eq!(token_texts("SMBT3904 and MMBT3904"), vec![
+            "SMBT3904", "and", "MMBT3904"
+        ]);
+    }
+
+    #[test]
+    fn splits_number_unit() {
+        assert_eq!(token_texts("200mA"), vec!["200", "mA"]);
+        assert_eq!(token_texts("0.1 mA to 100 mA"), vec![
+            "0.1", "mA", "to", "100", "mA"
+        ]);
+    }
+
+    #[test]
+    fn glued_dashes_are_separators() {
+        assert_eq!(token_texts("555-0147"), vec!["555", "-", "0147"]);
+        assert_eq!(token_texts("206-555-0147"), vec![
+            "206", "-", "555", "-", "0147"
+        ]);
+    }
+
+    #[test]
+    fn signed_numbers_and_intervals() {
+        assert_eq!(token_texts("-65 ... 150"), vec!["-65", "...", "150"]);
+        assert_eq!(token_texts("-65 ~ 150"), vec!["-65", "~", "150"]);
+        assert_eq!(token_texts("-65 to 150"), vec!["-65", "to", "150"]);
+    }
+
+    #[test]
+    fn hyphen_between_words_is_its_own_token() {
+        assert_eq!(
+            token_texts("collector-emitter voltage"),
+            vec!["collector", "-", "emitter", "voltage"]
+        );
+    }
+
+    #[test]
+    fn degree_symbol_and_comparison() {
+        assert_eq!(token_texts("TS ≤ 60°C"), vec!["TS", "≤", "60", "°C"]);
+    }
+
+    #[test]
+    fn offsets_are_byte_accurate() {
+        let text = "VCEO 40 V";
+        let toks = tokenize(text);
+        for t in &toks {
+            assert_eq!(&text[t.start as usize..t.end as usize], t.text);
+        }
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn decimal_not_greedy_over_sentence_period() {
+        assert_eq!(token_texts("gain 150. Next"), vec![
+            "gain", "150", ".", "Next"
+        ]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn unicode_offsets() {
+        let text = "α ≤ β";
+        let toks = tokenize(text);
+        assert_eq!(toks.len(), 3);
+        for t in &toks {
+            assert_eq!(&text[t.start as usize..t.end as usize], t.text);
+        }
+    }
+}

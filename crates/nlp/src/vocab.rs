@@ -1,0 +1,94 @@
+//! Hashed vocabulary for word embeddings.
+//!
+//! The paper uses pre-trained word embeddings (Turian et al.) as the input
+//! representation Φ(s, k) of each word. We substitute a *hashed* trainable
+//! vocabulary: every word deterministically maps to one of `dim` embedding
+//! rows via FNV-1a hashing, so no pre-trained vectors or vocabulary files
+//! are needed and out-of-vocabulary words are handled uniformly.
+
+/// FNV-1a 64-bit hash.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A fixed-size hashed vocabulary mapping words to embedding-row indices.
+#[derive(Debug, Clone)]
+pub struct HashedVocab {
+    size: usize,
+}
+
+impl HashedVocab {
+    /// Create a vocabulary with `size` buckets (must be > 0).
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "vocabulary size must be positive");
+        Self { size }
+    }
+
+    /// Number of buckets.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Index of a word. Case-insensitive; numbers are collapsed to a shape
+    /// token (`"7"` for any integer, `"7.7"` for any decimal) so that the
+    /// embedding generalizes over magnitudes.
+    pub fn index(&self, word: &str) -> usize {
+        let canon = Self::canonicalize(word);
+        (fnv1a(canon.as_bytes()) % self.size as u64) as usize
+    }
+
+    /// Canonical form used for hashing.
+    pub fn canonicalize(word: &str) -> String {
+        let lower = word.to_lowercase();
+        if crate::tag::is_number(&lower) {
+            if lower.contains('.') {
+                "7.7".to_string()
+            } else {
+                "7".to_string()
+            }
+        } else {
+            lower
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let v = HashedVocab::new(1000);
+        for w in ["current", "SMBT3904", "≤", "°C", ""] {
+            let i = v.index(w);
+            assert!(i < 1000);
+            assert_eq!(i, v.index(w), "hashing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let v = HashedVocab::new(4096);
+        assert_eq!(v.index("Current"), v.index("current"));
+    }
+
+    #[test]
+    fn numbers_share_shape_bucket() {
+        let v = HashedVocab::new(4096);
+        assert_eq!(v.index("200"), v.index("435"));
+        assert_eq!(v.index("0.1"), v.index("3.5"));
+        assert_ne!(v.index("200"), v.index("0.1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        HashedVocab::new(0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Word attention (paper §4.2):
+//!
+//! ```text
+//! u_k = tanh(W_w h_k + b_w)
+//! α_k = exp(u_k · u_w) / Σ_j exp(u_j · u_w)
+//! t   = Σ_j α_j u_j
+//! ```
+//!
+//! A soft word-selection conditioned on a learned context vector `u_w`,
+//! letting the network "pay more attention to the subsets of the input
+//! sequence where the most relevant information is concentrated" (§2.2).
+
+use crate::layers::{tanh_backward, Linear};
+use crate::store::{ParamId, ParamStore};
+
+/// Attention pooling layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Attention {
+    /// Projection `W_w, b_w`.
+    pub proj: Linear,
+    /// Context vector `u_w`.
+    pub context: ParamId,
+    /// Attention dimension.
+    pub d_attn: usize,
+}
+
+/// Cache for the backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    hs: Vec<Vec<f32>>,
+    us: Vec<Vec<f32>>,
+    alphas: Vec<f32>,
+}
+
+impl Attention {
+    /// Allocate an attention layer over `d_in`-dim hidden states with a
+    /// `d_attn`-dim projection.
+    pub fn new(store: &mut ParamStore, d_in: usize, d_attn: usize) -> Self {
+        Self {
+            proj: Linear::new(store, d_in, d_attn),
+            context: store.alloc(d_attn, 1),
+            d_attn,
+        }
+    }
+
+    /// Pool a sequence of hidden states into one `d_attn` vector. Empty
+    /// input pools to the zero vector.
+    pub fn forward(&self, store: &ParamStore, hs: &[Vec<f32>]) -> (Vec<f32>, AttentionCache) {
+        if hs.is_empty() {
+            return (
+                vec![0.0; self.d_attn],
+                AttentionCache {
+                    hs: Vec::new(),
+                    us: Vec::new(),
+                    alphas: Vec::new(),
+                },
+            );
+        }
+        let uw = store.p(self.context);
+        let us: Vec<Vec<f32>> = hs
+            .iter()
+            .map(|h| {
+                self.proj
+                    .forward(store, h)
+                    .iter()
+                    .map(|v| v.tanh())
+                    .collect()
+            })
+            .collect();
+        let scores: Vec<f32> = us
+            .iter()
+            .map(|u| u.iter().zip(uw).map(|(a, b)| a * b).sum())
+            .collect();
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let alphas: Vec<f32> = exps.iter().map(|e| e / z).collect();
+        let mut t = vec![0.0; self.d_attn];
+        for (a, u) in alphas.iter().zip(&us) {
+            for (tk, uk) in t.iter_mut().zip(u) {
+                *tk += a * uk;
+            }
+        }
+        (
+            t,
+            AttentionCache {
+                hs: hs.to_vec(),
+                us,
+                alphas,
+            },
+        )
+    }
+
+    /// Backward: given `dL/dt`, accumulate parameter grads and return
+    /// `dL/dh_k`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(
+        &self,
+        store: &mut ParamStore,
+        cache: &AttentionCache,
+        dt: &[f32],
+    ) -> Vec<Vec<f32>> {
+        let n = cache.hs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let uw = store.p(self.context).to_vec();
+        // t = Σ α_j u_j ; scores s_j = u_j · u_w ; α = softmax(s).
+        // dL/du_j = α_j dt + (dL/ds_j) u_w ;  dL/dα_j = dt · u_j.
+        let dalpha: Vec<f32> = cache.us.iter().map(|u| dot(dt, u)).collect();
+        // Softmax backward: ds_j = α_j (dα_j - Σ_k α_k dα_k).
+        let weighted: f32 = cache
+            .alphas
+            .iter()
+            .zip(&dalpha)
+            .map(|(a, d)| a * d)
+            .sum();
+        let ds: Vec<f32> = cache
+            .alphas
+            .iter()
+            .zip(&dalpha)
+            .map(|(a, d)| a * (d - weighted))
+            .collect();
+        let mut dhs = Vec::with_capacity(n);
+        let mut d_uw = vec![0.0; self.d_attn];
+        for j in 0..n {
+            let mut du: Vec<f32> = (0..self.d_attn)
+                .map(|k| cache.alphas[j] * dt[k] + ds[j] * uw[k])
+                .collect();
+            for (acc, u) in d_uw.iter_mut().zip(&cache.us[j]) {
+                *acc += ds[j] * u;
+            }
+            // Through tanh.
+            du = tanh_backward(&cache.us[j], &du);
+            let dh = self.proj.backward(store, &cache.hs[j], &du);
+            dhs.push(dh);
+        }
+        for (g, d) in store.grad_mut(self.context).iter_mut().zip(&d_uw) {
+            *g += d;
+        }
+        dhs
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::num_grad;
+
+    fn hs(seed: u64, n: usize, d: usize) -> Vec<Vec<f32>> {
+        let mut state = seed | 1;
+        let mut unit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32 / 1000.0) - 1.0
+        };
+        (0..n).map(|_| (0..d).map(|_| unit()).collect()).collect()
+    }
+
+    #[test]
+    fn alphas_form_distribution() {
+        let mut s = ParamStore::new(1);
+        let att = Attention::new(&mut s, 4, 3);
+        let (t, cache) = att.forward(&s, &hs(1, 5, 4));
+        assert_eq!(t.len(), 3);
+        let sum: f32 = cache.alphas.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(cache.alphas.iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn empty_sequence_pools_to_zero() {
+        let mut s = ParamStore::new(2);
+        let att = Attention::new(&mut s, 4, 3);
+        let (t, cache) = att.forward(&s, &[]);
+        assert_eq!(t, vec![0.0; 3]);
+        assert!(att.backward(&mut s, &cache, &[1.0, 1.0, 1.0]).is_empty());
+    }
+
+    #[test]
+    fn attention_gradcheck() {
+        let mut s = ParamStore::new(3);
+        let att = Attention::new(&mut s, 3, 2);
+        let input = hs(7, 4, 3);
+        let loss = |st: &ParamStore| -> f32 {
+            let (t, _) = att.forward(st, &input);
+            t.iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        s.zero_grad();
+        let (t, cache) = att.forward(&s, &input);
+        let dhs = att.backward(&mut s, &cache, &t);
+        num_grad(&mut s, att.proj.w, loss, 0.05);
+        num_grad(&mut s, att.proj.b, loss, 0.05);
+        num_grad(&mut s, att.context, loss, 0.05);
+        // Input gradient check.
+        const EPS: f32 = 1e-2;
+        for j in 0..input.len() {
+            for k in 0..3 {
+                let mut ip = input.clone();
+                ip[j][k] += EPS;
+                let lp = {
+                    let (t, _) = att.forward(&s, &ip);
+                    t.iter().map(|v| v * v).sum::<f32>() / 2.0
+                };
+                ip[j][k] -= 2.0 * EPS;
+                let lm = {
+                    let (t, _) = att.forward(&s, &ip);
+                    t.iter().map(|v| v * v).sum::<f32>() / 2.0
+                };
+                let numeric = (lp - lm) / (2.0 * EPS);
+                assert!(
+                    (numeric - dhs[j][k]).abs() < 0.02,
+                    "dh[{j}][{k}]: {numeric} vs {}",
+                    dhs[j][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attends_to_aligned_state() {
+        // With the context vector equal to a basis direction, the hidden
+        // state whose projection aligns most gets the largest alpha.
+        let mut s = ParamStore::new(4);
+        let att = Attention::new(&mut s, 2, 2);
+        // Identity-ish projection.
+        s.p_mut(att.proj.w).copy_from_slice(&[2.0, 0.0, 0.0, 2.0]);
+        s.p_mut(att.proj.b).copy_from_slice(&[0.0, 0.0]);
+        s.p_mut(att.context).copy_from_slice(&[1.0, 0.0]);
+        let input = vec![vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.1, 0.0]];
+        let (_, cache) = att.forward(&s, &input);
+        assert!(cache.alphas[0] > cache.alphas[2]);
+        assert!(cache.alphas[2] > cache.alphas[1]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Linear and embedding layers.
+
+use crate::store::{matvec, matvec_backward, ParamId, ParamStore};
+
+/// Fully connected layer `y = W x + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    /// Weight matrix (`out × in`).
+    pub w: ParamId,
+    /// Bias vector (`out`).
+    pub b: ParamId,
+    /// Input dimension.
+    pub d_in: usize,
+    /// Output dimension.
+    pub d_out: usize,
+}
+
+impl Linear {
+    /// Allocate a linear layer in `store`.
+    pub fn new(store: &mut ParamStore, d_in: usize, d_out: usize) -> Self {
+        Self {
+            w: store.alloc(d_out, d_in),
+            b: store.alloc_zeros(d_out, 1),
+            d_in,
+            d_out,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, store: &ParamStore, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0; self.d_out];
+        matvec(store.p(self.w), self.d_out, self.d_in, x, &mut y);
+        for (yi, bi) in y.iter_mut().zip(store.p(self.b)) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter grads, returns `dL/dx`.
+    pub fn backward(&self, store: &mut ParamStore, x: &[f32], dy: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0; self.d_in];
+        // Copy weight values to avoid aliasing the gradient borrow
+        // (layers are small; the copy is cheap).
+        {
+            let w_vals = store.p(self.w).to_vec();
+            let dw = store.grad_mut(self.w);
+            matvec_backward(&w_vals, self.d_out, self.d_in, x, dy, dw, &mut dx);
+        }
+        for (db, d) in store.grad_mut(self.b).iter_mut().zip(dy) {
+            *db += d;
+        }
+        dx
+    }
+}
+
+/// Trainable embedding table.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    /// Table (`vocab × dim`).
+    pub table: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Allocate an embedding table.
+    pub fn new(store: &mut ParamStore, vocab: usize, dim: usize) -> Self {
+        Self {
+            table: store.alloc(vocab, dim),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Look up one row.
+    pub fn forward(&self, store: &ParamStore, idx: usize) -> Vec<f32> {
+        debug_assert!(idx < self.vocab);
+        store.p(self.table)[idx * self.dim..(idx + 1) * self.dim].to_vec()
+    }
+
+    /// Accumulate the gradient for one looked-up row.
+    pub fn backward(&self, store: &mut ParamStore, idx: usize, dy: &[f32]) {
+        let g = &mut store.grad_mut(self.table)[idx * self.dim..(idx + 1) * self.dim];
+        for (gi, d) in g.iter_mut().zip(dy) {
+            *gi += d;
+        }
+    }
+}
+
+/// Elementwise tanh forward.
+pub fn tanh_vec(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|v| v.tanh()).collect()
+}
+
+/// Backward through tanh given the *output* `y = tanh(x)`.
+pub fn tanh_backward(y: &[f32], dy: &[f32]) -> Vec<f32> {
+    y.iter().zip(dy).map(|(&t, &d)| d * (1.0 - t * t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::num_grad;
+
+    #[test]
+    fn linear_forward_known_values() {
+        let mut s = ParamStore::new(1);
+        let l = Linear::new(&mut s, 2, 2);
+        s.p_mut(l.w).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        s.p_mut(l.b).copy_from_slice(&[0.5, -0.5]);
+        let y = l.forward(&s, &[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut s = ParamStore::new(3);
+        let l = Linear::new(&mut s, 3, 2);
+        let x = vec![0.3, -0.7, 1.1];
+        // Loss = sum(y^2)/2 so dL/dy = y.
+        let loss = |s: &ParamStore| -> f32 {
+            let y = l.forward(s, &x);
+            y.iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        s.zero_grad();
+        let y = l.forward(&s, &x);
+        let dx = l.backward(&mut s, &x, &y);
+        num_grad(&mut s, l.w, loss, 1e-3);
+        num_grad(&mut s, l.b, loss, 1e-3);
+        // Also check dx numerically.
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let eps = 1e-3;
+            xp[i] = x[i] + eps;
+            let yp: f32 = l.forward(&s, &xp).iter().map(|v| v * v).sum::<f32>() / 2.0;
+            xp[i] = x[i] - eps;
+            let ym: f32 = l.forward(&s, &xp).iter().map(|v| v * v).sum::<f32>() / 2.0;
+            xp[i] = x[i];
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2, "dx[{i}]: num {num} ana {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut s = ParamStore::new(2);
+        let e = Embedding::new(&mut s, 10, 4);
+        let v = e.forward(&s, 3);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v, s.p(e.table)[12..16].to_vec());
+        s.zero_grad();
+        e.backward(&mut s, 3, &[1.0, 2.0, 3.0, 4.0]);
+        e.backward(&mut s, 3, &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&s.grad(e.table)[12..16], &[2.0, 2.0, 3.0, 4.0]);
+        assert!(s.grad(e.table)[..12].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn tanh_roundtrip() {
+        let x = vec![0.5, -1.0, 0.0];
+        let y = tanh_vec(&x);
+        assert!((y[0] - 0.5f32.tanh()).abs() < 1e-6);
+        let dy = vec![1.0, 1.0, 1.0];
+        let dx = tanh_backward(&y, &dy);
+        // d tanh(0)/dx = 1
+        assert!((dx[2] - 1.0).abs() < 1e-6);
+        assert!(dx[1] < dx[2]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # fonduer-nn
+//!
+//! From-scratch neural-network substrate for Fonduer's learning stage: flat
+//! parameter storage with Adam ([`store`]), linear and embedding layers
+//! ([`layers`]), an LSTM cell and bidirectional LSTM with full BPTT
+//! ([`lstm`], paper §2.2), word attention ([`attention`], §4.2), and the
+//! noise-aware loss used to train against probabilistic labels ([`loss`],
+//! Appendix A).
+//!
+//! Every layer exposes explicit `forward`/`backward` pairs over `Vec<f32>`
+//! activations; gradients accumulate into the shared [`ParamStore`] so that
+//! composite models (see `fonduer-learning`) are trained with one
+//! `zero_grad` / backward sweep / `adam_step` cycle. All layers are
+//! verified against numerical gradients in their tests.
+
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod layers;
+pub mod loss;
+pub mod lstm;
+pub mod persist;
+pub mod store;
+pub mod testutil;
+
+pub use attention::{Attention, AttentionCache};
+pub use layers::{tanh_backward, tanh_vec, Embedding, Linear};
+pub use loss::{batch_bce, bce_with_logit, sigmoid};
+pub use persist::{load_weights, save_weights, PersistError};
+pub use lstm::{BiLstm, BiLstmCache, LstmCache, LstmCell};
+pub use store::{matvec, matvec_backward, ParamId, ParamStore};

@@ -1,0 +1,101 @@
+//! Noise-aware classification loss.
+//!
+//! Data programming trains the discriminative model against *probabilistic*
+//! labels (paper Appendix A): with marginal `p = P(y = +1)` from the
+//! generative model, the noise-aware binary cross-entropy is
+//! `L = −p·log σ(z) − (1−p)·log(1−σ(z))` over the model logit `z`. Its
+//! gradient is the elegant `σ(z) − p`.
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Noise-aware BCE on one logit: returns `(loss, dL/dz)` for a soft target
+/// `p ∈ [0, 1]`.
+pub fn bce_with_logit(z: f32, p: f32) -> (f32, f32) {
+    debug_assert!((0.0..=1.0).contains(&p));
+    // Stable log-sum-exp formulation:
+    // L = max(z,0) - z*p + ln(1 + e^{-|z|})
+    let loss = z.max(0.0) - z * p + (-z.abs()).exp().ln_1p();
+    let grad = sigmoid(z) - p;
+    (loss, grad)
+}
+
+/// Mean noise-aware BCE over a batch of `(logit, target)` pairs.
+pub fn batch_bce(pairs: &[(f32, f32)]) -> f32 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(z, p)| bce_with_logit(z, p).0).sum::<f32>() / pairs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(1e30).is_finite());
+        assert!(sigmoid(-1e30).is_finite());
+    }
+
+    #[test]
+    fn loss_zero_when_confident_and_correct() {
+        let (l, _) = bce_with_logit(20.0, 1.0);
+        assert!(l < 1e-6, "{l}");
+        let (l, _) = bce_with_logit(-20.0, 0.0);
+        assert!(l < 1e-6, "{l}");
+    }
+
+    #[test]
+    fn loss_large_when_confident_and_wrong() {
+        let (l, _) = bce_with_logit(10.0, 0.0);
+        assert!(l > 9.0, "{l}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        for &(z, p) in &[(0.3f32, 0.8f32), (-2.0, 0.1), (5.0, 0.5), (0.0, 0.0)] {
+            let (_, g) = bce_with_logit(z, p);
+            const EPS: f32 = 1e-3;
+            let (lp, _) = bce_with_logit(z + EPS, p);
+            let (lm, _) = bce_with_logit(z - EPS, p);
+            let numeric = (lp - lm) / (2.0 * EPS);
+            assert!((numeric - g).abs() < 1e-3, "z={z} p={p}: {numeric} vs {g}");
+        }
+    }
+
+    #[test]
+    fn soft_target_minimized_at_matching_probability() {
+        // For p = 0.7, the loss over z is minimized where sigmoid(z) = 0.7.
+        let p = 0.7f32;
+        let zs: Vec<f32> = (-40..=40).map(|i| i as f32 / 10.0).collect();
+        let best = zs
+            .iter()
+            .cloned()
+            .min_by(|a, b| {
+                bce_with_logit(*a, p)
+                    .0
+                    .partial_cmp(&bce_with_logit(*b, p).0)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((sigmoid(best) - 0.7).abs() < 0.05, "{best}");
+    }
+
+    #[test]
+    fn batch_mean() {
+        assert_eq!(batch_bce(&[]), 0.0);
+        let b = batch_bce(&[(20.0, 1.0), (-20.0, 0.0)]);
+        assert!(b < 1e-6);
+    }
+}

@@ -1,0 +1,29 @@
+//! Numerical gradient checking used across the layer tests.
+
+use crate::store::{ParamId, ParamStore};
+
+/// Compare the analytic gradients accumulated in `store.grad(id)` against
+/// central finite differences of `loss`, asserting max absolute error below
+/// `tol`. The caller must have run the forward+backward pass already.
+pub fn num_grad<F>(store: &mut ParamStore, id: ParamId, loss: F, tol: f32)
+where
+    F: Fn(&ParamStore) -> f32,
+{
+    const EPS: f32 = 1e-2;
+    let analytic = store.grad(id).to_vec();
+    for (k, &ana) in analytic.iter().enumerate() {
+        let orig = store.p(id)[k];
+        store.p_mut(id)[k] = orig + EPS;
+        let lp = loss(store);
+        store.p_mut(id)[k] = orig - EPS;
+        let lm = loss(store);
+        store.p_mut(id)[k] = orig;
+        let numeric = (lp - lm) / (2.0 * EPS);
+        let diff = (numeric - ana).abs();
+        let scale = numeric.abs().max(ana.abs()).max(1.0);
+        assert!(
+            diff / scale < tol,
+            "param {k}: numeric {numeric} vs analytic {ana}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Word-sequence alignment across converted document formats.
+//!
+//! Paper §3.1: "We align the word sequences of the converted file with their
+//! originals by checking if both their characters and number of repeated
+//! occurrences before the current word are the same." This module implements
+//! exactly that keying scheme — a word matches if its text and its
+//! occurrence ordinal agree — which tolerates insertions/deletions that
+//! conversion tools introduce.
+
+use std::collections::HashMap;
+
+/// Alignment of a converted word sequence against the original sequence.
+///
+/// `mapping[i] = Some(j)` means converted word `i` is original word `j`;
+/// `None` means the converted word has no counterpart (a conversion
+/// artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Per-converted-word mapping into the original sequence.
+    pub mapping: Vec<Option<usize>>,
+    /// Number of original words that were not matched by any converted word.
+    pub unmatched_original: usize,
+}
+
+impl Alignment {
+    /// Fraction of converted words successfully aligned (1.0 = perfect).
+    pub fn coverage(&self) -> f64 {
+        if self.mapping.is_empty() {
+            return 1.0;
+        }
+        let hit = self.mapping.iter().filter(|m| m.is_some()).count();
+        hit as f64 / self.mapping.len() as f64
+    }
+}
+
+/// Align `converted` to `original` by `(word, occurrence-ordinal)` keys.
+pub fn align_words<S: AsRef<str>>(original: &[S], converted: &[S]) -> Alignment {
+    // Index original words by (text, ordinal).
+    let mut index: HashMap<(&str, usize), usize> = HashMap::with_capacity(original.len());
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for (j, w) in original.iter().enumerate() {
+        let w = w.as_ref();
+        let ordinal = counts.entry(w).or_insert(0);
+        index.insert((w, *ordinal), j);
+        *ordinal += 1;
+    }
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    let mut used = vec![false; original.len()];
+    let mapping: Vec<Option<usize>> = converted
+        .iter()
+        .map(|w| {
+            let w = w.as_ref();
+            let ordinal = seen.entry(w).or_insert(0);
+            let hit = index.get(&(w, *ordinal)).copied();
+            *ordinal += 1;
+            if let Some(j) = hit {
+                used[j] = true;
+            }
+            hit
+        })
+        .collect();
+    let unmatched_original = used.iter().filter(|&&u| !u).count();
+    Alignment {
+        mapping,
+        unmatched_original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let o = words("a b c a");
+        let a = align_words(&o, &o);
+        assert_eq!(a.mapping, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(a.coverage(), 1.0);
+        assert_eq!(a.unmatched_original, 0);
+    }
+
+    #[test]
+    fn repeated_words_align_by_ordinal() {
+        let o = words("200 mA 200 V");
+        let c = words("200 200");
+        let a = align_words(&o, &c);
+        // First "200" in converted = first "200" in original, etc.
+        assert_eq!(a.mapping, vec![Some(0), Some(2)]);
+        assert_eq!(a.unmatched_original, 2);
+    }
+
+    #[test]
+    fn conversion_insertions_map_to_none() {
+        let o = words("collector current IC");
+        let c = words("collector ARTIFACT current IC");
+        let a = align_words(&o, &c);
+        assert_eq!(a.mapping, vec![Some(0), None, Some(1), Some(2)]);
+        assert!((a.coverage() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deletions_leave_unmatched_originals() {
+        let o = words("a b c d");
+        let c = words("a d");
+        let a = align_words(&o, &c);
+        assert_eq!(a.mapping, vec![Some(0), Some(3)]);
+        assert_eq!(a.unmatched_original, 2);
+    }
+
+    #[test]
+    fn extra_repetitions_beyond_original_count() {
+        let o = words("x");
+        let c = words("x x x");
+        let a = align_words(&o, &c);
+        assert_eq!(a.mapping, vec![Some(0), None, None]);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let e: Vec<&str> = vec![];
+        let a = align_words(&e, &e);
+        assert!(a.mapping.is_empty());
+        assert_eq!(a.coverage(), 1.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Visual layout engine.
+//!
+//! Stand-in for the paper's "PDF printer" conversion (§3.1): renders a
+//! parsed document onto US-Letter pages, assigning every word a page number,
+//! bounding box, font, size, and boldness. The engine is deterministic, so
+//! the same document always renders identically; an optional jitter knob
+//! simulates the conversion noise real PDF tooling introduces, which
+//! Fonduer is designed to recover from via redundant modalities.
+
+use fonduer_datamodel::{
+    BBox, ContextRef, Document, ParagraphId, SentenceId, TableId, WordVisual,
+};
+use fonduer_nlp::fnv1a;
+
+/// Page geometry and styling knobs for the layout engine.
+#[derive(Debug, Clone)]
+pub struct LayoutOptions {
+    /// Page width in points (default 612, US Letter).
+    pub page_width: f32,
+    /// Page height in points (default 792).
+    pub page_height: f32,
+    /// Uniform page margin in points.
+    pub margin: f32,
+    /// Maximum absolute coordinate jitter in points (simulated conversion
+    /// noise); 0.0 disables it.
+    pub jitter: f32,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        Self {
+            page_width: 612.0,
+            page_height: 792.0,
+            margin: 54.0,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// Font style derived from a sentence's structural tag.
+#[derive(Debug, Clone, Copy)]
+struct Style {
+    size: f32,
+    bold: bool,
+    font: &'static str,
+}
+
+fn style_for_tag(tag: &str) -> Style {
+    match tag {
+        "h1" | "title" => Style {
+            size: 16.0,
+            bold: true,
+            font: "Arial",
+        },
+        "h2" => Style {
+            size: 14.0,
+            bold: true,
+            font: "Arial",
+        },
+        "h3" | "h4" | "caption" | "figcaption" => Style {
+            size: 12.0,
+            bold: true,
+            font: "Arial",
+        },
+        "th" => Style {
+            size: 10.0,
+            bold: true,
+            font: "Arial",
+        },
+        "code" | "pre" => Style {
+            size: 9.0,
+            bold: false,
+            font: "Courier",
+        },
+        _ => Style {
+            size: 10.0,
+            bold: false,
+            font: "Arial",
+        },
+    }
+}
+
+/// Approximate advance width of a word at a font size.
+fn word_width(word: &str, size: f32) -> f32 {
+    (word.chars().count().max(1) as f32) * size * 0.55
+}
+
+struct Cursor {
+    page: u16,
+    y: f32,
+}
+
+struct Engine<'d> {
+    doc: &'d mut Document,
+    opts: LayoutOptions,
+    cur: Cursor,
+}
+
+/// Render `doc`, attaching [`WordVisual`] attributes to every sentence.
+///
+/// Documents whose format lacks a visual modality (XML) are left untouched.
+pub fn layout(doc: &mut Document, opts: &LayoutOptions) {
+    if !doc.format.has_visual() {
+        return;
+    }
+    let mut engine = Engine {
+        doc,
+        opts: opts.clone(),
+        cur: Cursor { page: 1, y: opts.margin },
+    };
+    for si in 0..engine.doc.sections.len() {
+        let children = engine.doc.sections[si].children.clone();
+        for child in children {
+            match child {
+                ContextRef::TextBlock(id) => {
+                    let paras = engine.doc.text_blocks[id.index()].paragraphs.clone();
+                    for p in paras {
+                        engine.layout_paragraph(p);
+                    }
+                    engine.cur.y += 6.0; // block spacing
+                }
+                ContextRef::Table(id) => engine.layout_table(id),
+                ContextRef::Figure(id) => {
+                    // Reserve space for the image, then lay out the caption.
+                    engine.advance(120.0);
+                    if let Some(cap) = engine.doc.figures[id.index()].caption {
+                        let paras = engine.doc.captions[cap.index()].paragraphs.clone();
+                        for p in paras {
+                            engine.layout_paragraph(p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        engine.cur.y += 12.0; // section spacing
+    }
+}
+
+impl Engine<'_> {
+    fn usable_width(&self) -> f32 {
+        self.opts.page_width - 2.0 * self.opts.margin
+    }
+
+    fn bottom(&self) -> f32 {
+        self.opts.page_height - self.opts.margin
+    }
+
+    /// Move the cursor down `h` points, breaking to a new page if needed.
+    fn advance(&mut self, h: f32) {
+        if self.cur.y + h > self.bottom() {
+            self.cur.page += 1;
+            self.cur.y = self.opts.margin;
+        }
+        self.cur.y += h;
+    }
+
+    fn jitter_for(&self, word: &str, axis: u64) -> f32 {
+        if self.opts.jitter == 0.0 {
+            return 0.0;
+        }
+        let h = fnv1a(word.as_bytes()).wrapping_add(axis.wrapping_mul(0x9e3779b97f4a7c15));
+        let unit = ((h % 2000) as f32 / 1000.0) - 1.0; // [-1, 1)
+        unit * self.opts.jitter
+    }
+
+    /// Lay out one paragraph across the full usable width.
+    fn layout_paragraph(&mut self, p: ParagraphId) {
+        let sents = self.doc.paragraphs[p.index()].sentences.clone();
+        for s in sents {
+            let left = self.opts.margin;
+            let right = self.opts.margin + self.usable_width();
+            self.layout_sentence(s, left, right);
+        }
+    }
+
+    /// Lay out one sentence between `left` and `right`, flowing lines from
+    /// the current cursor; updates the cursor past the laid-out lines.
+    fn layout_sentence(&mut self, s: SentenceId, left: f32, right: f32) {
+        let style = style_for_tag(&self.doc.sentences[s.index()].structural.tag);
+        let line_h = style.size * 1.3;
+        let words = self.doc.sentences[s.index()].words.clone();
+        let mut vis = Vec::with_capacity(words.len());
+        let mut x = left;
+        // Ensure the first line fits on this page.
+        if self.cur.y + line_h > self.bottom() {
+            self.cur.page += 1;
+            self.cur.y = self.opts.margin;
+        }
+        let mut y = self.cur.y;
+        for w in &words {
+            let ww = word_width(w, style.size);
+            if x + ww > right && x > left {
+                x = left;
+                y += line_h;
+                if y + line_h > self.bottom() {
+                    self.cur.page += 1;
+                    y = self.opts.margin;
+                }
+            }
+            let jx = self.jitter_for(w, 1);
+            let jy = self.jitter_for(w, 2);
+            vis.push(WordVisual {
+                page: self.cur.page,
+                bbox: BBox::new(x + jx, y + jy, x + jx + ww, y + jy + style.size),
+                font: style.font.to_string(),
+                font_size: style.size,
+                bold: style.bold,
+            });
+            x += ww + style.size * 0.3;
+        }
+        self.cur.y = y + line_h;
+        self.doc.sentences[s.index()].visual = Some(vis);
+    }
+
+    /// Lay out a table: caption first, then rows top-to-bottom with equal
+    /// column widths. Spanning cells occupy the union of their column slots.
+    fn layout_table(&mut self, t: TableId) {
+        if let Some(cap) = self.doc.tables[t.index()].caption {
+            let paras = self.doc.captions[cap.index()].paragraphs.clone();
+            for p in paras {
+                self.layout_paragraph(p);
+            }
+        }
+        let (n_rows, n_cols) = {
+            let tbl = &self.doc.tables[t.index()];
+            (tbl.n_rows, tbl.n_cols)
+        };
+        if n_rows == 0 || n_cols == 0 {
+            return;
+        }
+        let col_w = self.usable_width() / n_cols as f32;
+        let row_h = 14.0;
+        let cells = self.doc.tables[t.index()].cells.clone();
+        // Row layout: all cells starting at row r share that row's y origin.
+        // Keep the whole table row-contiguous; break pages between rows.
+        let mut row_y = vec![0.0f32; n_rows as usize];
+        let mut row_page = vec![0u16; n_rows as usize];
+        for r in 0..n_rows {
+            if self.cur.y + row_h > self.bottom() {
+                self.cur.page += 1;
+                self.cur.y = self.opts.margin;
+            }
+            row_y[r as usize] = self.cur.y;
+            row_page[r as usize] = self.cur.page;
+            self.cur.y += row_h;
+        }
+        for cid in cells {
+            let cell = self.doc.cells[cid.index()].clone();
+            let x0 = self.opts.margin + cell.col_start as f32 * col_w + 2.0;
+            let x1 = self.opts.margin + (cell.col_end + 1) as f32 * col_w - 2.0;
+            let y0 = row_y[cell.row_start as usize];
+            let page = row_page[cell.row_start as usize];
+            // Lay the cell's words inside its rectangle without moving the
+            // global cursor (save/restore).
+            let saved = (self.cur.page, self.cur.y);
+            self.cur.page = page;
+            self.cur.y = y0 + 2.0;
+            for p in &cell.paragraphs {
+                let sents = self.doc.paragraphs[p.index()].sentences.clone();
+                for s in sents {
+                    self.layout_sentence(s, x0, x1);
+                }
+            }
+            self.cur.page = saved.0;
+            self.cur.y = saved.1;
+        }
+        self.cur.y += 8.0; // table spacing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::ingest;
+    use fonduer_datamodel::DocFormat;
+
+    const HTML: &str = r#"
+<h1>SMBT3904</h1>
+<p>NPN Silicon Switching Transistors with quite a lot of additional words included here so that the rendered line must certainly wrap onto a second visual line of the page.</p>
+<table>
+ <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+ <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+</table>"#;
+
+    fn laid_out() -> Document {
+        let mut d = ingest("t", HTML, DocFormat::Pdf);
+        layout(&mut d, &LayoutOptions::default());
+        d
+    }
+
+    #[test]
+    fn every_word_gets_visual_attrs() {
+        let d = laid_out();
+        for s in &d.sentences {
+            let v = s.visual.as_ref().expect("visual attached");
+            assert_eq!(v.len(), s.words.len());
+        }
+    }
+
+    #[test]
+    fn headers_are_large_and_bold() {
+        let d = laid_out();
+        let h1 = d.sentences.iter().find(|s| s.structural.tag == "h1").unwrap();
+        let v = &h1.visual.as_ref().unwrap()[0];
+        assert!(v.bold);
+        assert_eq!(v.font_size, 16.0);
+        let p = d.sentences.iter().find(|s| s.structural.tag == "p").unwrap();
+        assert!(!p.visual.as_ref().unwrap()[0].bold);
+    }
+
+    #[test]
+    fn table_row_cells_are_y_aligned() {
+        let d = laid_out();
+        // "200" and "mA" are in the same table row → same y origin.
+        let find = |w: &str| -> WordVisual {
+            for s in &d.sentences {
+                if let Some(i) = s.words.iter().position(|x| x == w) {
+                    return s.visual.as_ref().unwrap()[i].clone();
+                }
+            }
+            panic!("word {w} not found");
+        };
+        let v200 = find("200");
+        let vma = find("mA");
+        assert_eq!(v200.page, vma.page);
+        assert!((v200.bbox.y0 - vma.bbox.y0).abs() < 0.1);
+        // Different columns → different x.
+        assert!(vma.bbox.x0 > v200.bbox.x0);
+        // Column header "Value" is vertically aligned with "200".
+        let vval = find("Value");
+        assert!(vval.bbox.x_overlaps(&v200.bbox));
+        assert!(vval.bbox.y0 < v200.bbox.y0);
+    }
+
+    #[test]
+    fn long_text_wraps_lines() {
+        let d = laid_out();
+        let p = d.sentences.iter().find(|s| s.structural.tag == "p").unwrap();
+        let v = p.visual.as_ref().unwrap();
+        let first_y = v[0].bbox.y0;
+        assert!(
+            v.iter().any(|w| w.bbox.y0 > first_y + 1.0),
+            "expected at least one wrapped line"
+        );
+    }
+
+    #[test]
+    fn page_breaks_occur() {
+        // 200 paragraphs cannot fit on one page.
+        let mut html = String::new();
+        for i in 0..200 {
+            html.push_str(&format!("<p>Paragraph number {i} with several words.</p>"));
+        }
+        let mut d = ingest("long", &html, DocFormat::Pdf);
+        layout(&mut d, &LayoutOptions::default());
+        assert!(d.page_count() > 1);
+        // abs order implies non-decreasing pages.
+        let pages: Vec<u16> = d.sentences.iter().map(|s| s.page().unwrap()).collect();
+        assert!(pages.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn xml_documents_are_skipped() {
+        let mut d = ingest("x", "<article><p>text</p></article>", DocFormat::Xml);
+        layout(&mut d, &LayoutOptions::default());
+        assert!(d.sentences.iter().all(|s| s.visual.is_none()));
+    }
+
+    #[test]
+    fn jitter_perturbs_but_is_deterministic() {
+        let mk = |j: f32| {
+            let mut d = ingest("t", HTML, DocFormat::Pdf);
+            layout(
+                &mut d,
+                &LayoutOptions {
+                    jitter: j,
+                    ..Default::default()
+                },
+            );
+            d
+        };
+        let clean = mk(0.0);
+        let noisy1 = mk(2.0);
+        let noisy2 = mk(2.0);
+        let get = |d: &Document| d.sentences[0].visual.as_ref().unwrap()[0].bbox;
+        assert_ne!(get(&clean), get(&noisy1));
+        assert_eq!(get(&noisy1), get(&noisy2));
+        // Jitter is bounded.
+        assert!((get(&clean).x0 - get(&noisy1).x0).abs() <= 2.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # fonduer-parser
+//!
+//! Document parsing front end for Fonduer: converts raw HTML/XML markup into
+//! the unified multimodal data model and attaches visual attributes via a
+//! deterministic layout engine (the stand-in for the paper's Poppler + PDF
+//! printer conversion pipeline, §3.1).
+//!
+//! * [`markup`] — tolerant HTML/XML tree parser;
+//! * [`ingest`] — markup tree → [`fonduer_datamodel::Document`], including
+//!   table grids with spanning cells and structural attributes;
+//! * [`layout`] — renders documents to pages/bounding boxes, with optional
+//!   simulated conversion noise;
+//! * [`align`] — word-sequence alignment across converted formats.
+//!
+//! ```
+//! use fonduer_parser::{parse_document, ParseOptions};
+//! use fonduer_datamodel::DocFormat;
+//!
+//! let html = "<h1>SMBT3904</h1><table><tr><td>IC</td><td>200</td></tr></table>";
+//! let doc = parse_document("sheet", html, DocFormat::Pdf, &ParseOptions::default());
+//! assert_eq!(doc.tables.len(), 1);
+//! assert!(doc.sentences[0].visual.is_some()); // PDF docs get a rendering
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod ingest;
+pub mod layout;
+pub mod markup;
+
+pub use align::{align_words, Alignment};
+pub use ingest::ingest;
+pub use layout::{layout, LayoutOptions};
+pub use markup::{decode_entities, parse, Element, Node};
+
+use fonduer_datamodel::{DocFormat, Document};
+
+/// Options for end-to-end document parsing.
+#[derive(Debug, Clone, Default)]
+pub struct ParseOptions {
+    /// Layout options used when the format has a visual modality.
+    pub layout: LayoutOptions,
+}
+
+/// Parse markup and, for formats with a visual modality, render it: the
+/// complete "KBC initialization" document path (paper Phase 1).
+pub fn parse_document(
+    name: &str,
+    markup_text: &str,
+    format: DocFormat,
+    opts: &ParseOptions,
+) -> Document {
+    let mut doc = ingest(name, markup_text, format);
+    layout(&mut doc, &opts.layout);
+    doc
+}

@@ -1,0 +1,388 @@
+//! A tolerant markup (HTML/XML subset) parser.
+//!
+//! Fonduer consumes documents "of diverse formats, including PDF, HTML, and
+//! XML" (paper §1), converting them into its unified data model. This module
+//! provides the markup front end: a small, dependency-free tokenizer and
+//! tree builder handling elements, attributes (quoted or bare), text,
+//! comments, self-closing tags, and HTML void elements. Unknown or
+//! mismatched closing tags are recovered from rather than rejected, because
+//! real converted documents are messy.
+
+/// A node in the parsed markup tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An element with a tag name, attributes, and children.
+    Element(Element),
+    /// A text node (entity-decoded).
+    Text(String),
+}
+
+/// An element node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Lower-cased tag name.
+    pub tag: String,
+    /// Attributes in source order (names lower-cased, values entity-decoded).
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in source order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an element with no attributes or children.
+    pub fn new(tag: impl Into<String>) -> Self {
+        Self {
+            tag: tag.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Value of an attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Concatenated text of all descendant text nodes, whitespace-normalized.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        collect_text(&self.children, &mut out);
+        out.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    /// Child elements with a given tag name.
+    pub fn children_with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.tag == tag => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First descendant element with a given tag, depth-first.
+    pub fn find(&self, tag: &str) -> Option<&Element> {
+        for n in &self.children {
+            if let Node::Element(e) = n {
+                if e.tag == tag {
+                    return Some(e);
+                }
+                if let Some(found) = e.find(tag) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn collect_text(nodes: &[Node], out: &mut String) {
+    for n in nodes {
+        match n {
+            Node::Text(t) => {
+                out.push(' ');
+                out.push_str(t);
+            }
+            Node::Element(e) => collect_text(&e.children, out),
+        }
+    }
+}
+
+/// HTML void elements: never have closing tags.
+const VOID_ELEMENTS: &[&str] = &[
+    "br", "img", "hr", "meta", "link", "input", "col", "area", "base", "embed", "source", "wbr",
+];
+
+/// Decode the five standard entities plus numeric character references.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        if let Some(semi) = rest[..rest.len().min(12)].find(';') {
+            let entity = &rest[1..semi];
+            let decoded = match entity {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                "nbsp" => Some(' '),
+                _ => entity
+                    .strip_prefix("#x")
+                    .or_else(|| entity.strip_prefix("#X"))
+                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                    .or_else(|| entity.strip_prefix('#').and_then(|d| d.parse().ok()))
+                    .and_then(char::from_u32),
+            };
+            if let Some(c) = decoded {
+                out.push(c);
+                rest = &rest[semi + 1..];
+                continue;
+            }
+        }
+        out.push('&');
+        rest = &rest[1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Parse a markup string into a forest of top-level nodes.
+///
+/// The parser is tolerant: a stray closing tag that matches an open ancestor
+/// closes everything down to it; one that matches nothing is ignored.
+pub fn parse(input: &str) -> Vec<Node> {
+    let mut roots: Vec<Node> = Vec::new();
+    // Stack of open elements.
+    let mut stack: Vec<Element> = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+
+    fn flush_text(text: &str, stack: &mut [Element], roots: &mut Vec<Node>) {
+        let decoded = decode_entities(text);
+        if decoded.trim().is_empty() {
+            return;
+        }
+        let node = Node::Text(decoded.trim().to_string());
+        if let Some(top) = stack.last_mut() {
+            top.children.push(node);
+        } else {
+            roots.push(node);
+        }
+    }
+
+    fn close_one(stack: &mut Vec<Element>, roots: &mut Vec<Node>) {
+        if let Some(done) = stack.pop() {
+            let node = Node::Element(done);
+            if let Some(top) = stack.last_mut() {
+                top.children.push(node);
+            } else {
+                roots.push(node);
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Comment?
+            if input[i..].starts_with("<!--") {
+                let end = input[i..].find("-->").map(|p| i + p + 3).unwrap_or(input.len());
+                i = end;
+                continue;
+            }
+            // Doctype / processing instruction: skip to '>'.
+            if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
+                let end = input[i..].find('>').map(|p| i + p + 1).unwrap_or(input.len());
+                i = end;
+                continue;
+            }
+            let close = match input[i..].find('>') {
+                Some(p) => i + p,
+                None => break, // Truncated tag: stop.
+            };
+            let inner = &input[i + 1..close];
+            if let Some(name) = inner.strip_prefix('/') {
+                // Closing tag: pop to the matching open element if any.
+                let name = name.trim().to_lowercase();
+                if stack.iter().any(|e| e.tag == name) {
+                    while let Some(top) = stack.last() {
+                        let is_match = top.tag == name;
+                        close_one(&mut stack, &mut roots);
+                        if is_match {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                let self_closing = inner.ends_with('/');
+                let inner = inner.trim_end_matches('/');
+                let (tag, attrs) = parse_tag_contents(inner);
+                let elem = Element {
+                    tag: tag.clone(),
+                    attrs,
+                    children: Vec::new(),
+                };
+                if self_closing || VOID_ELEMENTS.contains(&tag.as_str()) {
+                    let node = Node::Element(elem);
+                    if let Some(top) = stack.last_mut() {
+                        top.children.push(node);
+                    } else {
+                        roots.push(node);
+                    }
+                } else {
+                    stack.push(elem);
+                }
+            }
+            i = close + 1;
+        } else {
+            let next_tag = input[i..].find('<').map(|p| i + p).unwrap_or(input.len());
+            flush_text(&input[i..next_tag], &mut stack, &mut roots);
+            i = next_tag;
+        }
+    }
+    // Close any elements left open at EOF.
+    while !stack.is_empty() {
+        close_one(&mut stack, &mut roots);
+    }
+    roots
+}
+
+/// Parse the inside of a tag: name plus attributes.
+fn parse_tag_contents(inner: &str) -> (String, Vec<(String, String)>) {
+    let inner = inner.trim();
+    let name_end = inner
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(inner.len());
+    let tag = inner[..name_end].to_lowercase();
+    let mut attrs = Vec::new();
+    let rest = &inner[name_end..];
+    let chars: Vec<char> = rest.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= chars.len() {
+            break;
+        }
+        let name_start = i;
+        while i < chars.len() && chars[i] != '=' && !chars[i].is_whitespace() {
+            i += 1;
+        }
+        let name: String = chars[name_start..i].iter().collect::<String>().to_lowercase();
+        if name.is_empty() {
+            i += 1;
+            continue;
+        }
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i < chars.len() && chars[i] == '=' {
+            i += 1;
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            let value = if i < chars.len() && (chars[i] == '"' || chars[i] == '\'') {
+                let quote = chars[i];
+                i += 1;
+                let start = i;
+                while i < chars.len() && chars[i] != quote {
+                    i += 1;
+                }
+                let v: String = chars[start..i].iter().collect();
+                i += 1; // skip closing quote
+                v
+            } else {
+                let start = i;
+                while i < chars.len() && !chars[i].is_whitespace() {
+                    i += 1;
+                }
+                chars[start..i].iter().collect()
+            };
+            attrs.push((name, decode_entities(&value)));
+        } else {
+            // Bare boolean attribute.
+            attrs.push((name, String::new()));
+        }
+    }
+    (tag, attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_element(nodes: &[Node]) -> &Element {
+        match &nodes[0] {
+            Node::Element(e) => e,
+            _ => panic!("expected element"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let nodes = parse("<div><p>Hello <b>world</b></p></div>");
+        let div = first_element(&nodes);
+        assert_eq!(div.tag, "div");
+        let p = div.children_with_tag("p").next().unwrap();
+        assert_eq!(p.text_content(), "Hello world");
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let nodes = parse(r#"<td rowspan="2" colspan='3' class=value hidden>x</td>"#);
+        let td = first_element(&nodes);
+        assert_eq!(td.attr("rowspan"), Some("2"));
+        assert_eq!(td.attr("colspan"), Some("3"));
+        assert_eq!(td.attr("class"), Some("value"));
+        assert_eq!(td.attr("hidden"), Some(""));
+        assert_eq!(td.attr("missing"), None);
+    }
+
+    #[test]
+    fn void_and_self_closing_elements() {
+        let nodes = parse("<p>a<br>b<img src='x.png'/>c</p>");
+        let p = first_element(&nodes);
+        assert_eq!(p.children.len(), 5);
+        assert_eq!(p.text_content(), "a b c");
+    }
+
+    #[test]
+    fn entity_decoding() {
+        assert_eq!(decode_entities("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(decode_entities("&#176;C &#x2264;"), "°C ≤");
+        assert_eq!(decode_entities("no entities"), "no entities");
+        assert_eq!(decode_entities("&bogus; &"), "&bogus; &");
+    }
+
+    #[test]
+    fn recovers_from_unclosed_tags() {
+        let nodes = parse("<div><p>one<p>two</div>after");
+        // The stray </div> closes both <p>s; trailing text survives.
+        assert_eq!(nodes.len(), 2);
+        let div = first_element(&nodes);
+        assert_eq!(div.tag, "div");
+        assert_eq!(nodes[1], Node::Text("after".to_string()));
+    }
+
+    #[test]
+    fn ignores_unmatched_closing_tag() {
+        let nodes = parse("<p>text</b></p>");
+        let p = first_element(&nodes);
+        assert_eq!(p.text_content(), "text");
+    }
+
+    #[test]
+    fn skips_comments_and_doctype() {
+        let nodes = parse("<!DOCTYPE html><!-- hi --><p>x</p>");
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(first_element(&nodes).tag, "p");
+    }
+
+    #[test]
+    fn find_descends_depth_first() {
+        let nodes = parse("<table><tr><td>a</td></tr></table>");
+        let table = first_element(&nodes);
+        assert!(table.find("td").is_some());
+        assert!(table.find("th").is_none());
+    }
+
+    #[test]
+    fn truncated_tag_at_eof() {
+        let nodes = parse("<p>ok</p><div");
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let nodes = parse("<div>\n  \t<p>x</p>  </div>");
+        let div = first_element(&nodes);
+        assert_eq!(div.children.len(), 1);
+    }
+}

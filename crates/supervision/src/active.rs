@@ -1,0 +1,110 @@
+//! Active learning over candidate marginals (paper Appendix D: "feedback
+//! techniques like active learning could empower users to more quickly
+//! recognize classes of candidates that need further disambiguation with
+//! LFs").
+//!
+//! Given the marginals produced by the generative or discriminative model,
+//! these strategies rank candidates by how much a user label (or a new
+//! labeling function covering them) would help.
+
+use crate::matrix::LabelMatrix;
+
+/// A ranked candidate index with its acquisition score (higher = more
+/// valuable to inspect).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ranked {
+    /// Candidate row index.
+    pub index: usize,
+    /// Acquisition score.
+    pub score: f64,
+}
+
+fn rank_by<F: Fn(usize) -> f64>(n: usize, score: F) -> Vec<Ranked> {
+    let mut out: Vec<Ranked> = (0..n)
+        .map(|i| Ranked {
+            index: i,
+            score: score(i),
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Uncertainty sampling: candidates whose marginal is closest to 0.5.
+pub fn uncertainty_sampling(marginals: &[f64]) -> Vec<Ranked> {
+    rank_by(marginals.len(), |i| 0.5 - (marginals[i] - 0.5).abs())
+}
+
+/// Disagreement sampling: candidates where labeling functions conflict the
+/// most (normalized vote entropy proxy: `min(pos, neg) / (pos + neg)`).
+pub fn disagreement_sampling(l: &LabelMatrix) -> Vec<Ranked> {
+    rank_by(l.n_rows(), |i| {
+        let row = l.row(i);
+        let pos = row.iter().filter(|&&v| v == 1).count() as f64;
+        let neg = row.iter().filter(|&&v| v == -1).count() as f64;
+        if pos + neg == 0.0 {
+            0.0
+        } else {
+            pos.min(neg) / (pos + neg)
+        }
+    })
+}
+
+/// Coverage-gap sampling: candidates no labeling function covers, ranked by
+/// model uncertainty — the places where a *new* LF would add information.
+pub fn coverage_gap_sampling(l: &LabelMatrix, marginals: &[f64]) -> Vec<Ranked> {
+    assert_eq!(l.n_rows(), marginals.len());
+    let mut out: Vec<Ranked> = (0..l.n_rows())
+        .filter(|&i| l.row(i).iter().all(|&v| v == 0))
+        .map(|i| Ranked {
+            index: i,
+            score: 0.5 - (marginals[i] - 0.5).abs(),
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncertainty_prefers_half() {
+        let ranked = uncertainty_sampling(&[0.95, 0.5, 0.2, 0.55]);
+        assert_eq!(ranked[0].index, 1);
+        assert_eq!(ranked[1].index, 3);
+        assert_eq!(ranked.last().unwrap().index, 0);
+    }
+
+    #[test]
+    fn disagreement_prefers_conflicts() {
+        let mut l = LabelMatrix::zeros(3, 2);
+        l.set(0, 0, 1);
+        l.set(0, 1, -1); // full conflict
+        l.set(1, 0, 1);
+        l.set(1, 1, 1); // agreement
+        let ranked = disagreement_sampling(&l);
+        assert_eq!(ranked[0].index, 0);
+        assert!(ranked[0].score > ranked[1].score);
+        // Row 2 has no votes: zero disagreement.
+        assert_eq!(ranked.last().unwrap().score, 0.0);
+    }
+
+    #[test]
+    fn coverage_gap_only_returns_uncovered() {
+        let mut l = LabelMatrix::zeros(3, 1);
+        l.set(0, 0, 1);
+        let ranked = coverage_gap_sampling(&l, &[0.9, 0.5, 0.8]);
+        let idx: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        assert_eq!(idx, vec![1, 2]); // row 0 covered; row 1 most uncertain
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(uncertainty_sampling(&[]).is_empty());
+        let l = LabelMatrix::zeros(0, 0);
+        assert!(disagreement_sampling(&l).is_empty());
+        assert!(coverage_gap_sampling(&l, &[]).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! The label matrix Λ ∈ {−1, 0, 1}^{k×l} (paper Appendix A.1) and the LF
+//! quality metrics Fonduer surfaces during iterative development (§3.3:
+//! "coverage, conflict, and overlap").
+
+use crate::lf::LabelingFunction;
+use fonduer_candidates::CandidateSet;
+use fonduer_datamodel::Corpus;
+
+/// Dense label matrix: `n` candidates × `l` labeling functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<i8>,
+}
+
+impl LabelMatrix {
+    /// An all-abstain matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            data: vec![0; n_rows * n_cols],
+        }
+    }
+
+    /// Apply a LF library to every candidate.
+    pub fn apply(lfs: &[&LabelingFunction], corpus: &Corpus, cands: &CandidateSet) -> Self {
+        let mut m = Self::zeros(cands.len(), lfs.len());
+        for (i, cand) in cands.candidates.iter().enumerate() {
+            let doc = corpus.doc(cand.doc);
+            for (j, lf) in lfs.iter().enumerate() {
+                m.set(i, j, lf.label(doc, cand));
+            }
+        }
+        m
+    }
+
+    /// Number of candidates.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of labeling functions.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Label of candidate `i` under LF `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i8 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Set a label.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: i8) {
+        debug_assert!((-1..=1).contains(&v));
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// One candidate's labels.
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Append the column produced by one additional LF (development-mode
+    /// iteration: user writes a new LF and re-labels).
+    pub fn append_column(&mut self, col: &[i8]) {
+        assert_eq!(col.len(), self.n_rows);
+        let mut data = Vec::with_capacity(self.n_rows * (self.n_cols + 1));
+        for (i, &v) in col.iter().enumerate() {
+            data.extend_from_slice(self.row(i));
+            data.push(v);
+        }
+        self.n_cols += 1;
+        self.data = data;
+    }
+
+    /// Coverage of LF `j`: fraction of candidates it labels (non-zero).
+    pub fn coverage(&self, j: usize) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let nz = (0..self.n_rows).filter(|&i| self.get(i, j) != 0).count();
+        nz as f64 / self.n_rows as f64
+    }
+
+    /// Overlap of LF `j`: fraction of candidates it labels that at least
+    /// one other LF also labels.
+    pub fn overlap(&self, j: usize) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let mut both = 0usize;
+        for i in 0..self.n_rows {
+            if self.get(i, j) != 0
+                && (0..self.n_cols).any(|k| k != j && self.get(i, k) != 0)
+            {
+                both += 1;
+            }
+        }
+        both as f64 / self.n_rows as f64
+    }
+
+    /// Conflict of LF `j`: fraction of candidates where `j`'s label
+    /// disagrees with another LF's non-zero label.
+    pub fn conflict(&self, j: usize) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let mut conf = 0usize;
+        for i in 0..self.n_rows {
+            let v = self.get(i, j);
+            if v != 0
+                && (0..self.n_cols).any(|k| {
+                    k != j && self.get(i, k) != 0 && self.get(i, k) != v
+                })
+            {
+                conf += 1;
+            }
+        }
+        conf as f64 / self.n_rows as f64
+    }
+
+    /// Fraction of candidates receiving at least one non-zero label
+    /// (overall coverage of the LF library).
+    pub fn total_coverage(&self) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let covered = (0..self.n_rows)
+            .filter(|&i| self.row(i).iter().any(|&v| v != 0))
+            .count();
+        covered as f64 / self.n_rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 candidates × 3 LFs fixture.
+    fn matrix() -> LabelMatrix {
+        let mut m = LabelMatrix::zeros(4, 3);
+        // LF0 labels everything +1; LF1 labels rows 0-1 (+1, -1); LF2 abstains.
+        for i in 0..4 {
+            m.set(i, 0, 1);
+        }
+        m.set(0, 1, 1);
+        m.set(1, 1, -1);
+        m
+    }
+
+    #[test]
+    fn coverage_overlap_conflict() {
+        let m = matrix();
+        assert_eq!(m.coverage(0), 1.0);
+        assert_eq!(m.coverage(1), 0.5);
+        assert_eq!(m.coverage(2), 0.0);
+        assert_eq!(m.overlap(1), 0.5); // both labeled rows overlap LF0
+        assert_eq!(m.overlap(0), 0.5);
+        assert_eq!(m.conflict(0), 0.25); // row 1 disagrees with LF1
+        assert_eq!(m.conflict(1), 0.25);
+        assert_eq!(m.conflict(2), 0.0);
+        assert_eq!(m.total_coverage(), 1.0);
+    }
+
+    #[test]
+    fn append_column_grows_matrix() {
+        let mut m = matrix();
+        m.append_column(&[0, 0, 1, -1]);
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.get(2, 3), 1);
+        assert_eq!(m.get(3, 3), -1);
+        assert_eq!(m.get(0, 0), 1); // old data intact
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let m = LabelMatrix::zeros(0, 2);
+        assert_eq!(m.coverage(0), 0.0);
+        assert_eq!(m.total_coverage(), 0.0);
+    }
+
+    #[test]
+    fn row_slice() {
+        let m = matrix();
+        assert_eq!(m.row(0), &[1, 1, 0]);
+        assert_eq!(m.row(3), &[1, 0, 0]);
+    }
+}

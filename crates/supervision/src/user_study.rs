@@ -1,0 +1,163 @@
+//! Simulated annotators for the user-study reproduction (paper §6,
+//! Figure 9).
+//!
+//! The paper's study measures two supervision *processes* over a 30-minute
+//! budget: manually labeling candidates one at a time versus authoring
+//! labeling functions iteratively. The human-factors element cannot be
+//! reproduced offline, so we model the measured throughputs mechanically
+//! (users labeled ~285 candidates in 30 minutes ≈ 9.5/min; they wrote ~7
+//! LFs ≈ one every 4 minutes) and replay both processes against the same
+//! corpus. DESIGN.md documents this substitution.
+
+use crate::lf::{LabelingFunction, Modality};
+
+/// The manual-annotation process: labels candidates at a fixed rate with a
+/// small error probability (annotator fatigue/mistakes).
+#[derive(Debug, Clone)]
+pub struct ManualProcess {
+    /// Candidates labeled per minute (paper: ~9.5).
+    pub labels_per_minute: f64,
+    /// Probability a manual label is wrong.
+    pub error_rate: f64,
+}
+
+impl Default for ManualProcess {
+    fn default() -> Self {
+        Self {
+            labels_per_minute: 9.5,
+            error_rate: 0.05,
+        }
+    }
+}
+
+impl ManualProcess {
+    /// Number of candidates labeled after `minutes`.
+    pub fn labeled_after(&self, minutes: f64, n_candidates: usize) -> usize {
+        ((self.labels_per_minute * minutes) as usize).min(n_candidates)
+    }
+
+    /// Produce the manual labels available at `minutes`: the first k
+    /// candidates' gold labels, each flipped with `error_rate` via a
+    /// deterministic hash. Returns `(index, label)` pairs.
+    pub fn labels_at(&self, minutes: f64, gold: &[bool]) -> Vec<(usize, bool)> {
+        let k = self.labeled_after(minutes, gold.len());
+        (0..k)
+            .map(|i| {
+                let h = fonduer_nlp::fnv1a(&(i as u64).to_le_bytes());
+                let flip = (h % 10_000) as f64 / 10_000.0 < self.error_rate;
+                (i, gold[i] != flip)
+            })
+            .collect()
+    }
+}
+
+/// The LF-authoring process: the user's LF library is revealed one function
+/// at a time on a fixed cadence, mirroring the iterative develop/evaluate
+/// loop of §3.3.
+#[derive(Debug, Clone)]
+pub struct LfProcess {
+    /// Minutes between finished labeling functions (paper: ~7 LFs in 30
+    /// minutes after setup).
+    pub minutes_per_lf: f64,
+    /// Minutes of setup before the first LF lands.
+    pub setup_minutes: f64,
+}
+
+impl Default for LfProcess {
+    fn default() -> Self {
+        Self {
+            minutes_per_lf: 3.0,
+            setup_minutes: 2.0,
+        }
+    }
+}
+
+impl LfProcess {
+    /// How many LFs of an ordered library are available after `minutes`.
+    pub fn lfs_after(&self, minutes: f64, library_size: usize) -> usize {
+        if minutes < self.setup_minutes {
+            return 0;
+        }
+        (1 + ((minutes - self.setup_minutes) / self.minutes_per_lf) as usize).min(library_size)
+    }
+
+    /// The available prefix of the LF library at `minutes`.
+    pub fn available<'a>(
+        &self,
+        minutes: f64,
+        library: &'a [LabelingFunction],
+    ) -> &'a [LabelingFunction] {
+        &library[..self.lfs_after(minutes, library.len())]
+    }
+}
+
+/// Per-modality fraction of a LF library (Figure 9, right panel).
+pub fn modality_distribution(lfs: &[LabelingFunction]) -> Vec<(Modality, f64)> {
+    let total = lfs.len().max(1) as f64;
+    [
+        Modality::Textual,
+        Modality::Structural,
+        Modality::Tabular,
+        Modality::Visual,
+    ]
+    .iter()
+    .map(|&m| {
+        let n = lfs.iter().filter(|lf| lf.modality == m).count();
+        (m, n as f64 / total)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lf::ABSTAIN;
+
+    #[test]
+    fn manual_process_rate() {
+        let p = ManualProcess::default();
+        assert_eq!(p.labeled_after(30.0, 100_000), 285);
+        assert_eq!(p.labeled_after(30.0, 100), 100);
+        assert_eq!(p.labeled_after(0.0, 100), 0);
+    }
+
+    #[test]
+    fn manual_labels_mostly_match_gold() {
+        let p = ManualProcess {
+            labels_per_minute: 100.0,
+            error_rate: 0.1,
+        };
+        let gold: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        let labels = p.labels_at(10.0, &gold);
+        assert_eq!(labels.len(), 1000);
+        let wrong = labels.iter().filter(|&&(i, l)| gold[i] != l).count();
+        let rate = wrong as f64 / 1000.0;
+        assert!((0.05..0.15).contains(&rate), "{rate}");
+        // Deterministic.
+        assert_eq!(labels, p.labels_at(10.0, &gold));
+    }
+
+    #[test]
+    fn lf_process_schedule() {
+        let p = LfProcess::default();
+        assert_eq!(p.lfs_after(0.0, 12), 0);
+        assert_eq!(p.lfs_after(2.0, 12), 1);
+        assert_eq!(p.lfs_after(10.0, 12), 3);
+        assert_eq!(p.lfs_after(30.0, 12), 10);
+        assert_eq!(p.lfs_after(30.0, 5), 5);
+    }
+
+    #[test]
+    fn modality_distribution_sums_to_one() {
+        let lfs = vec![
+            LabelingFunction::new("a", Modality::Tabular, |_, _| ABSTAIN),
+            LabelingFunction::new("b", Modality::Tabular, |_, _| ABSTAIN),
+            LabelingFunction::new("c", Modality::Visual, |_, _| ABSTAIN),
+            LabelingFunction::new("d", Modality::Textual, |_, _| ABSTAIN),
+        ];
+        let dist = modality_distribution(&lfs);
+        let total: f64 = dist.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(dist[2], (Modality::Tabular, 0.5));
+    }
+}

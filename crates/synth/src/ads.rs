@@ -1,0 +1,308 @@
+//! ADVERTISEMENTS corpus generator (paper §5.1): heterogeneous web pages in
+//! which users create customized ads, "resulting in 100,000s of unique
+//! layouts".
+//!
+//! Each ad advertises services with four attributes tied to a contact phone
+//! number: price, location, age, and name. Layout families mirror the
+//! paper's oracle measurements (Table 2: Text 0.44, Table 0.37,
+//! Ensemble 0.76): *inline* ads state attributes in the same sentences as
+//! the phone, *tabular* ads use an attribute table containing the phone,
+//! and *split* ads separate the phone from the attributes entirely, so only
+//! document-scope extraction can recover them.
+
+use crate::dataset::SynthDataset;
+use crate::gold::GoldKb;
+use crate::names::*;
+use fonduer_datamodel::{Corpus, DocFormat};
+use fonduer_parser::{parse_document, ParseOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four ADS relations (paper Table 1: 4 rels).
+pub const ADS_RELATIONS: [&str; 4] = ["ad_price", "ad_location", "ad_age", "ad_name"];
+
+/// Configuration for the ADS generator.
+#[derive(Debug, Clone)]
+pub struct AdsConfig {
+    /// Number of ads to generate.
+    pub n_docs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of ads with inline (sentence-scope) attribute statements.
+    pub inline_frac: f64,
+    /// Fraction of ads with a phone-bearing attribute table (table scope).
+    pub table_frac: f64,
+}
+
+impl Default for AdsConfig {
+    fn default() -> Self {
+        Self {
+            n_docs: 200,
+            seed: 11,
+            inline_frac: 0.44,
+            table_frac: 0.37,
+        }
+    }
+}
+
+struct Ad {
+    phone: String,
+    price: u32,
+    city: &'static str,
+    age: u32,
+    name: &'static str,
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Generate the ADS dataset.
+pub fn generate_ads(cfg: &AdsConfig) -> SynthDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut corpus = Corpus::new("ads");
+    let mut gold = GoldKb::new();
+    let mut names_dict = std::collections::BTreeSet::new();
+    let mut cities_dict = std::collections::BTreeSet::new();
+    let opts = ParseOptions::default();
+
+    for di in 0..cfg.n_docs {
+        let doc_name = format!("ad_{di:05}");
+        let ad = Ad {
+            phone: format!(
+                "{}-{}-{:04}",
+                rng.gen_range(201..990u32),
+                rng.gen_range(200..999u32),
+                rng.gen_range(0..10000u32)
+            ),
+            price: rng.gen_range(60..500u32),
+            city: pick(&mut rng, CITIES),
+            age: rng.gen_range(19..36u32),
+            name: pick(&mut rng, FIRST_NAMES),
+        };
+        names_dict.insert(ad.name.to_string());
+        cities_dict.insert(ad.city.to_string());
+        let style = rng.gen::<f64>();
+        let kind = if style < cfg.inline_frac {
+            AdKind::Inline
+        } else if style < cfg.inline_frac + cfg.table_frac {
+            AdKind::Tabular
+        } else {
+            AdKind::Split
+        };
+        let html = render_ad(&mut rng, &ad, kind);
+        let doc = parse_document(&doc_name, &html, DocFormat::Html, &opts);
+        corpus.add(doc);
+        gold.add("ad_price", &doc_name, &[&ad.phone, &ad.price.to_string()]);
+        gold.add("ad_location", &doc_name, &[&ad.phone, ad.city]);
+        gold.add("ad_age", &doc_name, &[&ad.phone, &ad.age.to_string()]);
+        gold.add("ad_name", &doc_name, &[&ad.phone, ad.name]);
+    }
+
+    let mut ds = SynthDataset::new(
+        corpus,
+        gold,
+        ADS_RELATIONS.iter().map(|s| s.to_string()).collect(),
+    );
+    ds.dictionaries.insert("first_names".to_string(), names_dict);
+    ds.dictionaries.insert("cities".to_string(), cities_dict);
+    ds
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AdKind {
+    /// Attributes and phone share sentences.
+    Inline,
+    /// Attributes and phone share one table.
+    Tabular,
+    /// Phone and attributes in disjoint contexts (document scope only).
+    Split,
+}
+
+fn render_ad(rng: &mut StdRng, ad: &Ad, kind: AdKind) -> String {
+    // Per-"web-domain" styling: class names and decorations vary, which is
+    // what the SRV baseline's HTML features key on.
+    let domain = rng.gen_range(0..30u32);
+    let title_words = [
+        "Sweet", "Gorgeous", "New in town", "VIP", "Upscale", "Exotic", "Stunning", "Sexy",
+    ];
+    let title = format!(
+        "{} {} available tonight",
+        title_words[rng.gen_range(0..title_words.len())],
+        ad.name
+    );
+    let mut html = String::with_capacity(2048);
+    html.push_str(&format!(
+        "<html><body class=\"domain{domain}\"><section>\n<h1 class=\"post-title\">{title}</h1>\n"
+    ));
+    // Distractor header info: post id and date (numbers in matcher ranges).
+    html.push_str(&format!(
+        "<p class=\"meta\">Post {} updated {} hours ago, viewed {} times. 24/7 availability.</p>\n",
+        100000 + rng.gen_range(0..900000u32),
+        rng.gen_range(1..24u32),
+        rng.gen_range(60..900u32),
+    ));
+    match kind {
+        AdKind::Inline => {
+            // One sentence carrying every attribute together with the phone:
+            // the classic free-text ad that sentence-scope IE can handle.
+            if rng.gen_bool(0.5) {
+                html.push_str(&format!(
+                    "<p class=\"body\">Hi guys I am {}, {} years old, visiting {} this week, \
+                     {} roses per hour, call or text me at {} anytime.</p>\n",
+                    ad.name, ad.age, ad.city, ad.price, ad.phone
+                ));
+            } else {
+                html.push_str(&format!(
+                    "<p class=\"body\">Ask for {} — {} yo — now in {} — ${} special — {}.</p>\n",
+                    ad.name, ad.age, ad.city, ad.price, ad.phone
+                ));
+            }
+            html.push_str("<p>Independent and discreet. Available now.</p>\n");
+        }
+        AdKind::Tabular => {
+            html.push_str("<table class=\"attrs\">\n");
+            // The attribute key lives in its own cell: only row-aware
+            // (tabular/visual) features can tell which number is which.
+            let rate_key = pick(rng, &["Rate", "Price", "Donation", "Hourly"]);
+            let mut rows: Vec<(String, String)> = vec![
+                ("Name".into(), ad.name.to_string()),
+                ("Age".into(), ad.age.to_string()),
+                ("Location".into(), ad.city.to_string()),
+                (rate_key.to_string(), ad.price.to_string()),
+                ("Phone".into(), ad.phone.clone()),
+                ("Eyes".into(), "brown".into()),
+                ("Available".into(), "24/7".into()),
+                // Bare-number distractor rows in the price range: only the
+                // key cell (a different cell!) disambiguates them.
+                ("Views".into(), rng.gen_range(60..900u32).to_string()),
+                ("Weight".into(), rng.gen_range(100..160u32).to_string()),
+            ];
+            // Row-order variety across "domains".
+            let k = rows.len();
+            for i in 0..k {
+                let j = rng.gen_range(i..k);
+                rows.swap(i, j);
+            }
+            for (key, value) in rows {
+                html.push_str(&format!("<tr><th>{key}</th><td>{value}</td></tr>\n"));
+            }
+            html.push_str("</table>\n");
+            html.push_str("<p>No explicit talk. Gentlemen only.</p>\n");
+        }
+        AdKind::Split => {
+            // Attributes scattered in body text, phone in a separate
+            // contact footer — cross-context only.
+            html.push_str(&format!(
+                "<p class=\"body\">{} here, sweet and discreet.</p>\n",
+                ad.name
+            ));
+            html.push_str(&format!(
+                "<ul><li>Age {}</li><li>Now in {}</li><li>Donation {} per hr</li></ul>\n",
+                ad.age, ad.city, ad.price
+            ));
+            html.push_str("<p>Serious inquiries only. No blocked numbers.</p>\n");
+            html.push_str(&format!(
+                "<div class=\"contact\"><p>Contact: {}</p></div>\n",
+                ad.phone
+            ));
+        }
+    }
+    // Distractor measurements block (numbers near the age/price ranges).
+    if rng.gen_bool(0.5) {
+        html.push_str(&format!(
+            "<p class=\"stats\">Measurements {}-{}-{} height 5 ft {}.</p>\n",
+            rng.gen_range(32..38u32),
+            rng.gen_range(24..28u32),
+            rng.gen_range(34..40u32),
+            rng.gen_range(2..9u32)
+        ));
+    }
+    // Distractor numbers inside the price range (photo claims, booking
+    // minutiae) so price extraction is not trivially precise.
+    if rng.gen_bool(0.6) {
+        html.push_str("<p>100% real recent photos, no games.</p>\n");
+    }
+    if rng.gen_bool(0.4) {
+        html.push_str(&format!(
+            "<p>Deposit required for bookings over {} minutes.</p>\n",
+            30 * rng.gen_range(2..6u32)
+        ));
+    }
+    html.push_str("</section></body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::assert_valid;
+
+    fn small() -> SynthDataset {
+        generate_ads(&AdsConfig {
+            n_docs: 30,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn documents_are_valid_html() {
+        let ds = small();
+        assert_eq!(ds.corpus.len(), 30);
+        for (_, d) in ds.corpus.iter() {
+            assert_valid(d);
+            assert_eq!(d.format, DocFormat::Html);
+        }
+    }
+
+    #[test]
+    fn gold_has_all_relations_per_doc() {
+        let ds = small();
+        for rel in ADS_RELATIONS {
+            assert_eq!(ds.gold.len(rel), 30, "{rel}");
+        }
+    }
+
+    #[test]
+    fn phone_text_is_present_and_normalized_consistently() {
+        let ds = small();
+        for (doc_name, args) in ds.gold.tuples("ad_price") {
+            let (_, doc) = ds
+                .corpus
+                .iter()
+                .find(|(_, d)| &d.name == doc_name)
+                .unwrap();
+            let text: String = doc
+                .sentences
+                .iter()
+                .flat_map(|s| s.words.iter().map(|w| w.to_lowercase()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            // Normalized phone ("206 - 555 - 0147") appears in token stream.
+            assert!(text.contains(&args[0]), "{} not in {doc_name}", args[0]);
+        }
+    }
+
+    #[test]
+    fn layout_mixture_matches_config() {
+        let ds = generate_ads(&AdsConfig {
+            n_docs: 200,
+            ..Default::default()
+        });
+        // Count ads with an attribute table (tabular kind).
+        let tabular = ds
+            .corpus
+            .iter()
+            .filter(|(_, d)| !d.tables.is_empty())
+            .count();
+        let frac = tabular as f64 / 200.0;
+        assert!((0.25..0.50).contains(&frac), "tabular fraction {frac}");
+    }
+
+    #[test]
+    fn dictionaries_exported() {
+        let ds = small();
+        assert!(!ds.dictionary("first_names").is_empty());
+        assert!(!ds.dictionary("cities").is_empty());
+    }
+}

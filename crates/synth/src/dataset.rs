@@ -1,0 +1,46 @@
+//! The bundle a corpus generator returns: documents + gold KB + metadata.
+
+use crate::gold::GoldKb;
+use fonduer_datamodel::Corpus;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A generated evaluation dataset: the parsed corpus, its gold knowledge
+/// base, the relation names it defines, and any dictionaries matchers need
+/// (e.g. the transistor-part dictionary of paper Example 3.3).
+#[derive(Debug, Clone)]
+pub struct SynthDataset {
+    /// The parsed documents.
+    pub corpus: Corpus,
+    /// Gold tuples planted in the corpus.
+    pub gold: GoldKb,
+    /// Relation names defined by this dataset.
+    pub relation_names: Vec<String>,
+    /// Named dictionaries for matchers (raw, un-normalized entries).
+    pub dictionaries: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl SynthDataset {
+    /// Bundle a corpus with its gold KB.
+    pub fn new(corpus: Corpus, gold: GoldKb, relation_names: Vec<String>) -> Self {
+        Self {
+            corpus,
+            gold,
+            relation_names,
+            dictionaries: BTreeMap::new(),
+        }
+    }
+
+    /// Dictionary by name, or an empty set.
+    pub fn dictionary(&self, name: &str) -> BTreeSet<String> {
+        self.dictionaries.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Summary row for Table 1: `(size_bytes, n_docs, n_rels)`.
+    pub fn summary(&self) -> (usize, usize, usize) {
+        (
+            self.corpus.approx_bytes(),
+            self.corpus.len(),
+            self.relation_names.len(),
+        )
+    }
+}

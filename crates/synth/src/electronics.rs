@@ -1,0 +1,492 @@
+//! ELECTRONICS corpus generator: single-bipolar-transistor datasheets
+//! (paper §5.1, Figure 1).
+//!
+//! Each document is a PDF-style datasheet: part numbers in a styled header,
+//! a description block, a *Maximum Ratings* table holding the four target
+//! relations, and a distractor *Electrical Characteristics* table full of
+//! numbers in the same ranges. Formatting variety follows Example 1.4:
+//! interval notation varies ("-65 ... 150" / "-65 ~ 150" / "-65 to 150"),
+//! column orders differ across simulated manufacturers, units are sometimes
+//! merged into value cells, and power-dissipation rows use spanning cells.
+//!
+//! Context-scope mixture is calibrated to the paper's oracle measurements
+//! (Table 2): ~4% of documents state a relation inside one sentence, ~20%
+//! also list part numbers inside the ratings table, and everything else is
+//! document-level only.
+
+use crate::dataset::SynthDataset;
+use crate::gold::GoldKb;
+use crate::names::*;
+use fonduer_datamodel::{Corpus, DocFormat};
+use fonduer_parser::{parse_document, ParseOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four ELECTRONICS relations (paper Table 1: 4 rels).
+pub const ELECTRONICS_RELATIONS: [&str; 4] = [
+    "has_collector_current",
+    "max_ce_voltage",
+    "max_cb_voltage",
+    "max_eb_voltage",
+];
+
+/// Configuration for the ELECTRONICS generator.
+#[derive(Debug, Clone)]
+pub struct ElectronicsConfig {
+    /// Number of datasheets to generate.
+    pub n_docs: usize,
+    /// RNG seed; equal seeds produce identical corpora.
+    pub seed: u64,
+    /// Fraction of documents expressing a relation within one sentence.
+    pub sentence_scope_frac: f64,
+    /// Fraction of documents listing part numbers inside the ratings table.
+    pub table_scope_frac: f64,
+    /// Layout jitter in points (simulated PDF-conversion noise).
+    pub jitter: f32,
+    /// Fraction of documents whose ratings land beyond page 1 (long feature
+    /// and application sections first), so that page-scope extraction
+    /// misses them (Figure 6's page→document gap).
+    pub multi_page_frac: f64,
+    /// Fraction of documents whose ratings table is lost by conversion and
+    /// survives only as flat text lines (paper §4.2: "nearly all documents
+    /// converted from PDF to HTML by generic tools" have noisy structure;
+    /// visual/textual signals must compensate).
+    pub flat_table_frac: f64,
+}
+
+impl Default for ElectronicsConfig {
+    fn default() -> Self {
+        Self {
+            n_docs: 100,
+            seed: 7,
+            sentence_scope_frac: 0.12,
+            table_scope_frac: 0.45,
+            jitter: 3.0,
+            multi_page_frac: 0.2,
+            flat_table_frac: 0.25,
+        }
+    }
+}
+
+/// Per-document electrical values.
+struct Ratings {
+    ic_ma: u32,
+    vceo: u32,
+    vcbo: u32,
+    vebo: u32,
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Generate the ELECTRONICS dataset.
+pub fn generate_electronics(cfg: &ElectronicsConfig) -> SynthDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut corpus = Corpus::new("electronics");
+    let mut gold = GoldKb::new();
+    let mut parts_dict = std::collections::BTreeSet::new();
+    let opts = ParseOptions {
+        layout: fonduer_parser::LayoutOptions {
+            jitter: cfg.jitter,
+            ..Default::default()
+        },
+    };
+
+    for di in 0..cfg.n_docs {
+        let doc_name = format!("datasheet_{di:04}");
+        // Parts: 1-3 variants sharing the same ratings (like Figure 1's
+        // SMBT3904...MMBT3904 pair).
+        let n_parts = 1 + rng.gen_range(0..3usize);
+        let stem = pick(&mut rng, PART_STEMS);
+        let suffix = pick(&mut rng, PART_SUFFIXES);
+        let mut parts: Vec<String> = Vec::new();
+        let mut used = std::collections::BTreeSet::new();
+        while parts.len() < n_parts {
+            let prefix = pick(&mut rng, PART_PREFIXES);
+            if used.insert(prefix) {
+                parts.push(format!("{prefix}{stem}{suffix}"));
+            }
+        }
+        for p in &parts {
+            parts_dict.insert(p.clone());
+        }
+        let ratings = Ratings {
+            ic_ma: 100 + 5 * rng.gen_range(0..=140u32), // 100..=800 mA
+            vceo: rng.gen_range(20..=80u32),
+            vcbo: rng.gen_range(30..=100u32),
+            vebo: rng.gen_range(4..=7u32),
+        };
+        let sentence_scope = rng.gen_bool(cfg.sentence_scope_frac);
+        let multi_page = rng.gen_bool(cfg.multi_page_frac);
+        let flat_table = rng.gen_bool(cfg.flat_table_frac);
+        let table_scope = !flat_table && rng.gen_bool(cfg.table_scope_frac);
+        let html = render_datasheet(
+            &mut rng,
+            &parts,
+            &ratings,
+            sentence_scope,
+            table_scope,
+            flat_table,
+            multi_page,
+        );
+        let doc = parse_document(&doc_name, &html, DocFormat::Pdf, &opts);
+        corpus.add(doc);
+        for p in &parts {
+            gold.add(
+                "has_collector_current",
+                &doc_name,
+                &[p, &ratings.ic_ma.to_string()],
+            );
+            gold.add("max_ce_voltage", &doc_name, &[p, &ratings.vceo.to_string()]);
+            gold.add("max_cb_voltage", &doc_name, &[p, &ratings.vcbo.to_string()]);
+            gold.add("max_eb_voltage", &doc_name, &[p, &ratings.vebo.to_string()]);
+        }
+    }
+
+    let mut ds = SynthDataset::new(
+        corpus,
+        gold,
+        ELECTRONICS_RELATIONS.iter().map(|s| s.to_string()).collect(),
+    );
+    ds.dictionaries.insert("parts".to_string(), parts_dict);
+    ds
+}
+
+fn render_datasheet(
+    rng: &mut StdRng,
+    parts: &[String],
+    r: &Ratings,
+    sentence_scope: bool,
+    table_scope: bool,
+    flat_table: bool,
+    multi_page: bool,
+) -> String {
+    let joiner = match rng.gen_range(0..10u32) {
+        0..=4 => "...",
+        5..=7 => " / ",
+        _ => ", ",
+    };
+    let header = parts.join(joiner);
+    let manufacturer = pick(rng, MANUFACTURERS);
+    let ratings_title = if rng.gen_bool(0.5) {
+        "Maximum Ratings"
+    } else {
+        "Absolute Maximum Ratings"
+    };
+    let ic_label = pick(
+        rng,
+        &["Collector current", "DC collector current", "Collector current (DC)"],
+    );
+    let vceo_label = pick(
+        rng,
+        &["Collector-emitter voltage", "Collector emitter voltage"],
+    );
+    let vcbo_label = pick(rng, &["Collector-base voltage", "Collector base voltage"]);
+    let vebo_label = pick(rng, &["Emitter-base voltage", "Emitter base voltage"]);
+    let interval = match rng.gen_range(0..3u32) {
+        0 => "-65 ... 150".to_string(),
+        1 => "-65 ~ 150".to_string(),
+        _ => "-65 to 150".to_string(),
+    };
+    // Column template: 0 = Param|Symbol|Value|Unit, 1 = Symbol|Param|Value|Unit,
+    // 2 = Param|Symbol|Value-with-merged-unit.
+    let template = match rng.gen_range(0..100u32) {
+        0..=69 => 0,
+        70..=84 => 1,
+        _ => 2,
+    };
+
+    let mut html = String::with_capacity(4096);
+    html.push_str("<html><body><section>\n");
+    html.push_str(&format!("<h1 class=\"title\">{header}</h1>\n"));
+    html.push_str("<p>NPN Silicon Switching Transistors.</p>\n");
+    html.push_str("<ul>\n");
+    html.push_str("<li>High DC current gain: 0.1 mA to 100 mA</li>\n");
+    html.push_str("<li>Low collector-emitter saturation voltage</li>\n");
+    html.push_str("</ul>\n");
+    if sentence_scope {
+        html.push_str(&format!(
+            "<p>The maximum collector current IC is {} mA for {}.</p>\n",
+            r.ic_ma, parts[0]
+        ));
+    }
+    if multi_page {
+        // Long applications/packaging sections push the ratings to page 2.
+        html.push_str("<h2>Applications</h2>\n");
+        for i in 0..48 {
+            html.push_str(&format!(
+                "<p>Application note paragraph {i}: switching, amplification, and \
+                 general purpose signal processing guidance for this device family \
+                 across consumer and industrial operating environments.</p>\n"
+            ));
+        }
+    }
+    html.push_str(&format!("<h2>{ratings_title}</h2>\n"));
+    if flat_table {
+        // Conversion lost the table markup: each rating is a flat line.
+        // Row order varies per manufacturer, so document position alone
+        // cannot identify a rating.
+        let mut lines: Vec<(String, &str, String, &str)> = vec![
+            (vceo_label.to_string(), "VCEO", r.vceo.to_string(), "V"),
+            (vcbo_label.to_string(), "VCBO", r.vcbo.to_string(), "V"),
+            (vebo_label.to_string(), "VEBO", r.vebo.to_string(), "V"),
+            (ic_label.to_string(), "IC", r.ic_ma.to_string(), "mA"),
+            ("Total power dissipation".to_string(), "Ptot", "330".to_string(), "mW"),
+            ("Junction temperature".to_string(), "Tj", "150".to_string(), "°C"),
+            ("Storage temperature".to_string(), "Tstg", interval.clone(), "°C"),
+        ];
+        for i in 0..lines.len() {
+            let j = rng.gen_range(i..lines.len());
+            lines.swap(i, j);
+        }
+        for (label, symbol, value, unit) in lines {
+            html.push_str(&format!("<p class=\"flatrow\">{label} {symbol} {value} {unit}</p>\n"));
+        }
+    } else {
+    html.push_str("<table class=\"ratings\">\n");
+
+    let row = |cells: &[(&str, &str)]| -> String {
+        let mut s = String::from("<tr>");
+        for (tag, content) in cells {
+            s.push_str(&format!("<{tag}>{content}</{tag}>"));
+        }
+        s.push_str("</tr>\n");
+        s
+    };
+    // Header row.
+    match template {
+        0 => html.push_str(&row(&[
+            ("th", "Parameter"),
+            ("th", "Symbol"),
+            ("th", "Value"),
+            ("th", "Unit"),
+        ])),
+        1 => html.push_str(&row(&[
+            ("th", "Symbol"),
+            ("th", "Parameter"),
+            ("th", "Value"),
+            ("th", "Unit"),
+        ])),
+        _ => html.push_str(&row(&[
+            ("th", "Parameter"),
+            ("th", "Symbol"),
+            ("th", "Value"),
+        ])),
+    }
+    // Optional Type row putting part numbers inside the table (table scope).
+    if table_scope {
+        let mut s = String::from("<tr><td>Type</td>");
+        let span = match template {
+            2 => 2,
+            _ => 3,
+        };
+        s.push_str(&format!(
+            "<td colspan=\"{span}\">{}</td></tr>\n",
+            parts.join(" ")
+        ));
+        html.push_str(&s);
+    }
+    // Relation rows.
+    fn data_row(
+        html: &mut String,
+        template: u32,
+        label: &str,
+        symbol: &str,
+        value: String,
+        unit: &str,
+    ) {
+        let cells: Vec<(&str, String)> = match template {
+            0 => vec![
+                ("td", label.to_string()),
+                ("td", symbol.to_string()),
+                ("td", value),
+                ("td", unit.to_string()),
+            ],
+            1 => vec![
+                ("td", symbol.to_string()),
+                ("td", label.to_string()),
+                ("td", value),
+                ("td", unit.to_string()),
+            ],
+            _ => vec![
+                ("td", label.to_string()),
+                ("td", symbol.to_string()),
+                ("td", format!("{value} {unit}")),
+            ],
+        };
+        html.push_str("<tr>");
+        for (tag, content) in cells {
+            html.push_str(&format!("<{tag}>{content}</{tag}>"));
+        }
+        html.push_str("</tr>\n");
+    }
+    // Build logical rows, then shuffle: rating order varies by manufacturer.
+    let mut rows_html: Vec<String> = Vec::new();
+    let mut tmp = String::new();
+    data_row(&mut tmp, template, vceo_label, "VCEO", r.vceo.to_string(), "V");
+    rows_html.push(std::mem::take(&mut tmp));
+    data_row(&mut tmp, template, vcbo_label, "VCBO", r.vcbo.to_string(), "V");
+    rows_html.push(std::mem::take(&mut tmp));
+    data_row(&mut tmp, template, vebo_label, "VEBO", r.vebo.to_string(), "V");
+    rows_html.push(std::mem::take(&mut tmp));
+    data_row(&mut tmp, template, ic_label, "IC", r.ic_ma.to_string(), "mA");
+    rows_html.push(std::mem::take(&mut tmp));
+    // Spanning power-dissipation rows (Figure 1's Ptot with two conditions)
+    // stay adjacent as one logical unit.
+    if template != 2 {
+        rows_html.push(
+            "<tr><td rowspan=\"2\">Total power dissipation TS ≤ 60°C</td>\
+             <td rowspan=\"2\">Ptot</td><td>330</td><td rowspan=\"2\">mW</td></tr>\n\
+             <tr><td>250</td></tr>\n"
+                .to_string(),
+        );
+    } else {
+        rows_html
+            .push("<tr><td>Total power dissipation</td><td>Ptot</td><td>330 mW</td></tr>\n".to_string());
+    }
+    data_row(&mut tmp, template, "Junction temperature", "Tj", "150".to_string(), "°C");
+    rows_html.push(std::mem::take(&mut tmp));
+    data_row(&mut tmp, template, "Storage temperature", "Tstg", interval, "°C");
+    rows_html.push(std::mem::take(&mut tmp));
+    for i in 0..rows_html.len() {
+        let j = rng.gen_range(i..rows_html.len());
+        rows_html.swap(i, j);
+    }
+    for row_html in rows_html {
+        html.push_str(&row_html);
+    }
+    html.push_str("</table>\n");
+    }
+
+    // Distractor table: numbers in the same ranges, none of them gold.
+    html.push_str("<h2>Electrical Characteristics</h2>\n");
+    html.push_str("<table class=\"characteristics\">\n");
+    html.push_str("<tr><th>Parameter</th><th>Symbol</th><th>Min</th><th>Max</th><th>Unit</th></tr>\n");
+    let hfe_min = 40 + 10 * rng.gen_range(0..8u32);
+    let hfe_max = hfe_min + 100 + 10 * rng.gen_range(0..20u32);
+    html.push_str(&format!(
+        "<tr><td>DC current gain</td><td>hFE</td><td>{hfe_min}</td><td>{hfe_max}</td><td></td></tr>\n"
+    ));
+    html.push_str(&format!(
+        "<tr><td>Collector-emitter saturation voltage</td><td>VCEsat</td><td></td><td>0.{}</td><td>V</td></tr>\n",
+        rng.gen_range(2..6u32)
+    ));
+    html.push_str(&format!(
+        "<tr><td>Transition frequency</td><td>fT</td><td>{}</td><td></td><td>MHz</td></tr>\n",
+        100 + 50 * rng.gen_range(0..7u32)
+    ));
+    html.push_str(&format!(
+        "<tr><td>Collector capacitance</td><td>Ccb</td><td></td><td>{}</td><td>pF</td></tr>\n",
+        rng.gen_range(2..9u32)
+    ));
+    html.push_str("</table>\n");
+    html.push_str(&format!(
+        "<p>Datasheet rev 1.{} published by {manufacturer} Semiconductor.</p>\n",
+        rng.gen_range(0..10u32)
+    ));
+    html.push_str("</section></body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::assert_valid;
+
+    fn small() -> SynthDataset {
+        generate_electronics(&ElectronicsConfig {
+            n_docs: 20,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn documents_are_valid_and_pdf() {
+        let ds = small();
+        assert_eq!(ds.corpus.len(), 20);
+        for (_, d) in ds.corpus.iter() {
+            assert_valid(d);
+            assert_eq!(d.format, DocFormat::Pdf);
+            assert!(!d.tables.is_empty());
+            // Visual modality attached everywhere.
+            assert!(d.sentences.iter().all(|s| s.visual.is_some()));
+        }
+    }
+
+    #[test]
+    fn gold_covers_all_four_relations() {
+        let ds = small();
+        for rel in ELECTRONICS_RELATIONS {
+            assert!(ds.gold.len(rel) >= 20, "{rel} has too few gold tuples");
+        }
+    }
+
+    #[test]
+    fn gold_values_appear_in_documents() {
+        let ds = small();
+        for (doc_name, args) in ds.gold.tuples("has_collector_current") {
+            let (_, doc) = ds
+                .corpus
+                .iter()
+                .find(|(_, d)| &d.name == doc_name)
+                .expect("doc exists");
+            let text: String = doc
+                .sentences
+                .iter()
+                .map(|s| s.text.to_lowercase())
+                .collect::<Vec<_>>()
+                .join(" ");
+            for a in args {
+                assert!(text.contains(a), "{a} missing from {doc_name}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.corpus.word_count(), b.corpus.word_count());
+        assert_eq!(
+            a.gold.tuples("max_ce_voltage"),
+            b.gold.tuples("max_ce_voltage")
+        );
+        let c = generate_electronics(&ElectronicsConfig {
+            n_docs: 20,
+            seed: 99,
+            ..Default::default()
+        });
+        assert_ne!(
+            a.gold.tuples("max_ce_voltage"),
+            c.gold.tuples("max_ce_voltage")
+        );
+    }
+
+    #[test]
+    fn part_dictionary_is_exported() {
+        let ds = small();
+        let dict = ds.dictionaries.get("parts").expect("parts dictionary");
+        assert!(!dict.is_empty());
+        // Every gold part is in the dictionary.
+        for (_, args) in ds.gold.tuples("has_collector_current") {
+            assert!(dict
+                .iter()
+                .any(|p| crate::gold::normalize_value(p) == args[0]));
+        }
+    }
+
+    #[test]
+    fn header_holds_parts_with_large_bold_font() {
+        let ds = small();
+        let (_, d) = ds.corpus.iter().next().unwrap();
+        let h1 = d
+            .sentences
+            .iter()
+            .find(|s| s.structural.tag == "h1")
+            .expect("h1 header");
+        let v = &h1.visual.as_ref().unwrap()[0];
+        assert!(v.bold && v.font_size >= 16.0);
+        assert!(h1.ling.iter().any(|l| l.ner == "CODE"));
+    }
+}

@@ -1,0 +1,275 @@
+//! GENOMICS corpus generator (paper §5.1): open-access GWAS papers
+//! "published in XML format, thus, we do not have visual representations".
+//!
+//! Every relation pairs a table mention (SNP rs-id or gene symbol) with a
+//! text mention (phenotype, population, or genotyping platform), so *all*
+//! candidates are cross-context: sentence-scope and table-scope oracles
+//! produce zero full tuples, exactly the Table 2 shape ("No full tuples
+//! could be created using Text or Table alone").
+
+use crate::dataset::SynthDataset;
+use crate::gold::GoldKb;
+use crate::names::*;
+use fonduer_datamodel::{Corpus, DocFormat};
+use fonduer_parser::{parse_document, ParseOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four GENOMICS relations (paper Table 1: 4 rels).
+pub const GENOMICS_RELATIONS: [&str; 4] = [
+    "snp_phenotype",
+    "gene_phenotype",
+    "snp_population",
+    "snp_platform",
+];
+
+/// Genotyping platforms mentioned in methods text.
+pub const PLATFORMS: &[&str] = &[
+    "Affymetrix 500K",
+    "Illumina HumanHap550",
+    "Illumina 610-Quad",
+    "Affymetrix 6.0",
+    "Illumina OmniExpress",
+];
+
+/// Configuration for the GENOMICS generator.
+#[derive(Debug, Clone)]
+pub struct GenomicsConfig {
+    /// Number of papers.
+    pub n_docs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Range of significant SNPs per paper.
+    pub snps_per_doc: (usize, usize),
+}
+
+impl Default for GenomicsConfig {
+    fn default() -> Self {
+        Self {
+            n_docs: 80,
+            seed: 17,
+            snps_per_doc: (3, 8),
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A significant p-value as a single decimal token (below 5e-8).
+fn significant_p(rng: &mut StdRng) -> String {
+    format!("0.000000{:03}", rng.gen_range(1..50u32))
+}
+
+/// A suggestive (non-significant) p-value.
+fn suggestive_p(rng: &mut StdRng) -> String {
+    format!("0.{:04}", rng.gen_range(10..800u32))
+}
+
+/// Generate the GENOMICS dataset.
+pub fn generate_genomics(cfg: &GenomicsConfig) -> SynthDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut corpus = Corpus::new("genomics");
+    let mut gold = GoldKb::new();
+    let mut phen_dict = std::collections::BTreeSet::new();
+    let mut pop_dict = std::collections::BTreeSet::new();
+    let mut plat_dict = std::collections::BTreeSet::new();
+    let opts = ParseOptions::default();
+
+    for di in 0..cfg.n_docs {
+        let doc_name = format!("gwas_{di:04}");
+        let phenotype = pick(&mut rng, PHENOTYPES);
+        let population = pick(&mut rng, POPULATIONS);
+        let platform = pick(&mut rng, PLATFORMS);
+        phen_dict.insert(phenotype.to_string());
+        pop_dict.insert(population.to_string());
+        plat_dict.insert(platform.to_string());
+        // Significant and suggestive SNP sets are disjoint within a doc.
+        let n_sig = rng.gen_range(cfg.snps_per_doc.0..=cfg.snps_per_doc.1);
+        let n_sug = rng.gen_range(2..5usize);
+        let mut pool: Vec<usize> = (0..RSIDS.len()).collect();
+        for i in 0..pool.len() {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let sig: Vec<(&str, &str, String)> = pool[..n_sig]
+            .iter()
+            .map(|&i| (RSIDS[i], GENES[i % GENES.len()], significant_p(&mut rng)))
+            .collect();
+        let sug: Vec<(&str, &str, String)> = pool[n_sig..n_sig + n_sug]
+            .iter()
+            .map(|&i| (RSIDS[i], GENES[i % GENES.len()], suggestive_p(&mut rng)))
+            .collect();
+        let xml = render_paper(&mut rng, phenotype, population, platform, &sig, &sug);
+        let doc = parse_document(&doc_name, &xml, DocFormat::Xml, &opts);
+        corpus.add(doc);
+        for (rsid, gene, _) in &sig {
+            gold.add("snp_phenotype", &doc_name, &[rsid, phenotype]);
+            gold.add("gene_phenotype", &doc_name, &[gene, phenotype]);
+            gold.add("snp_population", &doc_name, &[rsid, population]);
+            gold.add("snp_platform", &doc_name, &[rsid, platform]);
+            // Ternary extension relation exercising n-ary candidates.
+            gold.add("snp_gene_phenotype", &doc_name, &[rsid, gene, phenotype]);
+        }
+    }
+
+    let mut ds = SynthDataset::new(
+        corpus,
+        gold,
+        GENOMICS_RELATIONS.iter().map(|s| s.to_string()).collect(),
+    );
+    ds.dictionaries.insert("phenotypes".to_string(), phen_dict);
+    ds.dictionaries.insert(
+        "genes".to_string(),
+        GENES.iter().map(|s| s.to_string()).collect(),
+    );
+    ds.dictionaries.insert("populations".to_string(), pop_dict);
+    ds.dictionaries.insert("platforms".to_string(), plat_dict);
+    ds
+}
+
+fn render_paper(
+    rng: &mut StdRng,
+    phenotype: &str,
+    population: &str,
+    platform: &str,
+    sig: &[(&str, &str, String)],
+    sug: &[(&str, &str, String)],
+) -> String {
+    let n_samples = 1000 * rng.gen_range(2..40u32);
+    let mut xml = String::with_capacity(8192);
+    xml.push_str("<?xml version=\"1.0\"?>\n<article>\n");
+    xml.push_str(&format!(
+        "<title>Genome-wide association study of {phenotype}</title>\n"
+    ));
+    xml.push_str(&format!(
+        "<abstract>\
+         <p>We performed a genome-wide association study of {phenotype} in {n_samples} \
+         {population} individuals.</p>\
+         <p>We identified {} loci reaching genome-wide significance.</p>\
+         </abstract>\n",
+        sig.len()
+    ));
+    xml.push_str(&format!(
+        "<sec><h2>Methods</h2>\
+         <p>Samples were genotyped using the {platform} array.</p>\
+         <p>Association was tested under an additive model adjusting for ancestry.</p>\
+         </sec>\n"
+    ));
+    xml.push_str("<sec><h2>Results</h2>\n<p>Association results are summarized below.</p>\n");
+    // Header order variety.
+    let gene_first = rng.gen_bool(0.3);
+    let header = if gene_first {
+        "<tr><th>Nearest gene</th><th>SNP</th><th>P-value</th></tr>"
+    } else {
+        "<tr><th>SNP</th><th>Nearest gene</th><th>P-value</th></tr>"
+    };
+    xml.push_str(&format!(
+        "<table><caption>Table 1. SNPs reaching genome-wide significance.</caption>\n{header}\n"
+    ));
+    for (rsid, gene, p) in sig {
+        if gene_first {
+            xml.push_str(&format!(
+                "<tr><td>{gene}</td><td>{rsid}</td><td>{p}</td></tr>\n"
+            ));
+        } else {
+            xml.push_str(&format!(
+                "<tr><td>{rsid}</td><td>{gene}</td><td>{p}</td></tr>\n"
+            ));
+        }
+    }
+    xml.push_str("</table>\n");
+    xml.push_str(
+        "<table><caption>Table 2. Suggestive loci not reaching significance.</caption>\n\
+         <tr><th>SNP</th><th>Nearest gene</th><th>P-value</th></tr>\n",
+    );
+    for (rsid, gene, p) in sug {
+        xml.push_str(&format!(
+            "<tr><td>{rsid}</td><td>{gene}</td><td>{p}</td></tr>\n"
+        ));
+    }
+    xml.push_str("</table>\n</sec>\n");
+    xml.push_str(
+        "<sec><h2>Discussion</h2>\
+         <p>Our findings replicate and extend previously reported associations.</p></sec>\n",
+    );
+    xml.push_str("</article>\n");
+    xml
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fonduer_datamodel::assert_valid;
+
+    fn small() -> SynthDataset {
+        generate_genomics(&GenomicsConfig {
+            n_docs: 15,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn documents_are_xml_without_visual() {
+        let ds = small();
+        for (_, d) in ds.corpus.iter() {
+            assert_valid(d);
+            assert_eq!(d.format, DocFormat::Xml);
+            assert!(d.sentences.iter().all(|s| s.visual.is_none()));
+            assert_eq!(d.tables.len(), 2);
+        }
+    }
+
+    #[test]
+    fn relations_are_cross_context_only() {
+        let ds = small();
+        // Phenotype words never appear inside any table; rs-ids never
+        // appear outside tables.
+        for (_, d) in ds.corpus.iter() {
+            for s in &d.sentences {
+                let in_table = d.table_of_sentence(
+                    fonduer_datamodel::SentenceId(s.abs_position),
+                ).is_some();
+                let has_rsid = s.words.iter().any(|w| w.starts_with("rs")
+                    && w.len() > 4
+                    && w[2..].chars().all(|c| c.is_ascii_digit()));
+                if has_rsid {
+                    assert!(in_table, "rs-id outside table in {}", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn significant_pvalues_below_threshold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p: f64 = significant_p(&mut rng).parse().unwrap();
+            assert!(p < 5e-8 * 10.0, "{p}"); // below 5e-7 at worst
+            let q: f64 = suggestive_p(&mut rng).parse().unwrap();
+            assert!(q > 1e-4, "{q}");
+        }
+    }
+
+    #[test]
+    fn gold_links_table_and_text_mentions() {
+        let ds = small();
+        assert!(ds.gold.len("snp_phenotype") > 0);
+        assert_eq!(ds.gold.len("snp_phenotype"), ds.gold.len("snp_population"));
+        for (doc, args) in ds.gold.tuples("snp_phenotype") {
+            assert!(args[0].starts_with("rs"), "{doc}: {args:?}");
+            assert!(ds.dictionary("phenotypes")
+                .iter()
+                .any(|p| crate::gold::normalize_value(p) == args[1]));
+        }
+    }
+
+    #[test]
+    fn dictionaries_exported() {
+        let ds = small();
+        for d in ["phenotypes", "populations", "platforms"] {
+            assert!(!ds.dictionary(d).is_empty(), "{d}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Gold knowledge bases for the synthetic corpora.
+//!
+//! Every generator emits, alongside its documents, the exact set of true
+//! relation mentions planted in them. Tuples are stored in *normalized
+//! mention form*: the same canonical string a correctly-extracted span
+//! produces via [`normalize_value`], so evaluation is an exact set
+//! comparison.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Canonical form of an extracted value: tokenize with the Fonduer
+/// tokenizer, lower-case, join with single spaces. Both gold generation and
+/// candidate extraction normalize through this function, so a tuple matches
+/// iff the extracted span covers the same tokens.
+pub fn normalize_value(s: &str) -> String {
+    fonduer_nlp::token_texts(s)
+        .into_iter()
+        .map(|t| t.to_lowercase())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A gold tuple: document name plus normalized argument strings.
+pub type GoldTuple = (String, Vec<String>);
+
+/// Gold knowledge base: relation name → set of gold tuples.
+#[derive(Debug, Clone, Default)]
+pub struct GoldKb {
+    rels: BTreeMap<String, BTreeSet<GoldTuple>>,
+}
+
+impl GoldKb {
+    /// Create an empty gold KB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a gold tuple; `args` are raw strings and normalized here.
+    pub fn add(&mut self, relation: &str, doc: &str, args: &[&str]) {
+        let norm: Vec<String> = args.iter().map(|a| normalize_value(a)).collect();
+        self.rels
+            .entry(relation.to_string())
+            .or_default()
+            .insert((doc.to_string(), norm));
+    }
+
+    /// All relation names with at least one tuple.
+    pub fn relations(&self) -> Vec<&str> {
+        self.rels.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Gold tuples of one relation (empty set if unknown).
+    pub fn tuples(&self, relation: &str) -> &BTreeSet<GoldTuple> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<GoldTuple>> = std::sync::OnceLock::new();
+        self.rels
+            .get(relation)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Whether a (doc, args) tuple is gold for `relation`.
+    pub fn contains(&self, relation: &str, doc: &str, args: &[String]) -> bool {
+        self.rels
+            .get(relation)
+            .map(|set| set.contains(&(doc.to_string(), args.to_vec())))
+            .unwrap_or(false)
+    }
+
+    /// Number of gold tuples for a relation.
+    pub fn len(&self, relation: &str) -> usize {
+        self.rels.get(relation).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Whether the gold KB has no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.rels.values().all(|s| s.is_empty())
+    }
+
+    /// Total tuples over all relations.
+    pub fn total(&self) -> usize {
+        self.rels.values().map(|s| s.len()).sum()
+    }
+
+    /// Deduplicated *entity-level* entries of one relation: the distinct
+    /// argument tuples ignoring which document they came from. This is the
+    /// granularity of Table 3's "# Entries in KB" comparison.
+    pub fn entity_entries(&self, relation: &str) -> BTreeSet<Vec<String>> {
+        self.tuples(relation)
+            .iter()
+            .map(|(_, args)| args.clone())
+            .collect()
+    }
+
+    /// Merge another gold KB into this one.
+    pub fn merge(&mut self, other: &GoldKb) {
+        for (rel, tuples) in &other.rels {
+            self.rels
+                .entry(rel.clone())
+                .or_default()
+                .extend(tuples.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_tokenizer_consistent() {
+        assert_eq!(normalize_value("SMBT3904"), "smbt3904");
+        assert_eq!(normalize_value("200mA"), "200 ma");
+        assert_eq!(normalize_value("555-123-4567"), "555 - 123 - 4567");
+        assert_eq!(normalize_value("-65 ... 150"), "-65 ... 150");
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut g = GoldKb::new();
+        g.add("has_collector_current", "doc1", &["SMBT3904", "200"]);
+        g.add("has_collector_current", "doc1", &["MMBT3904", "200"]);
+        g.add("has_collector_current", "doc2", &["BC547", "100"]);
+        assert_eq!(g.len("has_collector_current"), 3);
+        assert_eq!(g.total(), 3);
+        assert!(g.contains(
+            "has_collector_current",
+            "doc1",
+            &["smbt3904".into(), "200".into()]
+        ));
+        assert!(!g.contains("has_collector_current", "doc3", &["x".into()]));
+        assert_eq!(g.relations(), vec!["has_collector_current"]);
+    }
+
+    #[test]
+    fn entity_entries_dedup_across_docs() {
+        let mut g = GoldKb::new();
+        g.add("r", "doc1", &["A", "1"]);
+        g.add("r", "doc2", &["A", "1"]);
+        g.add("r", "doc2", &["B", "2"]);
+        assert_eq!(g.len("r"), 3);
+        assert_eq!(g.entity_entries("r").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let mut g = GoldKb::new();
+        g.add("r", "d", &["x"]);
+        g.add("r", "d", &["x"]);
+        assert_eq!(g.len("r"), 1);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = GoldKb::new();
+        a.add("r", "d", &["x"]);
+        let mut b = GoldKb::new();
+        b.add("r", "d", &["y"]);
+        b.add("s", "d", &["z"]);
+        a.merge(&b);
+        assert_eq!(a.len("r"), 2);
+        assert_eq!(a.len("s"), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! # fonduer-synth
+//!
+//! Deterministic synthetic corpora for the four evaluation domains of the
+//! Fonduer paper (§5.1, Table 1), each with a gold knowledge base:
+//!
+//! * [`electronics`] — PDF-style transistor datasheets (4 relations);
+//! * [`ads`] — heterogeneous HTML service ads (4 relations);
+//! * [`paleo`] — long PDF-style journal articles (10 relations);
+//! * [`genomics`] — native-XML GWAS papers, no visual modality (4 relations).
+//!
+//! The paper's corpora are proprietary or impractically large; these
+//! generators reproduce their *signal structure* — which modality and which
+//! context scope carries each relation — with mixture parameters calibrated
+//! to the oracle recalls the paper measured (Table 2). See DESIGN.md §2 for
+//! the substitution argument.
+//!
+//! [`existing_kb`] additionally simulates the expert-curated KBs of
+//! Table 3 (Digi-Key, GWAS Central, GWAS Catalog).
+
+#![warn(missing_docs)]
+
+pub mod ads;
+pub mod dataset;
+pub mod electronics;
+pub mod existing_kb;
+pub mod genomics;
+pub mod gold;
+pub mod names;
+pub mod paleo;
+
+pub use ads::{generate_ads, AdsConfig, ADS_RELATIONS};
+pub use dataset::SynthDataset;
+pub use electronics::{generate_electronics, ElectronicsConfig, ELECTRONICS_RELATIONS};
+pub use existing_kb::{simulate_existing_kb, ExistingKb};
+pub use genomics::{generate_genomics, GenomicsConfig, GENOMICS_RELATIONS, PLATFORMS};
+pub use gold::{normalize_value, GoldKb, GoldTuple};
+pub use paleo::{generate_paleo, paleo_relations, PaleoConfig};
+
+/// The four domains, for harnesses that iterate over all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Transistor datasheets (PDF).
+    Electronics,
+    /// Service advertisements (HTML).
+    Ads,
+    /// Paleontology articles (PDF).
+    Paleo,
+    /// GWAS papers (XML).
+    Genomics,
+}
+
+impl Domain {
+    /// All four domains in the paper's order.
+    pub const ALL: [Domain; 4] = [
+        Domain::Electronics,
+        Domain::Ads,
+        Domain::Paleo,
+        Domain::Genomics,
+    ];
+
+    /// Label as printed in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Electronics => "ELEC.",
+            Domain::Ads => "ADS.",
+            Domain::Paleo => "PALEO.",
+            Domain::Genomics => "GEN.",
+        }
+    }
+
+    /// Generate this domain's dataset with `n_docs` documents and a seed.
+    pub fn generate(self, n_docs: usize, seed: u64) -> SynthDataset {
+        match self {
+            Domain::Electronics => generate_electronics(&ElectronicsConfig {
+                n_docs,
+                seed,
+                ..Default::default()
+            }),
+            Domain::Ads => generate_ads(&AdsConfig {
+                n_docs,
+                seed,
+                ..Default::default()
+            }),
+            Domain::Paleo => generate_paleo(&PaleoConfig {
+                n_docs,
+                seed,
+                ..Default::default()
+            }),
+            Domain::Genomics => generate_genomics(&GenomicsConfig {
+                n_docs,
+                seed,
+                ..Default::default()
+            }),
+        }
+    }
+}

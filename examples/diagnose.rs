@@ -1,0 +1,172 @@
+//! Diagnostic harness: dissect one relation of one domain — labeling-
+//! function empirical quality, generative-label quality, and end-to-end
+//! metrics. The error-analysis loop of paper §3.3, as a tool.
+//!
+//! Usage: `cargo run --release --example diagnose -- <domain> <relation>`
+//! e.g. `cargo run --release --example diagnose -- electronics max_ce_voltage`
+
+use fonduer::prelude::*;
+use fonduer_core::domains::{ads, electronics, genomics, paleo};
+use fonduer_core::pipeline::is_train_doc;
+use fonduer_core::Task;
+use fonduer_synth::Domain;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let domain = args.get(1).map(|s| s.as_str()).unwrap_or("electronics");
+    let relation = args.get(2).map(|s| s.as_str()).unwrap_or("max_ce_voltage");
+    let (ds, task) = build(domain, relation);
+    let cfg = PipelineConfig::default();
+
+    let cands = task.extractor.extract(&ds.corpus);
+    let gold = ds.gold.tuples(relation);
+    let is_gold = |c: &Candidate| {
+        let d = ds.corpus.doc(c.doc);
+        gold.contains(&(d.name.clone(), c.arg_texts(d)))
+    };
+    let train: Vec<Candidate> = cands
+        .candidates
+        .iter()
+        .filter(|c| is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed))
+        .cloned()
+        .collect();
+    let gold_flags: Vec<bool> = train.iter().map(is_gold).collect();
+    println!(
+        "domain={domain} relation={relation}: {} candidates ({} train, {} train-gold), {} gold tuples",
+        cands.len(),
+        train.len(),
+        gold_flags.iter().filter(|&&b| b).count(),
+        gold.len()
+    );
+
+    let subset = fonduer::candidates::CandidateSet {
+        schema: cands.schema.clone(),
+        candidates: train.clone(),
+    };
+    let refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+    let lm = LabelMatrix::apply(&refs, &ds.corpus, &subset);
+    println!("\nLF diagnostics (coverage / overlap / conflict / empirical accuracy):");
+    for (j, lf) in task.lfs.iter().enumerate() {
+        let (mut correct, mut total, mut plus) = (0usize, 0usize, 0usize);
+        for i in 0..lm.n_rows() {
+            let v = lm.get(i, j);
+            if v != 0 {
+                total += 1;
+                if v == 1 {
+                    plus += 1;
+                }
+                if (v == 1) == gold_flags[i] {
+                    correct += 1;
+                }
+            }
+        }
+        println!(
+            "  {:<50} cov={:.2} ovl={:.2} cfl={:.2} (+{plus:>4}) acc={:.2}",
+            lf.name,
+            lm.coverage(j),
+            lm.overlap(j),
+            lm.conflict(j),
+            correct as f64 / total.max(1) as f64
+        );
+    }
+
+    let gm = GenerativeModel::fit(&lm, &GenerativeOptions::default());
+    let marg = gm.predict(&lm);
+    let (mut tp, mut fp, mut fn_) = (0, 0, 0);
+    for (i, &m) in marg.iter().enumerate() {
+        match (m > 0.5, gold_flags[i]) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "\ngenerative labels: prior={:.2} tp={tp} fp={fp} fn={fn_}",
+        gm.prior
+    );
+    for (j, lf) in task.lfs.iter().enumerate() {
+        println!(
+            "  fit {:<50} acc={:.2} bp={:.2} bn={:.2}",
+            lf.name, gm.accuracies[j], gm.prop_pos[j], gm.prop_neg[j]
+        );
+    }
+
+    let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+    println!(
+        "\nend-to-end: P={:.2} R={:.2} F1={:.2} ({} predicted tuples in KB)",
+        out.metrics.precision, out.metrics.recall, out.metrics.f1, out.kb.len()
+    );
+    // Show a few errors on the held-out split.
+    let mut shown = 0;
+    for (c, &p) in out.candidates.candidates.iter().zip(&out.marginals) {
+        let d = ds.corpus.doc(c.doc);
+        if !out.test_docs.contains(&d.name) {
+            continue;
+        }
+        let g = is_gold(c);
+        if (p >= cfg.threshold) != g && shown < 8 {
+            shown += 1;
+            println!(
+                "  {} p={p:.2} gold={g} args={:?} value-sentence='{}'",
+                if g { "MISS" } else { "FP  " },
+                c.arg_texts(d),
+                d.sentence(c.mentions[1].sentence).text
+            );
+        }
+    }
+}
+
+fn build(domain: &str, relation: &str) -> (SynthDataset, Task) {
+    match domain {
+        "electronics" => {
+            let ds = Domain::Electronics.generate(60, 7);
+            let task = Task {
+                extractor: electronics::extractor(&ds, relation, ContextScope::Document)
+                    .with_throttler(electronics::default_throttler(match relation {
+                        "has_collector_current" => "has_collector_current",
+                        "max_ce_voltage" => "max_ce_voltage",
+                        "max_cb_voltage" => "max_cb_voltage",
+                        _ => "max_eb_voltage",
+                    })),
+                lfs: electronics::lfs(relation),
+            };
+            (ds, task)
+        }
+        "ads" => {
+            let ds = Domain::Ads.generate(150, 11);
+            let task = Task {
+                extractor: ads::extractor(&ds, relation, ContextScope::Document),
+                lfs: ads::lfs(match relation {
+                    "ad_price" => "ad_price",
+                    "ad_location" => "ad_location",
+                    "ad_age" => "ad_age",
+                    _ => "ad_name",
+                }),
+            };
+            (ds, task)
+        }
+        "paleo" => {
+            let ds = Domain::Paleo.generate(40, 13);
+            let task = Task {
+                extractor: paleo::extractor(&ds, relation, ContextScope::Document),
+                lfs: paleo::lfs(relation),
+            };
+            (ds, task)
+        }
+        "genomics" => {
+            let ds = Domain::Genomics.generate(60, 17);
+            let task = Task {
+                extractor: genomics::extractor(&ds, relation, ContextScope::Document),
+                lfs: genomics::lfs(match relation {
+                    "snp_phenotype" => "snp_phenotype",
+                    "gene_phenotype" => "gene_phenotype",
+                    "snp_population" => "snp_population",
+                    _ => "snp_platform",
+                }),
+            };
+            (ds, task)
+        }
+        other => panic!("unknown domain {other}"),
+    }
+}

@@ -1,0 +1,113 @@
+//! Quickstart: the complete Fonduer workflow on a handful of inline
+//! datasheets — parse richly formatted documents, declare matchers and
+//! labeling functions, train the multimodal model, and print the extracted
+//! knowledge base.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fonduer::prelude::*;
+use fonduer_core::domains::{self};
+
+/// Three tiny datasheets. The relation (part, collector current) is
+/// document-level: parts live in the header, currents in a table.
+const SHEETS: &[(&str, &str)] = &[
+    (
+        "smbt3904",
+        r#"<h1>SMBT3904...MMBT3904</h1>
+           <p>NPN Silicon Switching Transistors.</p>
+           <table>
+             <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+             <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+             <tr><td>Junction temperature</td><td>Tj</td><td>150</td><td>°C</td></tr>
+           </table>"#,
+    ),
+    (
+        "bc547",
+        r#"<h1>BC547</h1>
+           <p>General purpose NPN transistor.</p>
+           <table>
+             <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+             <tr><td>Collector current</td><td>IC</td><td>100</td><td>mA</td></tr>
+             <tr><td>DC current gain</td><td>hFE</td><td>300</td><td></td></tr>
+           </table>"#,
+    ),
+    (
+        "pn2222",
+        r#"<h1>PN2222A</h1>
+           <p>Small signal switching transistor.</p>
+           <table>
+             <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+             <tr><td>Collector current</td><td>IC</td><td>600</td><td>mA</td></tr>
+             <tr><td>Storage temperature</td><td>Tstg</td><td>150</td><td>°C</td></tr>
+           </table>"#,
+    ),
+];
+
+fn main() {
+    // Phase 1 — KBC initialization: parse documents into the multimodal
+    // data model (structure + a simulated visual rendering).
+    let mut corpus = Corpus::new("quickstart");
+    for (name, html) in SHEETS {
+        corpus.add(parse_document(name, html, DocFormat::Pdf, &Default::default()));
+    }
+    println!(
+        "parsed {} documents, {} sentences, {} words",
+        corpus.len(),
+        corpus.sentence_count(),
+        corpus.word_count()
+    );
+
+    // Phase 2 — candidate generation: matchers + document-level scope.
+    let parts = ["SMBT3904", "MMBT3904", "BC547", "PN2222A"];
+    let extractor = CandidateExtractor::new(
+        RelationSchema::new("has_collector_current", &["part", "current"]),
+        vec![
+            MentionType::new("part", Box::new(DictionaryMatcher::new(parts))),
+            MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+        ],
+    )
+    .with_scope(ContextScope::Document);
+
+    // Phase 3 — supervision: two labeling functions over tabular context
+    // (Example 3.5 style), no hand labels.
+    let lfs = vec![
+        LabelingFunction::new("collector_in_row", Modality::Tabular, |doc, cand| {
+            let row = domains::row_words(doc, domains::arg(cand, 1));
+            if row.is_empty() {
+                ABSTAIN
+            } else if fonduer_nlp::contains_word(&row, "collector") {
+                TRUE
+            } else {
+                FALSE
+            }
+        }),
+        LabelingFunction::new("gain_row", Modality::Tabular, |doc, cand| {
+            let row = domains::row_words(doc, domains::arg(cand, 1));
+            if fonduer_nlp::contains_word(&row, "gain") {
+                FALSE
+            } else {
+                ABSTAIN
+            }
+        }),
+    ];
+
+    // Train + classify: every document is a training document here (demo).
+    let task = Task { extractor, lfs };
+    // With only a handful of candidates, sparse logistic regression over the
+    // multimodal feature library is the right-sized learner.
+    let cfg = PipelineConfig {
+        train_frac: 1.0,
+        learner: Learner::LogReg,
+        features: FeatureConfig::all(),
+        ..Default::default()
+    };
+    let gold = GoldKb::new(); // no gold: we just print the KB
+    let out = fonduer::core::run_task(&corpus, &gold, &task, &cfg);
+
+    println!(
+        "\n{} candidates, LF coverage {:.0}%",
+        out.candidates.len(),
+        out.label_coverage * 100.0
+    );
+    println!("\nExtracted knowledge base:\n{}", out.kb.to_tsv());
+}

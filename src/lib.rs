@@ -1,0 +1,79 @@
+//! # fonduer
+//!
+//! A from-scratch Rust reproduction of **Fonduer: Knowledge Base
+//! Construction from Richly Formatted Data** (Wu et al., SIGMOD 2018).
+//!
+//! Fonduer extracts relations that are expressed jointly through textual,
+//! structural, tabular, and visual modalities of documents — datasheets,
+//! web pages, scientific articles — where classic sentence-scope IE fails.
+//! This crate re-exports the whole workspace:
+//!
+//! * [`datamodel`] — the multimodal context DAG (§3.1);
+//! * [`nlp`] — preprocessing substrate;
+//! * [`parser`] — HTML/XML parsing + visual layout;
+//! * [`synth`] — the four evaluation corpora with gold KBs;
+//! * [`candidates`] — matchers, throttlers, scoped extraction (§4.1);
+//! * [`features`] — the Table 7 multimodal feature library (§4.2);
+//! * [`supervision`] — data programming / labeling functions (§4.3);
+//! * [`nn`] — LSTM/attention substrate;
+//! * [`learning`] — the multimodal LSTM and baselines;
+//! * [`core`] — the end-to-end pipeline, evaluation, and the paper's four
+//!   domain task definitions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fonduer::prelude::*;
+//!
+//! // Parse a (tiny) datasheet and extract a (part, current) relation.
+//! let html = r#"<h1>SMBT3904</h1>
+//!   <table><tr><th>Parameter</th><th>Value</th></tr>
+//!          <tr><td>Collector current</td><td>200</td></tr></table>"#;
+//! let mut corpus = Corpus::new("demo");
+//! corpus.add(parse_document("sheet", html, DocFormat::Pdf, &Default::default()));
+//!
+//! let extractor = CandidateExtractor::new(
+//!     RelationSchema::new("has_collector_current", &["part", "current"]),
+//!     vec![
+//!         MentionType::new("part", Box::new(DictionaryMatcher::new(["SMBT3904"]))),
+//!         MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+//!     ],
+//! );
+//! let cands = extractor.extract(&corpus);
+//! assert_eq!(cands.len(), 1);
+//! ```
+
+pub use fonduer_candidates as candidates;
+pub use fonduer_core as core;
+pub use fonduer_datamodel as datamodel;
+pub use fonduer_features as features;
+pub use fonduer_learning as learning;
+pub use fonduer_nlp as nlp;
+pub use fonduer_nn as nn;
+pub use fonduer_parser as parser;
+pub use fonduer_supervision as supervision;
+pub use fonduer_synth as synth;
+
+/// Convenient single-import surface for applications and examples.
+pub mod prelude {
+    pub use fonduer_candidates::{
+        Candidate, CandidateExtractor, CandidateSet, ContextScope, DictionaryMatcher, FnMatcher,
+        FnThrottler, Matcher, MentionType, NumberRangeMatcher, RelationSchema, Throttler,
+    };
+    pub use fonduer_core::{
+        compare_with_existing_kb, eval_tuples, oracle_upper_bound, reachable_tuples, run_task,
+        ErrorBuckets, KnowledgeBase, Learner, LfReport, PipelineConfig, PipelineOutput, PrF1,
+        Task,
+    };
+    pub use fonduer_datamodel::{
+        Corpus, DocFormat, Document, DocumentBuilder, SentenceData, Span, SpanRef,
+    };
+    pub use fonduer_features::{FeatureConfig, Featurizer};
+    pub use fonduer_learning::{FonduerModel, ModelConfig, ProbClassifier};
+    pub use fonduer_parser::{parse_document, ParseOptions};
+    pub use fonduer_supervision::{
+        majority_vote, uncertainty_sampling, GenerativeModel, GenerativeOptions, LabelMatrix,
+        LabelingFunction, Modality, ABSTAIN, FALSE, TRUE,
+    };
+    pub use fonduer_synth::{Domain, GoldKb, SynthDataset};
+}

@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: compose the public APIs of every crate
+//! by hand — parse → extract → featurize → supervise → learn → evaluate —
+//! rather than going through `fonduer_core::run_task`, proving the pieces
+//! fit together the way a downstream user would assemble them.
+
+use fonduer::prelude::*;
+use fonduer_core::domains;
+use fonduer_features::SparseAccess;
+use fonduer_learning::prepare;
+use fonduer_nlp::HashedVocab;
+
+/// A small two-document corpus with one relation expressed document-level.
+fn corpus() -> Corpus {
+    let sheets = [
+        (
+            "a",
+            r#"<h1>SMBT3904</h1>
+               <table><tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>200</td></tr>
+               <tr><td>Junction temperature</td><td>150</td></tr></table>"#,
+        ),
+        (
+            "b",
+            r#"<h1>BC547</h1>
+               <table><tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>100</td></tr>
+               <tr><td>DC current gain</td><td>300</td></tr></table>"#,
+        ),
+    ];
+    let mut c = Corpus::new("integration");
+    for (name, html) in sheets {
+        c.add(parse_document(name, html, DocFormat::Pdf, &Default::default()));
+    }
+    c
+}
+
+fn extractor() -> CandidateExtractor {
+    CandidateExtractor::new(
+        RelationSchema::new("has_collector_current", &["part", "current"]),
+        vec![
+            MentionType::new(
+                "part",
+                Box::new(DictionaryMatcher::new(["SMBT3904", "BC547"])),
+            ),
+            MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+        ],
+    )
+    .with_scope(ContextScope::Document)
+}
+
+fn lfs() -> Vec<LabelingFunction> {
+    vec![
+        LabelingFunction::new("collector_row", Modality::Tabular, |doc, cand| {
+            let row = domains::row_words(doc, domains::arg(cand, 1));
+            if row.is_empty() {
+                ABSTAIN
+            } else if fonduer_nlp::contains_word(&row, "collector") {
+                TRUE
+            } else {
+                FALSE
+            }
+        }),
+        LabelingFunction::new("aligned_collector", Modality::Visual, |doc, cand| {
+            let al = domains::h_aligned_lemmas(doc, domains::arg(cand, 1));
+            if fonduer_nlp::contains_word(&al, "collector") {
+                TRUE
+            } else {
+                ABSTAIN
+            }
+        }),
+    ]
+}
+
+#[test]
+fn manual_pipeline_composition() {
+    let corpus = corpus();
+    // Phase 2: candidates.
+    let cands = extractor().extract(&corpus);
+    assert_eq!(cands.len(), 4); // a: 200,150; b: 100,300; never cross-doc
+    // Phase 3a: featurization.
+    let featurizer = Featurizer::new(FeatureConfig::all());
+    let feats = featurizer.featurize(&corpus, &cands);
+    assert_eq!(feats.matrix.n_rows(), cands.len());
+    assert!(feats.stats.hits > 0, "mention cache must be exercised");
+    // Phase 3b: supervision.
+    let lf_vec = lfs();
+    let refs: Vec<&LabelingFunction> = lf_vec.iter().collect();
+    let lm = LabelMatrix::apply(&refs, &corpus, &cands);
+    assert_eq!(lm.n_rows(), cands.len());
+    assert!(lm.total_coverage() > 0.9);
+    let gm = GenerativeModel::fit(&lm, &GenerativeOptions::default());
+    let marginals = gm.predict(&lm);
+    // The collector-current rows are labeled positive, the rest negative.
+    for (i, cand) in cands.candidates.iter().enumerate() {
+        let doc = corpus.doc(cand.doc);
+        let is_current = matches!(cand.arg_texts(doc)[1].as_str(), "200" | "100");
+        assert_eq!(marginals[i] > 0.5, is_current, "candidate {i}");
+    }
+    // Phase 3c: discriminative training.
+    let vocab = HashedVocab::new(512);
+    let prepared = prepare(&corpus, &cands, &feats, &vocab, 6);
+    let targets: Vec<f32> = marginals.iter().map(|&m| m as f32).collect();
+    let mut model = FonduerModel::new(
+        ModelConfig {
+            epochs: 12,
+            ..Default::default()
+        },
+        prepared.vocab_size,
+        prepared.n_features,
+        prepared.arity,
+    );
+    model.fit(&prepared.inputs, &targets);
+    let probs = model.predict(&prepared.inputs);
+    for (i, cand) in cands.candidates.iter().enumerate() {
+        let doc = corpus.doc(cand.doc);
+        let is_current = matches!(cand.arg_texts(doc)[1].as_str(), "200" | "100");
+        assert_eq!(probs[i] > 0.5, is_current, "model on candidate {i}");
+    }
+    // Output: the KB.
+    let tuples = cands.candidates.iter().zip(&probs).map(|(c, &p)| {
+        let doc = corpus.doc(c.doc);
+        ((doc.name.clone(), c.arg_texts(doc)), p)
+    });
+    let kb = KnowledgeBase::from_marginals(
+        "has_collector_current",
+        &["part".into(), "current".into()],
+        tuples,
+        0.5,
+    );
+    assert_eq!(kb.len(), 2);
+    assert!(kb.to_tsv().contains("smbt3904\t200"));
+    assert!(kb.to_tsv().contains("bc547\t100"));
+}
+
+#[test]
+fn run_task_agrees_with_manual_composition() {
+    let corpus = corpus();
+    let task = fonduer::core::Task {
+        extractor: extractor(),
+        lfs: lfs(),
+    };
+    let cfg = PipelineConfig {
+        train_frac: 1.0,
+        ..Default::default()
+    };
+    let gold = GoldKb::new();
+    let out = fonduer::core::run_task(&corpus, &gold, &task, &cfg);
+    assert_eq!(out.candidates.len(), 4);
+    let kb = out.kb.tuple_set();
+    assert!(kb.contains(&("a".to_string(), vec!["smbt3904".into(), "200".into()])));
+    assert!(kb.contains(&("b".to_string(), vec!["bc547".into(), "100".into()])));
+    assert_eq!(kb.len(), 2);
+}
+
+#[test]
+fn synthetic_domains_round_trip_through_pipeline() {
+    // Smallest-possible end-to-end smoke across all four domains.
+    use fonduer_synth::Domain;
+    for domain in Domain::ALL {
+        let ds = domain.generate(12, 5);
+        assert!(!ds.gold.is_empty(), "{domain:?} gold");
+        let rel = ds.relation_names[0].clone();
+        let task = match domain {
+            Domain::Electronics => fonduer::core::Task {
+                extractor: domains::electronics::extractor(&ds, &rel, ContextScope::Document),
+                lfs: domains::electronics::lfs(&rel),
+            },
+            Domain::Ads => fonduer::core::Task {
+                extractor: domains::ads::extractor(&ds, &rel, ContextScope::Document),
+                lfs: domains::ads::lfs("ad_price"),
+            },
+            Domain::Paleo => fonduer::core::Task {
+                extractor: domains::paleo::extractor(&ds, &rel, ContextScope::Document),
+                lfs: domains::paleo::lfs(&rel),
+            },
+            Domain::Genomics => fonduer::core::Task {
+                extractor: domains::genomics::extractor(&ds, &rel, ContextScope::Document),
+                lfs: domains::genomics::lfs("snp_phenotype"),
+            },
+        };
+        let out = fonduer::core::run_task(&ds.corpus, &ds.gold, &task, &Default::default());
+        assert!(
+            !out.candidates.is_empty(),
+            "{domain:?}/{rel} extracted no candidates"
+        );
+        assert!(out.label_coverage > 0.0, "{domain:?}/{rel} no LF coverage");
+        assert!(
+            out.marginals.iter().all(|p| (0.0..=1.0).contains(p)),
+            "{domain:?}/{rel} marginals out of range"
+        );
+    }
+}
+
+#[test]
+fn oracle_scopes_nest_on_every_domain() {
+    use fonduer_synth::Domain;
+    for domain in [Domain::Electronics, Domain::Genomics] {
+        let ds = domain.generate(10, 3);
+        let rel = ds.relation_names[0].clone();
+        let build = |scope| match domain {
+            Domain::Electronics => domains::electronics::extractor(&ds, &rel, scope),
+            _ => domains::genomics::extractor(&ds, &rel, scope),
+        };
+        let sent = reachable_tuples(&ds.corpus, &build(ContextScope::Sentence));
+        let table = reachable_tuples(&ds.corpus, &build(ContextScope::Table));
+        let page = reachable_tuples(&ds.corpus, &build(ContextScope::Page));
+        let doc = reachable_tuples(&ds.corpus, &build(ContextScope::Document));
+        assert!(sent.is_subset(&table), "{domain:?}");
+        assert!(table.is_subset(&page), "{domain:?}");
+        assert!(page.is_subset(&doc), "{domain:?}");
+    }
+}
