@@ -34,9 +34,7 @@ fn main() {
                 .candidates
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| {
-                    is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed)
-                })
+                .filter(|(_, c)| is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed))
                 .map(|(i, _)| i)
                 .collect();
             let subset = fonduer_candidates::CandidateSet {
@@ -67,11 +65,15 @@ fn main() {
                 );
                 model.fit(&inputs, &tvals);
                 let marginals = model.predict(&dataset.inputs);
-                f1[which] +=
-                    heldout_metrics(&ds, rel, &cands, &marginals, cfg.threshold, &cfg).f1;
+                f1[which] += heldout_metrics(&ds, rel, &cands, &marginals, cfg.threshold, &cfg).f1;
             }
         }
         let n = rels.len() as f64;
-        println!("{:<8} {:>11.2} {:>14.2}", domain.label(), f1[0] / n, f1[1] / n);
+        println!(
+            "{:<8} {:>11.2} {:>14.2}",
+            domain.label(),
+            f1[0] / n,
+            f1[1] / n
+        );
     }
 }

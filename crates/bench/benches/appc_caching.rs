@@ -20,18 +20,22 @@ fn main() {
     // in-range number (the paper's Example C.1 — one mention shared by up
     // to 15 candidates), which is where mention caching pays off.
     let rel = "max_ce_voltage";
-    let ex = fonduer_core::domains::electronics::extractor(
-        &ds,
-        rel,
-        ContextScope::Document,
-    );
+    let ex = fonduer_core::domains::electronics::extractor(&ds, rel, ContextScope::Document);
     let cands = ex.extract(&ds.corpus);
-    println!("{} candidates over {} documents", cands.len(), ds.corpus.len());
+    println!(
+        "{} candidates over {} documents",
+        cands.len(),
+        ds.corpus.len()
+    );
 
-    let mut cached = Featurizer::default();
-    cached.cache_enabled = true;
-    let mut uncached = Featurizer::default();
-    uncached.cache_enabled = false;
+    let cached = Featurizer {
+        cache_enabled: true,
+        ..Default::default()
+    };
+    let uncached = Featurizer {
+        cache_enabled: false,
+        ..Default::default()
+    };
 
     // Warm up once, then time three repetitions each.
     let _ = cached.featurize(&ds.corpus, &cands);
@@ -66,7 +70,10 @@ fn main() {
     html.push_str(&parts.join(" "));
     html.push_str("</h1>\n<table><tr><th>Parameter</th><th>Value</th></tr>\n");
     for r in 0..60 {
-        html.push_str(&format!("<tr><td>Rating {r}</td><td>{}</td></tr>\n", 100 + r));
+        html.push_str(&format!(
+            "<tr><td>Rating {r}</td><td>{}</td></tr>\n",
+            100 + r
+        ));
     }
     html.push_str("</table>");
     let mut corpus = fonduer_datamodel::Corpus::new("stress");

@@ -99,7 +99,10 @@ fn main() {
     });
     black_box((lil_u.nnz(), coo_u.nnz()));
 
-    println!("{:<28} {:>10} {:>10} {:>9}", "Access pattern", "LIL (ms)", "COO (ms)", "winner");
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}",
+        "Access pattern", "LIL (ms)", "COO (ms)", "winner"
+    );
     println!(
         "{:<28} {:>10.1} {:>10.1} {:>9}",
         "materialize",

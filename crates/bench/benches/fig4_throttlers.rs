@@ -25,24 +25,26 @@ fn main() {
     for pct in [0u32, 25, 50, 75, 90] {
         let mut task = task_for(domain, &ds, rel, ContextScope::Document);
         if pct > 0 {
-            task.extractor = task.extractor.with_throttler(Box::new(UniformPruneThrottler {
-                prune_frac: pct as f64 / 100.0,
-                salt: 4,
-            }));
+            task.extractor = task
+                .extractor
+                .with_throttler(Box::new(UniformPruneThrottler {
+                    prune_frac: pct as f64 / 100.0,
+                    salt: 4,
+                }));
         }
         let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
         // Downstream time: featurize + supervise + train + infer.
-        let downstream = out.timings.total_ms() - out.timings.candgen_ms;
-        let base = *base_time.get_or_insert(downstream.max(1));
+        let downstream = (out.timings.total_ms() - out.timings.candgen_ms()).max(f64::MIN_POSITIVE);
+        let base = *base_time.get_or_insert(downstream);
         println!(
-            "{:>9} {:>9} {:>7.2} {:>7.2} {:>5.2} {:>10} {:>7.1}x",
+            "{:>9} {:>9} {:>7.2} {:>7.2} {:>5.2} {:>10.1} {:>7.1}x",
             pct,
             out.candidates.len(),
             out.metrics.precision,
             out.metrics.recall,
             out.metrics.f1,
             downstream,
-            base as f64 / downstream.max(1) as f64,
+            base / downstream,
         );
     }
 }

@@ -15,7 +15,10 @@ fn main() {
     let domain = Domain::Electronics;
     let ds = bench_dataset(domain);
     let cfg = PipelineConfig::default();
-    println!("{:>10} {:>7} {:>7} {:>6} {:>9}", "Scope", "Prec.", "Rec.", "F1", "#cands");
+    println!(
+        "{:>10} {:>7} {:>7} {:>6} {:>9}",
+        "Scope", "Prec.", "Rec.", "F1", "#cands"
+    );
     let mut sentence_f1 = None;
     for scope in ContextScope::FIGURE6 {
         let mut p = 0.0;

@@ -1,66 +1,86 @@
-//! Criterion micro-benchmarks for the hot paths: tokenization, document
-//! parsing + layout, featurization (cached vs uncached), LSTM training
-//! step, and generative-model fitting.
+//! Micro-benchmarks for the hot paths: tokenization, document parsing +
+//! layout, featurization (cached vs uncached), LSTM training step, and
+//! generative-model fitting.
+//!
+//! Self-contained harness (no external bench framework): each target is
+//! warmed up, then timed for a fixed number of iterations; per-iteration
+//! latencies feed a `fonduer_observe` histogram so the report shows
+//! p50/p95/p99 alongside the mean.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fonduer_candidates::ContextScope;
 use fonduer_core::domains::electronics;
 use fonduer_features::Featurizer;
 use fonduer_learning::{prepare, FonduerModel, ModelConfig, ProbClassifier};
 use fonduer_nlp::HashedVocab;
+use fonduer_observe as observe;
 use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix};
-use fonduer_synth::{generate_electronics, Domain, ElectronicsConfig};
+use fonduer_synth::Domain;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_tokenizer(c: &mut Criterion) {
+/// Time `f` for `iters` iterations (after `warmup` unrecorded ones),
+/// recording each iteration into the histogram `micro.<name>_us` and
+/// printing a one-line summary.
+fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let hist = format!("micro.{name}_us");
+    let total = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        observe::hist_record(&hist, t.elapsed().as_micros() as u64);
+    }
+    let elapsed = total.elapsed();
+    println!(
+        "{name:<32} {iters:>5} iters  {:>12.1} µs/iter",
+        elapsed.as_micros() as f64 / iters as f64
+    );
+}
+
+fn bench_tokenizer() {
     let text = "SMBT3904...MMBT3904 NPN Silicon Switching Transistors with 200 mA, \
                 VCEO 40 V, storage -65 ... 150 °C and DC gain 0.1 mA to 100 mA.";
-    c.bench_function("nlp/tokenize", |b| {
-        b.iter(|| black_box(fonduer_nlp::tokenize(black_box(text))))
+    bench("nlp/tokenize", 100, 1000, || {
+        fonduer_nlp::tokenize(black_box(text))
     });
 }
 
-fn bench_parse_and_layout(c: &mut Criterion) {
+fn bench_parse_and_layout() {
     // One representative datasheet's markup, parsed + laid out end to end.
-    let ds = generate_electronics(&ElectronicsConfig {
-        n_docs: 1,
-        ..Default::default()
-    });
     let html = r#"<h1>SMBT3904...MMBT3904</h1><p>NPN transistors.</p>
 <table><tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
 <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
 <tr><td>Junction temperature</td><td>Tj</td><td>150</td><td>°C</td></tr></table>"#;
-    let _ = ds;
-    c.bench_function("parser/parse_document", |b| {
-        b.iter(|| {
-            black_box(fonduer_parser::parse_document(
-                "d",
-                black_box(html),
-                fonduer_datamodel::DocFormat::Pdf,
-                &Default::default(),
-            ))
-        })
+    bench("parser/parse_document", 20, 200, || {
+        fonduer_parser::parse_document(
+            "d",
+            black_box(html),
+            fonduer_datamodel::DocFormat::Pdf,
+            &Default::default(),
+        )
     });
 }
 
-fn bench_featurize(c: &mut Criterion) {
+fn bench_featurize() {
     let ds = Domain::Electronics.generate(10, 7);
     let task_ex = electronics::extractor(&ds, "has_collector_current", ContextScope::Document);
     let cands = task_ex.extract(&ds.corpus);
-    let mut group = c.benchmark_group("features/featurize_corpus");
-    group.bench_function("cached", |b| {
-        let f = Featurizer::default();
-        b.iter(|| black_box(f.featurize(&ds.corpus, &cands)))
+    let cached = Featurizer::default();
+    bench("features/featurize/cached", 2, 10, || {
+        cached.featurize(&ds.corpus, &cands)
     });
-    group.bench_function("uncached", |b| {
-        let mut f = Featurizer::default();
-        f.cache_enabled = false;
-        b.iter(|| black_box(f.featurize(&ds.corpus, &cands)))
+    let uncached = Featurizer {
+        cache_enabled: false,
+        ..Default::default()
+    };
+    bench("features/featurize/uncached", 2, 10, || {
+        uncached.featurize(&ds.corpus, &cands)
     });
-    group.finish();
 }
 
-fn bench_model_step(c: &mut Criterion) {
+fn bench_model_step() {
     let ds = Domain::Electronics.generate(5, 7);
     let ex = electronics::extractor(&ds, "has_collector_current", ContextScope::Document);
     let cands = ex.extract(&ds.corpus);
@@ -70,24 +90,22 @@ fn bench_model_step(c: &mut Criterion) {
     let targets: Vec<f32> = (0..dataset.inputs.len())
         .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
         .collect();
-    c.bench_function("learning/train_epoch", |b| {
-        b.iter(|| {
-            let mut m = FonduerModel::new(
-                ModelConfig {
-                    epochs: 1,
-                    ..Default::default()
-                },
-                dataset.vocab_size,
-                dataset.n_features,
-                dataset.arity,
-            );
-            m.fit(&dataset.inputs, &targets);
-            black_box(m.predict_one(&dataset.inputs[0]))
-        })
+    bench("learning/train_epoch", 1, 10, || {
+        let mut m = FonduerModel::new(
+            ModelConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            dataset.vocab_size,
+            dataset.n_features,
+            dataset.arity,
+        );
+        m.fit(&dataset.inputs, &targets);
+        m.predict_one(&dataset.inputs[0])
     });
 }
 
-fn bench_generative(c: &mut Criterion) {
+fn bench_generative() {
     let mut lm = LabelMatrix::zeros(5000, 12);
     for i in 0..5000 {
         for j in 0..12 {
@@ -99,14 +117,18 @@ fn bench_generative(c: &mut Criterion) {
             lm.set(i, j, v);
         }
     }
-    c.bench_function("supervision/generative_fit", |b| {
-        b.iter(|| black_box(GenerativeModel::fit(&lm, &GenerativeOptions::default())))
+    bench("supervision/generative_fit", 2, 10, || {
+        GenerativeModel::fit(&lm, &GenerativeOptions::default())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tokenizer, bench_parse_and_layout, bench_featurize, bench_model_step, bench_generative
+fn main() {
+    let _root = observe::span!("micro");
+    bench_tokenizer();
+    bench_parse_and_layout();
+    bench_featurize();
+    bench_model_step();
+    bench_generative();
+    drop(_root);
+    observe::emit_report();
 }
-criterion_main!(benches);

@@ -20,7 +20,17 @@ fn main() {
     headline("Table 2: end-to-end quality vs oracle upper bounds");
     println!(
         "{:<8} {:>6} | {:>6} {:>6} {:>6} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
-        "Sys.", "Metric", "Text", "Table", "Ens.", "Text-F1", "Tab-F1", "Ens-F1", "Fond-P", "Fond-R", "Fond-F1"
+        "Sys.",
+        "Metric",
+        "Text",
+        "Table",
+        "Ens.",
+        "Text-F1",
+        "Tab-F1",
+        "Ens-F1",
+        "Fond-P",
+        "Fond-R",
+        "Fond-F1"
     );
     for domain in Domain::ALL {
         let ds = bench_dataset(domain);

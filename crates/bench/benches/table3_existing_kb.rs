@@ -20,9 +20,30 @@ fn main() {
         "System", "Knowledge Base", "#KB", "#Fonduer", "Coverage", "Accuracy", "#New", "Increase"
     );
     let cases = [
-        (Domain::Electronics, "has_collector_current", "Digi-Key", 0.85, 6, 101u64),
-        (Domain::Genomics, "snp_phenotype", "GWAS Central", 0.47, 10, 102),
-        (Domain::Genomics, "snp_phenotype", "GWAS Catalog", 0.56, 8, 103),
+        (
+            Domain::Electronics,
+            "has_collector_current",
+            "Digi-Key",
+            0.85,
+            6,
+            101u64,
+        ),
+        (
+            Domain::Genomics,
+            "snp_phenotype",
+            "GWAS Central",
+            0.47,
+            10,
+            102,
+        ),
+        (
+            Domain::Genomics,
+            "snp_phenotype",
+            "GWAS Catalog",
+            0.56,
+            8,
+            103,
+        ),
     ];
     let mut last: Option<(Domain, fonduer_core::KnowledgeBase)> = None;
     for (domain, rel, kb_name, keep, stale, seed) in cases {

@@ -7,9 +7,9 @@
 
 #![warn(missing_docs)]
 
+use fonduer_candidates::ContextScope;
 use fonduer_core::domains::{ads, electronics, genomics, paleo};
 use fonduer_core::{PipelineConfig, PipelineOutput, PrF1, Task};
-use fonduer_candidates::ContextScope;
 use fonduer_synth::{Domain, SynthDataset};
 
 /// Reproduction-scale corpus sizes per domain (documented in EXPERIMENTS.md;
@@ -114,14 +114,16 @@ pub fn run_domain(
     ds: &SynthDataset,
     cfg: &PipelineConfig,
 ) -> Vec<(String, PipelineOutput)> {
-    bench_relations(domain)
+    let outputs: Vec<(String, PipelineOutput)> = bench_relations(domain)
         .into_iter()
         .map(|rel| {
             let task = task_for(domain, ds, &rel, ContextScope::Document);
             let out = fonduer_core::run_task(&ds.corpus, &ds.gold, &task, cfg);
             (rel, out)
         })
-        .collect()
+        .collect();
+    fonduer_observe::emit_report();
+    outputs
 }
 
 /// Average P/R/F1 over per-relation outputs.

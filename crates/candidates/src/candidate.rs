@@ -50,7 +50,10 @@ impl Candidate {
 
     /// Normalized argument texts (the KB-entry form of this candidate).
     pub fn arg_texts(&self, doc: &Document) -> Vec<String> {
-        self.mentions.iter().map(|m| m.normalized_text(doc)).collect()
+        self.mentions
+            .iter()
+            .map(|m| m.normalized_text(doc))
+            .collect()
     }
 }
 

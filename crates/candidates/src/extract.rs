@@ -6,6 +6,7 @@ use crate::matcher::{extract_mentions, MentionType};
 use crate::scope::ContextScope;
 use crate::throttler::Throttler;
 use fonduer_datamodel::{Corpus, DocId, Document, Span};
+use fonduer_observe as observe;
 
 /// Extractor for one relation: mention types (one per schema argument), a
 /// context scope, and optional throttlers.
@@ -50,21 +51,39 @@ impl CandidateExtractor {
 
     /// Extract mentions of every type from one document.
     pub fn mentions_in(&self, doc: &Document) -> Vec<Vec<Span>> {
-        self.types.iter().map(|t| extract_mentions(doc, t)).collect()
+        self.types
+            .iter()
+            .map(|t| extract_mentions(doc, t))
+            .collect()
     }
 
     /// Extract candidates from one document.
     pub fn extract_doc(&self, doc_id: DocId, doc: &Document) -> Vec<Candidate> {
+        let start = std::time::Instant::now();
         let mentions = self.mentions_in(doc);
-        if mentions.iter().any(|m| m.is_empty()) {
-            return Vec::new();
-        }
+        observe::counter(
+            "candgen.mentions",
+            mentions.iter().map(|m| m.len() as u64).sum(),
+        );
         let mut out = Vec::new();
-        let mut tuple: Vec<Span> = Vec::with_capacity(self.types.len());
-        self.cross_product(doc, doc_id, &mentions, &mut tuple, &mut out);
+        if !mentions.iter().any(|m| m.is_empty()) {
+            let mut tuple: Vec<Span> = Vec::with_capacity(self.types.len());
+            // Per-throttler drop tally, flushed to counters once per document
+            // so the hot recursion stays a plain slice write.
+            let mut drops = vec![0u64; self.throttlers.len()];
+            self.cross_product(doc, doc_id, &mentions, &mut tuple, &mut out, &mut drops);
+            for (i, &d) in drops.iter().enumerate() {
+                if d > 0 {
+                    observe::counter(&format!("candgen.throttled.t{i}"), d);
+                }
+            }
+        }
+        observe::counter("candgen.candidates", out.len() as u64);
+        observe::hist_record("candgen.doc_us", start.elapsed().as_micros() as u64);
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn cross_product(
         &self,
         doc: &Document,
@@ -72,12 +91,16 @@ impl CandidateExtractor {
         mentions: &[Vec<Span>],
         tuple: &mut Vec<Span>,
         out: &mut Vec<Candidate>,
+        drops: &mut [u64],
     ) {
         let depth = tuple.len();
         if depth == mentions.len() {
             let cand = Candidate::new(doc_id, tuple.clone());
-            if self.throttlers.iter().all(|t| t.keep(doc, &cand)) {
-                out.push(cand);
+            // First rejecting throttler wins the blame (same short-circuit
+            // order as the old `all()`); None means every throttler kept it.
+            match self.throttlers.iter().position(|t| !t.keep(doc, &cand)) {
+                None => out.push(cand),
+                Some(i) => drops[i] += 1,
             }
             return;
         }
@@ -93,13 +116,14 @@ impl CandidateExtractor {
                 continue;
             }
             tuple.push(m);
-            self.cross_product(doc, doc_id, mentions, tuple, out);
+            self.cross_product(doc, doc_id, mentions, tuple, out, drops);
             tuple.pop();
         }
     }
 
     /// Extract candidates from a whole corpus.
     pub fn extract(&self, corpus: &Corpus) -> CandidateSet {
+        let _span = observe::span("extract_corpus");
         let mut candidates = Vec::new();
         for (id, doc) in corpus.iter() {
             candidates.extend(self.extract_doc(id, doc));
@@ -128,7 +152,12 @@ mod tests {
  <tr><td>Junction temperature</td><td>150</td></tr>
 </table>"#;
         let mut c = Corpus::new("t");
-        c.add(parse_document("d0", html, DocFormat::Pdf, &ParseOptions::default()));
+        c.add(parse_document(
+            "d0",
+            html,
+            DocFormat::Pdf,
+            &ParseOptions::default(),
+        ));
         c
     }
 
@@ -168,15 +197,13 @@ mod tests {
         let mut ex = extractor(ContextScope::Document);
         // Keep only candidates whose current is in a row mentioning
         // "current" (Example 3.5's has_current_in_row as a hard filter).
-        ex = ex.with_throttler(Box::new(FnThrottler(
-            |doc: &Document, cand: &Candidate| {
-                let cur = cand.mentions[1];
-                match doc.cell_of_sentence(cur.sentence) {
-                    Some(cell) => fonduer_nlp::contains_word(&doc.row_words(cell), "current"),
-                    None => false,
-                }
-            },
-        )));
+        ex = ex.with_throttler(Box::new(FnThrottler(|doc: &Document, cand: &Candidate| {
+            let cur = cand.mentions[1];
+            match doc.cell_of_sentence(cur.sentence) {
+                Some(cell) => fonduer_nlp::contains_word(&doc.row_words(cell), "current"),
+                None => false,
+            }
+        })));
         let set = ex.extract(&c);
         // Only the (part, 200) pairs survive.
         assert_eq!(set.len(), 2);
@@ -190,7 +217,12 @@ mod tests {
         // A relation whose two argument types both match the same dictionary.
         let html = "<p>BC547 alone</p>";
         let mut c = Corpus::new("t");
-        c.add(parse_document("d0", html, DocFormat::Html, &ParseOptions::default()));
+        c.add(parse_document(
+            "d0",
+            html,
+            DocFormat::Html,
+            &ParseOptions::default(),
+        ));
         let ex = CandidateExtractor::new(
             RelationSchema::new("pairs", &["a", "b"]),
             vec![
@@ -238,6 +270,7 @@ impl CandidateExtractor {
         if n_threads == 1 || corpus.len() < 2 {
             return self.extract(corpus);
         }
+        let _span = observe::span("extract_corpus");
         let doc_ids: Vec<DocId> = corpus.doc_ids().collect();
         let chunk = doc_ids.len().div_ceil(n_threads);
         let mut per_chunk: Vec<Vec<Candidate>> = Vec::new();

@@ -133,7 +133,7 @@ mod tests {
         assert!(ContextScope::TableStrict.allows(&d, v, two));
         assert!(!ContextScope::TableStrict.allows(&d, two, other)); // different tables
         assert!(!ContextScope::TableStrict.allows(&d, head, two)); // header not in table
-        // Two text mentions are NOT table-strict even in the same sentence.
+                                                                   // Two text mentions are NOT table-strict even in the same sentence.
         let tail = sentence_with(&d, "Tail");
         assert!(!ContextScope::TableStrict.allows(
             &d,

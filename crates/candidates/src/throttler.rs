@@ -92,7 +92,7 @@ impl Throttler for UniformPruneThrottler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fonduer_datamodel::{DocFormat, DocId, Document, Span, SentenceId};
+    use fonduer_datamodel::{DocFormat, DocId, Document, SentenceId, Span};
 
     fn cand(i: u32) -> Candidate {
         Candidate::new(DocId(0), vec![Span::new(SentenceId(i), 0, 1)])
@@ -104,7 +104,8 @@ mod tests {
 
     #[test]
     fn fn_throttler_filters() {
-        let t = FnThrottler(|_: &Document, c: &Candidate| c.mentions[0].sentence.0 % 2 == 0);
+        let t =
+            FnThrottler(|_: &Document, c: &Candidate| c.mentions[0].sentence.0.is_multiple_of(2));
         let d = dummy_doc();
         assert!(t.keep(&d, &cand(0)));
         assert!(!t.keep(&d, &cand(1)));

@@ -75,6 +75,9 @@ impl LfReport {
                 let mut positives = 0;
                 let mut negatives = 0;
                 let mut correct = 0;
+                // gold_flags is empty when !has_gold, so it can't drive
+                // the iteration itself.
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..matrix.n_rows() {
                     match matrix.get(i, j) {
                         1 => {
@@ -200,7 +203,12 @@ mod tests {
             <tr><td>Collector current</td><td>100</td></tr>
             <tr><td>Junction temperature</td><td>150</td></tr></table>"#;
         let mut corpus = Corpus::new("t");
-        corpus.add(parse_document("d0", html, DocFormat::Pdf, &ParseOptions::default()));
+        corpus.add(parse_document(
+            "d0",
+            html,
+            DocFormat::Pdf,
+            &ParseOptions::default(),
+        ));
         let cands = CandidateExtractor::new(
             RelationSchema::new("has_collector_current", &["part", "current"]),
             vec![

@@ -66,7 +66,10 @@ pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
                 Modality::Textual,
                 |doc: &Document, cand: &Candidate| {
                     let w = sentence_words(doc, arg(cand, 1));
-                    if any_in(&w, &["roses", "$", "donation", "rate", "special", "hr", "hour"]) {
+                    if any_in(
+                        &w,
+                        &["roses", "$", "donation", "rate", "special", "hr", "hour"],
+                    ) {
                         TRUE
                     } else {
                         ABSTAIN

@@ -5,11 +5,11 @@
 use super::*;
 use crate::pipeline::Task;
 use fonduer_candidates::Candidate;
-use fonduer_datamodel::Document;
 use fonduer_candidates::{
     CandidateExtractor, ContextScope, DictionaryMatcher, FnThrottler, MentionType,
     NumberRangeMatcher, RelationSchema,
 };
+use fonduer_datamodel::Document;
 use fonduer_supervision::{LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
 use fonduer_synth::SynthDataset;
 
@@ -96,8 +96,9 @@ pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> Candidate
 /// The default throttler (Example 3.4's style): keep candidates whose value
 /// is in a table, or whose sentence carries the unit / symbol (covers the
 /// rare in-sentence statements).
-pub fn default_throttler(rel: &'static str) -> Box<FnThrottler<impl Fn(&Document, &Candidate) -> bool>>
-{
+pub fn default_throttler(
+    rel: &'static str,
+) -> Box<FnThrottler<impl Fn(&Document, &Candidate) -> bool>> {
     let s = spec(rel);
     Box::new(FnThrottler(move |doc: &Document, cand: &Candidate| {
         let v = arg(cand, 1);
@@ -243,11 +244,9 @@ pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
     out.push(LabelingFunction::new(
         format!("{rel}:value_on_late_page"),
         Modality::Visual,
-        |doc, cand| {
-            match arg(cand, 1).page(doc) {
-                Some(p) if p > 2 => FALSE,
-                _ => ABSTAIN,
-            }
+        |doc, cand| match arg(cand, 1).page(doc) {
+            Some(p) if p > 2 => FALSE,
+            _ => ABSTAIN,
         },
     ));
     // --- Structural ---

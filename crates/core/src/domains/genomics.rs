@@ -4,11 +4,11 @@
 
 use super::*;
 use crate::pipeline::Task;
+use fonduer_candidates::Candidate;
 use fonduer_candidates::{
     CandidateExtractor, ContextScope, DictionaryMatcher, FnMatcher, MentionType, RelationSchema,
 };
 use fonduer_datamodel::Document;
-use fonduer_candidates::Candidate;
 use fonduer_supervision::{LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
 use fonduer_synth::SynthDataset;
 
@@ -94,7 +94,11 @@ fn table_side_lfs(rel: &str, out: &mut Vec<LabelingFunction>) {
         Modality::Tabular,
         |doc: &Document, cand: &Candidate| {
             let nums = row_numbers(doc, arg(cand, 0));
-            let p = nums.iter().cloned().filter(|v| *v < 1.0).fold(f64::NAN, f64::min);
+            let p = nums
+                .iter()
+                .cloned()
+                .filter(|v| *v < 1.0)
+                .fold(f64::NAN, f64::min);
             if p.is_nan() {
                 ABSTAIN
             } else if p < 5e-7 {

@@ -81,9 +81,9 @@ pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> Candidate
         .with_scope(scope)
         // Measurements only occur inside tables; prune free-text numbers
         // (specimen ids, years, coordinates).
-        .with_throttler(Box::new(FnThrottler(
-            |doc: &Document, cand: &Candidate| in_table(doc, arg(cand, 1)),
-        ))),
+        .with_throttler(Box::new(FnThrottler(|doc: &Document, cand: &Candidate| {
+            in_table(doc, arg(cand, 1))
+        }))),
         other => panic!("unknown PALEO relation {other}"),
     }
 }
@@ -335,7 +335,11 @@ mod tests {
     #[test]
     fn document_scope_reaches_gold() {
         let ds = ds();
-        for rel in ["taxon_measurement_femur", "formation_period", "taxon_formation"] {
+        for rel in [
+            "taxon_measurement_femur",
+            "formation_period",
+            "taxon_formation",
+        ] {
             let ex = extractor(&ds, rel, ContextScope::Document);
             let reachable = crate::pipeline::reachable_tuples(&ds.corpus, &ex);
             let gold = ds.gold.tuples(rel);

@@ -50,7 +50,10 @@ impl KnowledgeBase {
     /// Entity-level entries: distinct argument tuples across documents
     /// (Table 3 granularity).
     pub fn entity_entries(&self) -> BTreeSet<Vec<String>> {
-        self.entries.iter().map(|((_, args), _)| args.clone()).collect()
+        self.entries
+            .iter()
+            .map(|((_, args), _)| args.clone())
+            .collect()
     }
 
     /// Number of stored tuples.

@@ -9,10 +9,11 @@ use fonduer_datamodel::Corpus;
 use fonduer_features::{FeatureConfig, Featurizer};
 use fonduer_learning::{prepare, FonduerModel, LogRegModel, ModelConfig, ProbClassifier};
 use fonduer_nlp::{fnv1a, HashedVocab};
+use fonduer_observe as observe;
 use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction};
 use fonduer_synth::GoldKb;
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::time::Duration;
 
 /// A complete KBC task: the user inputs of all three phases.
 pub struct Task {
@@ -81,25 +82,60 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Wall-clock stage timings in milliseconds.
+/// Wall-clock stage timings.
+///
+/// Stored as full-resolution [`Duration`]s (derived from the same
+/// measurements the `fonduer-observe` spans record), so sub-millisecond
+/// stages no longer truncate to zero; the `*_ms` accessors keep the
+/// millisecond-oriented reporting surface.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
     /// Candidate generation.
-    pub candgen_ms: u128,
+    pub candgen: Duration,
     /// Multimodal featurization.
-    pub featurize_ms: u128,
+    pub featurize: Duration,
     /// LF application + generative model.
-    pub supervise_ms: u128,
+    pub supervise: Duration,
     /// Discriminative training.
-    pub train_ms: u128,
+    pub train: Duration,
     /// Inference over all candidates.
-    pub infer_ms: u128,
+    pub infer: Duration,
 }
 
 impl Timings {
     /// Total pipeline time.
-    pub fn total_ms(&self) -> u128 {
-        self.candgen_ms + self.featurize_ms + self.supervise_ms + self.train_ms + self.infer_ms
+    pub fn total(&self) -> Duration {
+        self.candgen + self.featurize + self.supervise + self.train + self.infer
+    }
+
+    /// Candidate generation, in (fractional) milliseconds.
+    pub fn candgen_ms(&self) -> f64 {
+        self.candgen.as_secs_f64() * 1e3
+    }
+
+    /// Featurization, in (fractional) milliseconds.
+    pub fn featurize_ms(&self) -> f64 {
+        self.featurize.as_secs_f64() * 1e3
+    }
+
+    /// Supervision, in (fractional) milliseconds.
+    pub fn supervise_ms(&self) -> f64 {
+        self.supervise.as_secs_f64() * 1e3
+    }
+
+    /// Discriminative training, in (fractional) milliseconds.
+    pub fn train_ms(&self) -> f64 {
+        self.train.as_secs_f64() * 1e3
+    }
+
+    /// Inference, in (fractional) milliseconds.
+    pub fn infer_ms(&self) -> f64 {
+        self.infer.as_secs_f64() * 1e3
+    }
+
+    /// Total pipeline time, in (fractional) milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total().as_secs_f64() * 1e3
     }
 }
 
@@ -133,11 +169,18 @@ pub fn is_train_doc(name: &str, train_frac: f64, seed: u64) -> bool {
 
 /// Run the full pipeline for one task on one corpus, evaluating against
 /// `gold` on the held-out document split.
-pub fn run_task(corpus: &Corpus, gold: &GoldKb, task: &Task, cfg: &PipelineConfig) -> PipelineOutput {
+pub fn run_task(
+    corpus: &Corpus,
+    gold: &GoldKb,
+    task: &Task,
+    cfg: &PipelineConfig,
+) -> PipelineOutput {
+    let _task_span = observe::span("run_task");
+
     // Phase 2: candidate generation.
-    let t0 = Instant::now();
-    let candidates = task.extractor.extract_parallel(corpus, cfg.n_threads);
-    let candgen_ms = t0.elapsed().as_millis();
+    let (candidates, candgen) = observe::timed("candgen", || {
+        task.extractor.extract_parallel(corpus, cfg.n_threads)
+    });
 
     // Split documents.
     let mut train_docs = BTreeSet::new();
@@ -151,34 +194,37 @@ pub fn run_task(corpus: &Corpus, gold: &GoldKb, task: &Task, cfg: &PipelineConfi
     }
 
     // Phase 3a: multimodal featurization.
-    let t0 = Instant::now();
-    let feats = Featurizer::new(cfg.features).featurize_parallel(corpus, &candidates, cfg.n_threads);
-    let featurize_ms = t0.elapsed().as_millis();
+    let (feats, featurize) = observe::timed("featurize", || {
+        Featurizer::new(cfg.features).featurize_parallel(corpus, &candidates, cfg.n_threads)
+    });
     let vocab = HashedVocab::new(cfg.vocab_size);
     let dataset = prepare(corpus, &candidates, &feats, &vocab, cfg.window);
 
     // Phase 3b: supervision on the training split.
-    let t0 = Instant::now();
-    let train_idx: Vec<usize> = candidates
-        .candidates
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
-        .map(|(i, _)| i)
-        .collect();
-    let train_subset = CandidateSet {
-        schema: candidates.schema.clone(),
-        candidates: train_idx
-            .iter()
-            .map(|&i| candidates.candidates[i].clone())
-            .collect(),
-    };
-    let lf_refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
-    let label_matrix = LabelMatrix::apply(&lf_refs, corpus, &train_subset);
-    let gen = GenerativeModel::fit(&label_matrix, &cfg.gen_opts);
-    let train_marginals = gen.predict(&label_matrix);
-    let label_coverage = label_matrix.total_coverage();
-    let supervise_ms = t0.elapsed().as_millis();
+    let ((label_matrix, train_idx, train_marginals, label_coverage), supervise) =
+        observe::timed("supervise", || {
+            let train_idx: Vec<usize> = candidates
+                .candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
+                .map(|(i, _)| i)
+                .collect();
+            let train_subset = CandidateSet {
+                schema: candidates.schema.clone(),
+                candidates: train_idx
+                    .iter()
+                    .map(|&i| candidates.candidates[i].clone())
+                    .collect(),
+            };
+            let lf_refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+            let label_matrix = LabelMatrix::apply(&lf_refs, corpus, &train_subset);
+            let gen = GenerativeModel::fit(&label_matrix, &cfg.gen_opts);
+            let train_marginals = gen.predict(&label_matrix);
+            let label_coverage = label_matrix.total_coverage();
+            (label_matrix, train_idx, train_marginals, label_coverage)
+        });
+    observe::gauge_set("supervision.label_coverage", label_coverage);
 
     // Keep only candidates some LF labeled (Snorkel's behavior).
     let mut train_inputs = Vec::new();
@@ -191,21 +237,21 @@ pub fn run_task(corpus: &Corpus, gold: &GoldKb, task: &Task, cfg: &PipelineConfi
     }
 
     // Phase 3c: discriminative training + classification.
-    let t0 = Instant::now();
-    let mut model: Box<dyn ProbClassifier> = match cfg.learner {
-        Learner::MultimodalLstm => Box::new(FonduerModel::new(
-            cfg.model.clone(),
-            dataset.vocab_size,
-            dataset.n_features,
-            dataset.arity,
-        )),
-        Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
-    };
-    model.fit(&train_inputs, &train_targets);
-    let train_ms = t0.elapsed().as_millis();
-    let t1 = Instant::now();
-    let marginals = model.predict(&dataset.inputs);
-    let infer_ms = t1.elapsed().as_millis();
+    let (model, train) = observe::timed("train", || {
+        let mut model: Box<dyn ProbClassifier> = match cfg.learner {
+            Learner::MultimodalLstm => Box::new(FonduerModel::new(
+                cfg.model.clone(),
+                dataset.vocab_size,
+                dataset.n_features,
+                dataset.arity,
+            )),
+            Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
+        };
+        model.fit(&train_inputs, &train_targets);
+        model
+    });
+    let (marginals, infer) = observe::timed("infer", || model.predict(&dataset.inputs));
+    observe::counter("infer.candidates", marginals.len() as u64);
     finish(
         corpus,
         gold,
@@ -216,11 +262,11 @@ pub fn run_task(corpus: &Corpus, gold: &GoldKb, task: &Task, cfg: &PipelineConfi
         test_docs,
         label_coverage,
         Timings {
-            candgen_ms,
-            featurize_ms,
-            supervise_ms,
-            train_ms,
-            infer_ms,
+            candgen,
+            featurize,
+            supervise,
+            train,
+            infer,
         },
     )
 }
@@ -248,8 +294,7 @@ fn finish(
             ((doc.name.clone(), c.arg_texts(doc)), p)
         })
         .collect();
-    let kb = KnowledgeBase::from_marginals(&relation, &arg_names, tuples_with_p.clone(), cfg.threshold);
-    // Held-out evaluation.
+    // Held-out evaluation (before the KB takes ownership of the tuples).
     let pred_test: BTreeSet<Tuple> = tuples_with_p
         .iter()
         .filter(|((d, _), p)| *p >= cfg.threshold && test_docs.contains(d))
@@ -257,6 +302,7 @@ fn finish(
         .collect();
     let gold_test = gold_tuples_for_docs(gold, &relation, &test_docs);
     let metrics = eval_tuples(&pred_test, &gold_test);
+    let kb = KnowledgeBase::from_marginals(&relation, &arg_names, tuples_with_p, cfg.threshold);
     PipelineOutput {
         candidates,
         marginals,
@@ -290,10 +336,7 @@ mod tests {
     #[test]
     fn split_is_deterministic_and_roughly_fractional() {
         let names: Vec<String> = (0..1000).map(|i| format!("doc_{i}")).collect();
-        let train = names
-            .iter()
-            .filter(|n| is_train_doc(n, 0.7, 1))
-            .count();
+        let train = names.iter().filter(|n| is_train_doc(n, 0.7, 1)).count();
         assert!((600..800).contains(&train), "{train}");
         for n in &names {
             assert_eq!(is_train_doc(n, 0.7, 1), is_train_doc(n, 0.7, 1));

@@ -212,9 +212,7 @@ impl DocumentBuilder {
             t.n_cols
         );
         let id = CellId::from_usize(self.doc.cells.len());
-        let row_ids: Vec<RowId> = (row_start..=row_end)
-            .map(|r| t.rows[r as usize])
-            .collect();
+        let row_ids: Vec<RowId> = (row_start..=row_end).map(|r| t.rows[r as usize]).collect();
         let col_ids: Vec<ColumnId> = (col_start..=col_end)
             .map(|c| t.columns[c as usize])
             .collect();
@@ -264,7 +262,10 @@ impl DocumentBuilder {
                 p.paragraphs.push(id);
                 p.paragraphs.len() as u32 - 1
             }
-            other => panic!("paragraphs cannot be attached to a {} context", other.kind()),
+            other => panic!(
+                "paragraphs cannot be attached to a {} context",
+                other.kind()
+            ),
         };
         self.doc.paragraphs.push(Paragraph {
             parent,

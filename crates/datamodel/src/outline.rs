@@ -43,7 +43,11 @@ impl Document {
                             t.n_rows,
                             t.n_cols,
                             t.cells.len(),
-                            if t.caption.is_some() { ", captioned" } else { "" }
+                            if t.caption.is_some() {
+                                ", captioned"
+                            } else {
+                                ""
+                            }
                         ));
                     }
                     ContextRef::Figure(id) => {

@@ -376,8 +376,10 @@ mod tests {
     #[test]
     fn lca_of_text_and_cell_is_section() {
         let (d, cells) = table_doc();
-        let (lca, _, _) =
-            d.lowest_common_ancestor(ContextRef::Sentence(SentenceId(0)), ContextRef::Cell(cells[5]));
+        let (lca, _, _) = d.lowest_common_ancestor(
+            ContextRef::Sentence(SentenceId(0)),
+            ContextRef::Cell(cells[5]),
+        );
         assert!(matches!(lca, ContextRef::Section(_)));
     }
 

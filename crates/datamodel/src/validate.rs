@@ -37,10 +37,7 @@ pub fn validate(doc: &Document) -> Vec<String> {
                         errs.push(format!("figure {id} parent mismatch"));
                     }
                 }
-                other => errs.push(format!(
-                    "section {si}: illegal child kind {}",
-                    other.kind()
-                )),
+                other => errs.push(format!("section {si}: illegal child kind {}", other.kind())),
             }
         }
     }

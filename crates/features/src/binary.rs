@@ -167,7 +167,13 @@ mod tests {
 
     fn feats(d: &Document, a: &str, b: &str) -> Vec<String> {
         let mut out = Vec::new();
-        binary_features(d, span_of(d, a), span_of(d, b), &FeatureConfig::all(), &mut out);
+        binary_features(
+            d,
+            span_of(d, a),
+            span_of(d, b),
+            &FeatureConfig::all(),
+            &mut out,
+        );
         out
     }
 
@@ -244,6 +250,8 @@ mod tests {
             );
             out
         };
-        assert!(!f.iter().any(|x| x.contains("PAGE") || x.contains("ALIGNED")));
+        assert!(!f
+            .iter()
+            .any(|x| x.contains("PAGE") || x.contains("ALIGNED")));
     }
 }

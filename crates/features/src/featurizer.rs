@@ -8,12 +8,39 @@
 
 use crate::binary::binary_features;
 use crate::config::FeatureConfig;
+use crate::modality::{modality_index, MODALITIES};
 use crate::sparse::LilMatrix;
 use crate::unary::unary_features;
 use fonduer_candidates::{Candidate, CandidateSet};
 use fonduer_datamodel::{Corpus, Document, Span};
+use fonduer_observe as observe;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-modality emission tally (indexes follow [`MODALITIES`], last slot =
+/// unclassified), accumulated locally and flushed to `fonduer-observe`
+/// counters once per featurization call.
+#[derive(Default)]
+struct ModalityTally([u64; 5]);
+
+impl ModalityTally {
+    fn add(&mut self, feature: &str) {
+        self.0[modality_index(feature).unwrap_or(4)] += 1;
+    }
+
+    fn flush(&self, stats: &CacheStats) {
+        for (i, m) in MODALITIES.iter().enumerate() {
+            if self.0[i] > 0 {
+                observe::counter(&format!("features.emitted.{m}"), self.0[i]);
+            }
+        }
+        if self.0[4] > 0 {
+            observe::counter("features.emitted.other", self.0[4]);
+        }
+        observe::counter("features.cache.hits", stats.hits as u64);
+        observe::counter("features.cache.misses", stats.misses as u64);
+    }
+}
 
 /// Interns feature strings to dense column indices.
 #[derive(Debug, Clone, Default)]
@@ -160,7 +187,13 @@ impl Featurizer {
         for i in 0..cand.mentions.len() {
             for j in i + 1..cand.mentions.len() {
                 let mut feats = Vec::with_capacity(16);
-                binary_features(doc, cand.mentions[i], cand.mentions[j], &self.cfg, &mut feats);
+                binary_features(
+                    doc,
+                    cand.mentions[i],
+                    cand.mentions[j],
+                    &self.cfg,
+                    &mut feats,
+                );
                 for f in feats {
                     out.push(format!("A{i}{j}_{f}"));
                 }
@@ -177,9 +210,11 @@ impl Featurizer {
     /// prefixed, and interned exactly once per document: repeat candidates
     /// reuse the interned column ids directly (Appendix C.1).
     pub fn featurize(&self, corpus: &Corpus, cands: &CandidateSet) -> FeatureSet {
+        let _span = observe::span("featurize_corpus");
         let mut vocab = FeatureVocab::new();
         let mut matrix = LilMatrix::new();
         let mut stats = CacheStats::default();
+        let mut tally = ModalityTally::default();
         // Keyed by (mention span, argument index): the prefix differs per
         // argument position, so interned ids are cached per position.
         let mut cache: HashMap<(Span, u8), Arc<Vec<u32>>> = HashMap::new();
@@ -213,14 +248,24 @@ impl Featurizer {
             for i in 0..cand.mentions.len() {
                 for j in i + 1..cand.mentions.len() {
                     scratch.clear();
-                    binary_features(doc, cand.mentions[i], cand.mentions[j], &self.cfg, &mut scratch);
+                    binary_features(
+                        doc,
+                        cand.mentions[i],
+                        cand.mentions[j],
+                        &self.cfg,
+                        &mut scratch,
+                    );
                     for f in &scratch {
                         row.push((vocab.intern(&format!("A{i}{j}_{f}")), 1.0));
                     }
                 }
             }
+            for &(c, _) in &row {
+                tally.add(vocab.name(c));
+            }
             matrix.push_row(row);
         }
+        tally.flush(&stats);
         FeatureSet {
             vocab,
             matrix,
@@ -265,7 +310,12 @@ mod tests {
  <tr><td>Gain</td><td>300</td><td></td></tr>
 </table>"#;
         let mut c = Corpus::new("t");
-        c.add(parse_document("d0", html, DocFormat::Pdf, &ParseOptions::default()));
+        c.add(parse_document(
+            "d0",
+            html,
+            DocFormat::Pdf,
+            &ParseOptions::default(),
+        ));
         let ex = CandidateExtractor::new(
             RelationSchema::new("has_collector_current", &["part", "current"]),
             vec![
@@ -311,8 +361,10 @@ mod tests {
     #[test]
     fn disabled_cache_recomputes_everything() {
         let (c, set) = setup();
-        let mut f = Featurizer::default();
-        f.cache_enabled = false;
+        let f = Featurizer {
+            cache_enabled: false,
+            ..Default::default()
+        };
         let fs = f.featurize(&c, &set);
         assert_eq!(fs.stats.hits, 0);
         assert_eq!(fs.stats.misses, 12);
@@ -322,8 +374,10 @@ mod tests {
     fn cached_and_uncached_agree() {
         let (c, set) = setup();
         let with = Featurizer::default().featurize(&c, &set);
-        let mut f = Featurizer::default();
-        f.cache_enabled = false;
+        let f = Featurizer {
+            cache_enabled: false,
+            ..Default::default()
+        };
         let without = f.featurize(&c, &set);
         use crate::sparse::SparseAccess;
         assert_eq!(with.vocab.len(), without.vocab.len());
@@ -384,6 +438,7 @@ impl Featurizer {
         if n_threads == 1 || cands.len() < 2 {
             return self.featurize(corpus, cands);
         }
+        let _span = observe::span("featurize_corpus");
         // Split candidate ranges at document boundaries.
         let mut boundaries = vec![0usize];
         for i in 1..cands.candidates.len() {
@@ -399,10 +454,7 @@ impl Featurizer {
         type ChunkResult = (usize, Vec<Vec<String>>, CacheStats);
         let results: parking_lot::Mutex<Vec<ChunkResult>> = parking_lot::Mutex::new(Vec::new());
         crossbeam::scope(|s| {
-            for (chunk_idx, chunk) in boundaries[..n_docs]
-                .chunks(docs_per_chunk)
-                .enumerate()
-            {
+            for (chunk_idx, chunk) in boundaries[..n_docs].chunks(docs_per_chunk).enumerate() {
                 let start = chunk[0];
                 let end_doc = (chunk_idx + 1) * docs_per_chunk;
                 let end = boundaries[end_doc.min(n_docs)];
@@ -430,14 +482,19 @@ impl Featurizer {
         let mut vocab = FeatureVocab::new();
         let mut matrix = LilMatrix::new();
         let mut stats = CacheStats::default();
+        let mut tally = ModalityTally::default();
         for (_, rows, st) in chunks {
             stats.hits += st.hits;
             stats.misses += st.misses;
             for feats in rows {
                 let row: Vec<(u32, f32)> = feats.iter().map(|f| (vocab.intern(f), 1.0)).collect();
+                for f in &feats {
+                    tally.add(f);
+                }
                 matrix.push_row(row);
             }
         }
+        tally.flush(&stats);
         FeatureSet {
             vocab,
             matrix,
@@ -501,7 +558,10 @@ mod parallel_tests {
                 };
                 assert_eq!(names(&par, r), names(&seq, r), "row {r} threads={threads}");
             }
-            assert_eq!(par.stats.hits + par.stats.misses, seq.stats.hits + seq.stats.misses);
+            assert_eq!(
+                par.stats.hits + par.stats.misses,
+                seq.stats.hits + seq.stats.misses
+            );
         }
     }
 }

@@ -17,11 +17,13 @@
 pub mod binary;
 pub mod config;
 pub mod featurizer;
+pub mod modality;
 pub mod sparse;
 pub mod unary;
 
 pub use binary::binary_features;
 pub use config::FeatureConfig;
 pub use featurizer::{CacheStats, FeatureSet, FeatureVocab, Featurizer};
+pub use modality::{modality_of, MODALITIES};
 pub use sparse::{CooMatrix, LilMatrix, SparseAccess};
 pub use unary::unary_features;

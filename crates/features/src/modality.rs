@@ -1,0 +1,134 @@
+//! Modality classification of feature-template names, for telemetry and
+//! ablation reporting: every template the featurizer emits belongs to one
+//! of the paper's four modalities (textual, structural, tabular, visual).
+
+/// The four feature modalities, in stable index order.
+pub const MODALITIES: [&str; 4] = ["textual", "structural", "tabular", "visual"];
+
+/// Classify a feature name into a modality index into [`MODALITIES`]
+/// (`None` if the template is unknown). Accepts both raw template names
+/// (`COL_HEAD_value`) and argument-prefixed ones (`A1_COL_HEAD_value`,
+/// `A01_SAME_TABLE`).
+pub fn modality_index(feature: &str) -> Option<usize> {
+    let name = strip_arg_prefix(feature);
+    // Longest/most-specific prefixes first: WORD_DIFF_ (tabular) must win
+    // over WORD_ (textual), SAME_TABLE over SAME_SENTENCE, etc.
+    const TABULAR: &[&str] = &[
+        "WORD_DIFF_",
+        "CHAR_DIFF_",
+        "ROW_",
+        "COL_",
+        "CELL_",
+        "CAPTION_",
+        "SAME_TABLE",
+        "DIFF_TABLE",
+        "SAME_CELL",
+        "SAME_PHRASE",
+        "NOT_IN_TABLE",
+    ];
+    const VISUAL: &[&str] = &[
+        "PAGE",
+        "FONT_",
+        "SAME_PAGE",
+        "SAME_FONT",
+        "HORZ_ALIGNED",
+        "VERT_ALIGNED",
+        "ALIGNED",
+        "NO_VISUAL",
+        "BOLD",
+    ];
+    const STRUCTURAL: &[&str] = &[
+        "TAG_",
+        "HTML_ATTR_",
+        "PARENT_TAG_",
+        "PREV_SIB_TAG_",
+        "NEXT_SIB_TAG_",
+        "NODE_POS_",
+        "ANCESTOR_",
+        "COMMON_ANCESTOR_",
+        "LOWEST_ANCESTOR_DEPTH_",
+    ];
+    const TEXTUAL: &[&str] = &[
+        "WORD_",
+        "LEMMA_",
+        "NER_",
+        "POS_",
+        "LEN_",
+        "LEFT_LEMMA_",
+        "RIGHT_LEMMA_",
+        "SAME_SENTENCE",
+        "TOKEN_DIST_",
+        "BETWEEN_LEMMA_",
+        "SENT_DIST_",
+    ];
+    let starts = |set: &[&str]| set.iter().any(|p| name.starts_with(p));
+    if starts(TABULAR) {
+        Some(2)
+    } else if starts(VISUAL) {
+        Some(3)
+    } else if starts(STRUCTURAL) {
+        Some(1)
+    } else if starts(TEXTUAL) {
+        Some(0)
+    } else {
+        None
+    }
+}
+
+/// Classify a feature name into its modality name, if known.
+pub fn modality_of(feature: &str) -> Option<&'static str> {
+    modality_index(feature).map(|i| MODALITIES[i])
+}
+
+/// Strip the featurizer's argument prefix (`A0_`, `A01_`, ...) if present.
+fn strip_arg_prefix(feature: &str) -> &str {
+    if let Some(rest) = feature.strip_prefix('A') {
+        let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            if let Some(stripped) = rest[digits..].strip_prefix('_') {
+                return stripped;
+            }
+        }
+    }
+    feature
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_arg_prefixes() {
+        assert_eq!(strip_arg_prefix("A0_TAG_h1"), "TAG_h1");
+        assert_eq!(strip_arg_prefix("A01_SAME_TABLE"), "SAME_TABLE");
+        assert_eq!(strip_arg_prefix("TAG_h1"), "TAG_h1");
+        // Not an argument prefix: A followed by non-digits.
+        assert_eq!(strip_arg_prefix("ANCESTOR_TAG_table"), "ANCESTOR_TAG_table");
+    }
+
+    #[test]
+    fn classifies_each_modality() {
+        assert_eq!(modality_of("A0_WORD_smbt3904"), Some("textual"));
+        assert_eq!(modality_of("A0_LEMMA_current"), Some("textual"));
+        assert_eq!(modality_of("A01_SENT_DIST_2"), Some("textual"));
+        assert_eq!(modality_of("A0_TAG_h1"), Some("structural"));
+        assert_eq!(
+            modality_of("A01_COMMON_ANCESTOR_section"),
+            Some("structural")
+        );
+        assert_eq!(modality_of("A1_COL_HEAD_value"), Some("tabular"));
+        assert_eq!(modality_of("A01_SAME_TABLE_ROW_DIFF_0"), Some("tabular"));
+        assert_eq!(modality_of("NOT_IN_TABLE"), Some("tabular"));
+        assert_eq!(modality_of("A01_WORD_DIFF_0"), Some("tabular"));
+        assert_eq!(modality_of("A0_PAGE_1"), Some("visual"));
+        assert_eq!(modality_of("A01_HORZ_ALIGNED"), Some("visual"));
+        assert_eq!(modality_of("BOLD"), Some("visual"));
+        assert_eq!(modality_of("A0_MYSTERY_FEATURE"), None);
+    }
+
+    #[test]
+    fn word_diff_beats_word() {
+        // The tabular WORD_DIFF_ template must not be misread as textual.
+        assert_ne!(modality_of("WORD_DIFF_3"), Some("textual"));
+    }
+}

@@ -210,7 +210,12 @@ mod tests {
     fn representations_agree() {
         let mut coo = CooMatrix::new();
         let mut lil = LilMatrix::new();
-        let entries = [(0usize, 2u32, 1.0f32), (0, 4, 2.0), (1, 0, 3.0), (2, 2, 4.0)];
+        let entries = [
+            (0usize, 2u32, 1.0f32),
+            (0, 4, 2.0),
+            (1, 0, 3.0),
+            (2, 2, 4.0),
+        ];
         for &(r, c, v) in &entries {
             coo.push(r, c, v);
             lil.set(r, c, v);

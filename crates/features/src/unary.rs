@@ -244,7 +244,12 @@ mod tests {
             &ParseOptions::default(),
         );
         let mut out = Vec::new();
-        unary_features(&d, Span::new(fonduer_datamodel::SentenceId(0), 0, 1), &FeatureConfig::all(), &mut out);
+        unary_features(
+            &d,
+            Span::new(fonduer_datamodel::SentenceId(0), 0, 1),
+            &FeatureConfig::all(),
+            &mut out,
+        );
         assert!(out.contains(&"NO_VISUAL".to_string()));
     }
 
@@ -252,9 +257,13 @@ mod tests {
     fn modality_gating_respected() {
         let d = doc();
         let f = feats(&d, "200", FeatureConfig::without("tabular"));
-        assert!(!f.iter().any(|x| x.starts_with("ROW_") || x.starts_with("COL_")));
+        assert!(!f
+            .iter()
+            .any(|x| x.starts_with("ROW_") || x.starts_with("COL_")));
         let f = feats(&d, "200", FeatureConfig::without("visual"));
-        assert!(!f.iter().any(|x| x.starts_with("ALIGNED_") || x.starts_with("FONT_")));
+        assert!(!f
+            .iter()
+            .any(|x| x.starts_with("ALIGNED_") || x.starts_with("FONT_")));
     }
 
     #[test]

@@ -63,6 +63,8 @@ impl ProbClassifier for LogRegModel {
         if inputs.is_empty() {
             return;
         }
+        let _span = fonduer_observe::span("model_fit");
+        let steps = fonduer_observe::Counter::named("train.steps");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbeef);
         let mut order: Vec<usize> = (0..inputs.len()).collect();
         for _ in 0..self.epochs {
@@ -70,10 +72,12 @@ impl ProbClassifier for LogRegModel {
                 let j = rng.gen_range(i..order.len());
                 order.swap(i, j);
             }
+            let mut epoch_loss = 0.0f64;
             for &i in &order {
                 self.store.zero_grad();
                 let z = self.logit(&inputs[i]);
-                let (_, dz) = bce_with_logit(z, targets[i]);
+                let (loss, dz) = bce_with_logit(z, targets[i]);
+                epoch_loss += loss as f64;
                 {
                     let g = self.store.grad_mut(self.w);
                     for &c in &inputs[i].features {
@@ -83,6 +87,9 @@ impl ProbClassifier for LogRegModel {
                 self.store.grad_mut(self.b)[0] += dz;
                 self.store.adam_step(self.lr, Some(5.0));
             }
+            steps.add(order.len() as u64);
+            fonduer_observe::counter("train.epochs", 1);
+            fonduer_observe::gauge_set("train.epoch_loss", epoch_loss / order.len() as f64);
         }
     }
 
@@ -161,7 +168,11 @@ impl DocRnnModel {
             }
             self.store.adam_step(self.cfg.lr, Some(self.cfg.clip));
         }
-        total / seqs.len().max(1) as f32
+        let mean = total / seqs.len().max(1) as f32;
+        fonduer_observe::counter("train.epochs", 1);
+        fonduer_observe::counter("train.steps", seqs.len() as u64);
+        fonduer_observe::gauge_set("train.epoch_loss", mean as f64);
+        mean
     }
 
     /// Train for the configured number of epochs.
@@ -216,7 +227,7 @@ mod tests {
             mention_tokens: vec![],
             features: vec![],
         };
-        m.fit(&[inp.clone()], &[1.0]);
+        m.fit(std::slice::from_ref(&inp), &[1.0]);
         assert!(m.predict_one(&inp) > 0.5);
     }
 
@@ -233,7 +244,9 @@ mod tests {
                 }
             })
             .collect();
-        let targets: Vec<f32> = (0..30).map(|i| if i % 2 == 0 { 0.9 } else { 0.1 }).collect();
+        let targets: Vec<f32> = (0..30)
+            .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
+            .collect();
         let mut m = DocRnnModel::new(
             ModelConfig {
                 epochs: 6,
@@ -255,7 +268,9 @@ mod tests {
         let seqs: Vec<Vec<u32>> = (0..20)
             .map(|i| if i % 2 == 0 { vec![7; 5] } else { vec![8; 5] })
             .collect();
-        let targets: Vec<f32> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let targets: Vec<f32> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let mut m = DocRnnModel::new(ModelConfig::default(), 20);
         let first = m.train_epoch(&seqs, &targets);
         for _ in 0..4 {

@@ -172,7 +172,12 @@ mod tests {
 <h1>SMBT3904</h1>
 <table><tr><th>Value</th></tr><tr><td>200</td></tr></table>"#;
         let mut c = Corpus::new("t");
-        c.add(parse_document("d", html, DocFormat::Pdf, &ParseOptions::default()));
+        c.add(parse_document(
+            "d",
+            html,
+            DocFormat::Pdf,
+            &ParseOptions::default(),
+        ));
         let ex = CandidateExtractor::new(
             RelationSchema::new("r", &["part", "current"]),
             vec![

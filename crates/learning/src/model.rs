@@ -191,9 +191,7 @@ impl FonduerModel {
             let dcat = self.out.backward(&mut self.store, &cache.concat, &[dz]);
             for (i, toks) in input.mention_tokens.iter().enumerate() {
                 let d_t = &dcat[i * self.cfg.d_attn..(i + 1) * self.cfg.d_attn];
-                let dhs = self
-                    .attn
-                    .backward(&mut self.store, &cache.attn[i], d_t);
+                let dhs = self.attn.backward(&mut self.store, &cache.attn[i], d_t);
                 let dxs = self
                     .bilstm
                     .backward_seq(&mut self.store, &cache.lstm[i], &dhs);
@@ -213,6 +211,8 @@ impl ProbClassifier for FonduerModel {
         if inputs.is_empty() {
             return;
         }
+        let _span = fonduer_observe::span("model_fit");
+        let steps = fonduer_observe::Counter::named("train.steps");
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xfeed);
         let mut order: Vec<usize> = (0..inputs.len()).collect();
         for _ in 0..self.cfg.epochs {
@@ -220,13 +220,18 @@ impl ProbClassifier for FonduerModel {
                 let j = rng.gen_range(i..order.len());
                 order.swap(i, j);
             }
+            let mut epoch_loss = 0.0f64;
             for &i in &order {
                 self.store.zero_grad();
                 let (z, cache) = self.forward(&inputs[i]);
-                let (_, dz) = bce_with_logit(z, targets[i]);
+                let (loss, dz) = bce_with_logit(z, targets[i]);
+                epoch_loss += loss as f64;
                 self.backward(&inputs[i], &cache, dz);
                 self.store.adam_step(self.cfg.lr, Some(self.cfg.clip));
             }
+            steps.add(order.len() as u64);
+            fonduer_observe::counter("train.epochs", 1);
+            fonduer_observe::gauge_set("train.epoch_loss", epoch_loss / order.len() as f64);
         }
     }
 
@@ -368,7 +373,9 @@ mod persist_tests {
                 features: vec![i % 3],
             })
             .collect();
-        let targets: Vec<f32> = (0..20).map(|i| if i % 2 == 0 { 0.9 } else { 0.1 }).collect();
+        let targets: Vec<f32> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
+            .collect();
         let mut trained = FonduerModel::new(
             ModelConfig {
                 epochs: 2,

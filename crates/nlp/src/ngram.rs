@@ -44,9 +44,10 @@ mod tests {
 
     #[test]
     fn unigrams_lowercase() {
-        assert_eq!(ngrams(&w(&["Collector", "Current"]), 1), vec![
-            "collector", "current"
-        ]);
+        assert_eq!(
+            ngrams(&w(&["Collector", "Current"]), 1),
+            vec!["collector", "current"]
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub fn preprocess(text: &str, structural: &Structural) -> Vec<SentenceData> {
 /// contents, which should not be split on periods inside part codes).
 pub fn preprocess_sentence(sent_text: &str, structural: &Structural) -> SentenceData {
     let toks = tokenize(sent_text);
+    fonduer_observe::counter("nlp.sentences", 1);
+    fonduer_observe::counter("nlp.tokens", toks.len() as u64);
     let mut words = Vec::with_capacity(toks.len());
     let mut offsets = Vec::with_capacity(toks.len());
     let mut ling = Vec::with_capacity(toks.len());

@@ -51,10 +51,14 @@ pub fn split_sentences(text: &str) -> Vec<(usize, usize)> {
             while j < n && chars[j].1.is_whitespace() {
                 j += 1;
             }
-            let is_boundary = j >= n
-                || (j > i + 1 && (chars[j].1.is_uppercase() || chars[j].1.is_ascii_digit()));
+            let is_boundary =
+                j >= n || (j > i + 1 && (chars[j].1.is_uppercase() || chars[j].1.is_ascii_digit()));
             if is_boundary {
-                let end = if i + 1 < n { chars[i + 1].0 } else { text.len() };
+                let end = if i + 1 < n {
+                    chars[i + 1].0
+                } else {
+                    text.len()
+                };
                 if !text[sent_start..end].trim().is_empty() {
                     spans.push((sent_start, end));
                 }
@@ -122,9 +126,10 @@ mod tests {
 
     #[test]
     fn single_sentence_without_period() {
-        assert_eq!(sentence_texts("No terminator here"), vec![
-            "No terminator here"
-        ]);
+        assert_eq!(
+            sentence_texts("No terminator here"),
+            vec!["No terminator here"]
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ const PREPOSITIONS: &[&str] = &[
     "through", "per", "within",
 ];
 const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
-const MODALS: &[&str] = &["can", "may", "must", "shall", "will", "should", "would", "could"];
+const MODALS: &[&str] = &[
+    "can", "may", "must", "shall", "will", "should", "would", "could",
+];
 const PRONOUNS: &[&str] = &["it", "they", "we", "he", "she", "you", "i"];
 const ADJECTIVES: &[&str] = &[
     "high", "low", "maximum", "minimum", "typical", "total", "new", "small", "large", "silicon",
@@ -139,9 +141,9 @@ pub fn lemmatize(tok: &str) -> String {
 
 /// Unit dictionary for the entity tagger: electrical, physical, biological.
 pub const UNITS: &[&str] = &[
-    "v", "mv", "kv", "a", "ma", "ua", "na", "w", "mw", "kw", "hz", "khz", "mhz", "ghz", "°c",
-    "°f", "k", "ohm", "kohm", "mohm", "pf", "nf", "uf", "mm", "cm", "m", "km", "g", "kg", "mg",
-    "s", "ms", "us", "ns", "db", "usd", "%",
+    "v", "mv", "kv", "a", "ma", "ua", "na", "w", "mw", "kw", "hz", "khz", "mhz", "ghz", "°c", "°f",
+    "k", "ohm", "kohm", "mohm", "pf", "nf", "uf", "mm", "cm", "m", "km", "g", "kg", "mg", "s",
+    "ms", "us", "ns", "db", "usd", "%",
 ];
 
 /// Entity-style tag for one token: `NUMBER`, `UNIT`, `CODE` (alphanumeric

@@ -114,7 +114,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         }
         // Any other single character is its own token (punctuation, math
         // symbols like ≤, ~, ±).
-        let end = if i + 1 < n { bytes[i + 1].0 } else { text.len() };
+        let end = if i + 1 < n {
+            bytes[i + 1].0
+        } else {
+            text.len()
+        };
         push(&mut out, text, pos, end);
         i += 1;
     }
@@ -140,25 +144,28 @@ mod tests {
 
     #[test]
     fn keeps_part_numbers_whole() {
-        assert_eq!(token_texts("SMBT3904 and MMBT3904"), vec![
-            "SMBT3904", "and", "MMBT3904"
-        ]);
+        assert_eq!(
+            token_texts("SMBT3904 and MMBT3904"),
+            vec!["SMBT3904", "and", "MMBT3904"]
+        );
     }
 
     #[test]
     fn splits_number_unit() {
         assert_eq!(token_texts("200mA"), vec!["200", "mA"]);
-        assert_eq!(token_texts("0.1 mA to 100 mA"), vec![
-            "0.1", "mA", "to", "100", "mA"
-        ]);
+        assert_eq!(
+            token_texts("0.1 mA to 100 mA"),
+            vec!["0.1", "mA", "to", "100", "mA"]
+        );
     }
 
     #[test]
     fn glued_dashes_are_separators() {
         assert_eq!(token_texts("555-0147"), vec!["555", "-", "0147"]);
-        assert_eq!(token_texts("206-555-0147"), vec![
-            "206", "-", "555", "-", "0147"
-        ]);
+        assert_eq!(
+            token_texts("206-555-0147"),
+            vec!["206", "-", "555", "-", "0147"]
+        );
     }
 
     #[test]
@@ -193,9 +200,10 @@ mod tests {
 
     #[test]
     fn decimal_not_greedy_over_sentence_period() {
-        assert_eq!(token_texts("gain 150. Next"), vec![
-            "gain", "150", ".", "Next"
-        ]);
+        assert_eq!(
+            token_texts("gain 150. Next"),
+            vec!["gain", "150", ".", "Next"]
+        );
     }
 
     #[test]

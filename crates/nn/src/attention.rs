@@ -109,12 +109,7 @@ impl Attention {
         // dL/du_j = α_j dt + (dL/ds_j) u_w ;  dL/dα_j = dt · u_j.
         let dalpha: Vec<f32> = cache.us.iter().map(|u| dot(dt, u)).collect();
         // Softmax backward: ds_j = α_j (dα_j - Σ_k α_k dα_k).
-        let weighted: f32 = cache
-            .alphas
-            .iter()
-            .zip(&dalpha)
-            .map(|(a, d)| a * d)
-            .sum();
+        let weighted: f32 = cache.alphas.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
         let ds: Vec<f32> = cache
             .alphas
             .iter()

@@ -139,7 +139,11 @@ mod tests {
             let ym: f32 = l.forward(&s, &xp).iter().map(|v| v * v).sum::<f32>() / 2.0;
             xp[i] = x[i];
             let num = (yp - ym) / (2.0 * eps);
-            assert!((num - dx[i]).abs() < 1e-2, "dx[{i}]: num {num} ana {}", dx[i]);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "dx[{i}]: num {num} ana {}",
+                dx[i]
+            );
         }
     }
 

@@ -26,6 +26,6 @@ pub mod testutil;
 pub use attention::{Attention, AttentionCache};
 pub use layers::{tanh_backward, tanh_vec, Embedding, Linear};
 pub use loss::{batch_bce, bce_with_logit, sigmoid};
-pub use persist::{load_weights, save_weights, PersistError};
 pub use lstm::{BiLstm, BiLstmCache, LstmCache, LstmCell};
+pub use persist::{load_weights, save_weights, PersistError};
 pub use store::{matvec, matvec_backward, ParamId, ParamStore};

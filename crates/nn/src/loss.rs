@@ -32,7 +32,11 @@ pub fn batch_bce(pairs: &[(f32, f32)]) -> f32 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs.iter().map(|&(z, p)| bce_with_logit(z, p).0).sum::<f32>() / pairs.len() as f32
+    pairs
+        .iter()
+        .map(|&(z, p)| bce_with_logit(z, p).0)
+        .sum::<f32>()
+        / pairs.len() as f32
 }
 
 #[cfg(test)]

@@ -211,11 +211,7 @@ impl BiLstm {
     }
 
     /// Forward over a sequence: concatenated hidden states per step.
-    pub fn forward_seq(
-        &self,
-        store: &ParamStore,
-        xs: &[Vec<f32>],
-    ) -> (Vec<Vec<f32>>, BiLstmCache) {
+    pub fn forward_seq(&self, store: &ParamStore, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiLstmCache) {
         let (hf, cf) = self.fwd.forward_seq(store, xs);
         let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
         let (hb_rev, cb) = self.bwd.forward_seq(store, &rev);

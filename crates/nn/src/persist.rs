@@ -38,7 +38,10 @@ impl std::fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a Fonduer weight blob"),
             PersistError::BadVersion(v) => write!(f, "unsupported weight format version {v}"),
             PersistError::ShapeMismatch { expected, found } => {
-                write!(f, "weight count mismatch: store has {expected}, blob has {found}")
+                write!(
+                    f,
+                    "weight count mismatch: store has {expected}, blob has {found}"
+                )
             }
         }
     }
@@ -120,7 +123,10 @@ mod tests {
         let blob = save_weights(&store());
         let mut corrupted = blob.to_vec();
         corrupted[0] = b'X';
-        assert_eq!(load_weights(&mut s, &corrupted), Err(PersistError::BadMagic));
+        assert_eq!(
+            load_weights(&mut s, &corrupted),
+            Err(PersistError::BadMagic)
+        );
         assert_eq!(
             load_weights(&mut s, &blob[..blob.len() - 4]),
             Err(PersistError::Truncated)
@@ -133,14 +139,20 @@ mod tests {
         let mut other = ParamStore::new(1);
         other.alloc(2, 2);
         match load_weights(&mut other, &blob) {
-            Err(PersistError::ShapeMismatch { expected: 4, found: 17 }) => {}
+            Err(PersistError::ShapeMismatch {
+                expected: 4,
+                found: 17,
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
     fn error_display() {
-        let e = PersistError::ShapeMismatch { expected: 1, found: 2 };
+        let e = PersistError::ShapeMismatch {
+            expected: 1,
+            found: 2,
+        };
         assert!(e.to_string().contains("mismatch"));
         assert!(PersistError::BadVersion(9).to_string().contains('9'));
     }

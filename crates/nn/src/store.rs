@@ -123,6 +123,7 @@ impl ParamStore {
     /// One Adam step over every parameter, with optional gradient clipping
     /// by global norm.
     pub fn adam_step(&mut self, lr: f32, clip: Option<f32>) {
+        fonduer_observe::counter("nn.adam_steps", 1);
         const B1: f32 = 0.9;
         const B2: f32 = 0.999;
         const EPS: f32 = 1e-8;

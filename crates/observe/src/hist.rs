@@ -1,0 +1,218 @@
+//! Lock-free log-linear histograms (HDR-style bucketing).
+//!
+//! Values are `u64` (the pipeline records microsecond latencies and sizes).
+//! Buckets are linear below 16 and log-linear above: each power-of-two
+//! decade is split into 16 sub-buckets, bounding the relative quantile
+//! error at ~3% while keeping the whole structure a fixed array of atomics
+//! that threads update without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear region: values below `LINEAR_MAX` index buckets directly.
+const LINEAR_MAX: u64 = 16;
+/// Sub-buckets per power-of-two decade.
+const SUB: usize = 16;
+/// Total bucket count: 16 linear + 16 per decade for decades 4..=63.
+const N_BUCKETS: usize = LINEAR_MAX as usize + SUB * 60;
+
+/// A concurrent fixed-memory histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // Safety-free init: build the array from a zeroed Vec.
+        let v: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; N_BUCKETS]> = v.into_boxed_slice().try_into().ok().unwrap();
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < LINEAR_MAX {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros() as usize; // >= 4
+            let shift = msb - 4;
+            let sub = ((v >> shift) & 0xF) as usize;
+            LINEAR_MAX as usize + (msb - 4) * SUB + sub
+        }
+    }
+
+    /// Midpoint value represented by a bucket (inverse of [`Self::index_of`]).
+    fn bucket_mid(idx: usize) -> u64 {
+        if idx < LINEAR_MAX as usize {
+            idx as u64
+        } else {
+            let rel = idx - LINEAR_MAX as usize;
+            let decade = rel / SUB;
+            let sub = (rel % SUB) as u64;
+            let shift = decade as u32;
+            let lower = (LINEAR_MAX + sub) << shift;
+            lower + (1u64 << shift) / 2
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Immutable summary of the current contents.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Visible counts can momentarily lag `count` under concurrency; use
+        // the bucket total for quantile math so ranks are consistent.
+        let total: u64 = counts.iter().sum();
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let q = |quantile: f64| -> u64 {
+            let target = ((quantile * total as f64).ceil() as u64).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return Self::bucket_mid(i).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// Point-in-time histogram statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 if empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn exact_in_linear_region() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 3, 15] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn quantiles_within_tolerance_on_uniform() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        let within = |got: u64, want: u64| {
+            let rel = (got as f64 - want as f64).abs() / want as f64;
+            assert!(rel < 0.05, "got {got}, want {want} (rel {rel:.3})");
+        };
+        within(s.p50, 50_000);
+        within(s.p95, 95_000);
+        within(s.p99, 99_000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100_000);
+        assert!((s.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_within_tolerance_on_skewed() {
+        // Mostly-fast observations with a 2% slow tail: the p99 rank lands
+        // in the outlier decade while p50 stays small.
+        let h = Histogram::new();
+        for _ in 0..980 {
+            h.record(10);
+        }
+        for _ in 0..20 {
+            h.record(1_000_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50, 10);
+        assert!(s.p99 > 900_000, "{}", s.p99);
+    }
+
+    #[test]
+    fn index_roundtrip_error_bounded() {
+        for &v in &[1u64, 17, 100, 999, 4096, 1 << 20, (1 << 40) + 12345] {
+            let mid = Histogram::bucket_mid(Histogram::index_of(v));
+            let rel = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(rel <= 0.04, "v={v} mid={mid} rel={rel}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Report sink: renders a snapshot as a human-readable tree or JSON lines.
+//!
+//! Output format is chosen by the `FONDUER_TRACE` environment variable:
+//! unset/`0`/`off` → no output, `json` → one JSON object per line,
+//! anything else (`1`, `tree`, ...) → indented human tree.
+
+use std::fmt::Write as _;
+
+use crate::registry::{snapshot, Snapshot};
+
+/// How telemetry should be emitted, per `FONDUER_TRACE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No report output (the registry still records).
+    Off,
+    /// Indented human-readable tree.
+    Human,
+    /// One JSON object per line (machine-readable).
+    Json,
+}
+
+/// Read `FONDUER_TRACE` and decide the trace mode.
+pub fn trace_mode() -> TraceMode {
+    match std::env::var("FONDUER_TRACE") {
+        Err(_) => TraceMode::Off,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "false" | "none" => TraceMode::Off,
+            "json" | "jsonl" => TraceMode::Json,
+            _ => TraceMode::Human,
+        },
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}\u{00b5}s")
+    }
+}
+
+/// Render the snapshot as an indented tree, spans first (nested by dotted
+/// path), then counters, gauges, and histograms.
+pub fn render_human(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== fonduer telemetry ==");
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "spans:");
+        for (path, s) in &snap.spans {
+            let depth = path.matches('.').count();
+            let leaf = path.rsplit('.').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "{:indent$}{leaf:<24} total={:<10} count={:<6} mean={:<10} max={}",
+                "",
+                fmt_us(s.total_us),
+                s.count,
+                fmt_us(s.mean_us() as u64),
+                fmt_us(s.max_us),
+                indent = 2 + 2 * depth,
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<40} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<40} {v:.6}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<28} count={:<7} p50={:<9} p95={:<9} p99={:<9} max={}",
+                h.count,
+                fmt_us(h.p50),
+                fmt_us(h.p95),
+                fmt_us(h.p99),
+                fmt_us(h.max),
+            );
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the snapshot as JSON lines: one object per metric, each with a
+/// `"kind"` discriminator (`span` | `counter` | `gauge` | `histogram`).
+pub fn render_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (path, s) in &snap.spans {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"span\",\"path\":\"{}\",\"count\":{},\"total_us\":{},\"mean_us\":{},\"max_us\":{}}}",
+            json_escape(path),
+            s.count,
+            s.total_us,
+            json_f64(s.mean_us()),
+            s.max_us,
+        );
+    }
+    for (name, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(name),
+        );
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            json_f64(*v),
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50,
+            h.p95,
+            h.p99,
+        );
+    }
+    out
+}
+
+/// Render the current registry state in the given mode (empty for `Off`).
+pub fn render(mode: TraceMode) -> String {
+    match mode {
+        TraceMode::Off => String::new(),
+        TraceMode::Human => render_human(&snapshot()),
+        TraceMode::Json => render_jsonl(&snapshot()),
+    }
+}
+
+/// Print the telemetry report to stderr if `FONDUER_TRACE` enables it.
+/// This is the one call pipeline entry points (benches, examples) make
+/// after finishing their work.
+pub fn emit_report() {
+    let mode = trace_mode();
+    if mode == TraceMode::Off {
+        return;
+    }
+    eprint!("{}", render(mode));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn jsonl_lines_are_balanced_objects() {
+        crate::counter("report_t.counter", 3);
+        crate::gauge_set("report_t.gauge", 0.5);
+        crate::hist_record("report_t.hist", 120);
+        {
+            let _g = crate::span("report_t_span");
+        }
+        let out = render_jsonl(&crate::snapshot());
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Balanced quotes and braces are a cheap structural check that
+            // does not need a full JSON parser.
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+        }
+        assert!(out.contains("\"kind\":\"counter\""));
+        assert!(out.contains("\"name\":\"report_t.counter\",\"value\":3"));
+    }
+
+    #[test]
+    fn human_report_mentions_all_sections() {
+        crate::counter("report_h.counter", 1);
+        crate::gauge_set("report_h.gauge", 2.0);
+        crate::hist_record("report_h.hist", 10);
+        {
+            let _g = crate::span("report_h_span");
+        }
+        let out = render_human(&crate::snapshot());
+        assert!(out.contains("spans:"));
+        assert!(out.contains("counters:"));
+        assert!(out.contains("gauges:"));
+        assert!(out.contains("histograms:"));
+        assert!(out.contains("report_h.counter"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Hierarchical span timers with RAII guards.
+//!
+//! A span is opened with [`crate::span`] (or the `span!` macro) and closed
+//! when its guard drops. Nesting is tracked per thread: opening `"candgen"`
+//! while `"run_task"` is active records under the dotted path
+//! `run_task.candgen`. Aggregation is by path, so repeated invocations of
+//! the same stage fold into one [`crate::SpanSummary`].
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::registry::span_stat;
+
+thread_local! {
+    /// Stack of currently-open span names on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span; records elapsed time on drop.
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+    /// Depth this guard pushed at, to tolerate out-of-order drops.
+    depth: usize,
+}
+
+/// Open a span named `name`, nested under any span already open on this
+/// thread. The span closes (and its duration is recorded) when the returned
+/// guard is dropped.
+pub fn span(name: &str) -> SpanGuard {
+    let (path, depth) = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}.{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        (path, stack.len())
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+        depth,
+    }
+}
+
+impl SpanGuard {
+    /// The full dotted path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let stat = span_stat(&self.path);
+        stat.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stat.total_us
+            .fetch_add(us, std::sync::atomic::Ordering::Relaxed);
+        stat.max_us
+            .fetch_max(us, std::sync::atomic::Ordering::Relaxed);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normal case: we are the innermost open span. If guards were
+            // dropped out of declaration order, truncate to our depth so the
+            // stack cannot grow unboundedly.
+            if stack.len() >= self.depth {
+                stack.truncate(self.depth - 1);
+            }
+        });
+    }
+}
+
+/// Run `f` inside a span named `name` and return its result together with
+/// the measured wall time. This is the bridge for code (like the pipeline's
+/// `Timings` struct) that wants the duration as a value, not only as
+/// registry state.
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let guard = span(name);
+    let start = guard.start;
+    let out = f();
+    drop(guard);
+    (out, start.elapsed())
+}
+
+/// Open a span for the rest of the enclosing scope:
+/// `let _g = span!("candgen");` — or, with no binding, `span!("x" => expr)`
+/// times just that expression.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr => $body:expr) => {{
+        let _guard = $crate::span($name);
+        $body
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_dotted_paths() {
+        crate::reset();
+        {
+            let _outer = span("outer_t");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("inner_t");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let snap = crate::snapshot();
+        let outer = snap.span("outer_t").expect("outer recorded");
+        let inner = snap.span("outer_t.inner_t").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_us >= inner.total_us);
+        assert!(inner.total_us >= 900, "{}", inner.total_us);
+    }
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, d) = timed("timed_t", || {
+            std::thread::sleep(Duration::from_millis(1));
+            41 + 1
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn macro_expression_form() {
+        let v = span!("macro_t" => 7 * 6);
+        assert_eq!(v, 42);
+    }
+}

@@ -25,8 +25,7 @@ const SECTION_TAGS: &[&str] = &["section", "sec"];
 
 /// Tags treated as transparent containers (recursed into).
 const CONTAINER_TAGS: &[&str] = &[
-    "html", "body", "article", "main", "ul", "ol", "dl", "abstract", "front", "back", "div",
-    "head",
+    "html", "body", "article", "main", "ul", "ol", "dl", "abstract", "front", "back", "div", "head",
 ];
 
 fn is_inline(tag: &str) -> bool {
@@ -409,7 +408,10 @@ mod tests {
             .find(|s| s.structural.tag == "h1")
             .expect("h1 sentence");
         assert_eq!(h1_sent.structural.attr("class"), Some("title"));
-        assert!(h1_sent.structural.ancestor_tags.contains(&"body".to_string()));
+        assert!(h1_sent
+            .structural
+            .ancestor_tags
+            .contains(&"body".to_string()));
         assert_eq!(h1_sent.structural.parent_tag, "body");
         assert_eq!(h1_sent.structural.next_sibling_tag.as_deref(), Some("p"));
         let td_sent = d
@@ -417,7 +419,10 @@ mod tests {
             .iter()
             .find(|s| s.structural.tag == "td")
             .expect("td sentence");
-        assert!(td_sent.structural.ancestor_tags.contains(&"table".to_string()));
+        assert!(td_sent
+            .structural
+            .ancestor_tags
+            .contains(&"table".to_string()));
     }
 
     #[test]

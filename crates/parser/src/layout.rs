@@ -7,9 +7,7 @@
 //! simulates the conversion noise real PDF tooling introduces, which
 //! Fonduer is designed to recover from via redundant modalities.
 
-use fonduer_datamodel::{
-    BBox, ContextRef, Document, ParagraphId, SentenceId, TableId, WordVisual,
-};
+use fonduer_datamodel::{BBox, ContextRef, Document, ParagraphId, SentenceId, TableId, WordVisual};
 use fonduer_nlp::fnv1a;
 
 /// Page geometry and styling knobs for the layout engine.
@@ -106,7 +104,10 @@ pub fn layout(doc: &mut Document, opts: &LayoutOptions) {
     let mut engine = Engine {
         doc,
         opts: opts.clone(),
-        cur: Cursor { page: 1, y: opts.margin },
+        cur: Cursor {
+            page: 1,
+            y: opts.margin,
+        },
     };
     for si in 0..engine.doc.sections.len() {
         let children = engine.doc.sections[si].children.clone();
@@ -301,11 +302,19 @@ mod tests {
     #[test]
     fn headers_are_large_and_bold() {
         let d = laid_out();
-        let h1 = d.sentences.iter().find(|s| s.structural.tag == "h1").unwrap();
+        let h1 = d
+            .sentences
+            .iter()
+            .find(|s| s.structural.tag == "h1")
+            .unwrap();
         let v = &h1.visual.as_ref().unwrap()[0];
         assert!(v.bold);
         assert_eq!(v.font_size, 16.0);
-        let p = d.sentences.iter().find(|s| s.structural.tag == "p").unwrap();
+        let p = d
+            .sentences
+            .iter()
+            .find(|s| s.structural.tag == "p")
+            .unwrap();
         assert!(!p.visual.as_ref().unwrap()[0].bold);
     }
 
@@ -336,7 +345,11 @@ mod tests {
     #[test]
     fn long_text_wraps_lines() {
         let d = laid_out();
-        let p = d.sentences.iter().find(|s| s.structural.tag == "p").unwrap();
+        let p = d
+            .sentences
+            .iter()
+            .find(|s| s.structural.tag == "p")
+            .unwrap();
         let v = p.visual.as_ref().unwrap();
         let first_y = v[0].bbox.y0;
         assert!(

@@ -35,6 +35,7 @@ pub use layout::{layout, LayoutOptions};
 pub use markup::{decode_entities, parse, Element, Node};
 
 use fonduer_datamodel::{DocFormat, Document};
+use fonduer_observe as observe;
 
 /// Options for end-to-end document parsing.
 #[derive(Debug, Clone, Default)]
@@ -51,7 +52,13 @@ pub fn parse_document(
     format: DocFormat,
     opts: &ParseOptions,
 ) -> Document {
+    let _span = observe::span("parse_doc");
+    let start = std::time::Instant::now();
     let mut doc = ingest(name, markup_text, format);
     layout(&mut doc, &opts.layout);
+    observe::hist_record("parse.doc_us", start.elapsed().as_micros() as u64);
+    observe::counter("parser.documents", 1);
+    observe::counter("parser.sentences", doc.sentences.len() as u64);
+    observe::counter("parser.tables", doc.tables.len() as u64);
     doc
 }

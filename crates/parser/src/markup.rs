@@ -172,13 +172,19 @@ pub fn parse(input: &str) -> Vec<Node> {
         if bytes[i] == b'<' {
             // Comment?
             if input[i..].starts_with("<!--") {
-                let end = input[i..].find("-->").map(|p| i + p + 3).unwrap_or(input.len());
+                let end = input[i..]
+                    .find("-->")
+                    .map(|p| i + p + 3)
+                    .unwrap_or(input.len());
                 i = end;
                 continue;
             }
             // Doctype / processing instruction: skip to '>'.
             if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
-                let end = input[i..].find('>').map(|p| i + p + 1).unwrap_or(input.len());
+                let end = input[i..]
+                    .find('>')
+                    .map(|p| i + p + 1)
+                    .unwrap_or(input.len());
                 i = end;
                 continue;
             }
@@ -255,7 +261,10 @@ fn parse_tag_contents(inner: &str) -> (String, Vec<(String, String)>) {
         while i < chars.len() && chars[i] != '=' && !chars[i].is_whitespace() {
             i += 1;
         }
-        let name: String = chars[name_start..i].iter().collect::<String>().to_lowercase();
+        let name: String = chars[name_start..i]
+            .iter()
+            .collect::<String>()
+            .to_lowercase();
         if name.is_empty() {
             i += 1;
             continue;

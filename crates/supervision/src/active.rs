@@ -26,7 +26,11 @@ fn rank_by<F: Fn(usize) -> f64>(n: usize, score: F) -> Vec<Ranked> {
             score: score(i),
         })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -61,7 +65,11 @@ pub fn coverage_gap_sampling(l: &LabelMatrix, marginals: &[f64]) -> Vec<Ranked> 
             score: 0.5 - (marginals[i] - 0.5).abs(),
         })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 

@@ -92,10 +92,7 @@ impl std::fmt::Debug for LabelingFunction {
 }
 
 /// Filter a LF library down to one side of the Figure 8 split.
-pub fn filter_by_metadata(
-    lfs: &[LabelingFunction],
-    metadata: bool,
-) -> Vec<&LabelingFunction> {
+pub fn filter_by_metadata(lfs: &[LabelingFunction], metadata: bool) -> Vec<&LabelingFunction> {
     lfs.iter()
         .filter(|lf| lf.modality.is_metadata() == metadata)
         .collect()
@@ -104,7 +101,7 @@ pub fn filter_by_metadata(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fonduer_datamodel::{DocFormat, DocId, Span, SentenceId};
+    use fonduer_datamodel::{DocFormat, DocId, SentenceId, Span};
 
     fn dummy() -> (Document, Candidate) {
         (

@@ -26,13 +26,30 @@ impl LabelMatrix {
 
     /// Apply a LF library to every candidate.
     pub fn apply(lfs: &[&LabelingFunction], corpus: &Corpus, cands: &CandidateSet) -> Self {
+        let _span = fonduer_observe::span("lf_apply");
         let mut m = Self::zeros(cands.len(), lfs.len());
+        let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
         for (i, cand) in cands.candidates.iter().enumerate() {
             let doc = corpus.doc(cand.doc);
             for (j, lf) in lfs.iter().enumerate() {
-                m.set(i, j, lf.label(doc, cand));
+                let v = lf.label(doc, cand);
+                match v {
+                    1 => pos += 1,
+                    -1 => neg += 1,
+                    _ => abstain += 1,
+                }
+                m.set(i, j, v);
             }
         }
+        fonduer_observe::counter("supervision.votes.positive", pos);
+        fonduer_observe::counter("supervision.votes.negative", neg);
+        fonduer_observe::counter("supervision.votes.abstain", abstain);
+        fonduer_observe::counter(
+            "supervision.rows_covered",
+            (0..m.n_rows)
+                .filter(|&i| m.row(i).iter().any(|&v| v != 0))
+                .count() as u64,
+        );
         m
     }
 
@@ -94,9 +111,7 @@ impl LabelMatrix {
         }
         let mut both = 0usize;
         for i in 0..self.n_rows {
-            if self.get(i, j) != 0
-                && (0..self.n_cols).any(|k| k != j && self.get(i, k) != 0)
-            {
+            if self.get(i, j) != 0 && (0..self.n_cols).any(|k| k != j && self.get(i, k) != 0) {
                 both += 1;
             }
         }
@@ -113,9 +128,7 @@ impl LabelMatrix {
         for i in 0..self.n_rows {
             let v = self.get(i, j);
             if v != 0
-                && (0..self.n_cols).any(|k| {
-                    k != j && self.get(i, k) != 0 && self.get(i, k) != v
-                })
+                && (0..self.n_cols).any(|k| k != j && self.get(i, k) != 0 && self.get(i, k) != v)
             {
                 conf += 1;
             }

@@ -90,6 +90,7 @@ impl Default for GenerativeOptions {
 impl GenerativeModel {
     /// Fit by EM on a label matrix.
     pub fn fit(l: &LabelMatrix, opts: &GenerativeOptions) -> Self {
+        let _span = fonduer_observe::span("gen_fit");
         let n = l.n_rows();
         let m = l.n_cols();
         let mut acc = vec![opts.init_accuracy; m];
@@ -180,6 +181,7 @@ impl GenerativeModel {
                 *p = model.predict_row(l.row(i));
             }
         }
+        fonduer_observe::gauge_set("supervision.gen_prior", prior);
         Self {
             accuracies: acc,
             prop_pos,
@@ -190,7 +192,9 @@ impl GenerativeModel {
 
     /// Probabilistic labels for every candidate: `P(y_i = +1 | Λ_i)`.
     pub fn predict(&self, l: &LabelMatrix) -> Vec<f64> {
-        (0..l.n_rows()).map(|i| self.predict_row(l.row(i))).collect()
+        (0..l.n_rows())
+            .map(|i| self.predict_row(l.row(i)))
+            .collect()
     }
 
     /// Posterior for one label row.
@@ -292,8 +296,16 @@ mod tests {
     fn recovers_lf_accuracies() {
         let (l, _) = world(&[0.9, 0.85, 0.6, 0.55], &[0.8, 0.7, 0.8, 0.6]);
         let m = GenerativeModel::fit(&l, &GenerativeOptions::default());
-        assert!(m.accuracies[0] > m.accuracies[2] + 0.05, "{:?}", m.accuracies);
-        assert!(m.accuracies[1] > m.accuracies[3] + 0.05, "{:?}", m.accuracies);
+        assert!(
+            m.accuracies[0] > m.accuracies[2] + 0.05,
+            "{:?}",
+            m.accuracies
+        );
+        assert!(
+            m.accuracies[1] > m.accuracies[3] + 0.05,
+            "{:?}",
+            m.accuracies
+        );
     }
 
     #[test]

@@ -104,7 +104,8 @@ pub fn generate_ads(cfg: &AdsConfig) -> SynthDataset {
         gold,
         ADS_RELATIONS.iter().map(|s| s.to_string()).collect(),
     );
-    ds.dictionaries.insert("first_names".to_string(), names_dict);
+    ds.dictionaries
+        .insert("first_names".to_string(), names_dict);
     ds.dictionaries.insert("cities".to_string(), cities_dict);
     ds
 }
@@ -124,7 +125,14 @@ fn render_ad(rng: &mut StdRng, ad: &Ad, kind: AdKind) -> String {
     // what the SRV baseline's HTML features key on.
     let domain = rng.gen_range(0..30u32);
     let title_words = [
-        "Sweet", "Gorgeous", "New in town", "VIP", "Upscale", "Exotic", "Stunning", "Sexy",
+        "Sweet",
+        "Gorgeous",
+        "New in town",
+        "VIP",
+        "Upscale",
+        "Exotic",
+        "Stunning",
+        "Sexy",
     ];
     let title = format!(
         "{} {} available tonight",
@@ -267,11 +275,7 @@ mod tests {
     fn phone_text_is_present_and_normalized_consistently() {
         let ds = small();
         for (doc_name, args) in ds.gold.tuples("ad_price") {
-            let (_, doc) = ds
-                .corpus
-                .iter()
-                .find(|(_, d)| &d.name == doc_name)
-                .unwrap();
+            let (_, doc) = ds.corpus.iter().find(|(_, d)| &d.name == doc_name).unwrap();
             let text: String = doc
                 .sentences
                 .iter()

@@ -147,7 +147,10 @@ pub fn generate_electronics(cfg: &ElectronicsConfig) -> SynthDataset {
     let mut ds = SynthDataset::new(
         corpus,
         gold,
-        ELECTRONICS_RELATIONS.iter().map(|s| s.to_string()).collect(),
+        ELECTRONICS_RELATIONS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     );
     ds.dictionaries.insert("parts".to_string(), parts_dict);
     ds
@@ -176,7 +179,11 @@ fn render_datasheet(
     };
     let ic_label = pick(
         rng,
-        &["Collector current", "DC collector current", "Collector current (DC)"],
+        &[
+            "Collector current",
+            "DC collector current",
+            "Collector current (DC)",
+        ],
     );
     let vceo_label = pick(
         rng,
@@ -232,137 +239,200 @@ fn render_datasheet(
             (vcbo_label.to_string(), "VCBO", r.vcbo.to_string(), "V"),
             (vebo_label.to_string(), "VEBO", r.vebo.to_string(), "V"),
             (ic_label.to_string(), "IC", r.ic_ma.to_string(), "mA"),
-            ("Total power dissipation".to_string(), "Ptot", "330".to_string(), "mW"),
-            ("Junction temperature".to_string(), "Tj", "150".to_string(), "°C"),
-            ("Storage temperature".to_string(), "Tstg", interval.clone(), "°C"),
+            (
+                "Total power dissipation".to_string(),
+                "Ptot",
+                "330".to_string(),
+                "mW",
+            ),
+            (
+                "Junction temperature".to_string(),
+                "Tj",
+                "150".to_string(),
+                "°C",
+            ),
+            (
+                "Storage temperature".to_string(),
+                "Tstg",
+                interval.clone(),
+                "°C",
+            ),
         ];
         for i in 0..lines.len() {
             let j = rng.gen_range(i..lines.len());
             lines.swap(i, j);
         }
         for (label, symbol, value, unit) in lines {
-            html.push_str(&format!("<p class=\"flatrow\">{label} {symbol} {value} {unit}</p>\n"));
+            html.push_str(&format!(
+                "<p class=\"flatrow\">{label} {symbol} {value} {unit}</p>\n"
+            ));
         }
     } else {
-    html.push_str("<table class=\"ratings\">\n");
+        html.push_str("<table class=\"ratings\">\n");
 
-    let row = |cells: &[(&str, &str)]| -> String {
-        let mut s = String::from("<tr>");
-        for (tag, content) in cells {
-            s.push_str(&format!("<{tag}>{content}</{tag}>"));
-        }
-        s.push_str("</tr>\n");
-        s
-    };
-    // Header row.
-    match template {
-        0 => html.push_str(&row(&[
-            ("th", "Parameter"),
-            ("th", "Symbol"),
-            ("th", "Value"),
-            ("th", "Unit"),
-        ])),
-        1 => html.push_str(&row(&[
-            ("th", "Symbol"),
-            ("th", "Parameter"),
-            ("th", "Value"),
-            ("th", "Unit"),
-        ])),
-        _ => html.push_str(&row(&[
-            ("th", "Parameter"),
-            ("th", "Symbol"),
-            ("th", "Value"),
-        ])),
-    }
-    // Optional Type row putting part numbers inside the table (table scope).
-    if table_scope {
-        let mut s = String::from("<tr><td>Type</td>");
-        let span = match template {
-            2 => 2,
-            _ => 3,
+        let row = |cells: &[(&str, &str)]| -> String {
+            let mut s = String::from("<tr>");
+            for (tag, content) in cells {
+                s.push_str(&format!("<{tag}>{content}</{tag}>"));
+            }
+            s.push_str("</tr>\n");
+            s
         };
-        s.push_str(&format!(
-            "<td colspan=\"{span}\">{}</td></tr>\n",
-            parts.join(" ")
-        ));
-        html.push_str(&s);
-    }
-    // Relation rows.
-    fn data_row(
-        html: &mut String,
-        template: u32,
-        label: &str,
-        symbol: &str,
-        value: String,
-        unit: &str,
-    ) {
-        let cells: Vec<(&str, String)> = match template {
-            0 => vec![
-                ("td", label.to_string()),
-                ("td", symbol.to_string()),
-                ("td", value),
-                ("td", unit.to_string()),
-            ],
-            1 => vec![
-                ("td", symbol.to_string()),
-                ("td", label.to_string()),
-                ("td", value),
-                ("td", unit.to_string()),
-            ],
-            _ => vec![
-                ("td", label.to_string()),
-                ("td", symbol.to_string()),
-                ("td", format!("{value} {unit}")),
-            ],
-        };
-        html.push_str("<tr>");
-        for (tag, content) in cells {
-            html.push_str(&format!("<{tag}>{content}</{tag}>"));
+        // Header row.
+        match template {
+            0 => html.push_str(&row(&[
+                ("th", "Parameter"),
+                ("th", "Symbol"),
+                ("th", "Value"),
+                ("th", "Unit"),
+            ])),
+            1 => html.push_str(&row(&[
+                ("th", "Symbol"),
+                ("th", "Parameter"),
+                ("th", "Value"),
+                ("th", "Unit"),
+            ])),
+            _ => html.push_str(&row(&[
+                ("th", "Parameter"),
+                ("th", "Symbol"),
+                ("th", "Value"),
+            ])),
         }
-        html.push_str("</tr>\n");
-    }
-    // Build logical rows, then shuffle: rating order varies by manufacturer.
-    let mut rows_html: Vec<String> = Vec::new();
-    let mut tmp = String::new();
-    data_row(&mut tmp, template, vceo_label, "VCEO", r.vceo.to_string(), "V");
-    rows_html.push(std::mem::take(&mut tmp));
-    data_row(&mut tmp, template, vcbo_label, "VCBO", r.vcbo.to_string(), "V");
-    rows_html.push(std::mem::take(&mut tmp));
-    data_row(&mut tmp, template, vebo_label, "VEBO", r.vebo.to_string(), "V");
-    rows_html.push(std::mem::take(&mut tmp));
-    data_row(&mut tmp, template, ic_label, "IC", r.ic_ma.to_string(), "mA");
-    rows_html.push(std::mem::take(&mut tmp));
-    // Spanning power-dissipation rows (Figure 1's Ptot with two conditions)
-    // stay adjacent as one logical unit.
-    if template != 2 {
-        rows_html.push(
-            "<tr><td rowspan=\"2\">Total power dissipation TS ≤ 60°C</td>\
+        // Optional Type row putting part numbers inside the table (table scope).
+        if table_scope {
+            let mut s = String::from("<tr><td>Type</td>");
+            let span = match template {
+                2 => 2,
+                _ => 3,
+            };
+            s.push_str(&format!(
+                "<td colspan=\"{span}\">{}</td></tr>\n",
+                parts.join(" ")
+            ));
+            html.push_str(&s);
+        }
+        // Relation rows.
+        fn data_row(
+            html: &mut String,
+            template: u32,
+            label: &str,
+            symbol: &str,
+            value: String,
+            unit: &str,
+        ) {
+            let cells: Vec<(&str, String)> = match template {
+                0 => vec![
+                    ("td", label.to_string()),
+                    ("td", symbol.to_string()),
+                    ("td", value),
+                    ("td", unit.to_string()),
+                ],
+                1 => vec![
+                    ("td", symbol.to_string()),
+                    ("td", label.to_string()),
+                    ("td", value),
+                    ("td", unit.to_string()),
+                ],
+                _ => vec![
+                    ("td", label.to_string()),
+                    ("td", symbol.to_string()),
+                    ("td", format!("{value} {unit}")),
+                ],
+            };
+            html.push_str("<tr>");
+            for (tag, content) in cells {
+                html.push_str(&format!("<{tag}>{content}</{tag}>"));
+            }
+            html.push_str("</tr>\n");
+        }
+        // Build logical rows, then shuffle: rating order varies by manufacturer.
+        let mut rows_html: Vec<String> = Vec::new();
+        let mut tmp = String::new();
+        data_row(
+            &mut tmp,
+            template,
+            vceo_label,
+            "VCEO",
+            r.vceo.to_string(),
+            "V",
+        );
+        rows_html.push(std::mem::take(&mut tmp));
+        data_row(
+            &mut tmp,
+            template,
+            vcbo_label,
+            "VCBO",
+            r.vcbo.to_string(),
+            "V",
+        );
+        rows_html.push(std::mem::take(&mut tmp));
+        data_row(
+            &mut tmp,
+            template,
+            vebo_label,
+            "VEBO",
+            r.vebo.to_string(),
+            "V",
+        );
+        rows_html.push(std::mem::take(&mut tmp));
+        data_row(
+            &mut tmp,
+            template,
+            ic_label,
+            "IC",
+            r.ic_ma.to_string(),
+            "mA",
+        );
+        rows_html.push(std::mem::take(&mut tmp));
+        // Spanning power-dissipation rows (Figure 1's Ptot with two conditions)
+        // stay adjacent as one logical unit.
+        if template != 2 {
+            rows_html.push(
+                "<tr><td rowspan=\"2\">Total power dissipation TS ≤ 60°C</td>\
              <td rowspan=\"2\">Ptot</td><td>330</td><td rowspan=\"2\">mW</td></tr>\n\
              <tr><td>250</td></tr>\n"
-                .to_string(),
+                    .to_string(),
+            );
+        } else {
+            rows_html.push(
+                "<tr><td>Total power dissipation</td><td>Ptot</td><td>330 mW</td></tr>\n"
+                    .to_string(),
+            );
+        }
+        data_row(
+            &mut tmp,
+            template,
+            "Junction temperature",
+            "Tj",
+            "150".to_string(),
+            "°C",
         );
-    } else {
-        rows_html
-            .push("<tr><td>Total power dissipation</td><td>Ptot</td><td>330 mW</td></tr>\n".to_string());
-    }
-    data_row(&mut tmp, template, "Junction temperature", "Tj", "150".to_string(), "°C");
-    rows_html.push(std::mem::take(&mut tmp));
-    data_row(&mut tmp, template, "Storage temperature", "Tstg", interval, "°C");
-    rows_html.push(std::mem::take(&mut tmp));
-    for i in 0..rows_html.len() {
-        let j = rng.gen_range(i..rows_html.len());
-        rows_html.swap(i, j);
-    }
-    for row_html in rows_html {
-        html.push_str(&row_html);
-    }
-    html.push_str("</table>\n");
+        rows_html.push(std::mem::take(&mut tmp));
+        data_row(
+            &mut tmp,
+            template,
+            "Storage temperature",
+            "Tstg",
+            interval,
+            "°C",
+        );
+        rows_html.push(std::mem::take(&mut tmp));
+        for i in 0..rows_html.len() {
+            let j = rng.gen_range(i..rows_html.len());
+            rows_html.swap(i, j);
+        }
+        for row_html in rows_html {
+            html.push_str(&row_html);
+        }
+        html.push_str("</table>\n");
     }
 
     // Distractor table: numbers in the same ranges, none of them gold.
     html.push_str("<h2>Electrical Characteristics</h2>\n");
     html.push_str("<table class=\"characteristics\">\n");
-    html.push_str("<tr><th>Parameter</th><th>Symbol</th><th>Min</th><th>Max</th><th>Unit</th></tr>\n");
+    html.push_str(
+        "<tr><th>Parameter</th><th>Symbol</th><th>Min</th><th>Max</th><th>Unit</th></tr>\n",
+    );
     let hfe_min = 40 + 10 * rng.gen_range(0..8u32);
     let hfe_max = hfe_min + 100 + 10 * rng.gen_range(0..20u32);
     html.push_str(&format!(

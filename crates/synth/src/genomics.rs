@@ -228,12 +228,12 @@ mod tests {
         // appear outside tables.
         for (_, d) in ds.corpus.iter() {
             for s in &d.sentences {
-                let in_table = d.table_of_sentence(
-                    fonduer_datamodel::SentenceId(s.abs_position),
-                ).is_some();
-                let has_rsid = s.words.iter().any(|w| w.starts_with("rs")
-                    && w.len() > 4
-                    && w[2..].chars().all(|c| c.is_ascii_digit()));
+                let in_table = d
+                    .table_of_sentence(fonduer_datamodel::SentenceId(s.abs_position))
+                    .is_some();
+                let has_rsid = s.words.iter().any(|w| {
+                    w.starts_with("rs") && w.len() > 4 && w[2..].chars().all(|c| c.is_ascii_digit())
+                });
                 if has_rsid {
                     assert!(in_table, "rs-id outside table in {}", d.name);
                 }
@@ -259,7 +259,8 @@ mod tests {
         assert_eq!(ds.gold.len("snp_phenotype"), ds.gold.len("snp_population"));
         for (doc, args) in ds.gold.tuples("snp_phenotype") {
             assert!(args[0].starts_with("rs"), "{doc}: {args:?}");
-            assert!(ds.dictionary("phenotypes")
+            assert!(ds
+                .dictionary("phenotypes")
                 .iter()
                 .any(|p| crate::gold::normalize_value(p) == args[1]));
         }

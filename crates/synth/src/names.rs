@@ -21,55 +21,140 @@ pub const PART_SUFFIXES: &[&str] = &["", "", "", "A", "B", "C", "L", "S", "W", "
 
 /// Manufacturer names used in datasheet footers and headers.
 pub const MANUFACTURERS: &[&str] = &[
-    "Infineon", "Fairchild", "OnSemi", "Nexperia", "Diodes", "Rohm", "Toshiba", "Panasonic",
-    "Vishay", "STMicro", "Microsemi", "Central", "KEC", "UTC", "Jiangsu", "Sanyo", "Hitachi",
-    "Samsung", "NXP", "Motorola",
+    "Infineon",
+    "Fairchild",
+    "OnSemi",
+    "Nexperia",
+    "Diodes",
+    "Rohm",
+    "Toshiba",
+    "Panasonic",
+    "Vishay",
+    "STMicro",
+    "Microsemi",
+    "Central",
+    "KEC",
+    "UTC",
+    "Jiangsu",
+    "Sanyo",
+    "Hitachi",
+    "Samsung",
+    "NXP",
+    "Motorola",
 ];
 
 /// US cities for the ADS domain.
 pub const CITIES: &[&str] = &[
-    "Phoenix", "Seattle", "Denver", "Atlanta", "Boston", "Dallas", "Miami", "Portland",
-    "Chicago", "Houston", "Austin", "Tampa", "Orlando", "Sacramento", "Cleveland", "Detroit",
-    "Memphis", "Nashville", "Tucson", "Fresno", "Omaha", "Tulsa", "Wichita", "Reno",
+    "Phoenix",
+    "Seattle",
+    "Denver",
+    "Atlanta",
+    "Boston",
+    "Dallas",
+    "Miami",
+    "Portland",
+    "Chicago",
+    "Houston",
+    "Austin",
+    "Tampa",
+    "Orlando",
+    "Sacramento",
+    "Cleveland",
+    "Detroit",
+    "Memphis",
+    "Nashville",
+    "Tucson",
+    "Fresno",
+    "Omaha",
+    "Tulsa",
+    "Wichita",
+    "Reno",
 ];
 
 /// First names for the ADS domain.
 pub const FIRST_NAMES: &[&str] = &[
-    "Amber", "Brooke", "Candy", "Destiny", "Eve", "Faith", "Gina", "Holly", "Ivy", "Jade",
-    "Kira", "Lola", "Mia", "Nina", "Paris", "Ruby", "Sasha", "Tia", "Vera", "Zoe",
+    "Amber", "Brooke", "Candy", "Destiny", "Eve", "Faith", "Gina", "Holly", "Ivy", "Jade", "Kira",
+    "Lola", "Mia", "Nina", "Paris", "Ruby", "Sasha", "Tia", "Vera", "Zoe",
 ];
 
 /// Dinosaur and other fossil taxa for the PALEO domain.
 pub const TAXA: &[&str] = &[
-    "Tyrannosaurus rex", "Triceratops horridus", "Allosaurus fragilis", "Stegosaurus stenops",
-    "Diplodocus carnegii", "Velociraptor mongoliensis", "Brachiosaurus altithorax",
-    "Ankylosaurus magniventris", "Parasaurolophus walkeri", "Spinosaurus aegyptiacus",
-    "Apatosaurus ajax", "Carnotaurus sastrei", "Deinonychus antirrhopus",
-    "Edmontosaurus regalis", "Gallimimus bullatus", "Herrerasaurus ischigualastensis",
-    "Iguanodon bernissartensis", "Kentrosaurus aethiopicus", "Maiasaura peeblesorum",
+    "Tyrannosaurus rex",
+    "Triceratops horridus",
+    "Allosaurus fragilis",
+    "Stegosaurus stenops",
+    "Diplodocus carnegii",
+    "Velociraptor mongoliensis",
+    "Brachiosaurus altithorax",
+    "Ankylosaurus magniventris",
+    "Parasaurolophus walkeri",
+    "Spinosaurus aegyptiacus",
+    "Apatosaurus ajax",
+    "Carnotaurus sastrei",
+    "Deinonychus antirrhopus",
+    "Edmontosaurus regalis",
+    "Gallimimus bullatus",
+    "Herrerasaurus ischigualastensis",
+    "Iguanodon bernissartensis",
+    "Kentrosaurus aethiopicus",
+    "Maiasaura peeblesorum",
     "Pachycephalosaurus wyomingensis",
 ];
 
 /// Geologic formations for the PALEO domain.
 pub const FORMATIONS: &[&str] = &[
-    "Hell Creek Formation", "Morrison Formation", "Judith River Formation",
-    "Two Medicine Formation", "Dinosaur Park Formation", "Nemegt Formation",
-    "Djadochta Formation", "Tendaguru Formation", "Lance Formation", "Cloverly Formation",
-    "Kirtland Formation", "Oldman Formation", "Wessex Formation", "Yixian Formation",
-    "Ischigualasto Formation", "Elliot Formation", "Kayenta Formation", "Chinle Formation",
-    "Fruitland Formation", "Horseshoe Canyon Formation",
+    "Hell Creek Formation",
+    "Morrison Formation",
+    "Judith River Formation",
+    "Two Medicine Formation",
+    "Dinosaur Park Formation",
+    "Nemegt Formation",
+    "Djadochta Formation",
+    "Tendaguru Formation",
+    "Lance Formation",
+    "Cloverly Formation",
+    "Kirtland Formation",
+    "Oldman Formation",
+    "Wessex Formation",
+    "Yixian Formation",
+    "Ischigualasto Formation",
+    "Elliot Formation",
+    "Kayenta Formation",
+    "Chinle Formation",
+    "Fruitland Formation",
+    "Horseshoe Canyon Formation",
 ];
 
 /// Geologic periods / stages.
 pub const PERIODS: &[&str] = &[
-    "Maastrichtian", "Campanian", "Kimmeridgian", "Tithonian", "Albian", "Aptian", "Cenomanian",
-    "Turonian", "Santonian", "Norian", "Carnian", "Hettangian",
+    "Maastrichtian",
+    "Campanian",
+    "Kimmeridgian",
+    "Tithonian",
+    "Albian",
+    "Aptian",
+    "Cenomanian",
+    "Turonian",
+    "Santonian",
+    "Norian",
+    "Carnian",
+    "Hettangian",
 ];
 
 /// Countries / regions for formation locations.
 pub const COUNTRIES: &[&str] = &[
-    "Montana", "Wyoming", "Alberta", "Mongolia", "Tanzania", "Argentina", "China", "England",
-    "South Africa", "Arizona", "Utah", "New Mexico",
+    "Montana",
+    "Wyoming",
+    "Alberta",
+    "Mongolia",
+    "Tanzania",
+    "Argentina",
+    "China",
+    "England",
+    "South Africa",
+    "Arizona",
+    "Utah",
+    "New Mexico",
 ];
 
 /// Skeletal elements measured in PALEO tables. Exactly seven, matching the
@@ -80,31 +165,73 @@ pub const ELEMENTS: &[&str] = &[
 
 /// SNP reference ids for the GENOMICS domain.
 pub const RSIDS: &[&str] = &[
-    "rs7903146", "rs1801282", "rs5219", "rs7754840", "rs10811661", "rs4402960", "rs1111875",
-    "rs13266634", "rs10010131", "rs7578597", "rs864745", "rs12779790", "rs7756992",
-    "rs9300039", "rs8050136", "rs9939609", "rs1421085", "rs6548238", "rs10938397",
-    "rs7498665", "rs2815752", "rs713586", "rs543874", "rs987237", "rs7359397", "rs10767664",
-    "rs2241423", "rs1558902", "rs571312", "rs29941",
+    "rs7903146",
+    "rs1801282",
+    "rs5219",
+    "rs7754840",
+    "rs10811661",
+    "rs4402960",
+    "rs1111875",
+    "rs13266634",
+    "rs10010131",
+    "rs7578597",
+    "rs864745",
+    "rs12779790",
+    "rs7756992",
+    "rs9300039",
+    "rs8050136",
+    "rs9939609",
+    "rs1421085",
+    "rs6548238",
+    "rs10938397",
+    "rs7498665",
+    "rs2815752",
+    "rs713586",
+    "rs543874",
+    "rs987237",
+    "rs7359397",
+    "rs10767664",
+    "rs2241423",
+    "rs1558902",
+    "rs571312",
+    "rs29941",
 ];
 
 /// Gene symbols for the GENOMICS domain.
 pub const GENES: &[&str] = &[
-    "TCF7L2", "PPARG", "KCNJ11", "CDKAL1", "CDKN2A", "IGF2BP2", "HHEX", "SLC30A8", "WFS1",
-    "THADA", "JAZF1", "CDC123", "FTO", "MC4R", "TMEM18", "GNPDA2", "SH2B1", "NEGR1", "RBJ",
-    "SEC16B", "TFAP2B", "BDNF", "MAP2K5", "GPRC5B", "NRXN3", "MTCH2", "PRKD1", "QPCTL",
+    "TCF7L2", "PPARG", "KCNJ11", "CDKAL1", "CDKN2A", "IGF2BP2", "HHEX", "SLC30A8", "WFS1", "THADA",
+    "JAZF1", "CDC123", "FTO", "MC4R", "TMEM18", "GNPDA2", "SH2B1", "NEGR1", "RBJ", "SEC16B",
+    "TFAP2B", "BDNF", "MAP2K5", "GPRC5B", "NRXN3", "MTCH2", "PRKD1", "QPCTL",
 ];
 
 /// Human phenotypes (traits) studied in GWAS papers.
 pub const PHENOTYPES: &[&str] = &[
-    "type 2 diabetes", "body mass index", "obesity", "height", "coronary artery disease",
-    "rheumatoid arthritis", "Crohn disease", "hypertension", "bipolar disorder",
-    "type 1 diabetes", "breast cancer", "prostate cancer", "asthma", "glaucoma",
-    "ulcerative colitis", "celiac disease",
+    "type 2 diabetes",
+    "body mass index",
+    "obesity",
+    "height",
+    "coronary artery disease",
+    "rheumatoid arthritis",
+    "Crohn disease",
+    "hypertension",
+    "bipolar disorder",
+    "type 1 diabetes",
+    "breast cancer",
+    "prostate cancer",
+    "asthma",
+    "glaucoma",
+    "ulcerative colitis",
+    "celiac disease",
 ];
 
 /// Populations mentioned in GWAS abstracts.
 pub const POPULATIONS: &[&str] = &[
-    "European", "East Asian", "African American", "Hispanic", "South Asian", "Finnish",
+    "European",
+    "East Asian",
+    "African American",
+    "Hispanic",
+    "South Asian",
+    "Finnish",
 ];
 
 #[cfg(test)]
@@ -119,8 +246,20 @@ mod tests {
             assert_eq!(set.len(), pool.len(), "duplicate in pool");
         }
         for pool in [
-            PART_PREFIXES, PART_STEMS, MANUFACTURERS, CITIES, FIRST_NAMES, TAXA, FORMATIONS,
-            PERIODS, COUNTRIES, ELEMENTS, RSIDS, GENES, PHENOTYPES, POPULATIONS,
+            PART_PREFIXES,
+            PART_STEMS,
+            MANUFACTURERS,
+            CITIES,
+            FIRST_NAMES,
+            TAXA,
+            FORMATIONS,
+            PERIODS,
+            COUNTRIES,
+            ELEMENTS,
+            RSIDS,
+            GENES,
+            PHENOTYPES,
+            POPULATIONS,
         ] {
             check(pool);
         }

@@ -203,7 +203,9 @@ fn render_paper(
     } else {
         "Table 1. Measurements of the holotype specimen (mm).".to_string()
     };
-    html.push_str(&format!("<table class=\"meas\"><caption>{caption}</caption>\n"));
+    html.push_str(&format!(
+        "<table class=\"meas\"><caption>{caption}</caption>\n"
+    ));
     html.push_str("<tr><th>Element</th><th>Length</th></tr>\n");
     for (e, m) in ELEMENTS.iter().zip(measurements) {
         html.push_str(&format!("<tr><td>{e}</td><td>{m}</td></tr>\n"));

@@ -48,14 +48,14 @@ fn main() {
     println!("\nLF diagnostics (coverage / overlap / conflict / empirical accuracy):");
     for (j, lf) in task.lfs.iter().enumerate() {
         let (mut correct, mut total, mut plus) = (0usize, 0usize, 0usize);
-        for i in 0..lm.n_rows() {
+        for (i, &gf) in gold_flags.iter().enumerate() {
             let v = lm.get(i, j);
             if v != 0 {
                 total += 1;
                 if v == 1 {
                     plus += 1;
                 }
-                if (v == 1) == gold_flags[i] {
+                if (v == 1) == gf {
                     correct += 1;
                 }
             }
@@ -95,7 +95,10 @@ fn main() {
     let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
     println!(
         "\nend-to-end: P={:.2} R={:.2} F1={:.2} ({} predicted tuples in KB)",
-        out.metrics.precision, out.metrics.recall, out.metrics.f1, out.kb.len()
+        out.metrics.precision,
+        out.metrics.recall,
+        out.metrics.f1,
+        out.kb.len()
     );
     // Show a few errors on the held-out split.
     let mut shown = 0;
@@ -115,6 +118,8 @@ fn main() {
             );
         }
     }
+
+    fonduer::observe::emit_report();
 }
 
 fn build(domain: &str, relation: &str) -> (SynthDataset, Task) {

@@ -32,7 +32,11 @@ fn main() {
         let ex = genomics::extractor(&ds, "snp_phenotype", scope);
         let reach = reachable_tuples(&ds.corpus, &ex);
         let m = oracle_upper_bound(&reach, &gold);
-        println!("  scope {label:<9} reachable tuples={:<5} recall={:.2}", reach.len(), m.recall);
+        println!(
+            "  scope {label:<9} reachable tuples={:<5} recall={:.2}",
+            reach.len(),
+            m.recall
+        );
     }
 
     // Full pipeline + the Table 3 comparison against a simulated curated KB

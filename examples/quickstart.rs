@@ -48,7 +48,12 @@ fn main() {
     // data model (structure + a simulated visual rendering).
     let mut corpus = Corpus::new("quickstart");
     for (name, html) in SHEETS {
-        corpus.add(parse_document(name, html, DocFormat::Pdf, &Default::default()));
+        corpus.add(parse_document(
+            name,
+            html,
+            DocFormat::Pdf,
+            &Default::default(),
+        ));
     }
     println!(
         "parsed {} documents, {} sentences, {} words",
@@ -110,4 +115,6 @@ fn main() {
         out.label_coverage * 100.0
     );
     println!("\nExtracted knowledge base:\n{}", out.kb.to_tsv());
+
+    fonduer::observe::emit_report();
 }

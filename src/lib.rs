@@ -18,7 +18,9 @@
 //! * [`nn`] — LSTM/attention substrate;
 //! * [`learning`] — the multimodal LSTM and baselines;
 //! * [`core`] — the end-to-end pipeline, evaluation, and the paper's four
-//!   domain task definitions.
+//!   domain task definitions;
+//! * [`observe`] — structured tracing, counters, and per-stage telemetry
+//!   (enable reports with the `FONDUER_TRACE` environment variable).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use fonduer_features as features;
 pub use fonduer_learning as learning;
 pub use fonduer_nlp as nlp;
 pub use fonduer_nn as nn;
+pub use fonduer_observe as observe;
 pub use fonduer_parser as parser;
 pub use fonduer_supervision as supervision;
 pub use fonduer_synth as synth;
@@ -62,8 +65,7 @@ pub mod prelude {
     };
     pub use fonduer_core::{
         compare_with_existing_kb, eval_tuples, oracle_upper_bound, reachable_tuples, run_task,
-        ErrorBuckets, KnowledgeBase, Learner, LfReport, PipelineConfig, PipelineOutput, PrF1,
-        Task,
+        ErrorBuckets, KnowledgeBase, Learner, LfReport, PipelineConfig, PipelineOutput, PrF1, Task,
     };
     pub use fonduer_datamodel::{
         Corpus, DocFormat, Document, DocumentBuilder, SentenceData, Span, SpanRef,

@@ -1,0 +1,59 @@
+//! End-to-end telemetry check: one `run_task` over a synthetic electronics
+//! corpus must emit spans for all five pipeline stages and non-zero counters
+//! from the parser, candidate, feature, and supervision layers.
+
+use fonduer::observe;
+use fonduer::prelude::*;
+use fonduer_core::domains::electronics;
+
+#[test]
+fn run_task_emits_stage_spans_and_layer_counters() {
+    observe::reset();
+
+    // Parsing the synthetic corpus already exercises the parser/nlp layers.
+    let ds = Domain::Electronics.generate(16, 7);
+    let relation = "max_ce_voltage";
+    let task = Task {
+        extractor: electronics::extractor(&ds, relation, ContextScope::Document)
+            .with_throttler(electronics::default_throttler(relation)),
+        lfs: electronics::lfs(relation),
+    };
+    let cfg = PipelineConfig::default();
+    let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+    assert!(!out.candidates.candidates.is_empty());
+
+    let snap = observe::snapshot();
+
+    assert!(snap.spans.contains_key("run_task"), "missing run_task span");
+    for stage in ["candgen", "featurize", "supervise", "train", "infer"] {
+        let path = format!("run_task.{stage}");
+        let span = snap
+            .span(&path)
+            .unwrap_or_else(|| panic!("missing span {path}"));
+        assert!(span.count >= 1, "{path} recorded no calls");
+    }
+
+    // Non-zero counters from at least four instrumented crates.
+    for prefix in ["parser.", "candgen.", "features.", "supervision."] {
+        let total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(total > 0, "no non-zero counters under {prefix}");
+    }
+    assert!(snap.counter("infer.candidates") > 0);
+    assert!(snap.counter("train.epochs") > 0);
+
+    // The Timings view derived from the same spans stays self-consistent.
+    assert!(out.timings.total_ms() >= out.timings.candgen_ms());
+
+    // Both report renderers work off this snapshot.
+    let human = observe::render_human(&snap);
+    assert!(human.contains("run_task.candgen") || human.contains("candgen"));
+    let jsonl = observe::render_jsonl(&snap);
+    assert!(jsonl
+        .lines()
+        .any(|l| l.contains("\"path\":\"run_task.infer\"")));
+}

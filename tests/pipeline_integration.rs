@@ -29,7 +29,12 @@ fn corpus() -> Corpus {
     ];
     let mut c = Corpus::new("integration");
     for (name, html) in sheets {
-        c.add(parse_document(name, html, DocFormat::Pdf, &Default::default()));
+        c.add(parse_document(
+            name,
+            html,
+            DocFormat::Pdf,
+            &Default::default(),
+        ));
     }
     c
 }
@@ -77,7 +82,7 @@ fn manual_pipeline_composition() {
     // Phase 2: candidates.
     let cands = extractor().extract(&corpus);
     assert_eq!(cands.len(), 4); // a: 200,150; b: 100,300; never cross-doc
-    // Phase 3a: featurization.
+                                // Phase 3a: featurization.
     let featurizer = Featurizer::new(FeatureConfig::all());
     let feats = featurizer.featurize(&corpus, &cands);
     assert_eq!(feats.matrix.n_rows(), cands.len());

@@ -1,62 +1,98 @@
-//! Property-based tests over the core data structures and invariants,
+//! Randomized property tests over the core data structures and invariants,
 //! spanning crates: generated documents always validate, tokenization
 //! preserves offsets, alignment is sound, sparse representations agree,
 //! the generative model stays calibrated, and scopes nest.
+//!
+//! Cases are generated with the workspace's deterministic `StdRng` (seeded
+//! per test), so failures reproduce exactly; each property runs a fixed
+//! number of random cases in the spirit of property-based testing.
 
 use fonduer::prelude::*;
 use fonduer_datamodel::{assert_valid, ContextRef, DocumentBuilder, SentenceData};
 use fonduer_features::{CooMatrix, LilMatrix, SparseAccess};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// Strategy: a word of 1-8 alphanumeric characters.
-fn word() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[A-Za-z0-9°%$-]{1,8}").unwrap()
+const CASES: usize = 64;
+
+const WORD_CHARS: &[char] = &[
+    'A', 'B', 'C', 'x', 'y', 'z', 'M', 'T', '0', '1', '2', '9', '°', '%', '$', '-',
+];
+const TEXT_CHARS: &[char] = &[
+    'A', 'b', 'C', 'd', 'E', 'f', '0', '1', '5', '9', ' ', ' ', ' ', '.', ',', ';', ':', '(', ')',
+    '-', '~', '≤', '°',
+];
+const SOUP_CHARS: &[char] = &[
+    'a', 'Z', '0', '7', ' ', '<', '>', '/', '=', '"', 't', 'd', 'r', 'h', 'p',
+];
+
+fn chars_from(rng: &mut StdRng, alphabet: &[char], len: usize) -> String {
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
 }
 
-/// Strategy: free text made of words, punctuation, numbers, whitespace.
-fn text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[A-Za-z0-9 .,;:()\\-~≤°]{0,120}").unwrap()
+/// A word of 1-8 characters (letters, digits, units punctuation).
+fn word(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=8);
+    chars_from(rng, WORD_CHARS, len)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Free text of up to 120 characters: words, punctuation, numbers, spaces.
+fn text(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..=120);
+    chars_from(rng, TEXT_CHARS, len)
+}
 
-    #[test]
-    fn tokenizer_offsets_always_slice_back(s in text()) {
+#[test]
+fn tokenizer_offsets_always_slice_back() {
+    let mut rng = StdRng::seed_from_u64(0xF0);
+    for _ in 0..CASES {
+        let s = text(&mut rng);
         for tok in fonduer_nlp::tokenize(&s) {
-            prop_assert_eq!(&s[tok.start as usize..tok.end as usize], tok.text.as_str());
-            prop_assert!(!tok.text.is_empty());
-            prop_assert!(!tok.text.chars().next().unwrap().is_whitespace());
+            assert_eq!(&s[tok.start as usize..tok.end as usize], tok.text.as_str());
+            assert!(!tok.text.is_empty());
+            assert!(!tok.text.chars().next().unwrap().is_whitespace());
         }
     }
+}
 
-    #[test]
-    fn tokens_are_monotone_and_disjoint(s in text()) {
+#[test]
+fn tokens_are_monotone_and_disjoint() {
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    for _ in 0..CASES {
+        let s = text(&mut rng);
         let toks = fonduer_nlp::tokenize(&s);
         for w in toks.windows(2) {
-            prop_assert!(w[0].end <= w[1].start, "{:?} then {:?}", w[0], w[1]);
+            assert!(w[0].end <= w[1].start, "{:?} then {:?}", w[0], w[1]);
         }
     }
+}
 
-    #[test]
-    fn sentence_splitter_covers_text(s in text()) {
+#[test]
+fn sentence_splitter_covers_text() {
+    let mut rng = StdRng::seed_from_u64(0xF2);
+    for _ in 0..CASES {
+        let s = text(&mut rng);
         // Every sentence range is in bounds and ordered.
         let spans = fonduer_nlp::split_sentences(&s);
         let mut prev_end = 0;
         for (a, b) in spans {
-            prop_assert!(a <= b && b <= s.len());
-            prop_assert!(a >= prev_end);
+            assert!(a <= b && b <= s.len());
+            assert!(a >= prev_end);
             prev_end = b;
         }
     }
+}
 
-    #[test]
-    fn built_documents_always_validate(
-        rows in 1u32..5,
-        cols in 1u32..5,
-        sentences in proptest::collection::vec(
-            proptest::collection::vec(word(), 1..6), 1..6),
-    ) {
+#[test]
+fn built_documents_always_validate() {
+    let mut rng = StdRng::seed_from_u64(0xF3);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1u32..5);
+        let cols = rng.gen_range(1u32..5);
+        let sentences: Vec<Vec<String>> = (0..rng.gen_range(1..6))
+            .map(|_| (0..rng.gen_range(1..6)).map(|_| word(&mut rng)).collect())
+            .collect();
         let mut b = DocumentBuilder::new("prop", DocFormat::Html);
         let sec = b.section();
         let tb = b.text_block(sec);
@@ -77,46 +113,61 @@ proptest! {
         // Traversal invariants: every cell sentence resolves to its table.
         for sid in d.sentence_ids() {
             if let Some(cell) = d.cell_of_sentence(sid) {
-                prop_assert_eq!(d.cell(cell).table, fonduer_datamodel::TableId(0));
+                assert_eq!(d.cell(cell).table, fonduer_datamodel::TableId(0));
             }
         }
     }
+}
 
-    #[test]
-    fn parse_document_never_panics_and_validates(html in "[A-Za-z0-9 <>/=\"tdrhp]{0,300}") {
+#[test]
+fn parse_document_never_panics_and_validates() {
+    let mut rng = StdRng::seed_from_u64(0xF4);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..=300);
+        let html = chars_from(&mut rng, SOUP_CHARS, len);
         // Arbitrary tag soup must parse into a *valid* document.
         let d = parse_document("soup", &html, DocFormat::Html, &Default::default());
         assert_valid(&d);
     }
+}
 
-    #[test]
-    fn alignment_is_injective_and_correct(
-        original in proptest::collection::vec(word(), 0..30),
-        drop_mask in proptest::collection::vec(any::<bool>(), 0..30),
-    ) {
+#[test]
+fn alignment_is_injective_and_correct() {
+    let mut rng = StdRng::seed_from_u64(0xF5);
+    for _ in 0..CASES {
+        let original: Vec<String> = (0..rng.gen_range(0..30)).map(|_| word(&mut rng)).collect();
         // Converted = original with some words dropped: every mapped index
         // must point at an equal word, and mapping must be injective.
         let converted: Vec<String> = original
             .iter()
-            .zip(drop_mask.iter().chain(std::iter::repeat(&false)))
-            .filter(|(_, &drop)| !drop)
-            .map(|(w, _)| w.clone())
+            .filter(|_| !rng.gen::<bool>())
+            .cloned()
             .collect();
         let a = fonduer_parser::align_words(&original, &converted);
         let mut seen = std::collections::HashSet::new();
         for (i, m) in a.mapping.iter().enumerate() {
             if let Some(j) = m {
-                prop_assert_eq!(&converted[i], &original[*j]);
-                prop_assert!(seen.insert(*j), "mapping must be injective");
+                assert_eq!(&converted[i], &original[*j]);
+                assert!(seen.insert(*j), "mapping must be injective");
             }
         }
     }
+}
 
-    #[test]
-    fn sparse_representations_agree(
-        entries in proptest::collection::vec((0usize..50, 0u32..64, -2.0f32..2.0), 0..200)
-    ) {
-        prop_assume!(!entries.is_empty());
+#[test]
+fn sparse_representations_agree() {
+    let mut rng = StdRng::seed_from_u64(0xF6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..200);
+        let entries: Vec<(usize, u32, f32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..50),
+                    rng.gen_range(0u32..64),
+                    rng.gen_range(-2.0f32..2.0),
+                )
+            })
+            .collect();
         let mut lil = LilMatrix::new();
         let mut coo = CooMatrix::new();
         let mut max_row = 0;
@@ -126,62 +177,72 @@ proptest! {
             max_row = max_row.max(r);
         }
         for r in 0..=max_row {
-            prop_assert_eq!(lil.row_of(r), coo.row_of(r), "row {}", r);
+            assert_eq!(lil.row_of(r), coo.row_of(r), "row {}", r);
         }
-        prop_assert_eq!(coo.to_lil().row_of(max_row), lil.row_of(max_row));
+        assert_eq!(coo.to_lil().row_of(max_row), lil.row_of(max_row));
     }
+}
 
-    #[test]
-    fn generative_marginals_are_probabilities(
-        votes in proptest::collection::vec(
-            proptest::collection::vec(-1i8..=1, 4), 1..100)
-    ) {
-        let n = votes.len();
-        let mut lm = LabelMatrix::zeros(n, 4);
-        for (i, row) in votes.iter().enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                lm.set(i, j, v);
-            }
+fn random_votes(rng: &mut StdRng, rows: usize, cols: usize) -> LabelMatrix {
+    let mut lm = LabelMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            lm.set(i, j, rng.gen_range(-1i8..=1));
         }
+    }
+    lm
+}
+
+#[test]
+fn generative_marginals_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0xF7);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..100);
+        let lm = random_votes(&mut rng, n, 4);
         let gm = GenerativeModel::fit(&lm, &GenerativeOptions::default());
         for p in gm.predict(&lm) {
-            prop_assert!((0.0..=1.0).contains(&p), "{}", p);
-            prop_assert!(p.is_finite());
+            assert!((0.0..=1.0).contains(&p), "{}", p);
+            assert!(p.is_finite());
         }
         for a in &gm.accuracies {
-            prop_assert!((0.5..=0.98).contains(a));
+            assert!((0.5..=0.98).contains(a));
         }
     }
+}
 
-    #[test]
-    fn label_matrix_metrics_bounded(
-        votes in proptest::collection::vec(
-            proptest::collection::vec(-1i8..=1, 3), 1..50)
-    ) {
-        let mut lm = LabelMatrix::zeros(votes.len(), 3);
-        for (i, row) in votes.iter().enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                lm.set(i, j, v);
-            }
-        }
+#[test]
+fn label_matrix_metrics_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xF8);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..50);
+        let lm = random_votes(&mut rng, n, 3);
         for j in 0..3 {
             let (cov, ovl, cfl) = (lm.coverage(j), lm.overlap(j), lm.conflict(j));
-            prop_assert!((0.0..=1.0).contains(&cov));
-            prop_assert!(ovl <= cov + 1e-12, "overlap {} > coverage {}", ovl, cov);
-            prop_assert!(cfl <= ovl + 1e-12, "conflict {} > overlap {}", cfl, ovl);
+            assert!((0.0..=1.0).contains(&cov));
+            assert!(ovl <= cov + 1e-12, "overlap {} > coverage {}", ovl, cov);
+            assert!(cfl <= ovl + 1e-12, "conflict {} > overlap {}", cfl, ovl);
         }
     }
+}
 
-    #[test]
-    fn bce_loss_nonnegative_and_grad_bounded(z in -50.0f32..50.0, p in 0.0f32..1.0) {
+#[test]
+fn bce_loss_nonnegative_and_grad_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xF9);
+    for _ in 0..256 {
+        let z = rng.gen_range(-50.0f32..50.0);
+        let p = rng.gen_range(0.0f32..1.0);
         let (loss, grad) = fonduer_nn::bce_with_logit(z, p);
-        prop_assert!(loss >= -1e-5, "{}", loss);
-        prop_assert!(loss.is_finite());
-        prop_assert!((-1.0..=1.0).contains(&grad));
+        assert!(loss >= -1e-5, "{}", loss);
+        assert!(loss.is_finite());
+        assert!((-1.0..=1.0).contains(&grad));
     }
+}
 
-    #[test]
-    fn normalized_gold_matches_span_extraction(words in proptest::collection::vec(word(), 1..6)) {
+#[test]
+fn normalized_gold_matches_span_extraction() {
+    let mut rng = StdRng::seed_from_u64(0xFA);
+    for _ in 0..CASES {
+        let words: Vec<String> = (0..rng.gen_range(1..6)).map(|_| word(&mut rng)).collect();
         // A value written into a document and re-extracted as a span
         // normalizes to the same string the gold KB stores.
         let raw = words.join(" ");
@@ -195,7 +256,7 @@ proptest! {
         let d = b.finish();
         if n > 0 {
             let span = Span::new(fonduer_datamodel::SentenceId(0), 0, n);
-            prop_assert_eq!(
+            assert_eq!(
                 span.normalized_text(&d),
                 fonduer_synth::normalize_value(&raw)
             );

@@ -1,0 +1,92 @@
+//! Hermetic in-tree stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` for structured fork–join
+//! parallelism; since Rust 1.63 the standard library provides the same
+//! capability as `std::thread::scope`, so this crate is a thin adapter that
+//! preserves crossbeam's call shape (`scope(|s| ...)` returning a `Result`,
+//! spawn closures receiving the scope).
+//!
+//! Behavioral difference: if a worker panics, `std::thread::scope`
+//! propagates the panic at the end of the scope instead of returning `Err`,
+//! so the `Err` arm of the returned `Result` is never taken. Callers that
+//! `.expect()` the result (as this workspace does) observe identical
+//! behavior either way: a worker panic aborts the calling thread with the
+//! worker's payload.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped worker thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the worker and return its result (Err on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope. The closure receives the scope so
+    /// workers can spawn further workers (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// workers are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let mut results = Vec::new();
+        scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        })
+        .unwrap();
+        assert_eq!(results, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let out = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,97 @@
+//! Hermetic in-tree stand-in for the `parking_lot` crate.
+//!
+//! Provides `Mutex` and `RwLock` with parking_lot's non-poisoning API
+//! (`lock()`/`read()`/`write()` return guards directly), implemented over
+//! the standard-library primitives. Poisoning is converted to "keep going
+//! with the inner data" — the parking_lot contract — by unwrapping into the
+//! poisoned guard.
+
+#![warn(missing_docs)]
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// A mutual-exclusion lock that does not poison.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex and return its data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader–writer lock that does not poison.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new rwlock.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock and return its data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(5);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+    }
+}

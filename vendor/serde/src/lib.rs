@@ -1,0 +1,19 @@
+//! Hermetic in-tree stand-in for the `serde` crate.
+//!
+//! Supplies the `Serialize`/`Deserialize` names the workspace imports — as
+//! empty marker traits plus the no-op derives from the sibling
+//! `serde_derive` stub. The workspace annotates types for a future
+//! serialization backend but performs no serialization today, so nothing
+//! more is needed to compile offline. Replace with the real serde when a
+//! backend (serde_json, bincode, ...) joins the dependency tree.
+
+#![warn(missing_docs)]
+
+/// Marker for serializable types (no methods in this stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no methods in this stand-in).
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

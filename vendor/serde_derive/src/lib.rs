@@ -1,0 +1,25 @@
+//! Hermetic in-tree stand-in for `serde_derive`.
+//!
+//! The workspace tags its data-model types with
+//! `#[derive(Serialize, Deserialize)]` but never actually serializes them
+//! (there is no serde_json or bincode in the dependency tree, and the build
+//! environment is fully offline). These no-op derives keep the annotations
+//! compiling — they emit no code, which is exactly the amount of
+//! serialization the workspace performs. Swap back to the real crates when
+//! a serialization backend is introduced.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts (and ignores) `#[serde(...)]` helper
+/// attributes, emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts (and ignores) `#[serde(...)]` helper
+/// attributes, emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
