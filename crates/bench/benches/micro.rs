@@ -1,11 +1,14 @@
 //! Micro-benchmarks for the hot paths: tokenization, document parsing +
-//! layout, featurization (cached vs uncached), LSTM training step, and
-//! generative-model fitting.
+//! layout, candidate generation, featurization (cached vs uncached), LSTM
+//! training step, and generative-model fitting.
 //!
 //! Self-contained harness (no external bench framework): each target is
 //! warmed up, then timed for a fixed number of iterations; per-iteration
 //! latencies feed a `fonduer_observe` histogram so the report shows
-//! p50/p95/p99 alongside the mean.
+//! p50/p95/p99 alongside the mean. Results are also written as machine-
+//! readable JSON to `BENCH_micro.json` at the workspace root (override the
+//! path with `BENCH_MICRO_OUT`) so the perf trajectory is tracked across
+//! PRs.
 
 use fonduer_candidates::ContextScope;
 use fonduer_core::domains::electronics;
@@ -18,10 +21,23 @@ use fonduer_synth::Domain;
 use std::hint::black_box;
 use std::time::Instant;
 
+/// One benchmark's result line.
+struct BenchResult {
+    name: &'static str,
+    iters: usize,
+    ns_per_iter: f64,
+}
+
 /// Time `f` for `iters` iterations (after `warmup` unrecorded ones),
-/// recording each iteration into the histogram `micro.<name>_us` and
-/// printing a one-line summary.
-fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+/// recording each iteration into the histogram `micro.<name>_us`, printing
+/// a one-line summary, and appending the mean to `results`.
+fn bench<T>(
+    results: &mut Vec<BenchResult>,
+    name: &'static str,
+    warmup: usize,
+    iters: usize,
+    mut f: impl FnMut() -> T,
+) {
     for _ in 0..warmup {
         black_box(f());
     }
@@ -33,27 +49,33 @@ fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
         observe::hist_record(&hist, t.elapsed().as_micros() as u64);
     }
     let elapsed = total.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
     println!(
         "{name:<32} {iters:>5} iters  {:>12.1} µs/iter",
-        elapsed.as_micros() as f64 / iters as f64
+        ns_per_iter / 1e3
     );
+    results.push(BenchResult {
+        name,
+        iters,
+        ns_per_iter,
+    });
 }
 
-fn bench_tokenizer() {
+fn bench_tokenizer(results: &mut Vec<BenchResult>) {
     let text = "SMBT3904...MMBT3904 NPN Silicon Switching Transistors with 200 mA, \
                 VCEO 40 V, storage -65 ... 150 °C and DC gain 0.1 mA to 100 mA.";
-    bench("nlp/tokenize", 100, 1000, || {
+    bench(results, "nlp/tokenize", 100, 1000, || {
         fonduer_nlp::tokenize(black_box(text))
     });
 }
 
-fn bench_parse_and_layout() {
+fn bench_parse_and_layout(results: &mut Vec<BenchResult>) {
     // One representative datasheet's markup, parsed + laid out end to end.
     let html = r#"<h1>SMBT3904...MMBT3904</h1><p>NPN transistors.</p>
 <table><tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
 <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
 <tr><td>Junction temperature</td><td>Tj</td><td>150</td><td>°C</td></tr></table>"#;
-    bench("parser/parse_document", 20, 200, || {
+    bench(results, "parser/parse_document", 20, 200, || {
         fonduer_parser::parse_document(
             "d",
             black_box(html),
@@ -63,24 +85,36 @@ fn bench_parse_and_layout() {
     });
 }
 
-fn bench_featurize() {
+fn bench_candgen(results: &mut Vec<BenchResult>) {
+    // Document-scope cross-product extraction over a synthetic corpus —
+    // the provenance acceptance gate: this number must not move when the
+    // flight recorder is on (records are only assembled after inference,
+    // never inside extraction).
+    let ds = Domain::Electronics.generate(10, 7);
+    let ex = electronics::extractor(&ds, "has_collector_current", ContextScope::Document);
+    bench(results, "candidates/candgen", 2, 20, || {
+        ex.extract(&ds.corpus)
+    });
+}
+
+fn bench_featurize(results: &mut Vec<BenchResult>) {
     let ds = Domain::Electronics.generate(10, 7);
     let task_ex = electronics::extractor(&ds, "has_collector_current", ContextScope::Document);
     let cands = task_ex.extract(&ds.corpus);
     let cached = Featurizer::default();
-    bench("features/featurize/cached", 2, 10, || {
+    bench(results, "features/featurize/cached", 2, 10, || {
         cached.featurize(&ds.corpus, &cands)
     });
     let uncached = Featurizer {
         cache_enabled: false,
         ..Default::default()
     };
-    bench("features/featurize/uncached", 2, 10, || {
+    bench(results, "features/featurize/uncached", 2, 10, || {
         uncached.featurize(&ds.corpus, &cands)
     });
 }
 
-fn bench_model_step() {
+fn bench_model_step(results: &mut Vec<BenchResult>) {
     let ds = Domain::Electronics.generate(5, 7);
     let ex = electronics::extractor(&ds, "has_collector_current", ContextScope::Document);
     let cands = ex.extract(&ds.corpus);
@@ -90,7 +124,7 @@ fn bench_model_step() {
     let targets: Vec<f32> = (0..dataset.inputs.len())
         .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
         .collect();
-    bench("learning/train_epoch", 1, 10, || {
+    bench(results, "learning/train_epoch", 1, 10, || {
         let mut m = FonduerModel::new(
             ModelConfig {
                 epochs: 1,
@@ -105,7 +139,7 @@ fn bench_model_step() {
     });
 }
 
-fn bench_generative() {
+fn bench_generative(results: &mut Vec<BenchResult>) {
     let mut lm = LabelMatrix::zeros(5000, 12);
     for i in 0..5000 {
         for j in 0..12 {
@@ -117,18 +151,48 @@ fn bench_generative() {
             lm.set(i, j, v);
         }
     }
-    bench("supervision/generative_fit", 2, 10, || {
+    bench(results, "supervision/generative_fit", 2, 10, || {
         GenerativeModel::fit(&lm, &GenerativeOptions::default())
     });
 }
 
+/// Serialize results as a JSON array of `{name, iters, ns_per_iter}`.
+fn render_json(results: &[BenchResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\":\"{}\",\"iters\":{},\"ns_per_iter\":{}}}",
+                observe::json::escape(r.name),
+                r.iters,
+                observe::json::number(r.ns_per_iter),
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Where `BENCH_micro.json` goes: `BENCH_MICRO_OUT` if set, else the
+/// workspace root (two levels above this crate's manifest).
+fn out_path() -> String {
+    std::env::var("BENCH_MICRO_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json").into())
+}
+
 fn main() {
+    let mut results = Vec::new();
     let _root = observe::span!("micro");
-    bench_tokenizer();
-    bench_parse_and_layout();
-    bench_featurize();
-    bench_model_step();
-    bench_generative();
+    bench_tokenizer(&mut results);
+    bench_parse_and_layout(&mut results);
+    bench_candgen(&mut results);
+    bench_featurize(&mut results);
+    bench_model_step(&mut results);
+    bench_generative(&mut results);
     drop(_root);
+    let path = out_path();
+    match std::fs::write(&path, render_json(&results)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
     observe::emit_report();
 }

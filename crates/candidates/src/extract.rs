@@ -57,6 +57,32 @@ impl CandidateExtractor {
             .collect()
     }
 
+    /// `"<type>:<matcher kind>"` per schema argument, in order — the
+    /// matcher column of a provenance record.
+    pub fn matcher_names(&self) -> Vec<String> {
+        self.types
+            .iter()
+            .map(|t| format!("{}:{}", t.name, t.matcher.kind()))
+            .collect()
+    }
+
+    /// Throttler names in application order. Unnamed throttlers get a
+    /// positional `t<i>` label so the list stays aligned with the chain.
+    pub fn throttler_names(&self) -> Vec<String> {
+        self.throttlers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let n = t.name();
+                if n == "throttler" {
+                    format!("t{i}")
+                } else {
+                    n.to_string()
+                }
+            })
+            .collect()
+    }
+
     /// Extract candidates from one document.
     pub fn extract_doc(&self, doc_id: DocId, doc: &Document) -> Vec<Candidate> {
         let start = std::time::Instant::now();
@@ -72,9 +98,11 @@ impl CandidateExtractor {
             // so the hot recursion stays a plain slice write.
             let mut drops = vec![0u64; self.throttlers.len()];
             self.cross_product(doc, doc_id, &mentions, &mut tuple, &mut out, &mut drops);
-            for (i, &d) in drops.iter().enumerate() {
-                if d > 0 {
-                    observe::counter(&format!("candgen.throttled.t{i}"), d);
+            if drops.iter().any(|&d| d > 0) {
+                for (label, &d) in self.throttler_names().iter().zip(&drops) {
+                    if d > 0 {
+                        observe::counter(&format!("candgen.throttled.{label}"), d);
+                    }
                 }
             }
         }
@@ -244,6 +272,21 @@ mod tests {
             ],
         );
         assert!(ex.extract(&c).is_empty());
+    }
+
+    #[test]
+    fn matcher_and_throttler_names_for_provenance() {
+        let ex = extractor(ContextScope::Document)
+            .with_throttler(Box::new(crate::throttler::NamedThrottler::new(
+                "same_row",
+                Box::new(FnThrottler(|_: &Document, _: &Candidate| true)),
+            )))
+            .with_throttler(Box::new(FnThrottler(|_: &Document, _: &Candidate| true)));
+        assert_eq!(
+            ex.matcher_names(),
+            vec!["part:dictionary", "current:number_range"]
+        );
+        assert_eq!(ex.throttler_names(), vec!["same_row", "t1"]);
     }
 
     #[test]

@@ -26,4 +26,6 @@ pub use matcher::{
     UnionMatcher,
 };
 pub use scope::ContextScope;
-pub use throttler::{FnThrottler, Throttler, ThrottlerChain, UniformPruneThrottler};
+pub use throttler::{
+    FnThrottler, NamedThrottler, Throttler, ThrottlerChain, UniformPruneThrottler,
+};

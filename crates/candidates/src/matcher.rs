@@ -20,6 +20,12 @@ pub trait Matcher: Send + Sync {
     fn max_tokens(&self) -> usize {
         1
     }
+
+    /// Short matcher-kind descriptor used by provenance records
+    /// (e.g. `"dictionary"`, `"number_range"`).
+    fn kind(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Declaration of one mention type in a relation schema: a name plus the
@@ -105,6 +111,10 @@ impl Matcher for DictionaryMatcher {
     fn max_tokens(&self) -> usize {
         self.max_tokens
     }
+
+    fn kind(&self) -> &'static str {
+        "dictionary"
+    }
 }
 
 /// Matches single numeric tokens whose value lies in `[min, max]`
@@ -137,6 +147,10 @@ impl Matcher for NumberRangeMatcher {
             Ok(v) => v >= self.min && v <= self.max,
             Err(_) => false,
         }
+    }
+
+    fn kind(&self) -> &'static str {
+        "number_range"
     }
 }
 
@@ -192,6 +206,10 @@ impl Matcher for UnionMatcher {
             .map(|c| c.max_tokens())
             .max()
             .unwrap_or(1)
+    }
+
+    fn kind(&self) -> &'static str {
+        "union"
     }
 }
 

@@ -13,6 +13,12 @@ use fonduer_datamodel::Document;
 pub trait Throttler: Send + Sync {
     /// `true` keeps the candidate, `false` prunes it.
     fn keep(&self, doc: &Document, cand: &Candidate) -> bool;
+
+    /// Name surfaced in provenance records and drop counters. Wrap a
+    /// throttler in [`NamedThrottler`] to override the default.
+    fn name(&self) -> &str {
+        "throttler"
+    }
 }
 
 /// Wraps a closure as a throttler.
@@ -24,6 +30,33 @@ where
 {
     fn keep(&self, doc: &Document, cand: &Candidate) -> bool {
         (self.0)(doc, cand)
+    }
+}
+
+/// Attaches a human-readable name to any throttler so provenance records
+/// can say *which* rule pruned a candidate.
+pub struct NamedThrottler {
+    name: String,
+    inner: Box<dyn Throttler>,
+}
+
+impl NamedThrottler {
+    /// Name `inner` as `name`.
+    pub fn new(name: impl Into<String>, inner: Box<dyn Throttler>) -> Self {
+        Self {
+            name: name.into(),
+            inner,
+        }
+    }
+}
+
+impl Throttler for NamedThrottler {
+    fn keep(&self, doc: &Document, cand: &Candidate) -> bool {
+        self.inner.keep(doc, cand)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -74,6 +107,10 @@ pub struct UniformPruneThrottler {
 }
 
 impl Throttler for UniformPruneThrottler {
+    fn name(&self) -> &str {
+        "uniform_prune"
+    }
+
     fn keep(&self, _doc: &Document, cand: &Candidate) -> bool {
         let mut key = Vec::with_capacity(16 + cand.mentions.len() * 12);
         key.extend_from_slice(&self.salt.to_le_bytes());
@@ -144,6 +181,23 @@ mod tests {
                 "frac={frac} observed={observed}"
             );
         }
+    }
+
+    #[test]
+    fn named_throttler_delegates_and_reports_name() {
+        let t = NamedThrottler::new(
+            "evens_only",
+            Box::new(FnThrottler(|_: &Document, c: &Candidate| {
+                c.mentions[0].sentence.0.is_multiple_of(2)
+            })),
+        );
+        assert_eq!(t.name(), "evens_only");
+        let d = dummy_doc();
+        assert!(t.keep(&d, &cand(2)));
+        assert!(!t.keep(&d, &cand(3)));
+        // Unwrapped throttlers keep the default name.
+        let plain = FnThrottler(|_: &Document, _: &Candidate| true);
+        assert_eq!(plain.name(), "throttler");
     }
 
     #[test]

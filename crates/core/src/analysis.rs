@@ -10,8 +10,22 @@
 
 use fonduer_candidates::CandidateSet;
 use fonduer_datamodel::Corpus;
-use fonduer_supervision::{LabelMatrix, LabelingFunction};
+use fonduer_supervision::{LabelMatrix, LabelingFunction, LfDiagnostics};
 use fonduer_synth::GoldKb;
+
+/// Gold membership flag for every candidate in `cands` (the adapter between
+/// the synth [`GoldKb`] and the gold-slice interface of
+/// [`fonduer_supervision::LfDiagnostics`]).
+pub fn gold_flags(corpus: &Corpus, cands: &CandidateSet, gold: &GoldKb) -> Vec<bool> {
+    cands
+        .candidates
+        .iter()
+        .map(|c| {
+            let d = corpus.doc(c.doc);
+            gold.contains(&cands.schema.name, &d.name, &c.arg_texts(d))
+        })
+        .collect()
+}
 
 /// Per-LF development metrics.
 #[derive(Debug, Clone)]
@@ -56,65 +70,32 @@ impl LfReport {
         assert_eq!(matrix.n_rows(), cands.len());
         assert_eq!(matrix.n_cols(), lfs.len());
         let has_gold = !gold.is_empty();
-        let gold_flags: Vec<bool> = if has_gold {
-            cands
-                .candidates
-                .iter()
-                .map(|c| {
-                    let d = corpus.doc(c.doc);
-                    gold.contains(&cands.schema.name, &d.name, &c.arg_texts(d))
-                })
-                .collect()
+        let flags;
+        let gold_opt = if has_gold {
+            flags = gold_flags(corpus, cands, gold);
+            Some(flags.as_slice())
         } else {
-            Vec::new()
+            None
         };
+        let names: Vec<String> = lfs.iter().map(|lf| lf.name.clone()).collect();
+        let diag = LfDiagnostics::compute(&names, matrix, gold_opt);
         let rows = lfs
             .iter()
-            .enumerate()
-            .map(|(j, lf)| {
-                let mut positives = 0;
-                let mut negatives = 0;
-                let mut correct = 0;
-                // gold_flags is empty when !has_gold, so it can't drive
-                // the iteration itself.
-                #[allow(clippy::needless_range_loop)]
-                for i in 0..matrix.n_rows() {
-                    match matrix.get(i, j) {
-                        1 => {
-                            positives += 1;
-                            if has_gold && gold_flags[i] {
-                                correct += 1;
-                            }
-                        }
-                        -1 => {
-                            negatives += 1;
-                            if has_gold && !gold_flags[i] {
-                                correct += 1;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                let voted = positives + negatives;
-                LfRow {
-                    name: lf.name.clone(),
-                    modality: lf.modality.label(),
-                    coverage: matrix.coverage(j),
-                    overlap: matrix.overlap(j),
-                    conflict: matrix.conflict(j),
-                    positives,
-                    negatives,
-                    empirical_accuracy: if has_gold && voted > 0 {
-                        Some(correct as f64 / voted as f64)
-                    } else {
-                        None
-                    },
-                }
+            .zip(diag.rows)
+            .map(|(lf, d)| LfRow {
+                name: d.name,
+                modality: lf.modality.label(),
+                coverage: d.coverage,
+                overlap: d.overlap,
+                conflict: d.conflict,
+                positives: d.positives,
+                negatives: d.negatives,
+                empirical_accuracy: d.empirical_accuracy,
             })
             .collect();
         Self {
             rows,
-            total_coverage: matrix.total_coverage(),
+            total_coverage: diag.total_coverage,
         }
     }
 

@@ -6,7 +6,7 @@ use super::*;
 use crate::pipeline::Task;
 use fonduer_candidates::Candidate;
 use fonduer_candidates::{
-    CandidateExtractor, ContextScope, DictionaryMatcher, FnThrottler, MentionType,
+    CandidateExtractor, ContextScope, DictionaryMatcher, FnThrottler, MentionType, NamedThrottler,
     NumberRangeMatcher, RelationSchema,
 };
 use fonduer_datamodel::Document;
@@ -96,18 +96,19 @@ pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> Candidate
 /// The default throttler (Example 3.4's style): keep candidates whose value
 /// is in a table, or whose sentence carries the unit / symbol (covers the
 /// rare in-sentence statements).
-pub fn default_throttler(
-    rel: &'static str,
-) -> Box<FnThrottler<impl Fn(&Document, &Candidate) -> bool>> {
+pub fn default_throttler(rel: &'static str) -> Box<NamedThrottler> {
     let s = spec(rel);
-    Box::new(FnThrottler(move |doc: &Document, cand: &Candidate| {
-        let v = arg(cand, 1);
-        if in_table(doc, v) {
-            return true;
-        }
-        let words = sentence_words(doc, v);
-        any_in(&words, &[s.unit, s.sym])
-    }))
+    Box::new(NamedThrottler::new(
+        "value_in_table_or_unit_sentence",
+        Box::new(FnThrottler(move |doc: &Document, cand: &Candidate| {
+            let v = arg(cand, 1);
+            if in_table(doc, v) {
+                return true;
+            }
+            let words = sentence_words(doc, v);
+            any_in(&words, &[s.unit, s.sym])
+        })),
+    ))
 }
 
 /// The LF library for one ELECTRONICS relation (16 LFs on average per the

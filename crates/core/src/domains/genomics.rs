@@ -240,17 +240,20 @@ pub fn ternary_task(ds: &SynthDataset) -> Task {
     )
     // Throttler: the SNP and gene must share a table row, taming the
     // three-way cross-product (paper §4.1's combinatorial-explosion knob).
-    .with_throttler(Box::new(fonduer_candidates::FnThrottler(
-        |doc: &Document, cand: &Candidate| {
-            let (a, b) = (cell_of(doc, arg(cand, 0)), cell_of(doc, arg(cand, 1)));
-            match (a, b) {
-                (Some(ca), Some(cb)) => {
-                    let (ca, cb) = (doc.cell(ca), doc.cell(cb));
-                    ca.table == cb.table && ca.row_start == cb.row_start
+    .with_throttler(Box::new(fonduer_candidates::NamedThrottler::new(
+        "snp_gene_same_row",
+        Box::new(fonduer_candidates::FnThrottler(
+            |doc: &Document, cand: &Candidate| {
+                let (a, b) = (cell_of(doc, arg(cand, 0)), cell_of(doc, arg(cand, 1)));
+                match (a, b) {
+                    (Some(ca), Some(cb)) => {
+                        let (ca, cb) = (doc.cell(ca), doc.cell(cb));
+                        ca.table == cb.table && ca.row_start == cb.row_start
+                    }
+                    _ => false,
                 }
-                _ => false,
-            }
-        },
+            },
+        )),
     )));
     let mut lfs: Vec<LabelingFunction> = Vec::new();
     table_side_lfs("snp_gene_phenotype", &mut lfs);

@@ -81,9 +81,12 @@ pub fn extractor(ds: &SynthDataset, rel: &str, scope: ContextScope) -> Candidate
         .with_scope(scope)
         // Measurements only occur inside tables; prune free-text numbers
         // (specimen ids, years, coordinates).
-        .with_throttler(Box::new(FnThrottler(|doc: &Document, cand: &Candidate| {
-            in_table(doc, arg(cand, 1))
-        }))),
+        .with_throttler(Box::new(fonduer_candidates::NamedThrottler::new(
+            "measurement_in_table",
+            Box::new(FnThrottler(|doc: &Document, cand: &Candidate| {
+                in_table(doc, arg(cand, 1))
+            })),
+        ))),
         other => panic!("unknown PALEO relation {other}"),
     }
 }

@@ -10,7 +10,10 @@ use fonduer_features::{FeatureConfig, Featurizer};
 use fonduer_learning::{prepare, FonduerModel, LogRegModel, ModelConfig, ProbClassifier};
 use fonduer_nlp::{fnv1a, HashedVocab};
 use fonduer_observe as observe;
-use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction};
+use fonduer_observe::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
+use fonduer_supervision::{
+    GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction, LfDiagnostics,
+};
 use fonduer_synth::GoldKb;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -155,6 +158,9 @@ pub struct PipelineOutput {
     pub metrics: PrF1,
     /// Fraction of training candidates with at least one LF label.
     pub label_coverage: f64,
+    /// Per-LF error-analysis table over the training label matrix
+    /// (empirical accuracy included when `gold` was non-empty).
+    pub lf_diagnostics: LfDiagnostics,
     /// Stage timings.
     pub timings: Timings,
 }
@@ -252,6 +258,70 @@ pub fn run_task(
     });
     let (marginals, infer) = observe::timed("infer", || model.predict(&dataset.inputs));
     observe::counter("infer.candidates", marginals.len() as u64);
+
+    // LF error-analysis table over the training label matrix.
+    let lf_names: Vec<String> = task.lfs.iter().map(|lf| lf.name.clone()).collect();
+    let train_gold: Vec<bool> = train_idx
+        .iter()
+        .map(|&i| {
+            let c = &candidates.candidates[i];
+            let d = corpus.doc(c.doc);
+            gold.contains(&candidates.schema.name, &d.name, &c.arg_texts(d))
+        })
+        .collect();
+    let lf_diagnostics = LfDiagnostics::compute(
+        &lf_names,
+        &label_matrix,
+        (!gold.is_empty()).then_some(train_gold.as_slice()),
+    );
+    lf_diagnostics.publish_gauges();
+
+    // Flight recorder: one provenance record per kept candidate, tracing it
+    // from mention spans through throttling, LF votes, and feature mix to
+    // its marginal. Skipped entirely when FONDUER_PROVENANCE=0.
+    if observe::provenance::recording_enabled() {
+        let _span = observe::span("provenance");
+        observe::provenance::set_meta(ProvenanceMeta {
+            relation: candidates.schema.name.clone(),
+            arg_names: candidates.schema.arg_names.clone(),
+            matchers: task.extractor.matcher_names(),
+            scope: task.extractor.scope.label().to_string(),
+            throttlers: task.extractor.throttler_names(),
+            lf_names,
+        });
+        let mut train_row = vec![usize::MAX; candidates.candidates.len()];
+        for (k, &i) in train_idx.iter().enumerate() {
+            train_row[i] = k;
+        }
+        for (i, (c, &p)) in candidates.candidates.iter().zip(&marginals).enumerate() {
+            let doc = corpus.doc(c.doc);
+            let in_train = train_row[i] != usize::MAX;
+            observe::provenance::record(ProvenanceRecord {
+                doc: doc.name.clone(),
+                candidate_index: i,
+                mentions: c
+                    .mentions
+                    .iter()
+                    .map(|m| MentionProvenance {
+                        sentence: m.sentence.0,
+                        start: m.start,
+                        end: m.end,
+                        text: m.normalized_text(doc),
+                    })
+                    .collect(),
+                throttlers_passed: task.extractor.throttlers.len() as u32,
+                in_train,
+                lf_votes: if in_train {
+                    label_matrix.row(train_row[i]).to_vec()
+                } else {
+                    Vec::new()
+                },
+                feature_counts: feats.modality_counts(i),
+                marginal: p,
+            });
+        }
+    }
+
     finish(
         corpus,
         gold,
@@ -261,6 +331,7 @@ pub fn run_task(
         train_docs,
         test_docs,
         label_coverage,
+        lf_diagnostics,
         Timings {
             candgen,
             featurize,
@@ -281,6 +352,7 @@ fn finish(
     train_docs: BTreeSet<String>,
     test_docs: BTreeSet<String>,
     label_coverage: f64,
+    lf_diagnostics: LfDiagnostics,
     timings: Timings,
 ) -> PipelineOutput {
     let relation = candidates.schema.name.clone();
@@ -311,6 +383,7 @@ fn finish(
         test_docs,
         metrics,
         label_coverage,
+        lf_diagnostics,
         timings,
     }
 }

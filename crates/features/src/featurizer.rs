@@ -122,6 +122,19 @@ pub struct FeatureSet {
     pub stats: CacheStats,
 }
 
+impl FeatureSet {
+    /// Per-modality feature tally for candidate `row`: counts indexed as
+    /// [`MODALITIES`] (textual, structural, tabular, visual) plus a final
+    /// unclassified slot — the feature-mix column of a provenance record.
+    pub fn modality_counts(&self, row: usize) -> [u32; 5] {
+        let mut out = [0u32; 5];
+        for (col, _) in self.matrix.row(row) {
+            out[modality_index(self.vocab.name(*col)).unwrap_or(4)] += 1;
+        }
+        out
+    }
+}
+
 /// Multimodal featurizer.
 #[derive(Debug, Clone)]
 pub struct Featurizer {
@@ -383,6 +396,23 @@ mod tests {
         assert_eq!(with.vocab.len(), without.vocab.len());
         for r in 0..set.len() {
             assert_eq!(with.matrix.row_of(r), without.matrix.row_of(r));
+        }
+    }
+
+    #[test]
+    fn modality_counts_partition_each_row() {
+        let (c, set) = setup();
+        let fs = Featurizer::default().featurize(&c, &set);
+        use crate::sparse::SparseAccess;
+        for r in 0..set.len() {
+            let counts = fs.modality_counts(r);
+            let total: u32 = counts.iter().sum();
+            assert_eq!(total as usize, fs.matrix.row_of(r).len(), "row {r}");
+            // This fixture always emits textual and structural features,
+            // and the second argument sits in a table.
+            assert!(counts[0] > 0, "no textual features in row {r}");
+            assert!(counts[1] > 0, "no structural features in row {r}");
+            assert!(counts[2] > 0, "no tabular features in row {r}");
         }
     }
 

@@ -24,6 +24,6 @@ pub mod unary;
 pub use binary::binary_features;
 pub use config::FeatureConfig;
 pub use featurizer::{CacheStats, FeatureSet, FeatureVocab, Featurizer};
-pub use modality::{modality_of, MODALITIES};
+pub use modality::{modality_index, modality_of, MODALITIES};
 pub use sparse::{CooMatrix, LilMatrix, SparseAccess};
 pub use unary::unary_features;

@@ -77,9 +77,20 @@ pub trait ProbClassifier {
     /// Marginal probability that the candidate is a true relation mention.
     fn predict_one(&self, input: &CandidateInput) -> f32;
 
-    /// Marginals for a batch.
+    /// Marginals for a batch. Instrumented: the batch runs inside a
+    /// `model_predict` span and each marginal lands in the
+    /// `infer.marginal_permille` histogram, so the marginal distribution is
+    /// visible in every exporter without touching the caller.
     fn predict(&self, inputs: &[CandidateInput]) -> Vec<f32> {
-        inputs.iter().map(|i| self.predict_one(i)).collect()
+        let _span = fonduer_observe::span("model_predict");
+        let out: Vec<f32> = inputs.iter().map(|i| self.predict_one(i)).collect();
+        for &p in &out {
+            fonduer_observe::hist_record(
+                "infer.marginal_permille",
+                (p.clamp(0.0, 1.0) * 1000.0) as u64,
+            );
+        }
+        out
     }
 }
 

@@ -1,0 +1,357 @@
+//! Standard-format exporters over a [`Snapshot`]: Chrome `trace_event`
+//! JSON (loadable in `chrome://tracing` and Perfetto) and Prometheus text
+//! exposition (scrape-ready counters, gauges, and summaries).
+//!
+//! Both render from the same aggregated snapshot the human/JSONL reports
+//! use, so they cost nothing on the hot path. The Chrome exporter lays the
+//! span tree out as complete (`"ph":"X"`) events: each dotted path becomes
+//! one slice whose duration is the span's total inclusive time, nested
+//! under its parent with siblings placed sequentially — a flame-graph view
+//! of where the pipeline spent its wall clock.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::json;
+use crate::registry::Snapshot;
+
+/// Render the snapshot as a Chrome `trace_event` JSON document.
+///
+/// Spans become `"X"` (complete) events on one synthetic thread; counters
+/// become `"C"` events at t=0 so Perfetto shows them as tracks. Timestamps
+/// are synthetic (spans are aggregates, not individual invocations): roots
+/// are laid out sequentially from 0 and children sequentially from their
+/// parent's start, all in microseconds.
+pub fn render_chrome_trace(snap: &Snapshot) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(snap.spans.len() + snap.counters.len() + 1);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"fonduer\"}}"
+            .to_string(),
+    );
+    // BTreeMap iteration is lexicographic, so a parent path always precedes
+    // its children ("run_task" < "run_task.candgen").
+    let mut cursor: HashMap<&str, u64> = HashMap::new();
+    let mut root_cursor = 0u64;
+    for (path, s) in &snap.spans {
+        let parent = path.rsplit_once('.').map(|(p, _)| p);
+        let ts = match parent.and_then(|p| cursor.get(p).copied()) {
+            Some(t) => t,
+            None => root_cursor,
+        };
+        let leaf = path.rsplit('.').next().unwrap_or(path);
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"path\":\"{}\",\"count\":{},\
+             \"mean_us\":{},\"max_us\":{}}}}}",
+            json::escape(leaf),
+            ts,
+            s.total_us,
+            json::escape(path),
+            s.count,
+            json::number(s.mean_us()),
+            s.max_us,
+        ));
+        // Children of this span start where it starts; the next sibling
+        // starts where this span ends.
+        cursor.insert(path.as_str(), ts);
+        match parent.and_then(|p| cursor.get_mut(p)) {
+            Some(c) => *c = ts + s.total_us,
+            None => root_cursor = ts + s.total_us,
+        }
+    }
+    for (name, v) in &snap.counters {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\
+             \"args\":{{\"value\":{v}}}}}",
+            json::escape(name),
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        events.join(",\n")
+    )
+}
+
+/// Sanitize a metric name for Prometheus: `[a-zA-Z0-9_:]` only, prefixed
+/// with `fonduer_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("fonduer_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn prom_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges map directly; histograms export as summaries
+/// (`quantile` labels plus `_sum`/`_count`); spans export as three span
+/// metric families labeled by dotted `path`.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "# TYPE fonduer_span_total_us counter");
+        for (path, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "fonduer_span_total_us{{path=\"{}\"}} {}",
+                prom_label(path),
+                s.total_us
+            );
+        }
+        let _ = writeln!(out, "# TYPE fonduer_span_count counter");
+        for (path, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "fonduer_span_count{{path=\"{}\"}} {}",
+                prom_label(path),
+                s.count
+            );
+        }
+        let _ = writeln!(out, "# TYPE fonduer_span_max_us gauge");
+        for (path, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "fonduer_span_max_us{{path=\"{}\"}} {}",
+                prom_label(path),
+                s.max_us
+            );
+        }
+    }
+    out
+}
+
+/// Structural validation of a Prometheus text exposition: every
+/// non-comment line must be `name[{labels}] value` with a well-formed name
+/// and a parseable value. Returns the number of sample lines.
+///
+/// Used by the round-trip tests and the CI telemetry check; not a full
+/// parser (no timestamp support — this crate never emits timestamps).
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator", lineno + 1))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: bad value '{value}'", lineno + 1))?;
+        let name = match series.split_once('{') {
+            Some((n, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("line {}: unterminated labels", lineno + 1));
+                }
+                n
+            }
+            None => series,
+        };
+        let valid_name = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit());
+        if !valid_name {
+            return Err(format!("line {}: bad metric name '{name}'", lineno + 1));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::registry::{Snapshot, SpanSummary};
+    use crate::HistogramSummary;
+
+    /// A hand-built snapshot so tests do not race the global registry.
+    fn snap() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("candgen.candidates".into(), 42);
+        s.counters.insert("hostile\"name".into(), 7);
+        s.gauges.insert("train.epoch_loss".into(), 0.125);
+        s.histograms.insert(
+            "candgen.doc_us".into(),
+            HistogramSummary {
+                count: 10,
+                sum: 1000,
+                min: 50,
+                max: 200,
+                p50: 90,
+                p95: 180,
+                p99: 199,
+            },
+        );
+        for (path, total) in [
+            ("run_task", 1000),
+            ("run_task.candgen", 300),
+            ("run_task.featurize", 500),
+            ("run_task.featurize.inner", 100),
+        ] {
+            s.spans.insert(
+                path.into(),
+                SpanSummary {
+                    count: 1,
+                    total_us: total,
+                    max_us: total,
+                },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_nests() {
+        let out = render_chrome_trace(&snap());
+        let v = crate::json::parse(&out).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // 1 metadata + 4 spans + 2 counters.
+        assert_eq!(events.len(), 7);
+        let find = |path: &str| -> &Value {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("args")
+                        .and_then(|a| a.get("path"))
+                        .and_then(Value::as_str)
+                        == Some(path)
+                })
+                .unwrap_or_else(|| panic!("no event for {path}"))
+        };
+        let root_ts = find("run_task").get("ts").unwrap().as_f64().unwrap();
+        let candgen = find("run_task.candgen");
+        let featurize = find("run_task.featurize");
+        let inner = find("run_task.featurize.inner");
+        // Children start at the parent's start and siblings are sequential.
+        assert_eq!(candgen.get("ts").unwrap().as_f64(), Some(root_ts));
+        assert_eq!(featurize.get("ts").unwrap().as_f64(), Some(root_ts + 300.0));
+        assert_eq!(
+            inner.get("ts").unwrap().as_f64(),
+            featurize.get("ts").unwrap().as_f64()
+        );
+        // Every event has the required trace_event keys.
+        for e in events {
+            assert!(e.get("name").is_some() && e.get("ph").is_some() && e.get("pid").is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_names() {
+        let out = render_chrome_trace(&snap());
+        let v = crate::json::parse(&out).expect("hostile counter name must not break JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("hostile\"name")));
+    }
+
+    #[test]
+    fn prometheus_output_validates() {
+        let out = render_prometheus(&snap());
+        let samples = validate_prometheus(&out).expect("valid exposition");
+        // 2 counters + 1 gauge + 5 summary lines + 3 span families × 4 spans.
+        assert_eq!(samples, 2 + 1 + 5 + 12);
+        assert!(out.contains("# TYPE fonduer_candgen_candidates counter"));
+        assert!(out.contains("fonduer_candgen_candidates 42"));
+        assert!(out.contains("fonduer_candgen_doc_us{quantile=\"0.5\"} 90"));
+        assert!(out.contains("fonduer_span_total_us{path=\"run_task.candgen\"} 300"));
+        // Hostile characters sanitized out of metric names.
+        assert!(out.contains("fonduer_hostile_name 7"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut s = Snapshot::default();
+        s.spans.insert(
+            "weird\"path\\x".into(),
+            SpanSummary {
+                count: 1,
+                total_us: 1,
+                max_us: 1,
+            },
+        );
+        let out = render_prometheus(&s);
+        assert!(out.contains("path=\"weird\\\"path\\\\x\""));
+        validate_prometheus(&out).expect("escaped labels still validate");
+    }
+
+    #[test]
+    fn prometheus_non_finite_gauges() {
+        let mut s = Snapshot::default();
+        s.gauges.insert("bad".into(), f64::NAN);
+        s.gauges.insert("inf".into(), f64::INFINITY);
+        let out = render_prometheus(&s);
+        assert!(out.contains("fonduer_bad NaN"));
+        assert!(out.contains("fonduer_inf +Inf"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("9bad_name 1").is_err());
+        assert!(validate_prometheus("name notanumber").is_err());
+        assert!(validate_prometheus("name{unterminated 1").is_err());
+    }
+}

@@ -215,4 +215,54 @@ mod tests {
             assert!(rel <= 0.04, "v={v} mid={mid} rel={rel}");
         }
     }
+
+    /// Edge case (ISSUE 2 satellite): with one observation every quantile
+    /// must equal that observation — the clamp to `[min, max]` keeps the
+    /// bucket midpoint from leaking through.
+    #[test]
+    fn single_sample_quantiles() {
+        for &v in &[0u64, 1, 15, 16, 17, 12_345, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.summary();
+            assert_eq!(s.count, 1);
+            assert_eq!(s.sum, v);
+            assert_eq!((s.min, s.max), (v, v));
+            assert_eq!(s.p50, v, "p50 for {v}");
+            assert_eq!(s.p95, v, "p95 for {v}");
+            assert_eq!(s.p99, v, "p99 for {v}");
+        }
+    }
+
+    /// Edge case (ISSUE 2 satellite): values near `u64::MAX` must stay in
+    /// range of the bucket array and not overflow the midpoint math.
+    #[test]
+    fn near_u64_max_does_not_panic_or_overflow() {
+        let top = [u64::MAX, u64::MAX - 1, u64::MAX / 2, 1u64 << 63];
+        for &v in &top {
+            let idx = Histogram::index_of(v);
+            assert!(idx < N_BUCKETS, "index {idx} out of range for {v}");
+            // bucket_mid must not wrap: the midpoint of the top bucket is
+            // below its nominal upper bound even at the 2^63 decade.
+            let mid = Histogram::bucket_mid(idx);
+            assert!(mid >= 1u64 << 62, "suspiciously small midpoint {mid}");
+        }
+        let h = Histogram::new();
+        for &v in &top {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, u64::MAX / 2);
+        assert_eq!(s.max, u64::MAX);
+        assert!(s.p99 >= u64::MAX / 2);
+    }
+
+    /// Empty summary via the public registry path as well as directly.
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+    }
 }

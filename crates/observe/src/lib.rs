@@ -16,22 +16,37 @@
 //!   p50/p95/p99 summaries (`hist_record("parse.doc_us", us)`).
 //!
 //! [`snapshot()`] captures everything for programmatic inspection;
-//! [`emit_report()`] renders it as a human tree or JSON lines depending on
-//! the `FONDUER_TRACE` environment variable (`1` → tree, `json` → JSONL,
-//! unset → silent).
+//! [`emit_report()`] renders it per the `FONDUER_TRACE` environment
+//! variable (`1` → human tree, `json` → JSONL, `chrome` → Chrome
+//! `trace_event` JSON for Perfetto, `prom` → Prometheus text exposition,
+//! unset → silent), to stderr or to the file named by `FONDUER_TRACE_OUT`.
+//!
+//! On top of the metrics, the [`provenance`] module is a flight recorder
+//! for the KBC pipeline itself: a bounded ring buffer of per-candidate
+//! [`provenance::ProvenanceRecord`]s tracing every kept candidate from its
+//! mention spans and matchers through throttling, LF votes, and feature
+//! modality mix to its final marginal probability.
 
 #![warn(missing_docs)]
 
+mod export;
 mod hist;
+pub mod json;
+pub mod provenance;
 mod registry;
 mod report;
 mod span;
 
+pub use export::{render_chrome_trace, render_prometheus, validate_prometheus};
 pub use hist::{Histogram, HistogramSummary};
+pub use provenance::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
 pub use registry::{
     counter, gauge_get, gauge_set, hist_record, reset, snapshot, Counter, Snapshot, SpanSummary,
 };
-pub use report::{emit_report, render, render_human, render_jsonl, trace_mode, TraceMode};
+pub use report::{
+    emit_report, render, render_human, render_jsonl, trace_mode, trace_out_path, write_report,
+    TraceMode,
+};
 pub use span::{span, timed, SpanGuard};
 
 #[cfg(test)]

@@ -1,0 +1,476 @@
+//! Candidate provenance: the flight-recorder half of `fonduer-observe`.
+//!
+//! Timings and counters say *how long* a stage took; provenance says *why a
+//! specific candidate ended up in the knowledge base*. For every kept
+//! candidate the pipeline records a compact [`ProvenanceRecord`]: which
+//! document it came from, the mention spans and (via [`ProvenanceMeta`])
+//! the matcher that produced each one, the context scope and throttlers it
+//! survived, the per-LF votes it received, its per-modality feature-template
+//! counts, and its final marginal probability.
+//!
+//! Records flow into a bounded thread-safe ring buffer, so collection is
+//! O(1) per candidate and memory-capped: once the buffer holds
+//! [`DEFAULT_CAPACITY`] records (override with `FONDUER_PROVENANCE_CAP` or
+//! [`set_capacity`]), each new record evicts the oldest and the
+//! `provenance.evicted` counter ticks. Recording is on by default; set
+//! `FONDUER_PROVENANCE=0` (or call [`set_recording`]) to disable it
+//! entirely — the pipeline then skips record assembly altogether.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::json;
+
+/// Default ring-buffer capacity (records). Documented in the README; at
+/// roughly a few hundred bytes per record this bounds the recorder at a few
+/// megabytes.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Run-level provenance metadata, recorded once per pipeline run rather
+/// than per candidate: everything positional in a [`ProvenanceRecord`]
+/// resolves against these vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProvenanceMeta {
+    /// Relation name (the output table).
+    pub relation: String,
+    /// Schema argument names, in order.
+    pub arg_names: Vec<String>,
+    /// Mention-type (matcher) name that produces argument `i`'s mentions.
+    pub matchers: Vec<String>,
+    /// Context-scope label the extractor ran under.
+    pub scope: String,
+    /// Throttler names, in application order.
+    pub throttlers: Vec<String>,
+    /// Labeling-function names, in label-matrix column order.
+    pub lf_names: Vec<String>,
+}
+
+/// Provenance of one mention inside a candidate. The matcher that produced
+/// it is `meta.matchers[arg]` where `arg` is this mention's position in
+/// [`ProvenanceRecord::mentions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MentionProvenance {
+    /// Sentence index within the document.
+    pub sentence: u32,
+    /// First token (inclusive).
+    pub start: u32,
+    /// One past the last token.
+    pub end: u32,
+    /// Normalized span text (the KB-entry form).
+    pub text: String,
+}
+
+/// The flight-recorder entry for one kept candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Document name.
+    pub doc: String,
+    /// Index of the candidate within the run's candidate set.
+    pub candidate_index: usize,
+    /// One entry per schema argument, in schema order.
+    pub mentions: Vec<MentionProvenance>,
+    /// Number of throttlers whose verdict was "keep" (for a kept candidate,
+    /// every configured throttler).
+    pub throttlers_passed: u32,
+    /// Whether the candidate fell in the training split (LFs are only
+    /// applied there).
+    pub in_train: bool,
+    /// Per-LF votes in label-matrix column order (−1/0/+1); empty for
+    /// candidates outside the training split.
+    pub lf_votes: Vec<i8>,
+    /// Feature-template counts per modality: textual, structural, tabular,
+    /// visual, other — in that order.
+    pub feature_counts: [u32; 5],
+    /// Final marginal probability P(true) from the discriminative model.
+    pub marginal: f32,
+}
+
+/// A bounded ring buffer of provenance records plus the run metadata.
+///
+/// The global instance behind [`record`]/[`records`] is one of these;
+/// having it be an ordinary struct keeps unit tests race-free.
+pub struct ProvenanceLog {
+    cap: AtomicUsize,
+    meta: Mutex<Option<ProvenanceMeta>>,
+    ring: Mutex<VecDeque<ProvenanceRecord>>,
+    total: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl ProvenanceLog {
+    /// An empty log with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap: AtomicUsize::new(cap.max(1)),
+            meta: Mutex::new(None),
+            ring: Mutex::new(VecDeque::new()),
+            total: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    /// Change the capacity, evicting oldest records if shrinking.
+    pub fn set_capacity(&self, cap: usize) {
+        let cap = cap.max(1);
+        self.cap.store(cap, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        while ring.len() > cap {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Store the run metadata (last write wins).
+    pub fn set_meta(&self, meta: ProvenanceMeta) {
+        *self.meta.lock() = Some(meta);
+    }
+
+    /// The run metadata, if any run recorded it.
+    pub fn meta(&self) -> Option<ProvenanceMeta> {
+        self.meta.lock().clone()
+    }
+
+    /// Append one record, evicting the oldest when at capacity. O(1).
+    pub fn record(&self, rec: ProvenanceRecord) {
+        let cap = self.capacity();
+        let mut ring = self.ring.lock();
+        if ring.len() >= cap {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(rec);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the retained records, oldest first.
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Number of currently retained records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Records evicted because the buffer was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Clear records, metadata, and tallies; capacity is kept.
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+        *self.meta.lock() = None;
+        self.total.store(0, Ordering::Relaxed);
+        self.evicted.store(0, Ordering::Relaxed);
+    }
+
+    /// Render as JSON lines: one `provenance_meta` object (if metadata was
+    /// recorded), then one `provenance` object per retained record.
+    pub fn render_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if let Some(meta) = self.meta() {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"provenance_meta\",\"relation\":\"{}\",\"scope\":\"{}\",\
+                 \"arg_names\":[{}],\"matchers\":[{}],\"throttlers\":[{}],\"lfs\":[{}]}}",
+                json::escape(&meta.relation),
+                json::escape(&meta.scope),
+                str_list(&meta.arg_names),
+                str_list(&meta.matchers),
+                str_list(&meta.throttlers),
+                str_list(&meta.lf_names),
+            );
+        }
+        for rec in self.records() {
+            let mentions: Vec<String> = rec
+                .mentions
+                .iter()
+                .map(|m| {
+                    format!(
+                        "{{\"sentence\":{},\"start\":{},\"end\":{},\"text\":\"{}\"}}",
+                        m.sentence,
+                        m.start,
+                        m.end,
+                        json::escape(&m.text)
+                    )
+                })
+                .collect();
+            let votes: Vec<String> = rec.lf_votes.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"provenance\",\"doc\":\"{}\",\"candidate_index\":{},\
+                 \"mentions\":[{}],\"throttlers_passed\":{},\"in_train\":{},\
+                 \"lf_votes\":[{}],\"feature_counts\":{{\"textual\":{},\"structural\":{},\
+                 \"tabular\":{},\"visual\":{},\"other\":{}}},\"marginal\":{}}}",
+                json::escape(&rec.doc),
+                rec.candidate_index,
+                mentions.join(","),
+                rec.throttlers_passed,
+                rec.in_train,
+                votes.join(","),
+                rec.feature_counts[0],
+                rec.feature_counts[1],
+                rec.feature_counts[2],
+                rec.feature_counts[3],
+                rec.feature_counts[4],
+                json::number(rec.marginal as f64),
+            );
+        }
+        out
+    }
+}
+
+fn str_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{}\"", json::escape(s)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn global() -> &'static ProvenanceLog {
+    static LOG: OnceLock<ProvenanceLog> = OnceLock::new();
+    LOG.get_or_init(|| {
+        let cap = std::env::var("FONDUER_PROVENANCE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        ProvenanceLog::with_capacity(cap)
+    })
+}
+
+/// Recording override: 0 = follow the environment, 1 = forced on,
+/// 2 = forced off.
+static RECORDING_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_recording_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("FONDUER_PROVENANCE") {
+        Err(_) => true,
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "none"
+        ),
+    })
+}
+
+/// Whether provenance recording is enabled (`FONDUER_PROVENANCE`, default
+/// on; [`set_recording`] overrides). The pipeline checks this once per run
+/// and skips record assembly entirely when off.
+pub fn recording_enabled() -> bool {
+    match RECORDING_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_recording_default(),
+    }
+}
+
+/// Force provenance recording on or off, overriding the environment.
+pub fn set_recording(on: bool) {
+    RECORDING_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Store run metadata on the global log.
+pub fn set_meta(meta: ProvenanceMeta) {
+    global().set_meta(meta);
+}
+
+/// The global log's run metadata, if recorded.
+pub fn meta() -> Option<ProvenanceMeta> {
+    global().meta()
+}
+
+/// Append one record to the global log (counts into `provenance.records`).
+pub fn record(rec: ProvenanceRecord) {
+    global().record(rec);
+    crate::counter("provenance.records", 1);
+}
+
+/// Snapshot of the global log's retained records, oldest first.
+pub fn records() -> Vec<ProvenanceRecord> {
+    global().records()
+}
+
+/// Number of records currently retained by the global log.
+pub fn len() -> usize {
+    global().len()
+}
+
+/// Records evicted from the global log because it was at capacity.
+pub fn evicted() -> u64 {
+    global().evicted()
+}
+
+/// Capacity of the global log.
+pub fn capacity() -> usize {
+    global().capacity()
+}
+
+/// Change the global log's capacity.
+pub fn set_capacity(cap: usize) {
+    global().set_capacity(cap);
+}
+
+/// Clear the global log (records, metadata, tallies).
+pub fn reset() {
+    global().clear();
+}
+
+/// Render the global log as JSON lines (see
+/// [`ProvenanceLog::render_jsonl`]).
+pub fn render_jsonl() -> String {
+    global().render_jsonl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: usize) -> ProvenanceRecord {
+        ProvenanceRecord {
+            doc: format!("doc_{i}"),
+            candidate_index: i,
+            mentions: vec![MentionProvenance {
+                sentence: 0,
+                start: 0,
+                end: 1,
+                text: format!("m{i}"),
+            }],
+            throttlers_passed: 1,
+            in_train: i.is_multiple_of(2),
+            lf_votes: if i.is_multiple_of(2) {
+                vec![1, -1, 0]
+            } else {
+                vec![]
+            },
+            feature_counts: [1, 2, 3, 4, 0],
+            marginal: 0.5,
+        }
+    }
+
+    #[test]
+    fn ring_caps_and_evicts_oldest() {
+        let log = ProvenanceLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(rec(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.evicted(), 2);
+        let docs: Vec<String> = log.records().into_iter().map(|r| r.doc).collect();
+        assert_eq!(docs, vec!["doc_2", "doc_3", "doc_4"]);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims() {
+        let log = ProvenanceLog::with_capacity(10);
+        for i in 0..6 {
+            log.record(rec(i));
+        }
+        log.set_capacity(2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.capacity(), 2);
+        assert_eq!(log.records()[0].doc, "doc_4");
+    }
+
+    #[test]
+    fn clear_resets_everything_but_capacity() {
+        let log = ProvenanceLog::with_capacity(4);
+        log.set_meta(ProvenanceMeta {
+            relation: "r".into(),
+            ..Default::default()
+        });
+        log.record(rec(0));
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.meta().is_none());
+        assert_eq!(log.total(), 0);
+        assert_eq!(log.capacity(), 4);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let log = ProvenanceLog::with_capacity(8);
+        log.set_meta(ProvenanceMeta {
+            relation: "has_\"quote\"".into(),
+            arg_names: vec!["part".into(), "current".into()],
+            matchers: vec!["dict".into(), "range".into()],
+            scope: "Document".into(),
+            throttlers: vec!["row_filter".into()],
+            lf_names: vec!["lf_a".into(), "lf_b".into(), "lf\nnewline".into()],
+        });
+        log.record(rec(0));
+        log.record(rec(1));
+        let out = log.render_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let meta = crate::json::parse(lines[0]).expect("meta parses");
+        assert_eq!(
+            meta.get("kind").and_then(crate::json::Value::as_str),
+            Some("provenance_meta")
+        );
+        assert_eq!(
+            meta.get("relation").and_then(crate::json::Value::as_str),
+            Some("has_\"quote\"")
+        );
+        assert_eq!(
+            meta.get("lfs")
+                .and_then(crate::json::Value::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        for line in &lines[1..] {
+            let v = crate::json::parse(line).expect("record parses");
+            assert_eq!(
+                v.get("kind").and_then(crate::json::Value::as_str),
+                Some("provenance")
+            );
+            assert!(v
+                .get("marginal")
+                .and_then(crate::json::Value::as_f64)
+                .is_some());
+            let fc = v.get("feature_counts").expect("feature counts");
+            assert_eq!(
+                fc.get("tabular").and_then(crate::json::Value::as_f64),
+                Some(3.0)
+            );
+        }
+        // Train record carries votes; test record has an empty vote list.
+        let first = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(
+            first
+                .get("lf_votes")
+                .and_then(crate::json::Value::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        let second = crate::json::parse(lines[2]).unwrap();
+        assert_eq!(
+            second
+                .get("lf_votes")
+                .and_then(crate::json::Value::as_array)
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

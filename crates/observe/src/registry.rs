@@ -211,13 +211,16 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-/// Clear every registered metric. Intended for tests and for separating
-/// repeated benchmark runs; concurrent writers that cached a [`Counter`]
-/// handle keep writing into the detached atomic, which is harmless.
+/// Clear every registered metric, the calling thread's open-span stack, and
+/// the provenance log. Intended for tests and for separating repeated
+/// benchmark runs; concurrent writers that cached a [`Counter`] handle keep
+/// writing into the detached atomic, which is harmless.
 pub fn reset() {
     let reg = registry();
     reg.counters.write().clear();
     reg.gauges.write().clear();
     reg.histograms.write().clear();
     reg.spans.write().clear();
+    crate::span::clear_stack();
+    crate::provenance::reset();
 }

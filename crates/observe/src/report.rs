@@ -1,11 +1,19 @@
-//! Report sink: renders a snapshot as a human-readable tree or JSON lines.
+//! Report sink: renders a snapshot as a human-readable tree, JSON lines,
+//! a Chrome `trace_event` document, or Prometheus text exposition.
 //!
 //! Output format is chosen by the `FONDUER_TRACE` environment variable:
 //! unset/`0`/`off` → no output, `json` → one JSON object per line,
-//! anything else (`1`, `tree`, ...) → indented human tree.
+//! `chrome`/`perfetto` → Chrome trace JSON, `prom`/`prometheus` →
+//! Prometheus text, anything else (`1`, `tree`, ...) → indented human tree.
+//!
+//! By default the report goes to stderr; set `FONDUER_TRACE_OUT=<path>` to
+//! write it to a file instead (so reports stop fighting stderr and CI can
+//! pick the artifacts up).
 
 use std::fmt::Write as _;
 
+use crate::export::{render_chrome_trace, render_prometheus};
+use crate::json;
 use crate::registry::{snapshot, Snapshot};
 
 /// How telemetry should be emitted, per `FONDUER_TRACE`.
@@ -15,8 +23,13 @@ pub enum TraceMode {
     Off,
     /// Indented human-readable tree.
     Human,
-    /// One JSON object per line (machine-readable).
+    /// One JSON object per line (machine-readable), including provenance
+    /// records when any were collected.
     Json,
+    /// Chrome `trace_event` JSON — open in `chrome://tracing` or Perfetto.
+    Chrome,
+    /// Prometheus text exposition format.
+    Prometheus,
 }
 
 /// Read `FONDUER_TRACE` and decide the trace mode.
@@ -26,9 +39,18 @@ pub fn trace_mode() -> TraceMode {
         Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
             "" | "0" | "off" | "false" | "none" => TraceMode::Off,
             "json" | "jsonl" => TraceMode::Json,
+            "chrome" | "trace" | "perfetto" => TraceMode::Chrome,
+            "prom" | "prometheus" | "openmetrics" => TraceMode::Prometheus,
             _ => TraceMode::Human,
         },
     }
+}
+
+/// The `FONDUER_TRACE_OUT` file path, if set and non-empty.
+pub fn trace_out_path() -> Option<String> {
+    std::env::var("FONDUER_TRACE_OUT")
+        .ok()
+        .filter(|p| !p.trim().is_empty())
 }
 
 fn fmt_us(us: u64) -> String {
@@ -89,48 +111,34 @@ pub fn render_human(snap: &Snapshot) -> String {
             );
         }
     }
-    out
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
+    let retained = crate::provenance::len();
+    if retained > 0 {
+        let _ = writeln!(
+            out,
+            "provenance: {retained} records retained (cap {}, {} evicted)",
+            crate::provenance::capacity(),
+            crate::provenance::evicted(),
+        );
     }
     out
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
 }
 
 /// Render the snapshot as JSON lines: one object per metric, each with a
 /// `"kind"` discriminator (`span` | `counter` | `gauge` | `histogram`).
+///
+/// Metric and span names are caller-supplied strings, so they pass through
+/// [`json::escape`] — quotes, backslashes, and control characters in a
+/// name must never produce an unparseable line.
 pub fn render_jsonl(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (path, s) in &snap.spans {
         let _ = writeln!(
             out,
             "{{\"kind\":\"span\",\"path\":\"{}\",\"count\":{},\"total_us\":{},\"mean_us\":{},\"max_us\":{}}}",
-            json_escape(path),
+            json::escape(path),
             s.count,
             s.total_us,
-            json_f64(s.mean_us()),
+            json::number(s.mean_us()),
             s.max_us,
         );
     }
@@ -138,22 +146,22 @@ pub fn render_jsonl(snap: &Snapshot) -> String {
         let _ = writeln!(
             out,
             "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
-            json_escape(name),
+            json::escape(name),
         );
     }
     for (name, v) in &snap.gauges {
         let _ = writeln!(
             out,
             "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
-            json_escape(name),
-            json_f64(*v),
+            json::escape(name),
+            json::number(*v),
         );
     }
     for (name, h) in &snap.histograms {
         let _ = writeln!(
             out,
             "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-            json_escape(name),
+            json::escape(name),
             h.count,
             h.sum,
             h.min,
@@ -167,23 +175,47 @@ pub fn render_jsonl(snap: &Snapshot) -> String {
 }
 
 /// Render the current registry state in the given mode (empty for `Off`).
+/// `Json` appends the provenance flight-recorder lines after the metric
+/// lines; `Chrome` and `Prometheus` render spans/metrics only.
 pub fn render(mode: TraceMode) -> String {
     match mode {
         TraceMode::Off => String::new(),
         TraceMode::Human => render_human(&snapshot()),
-        TraceMode::Json => render_jsonl(&snapshot()),
+        TraceMode::Json => {
+            let mut out = render_jsonl(&snapshot());
+            out.push_str(&crate::provenance::render_jsonl());
+            out
+        }
+        TraceMode::Chrome => render_chrome_trace(&snapshot()),
+        TraceMode::Prometheus => render_prometheus(&snapshot()),
     }
 }
 
-/// Print the telemetry report to stderr if `FONDUER_TRACE` enables it.
-/// This is the one call pipeline entry points (benches, examples) make
-/// after finishing their work.
+/// Render the current registry state in `mode` and write it to `path`
+/// (created or truncated). The programmatic form of the
+/// `FONDUER_TRACE_OUT` sink.
+pub fn write_report(mode: TraceMode, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render(mode))
+}
+
+/// Emit the telemetry report if `FONDUER_TRACE` enables it: to the file
+/// named by `FONDUER_TRACE_OUT` when set, to stderr otherwise. This is the
+/// one call pipeline entry points (benches, examples) make after finishing
+/// their work.
 pub fn emit_report() {
     let mode = trace_mode();
     if mode == TraceMode::Off {
         return;
     }
-    eprint!("{}", render(mode));
+    match trace_out_path() {
+        Some(path) => {
+            if let Err(e) = write_report(mode, &path) {
+                eprintln!("fonduer-observe: cannot write FONDUER_TRACE_OUT={path}: {e}");
+                eprint!("{}", render(mode));
+            }
+        }
+        None => eprint!("{}", render(mode)),
+    }
 }
 
 #[cfg(test)]
@@ -192,8 +224,8 @@ mod tests {
 
     #[test]
     fn json_escaping() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::escape("\u{1}"), "\\u0001");
     }
 
     #[test]
@@ -221,6 +253,27 @@ mod tests {
         assert!(out.contains("\"name\":\"report_t.counter\",\"value\":3"));
     }
 
+    /// Regression (ISSUE 2 satellite): a hostile metric name — quotes,
+    /// backslashes, newlines, control characters — must still render as
+    /// one parseable JSON object per line.
+    #[test]
+    fn jsonl_survives_hostile_metric_names() {
+        let hostile = "evil\"quote\\back\nnewline\tand\u{1}ctl";
+        crate::counter(hostile, 9);
+        crate::gauge_set(hostile, 1.5);
+        crate::hist_record(hostile, 10);
+        let out = render_jsonl(&crate::snapshot());
+        let mut seen = 0;
+        for line in out.lines() {
+            let v = crate::json::parse(line)
+                .unwrap_or_else(|e| panic!("unparseable line ({e}): {line}"));
+            if v.get("name").and_then(crate::json::Value::as_str) == Some(hostile) {
+                seen += 1;
+            }
+        }
+        assert!(seen >= 3, "hostile-named metrics missing ({seen})");
+    }
+
     #[test]
     fn human_report_mentions_all_sections() {
         crate::counter("report_h.counter", 1);
@@ -235,5 +288,20 @@ mod tests {
         assert!(out.contains("gauges:"));
         assert!(out.contains("histograms:"));
         assert!(out.contains("report_h.counter"));
+    }
+
+    #[test]
+    fn write_report_creates_parseable_file() {
+        crate::counter("report_f.counter", 2);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fonduer_report_{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        write_report(TraceMode::Chrome, path_s).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        crate::json::parse(&text).expect("chrome trace file parses");
+        write_report(TraceMode::Prometheus, path_s).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        crate::export::validate_prometheus(&text).expect("prometheus file validates");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -51,6 +51,13 @@ impl SpanGuard {
     }
 }
 
+/// Clear this thread's open-span stack. Called from [`crate::reset`] so a
+/// `SpanGuard` leaked across a reset (e.g. via `mem::forget` in a test)
+/// cannot attach subsequent spans to a stale parent path.
+pub(crate) fn clear_stack() {
+    SPAN_STACK.with(|stack| stack.borrow_mut().clear());
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
@@ -138,5 +145,22 @@ mod tests {
     fn macro_expression_form() {
         let v = span!("macro_t" => 7 * 6);
         assert_eq!(v, 42);
+    }
+
+    /// Regression (ISSUE 2 satellite): a guard leaked across `reset()` must
+    /// not leave its path on the thread-local stack, or every later span on
+    /// this thread would nest under a parent that no longer exists.
+    #[test]
+    fn reset_clears_leaked_span_stack() {
+        let leaked = span("stale_parent_t");
+        std::mem::forget(leaked);
+        crate::reset();
+        let fresh = span("fresh_after_reset_t");
+        assert_eq!(
+            fresh.path(),
+            "fresh_after_reset_t",
+            "span attached to a stale parent after reset"
+        );
+        drop(fresh);
     }
 }

@@ -45,30 +45,10 @@ fn main() {
     };
     let refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
     let lm = LabelMatrix::apply(&refs, &ds.corpus, &subset);
+    let lf_names: Vec<String> = task.lfs.iter().map(|lf| lf.name.clone()).collect();
+    let diag = LfDiagnostics::compute(&lf_names, &lm, Some(&gold_flags));
     println!("\nLF diagnostics (coverage / overlap / conflict / empirical accuracy):");
-    for (j, lf) in task.lfs.iter().enumerate() {
-        let (mut correct, mut total, mut plus) = (0usize, 0usize, 0usize);
-        for (i, &gf) in gold_flags.iter().enumerate() {
-            let v = lm.get(i, j);
-            if v != 0 {
-                total += 1;
-                if v == 1 {
-                    plus += 1;
-                }
-                if (v == 1) == gf {
-                    correct += 1;
-                }
-            }
-        }
-        println!(
-            "  {:<50} cov={:.2} ovl={:.2} cfl={:.2} (+{plus:>4}) acc={:.2}",
-            lf.name,
-            lm.coverage(j),
-            lm.overlap(j),
-            lm.conflict(j),
-            correct as f64 / total.max(1) as f64
-        );
-    }
+    print!("{}", diag.to_text());
 
     let gm = GenerativeModel::fit(&lm, &GenerativeOptions::default());
     let marg = gm.predict(&lm);
@@ -115,6 +95,45 @@ fn main() {
                 if g { "MISS" } else { "FP  " },
                 c.arg_texts(d),
                 d.sentence(c.mentions[1].sentence).text
+            );
+        }
+    }
+
+    // Flight-recorder sample: why did the last few candidates score the way
+    // they did? (Full dump flows through FONDUER_TRACE=json.)
+    let recs = fonduer::observe::provenance::records();
+    if !recs.is_empty() {
+        println!(
+            "\nprovenance: {} records retained (cap {}), sample:",
+            recs.len(),
+            fonduer::observe::provenance::capacity()
+        );
+        for r in recs.iter().rev().take(3) {
+            let votes: String = if r.in_train {
+                r.lf_votes
+                    .iter()
+                    .map(|v| match v {
+                        1 => '+',
+                        -1 => '-',
+                        _ => '.',
+                    })
+                    .collect()
+            } else {
+                "(test split)".into()
+            };
+            println!(
+                "  {}#{} args={:?} votes={votes} features(t/s/tab/v)={}/{}/{}/{} p={:.2}",
+                r.doc,
+                r.candidate_index,
+                r.mentions
+                    .iter()
+                    .map(|m| m.text.as_str())
+                    .collect::<Vec<_>>(),
+                r.feature_counts[0],
+                r.feature_counts[1],
+                r.feature_counts[2],
+                r.feature_counts[3],
+                r.marginal
             );
         }
     }

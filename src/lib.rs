@@ -61,7 +61,8 @@ pub use fonduer_synth as synth;
 pub mod prelude {
     pub use fonduer_candidates::{
         Candidate, CandidateExtractor, CandidateSet, ContextScope, DictionaryMatcher, FnMatcher,
-        FnThrottler, Matcher, MentionType, NumberRangeMatcher, RelationSchema, Throttler,
+        FnThrottler, Matcher, MentionType, NamedThrottler, NumberRangeMatcher, RelationSchema,
+        Throttler,
     };
     pub use fonduer_core::{
         compare_with_existing_kb, eval_tuples, oracle_upper_bound, reachable_tuples, run_task,
@@ -75,7 +76,7 @@ pub mod prelude {
     pub use fonduer_parser::{parse_document, ParseOptions};
     pub use fonduer_supervision::{
         majority_vote, uncertainty_sampling, GenerativeModel, GenerativeOptions, LabelMatrix,
-        LabelingFunction, Modality, ABSTAIN, FALSE, TRUE,
+        LabelingFunction, LfDiagnostics, Modality, ABSTAIN, FALSE, TRUE,
     };
     pub use fonduer_synth::{Domain, GoldKb, SynthDataset};
 }

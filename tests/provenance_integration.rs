@@ -1,0 +1,149 @@
+//! End-to-end flight-recorder check (ISSUE 2 acceptance): one `run_task`
+//! with provenance enabled must emit a `ProvenanceRecord` for every kept
+//! candidate, with LF-vote lists consistent with the supervision label
+//! matrix, and the Chrome-trace / Prometheus exporters must produce
+//! documents that survive a round trip through a parser.
+
+use fonduer::observe;
+use fonduer::prelude::*;
+use fonduer_core::domains::electronics;
+use fonduer_core::pipeline::is_train_doc;
+
+#[test]
+fn every_kept_candidate_gets_a_consistent_provenance_record() {
+    observe::reset();
+    observe::provenance::set_recording(true);
+
+    let ds = Domain::Electronics.generate(16, 7);
+    let relation = "max_ce_voltage";
+    let task = Task {
+        extractor: electronics::extractor(&ds, relation, ContextScope::Document)
+            .with_throttler(electronics::default_throttler(relation)),
+        lfs: electronics::lfs(relation),
+    };
+    let cfg = PipelineConfig::default();
+    let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+    let n = out.candidates.candidates.len();
+    assert!(n > 0);
+    assert!(
+        n <= observe::provenance::capacity(),
+        "fixture outgrew the ring; shrink it or raise FONDUER_PROVENANCE_CAP"
+    );
+
+    // (a) One record per kept candidate, aligned by index.
+    let recs = observe::provenance::records();
+    assert_eq!(recs.len(), n, "one provenance record per kept candidate");
+    assert_eq!(observe::snapshot().counter("provenance.records"), n as u64);
+
+    // Run metadata describes the extractor and LF library.
+    let meta = observe::provenance::meta().expect("run recorded provenance meta");
+    assert_eq!(meta.relation, relation);
+    assert_eq!(meta.matchers, task.extractor.matcher_names());
+    assert_eq!(meta.scope, task.extractor.scope.label());
+    assert_eq!(meta.throttlers, task.extractor.throttler_names());
+    let lf_names: Vec<String> = task.lfs.iter().map(|lf| lf.name.clone()).collect();
+    assert_eq!(meta.lf_names, lf_names);
+
+    // Recompute the training label matrix exactly as the pipeline does and
+    // check every record's vote list against it.
+    let train_idx: Vec<usize> = out
+        .candidates
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_train_doc(&ds.corpus.doc(c.doc).name, cfg.train_frac, cfg.seed))
+        .map(|(i, _)| i)
+        .collect();
+    let train_subset = fonduer::candidates::CandidateSet {
+        schema: out.candidates.schema.clone(),
+        candidates: train_idx
+            .iter()
+            .map(|&i| out.candidates.candidates[i].clone())
+            .collect(),
+    };
+    let refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+    let lm = LabelMatrix::apply(&refs, &ds.corpus, &train_subset);
+
+    let mut row_of = vec![None; n];
+    for (k, &i) in train_idx.iter().enumerate() {
+        row_of[i] = Some(k);
+    }
+    let mut train_records = 0;
+    for (i, (rec, cand)) in recs.iter().zip(&out.candidates.candidates).enumerate() {
+        let doc = ds.corpus.doc(cand.doc);
+        assert_eq!(rec.candidate_index, i);
+        assert_eq!(rec.doc, doc.name);
+        // Mentions mirror the candidate's spans and normalized texts.
+        assert_eq!(rec.mentions.len(), cand.mentions.len());
+        for (m, span) in rec.mentions.iter().zip(&cand.mentions) {
+            assert_eq!(
+                (m.sentence, m.start, m.end),
+                (span.sentence.0, span.start, span.end)
+            );
+            assert_eq!(m.text, span.normalized_text(doc));
+        }
+        assert_eq!(
+            rec.throttlers_passed as usize,
+            task.extractor.throttlers.len()
+        );
+        // LF votes match the label matrix row for training candidates and
+        // are empty outside the training split.
+        match row_of[i] {
+            Some(k) => {
+                assert!(rec.in_train);
+                assert_eq!(rec.lf_votes.as_slice(), lm.row(k), "candidate {i}");
+                train_records += 1;
+            }
+            None => {
+                assert!(!rec.in_train);
+                assert!(rec.lf_votes.is_empty());
+            }
+        }
+        // Feature mix and marginal are the pipeline's own values.
+        assert!(
+            rec.feature_counts.iter().sum::<u32>() > 0,
+            "candidate {i} has no features"
+        );
+        assert_eq!(rec.marginal, out.marginals[i]);
+    }
+    assert!(train_records > 0, "fixture produced no training candidates");
+
+    // (b) The pipeline's LfDiagnostics agrees with the recomputed matrix.
+    assert_eq!(out.lf_diagnostics.rows.len(), task.lfs.len());
+    assert_eq!(out.lf_diagnostics.n_candidates, train_idx.len());
+    for (j, row) in out.lf_diagnostics.rows.iter().enumerate() {
+        assert_eq!(row.name, task.lfs[j].name);
+        assert_eq!(row.coverage, lm.coverage(j));
+        assert_eq!(row.overlap, lm.overlap(j));
+        assert_eq!(row.conflict, lm.conflict(j));
+    }
+    assert_eq!(out.lf_diagnostics.total_coverage, lm.total_coverage());
+    // Gold was supplied, so voting LFs carry empirical accuracy.
+    assert!(out
+        .lf_diagnostics
+        .rows
+        .iter()
+        .any(|r| r.empirical_accuracy.is_some()));
+
+    // (c) Every exporter round-trips.
+    for line in observe::provenance::render_jsonl().lines() {
+        observe::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable provenance line ({e}): {line}"));
+    }
+    let snap = observe::snapshot();
+    let chrome = observe::render_chrome_trace(&snap);
+    let doc = observe::json::parse(&chrome).expect("chrome trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(observe::json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let prom = observe::render_prometheus(&snap);
+    let families = observe::validate_prometheus(&prom).expect("prometheus text validates");
+    assert!(families > 0);
+
+    // Reset clears the flight recorder too.
+    observe::reset();
+    assert_eq!(observe::provenance::records().len(), 0);
+    assert!(observe::provenance::meta().is_none());
+}
