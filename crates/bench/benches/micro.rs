@@ -12,11 +12,12 @@
 
 use fonduer_candidates::ContextScope;
 use fonduer_core::domains::electronics;
+use fonduer_core::{PipelineConfig, PipelineSession, StageId};
 use fonduer_features::Featurizer;
 use fonduer_learning::{prepare, FonduerModel, ModelConfig, ProbClassifier};
 use fonduer_nlp::HashedVocab;
 use fonduer_observe as observe;
-use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix};
+use fonduer_supervision::{GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction};
 use fonduer_synth::Domain;
 use std::hint::black_box;
 use std::time::Instant;
@@ -156,6 +157,74 @@ fn bench_generative(results: &mut Vec<BenchResult>) {
     });
 }
 
+fn bench_session(results: &mut Vec<BenchResult>) {
+    // The Appendix C iteration loop: cold = a fresh session computing every
+    // stage; warm = a long-lived session whose LF library changes between
+    // runs, so candidate generation and featurization are served from the
+    // artifact cache and only supervision → evaluation recompute.
+    let ds = Domain::Electronics.generate(30, 7);
+    let relation = "has_collector_current";
+    let ex = electronics::extractor(&ds, relation, ContextScope::Document)
+        .with_throttler(electronics::default_throttler(relation));
+    let lfs_a = electronics::lfs(relation);
+    let lfs_b: Vec<LabelingFunction> = electronics::lfs(relation).into_iter().skip(1).collect();
+    // Right-sized learner for the iteration loop: feature-only model with
+    // small dimensions, so the warm phase measures the supervision +
+    // training increment rather than a dense optimizer sweep.
+    let cfg = PipelineConfig::builder()
+        .model(ModelConfig {
+            epochs: 1,
+            use_lstm: false,
+            d_emb: 8,
+            d_h: 4,
+            d_attn: 4,
+            ..Default::default()
+        })
+        .vocab_size(64)
+        .train_frac(0.15)
+        .build()
+        .expect("bench config is valid");
+
+    bench(results, "session/cold", 1, 10, || {
+        let mut s = PipelineSession::from_parts(&ds.corpus, &ds.gold, &ex, &lfs_a, cfg.clone())
+            .expect("valid session");
+        s.output().expect("cold run")
+    });
+
+    let mut s =
+        PipelineSession::from_parts(&ds.corpus, &ds.gold, &ex, &lfs_a, cfg).expect("valid session");
+    s.output().expect("prime the cache");
+    let mut flip = false;
+    bench(results, "session/warm_resupervise", 1, 10, || {
+        flip = !flip;
+        s.set_lfs(if flip { &lfs_b } else { &lfs_a });
+        s.output().expect("warm run")
+    });
+    assert!(
+        s.stats().stage(StageId::Candidates).hits > 0,
+        "warm runs must reuse the candidate artifact"
+    );
+    let t = s.timings();
+    println!(
+        "warm stage times: candgen={:.1}ms featurize={:.1}ms supervise={:.1}ms train={:.1}ms infer={:.1}ms",
+        t.candgen_ms(), t.featurize_ms(), t.supervise_ms(), t.train_ms(), t.infer_ms()
+    );
+    let cold = results
+        .iter()
+        .find(|r| r.name == "session/cold")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(0.0);
+    let warm = results
+        .iter()
+        .find(|r| r.name == "session/warm_resupervise")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(1.0);
+    println!(
+        "session cold/warm speedup: {:.1}x (candgen + featurize amortized)",
+        cold / warm.max(1.0)
+    );
+}
+
 /// Serialize results as a JSON array of `{name, iters, ns_per_iter}`.
 fn render_json(results: &[BenchResult]) -> String {
     let rows: Vec<String> = results
@@ -188,6 +257,7 @@ fn main() {
     bench_featurize(&mut results);
     bench_model_step(&mut results);
     bench_generative(&mut results);
+    bench_session(&mut results);
     drop(_root);
     let path = out_path();
     match std::fs::write(&path, render_json(&results)) {

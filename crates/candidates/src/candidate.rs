@@ -60,7 +60,7 @@ impl Candidate {
 /// The output of candidate generation: a schema plus all extracted
 /// candidates, in corpus order (paper: "The output of this phase is a set
 /// of candidates, C").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateSet {
     /// The relation these candidates may instantiate.
     pub schema: RelationSchema,

@@ -83,6 +83,32 @@ impl CandidateExtractor {
             .collect()
     }
 
+    /// Content fingerprint of the whole extractor — schema, mention types
+    /// (with matcher content where available), scope, and throttler chain.
+    /// Pipeline sessions key cached candidate artifacts on this value, so
+    /// any change that could alter the extracted candidate set must change
+    /// it. Closure-backed matchers/throttlers hash only their kind/name;
+    /// see [`Matcher::fingerprint`](crate::Matcher::fingerprint).
+    pub fn fingerprint(&self) -> u64 {
+        let mut key = self.schema.name.as_bytes().to_vec();
+        for a in &self.schema.arg_names {
+            key.push(0x1f);
+            key.extend_from_slice(a.as_bytes());
+        }
+        for t in &self.types {
+            key.push(0x1e);
+            key.extend_from_slice(t.name.as_bytes());
+            key.extend_from_slice(&t.matcher.fingerprint().to_le_bytes());
+        }
+        key.push(0x1e);
+        key.extend_from_slice(self.scope.label().as_bytes());
+        for t in &self.throttlers {
+            key.push(0x1e);
+            key.extend_from_slice(&t.fingerprint().to_le_bytes());
+        }
+        fonduer_nlp::fnv1a(&key)
+    }
+
     /// Extract candidates from one document.
     pub fn extract_doc(&self, doc_id: DocId, doc: &Document) -> Vec<Candidate> {
         let start = std::time::Instant::now();
@@ -287,6 +313,33 @@ mod tests {
             vec!["part:dictionary", "current:number_range"]
         );
         assert_eq!(ex.throttler_names(), vec!["same_row", "t1"]);
+    }
+
+    #[test]
+    fn extractor_fingerprint_tracks_every_input() {
+        let base = || extractor(ContextScope::Document);
+        assert_eq!(base().fingerprint(), base().fingerprint());
+        // Scope changes the fingerprint.
+        assert_ne!(
+            base().fingerprint(),
+            extractor(ContextScope::Sentence).fingerprint()
+        );
+        // Adding a throttler changes the fingerprint.
+        let throttled = base().with_throttler(Box::new(crate::throttler::NamedThrottler::new(
+            "same_row",
+            Box::new(FnThrottler(|_: &Document, _: &Candidate| true)),
+        )));
+        assert_ne!(base().fingerprint(), throttled.fingerprint());
+        // Changing a matcher's content changes the fingerprint.
+        let other = CandidateExtractor::new(
+            RelationSchema::new("has_collector_current", &["part", "current"]),
+            vec![
+                MentionType::new("part", Box::new(DictionaryMatcher::new(["SMBT3904"]))),
+                MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+            ],
+        )
+        .with_scope(ContextScope::Document);
+        assert_ne!(base().fingerprint(), other.fingerprint());
     }
 
     #[test]

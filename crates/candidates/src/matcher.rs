@@ -26,6 +26,23 @@ pub trait Matcher: Send + Sync {
     fn kind(&self) -> &'static str {
         "custom"
     }
+
+    /// Content fingerprint used as part of pipeline-session cache keys: two
+    /// matchers with the same fingerprint are assumed to accept the same
+    /// spans, so cached candidate artifacts keyed on it can be reused.
+    ///
+    /// The default hashes only [`kind`](Matcher::kind) and
+    /// [`max_tokens`](Matcher::max_tokens); structured matchers override it
+    /// to include their actual content (dictionary entries, numeric
+    /// bounds). Closure-backed matchers are opaque — swap the closure and
+    /// the fingerprint cannot see the change, so sessions expose an
+    /// explicit invalidation escape hatch for that case.
+    fn fingerprint(&self) -> u64 {
+        let mut key = self.kind().as_bytes().to_vec();
+        key.push(0x1f);
+        key.extend_from_slice(&(self.max_tokens() as u64).to_le_bytes());
+        fonduer_nlp::fnv1a(&key)
+    }
 }
 
 /// Declaration of one mention type in a relation schema: a name plus the
@@ -115,6 +132,17 @@ impl Matcher for DictionaryMatcher {
     fn kind(&self) -> &'static str {
         "dictionary"
     }
+
+    fn fingerprint(&self) -> u64 {
+        // Entries are normalized and stored sorted (BTreeSet), so the hash
+        // is order-independent with respect to construction.
+        let mut key = b"dictionary".to_vec();
+        for e in &self.entries {
+            key.push(0x1f);
+            key.extend_from_slice(e.as_bytes());
+        }
+        fonduer_nlp::fnv1a(&key)
+    }
 }
 
 /// Matches single numeric tokens whose value lies in `[min, max]`
@@ -151,6 +179,13 @@ impl Matcher for NumberRangeMatcher {
 
     fn kind(&self) -> &'static str {
         "number_range"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut key = b"number_range".to_vec();
+        key.extend_from_slice(&self.min.to_bits().to_le_bytes());
+        key.extend_from_slice(&self.max.to_bits().to_le_bytes());
+        fonduer_nlp::fnv1a(&key)
     }
 }
 
@@ -210,6 +245,14 @@ impl Matcher for UnionMatcher {
 
     fn kind(&self) -> &'static str {
         "union"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut key = b"union".to_vec();
+        for c in &self.children {
+            key.extend_from_slice(&c.fingerprint().to_le_bytes());
+        }
+        fonduer_nlp::fnv1a(&key)
     }
 }
 
@@ -333,6 +376,36 @@ mod tests {
         ]);
         let ty = MentionType::new("any", Box::new(u));
         assert_eq!(extract_mentions(&d, &ty).len(), 2);
+    }
+
+    #[test]
+    fn fingerprints_track_matcher_content() {
+        // Same entries (any insertion order) → same fingerprint.
+        let a = DictionaryMatcher::new(["BC547", "SMBT3904"]);
+        let b = DictionaryMatcher::new(["SMBT3904", "BC547"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different entries → different fingerprint.
+        let c = DictionaryMatcher::new(["BC547"]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Numeric bounds are part of the fingerprint.
+        assert_ne!(
+            NumberRangeMatcher::new(100.0, 995.0).fingerprint(),
+            NumberRangeMatcher::new(100.0, 996.0).fingerprint()
+        );
+        // Unions combine child fingerprints.
+        let u1 = UnionMatcher::new(vec![
+            Box::new(DictionaryMatcher::new(["BC547"])),
+            Box::new(NumberRangeMatcher::new(1.0, 2.0)),
+        ]);
+        let u2 = UnionMatcher::new(vec![
+            Box::new(DictionaryMatcher::new(["BC548"])),
+            Box::new(NumberRangeMatcher::new(1.0, 2.0)),
+        ]);
+        assert_ne!(u1.fingerprint(), u2.fingerprint());
+        // Closure matchers fall back to kind + max_tokens.
+        let f1 = FnMatcher::new(1, |_: &Document, _: Span| true);
+        let f2 = FnMatcher::new(2, |_: &Document, _: Span| true);
+        assert_ne!(f1.fingerprint(), f2.fingerprint());
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub trait Throttler: Send + Sync {
     fn name(&self) -> &str {
         "throttler"
     }
+
+    /// Content fingerprint used as part of pipeline-session cache keys.
+    /// The default hashes only [`name`](Throttler::name) — closures are
+    /// opaque — so give every throttler a distinct name (wrap it in
+    /// [`NamedThrottler`]) if you want artifact caching to notice when the
+    /// rule set changes.
+    fn fingerprint(&self) -> u64 {
+        fonduer_nlp::fnv1a(self.name().as_bytes())
+    }
 }
 
 /// Wraps a closure as a throttler.
@@ -58,6 +67,13 @@ impl Throttler for NamedThrottler {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn fingerprint(&self) -> u64 {
+        let mut key = self.name.as_bytes().to_vec();
+        key.push(0x1f);
+        key.extend_from_slice(&self.inner.fingerprint().to_le_bytes());
+        fonduer_nlp::fnv1a(&key)
+    }
 }
 
 /// Conjunction: keeps a candidate only if every child throttler keeps it.
@@ -93,6 +109,14 @@ impl Throttler for ThrottlerChain {
     fn keep(&self, doc: &Document, cand: &Candidate) -> bool {
         self.children.iter().all(|t| t.keep(doc, cand))
     }
+
+    fn fingerprint(&self) -> u64 {
+        let mut key = b"chain".to_vec();
+        for t in &self.children {
+            key.extend_from_slice(&t.fingerprint().to_le_bytes());
+        }
+        fonduer_nlp::fnv1a(&key)
+    }
 }
 
 /// A tunable throttler used by the Figure 4 sweep: keeps a candidate with
@@ -109,6 +133,13 @@ pub struct UniformPruneThrottler {
 impl Throttler for UniformPruneThrottler {
     fn name(&self) -> &str {
         "uniform_prune"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut key = b"uniform_prune".to_vec();
+        key.extend_from_slice(&self.prune_frac.to_bits().to_le_bytes());
+        key.extend_from_slice(&self.salt.to_le_bytes());
+        fonduer_nlp::fnv1a(&key)
     }
 
     fn keep(&self, _doc: &Document, cand: &Candidate) -> bool {
@@ -198,6 +229,35 @@ mod tests {
         // Unwrapped throttlers keep the default name.
         let plain = FnThrottler(|_: &Document, _: &Candidate| true);
         assert_eq!(plain.name(), "throttler");
+    }
+
+    #[test]
+    fn fingerprints_track_throttler_identity() {
+        let keep_all = || Box::new(FnThrottler(|_: &Document, _: &Candidate| true));
+        // Names drive the default fingerprint.
+        let a = NamedThrottler::new("same_row", keep_all());
+        let b = NamedThrottler::new("same_page", keep_all());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            NamedThrottler::new("same_row", keep_all()).fingerprint()
+        );
+        // The uniform-prune knob is content-hashed.
+        let p1 = UniformPruneThrottler {
+            prune_frac: 0.3,
+            salt: 1,
+        };
+        let p2 = UniformPruneThrottler {
+            prune_frac: 0.4,
+            salt: 1,
+        };
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+        // Chains combine children.
+        let mut c1 = ThrottlerChain::new();
+        c1.push(Box::new(p1));
+        let mut c2 = ThrottlerChain::new();
+        c2.push(Box::new(p2));
+        assert_ne!(c1.fingerprint(), c2.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Error types for the pipeline surface.
+//!
+//! The original `run_task` monolith silently tolerated degenerate inputs
+//! (a threshold of 1.5, an empty training set) or panicked deep inside a
+//! stage (`Corpus::doc` index misses). The staged
+//! [`PipelineSession`](crate::PipelineSession) API surfaces those
+//! conditions as typed `Result`s instead; `run_task` keeps its historical
+//! permissive behavior for source compatibility.
+
+use fonduer_datamodel::DocId;
+use std::fmt;
+
+/// A [`PipelineConfig`](crate::PipelineConfig) field outside its valid
+/// domain, reported by [`PipelineConfig::validate`](crate::PipelineConfig::validate)
+/// and [`PipelineConfigBuilder::build`](crate::PipelineConfigBuilder::build).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `threshold` must lie in `[0, 1]`.
+    Threshold {
+        /// The rejected value.
+        value: f32,
+    },
+    /// `train_frac` must lie in `[0, 1]`.
+    TrainFrac {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `n_threads` must be at least 1.
+    Threads {
+        /// The rejected value.
+        value: usize,
+    },
+    /// `vocab_size` must be positive.
+    VocabSize {
+        /// The rejected value.
+        value: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Threshold { value } => {
+                write!(f, "classification threshold {value} outside [0, 1]")
+            }
+            ConfigError::TrainFrac { value } => {
+                write!(f, "train_frac {value} outside [0, 1]")
+            }
+            ConfigError::Threads { value } => {
+                write!(f, "n_threads must be >= 1, got {value}")
+            }
+            ConfigError::VocabSize { value } => {
+                write!(f, "vocab_size must be > 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Everything that can go wrong in a [`PipelineSession`](crate::PipelineSession).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The pipeline configuration failed validation.
+    Config(ConfigError),
+    /// A candidate references a document id the session's corpus does not
+    /// contain (previously an index panic inside `Corpus::doc`).
+    DocNotFound {
+        /// The missing document id.
+        doc: DocId,
+        /// Number of documents actually in the corpus.
+        n_docs: usize,
+    },
+    /// Candidate generation produced no candidates, so there is nothing to
+    /// train or classify.
+    NoCandidates {
+        /// The relation being extracted.
+        relation: String,
+    },
+    /// No training candidate received a labeling-function vote: the
+    /// discriminative model would train on an empty set and every marginal
+    /// would be an uninformed constant.
+    EmptyTrainingSet {
+        /// The relation being extracted.
+        relation: String,
+        /// Total extracted candidates.
+        n_candidates: usize,
+        /// Candidates in the training split.
+        n_train: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "invalid pipeline config: {e}"),
+            Error::DocNotFound { doc, n_docs } => write!(
+                f,
+                "candidate references document {doc:?} but the corpus has {n_docs} documents"
+            ),
+            Error::NoCandidates { relation } => {
+                write!(f, "no candidates extracted for relation {relation:?}")
+            }
+            Error::EmptyTrainingSet {
+                relation,
+                n_candidates,
+                n_train,
+            } => write!(
+                f,
+                "relation {relation:?}: no labeled training candidates \
+                 ({n_train} of {n_candidates} candidates are in the training split, \
+                 none received an LF vote)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::from(ConfigError::Threshold { value: 1.5 });
+        assert!(e.to_string().contains("1.5"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::EmptyTrainingSet {
+            relation: "has_collector_current".into(),
+            n_candidates: 10,
+            n_train: 4,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("has_collector_current") && s.contains("4 of 10"),
+            "{s}"
+        );
+        assert!(Error::NoCandidates {
+            relation: "r".into()
+        }
+        .to_string()
+        .contains("no candidates"));
+        assert!(Error::DocNotFound {
+            doc: DocId(7),
+            n_docs: 3
+        }
+        .to_string()
+        .contains('3'));
+    }
+}

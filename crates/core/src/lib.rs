@@ -4,7 +4,10 @@
 //! schema with matchers and throttlers, and a labeling-function library,
 //! produce a knowledge base and held-out quality metrics.
 //!
-//! * [`pipeline`] — the three-phase orchestration;
+//! * [`pipeline`] — the three-phase orchestration (one-shot [`run_task`]);
+//! * [`session`] — the stateful, artifact-cached [`PipelineSession`] for
+//!   iterative KBC;
+//! * [`error`] — typed errors for the session surface;
 //! * [`eval`] — P/R/F1, oracle upper bounds (Table 2), KB comparison
 //!   (Table 3);
 //! * [`kb`] — the relational output;
@@ -16,17 +19,21 @@
 
 pub mod analysis;
 pub mod domains;
+pub mod error;
 pub mod eval;
 pub mod kb;
 pub mod pipeline;
+pub mod session;
 
 pub use analysis::{ErrorBuckets, LfReport, LfRow};
+pub use error::{ConfigError, Error};
 pub use eval::{
     compare_with_existing_kb, eval_tuples, gold_tuples_for_docs, oracle_upper_bound, KbComparison,
     PrF1, Tuple,
 };
 pub use kb::KnowledgeBase;
 pub use pipeline::{
-    is_train_doc, reachable_tuples, run_task, Learner, PipelineConfig, PipelineOutput, Task,
-    Timings,
+    is_train_doc, reachable_tuples, run_task, Learner, PipelineConfig, PipelineConfigBuilder,
+    PipelineOutput, Task, Timings,
 };
+pub use session::{PipelineSession, SessionStats, StageId, StageStats, SupervisionArtifact};

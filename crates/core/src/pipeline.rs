@@ -2,18 +2,17 @@
 //! candidate generation → multimodal featurization, supervision, and
 //! classification.
 
-use crate::eval::{eval_tuples, gold_tuples_for_docs, PrF1, Tuple};
+use crate::error::ConfigError;
+use crate::eval::{PrF1, Tuple};
 use crate::kb::KnowledgeBase;
+use crate::session::PipelineSession;
 use fonduer_candidates::{CandidateExtractor, CandidateSet};
 use fonduer_datamodel::Corpus;
-use fonduer_features::{FeatureConfig, Featurizer};
-use fonduer_learning::{prepare, FonduerModel, LogRegModel, ModelConfig, ProbClassifier};
-use fonduer_nlp::{fnv1a, HashedVocab};
+use fonduer_features::FeatureConfig;
+use fonduer_learning::ModelConfig;
+use fonduer_nlp::fnv1a;
 use fonduer_observe as observe;
-use fonduer_observe::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
-use fonduer_supervision::{
-    GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction, LfDiagnostics,
-};
+use fonduer_supervision::{GenerativeOptions, LabelingFunction, LfDiagnostics};
 use fonduer_synth::GoldKb;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -82,6 +81,132 @@ impl Default for PipelineConfig {
             seed: 1,
             n_threads: 1,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Start building a configuration from the defaults, with validation
+    /// at [`build`](PipelineConfigBuilder::build) time.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
+        }
+    }
+
+    /// Check every field against its valid domain: `threshold ∈ [0, 1]`,
+    /// `train_frac ∈ [0, 1]`, `n_threads ≥ 1`, `vocab_size > 0`.
+    ///
+    /// [`PipelineSession`] constructors and setters call this; the one-shot
+    /// [`run_task`] deliberately does not, for backwards compatibility.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.threshold) {
+            return Err(ConfigError::Threshold {
+                value: self.threshold,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.train_frac) {
+            return Err(ConfigError::TrainFrac {
+                value: self.train_frac,
+            });
+        }
+        if self.n_threads < 1 {
+            return Err(ConfigError::Threads {
+                value: self.n_threads,
+            });
+        }
+        if self.vocab_size == 0 {
+            return Err(ConfigError::VocabSize {
+                value: self.vocab_size,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PipelineConfig`] with domain validation.
+///
+/// ```
+/// use fonduer_core::{Learner, PipelineConfig};
+/// let cfg = PipelineConfig::builder()
+///     .learner(Learner::LogReg)
+///     .threshold(0.6)
+///     .n_threads(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.n_threads, 4);
+/// assert!(PipelineConfig::builder().threshold(1.5).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Discriminative learner selection.
+    pub fn learner(mut self, learner: Learner) -> Self {
+        self.cfg.learner = learner;
+        self
+    }
+
+    /// Neural model hyperparameters.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Feature-library modalities.
+    pub fn features(mut self, features: FeatureConfig) -> Self {
+        self.cfg.features = features;
+        self
+    }
+
+    /// Generative-model options.
+    pub fn gen_opts(mut self, gen_opts: GenerativeOptions) -> Self {
+        self.cfg.gen_opts = gen_opts;
+        self
+    }
+
+    /// Classification threshold over marginals (must lie in `[0, 1]`).
+    pub fn threshold(mut self, threshold: f32) -> Self {
+        self.cfg.threshold = threshold;
+        self
+    }
+
+    /// Hashed word-vocabulary size (must be positive).
+    pub fn vocab_size(mut self, vocab_size: usize) -> Self {
+        self.cfg.vocab_size = vocab_size;
+        self
+    }
+
+    /// Sentence window (tokens each side of a mention).
+    pub fn window(mut self, window: usize) -> Self {
+        self.cfg.window = window;
+        self
+    }
+
+    /// Fraction of documents in the training split (must lie in `[0, 1]`).
+    pub fn train_frac(mut self, train_frac: f64) -> Self {
+        self.cfg.train_frac = train_frac;
+        self
+    }
+
+    /// Split-hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Worker threads for candidate generation and featurization (must be
+    /// at least 1).
+    pub fn n_threads(mut self, n_threads: usize) -> Self {
+        self.cfg.n_threads = n_threads;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -175,6 +300,11 @@ pub fn is_train_doc(name: &str, train_frac: f64, seed: u64) -> bool {
 
 /// Run the full pipeline for one task on one corpus, evaluating against
 /// `gold` on the held-out document split.
+///
+/// This is the one-shot convenience surface: it drives a single-use
+/// [`PipelineSession`] through all six stages and returns its output.
+/// Iterative workflows (tweak LFs, re-run) should hold a session directly
+/// so the candidate and feature artifacts are reused across runs.
 pub fn run_task(
     corpus: &Corpus,
     gold: &GoldKb,
@@ -182,210 +312,11 @@ pub fn run_task(
     cfg: &PipelineConfig,
 ) -> PipelineOutput {
     let _task_span = observe::span("run_task");
-
-    // Phase 2: candidate generation.
-    let (candidates, candgen) = observe::timed("candgen", || {
-        task.extractor.extract_parallel(corpus, cfg.n_threads)
-    });
-
-    // Split documents.
-    let mut train_docs = BTreeSet::new();
-    let mut test_docs = BTreeSet::new();
-    for (_, doc) in corpus.iter() {
-        if is_train_doc(&doc.name, cfg.train_frac, cfg.seed) {
-            train_docs.insert(doc.name.clone());
-        } else {
-            test_docs.insert(doc.name.clone());
-        }
-    }
-
-    // Phase 3a: multimodal featurization.
-    let (feats, featurize) = observe::timed("featurize", || {
-        Featurizer::new(cfg.features).featurize_parallel(corpus, &candidates, cfg.n_threads)
-    });
-    let vocab = HashedVocab::new(cfg.vocab_size);
-    let dataset = prepare(corpus, &candidates, &feats, &vocab, cfg.window);
-
-    // Phase 3b: supervision on the training split.
-    let ((label_matrix, train_idx, train_marginals, label_coverage), supervise) =
-        observe::timed("supervise", || {
-            let train_idx: Vec<usize> = candidates
-                .candidates
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
-                .map(|(i, _)| i)
-                .collect();
-            let train_subset = CandidateSet {
-                schema: candidates.schema.clone(),
-                candidates: train_idx
-                    .iter()
-                    .map(|&i| candidates.candidates[i].clone())
-                    .collect(),
-            };
-            let lf_refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
-            let label_matrix = LabelMatrix::apply(&lf_refs, corpus, &train_subset);
-            let gen = GenerativeModel::fit(&label_matrix, &cfg.gen_opts);
-            let train_marginals = gen.predict(&label_matrix);
-            let label_coverage = label_matrix.total_coverage();
-            (label_matrix, train_idx, train_marginals, label_coverage)
-        });
-    observe::gauge_set("supervision.label_coverage", label_coverage);
-
-    // Keep only candidates some LF labeled (Snorkel's behavior).
-    let mut train_inputs = Vec::new();
-    let mut train_targets = Vec::new();
-    for (k, &i) in train_idx.iter().enumerate() {
-        if label_matrix.row(k).iter().any(|&v| v != 0) {
-            train_inputs.push(dataset.inputs[i].clone());
-            train_targets.push(train_marginals[k] as f32);
-        }
-    }
-
-    // Phase 3c: discriminative training + classification.
-    let (model, train) = observe::timed("train", || {
-        let mut model: Box<dyn ProbClassifier> = match cfg.learner {
-            Learner::MultimodalLstm => Box::new(FonduerModel::new(
-                cfg.model.clone(),
-                dataset.vocab_size,
-                dataset.n_features,
-                dataset.arity,
-            )),
-            Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
-        };
-        model.fit(&train_inputs, &train_targets);
-        model
-    });
-    let (marginals, infer) = observe::timed("infer", || model.predict(&dataset.inputs));
-    observe::counter("infer.candidates", marginals.len() as u64);
-
-    // LF error-analysis table over the training label matrix.
-    let lf_names: Vec<String> = task.lfs.iter().map(|lf| lf.name.clone()).collect();
-    let train_gold: Vec<bool> = train_idx
-        .iter()
-        .map(|&i| {
-            let c = &candidates.candidates[i];
-            let d = corpus.doc(c.doc);
-            gold.contains(&candidates.schema.name, &d.name, &c.arg_texts(d))
-        })
-        .collect();
-    let lf_diagnostics = LfDiagnostics::compute(
-        &lf_names,
-        &label_matrix,
-        (!gold.is_empty()).then_some(train_gold.as_slice()),
-    );
-    lf_diagnostics.publish_gauges();
-
-    // Flight recorder: one provenance record per kept candidate, tracing it
-    // from mention spans through throttling, LF votes, and feature mix to
-    // its marginal. Skipped entirely when FONDUER_PROVENANCE=0.
-    if observe::provenance::recording_enabled() {
-        let _span = observe::span("provenance");
-        observe::provenance::set_meta(ProvenanceMeta {
-            relation: candidates.schema.name.clone(),
-            arg_names: candidates.schema.arg_names.clone(),
-            matchers: task.extractor.matcher_names(),
-            scope: task.extractor.scope.label().to_string(),
-            throttlers: task.extractor.throttler_names(),
-            lf_names,
-        });
-        let mut train_row = vec![usize::MAX; candidates.candidates.len()];
-        for (k, &i) in train_idx.iter().enumerate() {
-            train_row[i] = k;
-        }
-        for (i, (c, &p)) in candidates.candidates.iter().zip(&marginals).enumerate() {
-            let doc = corpus.doc(c.doc);
-            let in_train = train_row[i] != usize::MAX;
-            observe::provenance::record(ProvenanceRecord {
-                doc: doc.name.clone(),
-                candidate_index: i,
-                mentions: c
-                    .mentions
-                    .iter()
-                    .map(|m| MentionProvenance {
-                        sentence: m.sentence.0,
-                        start: m.start,
-                        end: m.end,
-                        text: m.normalized_text(doc),
-                    })
-                    .collect(),
-                throttlers_passed: task.extractor.throttlers.len() as u32,
-                in_train,
-                lf_votes: if in_train {
-                    label_matrix.row(train_row[i]).to_vec()
-                } else {
-                    Vec::new()
-                },
-                feature_counts: feats.modality_counts(i),
-                marginal: p,
-            });
-        }
-    }
-
-    finish(
-        corpus,
-        gold,
-        candidates,
-        marginals,
-        cfg,
-        train_docs,
-        test_docs,
-        label_coverage,
-        lf_diagnostics,
-        Timings {
-            candgen,
-            featurize,
-            supervise,
-            train,
-            infer,
-        },
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    corpus: &Corpus,
-    gold: &GoldKb,
-    candidates: CandidateSet,
-    marginals: Vec<f32>,
-    cfg: &PipelineConfig,
-    train_docs: BTreeSet<String>,
-    test_docs: BTreeSet<String>,
-    label_coverage: f64,
-    lf_diagnostics: LfDiagnostics,
-    timings: Timings,
-) -> PipelineOutput {
-    let relation = candidates.schema.name.clone();
-    let arg_names = candidates.schema.arg_names.clone();
-    let tuples_with_p: Vec<(Tuple, f32)> = candidates
-        .candidates
-        .iter()
-        .zip(&marginals)
-        .map(|(c, &p)| {
-            let doc = corpus.doc(c.doc);
-            ((doc.name.clone(), c.arg_texts(doc)), p)
-        })
-        .collect();
-    // Held-out evaluation (before the KB takes ownership of the tuples).
-    let pred_test: BTreeSet<Tuple> = tuples_with_p
-        .iter()
-        .filter(|((d, _), p)| *p >= cfg.threshold && test_docs.contains(d))
-        .map(|(t, _)| t.clone())
-        .collect();
-    let gold_test = gold_tuples_for_docs(gold, &relation, &test_docs);
-    let metrics = eval_tuples(&pred_test, &gold_test);
-    let kb = KnowledgeBase::from_marginals(&relation, &arg_names, tuples_with_p, cfg.threshold);
-    PipelineOutput {
-        candidates,
-        marginals,
-        kb,
-        train_docs,
-        test_docs,
-        metrics,
-        label_coverage,
-        lf_diagnostics,
-        timings,
-    }
+    let mut session =
+        PipelineSession::compat(corpus, gold, &task.extractor, &task.lfs, cfg.clone());
+    session
+        .output()
+        .expect("lenient pipeline session is infallible")
 }
 
 /// Reachable-tuple set of a candidate extractor: the distinct `(doc,
@@ -424,5 +355,58 @@ mod tests {
     fn extreme_fractions() {
         assert!(!is_train_doc("a", 0.0, 1));
         assert!(is_train_doc("a", 1.0, 1));
+    }
+
+    #[test]
+    fn builder_validates_domains() {
+        assert!(PipelineConfig::default().validate().is_ok());
+        let cfg = PipelineConfig::builder()
+            .learner(Learner::LogReg)
+            .threshold(0.25)
+            .train_frac(0.5)
+            .vocab_size(128)
+            .window(3)
+            .seed(7)
+            .n_threads(2)
+            .model(ModelConfig::default())
+            .features(FeatureConfig::default())
+            .gen_opts(GenerativeOptions::default())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.learner, Learner::LogReg);
+        assert_eq!(cfg.vocab_size, 128);
+        assert_eq!(cfg.n_threads, 2);
+
+        assert_eq!(
+            PipelineConfig::builder()
+                .threshold(1.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::Threshold { value: 1.5 }
+        );
+        // NaN is outside every range.
+        assert!(PipelineConfig::builder()
+            .threshold(f32::NAN)
+            .build()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .train_frac(f64::NAN)
+            .build()
+            .is_err());
+        assert_eq!(
+            PipelineConfig::builder()
+                .train_frac(-0.1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TrainFrac { value: -0.1 }
+        );
+        assert_eq!(
+            PipelineConfig::builder().n_threads(0).build().unwrap_err(),
+            ConfigError::Threads { value: 0 }
+        );
+        assert_eq!(
+            PipelineConfig::builder().vocab_size(0).build().unwrap_err(),
+            ConfigError::VocabSize { value: 0 }
+        );
     }
 }

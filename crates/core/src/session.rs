@@ -1,0 +1,879 @@
+//! Incremental pipeline sessions: the staged, artifact-cached execution
+//! surface for iterative KBC (paper §4.3, Appendix C).
+//!
+//! Fonduer's core usage pattern is *iterative*: users tweak labeling
+//! functions or throttlers and re-run, and the system amortizes cost so
+//! only supervision and learning repeat. A [`PipelineSession`] makes that
+//! explicit. Each stage —
+//! [`candidates`](PipelineSession::candidates) →
+//! [`featurize`](PipelineSession::featurize) →
+//! [`supervise`](PipelineSession::supervise) →
+//! [`train`](PipelineSession::train) →
+//! [`infer`](PipelineSession::infer) →
+//! [`evaluate`](PipelineSession::evaluate) — caches its output artifact
+//! under a content hash of its inputs (matcher/throttler fingerprints,
+//! [`FeatureConfig`] mask, LF names, [`ModelConfig`], split seed, ...).
+//! Mutating an input (e.g. [`set_lfs`](PipelineSession::set_lfs)) dirties
+//! only the stages whose keys change, so the LF-iteration loop re-runs
+//! supervision + training against cached candidates and feature matrices —
+//! the Appendix C workflow.
+//!
+//! Staleness is purely key-based: setters never eagerly drop artifacts, so
+//! setting an input back to its previous value re-hits the cache. Per-stage
+//! hits and misses are tracked in [`SessionStats`] and mirrored to
+//! `fonduer-observe` counters (`session.cache.hit.<stage>` /
+//! `session.cache.miss.<stage>`); stage recomputation runs under the same
+//! span names (`candgen`, `featurize`, ...) the one-shot
+//! [`run_task`](crate::run_task) always used.
+//!
+//! Closure-backed matchers, throttlers, and LFs are opaque to content
+//! hashing: a matcher closure's *behavior* can change without its
+//! fingerprint changing (LFs are keyed by name). When editing an LF body
+//! in place, give it a new name — or call
+//! [`invalidate`](PipelineSession::invalidate) to force a full recompute.
+
+use crate::error::Error;
+use crate::eval::{eval_tuples, gold_tuples_for_docs, PrF1, Tuple};
+use crate::kb::KnowledgeBase;
+use crate::pipeline::{is_train_doc, Learner, PipelineConfig, PipelineOutput, Task, Timings};
+use fonduer_candidates::{CandidateExtractor, CandidateSet};
+use fonduer_datamodel::Corpus;
+use fonduer_features::{FeatureConfig, FeatureSet, Featurizer};
+use fonduer_learning::{
+    prepare, FonduerModel, LogRegModel, ModelConfig, PreparedDataset, ProbClassifier,
+};
+use fonduer_nlp::{fnv1a, HashedVocab};
+use fonduer_observe as observe;
+use fonduer_observe::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
+use fonduer_supervision::{
+    GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction, LfDiagnostics,
+};
+use fonduer_synth::GoldKb;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// The cached pipeline stages, in dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageId {
+    /// Candidate generation (phase 2).
+    Candidates,
+    /// Multimodal featurization + model-input preparation (phase 3a).
+    Featurize,
+    /// LF application + generative model + LF diagnostics (phase 3b).
+    Supervise,
+    /// Discriminative training (phase 3c).
+    Train,
+    /// Inference over all candidates.
+    Infer,
+    /// Held-out evaluation + KB construction.
+    Evaluate,
+}
+
+impl StageId {
+    /// All stages, in dependency order.
+    pub const ALL: [StageId; 6] = [
+        StageId::Candidates,
+        StageId::Featurize,
+        StageId::Supervise,
+        StageId::Train,
+        StageId::Infer,
+        StageId::Evaluate,
+    ];
+
+    /// Stage label used in counter names and reports (matches the span
+    /// names `run_task` has always emitted).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Candidates => "candgen",
+            StageId::Featurize => "featurize",
+            StageId::Supervise => "supervise",
+            StageId::Train => "train",
+            StageId::Infer => "infer",
+            StageId::Evaluate => "evaluate",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StageId::Candidates => 0,
+            StageId::Featurize => 1,
+            StageId::Supervise => 2,
+            StageId::Train => 3,
+            StageId::Infer => 4,
+            StageId::Evaluate => 5,
+        }
+    }
+}
+
+/// Cache counters for one stage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Times the stage's artifact was served from cache.
+    pub hits: u64,
+    /// Times the stage's artifact was (re)computed.
+    pub misses: u64,
+}
+
+/// Per-stage cache hit/miss counters for one session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    stages: [StageStats; 6],
+}
+
+impl SessionStats {
+    /// Counters for one stage.
+    pub fn stage(&self, id: StageId) -> StageStats {
+        self.stages[id.index()]
+    }
+
+    /// Total cache hits across all stages.
+    pub fn hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total artifact computations across all stages.
+    pub fn misses(&self) -> u64 {
+        self.stages.iter().map(|s| s.misses).sum()
+    }
+
+    /// One-line rendering, e.g. `candgen 1h/1m featurize 1h/1m ...`.
+    pub fn to_line(&self) -> String {
+        StageId::ALL
+            .iter()
+            .map(|&id| {
+                let s = self.stage(id);
+                format!("{} {}h/{}m", id.name(), s.hits, s.misses)
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+/// One cached artifact plus the content-hash key it was computed under.
+struct Cached<T> {
+    key: u64,
+    value: T,
+}
+
+/// The supervision stage's artifact: everything phase 3b derives from the
+/// candidate set, the LF library, and the document split.
+pub struct SupervisionArtifact {
+    /// Dense label matrix over training candidates (rows follow `train_idx`).
+    pub label_matrix: LabelMatrix,
+    /// Indices (into the candidate set) of training-split candidates.
+    pub train_idx: Vec<usize>,
+    /// Generative-model marginals, aligned with `train_idx`.
+    pub train_marginals: Vec<f64>,
+    /// Fraction of training candidates with at least one LF vote.
+    pub label_coverage: f64,
+    /// Per-LF error-analysis table (empirical accuracy when gold is known).
+    pub lf_diagnostics: LfDiagnostics,
+}
+
+struct FeatureArtifact {
+    feats: FeatureSet,
+    dataset: PreparedDataset,
+}
+
+struct EvalArtifact {
+    kb: KnowledgeBase,
+    metrics: PrF1,
+}
+
+fn hash_parts(tag: &str, parts: &[u64]) -> u64 {
+    let mut key = tag.as_bytes().to_vec();
+    for p in parts {
+        key.push(0x1f);
+        key.extend_from_slice(&p.to_le_bytes());
+    }
+    fnv1a(&key)
+}
+
+/// A stateful, incrementally re-runnable pipeline over one corpus.
+///
+/// The session borrows the corpus, the gold KB, and the task inputs
+/// (extractor + LF library) for its lifetime; the iterative loop swaps the
+/// borrowed inputs with [`set_lfs`](Self::set_lfs) /
+/// [`set_extractor`](Self::set_extractor) and re-runs
+/// [`output`](Self::output). See the module docs for the caching model.
+///
+/// ```no_run
+/// # use fonduer_core::{PipelineSession, PipelineConfig, Task};
+/// # fn demo(corpus: &fonduer_datamodel::Corpus, gold: &fonduer_synth::GoldKb,
+/// #         task: &Task, better_lfs: &[fonduer_supervision::LabelingFunction])
+/// #         -> Result<(), fonduer_core::Error> {
+/// let mut session = PipelineSession::new(corpus, gold, task, PipelineConfig::default())?;
+/// let first = session.output()?; // cold: runs all six stages
+/// session.set_lfs(better_lfs); // dirty supervise + train + infer + evaluate
+/// let second = session.output()?; // warm: candgen + featurize served from cache
+/// # Ok(()) }
+/// ```
+pub struct PipelineSession<'a> {
+    corpus: &'a Corpus,
+    gold: &'a GoldKb,
+    extractor: &'a CandidateExtractor,
+    lfs: &'a [LabelingFunction],
+    cfg: PipelineConfig,
+    /// Lenient sessions (the `run_task` compatibility path) skip the
+    /// strict empty-candidate / empty-training-set checks and reproduce
+    /// the historical permissive behavior bit for bit.
+    strict: bool,
+    candidates: Option<Cached<CandidateSet>>,
+    split: Option<Cached<(BTreeSet<String>, BTreeSet<String>)>>,
+    features: Option<Cached<FeatureArtifact>>,
+    supervision: Option<Cached<SupervisionArtifact>>,
+    model: Option<Cached<Box<dyn ProbClassifier>>>,
+    marginals: Option<Cached<Vec<f32>>>,
+    evaluation: Option<Cached<EvalArtifact>>,
+    timings: Timings,
+    stats: SessionStats,
+    /// Stages already counted during the current top-level traversal: one
+    /// `output()` consults the candidate artifact from both featurize and
+    /// supervise, but that is one hit, not two.
+    noted: [bool; 6],
+}
+
+impl<'a> PipelineSession<'a> {
+    /// Open a session for `task` over `corpus`, validating `cfg`.
+    pub fn new(
+        corpus: &'a Corpus,
+        gold: &'a GoldKb,
+        task: &'a Task,
+        cfg: PipelineConfig,
+    ) -> Result<Self, Error> {
+        Self::from_parts(corpus, gold, &task.extractor, &task.lfs, cfg)
+    }
+
+    /// Open a session from an extractor and LF slice directly (no [`Task`]
+    /// wrapper), validating `cfg`.
+    pub fn from_parts(
+        corpus: &'a Corpus,
+        gold: &'a GoldKb,
+        extractor: &'a CandidateExtractor,
+        lfs: &'a [LabelingFunction],
+        cfg: PipelineConfig,
+    ) -> Result<Self, Error> {
+        cfg.validate()?;
+        Ok(Self::build(corpus, gold, extractor, lfs, cfg, true))
+    }
+
+    /// The `run_task` compatibility constructor: no config validation, no
+    /// strict degenerate-input errors.
+    pub(crate) fn compat(
+        corpus: &'a Corpus,
+        gold: &'a GoldKb,
+        extractor: &'a CandidateExtractor,
+        lfs: &'a [LabelingFunction],
+        cfg: PipelineConfig,
+    ) -> Self {
+        Self::build(corpus, gold, extractor, lfs, cfg, false)
+    }
+
+    fn build(
+        corpus: &'a Corpus,
+        gold: &'a GoldKb,
+        extractor: &'a CandidateExtractor,
+        lfs: &'a [LabelingFunction],
+        cfg: PipelineConfig,
+        strict: bool,
+    ) -> Self {
+        Self {
+            corpus,
+            gold,
+            extractor,
+            lfs,
+            cfg,
+            strict,
+            candidates: None,
+            split: None,
+            features: None,
+            supervision: None,
+            model: None,
+            marginals: None,
+            evaluation: None,
+            timings: Timings::default(),
+            stats: SessionStats::default(),
+            noted: [false; 6],
+        }
+    }
+
+    // ---------------------------------------------------------------- inputs
+
+    /// Replace the LF library. Dirties supervise → train → infer →
+    /// evaluate; candidate and feature artifacts stay valid.
+    pub fn set_lfs(&mut self, lfs: &'a [LabelingFunction]) {
+        self.lfs = lfs;
+    }
+
+    /// Replace the candidate extractor. Dirties every stage (unless the new
+    /// extractor's fingerprint matches the old one).
+    pub fn set_extractor(&mut self, extractor: &'a CandidateExtractor) {
+        self.extractor = extractor;
+    }
+
+    /// Replace the whole configuration (validated). Stages whose key inputs
+    /// are unchanged keep their cached artifacts.
+    pub fn set_config(&mut self, cfg: PipelineConfig) -> Result<(), Error> {
+        cfg.validate()?;
+        self.cfg = cfg;
+        Ok(())
+    }
+
+    /// Change the classification threshold. Dirties only evaluate.
+    pub fn set_threshold(&mut self, threshold: f32) -> Result<(), Error> {
+        let mut cfg = self.cfg.clone();
+        cfg.threshold = threshold;
+        self.set_config(cfg)
+    }
+
+    /// Change the feature-modality switchboard. Dirties featurize → train →
+    /// infer → evaluate; candidates and supervision stay valid.
+    pub fn set_feature_config(&mut self, features: FeatureConfig) {
+        self.cfg.features = features;
+    }
+
+    /// Change the neural-model hyperparameters. Dirties train → infer →
+    /// evaluate.
+    pub fn set_model_config(&mut self, model: ModelConfig) {
+        self.cfg.model = model;
+    }
+
+    /// Change the discriminative learner. Dirties train → infer → evaluate.
+    pub fn set_learner(&mut self, learner: Learner) {
+        self.cfg.learner = learner;
+    }
+
+    /// Change the generative-model options. Dirties supervise → train →
+    /// infer → evaluate.
+    pub fn set_gen_opts(&mut self, gen_opts: GenerativeOptions) {
+        self.cfg.gen_opts = gen_opts;
+    }
+
+    /// Change the train/test document split. Dirties supervise → train →
+    /// infer → evaluate.
+    pub fn set_split(&mut self, train_frac: f64, seed: u64) -> Result<(), Error> {
+        let mut cfg = self.cfg.clone();
+        cfg.train_frac = train_frac;
+        cfg.seed = seed;
+        self.set_config(cfg)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Drop every cached artifact, forcing the next run to recompute all
+    /// stages. The escape hatch for in-place edits content hashing cannot
+    /// see (a closure body behind an unchanged matcher kind or LF name).
+    pub fn invalidate(&mut self) {
+        self.candidates = None;
+        self.split = None;
+        self.features = None;
+        self.supervision = None;
+        self.model = None;
+        self.marginals = None;
+        self.evaluation = None;
+    }
+
+    /// Per-stage cache hit/miss counters accumulated over the session.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Zero the cache counters (artifacts are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+    }
+
+    /// Stage timings of the most recent traversal. Stages served from cache
+    /// report [`Duration::ZERO`]; recomputed stages report measured wall
+    /// clock — so a warm re-run's total is the true incremental cost.
+    pub fn timings(&self) -> Timings {
+        self.timings
+    }
+
+    // ------------------------------------------------------------ cache keys
+
+    /// Record one hit/miss for `stage`, once per traversal (a single
+    /// `output()` walk can consult an upstream artifact more than once —
+    /// e.g. candidates feed both featurization and supervision). Returns
+    /// whether this was the first consult of the traversal, so callers can
+    /// also gate per-traversal side effects (like zeroing a stage timing)
+    /// on it.
+    fn note(&mut self, stage: StageId, hit: bool) -> bool {
+        if self.noted[stage.index()] {
+            return false;
+        }
+        self.noted[stage.index()] = true;
+        let s = &mut self.stats.stages[stage.index()];
+        if hit {
+            s.hits += 1;
+        } else {
+            s.misses += 1;
+        }
+        let verdict = if hit { "hit" } else { "miss" };
+        observe::counter(&format!("session.cache.{verdict}.{}", stage.name()), 1);
+        true
+    }
+
+    fn candidates_key(&self) -> u64 {
+        hash_parts("candidates", &[self.extractor.fingerprint()])
+    }
+
+    fn split_key(&self) -> u64 {
+        hash_parts("split", &[self.cfg.train_frac.to_bits(), self.cfg.seed])
+    }
+
+    fn features_key(&self) -> u64 {
+        hash_parts(
+            "features",
+            &[
+                self.candidates_key(),
+                self.cfg.features.mask() as u64,
+                self.cfg.vocab_size as u64,
+                self.cfg.window as u64,
+            ],
+        )
+    }
+
+    fn supervise_key(&self) -> u64 {
+        let mut lf_names = Vec::new();
+        for lf in self.lfs {
+            lf_names.push(0x1f);
+            lf_names.extend_from_slice(lf.name.as_bytes());
+        }
+        hash_parts(
+            "supervise",
+            &[
+                self.candidates_key(),
+                self.split_key(),
+                fnv1a(&lf_names),
+                fnv1a(format!("{:?}", self.cfg.gen_opts).as_bytes()),
+            ],
+        )
+    }
+
+    fn train_key(&self) -> u64 {
+        hash_parts(
+            "train",
+            &[
+                self.features_key(),
+                self.supervise_key(),
+                fnv1a(format!("{:?}", self.cfg.learner).as_bytes()),
+                fnv1a(format!("{:?}", self.cfg.model).as_bytes()),
+                self.cfg.seed,
+            ],
+        )
+    }
+
+    fn evaluate_key(&self) -> u64 {
+        hash_parts(
+            "evaluate",
+            &[self.train_key(), self.cfg.threshold.to_bits() as u64],
+        )
+    }
+
+    // ---------------------------------------------------------------- stages
+
+    /// Phase 2: candidate generation. Cached on the extractor fingerprint.
+    pub fn candidates(&mut self) -> Result<&CandidateSet, Error> {
+        self.noted = [false; 6];
+        self.ensure_candidates()?;
+        Ok(&self.candidates.as_ref().unwrap().value)
+    }
+
+    fn ensure_candidates(&mut self) -> Result<(), Error> {
+        let key = self.candidates_key();
+        if self.candidates.as_ref().is_some_and(|c| c.key == key) {
+            if self.note(StageId::Candidates, true) {
+                self.timings.candgen = Duration::ZERO;
+            }
+            return Ok(());
+        }
+        self.note(StageId::Candidates, false);
+        let (set, took) = observe::timed("candgen", || {
+            self.extractor
+                .extract_parallel(self.corpus, self.cfg.n_threads)
+        });
+        // Validate every candidate's document id once, up front, so the
+        // historical index panics deep inside later stages become a typed
+        // error at the point the candidates enter the session.
+        for c in &set.candidates {
+            if self.corpus.get(c.doc).is_none() {
+                return Err(Error::DocNotFound {
+                    doc: c.doc,
+                    n_docs: self.corpus.len(),
+                });
+            }
+        }
+        self.timings.candgen = took;
+        self.candidates = Some(Cached { key, value: set });
+        Ok(())
+    }
+
+    /// The train/test document-name split (cheap; cached on
+    /// `(train_frac, seed)`).
+    fn split(&mut self) -> &(BTreeSet<String>, BTreeSet<String>) {
+        let key = self.split_key();
+        if self.split.as_ref().is_none_or(|c| c.key != key) {
+            let mut train_docs = BTreeSet::new();
+            let mut test_docs = BTreeSet::new();
+            for (_, doc) in self.corpus.iter() {
+                if is_train_doc(&doc.name, self.cfg.train_frac, self.cfg.seed) {
+                    train_docs.insert(doc.name.clone());
+                } else {
+                    test_docs.insert(doc.name.clone());
+                }
+            }
+            self.split = Some(Cached {
+                key,
+                value: (train_docs, test_docs),
+            });
+        }
+        &self.split.as_ref().unwrap().value
+    }
+
+    /// Phase 3a: multimodal featurization + model-input preparation.
+    /// Cached on the candidate key plus the [`FeatureConfig`] mask, vocab
+    /// size, and sentence window.
+    pub fn featurize(&mut self) -> Result<&FeatureSet, Error> {
+        self.noted = [false; 6];
+        self.ensure_featurize()?;
+        Ok(&self.features.as_ref().unwrap().value.feats)
+    }
+
+    fn ensure_featurize(&mut self) -> Result<(), Error> {
+        self.ensure_candidates()?;
+        let key = self.features_key();
+        if self.features.as_ref().is_some_and(|c| c.key == key) {
+            if self.note(StageId::Featurize, true) {
+                self.timings.featurize = Duration::ZERO;
+            }
+            return Ok(());
+        }
+        self.note(StageId::Featurize, false);
+        let cands = &self.candidates.as_ref().unwrap().value;
+        let (feats, took) = observe::timed("featurize", || {
+            Featurizer::new(self.cfg.features).featurize_parallel(
+                self.corpus,
+                cands,
+                self.cfg.n_threads,
+            )
+        });
+        let vocab = HashedVocab::new(self.cfg.vocab_size);
+        let dataset = prepare(self.corpus, cands, &feats, &vocab, self.cfg.window);
+        self.timings.featurize = took;
+        self.features = Some(Cached {
+            key,
+            value: FeatureArtifact { feats, dataset },
+        });
+        Ok(())
+    }
+
+    /// Phase 3b: LF application, generative model, and LF diagnostics over
+    /// the training split. Cached on the candidate and split keys plus the
+    /// LF names and generative options.
+    pub fn supervise(&mut self) -> Result<&SupervisionArtifact, Error> {
+        self.noted = [false; 6];
+        self.ensure_supervise()?;
+        Ok(&self.supervision.as_ref().unwrap().value)
+    }
+
+    fn ensure_supervise(&mut self) -> Result<(), Error> {
+        self.ensure_candidates()?;
+        self.split();
+        let key = self.supervise_key();
+        if self.supervision.as_ref().is_some_and(|c| c.key == key) {
+            if self.note(StageId::Supervise, true) {
+                self.timings.supervise = Duration::ZERO;
+            }
+            return Ok(());
+        }
+        self.note(StageId::Supervise, false);
+        let candidates = &self.candidates.as_ref().unwrap().value;
+        let (train_docs, _) = &self.split.as_ref().unwrap().value;
+        let corpus = self.corpus;
+        let lfs = self.lfs;
+        let gen_opts = &self.cfg.gen_opts;
+        let ((label_matrix, train_idx, train_marginals, label_coverage), took) =
+            observe::timed("supervise", || {
+                let train_idx: Vec<usize> = candidates
+                    .candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
+                    .map(|(i, _)| i)
+                    .collect();
+                let train_subset = CandidateSet {
+                    schema: candidates.schema.clone(),
+                    candidates: train_idx
+                        .iter()
+                        .map(|&i| candidates.candidates[i].clone())
+                        .collect(),
+                };
+                let lf_refs: Vec<&LabelingFunction> = lfs.iter().collect();
+                let label_matrix = LabelMatrix::apply(&lf_refs, corpus, &train_subset);
+                let gen = GenerativeModel::fit(&label_matrix, gen_opts);
+                let train_marginals = gen.predict(&label_matrix);
+                let label_coverage = label_matrix.total_coverage();
+                (label_matrix, train_idx, train_marginals, label_coverage)
+            });
+        observe::gauge_set("supervision.label_coverage", label_coverage);
+        // LF error-analysis table (empirical accuracy when gold is known).
+        let lf_names: Vec<String> = lfs.iter().map(|lf| lf.name.clone()).collect();
+        let train_gold: Vec<bool> = train_idx
+            .iter()
+            .map(|&i| {
+                let c = &candidates.candidates[i];
+                let d = corpus.doc(c.doc);
+                self.gold
+                    .contains(&candidates.schema.name, &d.name, &c.arg_texts(d))
+            })
+            .collect();
+        let lf_diagnostics = LfDiagnostics::compute(
+            &lf_names,
+            &label_matrix,
+            (!self.gold.is_empty()).then_some(train_gold.as_slice()),
+        );
+        lf_diagnostics.publish_gauges();
+        self.timings.supervise = took;
+        self.supervision = Some(Cached {
+            key,
+            value: SupervisionArtifact {
+                label_matrix,
+                train_idx,
+                train_marginals,
+                label_coverage,
+                lf_diagnostics,
+            },
+        });
+        Ok(())
+    }
+
+    /// Phase 3c: discriminative training. Cached on the feature and
+    /// supervision keys plus the learner selection and model config.
+    ///
+    /// Strict sessions (the default) reject degenerate training inputs with
+    /// [`Error::NoCandidates`] / [`Error::EmptyTrainingSet`] instead of
+    /// silently fitting nothing.
+    pub fn train(&mut self) -> Result<(), Error> {
+        self.noted = [false; 6];
+        self.ensure_train()
+    }
+
+    fn ensure_train(&mut self) -> Result<(), Error> {
+        self.ensure_featurize()?;
+        self.ensure_supervise()?;
+        let key = self.train_key();
+        if self.model.as_ref().is_some_and(|c| c.key == key) {
+            if self.note(StageId::Train, true) {
+                self.timings.train = Duration::ZERO;
+            }
+            return Ok(());
+        }
+        self.note(StageId::Train, false);
+        let candidates = &self.candidates.as_ref().unwrap().value;
+        let dataset = &self.features.as_ref().unwrap().value.dataset;
+        let sup = &self.supervision.as_ref().unwrap().value;
+        // Keep only candidates some LF labeled (Snorkel's behavior).
+        let mut train_inputs = Vec::new();
+        let mut train_targets = Vec::new();
+        for (k, &i) in sup.train_idx.iter().enumerate() {
+            if sup.label_matrix.row(k).iter().any(|&v| v != 0) {
+                train_inputs.push(dataset.inputs[i].clone());
+                train_targets.push(sup.train_marginals[k] as f32);
+            }
+        }
+        if self.strict {
+            if candidates.is_empty() {
+                return Err(Error::NoCandidates {
+                    relation: candidates.schema.name.clone(),
+                });
+            }
+            if train_inputs.is_empty() {
+                return Err(Error::EmptyTrainingSet {
+                    relation: candidates.schema.name.clone(),
+                    n_candidates: candidates.len(),
+                    n_train: sup.train_idx.len(),
+                });
+            }
+        }
+        let cfg = &self.cfg;
+        let (model, took) = observe::timed("train", || {
+            let mut model: Box<dyn ProbClassifier> = match cfg.learner {
+                Learner::MultimodalLstm => Box::new(FonduerModel::new(
+                    cfg.model.clone(),
+                    dataset.vocab_size,
+                    dataset.n_features,
+                    dataset.arity,
+                )),
+                Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
+            };
+            model.fit(&train_inputs, &train_targets);
+            model
+        });
+        self.timings.train = took;
+        self.model = Some(Cached { key, value: model });
+        Ok(())
+    }
+
+    /// Inference: marginal P(true) for every candidate (aligned with
+    /// [`candidates`](Self::candidates)). Cached with the trained model.
+    pub fn infer(&mut self) -> Result<&[f32], Error> {
+        self.noted = [false; 6];
+        self.ensure_infer()?;
+        Ok(&self.marginals.as_ref().unwrap().value)
+    }
+
+    fn ensure_infer(&mut self) -> Result<(), Error> {
+        self.ensure_train()?;
+        let key = self.train_key();
+        if self.marginals.as_ref().is_some_and(|c| c.key == key) {
+            if self.note(StageId::Infer, true) {
+                self.timings.infer = Duration::ZERO;
+            }
+            return Ok(());
+        }
+        self.note(StageId::Infer, false);
+        let model = &self.model.as_ref().unwrap().value;
+        let dataset = &self.features.as_ref().unwrap().value.dataset;
+        let (marginals, took) = observe::timed("infer", || model.predict(&dataset.inputs));
+        observe::counter("infer.candidates", marginals.len() as u64);
+        self.timings.infer = took;
+        self.marginals = Some(Cached {
+            key,
+            value: marginals,
+        });
+        Ok(())
+    }
+
+    /// Held-out evaluation against gold plus KB construction. Cached on the
+    /// inference key and the classification threshold.
+    pub fn evaluate(&mut self) -> Result<&PrF1, Error> {
+        self.noted = [false; 6];
+        self.ensure_evaluate()?;
+        Ok(&self.evaluation.as_ref().unwrap().value.metrics)
+    }
+
+    fn ensure_evaluate(&mut self) -> Result<(), Error> {
+        self.ensure_infer()?;
+        let key = self.evaluate_key();
+        if self.evaluation.as_ref().is_some_and(|c| c.key == key) {
+            self.note(StageId::Evaluate, true);
+            return Ok(());
+        }
+        self.note(StageId::Evaluate, false);
+        let candidates = &self.candidates.as_ref().unwrap().value;
+        let marginals = &self.marginals.as_ref().unwrap().value;
+        let (_, test_docs) = &self.split.as_ref().unwrap().value;
+        let relation = candidates.schema.name.clone();
+        let arg_names = candidates.schema.arg_names.clone();
+        let tuples_with_p: Vec<(Tuple, f32)> = candidates
+            .candidates
+            .iter()
+            .zip(marginals.iter())
+            .map(|(c, &p)| {
+                let doc = self.corpus.doc(c.doc);
+                ((doc.name.clone(), c.arg_texts(doc)), p)
+            })
+            .collect();
+        // Held-out evaluation (before the KB takes ownership of the tuples).
+        let pred_test: BTreeSet<Tuple> = tuples_with_p
+            .iter()
+            .filter(|((d, _), p)| *p >= self.cfg.threshold && test_docs.contains(d))
+            .map(|(t, _)| t.clone())
+            .collect();
+        let gold_test = gold_tuples_for_docs(self.gold, &relation, test_docs);
+        let metrics = eval_tuples(&pred_test, &gold_test);
+        let kb =
+            KnowledgeBase::from_marginals(&relation, &arg_names, tuples_with_p, self.cfg.threshold);
+        self.evaluation = Some(Cached {
+            key,
+            value: EvalArtifact { kb, metrics },
+        });
+        Ok(())
+    }
+
+    /// Run every stage (cached stages are skipped) and assemble a
+    /// [`PipelineOutput`] — byte-identical to what the one-shot
+    /// [`run_task`](crate::run_task) produces for the same inputs.
+    pub fn output(&mut self) -> Result<PipelineOutput, Error> {
+        self.noted = [false; 6];
+        self.ensure_evaluate()?;
+        if observe::provenance::recording_enabled() {
+            self.record_provenance();
+        }
+        let candidates = self.candidates.as_ref().unwrap().value.clone();
+        let marginals = self.marginals.as_ref().unwrap().value.clone();
+        let (train_docs, test_docs) = self.split.as_ref().unwrap().value.clone();
+        let sup = &self.supervision.as_ref().unwrap().value;
+        let eval = &self.evaluation.as_ref().unwrap().value;
+        Ok(PipelineOutput {
+            candidates,
+            marginals,
+            kb: eval.kb.clone(),
+            train_docs,
+            test_docs,
+            metrics: eval.metrics,
+            label_coverage: sup.label_coverage,
+            lf_diagnostics: sup.lf_diagnostics.clone(),
+            timings: self.timings,
+        })
+    }
+
+    /// Flight recorder: one provenance record per kept candidate, tracing
+    /// it from mention spans through throttling, LF votes, and feature mix
+    /// to its marginal (same records `run_task` has always emitted).
+    fn record_provenance(&self) {
+        let _span = observe::span("provenance");
+        let candidates = &self.candidates.as_ref().unwrap().value;
+        let marginals = &self.marginals.as_ref().unwrap().value;
+        let sup = &self.supervision.as_ref().unwrap().value;
+        let feats = &self.features.as_ref().unwrap().value.feats;
+        observe::provenance::set_meta(ProvenanceMeta {
+            relation: candidates.schema.name.clone(),
+            arg_names: candidates.schema.arg_names.clone(),
+            matchers: self.extractor.matcher_names(),
+            scope: self.extractor.scope.label().to_string(),
+            throttlers: self.extractor.throttler_names(),
+            lf_names: self.lfs.iter().map(|lf| lf.name.clone()).collect(),
+        });
+        let mut train_row = vec![usize::MAX; candidates.candidates.len()];
+        for (k, &i) in sup.train_idx.iter().enumerate() {
+            train_row[i] = k;
+        }
+        for (i, (c, &p)) in candidates
+            .candidates
+            .iter()
+            .zip(marginals.iter())
+            .enumerate()
+        {
+            let doc = self.corpus.doc(c.doc);
+            let in_train = train_row[i] != usize::MAX;
+            observe::provenance::record(ProvenanceRecord {
+                doc: doc.name.clone(),
+                candidate_index: i,
+                mentions: c
+                    .mentions
+                    .iter()
+                    .map(|m| MentionProvenance {
+                        sentence: m.sentence.0,
+                        start: m.start,
+                        end: m.end,
+                        text: m.normalized_text(doc),
+                    })
+                    .collect(),
+                throttlers_passed: self.extractor.throttlers.len() as u32,
+                in_train,
+                lf_votes: if in_train {
+                    sup.label_matrix.row(train_row[i]).to_vec()
+                } else {
+                    Vec::new()
+                },
+                feature_counts: feats.modality_counts(i),
+                marginal: p,
+            });
+        }
+    }
+}

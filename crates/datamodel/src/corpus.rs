@@ -29,9 +29,19 @@ impl Corpus {
     }
 
     /// Look up a document.
+    ///
+    /// Panics when `id` is out of range; use [`Corpus::get`] for the
+    /// non-panicking variant.
     #[inline]
     pub fn doc(&self, id: DocId) -> &Document {
         &self.docs[id.index()]
+    }
+
+    /// Look up a document, returning `None` when `id` does not belong to
+    /// this corpus (e.g. a candidate carried over from a different corpus).
+    #[inline]
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id.index())
     }
 
     /// Number of documents.
@@ -97,6 +107,8 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.doc(b).name, "b");
         assert_eq!(c[a].name, "a");
+        assert_eq!(c.get(b).map(|d| d.name.as_str()), Some("b"));
+        assert!(c.get(DocId(99)).is_none());
         let names: Vec<&str> = c.iter().map(|(_, d)| d.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b"]);
     }

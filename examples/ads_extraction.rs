@@ -33,15 +33,19 @@ fn main() {
         println!("  {label:<18} recall={:.2} F1={:.2}", m.recall, m.f1);
     }
 
-    // Full pipeline on every relation.
-    let cfg = PipelineConfig::default();
+    // Full pipeline on every relation, via staged sessions.
+    let cfg = PipelineConfig::builder()
+        .build()
+        .expect("default config is valid");
     println!("\nFonduer end-to-end:");
     for task in ads::tasks(&ds) {
         let rel = task.extractor.schema.name.clone();
-        let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+        let mut session = PipelineSession::new(&ds.corpus, &ds.gold, &task, cfg.clone())
+            .expect("session inputs are valid");
+        let metrics = *session.evaluate().expect("pipeline run");
         println!(
             "  {rel:<14} P={:.2} R={:.2} F1={:.2}",
-            out.metrics.precision, out.metrics.recall, out.metrics.f1
+            metrics.precision, metrics.recall, metrics.f1
         );
     }
 }

@@ -72,7 +72,12 @@ fn main() {
         );
     }
 
-    let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+    // End-to-end through a staged session; the LF table above is the manual
+    // view of what `session.supervise()` caches.
+    let mut session = PipelineSession::new(&ds.corpus, &ds.gold, &task, cfg.clone())
+        .expect("session inputs are valid");
+    let out = session.output().expect("pipeline run");
+    println!("session stages: {}", session.stats().to_line());
     println!(
         "\nend-to-end: P={:.2} R={:.2} F1={:.2} ({} predicted tuples in KB)",
         out.metrics.precision,

@@ -25,7 +25,9 @@ fn main() {
     let mut f1_sum = 0.0;
     for task in electronics::tasks(&ds) {
         let rel = task.extractor.schema.name.clone();
-        let out = run_task(&ds.corpus, &ds.gold, &task, &cfg);
+        let mut session = PipelineSession::new(&ds.corpus, &ds.gold, &task, cfg.clone())
+            .expect("session inputs are valid");
+        let out = session.output().expect("pipeline run");
         println!(
             "\n[{rel}] candidates={} coverage={:.2} | P={:.2} R={:.2} F1={:.2} (held-out, {} docs)",
             out.candidates.len(),
@@ -40,6 +42,17 @@ fn main() {
             println!("sample KB rows:");
             for line in out.kb.to_tsv().lines().take(6) {
                 println!("  {line}");
+            }
+            // Threshold sweep on the live session: everything up to
+            // inference is cached, only evaluation recomputes.
+            println!("threshold sweep (cached marginals):");
+            for t in [0.3, 0.5, 0.7, 0.9] {
+                session.set_threshold(t).expect("threshold in [0, 1]");
+                let m = *session.evaluate().expect("evaluate");
+                println!(
+                    "  t={t:.1}  P={:.2} R={:.2} F1={:.2}",
+                    m.precision, m.recall, m.f1
+                );
             }
         }
     }

@@ -45,7 +45,9 @@ fn main() {
         extractor: genomics::extractor(&ds, "snp_phenotype", ContextScope::Document),
         lfs: genomics::lfs("snp_phenotype"),
     };
-    let out = run_task(&ds.corpus, &ds.gold, &task, &PipelineConfig::default());
+    let mut session = PipelineSession::new(&ds.corpus, &ds.gold, &task, PipelineConfig::default())
+        .expect("session inputs are valid");
+    let out = session.output().expect("pipeline run");
     println!(
         "\nsnp_phenotype end-to-end: P={:.2} R={:.2} F1={:.2}",
         out.metrics.precision, out.metrics.recall, out.metrics.f1

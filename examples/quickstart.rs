@@ -99,13 +99,14 @@ fn main() {
     // Train + classify: every document is a training document here (demo).
     let task = Task { extractor, lfs };
     // With only a handful of candidates, sparse logistic regression over the
-    // multimodal feature library is the right-sized learner.
-    let cfg = PipelineConfig {
-        train_frac: 1.0,
-        learner: Learner::LogReg,
-        features: FeatureConfig::all(),
-        ..Default::default()
-    };
+    // multimodal feature library is the right-sized learner. The builder
+    // validates field domains (rejecting e.g. `train_frac: 1.7`).
+    let cfg = PipelineConfig::builder()
+        .train_frac(1.0)
+        .learner(Learner::LogReg)
+        .features(FeatureConfig::all())
+        .build()
+        .expect("quickstart config is valid");
     let gold = GoldKb::new(); // no gold: we just print the KB
     let out = fonduer::core::run_task(&corpus, &gold, &task, &cfg);
 

@@ -66,7 +66,9 @@ pub mod prelude {
     };
     pub use fonduer_core::{
         compare_with_existing_kb, eval_tuples, oracle_upper_bound, reachable_tuples, run_task,
-        ErrorBuckets, KnowledgeBase, Learner, LfReport, PipelineConfig, PipelineOutput, PrF1, Task,
+        ConfigError, Error as PipelineError, ErrorBuckets, KnowledgeBase, Learner, LfReport,
+        PipelineConfig, PipelineConfigBuilder, PipelineOutput, PipelineSession, PrF1, SessionStats,
+        StageId, StageStats, Task,
     };
     pub use fonduer_datamodel::{
         Corpus, DocFormat, Document, DocumentBuilder, SentenceData, Span, SpanRef,

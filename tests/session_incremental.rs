@@ -1,0 +1,363 @@
+//! Invalidation semantics of the staged [`PipelineSession`]: which input
+//! edits dirty which cached artifacts, verified through the per-stage
+//! cache-hit counters, plus the golden equivalence between the one-shot
+//! `run_task` and a session driven over the same inputs.
+
+use fonduer::prelude::*;
+use fonduer_core::domains;
+use fonduer_core::{ConfigError, Error, PipelineSession, StageId, Task};
+use fonduer_features::SparseAccess;
+
+fn corpus() -> Corpus {
+    let sheets = [
+        (
+            "a",
+            r#"<h1>SMBT3904</h1>
+               <table><tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>200</td></tr>
+               <tr><td>Junction temperature</td><td>150</td></tr></table>"#,
+        ),
+        (
+            "b",
+            r#"<h1>BC547</h1>
+               <table><tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>100</td></tr>
+               <tr><td>DC current gain</td><td>300</td></tr></table>"#,
+        ),
+        (
+            "c",
+            r#"<h1>PN2222A</h1>
+               <table><tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>600</td></tr>
+               <tr><td>Storage temperature</td><td>150</td></tr></table>"#,
+        ),
+    ];
+    let mut c = Corpus::new("session-tests");
+    for (name, html) in sheets {
+        c.add(parse_document(
+            name,
+            html,
+            DocFormat::Pdf,
+            &Default::default(),
+        ));
+    }
+    c
+}
+
+fn extractor() -> CandidateExtractor {
+    CandidateExtractor::new(
+        RelationSchema::new("has_collector_current", &["part", "current"]),
+        vec![
+            MentionType::new(
+                "part",
+                Box::new(DictionaryMatcher::new(["SMBT3904", "BC547", "PN2222A"])),
+            ),
+            MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+        ],
+    )
+    .with_scope(ContextScope::Document)
+}
+
+fn collector_lf() -> LabelingFunction {
+    LabelingFunction::new("collector_row", Modality::Tabular, |doc, cand| {
+        let row = domains::row_words(doc, domains::arg(cand, 1));
+        if row.is_empty() {
+            ABSTAIN
+        } else if fonduer_nlp::contains_word(&row, "collector") {
+            TRUE
+        } else {
+            FALSE
+        }
+    })
+}
+
+fn aligned_lf() -> LabelingFunction {
+    LabelingFunction::new("aligned_collector", Modality::Visual, |doc, cand| {
+        let al = domains::h_aligned_lemmas(doc, domains::arg(cand, 1));
+        if fonduer_nlp::contains_word(&al, "collector") {
+            TRUE
+        } else {
+            ABSTAIN
+        }
+    })
+}
+
+fn gold() -> GoldKb {
+    let mut g = GoldKb::new();
+    g.add("has_collector_current", "a", &["SMBT3904", "200"]);
+    g.add("has_collector_current", "b", &["BC547", "100"]);
+    g.add("has_collector_current", "c", &["PN2222A", "600"]);
+    g
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::builder()
+        .train_frac(1.0)
+        .learner(Learner::LogReg)
+        .features(FeatureConfig::all())
+        .build()
+        .unwrap()
+}
+
+fn hits(s: &PipelineSession, id: StageId) -> u64 {
+    s.stats().stage(id).hits
+}
+
+fn misses(s: &PipelineSession, id: StageId) -> u64 {
+    s.stats().stage(id).misses
+}
+
+#[test]
+fn lf_change_reuses_candidate_and_feature_artifacts() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex = extractor();
+    let lfs_v1 = vec![collector_lf()];
+    let lfs_v2 = vec![collector_lf(), aligned_lf()];
+
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &lfs_v1, cfg()).unwrap();
+    let cold = s.output().unwrap();
+    // Cold run: every stage computes, nothing hits.
+    assert_eq!(s.stats().hits(), 0);
+    assert_eq!(s.stats().misses(), 6);
+
+    // Swapping the LF library dirties supervision and downstream only.
+    s.reset_stats();
+    s.set_lfs(&lfs_v2);
+    let warm = s.output().unwrap();
+    assert_eq!(hits(&s, StageId::Candidates), 1, "candgen must be reused");
+    assert_eq!(hits(&s, StageId::Featurize), 1, "featurize must be reused");
+    assert_eq!(misses(&s, StageId::Supervise), 1);
+    assert_eq!(misses(&s, StageId::Train), 1);
+    assert_eq!(misses(&s, StageId::Infer), 1);
+    assert_eq!(misses(&s, StageId::Evaluate), 1);
+    // Reused stages report zero time in the new traversal.
+    assert_eq!(warm.timings.candgen_ms(), 0.0);
+    assert_eq!(warm.timings.featurize_ms(), 0.0);
+    assert_eq!(warm.candidates, cold.candidates);
+
+    // Setting the LFs back re-hits the supervision cache: staleness is
+    // key-based, not flag-based.
+    s.reset_stats();
+    s.set_lfs(&lfs_v1);
+    s.output().unwrap();
+    assert_eq!(s.stats().hits(), 2, "candgen + featurize hit");
+    assert_eq!(misses(&s, StageId::Supervise), 1, "v1 artifact was evicted");
+}
+
+#[test]
+fn unchanged_rerun_hits_every_stage() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex = extractor();
+    let lfs = vec![collector_lf(), aligned_lf()];
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &lfs, cfg()).unwrap();
+    let first = s.output().unwrap();
+    s.reset_stats();
+    let second = s.output().unwrap();
+    assert_eq!(s.stats().hits(), 6, "idempotent rerun must be all hits");
+    assert_eq!(s.stats().misses(), 0);
+    assert_eq!(first.marginals, second.marginals);
+    assert_eq!(first.kb.to_tsv(), second.kb.to_tsv());
+
+    // invalidate() drops everything.
+    s.invalidate();
+    s.reset_stats();
+    s.output().unwrap();
+    assert_eq!(s.stats().misses(), 6);
+}
+
+#[test]
+fn extractor_change_dirties_every_stage() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex_v1 = extractor();
+    // Narrower dictionary: different matcher fingerprint.
+    let ex_v2 = CandidateExtractor::new(
+        RelationSchema::new("has_collector_current", &["part", "current"]),
+        vec![
+            MentionType::new(
+                "part",
+                Box::new(DictionaryMatcher::new(["SMBT3904", "BC547"])),
+            ),
+            MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+        ],
+    )
+    .with_scope(ContextScope::Document);
+    let lfs = vec![collector_lf()];
+
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex_v1, &lfs, cfg()).unwrap();
+    let out_v1 = s.output().unwrap();
+    s.reset_stats();
+    s.set_extractor(&ex_v2);
+    let out_v2 = s.output().unwrap();
+    assert_eq!(s.stats().hits(), 0, "matcher change must dirty everything");
+    assert_eq!(s.stats().misses(), 6);
+    assert!(out_v2.candidates.len() < out_v1.candidates.len());
+}
+
+#[test]
+fn feature_config_change_keeps_candidates_and_supervision() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex = extractor();
+    let lfs = vec![collector_lf(), aligned_lf()];
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &lfs, cfg()).unwrap();
+    s.output().unwrap();
+    s.reset_stats();
+    s.set_feature_config(FeatureConfig {
+        textual: false,
+        structural: true,
+        tabular: true,
+        visual: true,
+    });
+    s.output().unwrap();
+    assert_eq!(hits(&s, StageId::Candidates), 1);
+    assert_eq!(
+        hits(&s, StageId::Supervise),
+        1,
+        "supervision is feature-free"
+    );
+    assert_eq!(misses(&s, StageId::Featurize), 1);
+    assert_eq!(misses(&s, StageId::Train), 1);
+    assert_eq!(misses(&s, StageId::Infer), 1);
+}
+
+#[test]
+fn threshold_change_recomputes_only_evaluation() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex = extractor();
+    let lfs = vec![collector_lf()];
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &lfs, cfg()).unwrap();
+    s.output().unwrap();
+    s.reset_stats();
+    s.set_threshold(0.8).unwrap();
+    s.output().unwrap();
+    assert_eq!(s.stats().hits(), 5, "all stages up to inference reused");
+    assert_eq!(misses(&s, StageId::Evaluate), 1);
+    assert_eq!(s.stats().misses(), 1);
+}
+
+#[test]
+fn session_output_matches_run_task_exactly() {
+    let corpus = corpus();
+    let gold = gold();
+    let task = Task {
+        extractor: extractor(),
+        lfs: vec![collector_lf(), aligned_lf()],
+    };
+    let cfg = cfg();
+    let via_run_task = fonduer::core::run_task(&corpus, &gold, &task, &cfg);
+    let mut s = PipelineSession::new(&corpus, &gold, &task, cfg).unwrap();
+    let via_session = s.output().unwrap();
+
+    assert_eq!(via_session.candidates, via_run_task.candidates);
+    assert_eq!(via_session.marginals, via_run_task.marginals);
+    assert_eq!(via_session.kb.to_tsv(), via_run_task.kb.to_tsv());
+    assert_eq!(via_session.train_docs, via_run_task.train_docs);
+    assert_eq!(via_session.test_docs, via_run_task.test_docs);
+    assert_eq!(via_session.metrics, via_run_task.metrics);
+    assert_eq!(via_session.label_coverage, via_run_task.label_coverage);
+    assert_eq!(via_session.lf_diagnostics, via_run_task.lf_diagnostics);
+}
+
+#[test]
+fn invalid_configs_are_rejected_by_the_session() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex = extractor();
+    let lfs = vec![collector_lf()];
+    let bad = PipelineConfig {
+        threshold: 1.5,
+        ..Default::default()
+    };
+    match PipelineSession::from_parts(&corpus, &gold, &ex, &lfs, bad).err() {
+        Some(Error::Config(ConfigError::Threshold { value })) => assert_eq!(value, 1.5),
+        other => panic!("expected threshold rejection, got {other:?}"),
+    }
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &lfs, cfg()).unwrap();
+    assert!(s.set_threshold(-0.2).is_err());
+    assert!(s.set_split(2.0, 1).is_err());
+    // A failed setter leaves the old (valid) config in place.
+    assert!(s.config().validate().is_ok());
+}
+
+#[test]
+fn degenerate_inputs_surface_typed_errors() {
+    let corpus = corpus();
+    let gold = gold();
+    // Matcher that matches nothing: no candidates at all.
+    let ex_none = CandidateExtractor::new(
+        RelationSchema::new("has_collector_current", &["part", "current"]),
+        vec![
+            MentionType::new("part", Box::new(DictionaryMatcher::new(["NO_SUCH_PART"]))),
+            MentionType::new("current", Box::new(NumberRangeMatcher::new(100.0, 995.0))),
+        ],
+    )
+    .with_scope(ContextScope::Document);
+    let lfs = vec![collector_lf()];
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex_none, &lfs, cfg()).unwrap();
+    match s.output().err() {
+        Some(Error::NoCandidates { relation }) => {
+            assert_eq!(relation, "has_collector_current")
+        }
+        other => panic!("expected NoCandidates, got {other:?}"),
+    }
+
+    // Candidates exist, but every LF abstains: nothing to train on.
+    let ex = extractor();
+    let abstainers = vec![LabelingFunction::new(
+        "always_abstain",
+        Modality::Textual,
+        |_, _| ABSTAIN,
+    )];
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &abstainers, cfg()).unwrap();
+    match s.output().err() {
+        Some(Error::EmptyTrainingSet {
+            relation,
+            n_candidates,
+            n_train,
+        }) => {
+            assert_eq!(relation, "has_collector_current");
+            assert!(n_candidates > 0);
+            assert_eq!(n_train, n_candidates, "train_frac is 1.0");
+        }
+        other => panic!("expected EmptyTrainingSet, got {other:?}"),
+    }
+
+    // The lenient run_task keeps its historical permissive behavior on the
+    // same degenerate inputs.
+    let task = Task {
+        extractor: ex_none,
+        lfs: vec![collector_lf()],
+    };
+    let out = fonduer::core::run_task(&corpus, &gold, &task, &cfg());
+    assert!(out.candidates.is_empty());
+    assert!(out.marginals.is_empty());
+}
+
+#[test]
+fn stage_methods_expose_intermediate_artifacts() {
+    let corpus = corpus();
+    let gold = gold();
+    let ex = extractor();
+    let lfs = vec![collector_lf(), aligned_lf()];
+    let mut s = PipelineSession::from_parts(&corpus, &gold, &ex, &lfs, cfg()).unwrap();
+    let n = s.candidates().unwrap().len();
+    assert!(n > 0);
+    assert_eq!(s.featurize().unwrap().matrix.n_rows(), n);
+    let sup = s.supervise().unwrap();
+    assert_eq!(sup.train_idx.len(), n, "train_frac 1.0 trains on all");
+    assert_eq!(sup.train_marginals.len(), n);
+    assert!(sup.label_coverage > 0.0);
+    assert_eq!(sup.lf_diagnostics.rows.len(), 2);
+    assert_eq!(s.infer().unwrap().len(), n);
+    let m = *s.evaluate().unwrap();
+    assert!(m.f1 >= 0.0);
+    // Stats line mentions every stage.
+    let line = s.stats().to_line();
+    for id in StageId::ALL {
+        assert!(line.contains(id.name()), "{line}");
+    }
+}
