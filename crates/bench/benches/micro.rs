@@ -24,7 +24,7 @@ use std::time::Instant;
 
 /// One benchmark's result line.
 struct BenchResult {
-    name: &'static str,
+    name: String,
     iters: usize,
     ns_per_iter: f64,
 }
@@ -34,11 +34,12 @@ struct BenchResult {
 /// a one-line summary, and appending the mean to `results`.
 fn bench<T>(
     results: &mut Vec<BenchResult>,
-    name: &'static str,
+    name: impl Into<String>,
     warmup: usize,
     iters: usize,
     mut f: impl FnMut() -> T,
 ) {
+    let name = name.into();
     for _ in 0..warmup {
         black_box(f());
     }
@@ -225,6 +226,62 @@ fn bench_session(results: &mut Vec<BenchResult>) {
     );
 }
 
+/// Thread-scaling rows for the four `fonduer-par`-routed hot stages:
+/// candidate extraction, featurization, LF application, and one Hogwild
+/// training epoch, each at 1/2/4/8 worker threads. Speedups are honest
+/// measurements on whatever cores the machine exposes — on a single-core
+/// host every row lands near 1×.
+fn bench_scaling(results: &mut Vec<BenchResult>) {
+    let ds = Domain::Electronics.generate(16, 7);
+    let relation = "has_collector_current";
+    let ex = electronics::extractor(&ds, relation, ContextScope::Document);
+    let cands = ex.extract(&ds.corpus);
+    let fz = Featurizer::default();
+    let lf_vec = electronics::lfs(relation);
+    let lf_refs: Vec<&LabelingFunction> = lf_vec.iter().collect();
+    let feats = fz.featurize(&ds.corpus, &cands);
+    let vocab = HashedVocab::new(2048);
+    let dataset = prepare(&ds.corpus, &cands, &feats, &vocab, 6);
+    let targets: Vec<f32> = (0..dataset.inputs.len())
+        .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
+        .collect();
+    for n in [1usize, 2, 4, 8] {
+        bench(
+            results,
+            format!("candidates/candgen/threads={n}"),
+            1,
+            10,
+            || ex.extract_parallel(&ds.corpus, n),
+        );
+        bench(
+            results,
+            format!("features/featurize/threads={n}"),
+            1,
+            10,
+            || fz.featurize_parallel(&ds.corpus, &cands, n),
+        );
+        bench(
+            results,
+            format!("supervision/lf_apply/threads={n}"),
+            1,
+            10,
+            || LabelMatrix::apply_parallel(&lf_refs, &ds.corpus, &cands, n),
+        );
+        bench(
+            results,
+            format!("learning/train_epoch/threads={n}"),
+            1,
+            10,
+            || {
+                let mut m = fonduer_learning::HogwildLogReg::new(dataset.n_features, 7, n);
+                m.epochs = 1;
+                m.fit(&dataset.inputs, &targets);
+                m.predict_one(&dataset.inputs[0])
+            },
+        );
+    }
+}
+
 /// Serialize results as a JSON array of `{name, iters, ns_per_iter}`.
 fn render_json(results: &[BenchResult]) -> String {
     let rows: Vec<String> = results
@@ -232,7 +289,7 @@ fn render_json(results: &[BenchResult]) -> String {
         .map(|r| {
             format!(
                 "  {{\"name\":\"{}\",\"iters\":{},\"ns_per_iter\":{}}}",
-                observe::json::escape(r.name),
+                observe::json::escape(&r.name),
                 r.iters,
                 observe::json::number(r.ns_per_iter),
             )
@@ -258,6 +315,7 @@ fn main() {
     bench_model_step(&mut results);
     bench_generative(&mut results);
     bench_session(&mut results);
+    bench_scaling(&mut results);
     drop(_root);
     let path = out_path();
     match std::fs::write(&path, render_json(&results)) {

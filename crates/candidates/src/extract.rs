@@ -355,40 +355,26 @@ mod tests {
     }
 }
 
-/// Parallel extraction: documents are partitioned across `n_threads`
-/// worker threads (documents are independent during candidate generation),
-/// and per-document results are concatenated in document order, so the
-/// output is identical to [`CandidateExtractor::extract`].
+/// Parallel extraction: documents are independent units of work during
+/// candidate generation, so each document is one task on the shared
+/// [`fonduer_par::Pool`]; per-document results are concatenated in
+/// document order, so the output is byte-identical to
+/// [`CandidateExtractor::extract`] at every thread count.
 impl CandidateExtractor {
-    /// Extract candidates using `n_threads` workers.
+    /// Extract candidates using `n_threads` workers (`0` = auto; the
+    /// `FONDUER_THREADS` environment variable overrides either way — see
+    /// [`fonduer_par::resolve_threads`]).
     pub fn extract_parallel(&self, corpus: &Corpus, n_threads: usize) -> CandidateSet {
-        let n_threads = n_threads.max(1);
-        if n_threads == 1 || corpus.len() < 2 {
+        let pool = fonduer_par::Pool::new(n_threads);
+        if pool.n_threads() == 1 || corpus.len() < 2 {
             return self.extract(corpus);
         }
         let _span = observe::span("extract_corpus");
         let doc_ids: Vec<DocId> = corpus.doc_ids().collect();
-        let chunk = doc_ids.len().div_ceil(n_threads);
-        let mut per_chunk: Vec<Vec<Candidate>> = Vec::new();
-        crossbeam::scope(|s| {
-            let handles: Vec<_> = doc_ids
-                .chunks(chunk)
-                .map(|ids| {
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for &id in ids {
-                            out.extend(self.extract_doc(id, corpus.doc(id)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            per_chunk = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        })
-        .expect("extraction worker panicked");
+        let per_doc = pool.par_map(&doc_ids, |&id| self.extract_doc(id, corpus.doc(id)));
         CandidateSet {
             schema: self.schema.clone(),
-            candidates: per_chunk.into_iter().flatten().collect(),
+            candidates: per_doc.into_iter().flatten().collect(),
         }
     }
 }

@@ -33,6 +33,12 @@ pub enum Learner {
     /// Sparse logistic regression over the explicit feature matrix (the
     /// human-tuned / SRV baselines).
     LogReg,
+    /// The same sparse logistic regression trained by lock-free Hogwild!
+    /// parallel SGD across [`PipelineConfig::n_threads`] workers. The only
+    /// learner whose result legitimately depends on the thread count
+    /// (racy weight updates), so it is also the only stage whose cache key
+    /// folds `n_threads` in.
+    HogwildLogReg,
 }
 
 /// Pipeline configuration.
@@ -57,8 +63,11 @@ pub struct PipelineConfig {
     pub train_frac: f64,
     /// Split-hash seed.
     pub seed: u64,
-    /// Worker threads for candidate generation and featurization (documents
-    /// are independent units of work). 1 = sequential.
+    /// Worker threads for candidate generation, featurization, LF
+    /// application, and Hogwild training (documents are independent units
+    /// of work). 1 = sequential; the builder resolves 0 to the machine's
+    /// available parallelism, and the `FONDUER_THREADS` environment
+    /// variable overrides any value at pool-construction time.
     pub n_threads: usize,
 }
 
@@ -196,15 +205,20 @@ impl PipelineConfigBuilder {
         self
     }
 
-    /// Worker threads for candidate generation and featurization (must be
-    /// at least 1).
+    /// Worker threads for the parallel stages. `0` resolves to the
+    /// machine's available parallelism at [`build`](Self::build) time.
     pub fn n_threads(mut self, n_threads: usize) -> Self {
         self.cfg.n_threads = n_threads;
         self
     }
 
-    /// Validate and produce the configuration.
-    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+    /// Validate and produce the configuration. A requested thread count of
+    /// `0` is resolved to the detected core count here, so the built config
+    /// always satisfies `n_threads ≥ 1`.
+    pub fn build(mut self) -> Result<PipelineConfig, ConfigError> {
+        if self.cfg.n_threads == 0 {
+            self.cfg.n_threads = fonduer_par::resolve_threads(0);
+        }
         self.cfg.validate()?;
         Ok(self.cfg)
     }
@@ -400,8 +414,17 @@ mod tests {
                 .unwrap_err(),
             ConfigError::TrainFrac { value: -0.1 }
         );
+        // A requested 0 resolves to the detected core count at build time
+        // (raw structs bypassing the builder still require ≥ 1).
+        let auto = PipelineConfig::builder().n_threads(0).build().unwrap();
+        assert!(auto.n_threads >= 1);
         assert_eq!(
-            PipelineConfig::builder().n_threads(0).build().unwrap_err(),
+            PipelineConfig {
+                n_threads: 0,
+                ..PipelineConfig::default()
+            }
+            .validate()
+            .unwrap_err(),
             ConfigError::Threads { value: 0 }
         );
         assert_eq!(

@@ -40,7 +40,7 @@ use fonduer_candidates::{CandidateExtractor, CandidateSet};
 use fonduer_datamodel::Corpus;
 use fonduer_features::{FeatureConfig, FeatureSet, Featurizer};
 use fonduer_learning::{
-    prepare, FonduerModel, LogRegModel, ModelConfig, PreparedDataset, ProbClassifier,
+    prepare, FonduerModel, HogwildLogReg, LogRegModel, ModelConfig, PreparedDataset, ProbClassifier,
 };
 use fonduer_nlp::{fnv1a, HashedVocab};
 use fonduer_observe as observe;
@@ -455,6 +455,14 @@ impl<'a> PipelineSession<'a> {
     }
 
     fn train_key(&self) -> u64 {
+        // Hogwild's racy updates make its weights legitimately depend on
+        // the worker count; every other learner is thread-count-invariant,
+        // so folding n_threads in for them would only cause spurious cache
+        // misses (determinism is the contract).
+        let thread_salt = match self.cfg.learner {
+            Learner::HogwildLogReg => self.cfg.n_threads as u64,
+            _ => 0,
+        };
         hash_parts(
             "train",
             &[
@@ -463,6 +471,7 @@ impl<'a> PipelineSession<'a> {
                 fnv1a(format!("{:?}", self.cfg.learner).as_bytes()),
                 fnv1a(format!("{:?}", self.cfg.model).as_bytes()),
                 self.cfg.seed,
+                thread_salt,
             ],
         )
     }
@@ -596,6 +605,7 @@ impl<'a> PipelineSession<'a> {
         let corpus = self.corpus;
         let lfs = self.lfs;
         let gen_opts = &self.cfg.gen_opts;
+        let n_threads = self.cfg.n_threads;
         let ((label_matrix, train_idx, train_marginals, label_coverage), took) =
             observe::timed("supervise", || {
                 let train_idx: Vec<usize> = candidates
@@ -613,7 +623,8 @@ impl<'a> PipelineSession<'a> {
                         .collect(),
                 };
                 let lf_refs: Vec<&LabelingFunction> = lfs.iter().collect();
-                let label_matrix = LabelMatrix::apply(&lf_refs, corpus, &train_subset);
+                let label_matrix =
+                    LabelMatrix::apply_parallel(&lf_refs, corpus, &train_subset, n_threads);
                 let gen = GenerativeModel::fit(&label_matrix, gen_opts);
                 let train_marginals = gen.predict(&label_matrix);
                 let label_coverage = label_matrix.total_coverage();
@@ -709,6 +720,11 @@ impl<'a> PipelineSession<'a> {
                     dataset.arity,
                 )),
                 Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
+                Learner::HogwildLogReg => Box::new(HogwildLogReg::new(
+                    dataset.n_features,
+                    cfg.seed,
+                    cfg.n_threads,
+                )),
             };
             model.fit(&train_inputs, &train_targets);
             model

@@ -453,67 +453,52 @@ mod tests {
 }
 
 impl Featurizer {
-    /// Parallel featurization over `n_threads` workers: candidates are
-    /// partitioned at document boundaries (the mention cache is per-document,
-    /// so documents are independent units of work), feature strings are
-    /// computed in parallel, and interning happens sequentially afterwards —
-    /// producing a [`FeatureSet`] identical to [`Featurizer::featurize`].
+    /// Parallel featurization on the shared [`fonduer_par::Pool`]: the
+    /// candidate list is split at document boundaries (the mention cache is
+    /// per-document, so documents are independent units of work), each
+    /// document's feature strings are computed as one stealable task, and
+    /// interning happens sequentially afterwards in candidate order — so
+    /// the vocabulary column order, the sparse rows, and the cache
+    /// statistics are byte-identical to [`Featurizer::featurize`] at every
+    /// thread count.
     pub fn featurize_parallel(
         &self,
         corpus: &Corpus,
         cands: &CandidateSet,
         n_threads: usize,
     ) -> FeatureSet {
-        let n_threads = n_threads.max(1);
-        if n_threads == 1 || cands.len() < 2 {
+        let pool = fonduer_par::Pool::new(n_threads);
+        if pool.n_threads() == 1 || cands.len() < 2 {
             return self.featurize(corpus, cands);
         }
         let _span = observe::span("featurize_corpus");
-        // Split candidate ranges at document boundaries.
-        let mut boundaries = vec![0usize];
+        // One (start, end) candidate range per document.
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
         for i in 1..cands.candidates.len() {
             if cands.candidates[i].doc != cands.candidates[i - 1].doc {
-                boundaries.push(i);
+                ranges.push((start, i));
+                start = i;
             }
         }
-        boundaries.push(cands.candidates.len());
-        let n_docs = boundaries.len() - 1;
-        let docs_per_chunk = n_docs.div_ceil(n_threads);
-        /// One worker's output: starting candidate index, feature strings
-        /// per candidate, cache statistics.
-        type ChunkResult = (usize, Vec<Vec<String>>, CacheStats);
-        let results: parking_lot::Mutex<Vec<ChunkResult>> = parking_lot::Mutex::new(Vec::new());
-        crossbeam::scope(|s| {
-            for (chunk_idx, chunk) in boundaries[..n_docs].chunks(docs_per_chunk).enumerate() {
-                let start = chunk[0];
-                let end_doc = (chunk_idx + 1) * docs_per_chunk;
-                let end = boundaries[end_doc.min(n_docs)];
-                let results = &results;
-                s.spawn(move |_| {
-                    let mut cache: HashMap<Span, Arc<Vec<String>>> = HashMap::new();
-                    let mut stats = CacheStats::default();
-                    let mut current_doc = None;
-                    let mut rows = Vec::with_capacity(end - start);
-                    for cand in &cands.candidates[start..end] {
-                        if current_doc != Some(cand.doc) {
-                            cache.clear();
-                            current_doc = Some(cand.doc);
-                        }
-                        let doc = corpus.doc(cand.doc);
-                        rows.push(self.features_of(doc, cand, &mut cache, &mut stats));
-                    }
-                    results.lock().push((start, rows, stats));
-                });
-            }
-        })
-        .expect("featurization worker panicked");
-        let mut chunks = results.into_inner();
-        chunks.sort_by_key(|(start, _, _)| *start);
+        ranges.push((start, cands.candidates.len()));
+        // Parallel map (feature strings per candidate + cache stats per
+        // document), deterministic input-order merge + interning.
+        let per_doc = pool.par_map(&ranges, |&(lo, hi)| {
+            let mut cache: HashMap<Span, Arc<Vec<String>>> = HashMap::new();
+            let mut stats = CacheStats::default();
+            let doc = corpus.doc(cands.candidates[lo].doc);
+            let rows: Vec<Vec<String>> = cands.candidates[lo..hi]
+                .iter()
+                .map(|cand| self.features_of(doc, cand, &mut cache, &mut stats))
+                .collect();
+            (rows, stats)
+        });
         let mut vocab = FeatureVocab::new();
         let mut matrix = LilMatrix::new();
         let mut stats = CacheStats::default();
         let mut tally = ModalityTally::default();
-        for (_, rows, st) in chunks {
+        for (rows, st) in per_doc {
             stats.hits += st.hits;
             stats.misses += st.misses;
             for feats in rows {

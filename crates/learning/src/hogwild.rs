@@ -1,0 +1,225 @@
+//! Hogwild!-style lock-free parallel SGD (Niu et al., NeurIPS 2011) for
+//! sparse logistic regression.
+//!
+//! The discriminative step of Fonduer's pipeline is dominated by sparse
+//! gradient updates: each candidate touches only the handful of feature
+//! columns it exhibits. Hogwild!'s observation is that when updates are
+//! sparse, workers can apply SGD steps to a *shared* weight vector without
+//! any locking — conflicting writes occasionally clobber each other, but
+//! the noise they inject is bounded by the sparsity and the process still
+//! converges at essentially the sequential rate.
+//!
+//! The weight vector is stored as `AtomicU32` f32 bit patterns and every
+//! access uses `Relaxed` atomic loads/stores: lost updates are permitted
+//! (that is the algorithm), torn or undefined reads are not. With
+//! `n_threads = 1` the learner degenerates to plain deterministic
+//! sequential SGD — the reference path the parity tests compare against.
+
+use crate::input::CandidateInput;
+use crate::model::ProbClassifier;
+use fonduer_nn::{bce_with_logit, sigmoid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+
+/// Sparse logistic regression trained by Hogwild! parallel SGD.
+///
+/// Weights live in a shared lock-free vector (`n_features` columns plus a
+/// bias slot); [`fit`](ProbClassifier::fit) runs `epochs` passes, each
+/// splitting a deterministically shuffled candidate order into one
+/// contiguous block per worker on the [`fonduer_par::Pool`].
+pub struct HogwildLogReg {
+    /// f32 bit patterns: `n_features` weights, then the bias.
+    weights: Vec<AtomicU32>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate (plain SGD — racy Adam moments would compound the
+    /// Hogwild noise).
+    pub lr: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Worker threads; 1 = deterministic sequential reference, 0 = auto.
+    pub n_threads: usize,
+}
+
+impl HogwildLogReg {
+    /// Build for a feature space of `n_features` columns.
+    pub fn new(n_features: usize, seed: u64, n_threads: usize) -> Self {
+        Self {
+            weights: (0..n_features.max(1) + 1)
+                .map(|_| AtomicU32::new(0f32.to_bits()))
+                .collect(),
+            epochs: 12,
+            lr: 0.5,
+            seed,
+            n_threads,
+        }
+    }
+
+    fn logit(&self, input: &CandidateInput) -> f32 {
+        let bias = self.weights.len() - 1;
+        let mut z = f32::from_bits(self.weights[bias].load(Relaxed));
+        for &c in &input.features {
+            z += f32::from_bits(self.weights[c as usize].load(Relaxed));
+        }
+        z
+    }
+
+    /// One racy SGD step on the shared weights; returns the sample loss.
+    fn step(weights: &[AtomicU32], input: &CandidateInput, target: f32, lr: f32) -> f32 {
+        let bias = weights.len() - 1;
+        let mut z = f32::from_bits(weights[bias].load(Relaxed));
+        for &c in &input.features {
+            z += f32::from_bits(weights[c as usize].load(Relaxed));
+        }
+        let (loss, dz) = bce_with_logit(z, target);
+        let g = lr * dz;
+        for &c in &input.features {
+            let w = &weights[c as usize];
+            w.store((f32::from_bits(w.load(Relaxed)) - g).to_bits(), Relaxed);
+        }
+        let w = &weights[bias];
+        w.store((f32::from_bits(w.load(Relaxed)) - g).to_bits(), Relaxed);
+        loss
+    }
+
+    /// Mean binary-cross-entropy of the current weights over a dataset —
+    /// the quantity the Hogwild-vs-sequential parity tests compare.
+    pub fn mean_loss(&self, inputs: &[CandidateInput], targets: &[f32]) -> f32 {
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let total: f32 = inputs
+            .iter()
+            .zip(targets)
+            .map(|(inp, &t)| bce_with_logit(self.logit(inp), t).0)
+            .sum();
+        total / inputs.len() as f32
+    }
+
+    /// One parallel epoch over a pre-shuffled visit order; returns the mean
+    /// sample loss (as observed mid-update by each worker).
+    fn epoch(
+        &self,
+        pool: &fonduer_par::Pool,
+        order: &[usize],
+        inputs: &[CandidateInput],
+        targets: &[f32],
+    ) -> f32 {
+        let weights = &self.weights;
+        let lr = self.lr;
+        let partial = pool.par_chunks(order, |_, block| {
+            block
+                .iter()
+                .map(|&i| Self::step(weights, &inputs[i], targets[i], lr))
+                .sum::<f32>()
+        });
+        partial.into_iter().sum::<f32>() / order.len().max(1) as f32
+    }
+}
+
+impl ProbClassifier for HogwildLogReg {
+    fn fit(&mut self, inputs: &[CandidateInput], targets: &[f32]) {
+        if inputs.is_empty() {
+            return;
+        }
+        let _span = fonduer_observe::span("model_fit");
+        let pool = fonduer_par::Pool::new(self.n_threads);
+        fonduer_observe::gauge_set("train.hogwild_threads", pool.n_threads() as f64);
+        let steps = fonduer_observe::Counter::named("train.steps");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbeef);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        for _ in 0..self.epochs {
+            for i in 0..order.len() {
+                let j = rng.gen_range(i..order.len());
+                order.swap(i, j);
+            }
+            let epoch_loss = self.epoch(&pool, &order, inputs, targets);
+            steps.add(order.len() as u64);
+            fonduer_observe::counter("train.epochs", 1);
+            fonduer_observe::gauge_set("train.epoch_loss", epoch_loss as f64);
+        }
+    }
+
+    fn predict_one(&self, input: &CandidateInput) -> f32 {
+        sigmoid(self.logit(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature_dataset(n: usize) -> (Vec<CandidateInput>, Vec<f32>) {
+        (0..n)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                (
+                    CandidateInput {
+                        mention_tokens: vec![vec![1], vec![2]],
+                        features: if pos { vec![0, 2] } else { vec![1, 2] },
+                    },
+                    if pos { 0.95 } else { 0.05 },
+                )
+            })
+            .unzip()
+    }
+
+    #[test]
+    fn learns_separable_features_sequentially() {
+        let (inputs, targets) = feature_dataset(40);
+        let mut m = HogwildLogReg::new(3, 1, 1);
+        m.fit(&inputs, &targets);
+        for (inp, &t) in inputs.iter().zip(&targets) {
+            assert_eq!(m.predict_one(inp) > 0.5, t > 0.5);
+        }
+    }
+
+    #[test]
+    fn learns_separable_features_in_parallel() {
+        let (inputs, targets) = feature_dataset(40);
+        let mut m = HogwildLogReg::new(3, 1, 4);
+        m.fit(&inputs, &targets);
+        for (inp, &t) in inputs.iter().zip(&targets) {
+            assert_eq!(m.predict_one(inp) > 0.5, t > 0.5);
+        }
+    }
+
+    #[test]
+    fn sequential_path_is_deterministic() {
+        let (inputs, targets) = feature_dataset(30);
+        let mut a = HogwildLogReg::new(3, 9, 1);
+        let mut b = HogwildLogReg::new(3, 9, 1);
+        a.fit(&inputs, &targets);
+        b.fit(&inputs, &targets);
+        for inp in &inputs {
+            assert_eq!(a.predict_one(inp).to_bits(), b.predict_one(inp).to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_loss_matches_sequential_within_tolerance() {
+        let (inputs, targets) = feature_dataset(200);
+        let mut seq = HogwildLogReg::new(3, 5, 1);
+        seq.fit(&inputs, &targets);
+        let mut par = HogwildLogReg::new(3, 5, 4);
+        par.fit(&inputs, &targets);
+        let l_seq = seq.mean_loss(&inputs, &targets);
+        let l_par = par.mean_loss(&inputs, &targets);
+        assert!(
+            (l_seq - l_par).abs() < 0.05,
+            "sequential {l_seq} vs hogwild {l_par}"
+        );
+    }
+
+    #[test]
+    fn handles_empty_feature_space() {
+        let mut m = HogwildLogReg::new(0, 1, 2);
+        let inp = CandidateInput {
+            mention_tokens: vec![],
+            features: vec![],
+        };
+        m.fit(std::slice::from_ref(&inp), &[1.0]);
+        assert!(m.predict_one(&inp) > 0.5);
+    }
+}

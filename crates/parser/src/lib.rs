@@ -34,7 +34,7 @@ pub use ingest::ingest;
 pub use layout::{layout, LayoutOptions};
 pub use markup::{decode_entities, parse, Element, Node};
 
-use fonduer_datamodel::{DocFormat, Document};
+use fonduer_datamodel::{Corpus, DocFormat, Document};
 use fonduer_observe as observe;
 
 /// Options for end-to-end document parsing.
@@ -61,4 +61,49 @@ pub fn parse_document(
     observe::counter("parser.sentences", doc.sentences.len() as u64);
     observe::counter("parser.tables", doc.tables.len() as u64);
     doc
+}
+
+/// An unparsed input document: what corpus generators and loaders hand to
+/// [`parse_corpus_parallel`].
+#[derive(Debug, Clone)]
+pub struct RawDoc {
+    /// Document name.
+    pub name: String,
+    /// Raw HTML/XML markup.
+    pub markup: String,
+    /// Source format (decides whether a visual rendering is attached).
+    pub format: DocFormat,
+}
+
+impl RawDoc {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, markup: impl Into<String>, format: DocFormat) -> Self {
+        Self {
+            name: name.into(),
+            markup: markup.into(),
+            format,
+        }
+    }
+}
+
+/// Parse a whole corpus across `n_threads` workers on the shared
+/// [`fonduer_par::Pool`] — the paper's per-document parallel KBC
+/// initialization phase. Documents are parsed independently and inserted in
+/// input order, so document ids (and the resulting [`Corpus`]) are identical
+/// to a sequential `parse_document` loop at every thread count.
+/// `n_threads = 0` means auto-detect; `FONDUER_THREADS` overrides either.
+pub fn parse_corpus_parallel(
+    corpus_name: &str,
+    raw: &[RawDoc],
+    opts: &ParseOptions,
+    n_threads: usize,
+) -> Corpus {
+    let _span = observe::span("parse_corpus");
+    let pool = fonduer_par::Pool::new(n_threads);
+    let docs = pool.par_map(raw, |r| parse_document(&r.name, &r.markup, r.format, opts));
+    let mut corpus = Corpus::new(corpus_name);
+    for doc in docs {
+        corpus.add(doc);
+    }
+    corpus
 }

@@ -53,6 +53,67 @@ impl LabelMatrix {
         m
     }
 
+    /// Apply a LF library to every candidate across `n_threads` workers on
+    /// the shared [`fonduer_par::Pool`]. Rows are sharded in contiguous
+    /// blocks, voted in parallel, and written back in input order, so the
+    /// matrix (and the telemetry counters) are byte-identical to
+    /// [`LabelMatrix::apply`] at every thread count. `n_threads = 0` means
+    /// auto-detect, and the `FONDUER_THREADS` environment variable
+    /// overrides either.
+    pub fn apply_parallel(
+        lfs: &[&LabelingFunction],
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        n_threads: usize,
+    ) -> Self {
+        let pool = fonduer_par::Pool::new(n_threads);
+        if pool.n_threads() == 1 || cands.len() < 2 {
+            return Self::apply(lfs, corpus, cands);
+        }
+        let _span = fonduer_observe::span("lf_apply");
+        let n_cols = lfs.len();
+        // (row block, vote tally) per chunk; folded back in input order.
+        let chunks = pool.par_chunks(&cands.candidates, |_, block| {
+            let mut rows: Vec<i8> = Vec::with_capacity(block.len() * n_cols);
+            let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
+            for cand in block {
+                let doc = corpus.doc(cand.doc);
+                for lf in lfs {
+                    let v = lf.label(doc, cand);
+                    match v {
+                        1 => pos += 1,
+                        -1 => neg += 1,
+                        _ => abstain += 1,
+                    }
+                    rows.push(v);
+                }
+            }
+            (rows, pos, neg, abstain)
+        });
+        let mut m = Self {
+            n_rows: cands.len(),
+            n_cols,
+            data: Vec::with_capacity(cands.len() * n_cols),
+        };
+        let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
+        for (rows, p, n, a) in chunks {
+            m.data.extend_from_slice(&rows);
+            pos += p;
+            neg += n;
+            abstain += a;
+        }
+        fonduer_observe::counter("supervision.votes.positive", pos);
+        fonduer_observe::counter("supervision.votes.negative", neg);
+        fonduer_observe::counter("supervision.votes.abstain", abstain);
+        fonduer_observe::counter(
+            "supervision.rows_covered",
+            (0..m.n_rows)
+                .filter(|&i| m.row(i).iter().any(|&v| v != 0))
+                .count() as u64,
+        );
+        m
+    }
+
     /// Number of candidates.
     pub fn n_rows(&self) -> usize {
         self.n_rows

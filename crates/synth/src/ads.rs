@@ -13,8 +13,8 @@
 use crate::dataset::SynthDataset;
 use crate::gold::GoldKb;
 use crate::names::*;
-use fonduer_datamodel::{Corpus, DocFormat};
-use fonduer_parser::{parse_document, ParseOptions};
+use fonduer_datamodel::DocFormat;
+use fonduer_parser::{parse_corpus_parallel, ParseOptions, RawDoc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,7 +60,7 @@ fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
 /// Generate the ADS dataset.
 pub fn generate_ads(cfg: &AdsConfig) -> SynthDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut corpus = Corpus::new("ads");
+    let mut raw: Vec<RawDoc> = Vec::with_capacity(cfg.n_docs);
     let mut gold = GoldKb::new();
     let mut names_dict = std::collections::BTreeSet::new();
     let mut cities_dict = std::collections::BTreeSet::new();
@@ -91,14 +91,14 @@ pub fn generate_ads(cfg: &AdsConfig) -> SynthDataset {
             AdKind::Split
         };
         let html = render_ad(&mut rng, &ad, kind);
-        let doc = parse_document(&doc_name, &html, DocFormat::Html, &opts);
-        corpus.add(doc);
+        raw.push(RawDoc::new(&doc_name, html, DocFormat::Html));
         gold.add("ad_price", &doc_name, &[&ad.phone, &ad.price.to_string()]);
         gold.add("ad_location", &doc_name, &[&ad.phone, ad.city]);
         gold.add("ad_age", &doc_name, &[&ad.phone, &ad.age.to_string()]);
         gold.add("ad_name", &doc_name, &[&ad.phone, ad.name]);
     }
 
+    let corpus = parse_corpus_parallel("ads", &raw, &opts, 0);
     let mut ds = SynthDataset::new(
         corpus,
         gold,

@@ -17,8 +17,8 @@
 use crate::dataset::SynthDataset;
 use crate::gold::GoldKb;
 use crate::names::*;
-use fonduer_datamodel::{Corpus, DocFormat};
-use fonduer_parser::{parse_document, ParseOptions};
+use fonduer_datamodel::DocFormat;
+use fonduer_parser::{parse_corpus_parallel, ParseOptions, RawDoc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,7 +83,7 @@ fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
 /// Generate the ELECTRONICS dataset.
 pub fn generate_electronics(cfg: &ElectronicsConfig) -> SynthDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut corpus = Corpus::new("electronics");
+    let mut raw: Vec<RawDoc> = Vec::with_capacity(cfg.n_docs);
     let mut gold = GoldKb::new();
     let mut parts_dict = std::collections::BTreeSet::new();
     let opts = ParseOptions {
@@ -130,8 +130,7 @@ pub fn generate_electronics(cfg: &ElectronicsConfig) -> SynthDataset {
             flat_table,
             multi_page,
         );
-        let doc = parse_document(&doc_name, &html, DocFormat::Pdf, &opts);
-        corpus.add(doc);
+        raw.push(RawDoc::new(&doc_name, html, DocFormat::Pdf));
         for p in &parts {
             gold.add(
                 "has_collector_current",
@@ -144,6 +143,9 @@ pub fn generate_electronics(cfg: &ElectronicsConfig) -> SynthDataset {
         }
     }
 
+    // Parallel corpus ingest (one parse+layout task per datasheet);
+    // deterministic, so generated corpora are identical at any thread count.
+    let corpus = parse_corpus_parallel("electronics", &raw, &opts, 0);
     let mut ds = SynthDataset::new(
         corpus,
         gold,

@@ -10,8 +10,8 @@
 use crate::dataset::SynthDataset;
 use crate::gold::GoldKb;
 use crate::names::*;
-use fonduer_datamodel::{Corpus, DocFormat};
-use fonduer_parser::{parse_document, ParseOptions};
+use fonduer_datamodel::DocFormat;
+use fonduer_parser::{parse_corpus_parallel, ParseOptions, RawDoc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,7 +70,7 @@ fn suggestive_p(rng: &mut StdRng) -> String {
 /// Generate the GENOMICS dataset.
 pub fn generate_genomics(cfg: &GenomicsConfig) -> SynthDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut corpus = Corpus::new("genomics");
+    let mut raw: Vec<RawDoc> = Vec::with_capacity(cfg.n_docs);
     let mut gold = GoldKb::new();
     let mut phen_dict = std::collections::BTreeSet::new();
     let mut pop_dict = std::collections::BTreeSet::new();
@@ -102,8 +102,7 @@ pub fn generate_genomics(cfg: &GenomicsConfig) -> SynthDataset {
             .map(|&i| (RSIDS[i], GENES[i % GENES.len()], suggestive_p(&mut rng)))
             .collect();
         let xml = render_paper(&mut rng, phenotype, population, platform, &sig, &sug);
-        let doc = parse_document(&doc_name, &xml, DocFormat::Xml, &opts);
-        corpus.add(doc);
+        raw.push(RawDoc::new(&doc_name, xml, DocFormat::Xml));
         for (rsid, gene, _) in &sig {
             gold.add("snp_phenotype", &doc_name, &[rsid, phenotype]);
             gold.add("gene_phenotype", &doc_name, &[gene, phenotype]);
@@ -114,6 +113,7 @@ pub fn generate_genomics(cfg: &GenomicsConfig) -> SynthDataset {
         }
     }
 
+    let corpus = parse_corpus_parallel("genomics", &raw, &opts, 0);
     let mut ds = SynthDataset::new(
         corpus,
         gold,

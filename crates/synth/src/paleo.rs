@@ -14,8 +14,8 @@
 use crate::dataset::SynthDataset;
 use crate::gold::GoldKb;
 use crate::names::*;
-use fonduer_datamodel::{Corpus, DocFormat};
-use fonduer_parser::{parse_document, ParseOptions};
+use fonduer_datamodel::DocFormat;
+use fonduer_parser::{parse_corpus_parallel, ParseOptions, RawDoc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,7 +65,7 @@ fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
 /// Generate the PALEO dataset.
 pub fn generate_paleo(cfg: &PaleoConfig) -> SynthDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut corpus = Corpus::new("paleo");
+    let mut raw: Vec<RawDoc> = Vec::with_capacity(cfg.n_docs);
     let mut gold = GoldKb::new();
     let mut taxa_dict = std::collections::BTreeSet::new();
     let mut formations_dict = std::collections::BTreeSet::new();
@@ -108,8 +108,7 @@ pub fn generate_paleo(cfg: &PaleoConfig) -> SynthDataset {
             &other_measurements,
             caption_names_taxon,
         );
-        let doc = parse_document(&doc_name, &html, DocFormat::Pdf, &opts);
-        corpus.add(doc);
+        raw.push(RawDoc::new(&doc_name, html, DocFormat::Pdf));
         gold.add("formation_period", &doc_name, &[formation, period]);
         gold.add("formation_location", &doc_name, &[formation, country]);
         gold.add("taxon_formation", &doc_name, &[taxon, formation]);
@@ -122,6 +121,7 @@ pub fn generate_paleo(cfg: &PaleoConfig) -> SynthDataset {
         }
     }
 
+    let corpus = parse_corpus_parallel("paleo", &raw, &opts, 0);
     let mut ds = SynthDataset::new(corpus, gold, paleo_relations());
     ds.dictionaries.insert("taxa".to_string(), taxa_dict);
     ds.dictionaries

@@ -53,6 +53,7 @@ pub use fonduer_learning as learning;
 pub use fonduer_nlp as nlp;
 pub use fonduer_nn as nn;
 pub use fonduer_observe as observe;
+pub use fonduer_par as par;
 pub use fonduer_parser as parser;
 pub use fonduer_supervision as supervision;
 pub use fonduer_synth as synth;

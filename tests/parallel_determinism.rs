@@ -1,0 +1,132 @@
+//! Golden determinism tests for the `fonduer-par` execution layer.
+//!
+//! The determinism contract: every deterministic stage — candidate
+//! extraction, featurization (including vocabulary first-occurrence
+//! ordering), and LF application — produces *byte-identical* artifacts at
+//! every thread count. The single sanctioned exception is Hogwild
+//! training, whose racy weight updates may differ across thread counts but
+//! must converge to the same loss within tolerance.
+
+use fonduer::prelude::*;
+use fonduer_core::domains;
+use fonduer_features::SparseAccess;
+use fonduer_learning::{CandidateInput, HogwildLogReg};
+use fonduer_synth::{generate_electronics, ElectronicsConfig};
+
+fn dataset() -> SynthDataset {
+    generate_electronics(&ElectronicsConfig {
+        n_docs: 24,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn candidate_set_is_byte_identical_across_thread_counts() {
+    let ds = dataset();
+    let task = &domains::electronics::tasks(&ds)[0];
+    let seq = task.extractor.extract_parallel(&ds.corpus, 1);
+    assert!(!seq.candidates.is_empty());
+    for n in [2, 8] {
+        let par = task.extractor.extract_parallel(&ds.corpus, n);
+        assert_eq!(seq.candidates, par.candidates, "n_threads={n}");
+    }
+}
+
+#[test]
+fn feature_set_and_vocab_order_are_byte_identical_across_thread_counts() {
+    let ds = dataset();
+    let task = &domains::electronics::tasks(&ds)[0];
+    let cands = task.extractor.extract(&ds.corpus);
+    let fz = Featurizer::new(FeatureConfig::all());
+    let seq = fz.featurize_parallel(&ds.corpus, &cands, 1);
+    assert!(!seq.vocab.is_empty());
+    for n in [2, 8] {
+        let par = fz.featurize_parallel(&ds.corpus, &cands, n);
+        // Vocabulary ordering: column i names the same feature, in the
+        // sequential first-occurrence order.
+        assert_eq!(seq.vocab.len(), par.vocab.len(), "n_threads={n}");
+        for col in 0..seq.vocab.len() as u32 {
+            assert_eq!(seq.vocab.name(col), par.vocab.name(col), "col {col}");
+        }
+        // Sparse rows identical.
+        assert_eq!(seq.matrix.n_rows(), par.matrix.n_rows());
+        for i in 0..seq.matrix.n_rows() {
+            assert_eq!(seq.matrix.row(i), par.matrix.row(i), "row {i}");
+        }
+        // Cache statistics merge in input order too.
+        assert_eq!(seq.stats.hits, par.stats.hits);
+        assert_eq!(seq.stats.misses, par.stats.misses);
+    }
+}
+
+#[test]
+fn label_matrix_is_byte_identical_across_thread_counts() {
+    let ds = dataset();
+    let task = &domains::electronics::tasks(&ds)[0];
+    let cands = task.extractor.extract(&ds.corpus);
+    let refs: Vec<&LabelingFunction> = task.lfs.iter().collect();
+    let seq = LabelMatrix::apply(&refs, &ds.corpus, &cands);
+    for n in [2, 8] {
+        let par = LabelMatrix::apply_parallel(&refs, &ds.corpus, &cands, n);
+        assert_eq!(seq, par, "n_threads={n}");
+    }
+}
+
+#[test]
+fn full_pipeline_output_matches_between_1_and_8_threads() {
+    let ds = dataset();
+    let task = &domains::electronics::tasks(&ds)[0];
+    let run = |n_threads: usize| {
+        let cfg = PipelineConfig::builder()
+            .learner(fonduer_core::Learner::LogReg)
+            .n_threads(n_threads)
+            .build()
+            .unwrap();
+        let mut session = PipelineSession::new(&ds.corpus, &ds.gold, task, cfg).unwrap();
+        session.output().unwrap()
+    };
+    let seq = run(1);
+    let par = run(8);
+    assert_eq!(seq.candidates.candidates, par.candidates.candidates);
+    assert_eq!(seq.kb.entries, par.kb.entries);
+    // Deterministic learner: marginals bit-identical.
+    let seq_bits: Vec<u32> = seq.marginals.iter().map(|m| m.to_bits()).collect();
+    let par_bits: Vec<u32> = par.marginals.iter().map(|m| m.to_bits()).collect();
+    assert_eq!(seq_bits, par_bits);
+}
+
+fn hogwild_dataset(n: usize) -> (Vec<CandidateInput>, Vec<f32>) {
+    (0..n)
+        .map(|i| {
+            let pos = i % 2 == 0;
+            (
+                CandidateInput {
+                    mention_tokens: vec![vec![1], vec![2]],
+                    features: if pos { vec![0, 2, 3] } else { vec![1, 2, 4] },
+                },
+                if pos { 0.95 } else { 0.05 },
+            )
+        })
+        .unzip()
+}
+
+#[test]
+fn hogwild_final_loss_matches_sequential_within_tolerance() {
+    use fonduer_learning::ProbClassifier;
+    let (inputs, targets) = hogwild_dataset(300);
+    let mut seq = HogwildLogReg::new(5, 42, 1);
+    seq.fit(&inputs, &targets);
+    let mut hog = HogwildLogReg::new(5, 42, 8);
+    hog.fit(&inputs, &targets);
+    let l_seq = seq.mean_loss(&inputs, &targets);
+    let l_hog = hog.mean_loss(&inputs, &targets);
+    assert!(
+        (l_seq - l_hog).abs() < 0.05,
+        "sequential loss {l_seq} vs hogwild loss {l_hog}"
+    );
+    // And both models agree on every classification.
+    for (inp, &t) in inputs.iter().zip(&targets) {
+        assert_eq!(seq.predict_one(inp) > 0.5, t > 0.5);
+        assert_eq!(hog.predict_one(inp) > 0.5, t > 0.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Work-stealing deques with the `crossbeam-deque` call shape.
+//!
+//! A [`Worker`] is the owner's end of a queue; [`Stealer`]s are cloneable
+//! handles other threads use to take work from the opposite end. The real
+//! crossbeam implementation is a lock-free Chase–Lev deque; this hermetic
+//! stand-in keeps the same API and semantics (FIFO worker, stealers take
+//! the oldest task) over a short-critical-section mutex, which is plenty
+//! for the document-granularity tasks `fonduer-par` schedules.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt (crossbeam's three-state shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// The owner's end of a work-stealing queue.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A handle for taking tasks from another thread's [`Worker`].
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_fifo()
+    }
+}
+
+impl<T> Worker<T> {
+    /// A new FIFO queue: the owner pushes to the back and pops from the
+    /// front, so tasks run in submission order; stealers also take from
+    /// the front (oldest first).
+    pub fn new_fifo() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pop the next task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// A new stealer handle for this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempt to steal the oldest task from the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    /// Whether the queue is currently empty (best effort).
+    pub fn is_empty(&self) -> bool {
+        match self.inner.try_lock() {
+            Ok(q) => q.is_empty(),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_for_owner() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(10);
+        w.push(20);
+        assert_eq!(s.steal(), Steal::Success(10));
+        assert_eq!(w.pop(), Some(20));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing_drains_everything() {
+        let w = Worker::new_fifo();
+        for i in 0..1000u64 {
+            w.push(i);
+        }
+        let stolen: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(t) => got.push(t),
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all = stolen;
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+}

@@ -1,10 +1,11 @@
 //! Hermetic in-tree stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::scope` for structured fork–join
-//! parallelism; since Rust 1.63 the standard library provides the same
-//! capability as `std::thread::scope`, so this crate is a thin adapter that
-//! preserves crossbeam's call shape (`scope(|s| ...)` returning a `Result`,
-//! spawn closures receiving the scope).
+//! The workspace uses `crossbeam::scope` for structured fork–join
+//! parallelism and [`deque`] for the work-stealing queues behind
+//! `fonduer-par`. Since Rust 1.63 the standard library provides scoped
+//! threads as `std::thread::scope`, so the scope half is a thin adapter
+//! that preserves crossbeam's call shape (`scope(|s| ...)` returning a
+//! `Result`, spawn closures receiving the scope).
 //!
 //! Behavioral difference: if a worker panics, `std::thread::scope`
 //! propagates the panic at the end of the scope instead of returning `Err`,
@@ -14,6 +15,8 @@
 //! worker's payload.
 
 #![warn(missing_docs)]
+
+pub mod deque;
 
 use std::any::Any;
 
