@@ -5,7 +5,7 @@
 //! Self-contained harness (no external bench framework): each target is
 //! warmed up, then timed for a fixed number of iterations; per-iteration
 //! latencies feed a `fonduer_observe` histogram so the report shows
-//! p50/p95/p99 alongside the mean. Results are also written as machine-
+//! p50/p95/p99 alongside the reported median. Results are also written as machine-
 //! readable JSON to `BENCH_micro.json` at the workspace root (override the
 //! path with `BENCH_MICRO_OUT`) so the perf trajectory is tracked across
 //! PRs.
@@ -27,11 +27,28 @@ struct BenchResult {
     name: String,
     iters: usize,
     ns_per_iter: f64,
+    /// Work-normalized throughput for per-candidate stages (candgen,
+    /// featurize, LF apply); 0.0 for benchmarks without a candidate count.
+    candidates_per_sec: f64,
+}
+
+/// Annotate the most recent result with its candidate count, deriving
+/// `candidates_per_sec` from the measured median latency.
+fn with_throughput(results: &mut [BenchResult], n_candidates: usize) {
+    if let Some(r) = results.last_mut() {
+        if r.ns_per_iter > 0.0 {
+            r.candidates_per_sec = n_candidates as f64 / (r.ns_per_iter / 1e9);
+        }
+    }
 }
 
 /// Time `f` for `iters` iterations (after `warmup` unrecorded ones),
 /// recording each iteration into the histogram `micro.<name>_us`, printing
-/// a one-line summary, and appending the mean to `results`.
+/// a one-line summary, and appending the **median** per-iteration latency
+/// to `results`. The median (not the mean) is what lands in
+/// `BENCH_micro.json`: on shared or single-core hosts a lone preempted
+/// iteration can drag a 10-iteration mean by 30%+, which is exactly the
+/// noise the `bench_smoke` regression gate must not trip on.
 fn bench<T>(
     results: &mut Vec<BenchResult>,
     name: impl Into<String>,
@@ -44,14 +61,20 @@ fn bench<T>(
         black_box(f());
     }
     let hist = format!("micro.{name}_us");
-    let total = Instant::now();
+    let mut laps: Vec<u64> = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t = Instant::now();
         black_box(f());
-        observe::hist_record(&hist, t.elapsed().as_micros() as u64);
+        let ns = t.elapsed().as_nanos() as u64;
+        observe::hist_record(&hist, ns / 1_000);
+        laps.push(ns);
     }
-    let elapsed = total.elapsed();
-    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    laps.sort_unstable();
+    let ns_per_iter = if laps.len() % 2 == 1 {
+        laps[laps.len() / 2] as f64
+    } else {
+        (laps[laps.len() / 2 - 1] + laps[laps.len() / 2]) as f64 / 2.0
+    };
     println!(
         "{name:<32} {iters:>5} iters  {:>12.1} µs/iter",
         ns_per_iter / 1e3
@@ -60,6 +83,7 @@ fn bench<T>(
         name,
         iters,
         ns_per_iter,
+        candidates_per_sec: 0.0,
     });
 }
 
@@ -107,6 +131,7 @@ fn bench_featurize(results: &mut Vec<BenchResult>) {
     bench(results, "features/featurize/cached", 2, 10, || {
         cached.featurize(&ds.corpus, &cands)
     });
+    with_throughput(results, cands.len());
     let uncached = Featurizer {
         cache_enabled: false,
         ..Default::default()
@@ -114,6 +139,37 @@ fn bench_featurize(results: &mut Vec<BenchResult>) {
     bench(results, "features/featurize/uncached", 2, 10, || {
         uncached.featurize(&ds.corpus, &cands)
     });
+    with_throughput(results, cands.len());
+    // Hashed-vocab fast path: no vocabulary at all, fixed 2^18 columns.
+    let hashed = Featurizer::new(fonduer_features::FeatureConfig::all().with_hashing(18));
+    bench(results, "features/featurize/hashed", 2, 10, || {
+        hashed.featurize(&ds.corpus, &cands)
+    });
+    with_throughput(results, cands.len());
+    // Memory shape of the three representations, for the EXPERIMENTS log.
+    // `string_bytes` reconstructs what the pre-interning representation
+    // cost: one heap `String` per (candidate, feature) emission.
+    let interned = cached.featurize(&ds.corpus, &cands);
+    let hashed_out = hashed.featurize(&ds.corpus, &cands);
+    let string_bytes: usize = cands
+        .candidates
+        .iter()
+        .map(|c| {
+            std::mem::size_of::<Vec<String>>()
+                + cached
+                    .features_of(ds.corpus.doc(c.doc), c)
+                    .iter()
+                    .map(|s| std::mem::size_of::<String>() + s.capacity())
+                    .sum::<usize>()
+        })
+        .sum();
+    println!(
+        "featurize heap: interned={} B ({} cols), hashed={} B (2^18 cols), string rows={} B",
+        interned.heap_bytes(),
+        interned.vocab.len(),
+        hashed_out.heap_bytes(),
+        string_bytes
+    );
 }
 
 fn bench_model_step(results: &mut Vec<BenchResult>) {
@@ -245,28 +301,34 @@ fn bench_scaling(results: &mut Vec<BenchResult>) {
     let targets: Vec<f32> = (0..dataset.inputs.len())
         .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
         .collect();
+    // 30 iterations (vs 10 elsewhere): on hosts where several thread
+    // counts resolve to the same pool width, the rows differ only by
+    // scheduler noise, and the regression gate compares them directly.
     for n in [1usize, 2, 4, 8] {
         bench(
             results,
             format!("candidates/candgen/threads={n}"),
-            1,
-            10,
+            3,
+            30,
             || ex.extract_parallel(&ds.corpus, n),
         );
+        with_throughput(results, cands.len());
         bench(
             results,
             format!("features/featurize/threads={n}"),
-            1,
-            10,
+            3,
+            30,
             || fz.featurize_parallel(&ds.corpus, &cands, n),
         );
+        with_throughput(results, cands.len());
         bench(
             results,
             format!("supervision/lf_apply/threads={n}"),
-            1,
-            10,
+            3,
+            30,
             || LabelMatrix::apply_parallel(&lf_refs, &ds.corpus, &cands, n),
         );
+        with_throughput(results, cands.len());
         bench(
             results,
             format!("learning/train_epoch/threads={n}"),
@@ -282,17 +344,27 @@ fn bench_scaling(results: &mut Vec<BenchResult>) {
     }
 }
 
-/// Serialize results as a JSON array of `{name, iters, ns_per_iter}`.
+/// Serialize results as a JSON array of
+/// `{name, iters, ns_per_iter, candidates_per_sec?}` (the throughput field
+/// appears only on work-normalized rows).
 fn render_json(results: &[BenchResult]) -> String {
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
-            format!(
-                "  {{\"name\":\"{}\",\"iters\":{},\"ns_per_iter\":{}}}",
+            let mut row = format!(
+                "  {{\"name\":\"{}\",\"iters\":{},\"ns_per_iter\":{}",
                 observe::json::escape(&r.name),
                 r.iters,
                 observe::json::number(r.ns_per_iter),
-            )
+            );
+            if r.candidates_per_sec > 0.0 {
+                row.push_str(&format!(
+                    ",\"candidates_per_sec\":{}",
+                    observe::json::number(r.candidates_per_sec)
+                ));
+            }
+            row.push('}');
+            row
         })
         .collect();
     format!("[\n{}\n]\n", rows.join(",\n"))

@@ -21,6 +21,7 @@ fn main() {
             structural: true,
             tabular: false,
             visual: false,
+            hashing_bits: 0,
         },
         ..Default::default()
     };

@@ -1,0 +1,89 @@
+//! Bench regression gate for CI: compare a freshly generated
+//! `BENCH_micro.json` against the committed baseline and fail when any
+//! `features/featurize/*` row regressed by more than the threshold.
+//!
+//! Usage: `bench_smoke <baseline.json> <current.json> [max_regression_pct]`
+//! (default threshold 25). Rows present only on one side are reported but
+//! never fail the gate — new benchmarks must be landable without a
+//! baseline, and retired ones must not wedge CI.
+
+use fonduer_observe::json;
+
+const WATCH_PREFIX: &str = "features/featurize/";
+const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let v = json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    v.as_array()
+        .expect("bench file is a JSON array")
+        .iter()
+        .map(|row| {
+            let name = row
+                .get("name")
+                .and_then(json::Value::as_str)
+                .expect("row has a name")
+                .to_string();
+            let ns = row
+                .get("ns_per_iter")
+                .and_then(json::Value::as_f64)
+                .expect("row has ns_per_iter");
+            (name, ns)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, current_path) = match (args.get(1), args.get(2)) {
+        (Some(b), Some(c)) => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_smoke <baseline.json> <current.json> [max_regression_pct]");
+            std::process::exit(2);
+        }
+    };
+    let max_pct: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("threshold is a number"))
+        .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for (name, base_ns) in &baseline {
+        if !name.starts_with(WATCH_PREFIX) {
+            continue;
+        }
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            println!("SKIP {name}: missing from {current_path}");
+            continue;
+        };
+        checked += 1;
+        let delta_pct = (cur_ns - base_ns) / base_ns * 100.0;
+        let verdict = if delta_pct > max_pct {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!(
+            "{verdict} {name:<40} {:>12.1} -> {:>12.1} ns/iter ({:+.1}%)",
+            base_ns, cur_ns, delta_pct
+        );
+    }
+    for (name, _) in &current {
+        if name.starts_with(WATCH_PREFIX) && !baseline.iter().any(|(n, _)| n == name) {
+            println!("NEW  {name}: no baseline yet");
+        }
+    }
+    if checked == 0 {
+        eprintln!("no {WATCH_PREFIX}* rows found in {baseline_path} — nothing to gate");
+        std::process::exit(2);
+    }
+    if failures > 0 {
+        eprintln!("{failures} featurize benchmark(s) regressed more than {max_pct}%");
+        std::process::exit(1);
+    }
+    println!("bench smoke: {checked} rows within {max_pct}% of baseline");
+}

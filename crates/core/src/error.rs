@@ -35,6 +35,11 @@ pub enum ConfigError {
         /// The rejected value.
         value: usize,
     },
+    /// `features.hashing_bits` must be 0 (interned vocab) or in `1..=30`.
+    HashingBits {
+        /// The rejected value.
+        value: u8,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +56,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::VocabSize { value } => {
                 write!(f, "vocab_size must be > 0, got {value}")
+            }
+            ConfigError::HashingBits { value } => {
+                write!(f, "features.hashing_bits must be 0 or 1..=30, got {value}")
             }
         }
     }

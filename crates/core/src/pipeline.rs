@@ -81,6 +81,7 @@ impl Default for PipelineConfig {
                 structural: true,
                 tabular: true,
                 visual: true,
+                hashing_bits: 0,
             },
             gen_opts: GenerativeOptions::default(),
             threshold: 0.5,
@@ -128,6 +129,11 @@ impl PipelineConfig {
                 value: self.vocab_size,
             });
         }
+        if self.features.hashing_bits > 30 {
+            return Err(ConfigError::HashingBits {
+                value: self.features.hashing_bits,
+            });
+        }
         Ok(())
     }
 }
@@ -166,6 +172,14 @@ impl PipelineConfigBuilder {
     /// Feature-library modalities.
     pub fn features(mut self, features: FeatureConfig) -> Self {
         self.cfg.features = features;
+        self
+    }
+
+    /// Feature-hashing mode: `bits` in `1..=30` buckets features into
+    /// `1 << bits` columns without a vocabulary; `0` restores the interned
+    /// vocab (validated at [`build`](Self::build) time).
+    pub fn feature_hashing(mut self, bits: u8) -> Self {
+        self.cfg.features.hashing_bits = bits;
         self
     }
 
@@ -430,6 +444,18 @@ mod tests {
         assert_eq!(
             PipelineConfig::builder().vocab_size(0).build().unwrap_err(),
             ConfigError::VocabSize { value: 0 }
+        );
+        let hashed = PipelineConfig::builder()
+            .feature_hashing(18)
+            .build()
+            .unwrap();
+        assert_eq!(hashed.features.hashing_bits, 18);
+        assert_eq!(
+            PipelineConfig::builder()
+                .feature_hashing(31)
+                .build()
+                .unwrap_err(),
+            ConfigError::HashingBits { value: 31 }
         );
     }
 }

@@ -430,7 +430,7 @@ impl<'a> PipelineSession<'a> {
             "features",
             &[
                 self.candidates_key(),
-                self.cfg.features.mask() as u64,
+                self.cfg.features.fingerprint(),
                 self.cfg.vocab_size as u64,
                 self.cfg.window as u64,
             ],
@@ -888,6 +888,9 @@ impl<'a> PipelineSession<'a> {
                     Vec::new()
                 },
                 feature_counts: feats.modality_counts(i),
+                // Lazy name resolution: symbols stay interned on the hot
+                // path; stringify a small sample only while recording.
+                feature_sample: feats.feature_sample(i, 8),
                 marginal: p,
             });
         }

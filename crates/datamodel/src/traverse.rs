@@ -51,18 +51,33 @@ impl Document {
         a: ContextRef,
         b: ContextRef,
     ) -> (ContextRef, usize, usize) {
-        let pa = self.ancestors(a);
-        let pb = self.ancestors(b);
-        // Walk from the root down until the paths diverge.
-        let mut ia = pa.len();
-        let mut ib = pb.len();
-        let mut lca = ContextRef::Document;
-        while ia > 0 && ib > 0 && pa[ia - 1] == pb[ib - 1] {
-            lca = pa[ia - 1];
-            ia -= 1;
-            ib -= 1;
+        // Allocation-free LCA: equalize depths, then walk both paths up in
+        // lockstep until they meet (the context tree is shallow, so the
+        // repeated parent hops are cheaper than materializing the paths).
+        let depth = |mut c: ContextRef| {
+            let mut d = 0;
+            while let Some(p) = self.parent_of(c) {
+                c = p;
+                d += 1;
+            }
+            d
+        };
+        let (da, db) = (depth(a), depth(b));
+        let (mut ca, mut cb) = (a, b);
+        for _ in db..da {
+            ca = self.parent_of(ca).unwrap();
         }
-        (lca, ia, ib)
+        for _ in da..db {
+            cb = self.parent_of(cb).unwrap();
+        }
+        let mut lifted = da.max(db) - da.min(db);
+        while ca != cb {
+            ca = self.parent_of(ca).unwrap();
+            cb = self.parent_of(cb).unwrap();
+            lifted += 1;
+        }
+        let lca_depth = da.max(db) - lifted;
+        (ca, da - lca_depth, db - lca_depth)
     }
 
     /// The cell containing a sentence, if the sentence lives inside a table.
@@ -165,69 +180,102 @@ impl Document {
     /// excluding `cell` itself. This backs the paper's `row_ngrams` helper
     /// (Example 3.5) and the `ROW` feature template.
     pub fn row_words(&self, cell: CellId) -> Vec<String> {
-        self.axis_words(cell, true)
+        let mut out = Vec::new();
+        self.for_each_row_word(cell, |w| out.push(w.to_lowercase()));
+        out
     }
 
     /// Lower-cased words in all cells that share a grid column with `cell`,
     /// excluding `cell` itself (`col_ngrams` / `COL` feature template).
     pub fn col_words(&self, cell: CellId) -> Vec<String> {
-        self.axis_words(cell, false)
+        let mut out = Vec::new();
+        self.for_each_col_word(cell, |w| out.push(w.to_lowercase()));
+        out
     }
 
-    fn axis_words(&self, cell: CellId, row_axis: bool) -> Vec<String> {
+    /// Visit the raw words of every cell sharing a grid row with `cell`
+    /// (excluding `cell` itself) without allocating — the featurizer's hot
+    /// path lowercases at encode time. [`Document::row_words`] is the
+    /// owned, lower-cased convenience form.
+    pub fn for_each_row_word<F: FnMut(&str)>(&self, cell: CellId, f: F) {
+        self.for_each_axis_word(cell, true, f);
+    }
+
+    /// Visit the raw words of every cell sharing a grid column with `cell`
+    /// (excluding `cell` itself) without allocating.
+    pub fn for_each_col_word<F: FnMut(&str)>(&self, cell: CellId, f: F) {
+        self.for_each_axis_word(cell, false, f);
+    }
+
+    /// Words of every sentence inside one cell, in document order.
+    fn for_each_cell_word<F: FnMut(&str)>(&self, cell: CellId, f: &mut F) {
+        for &p in &self.cells[cell.index()].paragraphs {
+            for &s in &self.paragraphs[p.index()].sentences {
+                for w in &self.sentences[s.index()].words {
+                    f(w);
+                }
+            }
+        }
+    }
+
+    fn for_each_axis_word<F: FnMut(&str)>(&self, cell: CellId, row_axis: bool, mut f: F) {
         let c = &self.cells[cell.index()];
         let t = &self.tables[c.table.index()];
-        let mut out = Vec::new();
-        let ids = if row_axis {
-            (c.row_start..=c.row_end)
-                .map(|r| t.rows[r as usize].index())
-                .collect::<Vec<_>>()
+        let span = if row_axis {
+            c.row_start..=c.row_end
         } else {
-            (c.col_start..=c.col_end)
-                .map(|cx| t.columns[cx as usize].index())
-                .collect::<Vec<_>>()
+            c.col_start..=c.col_end
         };
-        for axis_idx in ids {
+        for k in span {
             let cells = if row_axis {
-                &self.rows[axis_idx].cells
+                &self.rows[t.rows[k as usize].index()].cells
             } else {
-                &self.columns[axis_idx].cells
+                &self.columns[t.columns[k as usize].index()].cells
             };
             for &other in cells {
                 if other == cell {
                     continue;
                 }
-                for s in self.sentences_in(ContextRef::Cell(other)) {
-                    for w in &self.sentences[s.index()].words {
-                        out.push(w.to_lowercase());
-                    }
-                }
+                self.for_each_cell_word(other, &mut f);
             }
         }
-        out
     }
 
     /// Lower-cased words of the row-header cells for `cell`: cells in the
     /// first grid column that share a row with `cell` (`ROW_HEAD`). For a
     /// cell already in the first column this is empty.
     pub fn row_header_words(&self, cell: CellId) -> Vec<String> {
-        self.header_words(cell, true)
+        let mut out = Vec::new();
+        self.for_each_row_header_word(cell, |w| out.push(w.to_lowercase()));
+        out
     }
 
     /// Lower-cased words of the column-header cells for `cell`: cells in the
     /// first grid row that share a column with `cell` (`COL_HEAD`,
     /// Example 3.4's `header_ngrams`).
     pub fn col_header_words(&self, cell: CellId) -> Vec<String> {
-        self.header_words(cell, false)
+        let mut out = Vec::new();
+        self.for_each_col_header_word(cell, |w| out.push(w.to_lowercase()));
+        out
     }
 
-    fn header_words(&self, cell: CellId, row_axis: bool) -> Vec<String> {
+    /// Visit the raw words of `cell`'s row-header cells without allocating.
+    pub fn for_each_row_header_word<F: FnMut(&str)>(&self, cell: CellId, f: F) {
+        self.for_each_header_word(cell, true, f);
+    }
+
+    /// Visit the raw words of `cell`'s column-header cells without
+    /// allocating.
+    pub fn for_each_col_header_word<F: FnMut(&str)>(&self, cell: CellId, f: F) {
+        self.for_each_header_word(cell, false, f);
+    }
+
+    fn for_each_header_word<F: FnMut(&str)>(&self, cell: CellId, row_axis: bool, mut f: F) {
         let c = &self.cells[cell.index()];
         if (row_axis && c.col_start == 0) || (!row_axis && c.row_start == 0) {
-            return Vec::new();
+            return;
         }
         let t = &self.tables[c.table.index()];
-        let mut out = Vec::new();
         for &other_id in &t.cells {
             if other_id == cell {
                 continue;
@@ -241,14 +289,9 @@ impl Document {
                 o.row_start == 0 && o.col_start <= c.col_end && c.col_start <= o.col_end
             };
             if is_header {
-                for s in self.sentences_in(ContextRef::Cell(other_id)) {
-                    for w in &self.sentences[s.index()].words {
-                        out.push(w.to_lowercase());
-                    }
-                }
+                self.for_each_cell_word(other_id, &mut f);
             }
         }
-        out
     }
 
     /// Lemmas of words visually aligned with the given bounding box on
@@ -262,18 +305,36 @@ impl Document {
         skip_sentence: SentenceId,
     ) -> Vec<String> {
         let mut out = Vec::new();
+        self.for_each_aligned_lemma(page, bbox, skip_sentence, false, |l| {
+            out.push(l.to_string());
+        });
+        out
+    }
+
+    /// Visit the lemmas of words visually aligned with `bbox` on `page`
+    /// (both axes, or y-only when `y_only`) without allocating, excluding
+    /// words of `skip_sentence`.
+    pub fn for_each_aligned_lemma<F: FnMut(&str)>(
+        &self,
+        page: u16,
+        bbox: &BBox,
+        skip_sentence: SentenceId,
+        y_only: bool,
+        mut f: F,
+    ) {
         for (si, s) in self.sentences.iter().enumerate() {
             if si == skip_sentence.index() {
                 continue;
             }
             let Some(vis) = &s.visual else { continue };
             for (wi, wv) in vis.iter().enumerate() {
-                if wv.page == page && (wv.bbox.y_overlaps(bbox) || wv.bbox.x_overlaps(bbox)) {
-                    out.push(s.ling[wi].lemma.clone());
+                if wv.page == page
+                    && (wv.bbox.y_overlaps(bbox) || (!y_only && wv.bbox.x_overlaps(bbox)))
+                {
+                    f(&s.ling[wi].lemma);
                 }
             }
         }
-        out
     }
 
     /// Lemmas of words horizontally aligned with the given bounding box on
@@ -287,17 +348,9 @@ impl Document {
         skip_sentence: SentenceId,
     ) -> Vec<String> {
         let mut out = Vec::new();
-        for (si, s) in self.sentences.iter().enumerate() {
-            if si == skip_sentence.index() {
-                continue;
-            }
-            let Some(vis) = &s.visual else { continue };
-            for (wi, wv) in vis.iter().enumerate() {
-                if wv.page == page && wv.bbox.y_overlaps(bbox) {
-                    out.push(s.ling[wi].lemma.clone());
-                }
-            }
-        }
+        self.for_each_aligned_lemma(page, bbox, skip_sentence, true, |l| {
+            out.push(l.to_string());
+        });
         out
     }
 

@@ -3,11 +3,12 @@
 //! textual modalities.
 
 use crate::config::FeatureConfig;
+use crate::intern::FeatureSink;
 use crate::unary::bucket;
 use fonduer_datamodel::{ContextRef, Document, Span};
 
-/// Generate all enabled binary features for the mention pair `(a, b)` into
-/// `out`.
+/// Generate all enabled binary features for the mention pair `(a, b)` as
+/// owned strings (compat wrapper over [`binary_features_into`]).
 pub fn binary_features(
     doc: &Document,
     a: Span,
@@ -15,49 +16,66 @@ pub fn binary_features(
     cfg: &FeatureConfig,
     out: &mut Vec<String>,
 ) {
+    let mut sink = FeatureSink::collecting(out);
+    binary_features_into(doc, a, b, cfg, &mut sink);
+}
+
+/// Generate all enabled binary features for the mention pair `(a, b)` into a
+/// sink — the allocation-free hot path.
+pub fn binary_features_into(
+    doc: &Document,
+    a: Span,
+    b: Span,
+    cfg: &FeatureConfig,
+    sink: &mut FeatureSink<'_>,
+) {
     if cfg.textual {
-        textual(doc, a, b, out);
+        sink.set_modality(0);
+        textual(doc, a, b, sink);
     }
     if cfg.structural {
-        structural(doc, a, b, out);
+        sink.set_modality(1);
+        structural(doc, a, b, sink);
     }
     if cfg.tabular {
-        tabular(doc, a, b, out);
+        sink.set_modality(2);
+        tabular(doc, a, b, sink);
     }
     if cfg.visual {
-        visual(doc, a, b, out);
+        sink.set_modality(3);
+        visual(doc, a, b, sink);
     }
 }
 
-fn textual(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+fn textual(doc: &Document, a: Span, b: Span, sink: &mut FeatureSink<'_>) {
     if a.sentence == b.sentence {
-        out.push("SAME_SENTENCE".to_string());
+        sink.feat("SAME_SENTENCE");
         let (lo, hi) = if a.start <= b.start { (a, b) } else { (b, a) };
         let gap = hi.start.saturating_sub(lo.end) as usize;
-        out.push(format!("TOKEN_DIST_{}", bucket(gap)));
+        sink.feat_fmt(format_args!("TOKEN_DIST_{}", bucket(gap)));
         let s = doc.sentence(a.sentence);
         for i in lo.end..hi.start {
-            out.push(format!("BETWEEN_LEMMA_{}", s.ling[i as usize].lemma));
+            sink.feat_fmt(format_args!("BETWEEN_LEMMA_{}", s.ling[i as usize].lemma));
         }
     } else {
         let d = doc
             .sentence(a.sentence)
             .abs_position
             .abs_diff(doc.sentence(b.sentence).abs_position);
-        out.push(format!("SENT_DIST_{}", bucket(d as usize)));
+        sink.feat_fmt(format_args!("SENT_DIST_{}", bucket(d as usize)));
     }
 }
 
-fn structural(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+fn structural(doc: &Document, a: Span, b: Span, sink: &mut FeatureSink<'_>) {
     let (lca, da, db) = doc.lowest_common_ancestor(
         ContextRef::Sentence(a.sentence),
         ContextRef::Sentence(b.sentence),
     );
-    out.push(format!("COMMON_ANCESTOR_{}", lca.kind()));
-    out.push(format!("LOWEST_ANCESTOR_DEPTH_{}", bucket(da.min(db))));
+    sink.feat_fmt(format_args!("COMMON_ANCESTOR_{}", lca.kind()));
+    sink.feat_fmt(format_args!("LOWEST_ANCESTOR_DEPTH_{}", bucket(da.min(db))));
 }
 
-fn tabular(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+fn tabular(doc: &Document, a: Span, b: Span, sink: &mut FeatureSink<'_>) {
     let ca = doc.cell_of_sentence(a.sentence);
     let cb = doc.cell_of_sentence(b.sentence);
     let (Some(ca), Some(cb)) = (ca, cb) else {
@@ -68,46 +86,46 @@ fn tabular(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
     let row_diff = cell_a.row_start.abs_diff(cell_b.row_start) as usize;
     let col_diff = cell_a.col_start.abs_diff(cell_b.col_start) as usize;
     if cell_a.table == cell_b.table {
-        out.push("SAME_TABLE".to_string());
-        out.push(format!("SAME_TABLE_ROW_DIFF_{}", bucket(row_diff)));
-        out.push(format!("SAME_TABLE_COL_DIFF_{}", bucket(col_diff)));
-        out.push(format!(
+        sink.feat("SAME_TABLE");
+        sink.feat_fmt(format_args!("SAME_TABLE_ROW_DIFF_{}", bucket(row_diff)));
+        sink.feat_fmt(format_args!("SAME_TABLE_COL_DIFF_{}", bucket(col_diff)));
+        sink.feat_fmt(format_args!(
             "SAME_TABLE_MANHATTAN_DIST_{}",
             bucket(row_diff + col_diff)
         ));
         if ca == cb {
-            out.push("SAME_CELL".to_string());
+            sink.feat("SAME_CELL");
             if a.sentence == b.sentence {
-                out.push("SAME_PHRASE".to_string());
+                sink.feat("SAME_PHRASE");
                 let (lo, hi) = if a.start <= b.start { (a, b) } else { (b, a) };
                 let word_diff = hi.start.saturating_sub(lo.end) as usize;
-                out.push(format!("WORD_DIFF_{}", bucket(word_diff)));
+                sink.feat_fmt(format_args!("WORD_DIFF_{}", bucket(word_diff)));
                 let s = doc.sentence(a.sentence);
                 let (ca_off, _) = s.char_offsets[lo.start as usize];
                 let (cb_off, _) = s.char_offsets[hi.start as usize];
-                out.push(format!(
+                sink.feat_fmt(format_args!(
                     "CHAR_DIFF_{}",
                     bucket(cb_off.saturating_sub(ca_off) as usize)
                 ));
             }
         }
     } else {
-        out.push("DIFF_TABLE".to_string());
-        out.push(format!("DIFF_TABLE_ROW_DIFF_{}", bucket(row_diff)));
-        out.push(format!("DIFF_TABLE_COL_DIFF_{}", bucket(col_diff)));
-        out.push(format!(
+        sink.feat("DIFF_TABLE");
+        sink.feat_fmt(format_args!("DIFF_TABLE_ROW_DIFF_{}", bucket(row_diff)));
+        sink.feat_fmt(format_args!("DIFF_TABLE_COL_DIFF_{}", bucket(col_diff)));
+        sink.feat_fmt(format_args!(
             "DIFF_TABLE_MANHATTAN_DIST_{}",
             bucket(row_diff + col_diff)
         ));
     }
 }
 
-fn visual(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
+fn visual(doc: &Document, a: Span, b: Span, sink: &mut FeatureSink<'_>) {
     let (Some(pa), Some(pb)) = (a.page(doc), b.page(doc)) else {
         return;
     };
     if pa == pb {
-        out.push("SAME_PAGE".to_string());
+        sink.feat("SAME_PAGE");
     }
     let (Some(ba), Some(bb)) = (a.bbox(doc), b.bbox(doc)) else {
         return;
@@ -115,26 +133,26 @@ fn visual(doc: &Document, a: Span, b: Span, out: &mut Vec<String>) {
     if pa == pb {
         const EPS: f32 = 2.0;
         if ba.y_overlaps(&bb) {
-            out.push("HORZ_ALIGNED".to_string());
+            sink.feat("HORZ_ALIGNED");
         }
         if ba.x_overlaps(&bb) {
-            out.push("VERT_ALIGNED".to_string());
+            sink.feat("VERT_ALIGNED");
         }
         if (ba.x0 - bb.x0).abs() < EPS {
-            out.push("VERT_ALIGNED_LEFT".to_string());
+            sink.feat("VERT_ALIGNED_LEFT");
         }
         if (ba.x1 - bb.x1).abs() < EPS {
-            out.push("VERT_ALIGNED_RIGHT".to_string());
+            sink.feat("VERT_ALIGNED_RIGHT");
         }
         if (ba.cx() - bb.cx()).abs() < EPS {
-            out.push("VERT_ALIGNED_CENTER".to_string());
+            sink.feat("VERT_ALIGNED_CENTER");
         }
     }
     // Same-font pairing (Figure 5 highlights "Same Font" as a signal).
     let fa = &doc.sentence(a.sentence).visual.as_ref().unwrap()[a.start as usize];
     let fb = &doc.sentence(b.sentence).visual.as_ref().unwrap()[b.start as usize];
     if fa.font == fb.font {
-        out.push("SAME_FONT".to_string());
+        sink.feat("SAME_FONT");
     }
 }
 

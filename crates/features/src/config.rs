@@ -5,7 +5,8 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Which feature modalities are enabled.
+/// Which feature modalities are enabled, and how feature names map to
+/// matrix columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FeatureConfig {
     /// Textual features (mention words/lemmas/POS, windows, between-text).
@@ -16,6 +17,11 @@ pub struct FeatureConfig {
     pub tabular: bool,
     /// Visual features (page, fonts, geometric alignment).
     pub visual: bool,
+    /// Feature-hashing mode: 0 keeps the interned vocabulary; `1..=30`
+    /// skips the vocab entirely and buckets each feature into
+    /// `1 << hashing_bits` columns by salted 64-bit hash (deterministic
+    /// across runs and thread counts).
+    pub hashing_bits: u8,
 }
 
 impl Default for FeatureConfig {
@@ -32,6 +38,7 @@ impl FeatureConfig {
             structural: true,
             tabular: true,
             visual: true,
+            hashing_bits: 0,
         }
     }
 
@@ -42,6 +49,7 @@ impl FeatureConfig {
             structural: false,
             tabular: false,
             visual: false,
+            hashing_bits: 0,
         }
     }
 
@@ -59,12 +67,24 @@ impl FeatureConfig {
         c
     }
 
-    /// Bitmask used as part of cache keys.
+    /// Enable feature-hashing mode with `1 << bits` bucket columns.
+    pub fn with_hashing(mut self, bits: u8) -> Self {
+        self.hashing_bits = bits;
+        self
+    }
+
+    /// Modality bitmask (kept for readability in diagnostics).
     pub fn mask(&self) -> u8 {
         (self.textual as u8)
             | (self.structural as u8) << 1
             | (self.tabular as u8) << 2
             | (self.visual as u8) << 3
+    }
+
+    /// Cache-key fingerprint: modality mask salted with the hashing mode,
+    /// so switching representations invalidates featurize artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        self.mask() as u64 | (self.hashing_bits as u64) << 8
     }
 }
 
@@ -82,6 +102,15 @@ mod tests {
             FeatureConfig::without("visual").mask(),
             FeatureConfig::without("textual").mask()
         );
+    }
+
+    #[test]
+    fn hashing_salts_the_fingerprint() {
+        let plain = FeatureConfig::all();
+        let hashed = FeatureConfig::all().with_hashing(18);
+        assert_eq!(plain.mask(), hashed.mask());
+        assert_ne!(plain.fingerprint(), hashed.fingerprint());
+        assert_eq!(plain.fingerprint(), 0b1111);
     }
 
     #[test]

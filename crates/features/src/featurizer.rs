@@ -5,86 +5,46 @@
 //! featurized, after which the cache is flushed. Because Fonduer operates
 //! on documents atomically, caching a single document at a time improves
 //! performance without adding significant memory overhead."
+//!
+//! The hot path is allocation-free: template emitters write interned `u32`
+//! symbols through a [`FeatureSink`] reused across a whole document shard,
+//! the per-document mention cache stores symbol slices (not strings), and
+//! the output is a CSR matrix shared zero-copy (`Arc`) with the learners.
 
-use crate::binary::binary_features;
+use crate::binary::binary_features_into;
 use crate::config::FeatureConfig;
-use crate::modality::{modality_index, MODALITIES};
-use crate::sparse::LilMatrix;
-use crate::unary::unary_features;
+use crate::intern::{dedup_row, FeatureSink, ShardedInterner, DELTA_BIT};
+use crate::sparse::CsrMatrix;
+use crate::unary::unary_features_into;
 use fonduer_candidates::{Candidate, CandidateSet};
 use fonduer_datamodel::{Corpus, Document, Span};
 use fonduer_observe as observe;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Per-modality emission tally (indexes follow [`MODALITIES`], last slot =
-/// unclassified), accumulated locally and flushed to `fonduer-observe`
-/// counters once per featurization call.
-#[derive(Default)]
-struct ModalityTally([u64; 5]);
+/// Appendix C.1 per-document mention cache: `(span, argument slot)` →
+/// the `(symbol, modality)` pairs that slot emitted last time.
+type MentionCache = HashMap<(Span, u8), Vec<(u32, u8)>>;
 
-impl ModalityTally {
-    fn add(&mut self, feature: &str) {
-        self.0[modality_index(feature).unwrap_or(4)] += 1;
-    }
+pub use crate::intern::FeatureVocab;
 
-    fn flush(&self, stats: &CacheStats) {
-        for (i, m) in MODALITIES.iter().enumerate() {
-            if self.0[i] > 0 {
-                observe::counter(&format!("features.emitted.{m}"), self.0[i]);
-            }
+/// Flush a per-modality emission tally (pre-dedup, [`crate::MODALITIES`]
+/// order + unclassified) and the cache counters to `fonduer-observe`.
+fn flush_tally(tally: &[u64; 5], stats: &CacheStats) {
+    const NAMES: [&str; 5] = [
+        "features.emitted.textual",
+        "features.emitted.structural",
+        "features.emitted.tabular",
+        "features.emitted.visual",
+        "features.emitted.other",
+    ];
+    for (i, name) in NAMES.iter().enumerate() {
+        if tally[i] > 0 {
+            observe::counter(name, tally[i]);
         }
-        if self.0[4] > 0 {
-            observe::counter("features.emitted.other", self.0[4]);
-        }
-        observe::counter("features.cache.hits", stats.hits as u64);
-        observe::counter("features.cache.misses", stats.misses as u64);
     }
-}
-
-/// Interns feature strings to dense column indices.
-#[derive(Debug, Clone, Default)]
-pub struct FeatureVocab {
-    map: HashMap<String, u32>,
-    names: Vec<String>,
-}
-
-impl FeatureVocab {
-    /// An empty vocabulary.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Intern a feature string, returning its column index.
-    pub fn intern(&mut self, name: &str) -> u32 {
-        if let Some(&i) = self.map.get(name) {
-            return i;
-        }
-        let i = self.names.len() as u32;
-        self.map.insert(name.to_string(), i);
-        self.names.push(name.to_string());
-        i
-    }
-
-    /// Look up an existing feature.
-    pub fn get(&self, name: &str) -> Option<u32> {
-        self.map.get(name).copied()
-    }
-
-    /// Feature name of a column.
-    pub fn name(&self, col: u32) -> &str {
-        &self.names[col as usize]
-    }
-
-    /// Number of distinct features.
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// Whether empty.
-    pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
-    }
+    observe::counter("features.cache.hits", stats.hits as u64);
+    observe::counter("features.cache.misses", stats.misses as u64);
 }
 
 /// Cache effectiveness counters (reported by the Appendix C.1 bench).
@@ -108,37 +68,120 @@ impl CacheStats {
     }
 }
 
-/// The featurization result: an interned vocabulary plus one sparse row per
-/// candidate (the paper's `Features(id, LSTM_textual, feature_lib_others)`
-/// relation, minus the learned LSTM part which lives in `fonduer-learning`).
+/// The featurization result: an interned vocabulary plus one sparse CSR row
+/// per candidate (the paper's `Features(id, LSTM_textual,
+/// feature_lib_others)` relation, minus the learned LSTM part which lives
+/// in `fonduer-learning`).
+///
+/// In feature-hashing mode (`FeatureConfig::hashing_bits > 0`) the vocab is
+/// empty: columns are salted-hash buckets and per-row modality tallies are
+/// recorded at featurization time instead of being derived from names.
 #[derive(Debug, Clone)]
 pub struct FeatureSet {
-    /// Feature-name interning table.
+    /// Feature-name interning table (empty in hashing mode).
     pub vocab: FeatureVocab,
     /// One row per candidate; presence-valued (1.0) per Appendix B's
-    /// bit-vector semantics.
-    pub matrix: LilMatrix,
+    /// bit-vector semantics. Shared zero-copy with learning/supervision.
+    pub matrix: Arc<CsrMatrix>,
     /// Cache statistics accumulated over the run.
     pub stats: CacheStats,
+    /// `FeatureConfig::hashing_bits` this set was built with (0 = interned).
+    hashing_bits: u8,
+    /// Per-row modality tallies, recorded only in hashing mode (interned
+    /// mode derives them from the vocab's per-symbol modality tags).
+    row_modality: Option<Vec<[u32; 5]>>,
 }
 
 impl FeatureSet {
+    /// Width of the feature space: vocabulary size, or `1 << hashing_bits`
+    /// in hashing mode.
+    pub fn n_features(&self) -> usize {
+        if self.hashing_bits > 0 {
+            1usize << self.hashing_bits
+        } else {
+            self.vocab.len()
+        }
+    }
+
+    /// The hashing-mode bit width this set was built with (0 = interned).
+    pub fn hashing_bits(&self) -> u8 {
+        self.hashing_bits
+    }
+
     /// Per-modality feature tally for candidate `row`: counts indexed as
-    /// [`MODALITIES`] (textual, structural, tabular, visual) plus a final
-    /// unclassified slot — the feature-mix column of a provenance record.
+    /// [`crate::MODALITIES`] (textual, structural, tabular, visual) plus a
+    /// final unclassified slot — the feature-mix column of a provenance
+    /// record. Computed from interned modality tags, never from strings.
     pub fn modality_counts(&self, row: usize) -> [u32; 5] {
+        if let Some(rm) = &self.row_modality {
+            return rm[row];
+        }
         let mut out = [0u32; 5];
-        for (col, _) in self.matrix.row(row) {
-            out[modality_index(self.vocab.name(*col)).unwrap_or(4)] += 1;
+        for &col in self.matrix.row_ids(row) {
+            out[self.vocab.modality_idx(col)] += 1;
         }
         out
     }
+
+    /// Lazily render the feature names of one row (debug/provenance only;
+    /// hashed buckets render as `#<id>` since their names are gone).
+    pub fn feature_names(&self, row: usize) -> Vec<String> {
+        self.feature_sample(row, usize::MAX)
+    }
+
+    /// Up to `limit` resolved names from a row. This is the provenance
+    /// exporter's lazy path: symbols stay interned everywhere else, and only
+    /// the sampled prefix is ever stringified.
+    pub fn feature_sample(&self, row: usize, limit: usize) -> Vec<String> {
+        self.matrix
+            .row_ids(row)
+            .iter()
+            .take(limit)
+            .map(|&c| {
+                if self.hashing_bits > 0 {
+                    format!("#{c}")
+                } else {
+                    self.vocab.name(c).to_string()
+                }
+            })
+            .collect()
+    }
+
+    /// Approximate retained heap bytes (vocab arena + CSR arrays).
+    pub fn heap_bytes(&self) -> usize {
+        self.vocab.heap_bytes()
+            + self.matrix.heap_bytes()
+            + self
+                .row_modality
+                .as_ref()
+                .map_or(0, |rm| rm.capacity() * std::mem::size_of::<[u32; 5]>())
+    }
+}
+
+/// Append the sink's raw emission row to the CSR matrix (sorted, deduped,
+/// first occurrence wins) and reset the sink for the next candidate.
+fn finish_row(
+    sink: &mut FeatureSink<'_>,
+    csr: &mut CsrMatrix,
+    row_modality: Option<&mut Vec<[u32; 5]>>,
+) {
+    let row = sink.row_mut();
+    dedup_row(row);
+    if let Some(rm) = row_modality {
+        let mut counts = [0u32; 5];
+        for &(_, m) in row.iter() {
+            counts[(m as usize).min(4)] += 1;
+        }
+        rm.push(counts);
+    }
+    csr.push_ids(row.iter().map(|&(id, _)| id));
+    row.clear();
 }
 
 /// Multimodal featurizer.
 #[derive(Debug, Clone)]
 pub struct Featurizer {
-    /// Enabled modalities.
+    /// Enabled modalities (+ optional hashing mode).
     pub cfg: FeatureConfig,
     /// Whether the per-document mention cache is used (Appendix C.1; the
     /// `appc_caching` bench flips this).
@@ -163,143 +206,360 @@ impl Featurizer {
         }
     }
 
-    /// Feature strings of one candidate (unprefixed computation, prefixed
-    /// assembly): `A{i}_` for argument `i`'s unary features and `A{i}{j}_`
-    /// for pair features.
-    pub fn features_of(
+    /// Feature strings of one candidate: `A{i}_` for argument `i`'s unary
+    /// features and `A{i}{j}_` for pair features. The string-rendering
+    /// reference path (debug + golden equivalence tests); the hot path is
+    /// [`Featurizer::featurize`], which never materializes these strings.
+    pub fn features_of(&self, doc: &Document, cand: &Candidate) -> Vec<String> {
+        let mut out = Vec::with_capacity(64);
+        let mut sink = FeatureSink::collecting(&mut out);
+        self.candidate_into(doc, cand, &mut sink, None, &mut CacheStats::default());
+        drop(sink);
+        out
+    }
+
+    /// Emit one candidate's features into `sink`: per-argument unary
+    /// features (through the per-document mention cache when one is given)
+    /// followed by per-pair binary features.
+    fn candidate_into(
         &self,
         doc: &Document,
         cand: &Candidate,
-        cache: &mut HashMap<Span, Arc<Vec<String>>>,
+        sink: &mut FeatureSink<'_>,
+        mut cache: Option<&mut MentionCache>,
         stats: &mut CacheStats,
-    ) -> Vec<String> {
-        let mut out = Vec::with_capacity(64);
+    ) {
         for (i, &m) in cand.mentions.iter().enumerate() {
-            let unary = if self.cache_enabled {
-                if let Some(hit) = cache.get(&m) {
+            let key = (m, i as u8);
+            if let Some(cache) = cache.as_deref_mut() {
+                if let Some(hit) = cache.get(&key) {
                     stats.hits += 1;
-                    hit.clone()
-                } else {
-                    stats.misses += 1;
-                    let mut feats = Vec::with_capacity(32);
-                    unary_features(doc, m, &self.cfg, &mut feats);
-                    let arc = Arc::new(feats);
-                    cache.insert(m, arc.clone());
-                    arc
+                    sink.extend_cached(hit);
+                    continue;
                 }
-            } else {
-                stats.misses += 1;
-                let mut feats = Vec::with_capacity(32);
-                unary_features(doc, m, &self.cfg, &mut feats);
-                Arc::new(feats)
-            };
-            for f in unary.iter() {
-                out.push(format!("A{i}_{f}"));
+            }
+            stats.misses += 1;
+            let mark = sink.row_len();
+            sink.set_prefix(format_args!("A{i}_"));
+            unary_features_into(doc, m, &self.cfg, sink);
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.insert(key, sink.row_slice(mark).to_vec());
             }
         }
         for i in 0..cand.mentions.len() {
             for j in i + 1..cand.mentions.len() {
-                let mut feats = Vec::with_capacity(16);
-                binary_features(
-                    doc,
-                    cand.mentions[i],
-                    cand.mentions[j],
-                    &self.cfg,
-                    &mut feats,
-                );
-                for f in feats {
-                    out.push(format!("A{i}{j}_{f}"));
-                }
+                sink.set_prefix(format_args!("A{i}{j}_"));
+                binary_features_into(doc, cand.mentions[i], cand.mentions[j], &self.cfg, sink);
             }
         }
-        out
     }
 
     /// Featurize an entire candidate set over its corpus. Candidates are
     /// processed document-atomically; the mention cache lives for one
     /// document and is then flushed.
     ///
-    /// With the cache enabled, each mention's unary features are computed,
-    /// prefixed, and interned exactly once per document: repeat candidates
-    /// reuse the interned column ids directly (Appendix C.1).
+    /// With the cache enabled, each mention's unary features are composed,
+    /// prefixed, and encoded exactly once per document: repeat candidates
+    /// replay the cached symbol slice directly (Appendix C.1).
     pub fn featurize(&self, corpus: &Corpus, cands: &CandidateSet) -> FeatureSet {
         let _span = observe::span("featurize_corpus");
+        let hashed = self.cfg.hashing_bits > 0;
         let mut vocab = FeatureVocab::new();
-        let mut matrix = LilMatrix::new();
+        let mut csr = CsrMatrix::new();
         let mut stats = CacheStats::default();
-        let mut tally = ModalityTally::default();
+        let mut row_modality: Option<Vec<[u32; 5]>> =
+            hashed.then(|| Vec::with_capacity(cands.len()));
         // Keyed by (mention span, argument index): the prefix differs per
-        // argument position, so interned ids are cached per position.
-        let mut cache: HashMap<(Span, u8), Arc<Vec<u32>>> = HashMap::new();
+        // argument position, so cached symbols are per position.
+        let mut cache: MentionCache = HashMap::new();
         let mut current_doc = None;
-        let mut scratch: Vec<String> = Vec::with_capacity(64);
-        for cand in &cands.candidates {
-            if current_doc != Some(cand.doc) {
-                cache.clear(); // flush at document boundary
-                current_doc = Some(cand.doc);
-            }
-            let doc = corpus.doc(cand.doc);
-            let mut row: Vec<(u32, f32)> = Vec::with_capacity(96);
-            for (i, &m) in cand.mentions.iter().enumerate() {
-                let key = (m, i as u8);
-                let ids: Arc<Vec<u32>> = if self.cache_enabled {
-                    if let Some(hit) = cache.get(&key) {
-                        stats.hits += 1;
-                        hit.clone()
-                    } else {
-                        stats.misses += 1;
-                        let ids = Arc::new(Self::unary_ids(doc, m, i, &self.cfg, &mut vocab));
-                        cache.insert(key, ids.clone());
-                        ids
-                    }
-                } else {
-                    stats.misses += 1;
-                    Arc::new(Self::unary_ids(doc, m, i, &self.cfg, &mut vocab))
-                };
-                row.extend(ids.iter().map(|&c| (c, 1.0)));
-            }
-            for i in 0..cand.mentions.len() {
-                for j in i + 1..cand.mentions.len() {
-                    scratch.clear();
-                    binary_features(
-                        doc,
-                        cand.mentions[i],
-                        cand.mentions[j],
-                        &self.cfg,
-                        &mut scratch,
-                    );
-                    for f in &scratch {
-                        row.push((vocab.intern(&format!("A{i}{j}_{f}")), 1.0));
-                    }
+        let tally;
+        {
+            let mut sink = if hashed {
+                FeatureSink::hashed(self.cfg.hashing_bits)
+            } else {
+                FeatureSink::interning(&mut vocab)
+            };
+            for cand in &cands.candidates {
+                if current_doc != Some(cand.doc) {
+                    cache.clear(); // flush at document boundary
+                    current_doc = Some(cand.doc);
                 }
+                let doc = corpus.doc(cand.doc);
+                self.candidate_into(
+                    doc,
+                    cand,
+                    &mut sink,
+                    self.cache_enabled.then_some(&mut cache),
+                    &mut stats,
+                );
+                finish_row(&mut sink, &mut csr, row_modality.as_mut());
             }
-            for &(c, _) in &row {
-                tally.add(vocab.name(c));
-            }
-            matrix.push_row(row);
+            tally = sink.tally();
         }
-        tally.flush(&stats);
+        flush_tally(&tally, &stats);
         FeatureSet {
             vocab,
-            matrix,
+            matrix: Arc::new(csr),
             stats,
+            hashing_bits: self.cfg.hashing_bits,
+            row_modality,
+        }
+    }
+}
+
+/// Raw per-chunk output of a parallel featurization worker.
+struct ChunkOut {
+    /// All rows back-to-back; in interned mode symbol ids may carry
+    /// [`DELTA_BIT`] (chunk-local names awaiting the input-order merge).
+    flat: Vec<(u32, u8)>,
+    /// Row boundaries into `flat` (`n_rows + 1` offsets).
+    offsets: Vec<u32>,
+    /// Chunk-local first-occurrence vocabulary of names the shared base
+    /// didn't resolve (empty in hashing mode).
+    delta: FeatureVocab,
+    stats: CacheStats,
+    tally: [u64; 5],
+}
+
+/// Minimum candidate count before parallel featurization pays for itself.
+const PAR_MIN_CANDIDATES: usize = 8;
+/// Minimum candidates per chunk (granularity floor).
+const PAR_MIN_CHUNK: usize = 8;
+
+/// Split `cands` into contiguous chunks at document boundaries only (the
+/// mention cache is per-document), each at least `target` candidates so
+/// per-chunk overhead amortizes.
+fn chunk_doc_ranges(cands: &[Candidate], n_threads: usize) -> Vec<(usize, usize)> {
+    let target = (cands.len() / (n_threads * 4)).max(PAR_MIN_CHUNK);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=cands.len() {
+        let at_boundary = i == cands.len() || cands[i].doc != cands[i - 1].doc;
+        if at_boundary && i - start >= target {
+            out.push((start, i));
+            start = i;
+        }
+    }
+    if start < cands.len() {
+        out.push((start, cands.len()));
+    }
+    out
+}
+
+impl Featurizer {
+    /// Parallel featurization on the shared [`fonduer_par::Pool`].
+    ///
+    /// The candidate list is split at document boundaries into chunks of at
+    /// least [`PAR_MIN_CHUNK`] candidates; each worker emits interned
+    /// symbols through a chunk-local [`FeatureSink`], resolving warm names
+    /// against a lock-free [`ShardedInterner`] base and spilling genuinely
+    /// new names into a chunk-local delta vocab. Deltas are merged into the
+    /// global vocabulary **in input order** between waves (and published to
+    /// the base so later waves hit it), which makes the vocabulary column
+    /// order, the CSR rows, and the cache statistics byte-identical to
+    /// [`Featurizer::featurize`] at every thread count. Hashing mode needs
+    /// no vocabulary at all, so it runs as one wave of final rows.
+    pub fn featurize_parallel(
+        &self,
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        n_threads: usize,
+    ) -> FeatureSet {
+        self.featurize_pooled(corpus, cands, fonduer_par::Pool::new(n_threads))
+    }
+
+    /// Force the sharded chunk-and-merge execution with exactly
+    /// `n_workers` OS workers, bypassing `fonduer_par`'s hardware cap.
+    /// Output is byte-identical to [`Featurizer::featurize`] at every
+    /// worker count; the golden determinism tests use this to exercise the
+    /// shared-interner merge machinery even on a single-core host, where
+    /// [`Featurizer::featurize_parallel`] would fall back to sequential.
+    pub fn featurize_sharded(
+        &self,
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        n_workers: usize,
+    ) -> FeatureSet {
+        self.featurize_pooled(corpus, cands, fonduer_par::Pool::exact(n_workers))
+    }
+
+    fn featurize_pooled(
+        &self,
+        corpus: &Corpus,
+        cands: &CandidateSet,
+        pool: fonduer_par::Pool,
+    ) -> FeatureSet {
+        if pool.n_threads() == 1 || cands.len() < PAR_MIN_CANDIDATES {
+            return self.featurize(corpus, cands);
+        }
+        let chunks = chunk_doc_ranges(&cands.candidates, pool.n_threads());
+        if chunks.len() < 2 {
+            return self.featurize(corpus, cands);
+        }
+        let _span = observe::span("featurize_corpus");
+        let hashed = self.cfg.hashing_bits > 0;
+        let mut vocab = FeatureVocab::new();
+        let mut csr = CsrMatrix::new();
+        let mut stats = CacheStats::default();
+        let mut tally = [0u64; 5];
+        let mut row_modality: Option<Vec<[u32; 5]>> =
+            hashed.then(|| Vec::with_capacity(cands.len()));
+        let mut row_buf: Vec<(u32, u8)> = Vec::with_capacity(128);
+        if hashed {
+            // Bucket ids are final: one wave, workers emit finished rows.
+            let outs = pool.par_map(&chunks, |&(lo, hi)| {
+                self.featurize_chunk(corpus, &cands.candidates[lo..hi], None)
+            });
+            for out in outs {
+                merge_chunk(
+                    out,
+                    &mut vocab,
+                    None,
+                    &mut csr,
+                    &mut stats,
+                    &mut tally,
+                    row_modality.as_mut(),
+                    &mut row_buf,
+                );
+            }
+        } else {
+            // Interned mode: waves of chunks; after each wave the deltas
+            // are folded into the global vocab in input order and published
+            // to the shared base, so later waves resolve them lock-free.
+            let base = ShardedInterner::new();
+            for wave in chunks.chunks(pool.n_threads() * 2) {
+                let outs = pool.par_map(wave, |&(lo, hi)| {
+                    self.featurize_chunk(corpus, &cands.candidates[lo..hi], Some(&base))
+                });
+                for out in outs {
+                    merge_chunk(
+                        out,
+                        &mut vocab,
+                        Some(&base),
+                        &mut csr,
+                        &mut stats,
+                        &mut tally,
+                        None,
+                        &mut row_buf,
+                    );
+                }
+            }
+        }
+        flush_tally(&tally, &stats);
+        FeatureSet {
+            vocab,
+            matrix: Arc::new(csr),
+            stats,
+            hashing_bits: self.cfg.hashing_bits,
+            row_modality,
         }
     }
 
-    /// Compute, prefix, and intern one mention's unary features.
-    fn unary_ids(
-        doc: &Document,
-        m: Span,
-        arg: usize,
-        cfg: &FeatureConfig,
-        vocab: &mut FeatureVocab,
-    ) -> Vec<u32> {
-        let mut feats = Vec::with_capacity(48);
-        unary_features(doc, m, cfg, &mut feats);
-        feats
-            .iter()
-            .map(|f| vocab.intern(&format!("A{arg}_{f}")))
-            .collect()
+    /// Featurize one contiguous chunk of candidates (whole documents) with
+    /// a chunk-local sink; `base = None` selects hashing mode.
+    fn featurize_chunk(
+        &self,
+        corpus: &Corpus,
+        cands: &[Candidate],
+        base: Option<&ShardedInterner>,
+    ) -> ChunkOut {
+        let mut delta = FeatureVocab::new();
+        let mut flat: Vec<(u32, u8)> = Vec::with_capacity(cands.len() * 64);
+        let mut offsets: Vec<u32> = Vec::with_capacity(cands.len() + 1);
+        offsets.push(0);
+        let mut stats = CacheStats::default();
+        let mut cache: MentionCache = HashMap::new();
+        let mut current_doc = None;
+        let tally;
+        {
+            let mut sink = match base {
+                Some(b) => FeatureSink::shared(b, &mut delta),
+                None => FeatureSink::hashed(self.cfg.hashing_bits),
+            };
+            for cand in cands {
+                if current_doc != Some(cand.doc) {
+                    cache.clear();
+                    current_doc = Some(cand.doc);
+                }
+                let doc = corpus.doc(cand.doc);
+                self.candidate_into(
+                    doc,
+                    cand,
+                    &mut sink,
+                    self.cache_enabled.then_some(&mut cache),
+                    &mut stats,
+                );
+                let row = sink.row_mut();
+                // Dedup by (possibly delta-tagged) id in the worker: a name
+                // maps to exactly one id within the chunk, so this removes
+                // the same duplicates the sequential path would.
+                dedup_row(row);
+                flat.extend_from_slice(row);
+                row.clear();
+                offsets.push(flat.len() as u32);
+            }
+            tally = sink.tally();
+        }
+        ChunkOut {
+            flat,
+            offsets,
+            delta,
+            stats,
+            tally,
+        }
+    }
+}
+
+/// Fold one chunk's output into the global artifacts (must be called in
+/// input order): intern the chunk's delta names (publishing them to the
+/// shared base), remap delta-tagged ids to global columns, re-dedup (a
+/// spurious base miss can duplicate a global symbol), and append the rows.
+#[allow(clippy::too_many_arguments)]
+fn merge_chunk(
+    out: ChunkOut,
+    vocab: &mut FeatureVocab,
+    base: Option<&ShardedInterner>,
+    csr: &mut CsrMatrix,
+    stats: &mut CacheStats,
+    tally: &mut [u64; 5],
+    mut row_modality: Option<&mut Vec<[u32; 5]>>,
+    row_buf: &mut Vec<(u32, u8)>,
+) {
+    let remap: Vec<u32> = (0..out.delta.len() as u32)
+        .map(|i| {
+            let name = out.delta.name(i);
+            let gid = vocab.intern(name);
+            if let Some(base) = base {
+                base.insert(name, gid);
+            }
+            gid
+        })
+        .collect();
+    for w in out.offsets.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        row_buf.clear();
+        row_buf.extend(out.flat[lo..hi].iter().map(|&(id, m)| {
+            if id & DELTA_BIT != 0 {
+                (remap[(id & !DELTA_BIT) as usize], m)
+            } else {
+                (id, m)
+            }
+        }));
+        dedup_row(row_buf);
+        if let Some(rm) = row_modality.as_deref_mut() {
+            let mut counts = [0u32; 5];
+            for &(_, m) in row_buf.iter() {
+                counts[(m as usize).min(4)] += 1;
+            }
+            rm.push(counts);
+        }
+        csr.push_ids(row_buf.iter().map(|&(id, _)| id));
+    }
+    stats.hits += out.stats.hits;
+    stats.misses += out.stats.misses;
+    for (t, v) in tally.iter_mut().zip(out.tally) {
+        *t += v;
     }
 }
 
@@ -351,6 +611,7 @@ mod tests {
         let fs = Featurizer::default().featurize(&c, &set);
         assert_eq!(fs.matrix.n_rows(), 6);
         assert!(fs.vocab.len() > 20);
+        assert_eq!(fs.n_features(), fs.vocab.len());
         // Every row non-empty, presence-valued.
         use crate::sparse::SparseAccess;
         for r in 0..6 {
@@ -450,71 +711,55 @@ mod tests {
         assert_eq!(v.name(a), "X");
         assert_eq!(v.len(), 2);
     }
-}
 
-impl Featurizer {
-    /// Parallel featurization on the shared [`fonduer_par::Pool`]: the
-    /// candidate list is split at document boundaries (the mention cache is
-    /// per-document, so documents are independent units of work), each
-    /// document's feature strings are computed as one stealable task, and
-    /// interning happens sequentially afterwards in candidate order — so
-    /// the vocabulary column order, the sparse rows, and the cache
-    /// statistics are byte-identical to [`Featurizer::featurize`] at every
-    /// thread count.
-    pub fn featurize_parallel(
-        &self,
-        corpus: &Corpus,
-        cands: &CandidateSet,
-        n_threads: usize,
-    ) -> FeatureSet {
-        let pool = fonduer_par::Pool::new(n_threads);
-        if pool.n_threads() == 1 || cands.len() < 2 {
-            return self.featurize(corpus, cands);
-        }
-        let _span = observe::span("featurize_corpus");
-        // One (start, end) candidate range per document.
-        let mut ranges: Vec<(usize, usize)> = Vec::new();
-        let mut start = 0usize;
-        for i in 1..cands.candidates.len() {
-            if cands.candidates[i].doc != cands.candidates[i - 1].doc {
-                ranges.push((start, i));
-                start = i;
-            }
-        }
-        ranges.push((start, cands.candidates.len()));
-        // Parallel map (feature strings per candidate + cache stats per
-        // document), deterministic input-order merge + interning.
-        let per_doc = pool.par_map(&ranges, |&(lo, hi)| {
-            let mut cache: HashMap<Span, Arc<Vec<String>>> = HashMap::new();
-            let mut stats = CacheStats::default();
-            let doc = corpus.doc(cands.candidates[lo].doc);
-            let rows: Vec<Vec<String>> = cands.candidates[lo..hi]
+    #[test]
+    fn features_of_matches_interned_path() {
+        let (c, set) = setup();
+        let f = Featurizer::default();
+        let fs = f.featurize(&c, &set);
+        use crate::sparse::SparseAccess;
+        for (r, cand) in set.candidates.iter().enumerate() {
+            let mut names = f.features_of(c.doc(cand.doc), cand);
+            names.sort();
+            names.dedup();
+            let mut interned: Vec<String> = fs
+                .matrix
+                .row_of(r)
                 .iter()
-                .map(|cand| self.features_of(doc, cand, &mut cache, &mut stats))
+                .map(|&(col, _)| fs.vocab.name(col).to_string())
                 .collect();
-            (rows, stats)
-        });
-        let mut vocab = FeatureVocab::new();
-        let mut matrix = LilMatrix::new();
-        let mut stats = CacheStats::default();
-        let mut tally = ModalityTally::default();
-        for (rows, st) in per_doc {
-            stats.hits += st.hits;
-            stats.misses += st.misses;
-            for feats in rows {
-                let row: Vec<(u32, f32)> = feats.iter().map(|f| (vocab.intern(f), 1.0)).collect();
-                for f in &feats {
-                    tally.add(f);
-                }
-                matrix.push_row(row);
-            }
+            interned.sort();
+            assert_eq!(names, interned, "row {r}");
         }
-        tally.flush(&stats);
-        FeatureSet {
-            vocab,
-            matrix,
-            stats,
+    }
+
+    #[test]
+    fn hashing_mode_buckets_without_vocab() {
+        let (c, set) = setup();
+        let fs = Featurizer::new(FeatureConfig::all().with_hashing(12)).featurize(&c, &set);
+        assert!(fs.vocab.is_empty());
+        assert_eq!(fs.hashing_bits(), 12);
+        assert_eq!(fs.n_features(), 1 << 12);
+        assert_eq!(fs.matrix.n_rows(), set.len());
+        use crate::sparse::SparseAccess;
+        for r in 0..set.len() {
+            let row = fs.matrix.row_of(r);
+            assert!(!row.is_empty());
+            assert!(row.iter().all(|&(cid, v)| cid < (1 << 12) && v == 1.0));
+            // Modality tallies were recorded at featurization time.
+            let counts = fs.modality_counts(r);
+            assert_eq!(counts.iter().sum::<u32>() as usize, row.len());
+            // Names are gone; lazy rendering falls back to bucket ids.
+            assert!(fs.feature_names(r).iter().all(|n| n.starts_with('#')));
         }
+    }
+
+    #[test]
+    fn hashing_mode_same_cache_behavior() {
+        let (c, set) = setup();
+        let fs = Featurizer::new(FeatureConfig::all().with_hashing(14)).featurize(&c, &set);
+        assert_eq!(fs.stats.misses, 5);
+        assert_eq!(fs.stats.hits, 7);
     }
 }
 
@@ -527,8 +772,7 @@ mod parallel_tests {
     use fonduer_datamodel::DocFormat;
     use fonduer_parser::{parse_document, ParseOptions};
 
-    #[test]
-    fn parallel_featurization_matches_sequential() {
+    fn corpus_and_cands() -> (Corpus, CandidateSet) {
         let mut corpus = Corpus::new("p");
         let mut parts = Vec::new();
         for i in 0..6 {
@@ -556,27 +800,61 @@ mod parallel_tests {
         );
         let cands = ex.extract(&corpus);
         assert!(cands.len() >= 12);
+        (corpus, cands)
+    }
+
+    #[test]
+    fn parallel_featurization_matches_sequential() {
+        let (corpus, cands) = corpus_and_cands();
         let f = Featurizer::default();
         let seq = f.featurize(&corpus, &cands);
-        use crate::sparse::SparseAccess;
         for threads in [2, 3, 16] {
-            let par = f.featurize_parallel(&corpus, &cands, threads);
+            let par = f.featurize_sharded(&corpus, &cands, threads);
+            // Byte-identical artifacts: same vocab order, same CSR arrays.
             assert_eq!(par.vocab.len(), seq.vocab.len(), "threads={threads}");
-            for r in 0..cands.len() {
-                // Compare by feature names (interning order may differ).
-                let names = |fs: &FeatureSet, r: usize| -> std::collections::BTreeSet<String> {
-                    fs.matrix
-                        .row_of(r)
-                        .into_iter()
-                        .map(|(c, _)| fs.vocab.name(c).to_string())
-                        .collect()
-                };
-                assert_eq!(names(&par, r), names(&seq, r), "row {r} threads={threads}");
+            for c in 0..seq.vocab.len() as u32 {
+                assert_eq!(par.vocab.name(c), seq.vocab.name(c), "threads={threads}");
             }
-            assert_eq!(
-                par.stats.hits + par.stats.misses,
-                seq.stats.hits + seq.stats.misses
-            );
+            assert_eq!(par.matrix, seq.matrix, "threads={threads}");
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_hashing_matches_sequential() {
+        let (corpus, cands) = corpus_and_cands();
+        let f = Featurizer::new(FeatureConfig::all().with_hashing(16));
+        let seq = f.featurize(&corpus, &cands);
+        for threads in [2, 8] {
+            let par = f.featurize_sharded(&corpus, &cands, threads);
+            assert_eq!(par.matrix, seq.matrix, "threads={threads}");
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+            for r in 0..cands.len() {
+                assert_eq!(par.modality_counts(r), seq.modality_counts(r), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_respects_document_boundaries() {
+        let (_, cands) = corpus_and_cands();
+        for threads in [2, 4, 8] {
+            let chunks = chunk_doc_ranges(&cands.candidates, threads);
+            assert_eq!(chunks.first().unwrap().0, 0);
+            assert_eq!(chunks.last().unwrap().1, cands.len());
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "chunks must tile the input");
+            }
+            for &(lo, hi) in &chunks {
+                assert!(lo < hi);
+                if hi < cands.len() {
+                    assert_ne!(
+                        cands.candidates[hi - 1].doc,
+                        cands.candidates[hi].doc,
+                        "chunk must end at a document boundary"
+                    );
+                }
+            }
         }
     }
 }

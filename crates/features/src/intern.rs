@@ -1,0 +1,794 @@
+//! Interned feature symbols and the allocation-free emission sink.
+//!
+//! Featurization over the ~40 templates of Table 7 is the dominant
+//! extraction cost (Appendix C), and the original hot path materialized a
+//! fresh `String` per emitted feature before funnelling it through a
+//! `HashMap<String, u32>`. This module removes both allocations:
+//!
+//! * [`FeatureVocab`] — an arena interner. All feature names live in one
+//!   contiguous `String`; the hash index maps a 64-bit FNV-1a hash to
+//!   symbol ids with byte-compare collision chains, so interning an
+//!   already-known name allocates nothing.
+//! * [`ShardedInterner`] — a concurrent symbol registry with a lock-free
+//!   read path (open-addressed atomic tables, grown copy-on-write under a
+//!   per-shard writer lock). Parallel featurization workers resolve
+//!   already-published names against it without contention; misses land in
+//!   chunk-local [`FeatureVocab`] deltas that the deterministic input-order
+//!   merge folds back in.
+//! * [`FeatureSink`] — the reusable emission buffer the template emitters
+//!   write into. Feature names are composed in a scratch `String` (prefix +
+//!   template parts) and encoded to `u32` symbols immediately; strings
+//!   survive only in debug/provenance rendering paths.
+
+use crate::modality::modality_index;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a over raw bytes — the hash shared by the vocab index, the
+/// sharded interner, and the feature-hashing mode (so a name hashes once).
+#[inline]
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Salt mixed into feature-hashing bucket ids so bucketing is decorrelated
+/// from the interner's index hashing.
+const FEATURE_HASH_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// High bit marking a chunk-local delta symbol in parallel featurization;
+/// cleared when the input-order merge remaps local ids to global columns.
+pub(crate) const DELTA_BIT: u32 = 1 << 31;
+
+/// Ids sharing one 64-bit hash (collision chains are almost always `One`).
+#[derive(Debug, Clone)]
+enum IdChain {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// Interns feature names to dense column indices.
+///
+/// Names are stored back-to-back in a single arena string; per-symbol state
+/// is the `(offset, len)` span plus a modality tag computed once at intern
+/// time (so provenance tallies never re-stringify). Interning a known name
+/// is hash + byte-compare, no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureVocab {
+    arena: String,
+    spans: Vec<(u32, u32)>,
+    modality: Vec<u8>,
+    index: HashMap<u64, IdChain>,
+}
+
+#[inline]
+fn arena_str(arena: &str, span: (u32, u32)) -> &str {
+    &arena[span.0 as usize..(span.0 + span.1) as usize]
+}
+
+impl FeatureVocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a feature string, returning its column index.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        self.intern_hashed(fnv1a64(name.as_bytes()), name)
+    }
+
+    /// Intern with a pre-computed FNV-1a hash of `name`.
+    pub(crate) fn intern_hashed(&mut self, h: u64, name: &str) -> u32 {
+        if let Some(chain) = self.index.get(&h) {
+            match chain {
+                IdChain::One(id) => {
+                    if arena_str(&self.arena, self.spans[*id as usize]) == name {
+                        return *id;
+                    }
+                }
+                IdChain::Many(ids) => {
+                    for &id in ids {
+                        if arena_str(&self.arena, self.spans[id as usize]) == name {
+                            return id;
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.spans.len() as u32;
+        let off = self.arena.len() as u32;
+        self.arena.push_str(name);
+        self.spans.push((off, name.len() as u32));
+        self.modality.push(modality_index(name).unwrap_or(4) as u8);
+        match self.index.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                IdChain::One(first) => {
+                    let first = *first;
+                    *e.get_mut() = IdChain::Many(vec![first, id]);
+                }
+                IdChain::Many(ids) => ids.push(id),
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(IdChain::One(id));
+            }
+        }
+        id
+    }
+
+    /// Look up an existing feature.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        let h = fnv1a64(name.as_bytes());
+        match self.index.get(&h)? {
+            IdChain::One(id) => {
+                (arena_str(&self.arena, self.spans[*id as usize]) == name).then_some(*id)
+            }
+            IdChain::Many(ids) => ids
+                .iter()
+                .copied()
+                .find(|&id| arena_str(&self.arena, self.spans[id as usize]) == name),
+        }
+    }
+
+    /// Feature name of a column.
+    pub fn name(&self, col: u32) -> &str {
+        arena_str(&self.arena, self.spans[col as usize])
+    }
+
+    /// Modality index of a column ([`crate::MODALITIES`] order, 4 =
+    /// unclassified), computed once when the name was interned.
+    pub fn modality_idx(&self, col: u32) -> usize {
+        self.modality[col as usize] as usize
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Approximate retained heap bytes (arena + spans + index).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.capacity()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.modality.capacity()
+            + self.index.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<IdChain>())
+    }
+}
+
+/// Never-zero variant of the shared hash: the sharded interner reserves 0
+/// as the "empty slot" sentinel.
+#[inline]
+fn nonzero(h: u64) -> u64 {
+    if h == 0 {
+        FEATURE_HASH_SALT
+    } else {
+        h
+    }
+}
+
+const SHARD_BITS: usize = 4;
+const N_SHARDS: usize = 1 << SHARD_BITS;
+const INITIAL_SLOTS: usize = 64;
+
+struct Slot {
+    /// Full 64-bit name hash; 0 = empty. Published with `Release` *after*
+    /// the record pointer, so a reader that observes the hash sees the
+    /// record.
+    hash: AtomicU64,
+    /// Points at a record owned by the shard writer:
+    /// `[name_len: u32 LE][id: u32 LE][name bytes]`.
+    rec: AtomicPtr<u8>,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            hash: AtomicU64::new(0),
+            rec: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+struct Table {
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Table {
+    fn new(cap: usize) -> Self {
+        debug_assert!(cap.is_power_of_two());
+        Self {
+            mask: cap - 1,
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    /// Copy every published entry of `old` into a fresh (not yet shared)
+    /// table of `cap` slots.
+    fn grown_from(old: &Table, cap: usize) -> Self {
+        let new = Table::new(cap);
+        for slot in old.slots.iter() {
+            let h = slot.hash.load(Ordering::Relaxed);
+            if h == 0 {
+                continue;
+            }
+            let rec = slot.rec.load(Ordering::Relaxed);
+            let mut i = (h as usize) & new.mask;
+            while new.slots[i].hash.load(Ordering::Relaxed) != 0 {
+                i = (i + 1) & new.mask;
+            }
+            new.slots[i].rec.store(rec, Ordering::Relaxed);
+            new.slots[i].hash.store(h, Ordering::Relaxed);
+        }
+        new
+    }
+}
+
+struct ShardWriter {
+    live: usize,
+    /// Every table this shard ever published, oldest first; the last one is
+    /// what `current` points at. Old tables are kept alive so readers that
+    /// loaded a stale pointer stay valid (bounded waste: capacities double,
+    /// so retired tables sum to less than the live one). The `Box` is
+    /// load-bearing: `current` holds a raw pointer into the allocation,
+    /// which must not move when this `Vec` reallocates.
+    #[allow(clippy::vec_box)]
+    tables: Vec<Box<Table>>,
+    /// Owns record allocations; never mutated after push, so raw pointers
+    /// into them stay valid for the interner's lifetime.
+    records: Vec<Box<[u8]>>,
+}
+
+struct Shard {
+    current: AtomicPtr<Table>,
+    writer: Mutex<ShardWriter>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        let table = Box::new(Table::new(INITIAL_SLOTS));
+        let current = AtomicPtr::new(&*table as *const Table as *mut Table);
+        Self {
+            current,
+            writer: Mutex::new(ShardWriter {
+                live: 0,
+                tables: vec![table],
+                records: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// A concurrent `name → u32` symbol registry with a lock-free read path.
+///
+/// Sixteen shards (by hash top bits), each an open-addressed atomic table:
+/// readers probe without taking any lock; writers serialize on a per-shard
+/// mutex and publish slots (and grown tables) with `Release` stores. In
+/// parallel featurization it serves as the shared base vocabulary — workers
+/// resolve the warm, already-merged symbols through it and only fall back
+/// to chunk-local deltas for genuinely new names.
+///
+/// A concurrent `get` may spuriously return `None` for a name inserted
+/// after the reader loaded its table snapshot; callers must treat `None` as
+/// "maybe absent" (the featurizer's merge makes duplicate inserts
+/// idempotent).
+pub struct ShardedInterner {
+    shards: Vec<Shard>,
+}
+
+impl Default for ShardedInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..N_SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, h: u64) -> &Shard {
+        &self.shards[(h >> (64 - SHARD_BITS)) as usize]
+    }
+
+    /// Decode a record pointer into `(id, name bytes)`.
+    ///
+    /// Safety: `rec` was produced by `insert` from a `Box<[u8]>` that the
+    /// shard writer retains for the interner's lifetime; the caller holds
+    /// `&self`, so the allocation is live and immutable.
+    #[inline]
+    unsafe fn decode(&self, rec: *const u8) -> (u32, &[u8]) {
+        let head = std::slice::from_raw_parts(rec, 8);
+        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+        let id = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        (id, std::slice::from_raw_parts(rec.add(8), len))
+    }
+
+    /// Lock-free lookup.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.get_hashed(fnv1a64(name.as_bytes()), name)
+    }
+
+    /// Lock-free lookup with a pre-computed FNV-1a hash of `name`.
+    pub fn get_hashed(&self, raw_hash: u64, name: &str) -> Option<u32> {
+        let h = nonzero(raw_hash);
+        let shard = self.shard(h);
+        // Safety: `current` always points into a Box retained by the shard
+        // writer's `tables` list for the interner's lifetime.
+        let t = unsafe { &*shard.current.load(Ordering::Acquire) };
+        let mut i = (h as usize) & t.mask;
+        loop {
+            let sh = t.slots[i].hash.load(Ordering::Acquire);
+            if sh == 0 {
+                return None;
+            }
+            if sh == h {
+                let rec = t.slots[i].rec.load(Ordering::Acquire);
+                if !rec.is_null() {
+                    // Safety: see `decode`.
+                    let (id, bytes) = unsafe { self.decode(rec) };
+                    if bytes == name.as_bytes() {
+                        return Some(id);
+                    }
+                }
+            }
+            i = (i + 1) & t.mask;
+        }
+    }
+
+    /// Publish `name → id`. Idempotent: if `name` is already present its
+    /// existing mapping is kept (ids are assigned by the deterministic
+    /// merge, so a repeat insert always carries the same id).
+    pub fn insert(&self, name: &str, id: u32) {
+        let h = nonzero(fnv1a64(name.as_bytes()));
+        let shard = self.shard(h);
+        let mut w = shard.writer.lock().unwrap();
+        if self.get_hashed(h, name).is_some() {
+            return;
+        }
+        let mut rec = Vec::with_capacity(8 + name.len());
+        rec.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&id.to_le_bytes());
+        rec.extend_from_slice(name.as_bytes());
+        let rec: Box<[u8]> = rec.into_boxed_slice();
+        let rec_ptr = rec.as_ptr() as *mut u8;
+        w.records.push(rec);
+        // Keep load factor below 1/2; grow copy-on-write and publish the
+        // new table before touching it.
+        // Safety: `current` points into a Box in `w.tables` (see `get`).
+        let mut table = unsafe { &*shard.current.load(Ordering::Relaxed) };
+        if (w.live + 1) * 2 > table.mask + 1 {
+            let grown = Box::new(Table::grown_from(table, (table.mask + 1) * 2));
+            let grown_ptr = &*grown as *const Table as *mut Table;
+            w.tables.push(grown);
+            shard.current.store(grown_ptr, Ordering::Release);
+            // Safety: just boxed above, retained in `w.tables`.
+            table = unsafe { &*grown_ptr };
+        }
+        let mut i = (h as usize) & table.mask;
+        while table.slots[i].hash.load(Ordering::Relaxed) != 0 {
+            i = (i + 1) & table.mask;
+        }
+        table.slots[i].rec.store(rec_ptr, Ordering::Relaxed);
+        table.slots[i].hash.store(h, Ordering::Release);
+        w.live += 1;
+    }
+
+    /// Number of published symbols (takes the shard locks; diagnostics
+    /// only).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.writer.lock().unwrap().live)
+            .sum()
+    }
+
+    /// Whether no symbol has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Sort a raw emission row by column id and keep the first occurrence of
+/// each id — the same first-wins presence semantics the per-candidate rows
+/// have always had.
+pub(crate) fn dedup_row(row: &mut Vec<(u32, u8)>) {
+    row.sort_unstable_by_key(|&(id, _)| id);
+    row.dedup_by_key(|&mut (id, _)| id);
+}
+
+enum Encoder<'a> {
+    /// Sequential interning into a single global vocabulary.
+    Vocab(&'a mut FeatureVocab),
+    /// Parallel chunk worker: resolve against the shared base, spill new
+    /// names into a chunk-local delta (ids tagged with [`DELTA_BIT`]).
+    Shared {
+        base: &'a ShardedInterner,
+        delta: &'a mut FeatureVocab,
+    },
+    /// Feature hashing (the vocab-free fast path): bucket by salted hash.
+    Hashed { mask: u64 },
+    /// Debug/compat: collect fully rendered strings (the seed string path).
+    Collect(&'a mut Vec<String>),
+}
+
+/// The reusable feature-emission sink.
+///
+/// Template emitters compose each feature name into the internal scratch
+/// buffer (argument prefix + template parts, via [`FeatureSink::feat`],
+/// [`FeatureSink::feat_fmt`], or the `begin`/`push`/`commit` triple for
+/// joined names) and the sink encodes it to a `u32` symbol on the spot.
+/// One sink lives for a whole document shard: no per-candidate, per-feature
+/// allocation survives on the hot path.
+pub struct FeatureSink<'a> {
+    enc: Encoder<'a>,
+    scratch: String,
+    prefix_len: usize,
+    row: Vec<(u32, u8)>,
+    tally: [u64; 5],
+    modality: u8,
+}
+
+impl<'a> FeatureSink<'a> {
+    fn with_encoder(enc: Encoder<'a>) -> Self {
+        Self {
+            enc,
+            scratch: String::with_capacity(96),
+            prefix_len: 0,
+            row: Vec::with_capacity(128),
+            tally: [0; 5],
+            modality: 4,
+        }
+    }
+
+    /// Sink interning into `vocab` (the sequential path).
+    pub fn interning(vocab: &'a mut FeatureVocab) -> Self {
+        Self::with_encoder(Encoder::Vocab(vocab))
+    }
+
+    /// Sink for a parallel chunk worker: reads through `base`, spills new
+    /// names into `delta` with [`DELTA_BIT`]-tagged local ids.
+    pub(crate) fn shared(base: &'a ShardedInterner, delta: &'a mut FeatureVocab) -> Self {
+        Self::with_encoder(Encoder::Shared { base, delta })
+    }
+
+    /// Vocab-free feature-hashing sink with `1 << bits` buckets.
+    pub fn hashed(bits: u8) -> Self {
+        Self::with_encoder(Encoder::Hashed {
+            mask: (1u64 << bits.clamp(1, 31)) - 1,
+        })
+    }
+
+    /// Sink that renders every feature as an owned `String` (the seed
+    /// string path, kept for the public template API and golden tests).
+    pub fn collecting(out: &'a mut Vec<String>) -> Self {
+        Self::with_encoder(Encoder::Collect(out))
+    }
+
+    /// Set the candidate-argument prefix (`A0_`, `A01_`, ...) prepended to
+    /// every subsequently emitted feature.
+    pub fn set_prefix(&mut self, args: fmt::Arguments<'_>) {
+        self.scratch.clear();
+        let _ = self.scratch.write_fmt(args);
+        self.prefix_len = self.scratch.len();
+    }
+
+    /// Tag subsequent emissions with a modality index ([`crate::MODALITIES`]
+    /// order; anything `>= 4` counts as unclassified).
+    pub fn set_modality(&mut self, m: usize) {
+        self.modality = m.min(4) as u8;
+    }
+
+    /// Emit a feature whose name is a plain string slice.
+    #[inline]
+    pub fn feat(&mut self, name: &str) {
+        self.begin();
+        self.scratch.push_str(name);
+        self.commit();
+    }
+
+    /// Emit a feature composed from format arguments (no allocation).
+    #[inline]
+    pub fn feat_fmt(&mut self, args: fmt::Arguments<'_>) {
+        self.begin();
+        let _ = self.scratch.write_fmt(args);
+        self.commit();
+    }
+
+    /// Start composing a feature name (joined/looped parts); finish with
+    /// [`FeatureSink::commit`].
+    #[inline]
+    pub fn begin(&mut self) {
+        self.scratch.truncate(self.prefix_len);
+    }
+
+    /// Append a literal part to the feature started by `begin`.
+    #[inline]
+    pub fn push(&mut self, part: &str) {
+        self.scratch.push_str(part);
+    }
+
+    /// Append a formatted part to the feature started by `begin`.
+    #[inline]
+    pub fn push_fmt(&mut self, args: fmt::Arguments<'_>) {
+        let _ = self.scratch.write_fmt(args);
+    }
+
+    /// Encode the composed feature into the current row.
+    pub fn commit(&mut self) {
+        self.tally[self.modality as usize] += 1;
+        let id = match &mut self.enc {
+            Encoder::Vocab(vocab) => {
+                let h = fnv1a64(self.scratch.as_bytes());
+                vocab.intern_hashed(h, &self.scratch)
+            }
+            Encoder::Shared { base, delta } => {
+                let h = fnv1a64(self.scratch.as_bytes());
+                match base.get_hashed(h, &self.scratch) {
+                    Some(id) => id,
+                    None => delta.intern_hashed(h, &self.scratch) | DELTA_BIT,
+                }
+            }
+            Encoder::Hashed { mask } => {
+                ((fnv1a64(self.scratch.as_bytes()) ^ FEATURE_HASH_SALT) & *mask) as u32
+            }
+            Encoder::Collect(out) => {
+                out.push(self.scratch.clone());
+                return;
+            }
+        };
+        self.row.push((id, self.modality));
+    }
+
+    /// Entries emitted so far for the current candidate.
+    pub fn row_len(&self) -> usize {
+        self.row.len()
+    }
+
+    /// The `(id, modality)` entries emitted since `mark` — what the
+    /// per-document mention cache stores.
+    pub fn row_slice(&self, mark: usize) -> &[(u32, u8)] {
+        &self.row[mark..]
+    }
+
+    /// Replay cached entries (bumping the emission tally exactly as a fresh
+    /// emission would).
+    pub fn extend_cached(&mut self, cached: &[(u32, u8)]) {
+        for &(id, m) in cached {
+            self.tally[m as usize] += 1;
+            self.row.push((id, m));
+        }
+    }
+
+    /// Mutable access to the raw emission row (the featurizer sorts,
+    /// dedups, and drains it per candidate).
+    pub(crate) fn row_mut(&mut self) -> &mut Vec<(u32, u8)> {
+        &mut self.row
+    }
+
+    /// Move the raw emission row out, leaving the sink ready for the next
+    /// candidate.
+    pub fn take_row(&mut self) -> Vec<(u32, u8)> {
+        std::mem::take(&mut self.row)
+    }
+
+    /// Per-modality emission tally (pre-dedup), in [`crate::MODALITIES`]
+    /// order plus a final unclassified slot.
+    pub fn tally(&self) -> [u64; 5] {
+        self.tally
+    }
+}
+
+/// Character-wise lowercasing display adapter: formats without allocating.
+/// Equivalent to `str::to_lowercase` for all ASCII (and all 1:1 Unicode)
+/// mappings, which covers every token the parser produces.
+pub(crate) struct Lower<'a>(pub &'a str);
+
+impl fmt::Display for Lower<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in self.0.chars() {
+            if c.is_ascii() {
+                f.write_char(c.to_ascii_lowercase())?;
+            } else {
+                for lc in c.to_lowercase() {
+                    f.write_char(lc)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_arena_interning_roundtrips() {
+        let mut v = FeatureVocab::new();
+        let a = v.intern("WORD_alpha");
+        let b = v.intern("TAG_h1");
+        assert_eq!(v.intern("WORD_alpha"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.name(a), "WORD_alpha");
+        assert_eq!(v.name(b), "TAG_h1");
+        assert_eq!(v.get("WORD_alpha"), Some(a));
+        assert_eq!(v.get("WORD_beta"), None);
+        assert_eq!(v.len(), 2);
+        assert!(v.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn vocab_records_modality_at_intern_time() {
+        let mut v = FeatureVocab::new();
+        let t = v.intern("A0_WORD_x");
+        let s = v.intern("A0_TAG_h1");
+        let tab = v.intern("A1_COL_HEAD_value");
+        let vis = v.intern("BOLD");
+        let other = v.intern("MYSTERY");
+        assert_eq!(v.modality_idx(t), 0);
+        assert_eq!(v.modality_idx(s), 1);
+        assert_eq!(v.modality_idx(tab), 2);
+        assert_eq!(v.modality_idx(vis), 3);
+        assert_eq!(v.modality_idx(other), 4);
+    }
+
+    #[test]
+    fn vocab_survives_many_symbols() {
+        let mut v = FeatureVocab::new();
+        let ids: Vec<u32> = (0..5000).map(|i| v.intern(&format!("F_{i}"))).collect();
+        assert_eq!(v.len(), 5000);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(v.name(id), format!("F_{i}"));
+            assert_eq!(v.get(&format!("F_{i}")), Some(id));
+        }
+    }
+
+    #[test]
+    fn sharded_interner_roundtrip_and_growth() {
+        let s = ShardedInterner::new();
+        assert!(s.is_empty());
+        for i in 0..2000u32 {
+            s.insert(&format!("SYM_{i}"), i);
+        }
+        assert_eq!(s.len(), 2000);
+        for i in 0..2000u32 {
+            assert_eq!(s.get(&format!("SYM_{i}")), Some(i), "SYM_{i}");
+        }
+        assert_eq!(s.get("SYM_2000"), None);
+        // Idempotent: a repeat insert keeps the first mapping.
+        s.insert("SYM_7", 999_999);
+        assert_eq!(s.get("SYM_7"), Some(7));
+        assert_eq!(s.len(), 2000);
+    }
+
+    #[test]
+    fn sharded_interner_concurrent_readers_during_inserts() {
+        let s = ShardedInterner::new();
+        let n = 4000u32;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    // Readers race the writer; a hit must always be correct,
+                    // and once the writer is done every name must resolve.
+                    loop {
+                        let mut all = true;
+                        for i in 0..n {
+                            match s.get(&format!("SYM_{i}")) {
+                                Some(id) => assert_eq!(id, i),
+                                None => all = false,
+                            }
+                        }
+                        if all {
+                            break;
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..n {
+                    s.insert(&format!("SYM_{i}"), i);
+                }
+            });
+        });
+        assert_eq!(s.len(), n as usize);
+    }
+
+    #[test]
+    fn sink_interning_and_hashed_modes() {
+        let mut vocab = FeatureVocab::new();
+        {
+            let mut sink = FeatureSink::interning(&mut vocab);
+            sink.set_prefix(format_args!("A0_"));
+            sink.set_modality(0);
+            sink.feat("WORD_x");
+            sink.feat_fmt(format_args!("LEN_{}", 3));
+            sink.feat("WORD_x"); // repeat: same symbol
+            let row = sink.take_row();
+            assert_eq!(row.len(), 3);
+            assert_eq!(row[0].0, row[2].0);
+            assert_eq!(sink.tally()[0], 3);
+        }
+        assert_eq!(vocab.get("A0_WORD_x"), Some(0));
+        assert_eq!(vocab.get("A0_LEN_3"), Some(1));
+
+        let mut sink = FeatureSink::hashed(12);
+        sink.set_prefix(format_args!("A0_"));
+        sink.set_modality(2);
+        sink.feat("COL_HEAD_value");
+        let row = sink.take_row();
+        assert_eq!(row.len(), 1);
+        assert!(row[0].0 < (1 << 12));
+        assert_eq!(row[0].1, 2);
+    }
+
+    #[test]
+    fn sink_shared_mode_tags_delta_symbols() {
+        let base = ShardedInterner::new();
+        base.insert("A0_KNOWN", 17);
+        let mut delta = FeatureVocab::new();
+        let row = {
+            let mut sink = FeatureSink::shared(&base, &mut delta);
+            sink.set_prefix(format_args!("A0_"));
+            sink.feat("KNOWN");
+            sink.feat("FRESH");
+            sink.feat("FRESH");
+            sink.take_row()
+        };
+        assert_eq!(row[0].0, 17);
+        assert_eq!(row[1].0, DELTA_BIT);
+        assert_eq!(row[2].0, DELTA_BIT);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.name(0), "A0_FRESH");
+    }
+
+    #[test]
+    fn sink_begin_push_commit_composes_joins() {
+        let mut out = Vec::new();
+        {
+            let mut sink = FeatureSink::collecting(&mut out);
+            sink.set_prefix(format_args!("A1_"));
+            sink.begin();
+            sink.push("POS_");
+            for (k, p) in ["NN", "CD"].iter().enumerate() {
+                if k > 0 {
+                    sink.push("_");
+                }
+                sink.push(p);
+            }
+            sink.commit();
+            sink.push_fmt(format_args!("")); // no-op outside begin/commit
+        }
+        assert_eq!(out, vec!["A1_POS_NN_CD".to_string()]);
+    }
+
+    #[test]
+    fn dedup_row_keeps_first_occurrence() {
+        let mut row = vec![(5, 1), (2, 0), (5, 3), (2, 2), (9, 4)];
+        dedup_row(&mut row);
+        assert_eq!(row, vec![(2, 0), (5, 1), (9, 4)]);
+    }
+
+    #[test]
+    fn lower_adapter_matches_to_lowercase() {
+        for s in ["SMBT3904", "MixedCase", "ümlaut Ünit", "200"] {
+            assert_eq!(format!("{}", Lower(s)), s.to_lowercase());
+        }
+    }
+}

@@ -9,21 +9,27 @@
 //! Also home to the scalability machinery of Appendix C:
 //! * [`featurizer::Featurizer`] caches mention-level features per document
 //!   (C.1's 100× speed-up);
-//! * [`sparse`] provides the LIL and COO representations whose access
-//!   patterns C.2 compares.
+//! * [`intern`] provides the allocation-free emission path: an arena
+//!   [`FeatureVocab`], a lock-free-read [`ShardedInterner`] for parallel
+//!   workers, the reusable [`FeatureSink`], and the feature-hashing mode;
+//! * [`sparse`] provides the CSR, LIL, and COO representations whose
+//!   access patterns C.2 compares.
 
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone)]
 
 pub mod binary;
 pub mod config;
 pub mod featurizer;
+pub mod intern;
 pub mod modality;
 pub mod sparse;
 pub mod unary;
 
-pub use binary::binary_features;
+pub use binary::{binary_features, binary_features_into};
 pub use config::FeatureConfig;
-pub use featurizer::{CacheStats, FeatureSet, FeatureVocab, Featurizer};
+pub use featurizer::{CacheStats, FeatureSet, Featurizer};
+pub use intern::{FeatureSink, FeatureVocab, ShardedInterner};
 pub use modality::{modality_index, modality_of, MODALITIES};
-pub use sparse::{CooMatrix, LilMatrix, SparseAccess};
-pub use unary::unary_features;
+pub use sparse::{CooMatrix, CsrMatrix, LilMatrix, SparseAccess};
+pub use unary::{unary_features, unary_features_into};

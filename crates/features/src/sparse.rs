@@ -1,12 +1,15 @@
 //! Sparse matrix representations for Features and Labels (paper
 //! Appendix C.2).
 //!
-//! Two classic layouts with different access-pattern strengths:
+//! Three classic layouts with different access-pattern strengths:
 //!
+//! * [`CsrMatrix`] (compressed sparse row) — three flat arrays
+//!   (`indptr`/`indices`/`data`); rows are contiguous slices, the whole
+//!   matrix is three allocations, and it shares zero-copy behind an `Arc`.
+//!   The featurizer's output format.
 //! * [`LilMatrix`] (list of lists) — each row stores `(column, value)`
 //!   pairs; whole-row retrieval is one slice borrow, but updating a value
-//!   requires a scan of the row. Optimal for Features in both modes and for
-//!   Labels in production.
+//!   requires a scan of the row. Optimal for Labels in production.
 //! * [`CooMatrix`] (coordinate list) — a flat `(row, column, value)` triple
 //!   list; appends are O(1), but row retrieval scans all triples. Optimal
 //!   for Labels during iterative development, where every labeling-function
@@ -90,6 +93,137 @@ impl SparseAccess for LilMatrix {
 
     fn nnz(&self) -> usize {
         self.rows.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Compressed-sparse-row matrix: row `r` spans
+/// `indices[indptr[r]..indptr[r+1]]` (sorted, deduplicated column ids) with
+/// parallel `data` values. Three flat allocations total, so a featurized
+/// corpus is shared zero-copy (`Arc<CsrMatrix>`) by the learners and
+/// supervision instead of being re-materialized per candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    data: Vec<f32>,
+}
+
+impl Default for CsrMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsrMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self {
+            indptr: vec![0],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Append a presence-valued (1.0) row of already sorted, deduplicated
+    /// column ids — the featurizer's hot path.
+    pub fn push_ids<I: IntoIterator<Item = u32>>(&mut self, ids: I) -> usize {
+        for id in ids {
+            debug_assert!(
+                self.indices.len() as u32 == *self.indptr.last().unwrap()
+                    || *self.indices.last().unwrap() < id,
+                "push_ids requires sorted, deduplicated columns"
+            );
+            self.indices.push(id);
+            self.data.push(1.0);
+        }
+        self.indptr.push(self.indices.len() as u32);
+        self.indptr.len() - 2
+    }
+
+    /// Append a row of arbitrary entries. Sorted and deduplicated (last
+    /// write wins), matching [`LilMatrix::push_row`] semantics.
+    pub fn push_row(&mut self, mut entries: Vec<(u32, f32)>) -> usize {
+        entries.sort_by_key(|&(c, _)| c);
+        entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        for (c, v) in entries {
+            self.indices.push(c);
+            self.data.push(v);
+        }
+        self.indptr.push(self.indices.len() as u32);
+        self.indptr.len() - 2
+    }
+
+    #[inline]
+    fn bounds(&self, r: usize) -> (usize, usize) {
+        (self.indptr[r] as usize, self.indptr[r + 1] as usize)
+    }
+
+    /// Column ids of row `r` (sorted, deduplicated).
+    #[inline]
+    pub fn row_ids(&self, r: usize) -> &[u32] {
+        let (lo, hi) = self.bounds(r);
+        &self.indices[lo..hi]
+    }
+
+    /// Values of row `r`, aligned with [`CsrMatrix::row_ids`].
+    #[inline]
+    pub fn row_data(&self, r: usize) -> &[f32] {
+        let (lo, hi) = self.bounds(r);
+        &self.data[lo..hi]
+    }
+
+    /// The row-pointer array (`n_rows + 1` offsets into `indices`/`data`).
+    pub fn indptr(&self) -> &[u32] {
+        &self.indptr
+    }
+
+    /// The flat column-id array.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The flat value array.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Retained heap bytes of the three arrays.
+    pub fn heap_bytes(&self) -> usize {
+        self.indptr.capacity() * 4 + self.indices.capacity() * 4 + self.data.capacity() * 4
+    }
+
+    /// Convert to LIL (for the Appendix C.2 representation comparisons).
+    pub fn to_lil(&self) -> LilMatrix {
+        let mut lil = LilMatrix::new();
+        for r in 0..self.n_rows() {
+            lil.push_row(self.row_of(r));
+        }
+        lil
+    }
+}
+
+impl SparseAccess for CsrMatrix {
+    fn n_rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    fn row_of(&self, r: usize) -> Vec<(u32, f32)> {
+        self.row_ids(r)
+            .iter()
+            .copied()
+            .zip(self.row_data(r).iter().copied())
+            .collect()
+    }
+
+    fn nnz(&self) -> usize {
+        self.indices.len()
     }
 }
 
@@ -204,6 +338,48 @@ mod tests {
         assert_eq!(lil.get(0, 1), Some(2.0));
         assert_eq!(lil.get(3, 0), Some(5.0));
         assert_eq!(lil.row_of(1), Vec::new());
+    }
+
+    #[test]
+    fn csr_push_ids_and_row_access() {
+        let mut m = CsrMatrix::new();
+        assert_eq!(m.n_rows(), 0);
+        let r0 = m.push_ids([2, 5, 9]);
+        let r1 = m.push_ids([]);
+        let r2 = m.push_ids([0]);
+        assert_eq!((r0, r1, r2), (0, 1, 2));
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_ids(0), &[2, 5, 9]);
+        assert_eq!(m.row_ids(1), &[] as &[u32]);
+        assert_eq!(m.row_data(0), &[1.0, 1.0, 1.0]);
+        assert_eq!(m.row_of(2), vec![(0, 1.0)]);
+        assert_eq!(m.indptr(), &[0, 3, 3, 4]);
+        assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn csr_push_row_matches_lil_semantics() {
+        let mut csr = CsrMatrix::new();
+        let mut lil = LilMatrix::new();
+        let entries = vec![(5, 1.0), (2, 1.0), (5, 3.0)];
+        csr.push_row(entries.clone());
+        lil.push_row(entries);
+        assert_eq!(csr.row_of(0), lil.row_of(0));
+        assert_eq!(csr.nnz(), lil.nnz());
+    }
+
+    #[test]
+    fn csr_to_lil_roundtrip() {
+        let mut csr = CsrMatrix::new();
+        csr.push_ids([1, 3]);
+        csr.push_ids([]);
+        csr.push_ids([0, 2, 4]);
+        let lil = csr.to_lil();
+        assert_eq!(lil.n_rows(), 3);
+        for r in 0..3 {
+            assert_eq!(lil.row_of(r), csr.row_of(r), "row {r}");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! index so the learner can distinguish which mention a feature describes.
 
 use crate::config::FeatureConfig;
+use crate::intern::{FeatureSink, Lower};
 use fonduer_datamodel::{Document, Span};
 
 /// Size of the lemma window to the left/right of a mention for textual
@@ -25,95 +26,127 @@ pub(crate) fn bucket(n: usize) -> &'static str {
     }
 }
 
-/// Generate all enabled unary features of one mention into `out`.
+/// Generate all enabled unary features of one mention as owned strings
+/// (compat wrapper over [`unary_features_into`] with a collecting sink).
 pub fn unary_features(doc: &Document, span: Span, cfg: &FeatureConfig, out: &mut Vec<String>) {
+    let mut sink = FeatureSink::collecting(out);
+    unary_features_into(doc, span, cfg, &mut sink);
+}
+
+/// Generate all enabled unary features of one mention into a sink — the
+/// allocation-free hot path.
+pub fn unary_features_into(
+    doc: &Document,
+    span: Span,
+    cfg: &FeatureConfig,
+    sink: &mut FeatureSink<'_>,
+) {
     if cfg.textual {
-        textual(doc, span, out);
+        sink.set_modality(0);
+        textual(doc, span, sink);
     }
     if cfg.structural {
-        structural(doc, span, out);
+        sink.set_modality(1);
+        structural(doc, span, sink);
     }
     if cfg.tabular {
-        tabular(doc, span, out);
+        sink.set_modality(2);
+        tabular(doc, span, sink);
     }
     if cfg.visual {
-        visual(doc, span, out);
+        sink.set_modality(3);
+        visual(doc, span, sink);
     }
 }
 
-fn textual(doc: &Document, span: Span, out: &mut Vec<String>) {
+fn textual(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     let s = doc.sentence(span.sentence);
     let (a, b) = (span.start as usize, span.end as usize);
     for w in &s.words[a..b] {
-        out.push(format!("WORD_{}", w.to_lowercase()));
+        sink.feat_fmt(format_args!("WORD_{}", Lower(w)));
     }
     for l in &s.ling[a..b] {
-        out.push(format!("LEMMA_{}", l.lemma));
-        out.push(format!("NER_{}", l.ner));
+        sink.feat_fmt(format_args!("LEMMA_{}", l.lemma));
+        sink.feat_fmt(format_args!("NER_{}", l.ner));
     }
-    let pos_seq: Vec<&str> = s.ling[a..b].iter().map(|l| l.pos.as_str()).collect();
-    out.push(format!("POS_{}", pos_seq.join("_")));
-    out.push(format!("LEN_{}", bucket(b - a)));
+    sink.begin();
+    sink.push("POS_");
+    for (k, l) in s.ling[a..b].iter().enumerate() {
+        if k > 0 {
+            sink.push("_");
+        }
+        sink.push(&l.pos);
+    }
+    sink.commit();
+    sink.feat_fmt(format_args!("LEN_{}", bucket(b - a)));
     for i in a.saturating_sub(WINDOW)..a {
-        out.push(format!("LEFT_LEMMA_{}", s.ling[i].lemma));
+        sink.feat_fmt(format_args!("LEFT_LEMMA_{}", s.ling[i].lemma));
     }
     for i in b..(b + WINDOW).min(s.len()) {
-        out.push(format!("RIGHT_LEMMA_{}", s.ling[i].lemma));
+        sink.feat_fmt(format_args!("RIGHT_LEMMA_{}", s.ling[i].lemma));
     }
 }
 
-fn structural(doc: &Document, span: Span, out: &mut Vec<String>) {
+fn structural(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     let st = &doc.sentence(span.sentence).structural;
-    out.push(format!("TAG_{}", st.tag));
+    sink.feat_fmt(format_args!("TAG_{}", st.tag));
     for (k, v) in &st.attrs {
-        out.push(format!("HTML_ATTR_{k}:{v}"));
+        sink.feat_fmt(format_args!("HTML_ATTR_{k}:{v}"));
     }
-    out.push(format!("PARENT_TAG_{}", st.parent_tag));
+    sink.feat_fmt(format_args!("PARENT_TAG_{}", st.parent_tag));
     if let Some(t) = &st.prev_sibling_tag {
-        out.push(format!("PREV_SIB_TAG_{t}"));
+        sink.feat_fmt(format_args!("PREV_SIB_TAG_{t}"));
     }
     if let Some(t) = &st.next_sibling_tag {
-        out.push(format!("NEXT_SIB_TAG_{t}"));
+        sink.feat_fmt(format_args!("NEXT_SIB_TAG_{t}"));
     }
-    out.push(format!("NODE_POS_{}", bucket(st.node_pos as usize)));
-    out.push(format!("ANCESTOR_TAG_{}", st.ancestor_tags.join(">")));
+    sink.feat_fmt(format_args!("NODE_POS_{}", bucket(st.node_pos as usize)));
+    sink.begin();
+    sink.push("ANCESTOR_TAG_");
+    for (k, t) in st.ancestor_tags.iter().enumerate() {
+        if k > 0 {
+            sink.push(">");
+        }
+        sink.push(t);
+    }
+    sink.commit();
     for c in &st.ancestor_classes {
-        out.push(format!("ANCESTOR_CLASS_{c}"));
+        sink.feat_fmt(format_args!("ANCESTOR_CLASS_{c}"));
     }
     for i in &st.ancestor_ids {
-        out.push(format!("ANCESTOR_ID_{i}"));
+        sink.feat_fmt(format_args!("ANCESTOR_ID_{i}"));
     }
 }
 
-fn tabular(doc: &Document, span: Span, out: &mut Vec<String>) {
+fn tabular(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     let Some(cell_id) = doc.cell_of_sentence(span.sentence) else {
-        out.push("NOT_IN_TABLE".to_string());
+        sink.feat("NOT_IN_TABLE");
         return;
     };
     let cell = doc.cell(cell_id);
-    out.push(format!("ROW_NUM_{}", bucket(cell.row_start as usize)));
-    out.push(format!("COL_NUM_{}", bucket(cell.col_start as usize)));
-    out.push(format!("ROW_SPAN_{}", cell.row_span()));
-    out.push(format!("COL_SPAN_{}", cell.col_span()));
+    sink.feat_fmt(format_args!("ROW_NUM_{}", bucket(cell.row_start as usize)));
+    sink.feat_fmt(format_args!("COL_NUM_{}", bucket(cell.col_start as usize)));
+    sink.feat_fmt(format_args!("ROW_SPAN_{}", cell.row_span()));
+    sink.feat_fmt(format_args!("COL_SPAN_{}", cell.col_span()));
     // Words sharing the mention's cell (excluding the mention's own tokens).
     let s = doc.sentence(span.sentence);
     for (i, w) in s.words.iter().enumerate() {
         if (i as u32) < span.start || (i as u32) >= span.end {
-            out.push(format!("CELL_{}", w.to_lowercase()));
+            sink.feat_fmt(format_args!("CELL_{}", Lower(w)));
         }
     }
-    for w in doc.row_header_words(cell_id) {
-        out.push(format!("ROW_HEAD_{w}"));
-    }
-    for w in doc.col_header_words(cell_id) {
-        out.push(format!("COL_HEAD_{w}"));
-    }
-    for w in doc.row_words(cell_id) {
-        out.push(format!("ROW_{w}"));
-    }
-    for w in doc.col_words(cell_id) {
-        out.push(format!("COL_{w}"));
-    }
+    doc.for_each_row_header_word(cell_id, |w| {
+        sink.feat_fmt(format_args!("ROW_HEAD_{}", Lower(w)));
+    });
+    doc.for_each_col_header_word(cell_id, |w| {
+        sink.feat_fmt(format_args!("COL_HEAD_{}", Lower(w)));
+    });
+    doc.for_each_row_word(cell_id, |w| {
+        sink.feat_fmt(format_args!("ROW_{}", Lower(w)));
+    });
+    doc.for_each_col_word(cell_id, |w| {
+        sink.feat_fmt(format_args!("COL_{}", Lower(w)));
+    });
     // Caption n-grams of the containing table: captions carry the table's
     // role ("Maximum Ratings", "suggestive loci"), a signal the data model
     // preserves as a table-attached context.
@@ -121,35 +154,35 @@ fn tabular(doc: &Document, span: Span, out: &mut Vec<String>) {
         if let Some(cap) = doc.table(table).caption {
             for sid in doc.sentences_in(fonduer_datamodel::ContextRef::Caption(cap)) {
                 for w in &doc.sentence(sid).words {
-                    out.push(format!("CAPTION_{}", w.to_lowercase()));
+                    sink.feat_fmt(format_args!("CAPTION_{}", Lower(w)));
                 }
             }
         }
     }
 }
 
-fn visual(doc: &Document, span: Span, out: &mut Vec<String>) {
+fn visual(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     let s = doc.sentence(span.sentence);
     let Some(vis) = &s.visual else {
-        out.push("NO_VISUAL".to_string());
+        sink.feat("NO_VISUAL");
         return;
     };
     let first = &vis[span.start as usize];
-    out.push(format!("PAGE_{}", first.page));
-    out.push(format!("FONT_{}", first.font));
-    out.push(format!("FONT_SIZE_{}", first.font_size as u32));
+    sink.feat_fmt(format_args!("PAGE_{}", first.page));
+    sink.feat_fmt(format_args!("FONT_{}", first.font));
+    sink.feat_fmt(format_args!("FONT_SIZE_{}", first.font_size as u32));
     if first.bold {
-        out.push("BOLD".to_string());
+        sink.feat("BOLD");
     }
     if let Some(bbox) = span.bbox(doc) {
         // Coarse page-position buckets (top/middle/bottom thirds): position
         // on a page "may imply when text is a title or header".
         let page_h = 792.0f32;
         let third = ((bbox.cy() / page_h) * 3.0).min(2.0) as u32;
-        out.push(format!("PAGE_THIRD_{third}"));
-        for lemma in doc.visually_aligned_lemmas(first.page, &bbox, span.sentence) {
-            out.push(format!("ALIGNED_{lemma}"));
-        }
+        sink.feat_fmt(format_args!("PAGE_THIRD_{third}"));
+        doc.for_each_aligned_lemma(first.page, &bbox, span.sentence, false, |lemma| {
+            sink.feat_fmt(format_args!("ALIGNED_{lemma}"));
+        });
     }
 }
 

@@ -51,7 +51,7 @@ impl LogRegModel {
     fn logit(&self, input: &CandidateInput) -> f32 {
         let w = self.store.p(self.w);
         let mut z = self.store.p(self.b)[0];
-        for &c in &input.features {
+        for &c in input.features.ids() {
             z += w[c as usize];
         }
         z
@@ -80,7 +80,7 @@ impl ProbClassifier for LogRegModel {
                 epoch_loss += loss as f64;
                 {
                     let g = self.store.grad_mut(self.w);
-                    for &c in &inputs[i].features {
+                    for &c in inputs[i].features.ids() {
                         g[c as usize] += dz;
                     }
                 }
@@ -199,7 +199,11 @@ mod tests {
                 (
                     CandidateInput {
                         mention_tokens: vec![vec![1], vec![2]],
-                        features: if pos { vec![0, 2] } else { vec![1, 2] },
+                        features: if pos {
+                            vec![0, 2].into()
+                        } else {
+                            vec![1, 2].into()
+                        },
                     },
                     if pos { 0.95 } else { 0.05 },
                 )
@@ -225,7 +229,7 @@ mod tests {
         let mut m = LogRegModel::new(0, 1);
         let inp = CandidateInput {
             mention_tokens: vec![],
-            features: vec![],
+            features: vec![].into(),
         };
         m.fit(std::slice::from_ref(&inp), &[1.0]);
         assert!(m.predict_one(&inp) > 0.5);

@@ -59,7 +59,7 @@ impl HogwildLogReg {
     fn logit(&self, input: &CandidateInput) -> f32 {
         let bias = self.weights.len() - 1;
         let mut z = f32::from_bits(self.weights[bias].load(Relaxed));
-        for &c in &input.features {
+        for &c in input.features.ids() {
             z += f32::from_bits(self.weights[c as usize].load(Relaxed));
         }
         z
@@ -69,12 +69,12 @@ impl HogwildLogReg {
     fn step(weights: &[AtomicU32], input: &CandidateInput, target: f32, lr: f32) -> f32 {
         let bias = weights.len() - 1;
         let mut z = f32::from_bits(weights[bias].load(Relaxed));
-        for &c in &input.features {
+        for &c in input.features.ids() {
             z += f32::from_bits(weights[c as usize].load(Relaxed));
         }
         let (loss, dz) = bce_with_logit(z, target);
         let g = lr * dz;
-        for &c in &input.features {
+        for &c in input.features.ids() {
             let w = &weights[c as usize];
             w.store((f32::from_bits(w.load(Relaxed)) - g).to_bits(), Relaxed);
         }
@@ -157,7 +157,11 @@ mod tests {
                 (
                     CandidateInput {
                         mention_tokens: vec![vec![1], vec![2]],
-                        features: if pos { vec![0, 2] } else { vec![1, 2] },
+                        features: if pos {
+                            vec![0, 2].into()
+                        } else {
+                            vec![1, 2].into()
+                        },
                     },
                     if pos { 0.95 } else { 0.05 },
                 )
@@ -217,7 +221,7 @@ mod tests {
         let mut m = HogwildLogReg::new(0, 1, 2);
         let inp = CandidateInput {
             mention_tokens: vec![],
-            features: vec![],
+            features: vec![].into(),
         };
         m.fit(std::slice::from_ref(&inp), &[1.0]);
         assert!(m.predict_one(&inp) > 0.5);

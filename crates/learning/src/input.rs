@@ -8,11 +8,64 @@
 
 use fonduer_candidates::{Candidate, CandidateSet};
 use fonduer_datamodel::Corpus;
-use fonduer_features::{FeatureSet, SparseAccess};
+use fonduer_features::{CsrMatrix, FeatureSet, SparseAccess};
 use fonduer_nlp::HashedVocab;
+use std::sync::Arc;
 
 /// Maximum relation arity supported by the marker scheme.
 pub const MAX_ARITY: usize = 4;
+
+/// Sparse feature columns of one candidate: either an inline id list (test
+/// fixtures, synthetic inputs) or a zero-copy view into the featurizer's
+/// shared CSR matrix — `prepare` never re-materializes per-candidate
+/// columns.
+#[derive(Debug, Clone)]
+pub enum FeatureRow {
+    /// Owned column ids (sorted, deduplicated).
+    Inline(Vec<u32>),
+    /// Row `row` of a shared CSR feature matrix.
+    Shared {
+        /// The featurizer's matrix, shared across all inputs.
+        csr: Arc<CsrMatrix>,
+        /// Row index of this candidate.
+        row: u32,
+    },
+}
+
+impl FeatureRow {
+    /// Active column ids (sorted, deduplicated).
+    pub fn ids(&self) -> &[u32] {
+        match self {
+            FeatureRow::Inline(ids) => ids,
+            FeatureRow::Shared { csr, row } => csr.row_ids(*row as usize),
+        }
+    }
+
+    /// Whether no feature is active.
+    pub fn is_empty(&self) -> bool {
+        self.ids().is_empty()
+    }
+}
+
+impl PartialEq for FeatureRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids() == other.ids()
+    }
+}
+
+impl Eq for FeatureRow {}
+
+impl Default for FeatureRow {
+    fn default() -> Self {
+        FeatureRow::Inline(Vec::new())
+    }
+}
+
+impl From<Vec<u32>> for FeatureRow {
+    fn from(ids: Vec<u32>) -> Self {
+        FeatureRow::Inline(ids)
+    }
+}
 
 /// One candidate's model-ready input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,7 +73,7 @@ pub struct CandidateInput {
     /// Per-mention token-id sequences (windowed sentence with markers).
     pub mention_tokens: Vec<Vec<u32>>,
     /// Column ids of active sparse features.
-    pub features: Vec<u32>,
+    pub features: FeatureRow,
 }
 
 /// A prepared dataset: aligned with the candidate set it was built from.
@@ -98,7 +151,10 @@ pub fn prepare(
             let mention_tokens = (0..arity)
                 .map(|i| mention_token_ids(corpus, cand, i, vocab, window))
                 .collect();
-            let features = feats.matrix.row(row).iter().map(|&(c, _)| c).collect();
+            let features = FeatureRow::Shared {
+                csr: feats.matrix.clone(),
+                row: row as u32,
+            };
             CandidateInput {
                 mention_tokens,
                 features,
@@ -107,7 +163,7 @@ pub fn prepare(
         .collect();
     PreparedDataset {
         inputs,
-        n_features: feats.vocab.len(),
+        n_features: feats.n_features(),
         vocab_size: vocab_rows(vocab),
         arity,
     }
@@ -206,6 +262,24 @@ mod tests {
         let m1 = &ds.inputs[0].mention_tokens[1];
         assert!(m1.contains(&start_marker(&vocab, 1)));
         assert!(!ds.inputs[0].features.is_empty());
+    }
+
+    #[test]
+    fn prepared_features_share_the_csr_matrix() {
+        let (c, set, feats) = setup();
+        let vocab = HashedVocab::new(1000);
+        let ds = prepare(&c, &set, &feats, &vocab, 8);
+        match &ds.inputs[0].features {
+            FeatureRow::Shared { csr, row } => {
+                assert!(Arc::ptr_eq(csr, &feats.matrix), "must be zero-copy");
+                assert_eq!(csr.row_ids(*row as usize), ds.inputs[0].features.ids());
+            }
+            FeatureRow::Inline(_) => panic!("prepare must share the CSR matrix"),
+        }
+        assert_eq!(ds.n_features, feats.vocab.len());
+        // Inline and shared rows with equal ids compare equal.
+        let inline: FeatureRow = ds.inputs[0].features.ids().to_vec().into();
+        assert_eq!(inline, ds.inputs[0].features);
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl FonduerModel {
         }
         if self.cfg.use_features {
             let w = self.store.p(self.feat_w);
-            for &c in &input.features {
+            for &c in input.features.ids() {
                 z += w[c as usize];
             }
         }
@@ -194,7 +194,7 @@ impl FonduerModel {
     fn backward(&mut self, input: &CandidateInput, cache: &ForwardCache, dz: f32) {
         if self.cfg.use_features {
             let g = self.store.grad_mut(self.feat_w);
-            for &c in &input.features {
+            for &c in input.features.ids() {
                 g[c as usize] += dz;
             }
         }
@@ -269,7 +269,11 @@ mod tests {
             };
             inputs.push(CandidateInput {
                 mention_tokens: vec![toks.clone(), toks],
-                features: if pos { vec![0, 2] } else { vec![1, 2] },
+                features: if pos {
+                    vec![0, 2].into()
+                } else {
+                    vec![1, 2].into()
+                },
             });
             targets.push(if pos { 0.9 } else { 0.1 });
         }
@@ -359,7 +363,7 @@ mod tests {
         m.fit(&[], &[]);
         let p = m.predict_one(&CandidateInput {
             mention_tokens: vec![vec![1], vec![2]],
-            features: vec![0],
+            features: vec![0].into(),
         });
         assert!((0.0..=1.0).contains(&p));
     }
@@ -381,7 +385,7 @@ mod persist_tests {
         let inputs: Vec<CandidateInput> = (0..20)
             .map(|i| CandidateInput {
                 mention_tokens: vec![vec![i % 7, 5], vec![3]],
-                features: vec![i % 3],
+                features: vec![i % 3].into(),
             })
             .collect();
         let targets: Vec<f32> = (0..20)

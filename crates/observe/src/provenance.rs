@@ -84,6 +84,10 @@ pub struct ProvenanceRecord {
     /// Feature-template counts per modality: textual, structural, tabular,
     /// visual, other — in that order.
     pub feature_counts: [u32; 5],
+    /// A small sample of the candidate's feature names, resolved lazily
+    /// from the interned vocabulary only while provenance recording is on
+    /// (the hot path never stringifies symbols).
+    pub feature_sample: Vec<String>,
     /// Final marginal probability P(true) from the discriminative model.
     pub marginal: f32,
 }
@@ -221,7 +225,8 @@ impl ProvenanceLog {
                 "{{\"kind\":\"provenance\",\"doc\":\"{}\",\"candidate_index\":{},\
                  \"mentions\":[{}],\"throttlers_passed\":{},\"in_train\":{},\
                  \"lf_votes\":[{}],\"feature_counts\":{{\"textual\":{},\"structural\":{},\
-                 \"tabular\":{},\"visual\":{},\"other\":{}}},\"marginal\":{}}}",
+                 \"tabular\":{},\"visual\":{},\"other\":{}}},\"feature_sample\":[{}],\
+                 \"marginal\":{}}}",
                 json::escape(&rec.doc),
                 rec.candidate_index,
                 mentions.join(","),
@@ -233,6 +238,7 @@ impl ProvenanceLog {
                 rec.feature_counts[2],
                 rec.feature_counts[3],
                 rec.feature_counts[4],
+                str_list(&rec.feature_sample),
                 json::number(rec.marginal as f64),
             );
         }
@@ -364,6 +370,7 @@ mod tests {
                 vec![]
             },
             feature_counts: [1, 2, 3, 4, 0],
+            feature_sample: vec![format!("WORD_m{i}")],
             marginal: 0.5,
         }
     }
@@ -453,6 +460,15 @@ mod tests {
             assert_eq!(
                 fc.get("tabular").and_then(crate::json::Value::as_f64),
                 Some(3.0)
+            );
+            // The lazy name sample round-trips as a JSON string list.
+            assert_eq!(
+                v.get("feature_sample")
+                    .and_then(crate::json::Value::as_array)
+                    .and_then(|a| a.first())
+                    .and_then(crate::json::Value::as_str)
+                    .map(|s| s.starts_with("WORD_m")),
+                Some(true)
             );
         }
         // Train record carries votes; test record has an empty vote list.

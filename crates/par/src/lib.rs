@@ -35,8 +35,11 @@
 //! the `FONDUER_THREADS` environment variable (when set to a positive
 //! integer) overrides everything — the CI matrix uses it to run the whole
 //! suite at 1 and 4 threads — otherwise a request of `0` means "auto"
-//! (`std::thread::available_parallelism`), and any other value is taken
-//! as-is.
+//! (`std::thread::available_parallelism`), and any other value is capped
+//! at the available parallelism: the pool only ever runs CPU-bound
+//! deterministic work, so oversubscription can't win. [`Pool::exact`]
+//! bypasses both knobs for tests that must spawn real worker threads
+//! regardless of the host.
 //!
 //! ## Telemetry
 //!
@@ -61,11 +64,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Effective thread count for a requested one.
 ///
-/// Precedence: `FONDUER_THREADS` (positive integer) > explicit request
-/// (`>= 1`) > `0` meaning auto (`available_parallelism`, falling back
-/// to 1).
+/// Precedence: `FONDUER_THREADS` (positive integer, taken literally) >
+/// explicit request (`>= 1`, capped at the machine's available
+/// parallelism) > `0` meaning auto (`available_parallelism`, falling back
+/// to 1). The hardware cap exists because every pool stage here is
+/// CPU-bound and deterministic: oversubscribing a small host only adds
+/// spawn and scheduling overhead, never throughput.
 pub fn resolve_threads(requested: usize) -> usize {
-    resolve_with(requested, env_threads())
+    resolve_with(requested, env_threads(), hardware_threads())
+}
+
+/// The machine's available parallelism (1 when it cannot be probed).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The `FONDUER_THREADS` override, if set to a positive integer.
@@ -76,17 +89,16 @@ pub fn env_threads() -> Option<usize> {
         .filter(|&n| n >= 1)
 }
 
-/// Pure resolution rule (separated from env access for testability).
-fn resolve_with(requested: usize, env: Option<usize>) -> usize {
+/// Pure resolution rule (separated from env/hardware access for
+/// testability).
+fn resolve_with(requested: usize, env: Option<usize>, hw: usize) -> usize {
     if let Some(n) = env {
         return n;
     }
     if requested >= 1 {
-        requested
+        requested.min(hw.max(1))
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        hw.max(1)
     }
 }
 
@@ -109,6 +121,16 @@ impl Pool {
     pub fn new(requested: usize) -> Self {
         Self {
             n_threads: resolve_threads(requested),
+        }
+    }
+
+    /// A pool with exactly `n` workers (min 1), bypassing both the
+    /// `FONDUER_THREADS` override and the hardware cap. The golden
+    /// determinism tests use this to exercise true multi-worker execution
+    /// even on a single-core host.
+    pub fn exact(n: usize) -> Self {
+        Self {
+            n_threads: n.max(1),
         }
     }
 
@@ -277,11 +299,13 @@ mod tests {
 
     #[test]
     fn resolution_precedence() {
-        assert_eq!(resolve_with(4, None), 4);
-        assert_eq!(resolve_with(4, Some(2)), 2);
-        assert_eq!(resolve_with(0, Some(8)), 8);
-        assert!(resolve_with(0, None) >= 1); // auto
-        assert_eq!(resolve_with(1, Some(16)), 16); // env wins even over 1
+        assert_eq!(resolve_with(4, None, 8), 4);
+        assert_eq!(resolve_with(4, Some(2), 8), 2);
+        assert_eq!(resolve_with(0, Some(8), 1), 8); // env wins over hardware
+        assert_eq!(resolve_with(0, None, 8), 8); // auto
+        assert_eq!(resolve_with(1, Some(16), 8), 16); // env wins even over 1
+        assert_eq!(resolve_with(8, None, 2), 2); // explicit capped at hardware
+        assert_eq!(resolve_with(8, None, 0), 1); // degenerate probe
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! labeling function covering them) would help.
 
 use crate::matrix::LabelMatrix;
+use fonduer_features::CsrMatrix;
 
 /// A ranked candidate index with its acquisition score (higher = more
 /// valuable to inspect).
@@ -73,6 +74,32 @@ pub fn coverage_gap_sampling(l: &LabelMatrix, marginals: &[f64]) -> Vec<Ranked> 
     out
 }
 
+/// Density-weighted uncertainty sampling over the shared CSR feature
+/// matrix: uncertainty multiplied by how *representative* the candidate is
+/// (mean document frequency of its active features, normalized by the
+/// corpus maximum). Labeling a dense, uncertain candidate informs many
+/// lookalikes; a featureless outlier scores zero. Reads the featurizer's
+/// matrix zero-copy — no per-candidate feature materialization.
+pub fn density_weighted_sampling(feats: &CsrMatrix, marginals: &[f64]) -> Vec<Ranked> {
+    use fonduer_features::SparseAccess;
+    assert_eq!(feats.n_rows(), marginals.len());
+    // Document frequency per feature column, from the flat CSR id array.
+    let n_cols = feats.indices().iter().max().map_or(0, |&c| c as usize + 1);
+    let mut df = vec![0u32; n_cols];
+    for &c in feats.indices() {
+        df[c as usize] += 1;
+    }
+    let max_df = df.iter().copied().max().unwrap_or(1).max(1) as f64;
+    rank_by(marginals.len(), |i| {
+        let ids = feats.row_ids(i);
+        if ids.is_empty() {
+            return 0.0;
+        }
+        let mean_df = ids.iter().map(|&c| df[c as usize] as f64).sum::<f64>() / ids.len() as f64;
+        (0.5 - (marginals[i] - 0.5).abs()) * (mean_df / max_df)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,10 +136,29 @@ mod tests {
     }
 
     #[test]
+    fn density_prefers_dense_uncertain_rows() {
+        let mut m = CsrMatrix::new();
+        m.push_ids([0, 1]); // common features
+        m.push_ids([0, 1]); // common features
+        m.push_ids([5]); // rare feature
+        m.push_ids([]); // no features
+
+        // Rows 1 and 2 equally uncertain; row 1 sits in denser feature
+        // territory so a label there generalizes further.
+        let ranked = density_weighted_sampling(&m, &[0.9, 0.5, 0.5, 0.5]);
+        assert_eq!(ranked[0].index, 1);
+        assert!(ranked[0].score > ranked[1].score);
+        // The featureless row scores zero, below even the confident row.
+        assert_eq!(ranked.last().unwrap().index, 3);
+        assert_eq!(ranked.last().unwrap().score, 0.0);
+    }
+
+    #[test]
     fn empty_inputs() {
         assert!(uncertainty_sampling(&[]).is_empty());
         let l = LabelMatrix::zeros(0, 0);
         assert!(disagreement_sampling(&l).is_empty());
         assert!(coverage_gap_sampling(&l, &[]).is_empty());
+        assert!(density_weighted_sampling(&CsrMatrix::new(), &[]).is_empty());
     }
 }

@@ -22,7 +22,10 @@ pub mod matrix;
 pub mod model;
 pub mod user_study;
 
-pub use active::{coverage_gap_sampling, disagreement_sampling, uncertainty_sampling, Ranked};
+pub use active::{
+    coverage_gap_sampling, density_weighted_sampling, disagreement_sampling, uncertainty_sampling,
+    Ranked,
+};
 pub use diagnostics::{LfDiagnostics, LfDiagnosticsRow};
 pub use lf::{filter_by_metadata, LabelingFunction, Modality, ABSTAIN, FALSE, TRUE};
 pub use matrix::LabelMatrix;

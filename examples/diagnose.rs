@@ -104,6 +104,25 @@ fn main() {
         }
     }
 
+    // Active-learning triage (paper Appendix D): which candidates would a
+    // user label next? Density-weighted uncertainty reads the shared CSR
+    // feature matrix zero-copy — no per-candidate feature strings.
+    let feats = session.featurize().expect("featurization is cached");
+    let marg64: Vec<f64> = out.marginals.iter().map(|&m| f64::from(m)).collect();
+    let ranked = fonduer::supervision::density_weighted_sampling(&feats.matrix, &marg64);
+    println!("\nactive-learning triage (density-weighted uncertainty), top 5:");
+    for r in ranked.iter().take(5) {
+        let c = &out.candidates.candidates[r.index];
+        let d = ds.corpus.doc(c.doc);
+        println!(
+            "  #{} score={:.3} p={:.2} args={:?}",
+            r.index,
+            r.score,
+            out.marginals[r.index],
+            c.arg_texts(d)
+        );
+    }
+
     // Flight-recorder sample: why did the last few candidates score the way
     // they did? (Full dump flows through FONDUER_TRACE=json.)
     let recs = fonduer::observe::provenance::records();
@@ -140,6 +159,9 @@ fn main() {
                 r.feature_counts[3],
                 r.marginal
             );
+            if !r.feature_sample.is_empty() {
+                println!("    sample: {}", r.feature_sample.join(" "));
+            }
         }
     }
 

@@ -1,0 +1,85 @@
+//! Golden equivalence between the two featurization paths.
+//!
+//! The interned fast path (`Featurizer::featurize`, producing a
+//! `FeatureVocab` + shared CSR matrix) and the debug string path
+//! (`Featurizer::features_of`, producing per-candidate `Vec<String>`) must
+//! describe the same feature space: re-interning the string path's output
+//! in candidate order reproduces the fast path's vocabulary and matrix
+//! byte-for-byte. This pins the compat contract — tooling that consumes
+//! feature strings sees exactly what the learner trains on.
+
+use fonduer::prelude::*;
+use fonduer_core::domains;
+use fonduer_features::{CsrMatrix, FeatureVocab, SparseAccess};
+use fonduer_synth::{generate_electronics, ElectronicsConfig};
+
+#[test]
+fn string_path_reproduces_interned_artifacts_byte_identically() {
+    let ds = generate_electronics(&ElectronicsConfig {
+        n_docs: 12,
+        ..Default::default()
+    });
+    let task = &domains::electronics::tasks(&ds)[0];
+    let cands = task.extractor.extract(&ds.corpus);
+    assert!(!cands.candidates.is_empty());
+    let fz = Featurizer::new(FeatureConfig::all());
+    let fast = fz.featurize(&ds.corpus, &cands);
+
+    // Rebuild vocabulary and matrix from the string path, exactly as the
+    // pre-interning pipeline did: intern each emission in order, then
+    // sort + dedup the row (first occurrence wins for ordering; ids are
+    // unique after dedup so last-vs-first is moot for presence features).
+    let mut vocab = FeatureVocab::new();
+    let mut matrix = CsrMatrix::new();
+    for c in &cands.candidates {
+        let doc = ds.corpus.doc(c.doc);
+        let mut row: Vec<u32> = fz
+            .features_of(doc, c)
+            .iter()
+            .map(|name| vocab.intern(name))
+            .collect();
+        row.sort_unstable();
+        row.dedup();
+        matrix.push_ids(row);
+    }
+
+    // Byte-identical vocabulary: same size, same name at every column.
+    assert_eq!(vocab.len(), fast.vocab.len());
+    for col in 0..vocab.len() as u32 {
+        assert_eq!(vocab.name(col), fast.vocab.name(col), "col {col}");
+        assert_eq!(
+            vocab.modality_idx(col),
+            fast.vocab.modality_idx(col),
+            "col {col} modality"
+        );
+    }
+    // Byte-identical CSR arrays.
+    assert_eq!(matrix, *fast.matrix);
+    assert_eq!(matrix.n_rows(), cands.candidates.len());
+}
+
+#[test]
+fn feature_names_match_the_string_path_per_row() {
+    let ds = generate_electronics(&ElectronicsConfig {
+        n_docs: 6,
+        ..Default::default()
+    });
+    let task = &domains::electronics::tasks(&ds)[0];
+    let cands = task.extractor.extract(&ds.corpus);
+    let fz = Featurizer::new(FeatureConfig::all());
+    let fast = fz.featurize(&ds.corpus, &cands);
+    for (i, c) in cands.candidates.iter().enumerate() {
+        let doc = ds.corpus.doc(c.doc);
+        let mut strings = fz.features_of(doc, c);
+        strings.sort_unstable();
+        strings.dedup();
+        let mut resolved = fast.feature_names(i);
+        resolved.sort_unstable();
+        assert_eq!(strings, resolved, "row {i}");
+        // The bounded sample is a prefix of the full resolution.
+        assert_eq!(
+            fast.feature_sample(i, 3),
+            fast.feature_names(i)[..3.min(resolved.len())]
+        );
+    }
+}

@@ -41,21 +41,47 @@ fn feature_set_and_vocab_order_are_byte_identical_across_thread_counts() {
     let seq = fz.featurize_parallel(&ds.corpus, &cands, 1);
     assert!(!seq.vocab.is_empty());
     for n in [2, 8] {
-        let par = fz.featurize_parallel(&ds.corpus, &cands, n);
+        // `featurize_sharded` forces real worker threads through the
+        // chunk-and-merge path even on a single-core host (where the public
+        // `featurize_parallel` would resolve to the sequential fallback).
+        let par = fz.featurize_sharded(&ds.corpus, &cands, n);
         // Vocabulary ordering: column i names the same feature, in the
         // sequential first-occurrence order.
         assert_eq!(seq.vocab.len(), par.vocab.len(), "n_threads={n}");
         for col in 0..seq.vocab.len() as u32 {
             assert_eq!(seq.vocab.name(col), par.vocab.name(col), "col {col}");
         }
-        // Sparse rows identical.
-        assert_eq!(seq.matrix.n_rows(), par.matrix.n_rows());
-        for i in 0..seq.matrix.n_rows() {
-            assert_eq!(seq.matrix.row(i), par.matrix.row(i), "row {i}");
-        }
+        // CSR arrays identical (indptr/indices/data compare byte-for-byte).
+        assert_eq!(seq.matrix, par.matrix, "n_threads={n}");
         // Cache statistics merge in input order too.
         assert_eq!(seq.stats.hits, par.stats.hits);
         assert_eq!(seq.stats.misses, par.stats.misses);
+        // And the public API agrees, whatever the host resolves n to.
+        let pub_par = fz.featurize_parallel(&ds.corpus, &cands, n);
+        assert_eq!(seq.matrix, pub_par.matrix, "n_threads={n} (public)");
+    }
+}
+
+#[test]
+fn hashed_feature_matrix_is_byte_identical_across_thread_counts() {
+    let ds = dataset();
+    let task = &domains::electronics::tasks(&ds)[0];
+    let cands = task.extractor.extract(&ds.corpus);
+    let fz = Featurizer::new(FeatureConfig::all().with_hashing(16));
+    let seq = fz.featurize_parallel(&ds.corpus, &cands, 1);
+    assert!(seq.vocab.is_empty(), "hashing mode keeps no vocabulary");
+    assert_eq!(seq.n_features(), 1 << 16);
+    for n in [2, 8] {
+        let par = fz.featurize_sharded(&ds.corpus, &cands, n);
+        assert_eq!(seq.matrix, par.matrix, "n_threads={n}");
+        assert_eq!(seq.stats, par.stats, "n_threads={n}");
+        for r in 0..seq.matrix.n_rows() {
+            assert_eq!(
+                seq.modality_counts(r),
+                par.modality_counts(r),
+                "row {r} n_threads={n}"
+            );
+        }
     }
 }
 
@@ -102,7 +128,11 @@ fn hogwild_dataset(n: usize) -> (Vec<CandidateInput>, Vec<f32>) {
             (
                 CandidateInput {
                     mention_tokens: vec![vec![1], vec![2]],
-                    features: if pos { vec![0, 2, 3] } else { vec![1, 2, 4] },
+                    features: if pos {
+                        vec![0, 2, 3].into()
+                    } else {
+                        vec![1, 2, 4].into()
+                    },
                 },
                 if pos { 0.95 } else { 0.05 },
             )

@@ -9,7 +9,7 @@
 
 use fonduer::prelude::*;
 use fonduer_datamodel::{assert_valid, ContextRef, DocumentBuilder, SentenceData};
-use fonduer_features::{CooMatrix, LilMatrix, SparseAccess};
+use fonduer_features::{CooMatrix, CsrMatrix, FeatureSink, LilMatrix, SparseAccess};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 const CASES: usize = 64;
@@ -180,6 +180,99 @@ fn sparse_representations_agree() {
             assert_eq!(lil.row_of(r), coo.row_of(r), "row {}", r);
         }
         assert_eq!(coo.to_lil().row_of(max_row), lil.row_of(max_row));
+    }
+}
+
+#[test]
+fn csr_round_trips_random_rows() {
+    let mut rng = StdRng::seed_from_u64(0xFB);
+    for _ in 0..CASES {
+        let n_rows = rng.gen_range(0..20);
+        let rows: Vec<Vec<u32>> = (0..n_rows)
+            .map(|_| {
+                let mut ids: Vec<u32> = (0..rng.gen_range(0..30))
+                    .map(|_| rng.gen_range(0u32..100))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        let mut csr = CsrMatrix::new();
+        for ids in &rows {
+            csr.push_ids(ids.iter().copied());
+        }
+        assert_eq!(csr.n_rows(), n_rows);
+        // indptr is monotone and closes over the flat arrays.
+        for w in csr.indptr().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*csr.indptr().last().unwrap() as usize, csr.indices().len());
+        assert_eq!(csr.indices().len(), csr.data().len());
+        for (r, ids) in rows.iter().enumerate() {
+            assert_eq!(csr.row_ids(r), ids.as_slice(), "row {r}");
+            assert!(csr.row_data(r).iter().all(|&v| v == 1.0));
+        }
+        // The LIL view agrees with the CSR rows.
+        let lil = csr.to_lil();
+        for (r, ids) in rows.iter().enumerate() {
+            let got: Vec<u32> = lil.row_of(r).iter().map(|&(c, _)| c).collect();
+            assert_eq!(&got, ids, "lil row {r}");
+        }
+    }
+}
+
+#[test]
+fn csr_push_row_sorts_and_dedups_arbitrary_entries() {
+    let mut rng = StdRng::seed_from_u64(0xFC);
+    for _ in 0..CASES {
+        let entries: Vec<(u32, f32)> = (0..rng.gen_range(0..40))
+            .map(|_| (rng.gen_range(0u32..16), rng.gen_range(-2.0f32..2.0)))
+            .collect();
+        let mut csr = CsrMatrix::new();
+        let r = csr.push_row(entries.clone());
+        let ids = csr.row_ids(r);
+        // Strictly increasing columns — sorted with duplicates collapsed.
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1], "{ids:?}");
+        }
+        // Last write wins on duplicate columns, as LilMatrix::set does.
+        for (&c, &v) in ids.iter().zip(csr.row_data(r)) {
+            let want = entries.iter().rev().find(|&&(ec, _)| ec == c).unwrap().1;
+            assert_eq!(v, want, "col {c}");
+        }
+    }
+}
+
+#[test]
+fn feature_hashing_is_deterministic_across_runs_and_threads() {
+    let mut rng = StdRng::seed_from_u64(0xFD);
+    for _ in 0..CASES {
+        let bits = rng.gen_range(4u8..=24);
+        let names: Vec<String> = (0..rng.gen_range(1..40)).map(|_| word(&mut rng)).collect();
+        let hash_all = |names: &[String]| -> Vec<(u32, u8)> {
+            let mut sink = FeatureSink::hashed(bits);
+            for n in names {
+                sink.feat(n);
+            }
+            sink.take_row()
+        };
+        let here = hash_all(&names);
+        // Every bucket is inside the table.
+        assert!(here.iter().all(|&(id, _)| u64::from(id) < 1u64 << bits));
+        // Same names, same buckets: re-run in this thread and in others.
+        assert_eq!(here, hash_all(&names));
+        let results: Vec<Vec<(u32, u8)>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| hash_all(&names)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(here, r);
+        }
     }
 }
 

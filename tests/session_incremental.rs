@@ -210,6 +210,7 @@ fn feature_config_change_keeps_candidates_and_supervision() {
         structural: true,
         tabular: true,
         visual: true,
+        hashing_bits: 0,
     });
     s.output().unwrap();
     assert_eq!(hits(&s, StageId::Candidates), 1);
