@@ -344,6 +344,41 @@ fn bench_scaling(results: &mut Vec<BenchResult>) {
     }
 }
 
+/// Overhead of the observability substrate itself, so the regression gate
+/// catches an instrumentation change that slows the hot paths it wraps:
+/// `observe/span_overhead` is one enter/exit of a nested span (stats
+/// aggregation + event record with span events forced on, the worst case),
+/// and `observe/doc_timings_overhead` is one `doc_stage_ns` upsert into a
+/// warm table (the per-document cost candgen/featurize/LF-apply each pay).
+fn bench_observe(results: &mut Vec<BenchResult>) {
+    let was_enabled = observe::span_events_enabled();
+    observe::set_span_events(true);
+    let _outer = observe::span("bench_observe");
+    bench(results, "observe/span_overhead", 1000, 10_000, || {
+        observe::span("overhead_probe")
+    });
+    observe::set_span_events(was_enabled);
+    let prev_cap = observe::doc_timings_cap();
+    observe::set_doc_timings_cap(4096);
+    // Warm the table so the bench measures the steady-state read-lock +
+    // saturating-add path, not first-insert allocation.
+    for i in 0..64 {
+        observe::doc_stage_ns(&format!("bench_doc_{i:02}"), "candgen", 1);
+    }
+    let mut i = 0usize;
+    bench(
+        results,
+        "observe/doc_timings_overhead",
+        1000,
+        10_000,
+        || {
+            i = (i + 1) % 64;
+            observe::doc_stage_ns(&format!("bench_doc_{i:02}"), "candgen", 1);
+        },
+    );
+    observe::set_doc_timings_cap(prev_cap);
+}
+
 /// Serialize results as a JSON array of
 /// `{name, iters, ns_per_iter, candidates_per_sec?}` (the throughput field
 /// appears only on work-normalized rows).
@@ -388,6 +423,7 @@ fn main() {
     bench_generative(&mut results);
     bench_session(&mut results);
     bench_scaling(&mut results);
+    bench_observe(&mut results);
     drop(_root);
     let path = out_path();
     match std::fs::write(&path, render_json(&results)) {

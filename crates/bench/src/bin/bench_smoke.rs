@@ -1,6 +1,11 @@
 //! Bench regression gate for CI: compare a freshly generated
 //! `BENCH_micro.json` against the committed baseline and fail when any
-//! `features/featurize/*` row regressed by more than the threshold.
+//! watched row regressed by more than the threshold. Watched families:
+//! `features/featurize/*` (the paper's hot stage — in particular
+//! `features/featurize/uncached`, where instrumentation overhead would
+//! surface first) and `observe/*` (the substrate's own span and
+//! doc-timings costs, so the observability layer cannot quietly get more
+//! expensive than the work it measures).
 //!
 //! Usage: `bench_smoke <baseline.json> <current.json> [max_regression_pct]`
 //! (default threshold 25). Rows present only on one side are reported but
@@ -9,8 +14,12 @@
 
 use fonduer_observe::json;
 
-const WATCH_PREFIX: &str = "features/featurize/";
+const WATCH_PREFIXES: [&str; 2] = ["features/featurize/", "observe/"];
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+fn watched(name: &str) -> bool {
+    WATCH_PREFIXES.iter().any(|p| name.starts_with(p))
+}
 
 fn load(path: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -52,7 +61,7 @@ fn main() {
     let mut failures = 0usize;
     let mut checked = 0usize;
     for (name, base_ns) in &baseline {
-        if !name.starts_with(WATCH_PREFIX) {
+        if !watched(name) {
             continue;
         }
         let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
@@ -73,16 +82,19 @@ fn main() {
         );
     }
     for (name, _) in &current {
-        if name.starts_with(WATCH_PREFIX) && !baseline.iter().any(|(n, _)| n == name) {
+        if watched(name) && !baseline.iter().any(|(n, _)| n == name) {
             println!("NEW  {name}: no baseline yet");
         }
     }
     if checked == 0 {
-        eprintln!("no {WATCH_PREFIX}* rows found in {baseline_path} — nothing to gate");
+        eprintln!(
+            "no watched rows ({}) found in {baseline_path} — nothing to gate",
+            WATCH_PREFIXES.join(", ")
+        );
         std::process::exit(2);
     }
     if failures > 0 {
-        eprintln!("{failures} featurize benchmark(s) regressed more than {max_pct}%");
+        eprintln!("{failures} watched benchmark(s) regressed more than {max_pct}%");
         std::process::exit(1);
     }
     println!("bench smoke: {checked} rows within {max_pct}% of baseline");

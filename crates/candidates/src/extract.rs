@@ -178,9 +178,14 @@ impl CandidateExtractor {
     /// Extract candidates from a whole corpus.
     pub fn extract(&self, corpus: &Corpus) -> CandidateSet {
         let _span = observe::span("extract_corpus");
+        let time_docs = observe::doc_timings_enabled();
         let mut candidates = Vec::new();
         for (id, doc) in corpus.iter() {
+            let t0 = time_docs.then(std::time::Instant::now);
             candidates.extend(self.extract_doc(id, doc));
+            if let Some(t0) = t0 {
+                observe::doc_stage_ns(&doc.name, "candgen", t0.elapsed().as_nanos() as u64);
+            }
         }
         CandidateSet {
             schema: self.schema.clone(),
@@ -370,11 +375,26 @@ impl CandidateExtractor {
             return self.extract(corpus);
         }
         let _span = observe::span("extract_corpus");
+        let time_docs = observe::doc_timings_enabled();
         let doc_ids: Vec<DocId> = corpus.doc_ids().collect();
-        let per_doc = pool.par_map(&doc_ids, |&id| self.extract_doc(id, corpus.doc(id)));
+        // Workers measure per-document time; the calling thread records it
+        // in input order below, so the DocTimings table (and its cap
+        // eviction) is deterministic at every thread count.
+        let per_doc = pool.par_map(&doc_ids, |&id| {
+            let t0 = time_docs.then(std::time::Instant::now);
+            let cands = self.extract_doc(id, corpus.doc(id));
+            (cands, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+        });
+        let mut candidates = Vec::new();
+        for (&id, (cands, ns)) in doc_ids.iter().zip(per_doc) {
+            if time_docs {
+                observe::doc_stage_ns(&corpus.doc(id).name, "candgen", ns);
+            }
+            candidates.extend(cands);
+        }
         CandidateSet {
             schema: self.schema.clone(),
-            candidates: per_doc.into_iter().flatten().collect(),
+            candidates,
         }
     }
 }

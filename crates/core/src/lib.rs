@@ -23,6 +23,7 @@ pub mod error;
 pub mod eval;
 pub mod kb;
 pub mod pipeline;
+pub mod report;
 pub mod session;
 
 pub use analysis::{ErrorBuckets, LfReport, LfRow};
@@ -36,4 +37,5 @@ pub use pipeline::{
     is_train_doc, reachable_tuples, run_task, Learner, PipelineConfig, PipelineConfigBuilder,
     PipelineOutput, Task, Timings,
 };
+pub use report::{CriticalPath, DocReport, PoolTelemetry, RunReport, StageCoverage, StageTiming};
 pub use session::{PipelineSession, SessionStats, StageId, StageStats, SupervisionArtifact};

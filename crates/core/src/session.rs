@@ -393,6 +393,17 @@ impl<'a> PipelineSession<'a> {
         self.timings
     }
 
+    /// A queryable [`RunReport`](crate::report::RunReport) joining the
+    /// last traversal's stage timings, the session's cache counters, the
+    /// pool telemetry and span summaries from the `fonduer-observe`
+    /// registry, and the per-document stage timings table. Call after
+    /// `output()`; the snapshot reflects the process-global registry, so
+    /// span totals accumulate across traversals while `last_us` is this
+    /// session's most recent walk only.
+    pub fn run_report(&self) -> crate::report::RunReport {
+        crate::report::RunReport::collect(&self.timings, self.stats, self.cfg.n_threads)
+    }
+
     // ------------------------------------------------------------ cache keys
 
     /// Record one hit/miss for `stage`, once per traversal (a single

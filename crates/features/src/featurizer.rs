@@ -17,7 +17,7 @@ use crate::intern::{dedup_row, FeatureSink, ShardedInterner, DELTA_BIT};
 use crate::sparse::CsrMatrix;
 use crate::unary::unary_features_into;
 use fonduer_candidates::{Candidate, CandidateSet};
-use fonduer_datamodel::{Corpus, Document, Span};
+use fonduer_datamodel::{Corpus, DocId, Document, Span};
 use fonduer_observe as observe;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -273,6 +273,8 @@ impl Featurizer {
         // argument position, so cached symbols are per position.
         let mut cache: MentionCache = HashMap::new();
         let mut current_doc = None;
+        let time_docs = observe::doc_timings_enabled();
+        let mut doc_t0 = std::time::Instant::now();
         let tally;
         {
             let mut sink = if hashed {
@@ -282,6 +284,16 @@ impl Featurizer {
             };
             for cand in &cands.candidates {
                 if current_doc != Some(cand.doc) {
+                    if time_docs {
+                        if let Some(prev) = current_doc {
+                            observe::doc_stage_ns(
+                                &corpus.doc(prev).name,
+                                "featurize",
+                                doc_t0.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        doc_t0 = std::time::Instant::now();
+                    }
                     cache.clear(); // flush at document boundary
                     current_doc = Some(cand.doc);
                 }
@@ -294,6 +306,15 @@ impl Featurizer {
                     &mut stats,
                 );
                 finish_row(&mut sink, &mut csr, row_modality.as_mut());
+            }
+            if time_docs {
+                if let Some(prev) = current_doc {
+                    observe::doc_stage_ns(
+                        &corpus.doc(prev).name,
+                        "featurize",
+                        doc_t0.elapsed().as_nanos() as u64,
+                    );
+                }
             }
             tally = sink.tally();
         }
@@ -320,6 +341,10 @@ struct ChunkOut {
     delta: FeatureVocab,
     stats: CacheStats,
     tally: [u64; 5],
+    /// Per-document wall time measured on the worker, recorded into the
+    /// DocTimings table by the caller **in input order** (empty when
+    /// per-document timing is disabled).
+    doc_ns: Vec<(DocId, u64)>,
 }
 
 /// Minimum candidate count before parallel featurization pays for itself.
@@ -411,7 +436,8 @@ impl Featurizer {
             let outs = pool.par_map(&chunks, |&(lo, hi)| {
                 self.featurize_chunk(corpus, &cands.candidates[lo..hi], None)
             });
-            for out in outs {
+            for mut out in outs {
+                record_doc_ns(corpus, &mut out);
                 merge_chunk(
                     out,
                     &mut vocab,
@@ -432,7 +458,8 @@ impl Featurizer {
                 let outs = pool.par_map(wave, |&(lo, hi)| {
                     self.featurize_chunk(corpus, &cands.candidates[lo..hi], Some(&base))
                 });
-                for out in outs {
+                for mut out in outs {
+                    record_doc_ns(corpus, &mut out);
                     merge_chunk(
                         out,
                         &mut vocab,
@@ -471,6 +498,9 @@ impl Featurizer {
         let mut stats = CacheStats::default();
         let mut cache: MentionCache = HashMap::new();
         let mut current_doc = None;
+        let time_docs = observe::doc_timings_enabled();
+        let mut doc_ns: Vec<(DocId, u64)> = Vec::new();
+        let mut doc_t0 = std::time::Instant::now();
         let tally;
         {
             let mut sink = match base {
@@ -479,6 +509,12 @@ impl Featurizer {
             };
             for cand in cands {
                 if current_doc != Some(cand.doc) {
+                    if time_docs {
+                        if let Some(prev) = current_doc {
+                            doc_ns.push((prev, doc_t0.elapsed().as_nanos() as u64));
+                        }
+                        doc_t0 = std::time::Instant::now();
+                    }
                     cache.clear();
                     current_doc = Some(cand.doc);
                 }
@@ -499,6 +535,11 @@ impl Featurizer {
                 row.clear();
                 offsets.push(flat.len() as u32);
             }
+            if time_docs {
+                if let Some(prev) = current_doc {
+                    doc_ns.push((prev, doc_t0.elapsed().as_nanos() as u64));
+                }
+            }
             tally = sink.tally();
         }
         ChunkOut {
@@ -507,7 +548,18 @@ impl Featurizer {
             delta,
             stats,
             tally,
+            doc_ns,
         }
+    }
+}
+
+/// Drain a chunk's worker-measured per-document times into the global
+/// DocTimings table. Called chunk-by-chunk in input order (and chunks are
+/// document-atomic), so table insertion order — and therefore cap
+/// eviction — is identical at every thread count.
+fn record_doc_ns(corpus: &Corpus, out: &mut ChunkOut) {
+    for (doc, ns) in out.doc_ns.drain(..) {
+        observe::doc_stage_ns(&corpus.doc(doc).name, "featurize", ns);
     }
 }
 

@@ -1,0 +1,173 @@
+//! Bounded per-document stage timings — the document-granular signal the
+//! stage-level spans cannot provide.
+//!
+//! Candidate extraction, featurization, and LF application each time their
+//! per-document work and record it here via [`doc_stage_ns`]. Callers on
+//! parallel paths measure inside the worker but **record in the input-order
+//! reduction**, so the set of retained documents (and therefore the table,
+//! up to timing noise) is deterministic at every thread count.
+//!
+//! The table is bounded: at most `FONDUER_DOC_TIMINGS_CAP` distinct
+//! documents (default 4096, `0` disables recording entirely); documents
+//! arriving after the cap are dropped and counted. [`doc_timings`] returns
+//! a sorted snapshot for the `RunReport` join.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// Default distinct-document cap.
+const DEFAULT_CAP: usize = 4096;
+/// Sentinel meaning "not yet resolved from the environment".
+const CAP_UNSET: usize = usize::MAX;
+
+static CAP: AtomicUsize = AtomicUsize::new(CAP_UNSET);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn store() -> &'static RwLock<HashMap<String, BTreeMap<&'static str, u64>>> {
+    static STORE: OnceLock<RwLock<HashMap<String, BTreeMap<&'static str, u64>>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// The active distinct-document cap (resolving `FONDUER_DOC_TIMINGS_CAP`
+/// on first use; default 4096).
+pub fn doc_timings_cap() -> usize {
+    let cap = CAP.load(Ordering::Relaxed);
+    if cap != CAP_UNSET {
+        return cap;
+    }
+    let resolved = std::env::var("FONDUER_DOC_TIMINGS_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_CAP);
+    CAP.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Override the cap programmatically (tests and embedders). `0` disables
+/// recording.
+pub fn set_doc_timings_cap(cap: usize) {
+    CAP.store(cap, Ordering::Relaxed);
+}
+
+/// Whether per-document timing is worth measuring at all (cap > 0). Stage
+/// loops consult this once before paying for per-document `Instant` reads.
+#[inline]
+pub fn doc_timings_enabled() -> bool {
+    doc_timings_cap() > 0
+}
+
+/// Add `ns` to `doc`'s accumulated time under `stage` (`"candgen"`,
+/// `"featurize"`, `"lf_apply"`). New documents beyond the cap are dropped
+/// and counted in [`doc_timings_dropped`].
+pub fn doc_stage_ns(doc: &str, stage: &'static str, ns: u64) {
+    let cap = doc_timings_cap();
+    if cap == 0 {
+        return;
+    }
+    // Common case: the document already has an entry (repeat stages or
+    // warm re-runs) — take only the read path's lock-free upgrade check.
+    {
+        let map = store().read();
+        if !map.contains_key(doc) && map.len() >= cap {
+            drop(map);
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    let mut map = store().write();
+    if !map.contains_key(doc) && map.len() >= cap {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let entry = map.entry(doc.to_string()).or_default();
+    let slot = entry.entry(stage).or_insert(0);
+    *slot = slot.saturating_add(ns);
+}
+
+/// One document's accumulated per-stage timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocTiming {
+    /// Document name.
+    pub doc: String,
+    /// Stage → accumulated nanoseconds.
+    pub stage_ns: BTreeMap<&'static str, u64>,
+}
+
+impl DocTiming {
+    /// Sum across stages, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns
+            .values()
+            .fold(0u64, |a, &v| a.saturating_add(v))
+    }
+}
+
+/// Snapshot of the table, sorted slowest-first (total ns desc, then doc
+/// name asc so the order is fully deterministic).
+pub fn doc_timings() -> Vec<DocTiming> {
+    let map = store().read();
+    let mut out: Vec<DocTiming> = map
+        .iter()
+        .map(|(doc, stages)| DocTiming {
+            doc: doc.clone(),
+            stage_ns: stages.clone(),
+        })
+        .collect();
+    drop(map);
+    out.sort_unstable_by(|a, b| {
+        b.total_ns()
+            .cmp(&a.total_ns())
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+    out
+}
+
+/// Documents dropped because the table was at capacity.
+pub fn doc_timings_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Clear the table and the drop counter (the cap is kept).
+pub(crate) fn reset() {
+    store().write().clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single test: the cap is process-global, so splitting these cases
+    /// across concurrently-run tests would race.
+    #[test]
+    fn record_cap_and_sort() {
+        let _l = crate::test_lock();
+        set_doc_timings_cap(8);
+        reset();
+        for i in 0..10 {
+            doc_stage_ns(&format!("doc{i}"), "candgen", (i as u64 + 1) * 100);
+        }
+        // Existing docs keep accumulating even at cap.
+        doc_stage_ns("doc0", "featurize", 50);
+        let snap = doc_timings();
+        assert_eq!(snap.len(), 8, "cap must bound distinct documents");
+        assert_eq!(doc_timings_dropped(), 2);
+        // Slowest-first, deterministic ordering.
+        assert_eq!(snap[0].doc, "doc7");
+        assert!(snap[0].total_ns() >= snap[1].total_ns());
+        let d0 = snap.iter().find(|d| d.doc == "doc0").expect("doc0 kept");
+        assert_eq!(d0.stage_ns["candgen"], 100);
+        assert_eq!(d0.stage_ns["featurize"], 50);
+        assert_eq!(d0.total_ns(), 150);
+
+        set_doc_timings_cap(0);
+        doc_stage_ns("doc99", "candgen", 1);
+        assert!(!doc_timings().iter().any(|d| d.doc == "doc99"));
+        assert!(!doc_timings_enabled());
+        set_doc_timings_cap(DEFAULT_CAP);
+        reset();
+    }
+}

@@ -1,0 +1,324 @@
+//! Per-invocation span events, thread identities, and cross-thread flow
+//! events — the raw material for tracing v2's Chrome exporter.
+//!
+//! The span *registry* ([`crate::snapshot`]) aggregates by dotted path and
+//! never grows with run length; this module is the complementary bounded
+//! event log: when enabled, every completed [`crate::SpanGuard`] appends one
+//! [`SpanEvent`] carrying its real start timestamp, duration, span id,
+//! parent span id, and the recording thread's stable `tid`. `fonduer-par`
+//! adds [`FlowEvent`] pairs (`flow_start` on the submitting thread,
+//! `flow_end` on the worker) so the Chrome exporter can draw
+//! submit→execute arrows across threads (`ph:"s"` / `ph:"f"`).
+//!
+//! Recording is off unless `FONDUER_TRACE=chrome` (the only consumer) or
+//! `FONDUER_SPAN_EVENTS=1` forces it on; [`set_span_events`] overrides both
+//! programmatically. The log is bounded by `FONDUER_SPAN_EVENTS_CAP`
+//! (default 65 536 events); beyond the cap events are dropped and counted,
+//! never reallocated unboundedly.
+//!
+//! Thread identity: threads are keyed by *label*, not OS thread id, so
+//! every pool execution's `par.worker.3` maps to the same `tid` and the
+//! trace shows one stable row per logical worker. Unlabeled threads record
+//! under the `main` label.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One completed span invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Full dotted path (including any cross-thread parent prefix).
+    pub path: String,
+    /// Stable thread id of the recording thread (see [`set_thread_label`]).
+    pub tid: u32,
+    /// Start offset from the process trace epoch, in microseconds.
+    pub start_us: u64,
+    /// Inclusive duration, in microseconds.
+    pub dur_us: u64,
+    /// Unique span id (process-wide, never reused).
+    pub id: u64,
+    /// Span id of the parent (`0` = root).
+    pub parent: u64,
+}
+
+/// One half of a cross-thread flow arrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Flow id shared by the start/finish pair.
+    pub id: u64,
+    /// Timestamp offset from the trace epoch, in microseconds.
+    pub ts_us: u64,
+    /// Thread the half was recorded on.
+    pub tid: u32,
+    /// `true` for the submitting side (`ph:"s"`), `false` for the
+    /// executing side (`ph:"f"`).
+    pub start: bool,
+}
+
+/// A point-in-time copy of the event log, consumed by the Chrome exporter.
+#[derive(Debug, Clone, Default)]
+pub struct SpanEvents {
+    /// Completed span invocations, in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Flow halves, in recording order.
+    pub flows: Vec<FlowEvent>,
+    /// Registered `(tid, label)` pairs, sorted by tid.
+    pub threads: Vec<(u32, String)>,
+    /// Events discarded after the cap was reached.
+    pub dropped: u64,
+}
+
+/// Process-wide trace epoch: all event timestamps are offsets from the
+/// first telemetry touch, so they are tiny, positive, and comparable
+/// across threads.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch.
+pub(crate) fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+// ------------------------------------------------------------- enablement
+
+/// 0 = unresolved, 1 = off, 2 = on.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether span/flow events are being recorded. Resolved once from the
+/// environment (`FONDUER_SPAN_EVENTS`, else on iff `FONDUER_TRACE=chrome`);
+/// [`set_span_events`] overrides.
+#[inline]
+pub fn span_events_enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => resolve_mode(),
+    }
+}
+
+#[cold]
+fn resolve_mode() -> bool {
+    let on = match std::env::var("FONDUER_SPAN_EVENTS") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        ),
+        Err(_) => crate::report::trace_mode() == crate::report::TraceMode::Chrome,
+    };
+    MODE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force span-event recording on or off (tests and embedders; normal runs
+/// resolve from the environment).
+pub fn set_span_events(on: bool) {
+    MODE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+fn cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("FONDUER_SPAN_EVENTS_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(65_536)
+    })
+}
+
+// ------------------------------------------------------------ thread ids
+
+struct ThreadRegistry {
+    by_label: HashMap<String, u32>,
+    labels: Vec<(u32, String)>,
+    next: u32,
+}
+
+fn threads() -> &'static Mutex<ThreadRegistry> {
+    static THREADS: OnceLock<Mutex<ThreadRegistry>> = OnceLock::new();
+    THREADS.get_or_init(|| {
+        Mutex::new(ThreadRegistry {
+            by_label: HashMap::new(),
+            labels: Vec::new(),
+            next: 1,
+        })
+    })
+}
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+fn tid_for_label(label: &str) -> u32 {
+    let mut reg = threads().lock();
+    if let Some(&t) = reg.by_label.get(label) {
+        return t;
+    }
+    let t = reg.next;
+    reg.next += 1;
+    reg.by_label.insert(label.to_string(), t);
+    reg.labels.push((t, label.to_string()));
+    t
+}
+
+/// Name the calling thread for trace output. Threads sharing a label share
+/// a `tid`, so every pool run's `par.worker.N` lands on one stable
+/// Perfetto row regardless of which OS thread backed it.
+pub fn set_thread_label(label: &str) {
+    TID.with(|t| t.set(tid_for_label(label)));
+}
+
+/// The calling thread's stable tid, registering it under `main` if it was
+/// never labeled.
+pub(crate) fn current_tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = tid_for_label("main");
+        t.set(v);
+        v
+    })
+}
+
+// -------------------------------------------------------------- the log
+
+struct EventLog {
+    spans: Vec<SpanEvent>,
+    flows: Vec<FlowEvent>,
+}
+
+fn log() -> &'static Mutex<EventLog> {
+    static LOG: OnceLock<Mutex<EventLog>> = OnceLock::new();
+    LOG.get_or_init(|| {
+        Mutex::new(EventLog {
+            spans: Vec::new(),
+            flows: Vec::new(),
+        })
+    })
+}
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_FLOW: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn record_span_event(path: &str, start_us: u64, dur_us: u64, id: u64, parent: u64) {
+    let tid = current_tid();
+    let mut log = log().lock();
+    if log.spans.len() >= cap() {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    log.spans.push(SpanEvent {
+        path: path.to_string(),
+        tid,
+        start_us,
+        dur_us,
+        id,
+        parent,
+    });
+}
+
+/// Open a flow on the calling (submitting) thread and return its id, or
+/// `0` when event recording is off. The executing side closes the arrow
+/// with [`flow_end`].
+pub fn flow_start() -> u64 {
+    if !span_events_enabled() {
+        return 0;
+    }
+    let id = NEXT_FLOW.fetch_add(1, Ordering::Relaxed);
+    let ev = FlowEvent {
+        id,
+        ts_us: now_us(),
+        tid: current_tid(),
+        start: true,
+    };
+    let mut log = log().lock();
+    if log.flows.len() >= cap() {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return 0;
+    }
+    log.flows.push(ev);
+    id
+}
+
+/// Close a flow opened with [`flow_start`] on the calling (executing)
+/// thread. `id = 0` (recording disabled at start time) is a no-op.
+pub fn flow_end(id: u64) {
+    if id == 0 {
+        return;
+    }
+    let ev = FlowEvent {
+        id,
+        ts_us: now_us(),
+        tid: current_tid(),
+        start: false,
+    };
+    let mut log = log().lock();
+    if log.flows.len() >= cap() {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    log.flows.push(ev);
+}
+
+/// Copy the current event log (spans, flows, thread labels, drop count).
+pub fn span_events() -> SpanEvents {
+    let log = log().lock();
+    let mut threads = threads().lock().labels.clone();
+    threads.sort_unstable_by_key(|&(t, _)| t);
+    SpanEvents {
+        spans: log.spans.clone(),
+        flows: log.flows.clone(),
+        threads,
+        dropped: DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+/// Clear the event log (thread labels are kept: the threads still exist).
+pub(crate) fn reset() {
+    let mut log = log().lock();
+    log.spans.clear();
+    log.flows.clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_labels_are_stable() {
+        let a = tid_for_label("events_t.worker.0");
+        let b = tid_for_label("events_t.worker.1");
+        assert_ne!(a, b);
+        assert_eq!(a, tid_for_label("events_t.worker.0"));
+    }
+
+    /// One test (not several) because enablement is a process-wide toggle:
+    /// concurrent tests flipping it would race each other.
+    #[test]
+    fn flow_lifecycle() {
+        let _l = crate::test_lock();
+        set_span_events(false);
+        assert_eq!(flow_start(), 0);
+        flow_end(0); // must not record or panic
+
+        set_span_events(true);
+        let id = flow_start();
+        assert_ne!(id, 0);
+        flow_end(id);
+        let evs = span_events();
+        let halves: Vec<_> = evs.flows.iter().filter(|f| f.id == id).collect();
+        assert_eq!(halves.len(), 2);
+        assert!(halves[0].start && !halves[1].start);
+        assert!(halves[1].ts_us >= halves[0].ts_us);
+        set_span_events(false);
+    }
+}

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::events::SpanEvents;
 use crate::json;
 use crate::registry::Snapshot;
 
@@ -65,6 +66,105 @@ pub fn render_chrome_trace(snap: &Snapshot) -> String {
             "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\
              \"args\":{{\"value\":{v}}}}}",
             json::escape(name),
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        events.join(",\n")
+    )
+}
+
+/// Render a Chrome `trace_event` document from real per-invocation span
+/// events (tracing v2), falling back to the aggregate layout of
+/// [`render_chrome_trace`] when the event log is empty (recording was off).
+///
+/// Differences from the aggregate view:
+///
+/// * Every span invocation is its own `"X"` event with its **real** start
+///   time and duration, on the **real** recording thread's stable `tid`.
+///   Timestamps are clamped non-decreasing per `tid` so traces load
+///   cleanly in Perfetto even when two invocations round to the same µs.
+/// * Each thread gets a `thread_name` metadata event (`main`,
+///   `par.worker.N`, ...), so worker rows are named.
+/// * Cross-thread flow halves render as `"s"`/`"f"` events sharing an
+///   `id`, drawing submit→execute arrows between the submitting stage's
+///   slice and the worker's slice.
+/// * `args` carries the span's dotted `path`, its `id`, and its `parent`
+///   span id, making cross-thread parentage queryable from the JSON.
+pub fn render_chrome_trace_with(snap: &Snapshot, ev: &SpanEvents) -> String {
+    if ev.spans.is_empty() {
+        return render_chrome_trace(snap);
+    }
+    let mut events: Vec<String> =
+        Vec::with_capacity(ev.spans.len() + ev.flows.len() + ev.threads.len() + 2);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"fonduer\"}}"
+            .to_string(),
+    );
+    for (tid, label) in &ev.threads {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json::escape(label),
+        ));
+    }
+    // Per-tid ordering and monotonic clamp: sort by (start asc, dur desc)
+    // so enclosing spans precede the spans they contain, then never let a
+    // ts move backwards on its thread.
+    let mut order: Vec<usize> = (0..ev.spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, sb) = (&ev.spans[a], &ev.spans[b]);
+        sa.tid
+            .cmp(&sb.tid)
+            .then(sa.start_us.cmp(&sb.start_us))
+            .then(sb.dur_us.cmp(&sa.dur_us))
+    });
+    let mut last_ts: HashMap<u32, u64> = HashMap::new();
+    for i in order {
+        let s = &ev.spans[i];
+        let floor = last_ts.entry(s.tid).or_insert(0);
+        let ts = s.start_us.max(*floor);
+        *floor = ts;
+        let leaf = s.path.rsplit('.').next().unwrap_or(&s.path);
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"path\":\"{}\",\"id\":{},\"parent\":{}}}}}",
+            json::escape(leaf),
+            s.dur_us,
+            s.tid,
+            json::escape(&s.path),
+            s.id,
+            s.parent,
+        ));
+    }
+    for f in &ev.flows {
+        if f.start {
+            events.push(format!(
+                "{{\"name\":\"par.task\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\
+                 \"ts\":{},\"pid\":1,\"tid\":{}}}",
+                f.id, f.ts_us, f.tid,
+            ));
+        } else {
+            events.push(format!(
+                "{{\"name\":\"par.task\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                 \"id\":{},\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                f.id, f.ts_us, f.tid,
+            ));
+        }
+    }
+    for (name, v) in &snap.counters {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\
+             \"args\":{{\"value\":{v}}}}}",
+            json::escape(name),
+        ));
+    }
+    if ev.dropped > 0 {
+        events.push(format!(
+            "{{\"name\":\"span_events_dropped\",\"ph\":\"I\",\"ts\":0,\"pid\":1,\
+             \"tid\":1,\"s\":\"g\",\"args\":{{\"count\":{}}}}}",
+            ev.dropped,
         ));
     }
     format!(
@@ -305,6 +405,143 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("name").and_then(Value::as_str) == Some("hostile\"name")));
+    }
+
+    /// A hand-built event log (tracing v2) — like `snap()`, no global state.
+    fn span_events() -> crate::SpanEvents {
+        use crate::{FlowEvent, SpanEvent};
+        crate::SpanEvents {
+            spans: vec![
+                SpanEvent {
+                    path: "featurize".into(),
+                    tid: 1,
+                    start_us: 10,
+                    dur_us: 500,
+                    id: 1,
+                    parent: 0,
+                },
+                // Same tid, start rounded slightly earlier than its
+                // enclosing span: per-tid output must stay sorted.
+                SpanEvent {
+                    path: "featurize.prepare".into(),
+                    tid: 1,
+                    start_us: 8,
+                    dur_us: 20,
+                    id: 2,
+                    parent: 1,
+                },
+                SpanEvent {
+                    path: "featurize.par.worker".into(),
+                    tid: 2,
+                    start_us: 40,
+                    dur_us: 300,
+                    id: 3,
+                    parent: 1,
+                },
+            ],
+            flows: vec![
+                FlowEvent {
+                    id: 7,
+                    ts_us: 35,
+                    tid: 1,
+                    start: true,
+                },
+                FlowEvent {
+                    id: 7,
+                    ts_us: 41,
+                    tid: 2,
+                    start: false,
+                },
+            ],
+            threads: vec![(1, "main".into()), (2, "par.worker.0".into())],
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_v2_threads_flows_and_monotonic_ts() {
+        let out = render_chrome_trace_with(&snap(), &span_events());
+        let v = crate::json::parse(&out).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+
+        // Thread metadata names both tids.
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(thread_names.contains(&"main") && thread_names.contains(&"par.worker.0"));
+
+        // Real per-invocation X events carry tid + parent span id.
+        let worker = events
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("path"))
+                    .and_then(Value::as_str)
+                    == Some("featurize.par.worker")
+            })
+            .expect("worker span event");
+        assert_eq!(worker.get("tid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            worker.get("args").unwrap().get("parent").unwrap().as_f64(),
+            Some(1.0)
+        );
+
+        // ts is non-decreasing per tid even though prepare "started" at 8µs.
+        let mut per_tid: HashMap<u64, Vec<u64>> = HashMap::new();
+        for e in events {
+            if e.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+            per_tid
+                .entry(tid)
+                .or_default()
+                .push(e.get("ts").unwrap().as_f64().unwrap() as u64);
+        }
+        for (tid, ts) in &per_tid {
+            assert!(
+                ts.windows(2).all(|w| w[1] >= w[0]),
+                "tid {tid} timestamps regress: {ts:?}"
+            );
+        }
+        // Sorting by start places prepare (8µs) before featurize (10µs);
+        // the per-tid floor then never lets a ts regress.
+        assert_eq!(per_tid[&1], vec![8, 10]);
+
+        // Flow halves share an id and use s / f(bp:e) phases.
+        let flows: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(flows[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(flows[1].get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(
+            flows[0].get("id").unwrap().as_f64(),
+            flows[1].get("id").unwrap().as_f64()
+        );
+
+        // Dropped-event marker present.
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(Value::as_str) == Some("span_events_dropped")
+                && e.get("args")
+                    .and_then(|a| a.get("count"))
+                    .and_then(Value::as_f64)
+                    == Some(3.0)
+        }));
+    }
+
+    #[test]
+    fn chrome_trace_v2_empty_events_falls_back_to_aggregate() {
+        let s = snap();
+        let out = render_chrome_trace_with(&s, &crate::SpanEvents::default());
+        assert_eq!(out, render_chrome_trace(&s));
     }
 
     #[test]

@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 
+mod doc_timings;
+mod events;
 mod export;
 mod hist;
 pub mod json;
@@ -37,7 +39,17 @@ mod registry;
 mod report;
 mod span;
 
-pub use export::{render_chrome_trace, render_prometheus, validate_prometheus};
+pub use doc_timings::{
+    doc_stage_ns, doc_timings, doc_timings_cap, doc_timings_dropped, doc_timings_enabled,
+    set_doc_timings_cap, DocTiming,
+};
+pub use events::{
+    flow_end, flow_start, set_span_events, set_thread_label, span_events, span_events_enabled,
+    FlowEvent, SpanEvent, SpanEvents,
+};
+pub use export::{
+    render_chrome_trace, render_chrome_trace_with, render_prometheus, validate_prometheus,
+};
 pub use hist::{Histogram, HistogramSummary};
 pub use provenance::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
 pub use registry::{
@@ -47,7 +59,16 @@ pub use report::{
     emit_report, render, render_human, render_jsonl, trace_mode, trace_out_path, write_report,
     TraceMode,
 };
-pub use span::{span, timed, SpanGuard};
+pub use span::{current_context, span, timed, ContextGuard, SpanContext, SpanGuard};
+
+/// Serializes unit tests that call [`reset`] or depend on process-global
+/// span state: `reset()` bumps the span-stack epoch, invalidating *every*
+/// thread's open spans, so such tests cannot overlap.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[cfg(test)]
 mod tests {
@@ -55,6 +76,7 @@ mod tests {
 
     #[test]
     fn counters_sum_across_threads() {
+        let _l = test_lock();
         reset();
         const THREADS: usize = 8;
         const PER_THREAD: u64 = 10_000;
@@ -81,6 +103,7 @@ mod tests {
 
     #[test]
     fn spans_aggregate_across_threads() {
+        let _l = test_lock();
         const THREADS: usize = 4;
         const PER_THREAD: usize = 50;
         std::thread::scope(|s| {
@@ -100,6 +123,7 @@ mod tests {
 
     #[test]
     fn histograms_record_across_threads() {
+        let _l = test_lock();
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 s.spawn(move || {
@@ -118,6 +142,7 @@ mod tests {
 
     #[test]
     fn gauge_last_write_wins() {
+        let _l = test_lock();
         gauge_set("gauge_t.loss", 0.75);
         gauge_set("gauge_t.loss", 0.25);
         assert_eq!(gauge_get("gauge_t.loss"), Some(0.25));

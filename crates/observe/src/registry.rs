@@ -211,10 +211,12 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-/// Clear every registered metric, the calling thread's open-span stack, and
-/// the provenance log. Intended for tests and for separating repeated
-/// benchmark runs; concurrent writers that cached a [`Counter`] handle keep
-/// writing into the detached atomic, which is harmless.
+/// Clear every registered metric, every thread's open-span stack (via an
+/// epoch bump — pooled threads discard stale frames on their next span),
+/// the span-event log, the per-document timing table, and the provenance
+/// log. Intended for tests and for separating repeated benchmark runs;
+/// concurrent writers that cached a [`Counter`] handle keep writing into
+/// the detached atomic, which is harmless.
 pub fn reset() {
     let reg = registry();
     reg.counters.write().clear();
@@ -222,5 +224,7 @@ pub fn reset() {
     reg.histograms.write().clear();
     reg.spans.write().clear();
     crate::span::clear_stack();
+    crate::events::reset();
+    crate::doc_timings::reset();
     crate::provenance::reset();
 }

@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use crate::export::{render_chrome_trace, render_prometheus};
+use crate::export::{render_chrome_trace_with, render_prometheus};
 use crate::json;
 use crate::registry::{snapshot, Snapshot};
 
@@ -176,7 +176,10 @@ pub fn render_jsonl(snap: &Snapshot) -> String {
 
 /// Render the current registry state in the given mode (empty for `Off`).
 /// `Json` appends the provenance flight-recorder lines after the metric
-/// lines; `Chrome` and `Prometheus` render spans/metrics only.
+/// lines; `Chrome` renders real per-invocation span events (with thread
+/// rows and flow arrows) when the event log recorded any, falling back to
+/// the aggregate flame layout otherwise; `Prometheus` renders
+/// spans/metrics only.
 pub fn render(mode: TraceMode) -> String {
     match mode {
         TraceMode::Off => String::new(),
@@ -186,7 +189,7 @@ pub fn render(mode: TraceMode) -> String {
             out.push_str(&crate::provenance::render_jsonl());
             out
         }
-        TraceMode::Chrome => render_chrome_trace(&snapshot()),
+        TraceMode::Chrome => render_chrome_trace_with(&snapshot(), &crate::events::span_events()),
         TraceMode::Prometheus => render_prometheus(&snapshot()),
     }
 }

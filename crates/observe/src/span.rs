@@ -1,19 +1,76 @@
-//! Hierarchical span timers with RAII guards.
+//! Hierarchical span timers with RAII guards and cross-thread context
+//! propagation.
 //!
 //! A span is opened with [`crate::span`] (or the `span!` macro) and closed
 //! when its guard drops. Nesting is tracked per thread: opening `"candgen"`
 //! while `"run_task"` is active records under the dotted path
 //! `run_task.candgen`. Aggregation is by path, so repeated invocations of
 //! the same stage fold into one [`crate::SpanSummary`].
+//!
+//! Tracing v2 additions:
+//!
+//! * Every open span carries a process-unique **span id**; when the event
+//!   log is enabled (see [`crate::set_span_events`]) each completed guard
+//!   also appends a [`crate::SpanEvent`] with its real start time, id, and
+//!   parent id, giving the Chrome exporter per-invocation causality.
+//! * [`SpanContext`] captures the calling thread's innermost open span
+//!   (path + id). `fonduer-par` captures it at submit time and
+//!   [`SpanContext::install`]s it inside each worker task, so worker spans
+//!   parent under the submitting stage instead of floating as roots.
+//! * The per-thread stack is **epoch-stamped**: [`crate::reset`] bumps a
+//!   global epoch instead of clearing only the calling thread's stack, so
+//!   a pooled thread that held a stale frame across a reset drops it the
+//!   next time it opens a span.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::events;
 use crate::registry::span_stat;
 
+/// One open span on a thread's stack.
+struct Frame {
+    path: String,
+    id: u64,
+}
+
+/// Per-thread stack of open spans, stamped with the reset epoch it was
+/// built under. A mismatch with [`RESET_EPOCH`] means a reset happened
+/// since the frames were pushed: they are stale and must be discarded.
+struct SpanStack {
+    epoch: u64,
+    frames: Vec<Frame>,
+}
+
 thread_local! {
-    /// Stack of currently-open span names on this thread.
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<SpanStack> = const {
+        RefCell::new(SpanStack {
+            epoch: 0,
+            frames: Vec::new(),
+        })
+    };
+}
+
+/// Global reset epoch. Bumped by [`crate::reset`]; every thread-local
+/// stack lazily discards frames from older epochs.
+static RESET_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide span id allocator (`0` is reserved for "no parent").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Run `f` against this thread's span stack, first discarding frames left
+/// over from before the last [`crate::reset`].
+fn with_stack<T>(f: impl FnOnce(&mut SpanStack) -> T) -> T {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let epoch = RESET_EPOCH.load(Ordering::Relaxed);
+        if stack.epoch != epoch {
+            stack.frames.clear();
+            stack.epoch = epoch;
+        }
+        f(&mut stack)
+    })
 }
 
 /// RAII guard for an open span; records elapsed time on drop.
@@ -22,25 +79,34 @@ pub struct SpanGuard {
     start: Instant,
     /// Depth this guard pushed at, to tolerate out-of-order drops.
     depth: usize,
+    /// This span's process-unique id.
+    id: u64,
+    /// Parent span id (`0` = root).
+    parent: u64,
 }
 
 /// Open a span named `name`, nested under any span already open on this
 /// thread. The span closes (and its duration is recorded) when the returned
 /// guard is dropped.
 pub fn span(name: &str) -> SpanGuard {
-    let (path, depth) = SPAN_STACK.with(|stack| {
-        let mut stack = stack.borrow_mut();
-        let path = match stack.last() {
-            Some(parent) => format!("{parent}.{name}"),
-            None => name.to_string(),
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (path, depth, parent) = with_stack(|stack| {
+        let (path, parent) = match stack.frames.last() {
+            Some(top) => (format!("{}.{name}", top.path), top.id),
+            None => (name.to_string(), 0),
         };
-        stack.push(path.clone());
-        (path, stack.len())
+        stack.frames.push(Frame {
+            path: path.clone(),
+            id,
+        });
+        (path, stack.frames.len(), parent)
     });
     SpanGuard {
         path,
         start: Instant::now(),
         depth,
+        id,
+        parent,
     }
 }
 
@@ -49,13 +115,19 @@ impl SpanGuard {
     pub fn path(&self) -> &str {
         &self.path
     }
+
+    /// This span's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
-/// Clear this thread's open-span stack. Called from [`crate::reset`] so a
-/// `SpanGuard` leaked across a reset (e.g. via `mem::forget` in a test)
-/// cannot attach subsequent spans to a stale parent path.
+/// Clear this thread's open-span stack. Called from [`crate::reset`] for
+/// the resetting thread itself; all *other* threads' stacks are invalidated
+/// by the epoch bump and clear themselves on next use.
 pub(crate) fn clear_stack() {
-    SPAN_STACK.with(|stack| stack.borrow_mut().clear());
+    RESET_EPOCH.fetch_add(1, Ordering::Relaxed);
+    with_stack(|_| {});
 }
 
 impl Drop for SpanGuard {
@@ -69,13 +141,97 @@ impl Drop for SpanGuard {
             .fetch_add(us, std::sync::atomic::Ordering::Relaxed);
         stat.max_us
             .fetch_max(us, std::sync::atomic::Ordering::Relaxed);
-        SPAN_STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
+        if events::span_events_enabled() {
+            let start_us = events::now_us().saturating_sub(us);
+            events::record_span_event(&self.path, start_us, us, self.id, self.parent);
+        }
+        with_stack(|stack| {
             // Normal case: we are the innermost open span. If guards were
             // dropped out of declaration order, truncate to our depth so the
             // stack cannot grow unboundedly.
-            if stack.len() >= self.depth {
-                stack.truncate(self.depth - 1);
+            if stack.frames.len() >= self.depth {
+                stack.frames.truncate(self.depth - 1);
+            }
+        });
+    }
+}
+
+/// A capture of the calling thread's innermost open span, for re-installing
+/// on another thread.
+///
+/// `fonduer-par` captures one at `map`/`chunks` submit time and installs it
+/// inside each worker task; spans the worker opens then nest under the
+/// submitting stage's dotted path and parent id, so the Chrome trace shows
+/// `featurize.featurize_corpus.par.worker` on the worker's row instead of
+/// an orphaned `par.worker` root.
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext {
+    /// Dotted path of the captured span (`None` = nothing was open).
+    path: Option<String>,
+    /// Span id of the captured span (`0` = nothing was open).
+    span_id: u64,
+}
+
+/// Capture the calling thread's innermost open span (path + id). Returns an
+/// empty context (still installable; installs are then no-ops) when no span
+/// is open.
+pub fn current_context() -> SpanContext {
+    with_stack(|stack| match stack.frames.last() {
+        Some(top) => SpanContext {
+            path: Some(top.path.clone()),
+            span_id: top.id,
+        },
+        None => SpanContext::default(),
+    })
+}
+
+impl SpanContext {
+    /// True when this context carries a captured span.
+    pub fn is_some(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The captured span's id (`0` when empty).
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Re-install this context on the calling thread for the lifetime of
+    /// the returned guard: spans opened while it is held nest under the
+    /// captured path/id exactly as if they had been opened on the
+    /// submitting thread. The mirror frame records no stats or events of
+    /// its own. Empty contexts install as a no-op guard.
+    pub fn install(&self) -> ContextGuard {
+        let depth = match &self.path {
+            Some(path) => with_stack(|stack| {
+                stack.frames.push(Frame {
+                    path: path.clone(),
+                    id: self.span_id,
+                });
+                stack.frames.len()
+            }),
+            None => 0,
+        };
+        ContextGuard { depth }
+    }
+}
+
+/// RAII guard for an installed [`SpanContext`]; removes the mirror frame on
+/// drop.
+pub struct ContextGuard {
+    /// Stack depth of the mirror frame, or `0` for a no-op guard.
+    depth: usize,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        let depth = self.depth;
+        with_stack(|stack| {
+            if stack.frames.len() >= depth {
+                stack.frames.truncate(depth - 1);
             }
         });
     }
@@ -113,7 +269,7 @@ mod tests {
 
     #[test]
     fn nesting_builds_dotted_paths() {
-        crate::reset();
+        let _l = crate::test_lock();
         {
             let _outer = span("outer_t");
             std::thread::sleep(Duration::from_millis(2));
@@ -147,11 +303,61 @@ mod tests {
         assert_eq!(v, 42);
     }
 
+    #[test]
+    fn span_ids_are_unique_and_parented() {
+        let _l = crate::test_lock();
+        let outer = span("ids_outer_t");
+        let outer_id = outer.id();
+        assert_ne!(outer_id, 0);
+        let inner = span("ids_inner_t");
+        assert_ne!(inner.id(), outer_id);
+        assert_eq!(inner.parent, outer_id);
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn context_install_reparents_spans() {
+        let _l = crate::test_lock();
+        let parent = span("ctx_parent_t");
+        let ctx = current_context();
+        assert!(ctx.is_some());
+        assert_eq!(ctx.span_id(), parent.id());
+        let path_in_worker = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = ctx.install();
+                let child = span("ctx_child_t");
+                assert_eq!(child.parent, ctx.span_id());
+                child.path().to_string()
+            })
+            .join()
+            .expect("worker thread")
+        });
+        assert_eq!(path_in_worker, "ctx_parent_t.ctx_child_t");
+        // After install-guard drop, the worker stack was popped; on this
+        // thread the parent is still the innermost span.
+        let here = span("ctx_after_t");
+        assert_eq!(here.path(), "ctx_parent_t.ctx_after_t");
+        drop(here);
+        drop(parent);
+    }
+
+    #[test]
+    fn empty_context_installs_as_noop() {
+        let _l = crate::test_lock();
+        let ctx = SpanContext::default();
+        assert!(!ctx.is_some());
+        let _g = ctx.install();
+        let root = span("ctx_noop_t");
+        assert_eq!(root.path(), "ctx_noop_t");
+    }
+
     /// Regression (ISSUE 2 satellite): a guard leaked across `reset()` must
     /// not leave its path on the thread-local stack, or every later span on
     /// this thread would nest under a parent that no longer exists.
     #[test]
     fn reset_clears_leaked_span_stack() {
+        let _l = crate::test_lock();
         let leaked = span("stale_parent_t");
         std::mem::forget(leaked);
         crate::reset();
@@ -162,5 +368,32 @@ mod tests {
             "span attached to a stale parent after reset"
         );
         drop(fresh);
+    }
+
+    /// ISSUE 6 satellite: `reset()` on one thread must invalidate *other*
+    /// threads' stale frames too (epoch-based reset). A pooled thread that
+    /// leaked a frame, then observed a reset, must not attach later spans
+    /// to the stale parent.
+    #[test]
+    fn reset_invalidates_other_threads_stacks() {
+        let _l = crate::test_lock();
+        let (leaked_tx, leaked_rx) = std::sync::mpsc::channel();
+        let (reset_tx, reset_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            std::mem::forget(span("other_thread_stale_t"));
+            leaked_tx.send(()).expect("send leak signal");
+            reset_rx.recv().expect("wait for reset");
+            // First span after the cross-thread reset: stale frame gone.
+            let fresh = span("other_thread_fresh_t");
+            fresh.path().to_string()
+        });
+        leaked_rx.recv().expect("worker leaked a span");
+        crate::reset();
+        reset_tx.send(()).expect("signal reset done");
+        let path = worker.join().expect("worker thread");
+        assert_eq!(
+            path, "other_thread_fresh_t",
+            "epoch reset failed to clear another thread's stack"
+        );
     }
 }

@@ -44,10 +44,25 @@
 //! ## Telemetry
 //!
 //! Each execution bumps the `par.tasks` counter by the number of tasks it
-//! scheduled and `par.steals` by the number of tasks that ran on a worker
-//! other than the one they were assigned to. Worker threads run inside a
-//! `par.worker` span, so per-worker wall time is merged into the
-//! `fonduer-observe` span registry alongside the pipeline stages.
+//! scheduled, `par.steals` by the number of tasks that ran on a worker
+//! other than the one they were assigned to, and `par.local_hits` by the
+//! tasks served from the worker's own queue. Per-worker busy and idle
+//! time land in the `par.worker_busy_us` / `par.worker_idle_us`
+//! histograms, queue depth is sampled into `par.queue_depth` at every
+//! steal point, and each execution publishes a `par.utilization` gauge
+//! (busy time ÷ workers × wall time) plus `par.workers`.
+//!
+//! ## Cross-thread tracing
+//!
+//! `run` captures the calling thread's [`observe::SpanContext`] at submit
+//! time and re-installs it inside every worker, so the `par.worker` span
+//! nests under the submitting stage's dotted path (e.g.
+//! `featurize.featurize_corpus.par.worker`) with correct parent span ids
+//! in the Chrome trace. Workers label themselves `par.worker.N` — a
+//! stable trace `tid` per logical worker — and each submit→execute edge
+//! is recorded as a flow-event pair (`observe::flow_start` on the caller,
+//! `observe::flow_end` on the worker) that Perfetto draws as an arrow
+//! across threads.
 //!
 //! ## Panics
 //!
@@ -61,6 +76,7 @@
 use crossbeam::deque::{Steal, Stealer, Worker};
 use fonduer_observe as observe;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Effective thread count for a requested one.
 ///
@@ -204,7 +220,16 @@ impl Pool {
                 q.push(i);
             }
         }
+        // Capture the submitting thread's span context once; every worker
+        // re-installs it so its `par.worker` span nests under the stage
+        // that scheduled the work. One flow pair per worker connects the
+        // submit point to the worker's execution in the Chrome trace.
+        let ctx = observe::current_context();
+        let flows: Vec<u64> = (0..workers).map(|_| observe::flow_start()).collect();
         let steals = AtomicU64::new(0);
+        let local_hits = AtomicU64::new(0);
+        let busy_ns_total = AtomicU64::new(0);
+        let run_start = Instant::now();
         let mut partials: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
         crossbeam::scope(|s| {
             let handles: Vec<_> = queues
@@ -213,16 +238,33 @@ impl Pool {
                 .map(|(w, q)| {
                     let stealers = &stealers;
                     let steals = &steals;
+                    let local_hits = &local_hits;
+                    let busy_ns_total = &busy_ns_total;
+                    let ctx = &ctx;
+                    let flow = flows[w];
                     s.spawn(move |_| {
+                        observe::set_thread_label(&format!("par.worker.{w}"));
+                        let _ctx = ctx.install();
+                        observe::flow_end(flow);
+                        let worker_start = Instant::now();
                         let _span = observe::span("par.worker");
+                        let mut busy_ns = 0u64;
+                        let mut locals = 0u64;
                         let mut out: Vec<(usize, T)> = Vec::new();
                         loop {
                             // Own queue first (locality), then steal the
                             // oldest task from the next sibling over.
                             if let Some(i) = q.pop() {
+                                locals += 1;
+                                let t0 = Instant::now();
                                 out.push((i, task(i)));
+                                busy_ns += t0.elapsed().as_nanos() as u64;
                                 continue;
                             }
+                            // Steal point: sample the total queued backlog
+                            // before raiding the siblings.
+                            let depth: usize = stealers.iter().map(|st| st.len()).sum();
+                            observe::hist_record("par.queue_depth", depth as u64);
                             let mut stole = false;
                             let mut retry = true;
                             while retry {
@@ -231,7 +273,9 @@ impl Pool {
                                     match stealers[(w + d) % stealers.len()].steal() {
                                         Steal::Success(i) => {
                                             steals.fetch_add(1, Ordering::Relaxed);
+                                            let t0 = Instant::now();
                                             out.push((i, task(i)));
+                                            busy_ns += t0.elapsed().as_nanos() as u64;
                                             stole = true;
                                             retry = false;
                                             break;
@@ -245,6 +289,14 @@ impl Pool {
                                 break; // every queue drained
                             }
                         }
+                        local_hits.fetch_add(locals, Ordering::Relaxed);
+                        busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
+                        let wall_ns = worker_start.elapsed().as_nanos() as u64;
+                        observe::hist_record("par.worker_busy_us", busy_ns / 1_000);
+                        observe::hist_record(
+                            "par.worker_idle_us",
+                            wall_ns.saturating_sub(busy_ns) / 1_000,
+                        );
                         out
                     })
                 })
@@ -261,6 +313,15 @@ impl Pool {
         })
         .expect("par scope");
         observe::counter("par.steals", steals.load(Ordering::Relaxed));
+        observe::counter("par.local_hits", local_hits.load(Ordering::Relaxed));
+        // Utilization: fraction of the workers' combined wall budget spent
+        // inside tasks. Last-write-wins, i.e. it describes the most recent
+        // execution (the RunReport snapshots it right after a stage).
+        let wall_ns = (run_start.elapsed().as_nanos() as u64).max(1);
+        let utilization =
+            busy_ns_total.load(Ordering::Relaxed) as f64 / (wall_ns as f64 * workers as f64);
+        observe::gauge_set("par.utilization", utilization.min(1.0));
+        observe::gauge_set("par.workers", workers as f64);
         // Scatter back into input order: the determinism contract.
         let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
         for (i, v) in partials.into_iter().flatten() {
@@ -436,6 +497,23 @@ mod tests {
         assert!(msg.contains("task 17 exploded"), "payload: {msg}");
         // The pool is still usable after a panicked execution.
         assert_eq!(pool.par_map(&[1u32, 2, 3], |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn telemetry_gauges_and_histograms_publish() {
+        let pool = Pool { n_threads: 3 };
+        let items: Vec<u32> = (0..64).collect();
+        pool.par_map(&items, |&x| x.wrapping_mul(3));
+        let snap = observe::snapshot();
+        let util = snap.gauges.get("par.utilization").copied();
+        // Other tests' pools race on the last-write-wins gauge, so only
+        // assert presence and range, not the exact value of this run.
+        assert!(util.is_some_and(|u| (0.0..=1.0).contains(&u)), "{util:?}");
+        assert!(snap.gauges.contains_key("par.workers"));
+        assert!(snap.histograms.contains_key("par.worker_busy_us"));
+        assert!(snap.histograms.contains_key("par.worker_idle_us"));
+        assert!(snap.histograms.contains_key("par.queue_depth"));
+        assert!(snap.counter("par.local_hits") + snap.counter("par.steals") >= 64);
     }
 
     #[test]

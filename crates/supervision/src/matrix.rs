@@ -4,7 +4,7 @@
 
 use crate::lf::LabelingFunction;
 use fonduer_candidates::CandidateSet;
-use fonduer_datamodel::Corpus;
+use fonduer_datamodel::{Corpus, DocId};
 
 /// Dense label matrix: `n` candidates × `l` labeling functions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,9 +27,23 @@ impl LabelMatrix {
     /// Apply a LF library to every candidate.
     pub fn apply(lfs: &[&LabelingFunction], corpus: &Corpus, cands: &CandidateSet) -> Self {
         let _span = fonduer_observe::span("lf_apply");
+        let time_docs = fonduer_observe::doc_timings_enabled();
+        let mut current_doc: Option<DocId> = None;
+        let mut doc_t0 = std::time::Instant::now();
         let mut m = Self::zeros(cands.len(), lfs.len());
         let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
         for (i, cand) in cands.candidates.iter().enumerate() {
+            if time_docs && current_doc != Some(cand.doc) {
+                if let Some(prev) = current_doc {
+                    fonduer_observe::doc_stage_ns(
+                        &corpus.doc(prev).name,
+                        "lf_apply",
+                        doc_t0.elapsed().as_nanos() as u64,
+                    );
+                }
+                doc_t0 = std::time::Instant::now();
+                current_doc = Some(cand.doc);
+            }
             let doc = corpus.doc(cand.doc);
             for (j, lf) in lfs.iter().enumerate() {
                 let v = lf.label(doc, cand);
@@ -39,6 +53,15 @@ impl LabelMatrix {
                     _ => abstain += 1,
                 }
                 m.set(i, j, v);
+            }
+        }
+        if time_docs {
+            if let Some(prev) = current_doc {
+                fonduer_observe::doc_stage_ns(
+                    &corpus.doc(prev).name,
+                    "lf_apply",
+                    doc_t0.elapsed().as_nanos() as u64,
+                );
             }
         }
         fonduer_observe::counter("supervision.votes.positive", pos);
@@ -71,12 +94,25 @@ impl LabelMatrix {
             return Self::apply(lfs, corpus, cands);
         }
         let _span = fonduer_observe::span("lf_apply");
+        let time_docs = fonduer_observe::doc_timings_enabled();
         let n_cols = lfs.len();
-        // (row block, vote tally) per chunk; folded back in input order.
+        // (row block, vote tally, per-doc ns) per chunk; folded back in
+        // input order, so DocTimings insertion order is thread-count
+        // invariant (a document split across two chunks accumulates).
         let chunks = pool.par_chunks(&cands.candidates, |_, block| {
             let mut rows: Vec<i8> = Vec::with_capacity(block.len() * n_cols);
             let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
+            let mut doc_ns: Vec<(DocId, u64)> = Vec::new();
+            let mut current_doc: Option<DocId> = None;
+            let mut doc_t0 = std::time::Instant::now();
             for cand in block {
+                if time_docs && current_doc != Some(cand.doc) {
+                    if let Some(prev) = current_doc {
+                        doc_ns.push((prev, doc_t0.elapsed().as_nanos() as u64));
+                    }
+                    doc_t0 = std::time::Instant::now();
+                    current_doc = Some(cand.doc);
+                }
                 let doc = corpus.doc(cand.doc);
                 for lf in lfs {
                     let v = lf.label(doc, cand);
@@ -88,7 +124,12 @@ impl LabelMatrix {
                     rows.push(v);
                 }
             }
-            (rows, pos, neg, abstain)
+            if time_docs {
+                if let Some(prev) = current_doc {
+                    doc_ns.push((prev, doc_t0.elapsed().as_nanos() as u64));
+                }
+            }
+            (rows, pos, neg, abstain, doc_ns)
         });
         let mut m = Self {
             n_rows: cands.len(),
@@ -96,7 +137,10 @@ impl LabelMatrix {
             data: Vec::with_capacity(cands.len() * n_cols),
         };
         let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
-        for (rows, p, n, a) in chunks {
+        for (rows, p, n, a, doc_ns) in chunks {
+            for (doc, ns) in doc_ns {
+                fonduer_observe::doc_stage_ns(&corpus.doc(doc).name, "lf_apply", ns);
+            }
             m.data.extend_from_slice(&rows);
             pos += p;
             neg += n;

@@ -82,6 +82,15 @@ fn main() {
 
     let speedup = cold_total.as_secs_f64() / warm_total.as_secs_f64().max(1e-9);
     println!("cold/warm wall-clock ratio: {speedup:.1}x");
+
+    // The queryable join of everything above: stage timings, cache
+    // counters, pool telemetry, and the slowest documents in one report.
+    let report = session.run_report();
+    println!("\n{}", report.render_text());
+    // `FONDUER_TRACE=chrome` (or prom) writes the full trace/metrics dump
+    // on exit; the flow events in the Chrome trace tie each pool task back
+    // to the stage span that submitted it.
+    fonduer_observe::emit_report();
 }
 
 fn print_timings(t: &fonduer_core::Timings) {

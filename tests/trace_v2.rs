@@ -1,0 +1,249 @@
+//! Tracing v2 end-to-end: spans submitted to the work-stealing pool must
+//! re-parent under the submitting stage's span on every worker thread,
+//! flow events must tie submission to execution, the rendered Chrome
+//! trace must stay monotonic per thread, and the whole substrate must
+//! tolerate a reader hammering `snapshot()` while workers record.
+//!
+//! These tests mutate process-global observe state (reset, span-event
+//! enablement), so they serialize on a file-local lock.
+
+use fonduer::observe;
+use fonduer_par::Pool;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn worker_spans_reparent_under_submitting_stage() {
+    let _g = lock();
+    observe::reset();
+    observe::set_span_events(true);
+
+    let items: Vec<u64> = (0..64).collect();
+    let stage_id;
+    {
+        let stage = observe::span("stage_x");
+        stage_id = stage.id();
+        let out = Pool::exact(4).par_map(&items, |&x| {
+            // Enough work that every worker participates.
+            std::thread::sleep(Duration::from_micros(200));
+            x * 2
+        });
+        assert_eq!(out[3], 6);
+    }
+
+    let ev = observe::span_events();
+    observe::set_span_events(false);
+
+    // Worker spans carry the submitting stage's dotted path prefix and
+    // parent to the stage's span id — on foreign threads.
+    let workers: Vec<_> = ev
+        .spans
+        .iter()
+        .filter(|s| s.path.ends_with(".par.worker"))
+        .collect();
+    assert_eq!(workers.len(), 4, "one span per worker, got {workers:?}");
+    for w in &workers {
+        assert_eq!(w.path, "stage_x.par.worker");
+        assert_eq!(
+            w.parent, stage_id,
+            "worker span must parent under the submitting stage"
+        );
+    }
+    let tids: std::collections::BTreeSet<_> = workers.iter().map(|s| s.tid).collect();
+    assert_eq!(tids.len(), 4, "each worker has its own tid: {tids:?}");
+
+    // Every flow started at submission ended on a worker; paired by id.
+    let starts: std::collections::BTreeSet<u64> =
+        ev.flows.iter().filter(|f| f.start).map(|f| f.id).collect();
+    let ends: std::collections::BTreeSet<u64> =
+        ev.flows.iter().filter(|f| !f.start).map(|f| f.id).collect();
+    assert_eq!(starts.len(), 4);
+    assert_eq!(starts, ends, "every flow start must be consumed");
+
+    // The aggregate registry sees the same parentage as dotted paths.
+    let snap = observe::snapshot();
+    let agg = snap
+        .span("stage_x.par.worker")
+        .expect("aggregated worker span");
+    assert_eq!(agg.count, 4);
+}
+
+#[test]
+fn chrome_trace_has_named_worker_threads_and_monotonic_ts() {
+    let _g = lock();
+    observe::reset();
+    observe::set_span_events(true);
+
+    let items: Vec<u64> = (0..64).collect();
+    {
+        let _stage = observe::span("stage_y");
+        Pool::exact(4).par_map(&items, |&x| {
+            std::thread::sleep(Duration::from_micros(100));
+            x + 1
+        });
+    }
+    let trace = observe::render_chrome_trace_with(&observe::snapshot(), &observe::span_events());
+    observe::set_span_events(false);
+
+    let v = observe::json::parse(&trace).expect("trace parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(observe::json::Value::as_array)
+        .expect("traceEvents array");
+
+    let mut worker_names = 0usize;
+    let mut per_tid_last: std::collections::BTreeMap<i64, i64> = Default::default();
+    let (mut flow_s, mut flow_f) = (0usize, 0usize);
+    for e in events {
+        let ph = e.get("ph").and_then(observe::json::Value::as_str).unwrap();
+        match ph {
+            "M" => {
+                let is_thread_name =
+                    e.get("name").and_then(observe::json::Value::as_str) == Some("thread_name");
+                let arg_name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(observe::json::Value::as_str)
+                    .unwrap_or("");
+                if is_thread_name && arg_name.starts_with("par.worker.") {
+                    worker_names += 1;
+                }
+            }
+            "X" => {
+                let tid = e.get("tid").and_then(observe::json::Value::as_f64).unwrap() as i64;
+                let ts = e.get("ts").and_then(observe::json::Value::as_f64).unwrap() as i64;
+                let last = per_tid_last.entry(tid).or_insert(i64::MIN);
+                assert!(ts >= *last, "ts regressed on tid {tid}: {ts} < {last}");
+                *last = ts;
+            }
+            "s" => flow_s += 1,
+            "f" => flow_f += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(worker_names, 4, "4 named worker threads");
+    assert!(per_tid_last.len() >= 5, "main + 4 worker timelines");
+    assert_eq!(flow_s, 4, "one flow start per worker");
+    assert_eq!(flow_f, 4, "one flow finish per worker");
+}
+
+#[test]
+fn snapshot_stays_consistent_under_concurrent_recording() {
+    let _g = lock();
+    observe::reset();
+    observe::set_span_events(true);
+
+    const WORKERS: usize = 4;
+    const TASKS: usize = 40;
+    const SLEEP_US: u64 = 500;
+
+    let parent_wall;
+    {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            // Reader: hammer snapshot() + span_events() while workers record.
+            let reader = s.spawn(|| {
+                let mut polls = 0u64;
+                let mut last_tasks = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = observe::snapshot();
+                    // Counters are monotonic even mid-run.
+                    let tasks = snap.counter("par.tasks");
+                    assert!(tasks >= last_tasks, "counter went backwards");
+                    last_tasks = tasks;
+                    // Histogram summaries are internally consistent.
+                    for (name, h) in &snap.histograms {
+                        assert!(h.min <= h.max, "{name}: min > max");
+                        assert!(h.sum >= h.max, "{name}: sum < max");
+                    }
+                    // Span-event log never tears: flow ends ⊆ flow starts.
+                    let ev = observe::span_events();
+                    let starts: std::collections::BTreeSet<u64> =
+                        ev.flows.iter().filter(|f| f.start).map(|f| f.id).collect();
+                    for f in ev.flows.iter().filter(|f| !f.start) {
+                        assert!(starts.contains(&f.id), "flow end without start");
+                    }
+                    polls += 1;
+                }
+                polls
+            });
+
+            {
+                let _stage = observe::span("stress_stage");
+                let items: Vec<u64> = (0..TASKS as u64).collect();
+                Pool::exact(WORKERS).par_map(&items, |&x| {
+                    observe::counter("stress.tasks_done", 1);
+                    observe::hist_record("stress.lat_us", x);
+                    std::thread::sleep(Duration::from_micros(SLEEP_US));
+                    x
+                });
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(reader.join().expect("reader thread") > 0);
+        });
+        parent_wall = t0.elapsed();
+    }
+    observe::set_span_events(false);
+
+    let snap = observe::snapshot();
+    assert_eq!(snap.counter("stress.tasks_done"), TASKS as u64);
+    assert_eq!(snap.histograms["stress.lat_us"].count, TASKS as u64);
+
+    // Worker busy time must cover the tasks' sleep and stay bounded by the
+    // parent's wall clock across all workers (generous tolerance: sleeps
+    // overshoot wildly on loaded hosts, but busy can never exceed the
+    // wall-clock area workers had available).
+    let busy = &snap.histograms["par.worker_busy_us"];
+    assert_eq!(busy.count, WORKERS as u64);
+    let min_expected = TASKS as u64 * SLEEP_US;
+    assert!(
+        busy.sum >= min_expected,
+        "busy sum {}us < total task sleep {}us",
+        busy.sum,
+        min_expected
+    );
+    let max_expected = (parent_wall.as_micros() as u64) * WORKERS as u64 * 2;
+    assert!(
+        busy.sum <= max_expected,
+        "busy sum {}us exceeds {} workers x parent wall {}us",
+        busy.sum,
+        WORKERS,
+        parent_wall.as_micros()
+    );
+
+    // Worker span durations also sum within the same envelope.
+    let worker_span = snap
+        .span("stress_stage.par.worker")
+        .expect("worker spans aggregated");
+    assert_eq!(worker_span.count, WORKERS as u64);
+    assert!(worker_span.total_us >= min_expected);
+    assert!(worker_span.total_us <= max_expected);
+}
+
+#[test]
+fn doc_timings_cap_bounds_the_table() {
+    let _g = lock();
+    observe::reset();
+    let prev = observe::doc_timings_cap();
+    observe::set_doc_timings_cap(8);
+    let names: Vec<String> = (0..32).map(|i| format!("doc_{i:02}")).collect();
+    // Record from 4 threads at once; the cap must hold regardless.
+    Pool::exact(4).par_map(&names, |name| {
+        observe::doc_stage_ns(name, "candgen", 1_000);
+    });
+    let timings = observe::doc_timings();
+    assert!(timings.len() <= 8, "cap violated: {} docs", timings.len());
+    assert_eq!(
+        timings.len() as u64 + observe::doc_timings_dropped(),
+        32,
+        "every record either landed or was counted dropped"
+    );
+    observe::set_doc_timings_cap(prev);
+}

@@ -121,6 +121,13 @@ impl<T> Stealer<T> {
             Err(_) => false,
         }
     }
+
+    /// Number of queued tasks. Crossbeam's real `Stealer` exposes `len`
+    /// the same way; `fonduer-par` uses it to sample queue depth at steal
+    /// points.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
 }
 
 #[cfg(test)]
