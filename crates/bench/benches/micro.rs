@@ -379,6 +379,18 @@ fn bench_observe(results: &mut Vec<BenchResult>) {
     observe::set_doc_timings_cap(prev_cap);
 }
 
+/// Cost of one `/metrics` scrape (snapshot + Prometheus rendering) against
+/// a populated registry. This is the work an obsd worker thread does per
+/// request; the row proves scraping stays off the pipeline's hot path —
+/// it shares nothing with the stages beyond relaxed atomic reads.
+fn bench_obsd(results: &mut Vec<BenchResult>) {
+    bench(results, "obsd/scrape_metrics", 100, 1000, || {
+        let body = fonduer_obsd::render_metrics();
+        assert!(!body.is_empty());
+        body
+    });
+}
+
 /// Serialize results as a JSON array of
 /// `{name, iters, ns_per_iter, candidates_per_sec?}` (the throughput field
 /// appears only on work-normalized rows).
@@ -424,6 +436,7 @@ fn main() {
     bench_session(&mut results);
     bench_scaling(&mut results);
     bench_observe(&mut results);
+    bench_obsd(&mut results);
     drop(_root);
     let path = out_path();
     match std::fs::write(&path, render_json(&results)) {

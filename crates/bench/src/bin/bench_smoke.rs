@@ -3,9 +3,21 @@
 //! watched row regressed by more than the threshold. Watched families:
 //! `features/featurize/*` (the paper's hot stage — in particular
 //! `features/featurize/uncached`, where instrumentation overhead would
-//! surface first) and `observe/*` (the substrate's own span and
-//! doc-timings costs, so the observability layer cannot quietly get more
-//! expensive than the work it measures).
+//! surface first), `observe/*` (the substrate's own span and doc-timings
+//! costs, so the observability layer cannot quietly get more expensive
+//! than the work it measures), and `obsd/*` (the debug server's scrape
+//! path).
+//!
+//! The gate normalizes for host drift first: PR 6's baseline regeneration
+//! showed untouched rows moving +25–70% purely from CI-host slowdown.
+//! `nlp/tokenize` and `parser/parse_document` act as sentinels — code
+//! paths no observability PR touches — and the geometric mean of their
+//! cur/base ratios estimates the host's drift factor. Watched rows are
+//! divided by that factor before the threshold applies, so the gate
+//! measures *relative* regressions, not the weather on the CI host. The
+//! factor is clamped to [0.25, 4.0]; drift beyond that means the sentinels
+//! themselves changed and the run should be inspected, not silently
+//! rescaled further.
 //!
 //! Usage: `bench_smoke <baseline.json> <current.json> [max_regression_pct]`
 //! (default threshold 25). Rows present only on one side are reported but
@@ -14,8 +26,13 @@
 
 use fonduer_observe::json;
 
-const WATCH_PREFIXES: [&str; 2] = ["features/featurize/", "observe/"];
+const WATCH_PREFIXES: [&str; 3] = ["features/featurize/", "observe/", "obsd/"];
+/// Rows untouched by observability work, used to estimate host drift.
+const SENTINELS: [&str; 2] = ["nlp/tokenize", "parser/parse_document"];
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+/// Drift clamp: beyond 4× in either direction the sentinels themselves
+/// are suspect and the gate stops extrapolating.
+const DRIFT_CLAMP: f64 = 4.0;
 
 fn watched(name: &str) -> bool {
     WATCH_PREFIXES.iter().any(|p| name.starts_with(p))
@@ -42,6 +59,37 @@ fn load(path: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+fn lookup(rows: &[(String, f64)], name: &str) -> Option<f64> {
+    rows.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns)
+}
+
+/// Geometric mean of cur/base over the sentinel rows present in both
+/// files, clamped to `[1/DRIFT_CLAMP, DRIFT_CLAMP]`. Returns 1.0 (no
+/// rescaling) when no sentinel is available on both sides.
+fn drift_factor(baseline: &[(String, f64)], current: &[(String, f64)]) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for name in SENTINELS {
+        let (Some(base), Some(cur)) = (lookup(baseline, name), lookup(current, name)) else {
+            println!("SENTINEL {name}: missing on one side, ignored");
+            continue;
+        };
+        if base <= 0.0 || cur <= 0.0 {
+            continue;
+        }
+        let ratio = cur / base;
+        println!("SENTINEL {name:<32} {base:>12.1} -> {cur:>12.1} ns/iter (x{ratio:.3})");
+        log_sum += ratio.ln();
+        n += 1;
+    }
+    if n == 0 {
+        println!("no usable sentinel rows — gating against raw timings");
+        return 1.0;
+    }
+    let factor = (log_sum / n as f64).exp();
+    factor.clamp(1.0 / DRIFT_CLAMP, DRIFT_CLAMP)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (baseline_path, current_path) = match (args.get(1), args.get(2)) {
@@ -58,18 +106,21 @@ fn main() {
 
     let baseline = load(baseline_path);
     let current = load(current_path);
+    let drift = drift_factor(&baseline, &current);
+    println!("host drift factor x{drift:.3} (watched rows divided by it before the gate)");
     let mut failures = 0usize;
     let mut checked = 0usize;
     for (name, base_ns) in &baseline {
         if !watched(name) {
             continue;
         }
-        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+        let Some(cur_ns) = lookup(&current, name) else {
             println!("SKIP {name}: missing from {current_path}");
             continue;
         };
         checked += 1;
-        let delta_pct = (cur_ns - base_ns) / base_ns * 100.0;
+        let adj_ns = cur_ns / drift;
+        let delta_pct = (adj_ns - base_ns) / base_ns * 100.0;
         let verdict = if delta_pct > max_pct {
             failures += 1;
             "FAIL"
@@ -77,8 +128,8 @@ fn main() {
             "ok  "
         };
         println!(
-            "{verdict} {name:<40} {:>12.1} -> {:>12.1} ns/iter ({:+.1}%)",
-            base_ns, cur_ns, delta_pct
+            "{verdict} {name:<40} {:>12.1} -> {:>12.1} ns/iter (adj {:>12.1}, {:+.1}%)",
+            base_ns, cur_ns, adj_ns, delta_pct
         );
     }
     for (name, _) in &current {
@@ -94,8 +145,8 @@ fn main() {
         std::process::exit(2);
     }
     if failures > 0 {
-        eprintln!("{failures} watched benchmark(s) regressed more than {max_pct}%");
+        eprintln!("{failures} watched benchmark(s) regressed more than {max_pct}% after drift normalization");
         std::process::exit(1);
     }
-    println!("bench smoke: {checked} rows within {max_pct}% of baseline");
+    println!("bench smoke: {checked} rows within {max_pct}% of baseline (drift-normalized)");
 }

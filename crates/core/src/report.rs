@@ -386,6 +386,45 @@ impl RunReport {
     }
 }
 
+/// Render labeling-function diagnostics as one JSON object — the payload
+/// the `fonduer-obsd` `/lfs` endpoint serves. `correct` and
+/// `empirical_accuracy` appear only when gold labels were available.
+pub fn lf_diagnostics_json(diag: &fonduer_supervision::LfDiagnostics) -> String {
+    let mut out = format!(
+        "{{\"n_candidates\":{},\"total_coverage\":{},\"lfs\":[",
+        diag.n_candidates,
+        observe::json::number(diag.total_coverage),
+    );
+    for (i, row) in diag.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"coverage\":{},\"overlap\":{},\"conflict\":{},\"positives\":{},\"negatives\":{}",
+            observe::json::escape(&row.name),
+            observe::json::number(row.coverage),
+            observe::json::number(row.overlap),
+            observe::json::number(row.conflict),
+            row.positives,
+            row.negatives,
+        );
+        if let Some(correct) = row.correct {
+            let _ = write!(out, ",\"correct\":{correct}");
+        }
+        if let Some(acc) = row.empirical_accuracy {
+            let _ = write!(
+                out,
+                ",\"empirical_accuracy\":{}",
+                observe::json::number(acc)
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Sum span totals whose dotted path's final name is `leaf` (`"candgen"`
 /// matches both the session's bare `candgen` span and `run_task.candgen`;
 /// `par.worker` children do not match because their final name differs).

@@ -180,6 +180,16 @@ struct EvalArtifact {
     metrics: PrF1,
 }
 
+/// Bracket a recomputed stage with `stage_start` / `stage_finish` events
+/// on the live progress ring (the obsd `/events` SSE feed). No-op unless a
+/// subscriber switched the feed on.
+fn progress_stage<T>(name: &'static str, f: impl FnOnce() -> (T, Duration)) -> (T, Duration) {
+    observe::progress("stage_start", name, "", 0);
+    let (value, took) = f();
+    observe::progress("stage_finish", name, "", took.as_micros() as u64);
+    (value, took)
+}
+
 fn hash_parts(tag: &str, parts: &[u64]) -> u64 {
     let mut key = tag.as_bytes().to_vec();
     for p in parts {
@@ -277,6 +287,10 @@ impl<'a> PipelineSession<'a> {
         cfg: PipelineConfig,
         strict: bool,
     ) -> Self {
+        // Ambient observability: FONDUER_OBSD=<addr> starts the process-
+        // global debug server, making every session (and run_task caller)
+        // scrapeable with zero code changes. No-op when unset.
+        fonduer_obsd::activate_from_env();
         Self {
             corpus,
             gold,
@@ -404,6 +418,32 @@ impl<'a> PipelineSession<'a> {
         crate::report::RunReport::collect(&self.timings, self.stats, self.cfg.n_threads)
     }
 
+    /// Start (or reuse) the process-global `fonduer-obsd` debug server on
+    /// `addr` (`"127.0.0.1:0"` picks an ephemeral port) and publish the
+    /// session's current report state to it. Returns the bound address.
+    /// Subsequent [`output`](Self::output) calls keep `/report`,
+    /// `/report.json`, and `/lfs` fresh automatically.
+    pub fn serve_obsd(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let bound = fonduer_obsd::ensure_global(addr)?;
+        self.publish_obsd();
+        Ok(bound)
+    }
+
+    /// Push the current `RunReport` renderings and LF diagnostics into the
+    /// obsd publish slots. No-op when no server is active.
+    fn publish_obsd(&self) {
+        if !fonduer_obsd::is_active() {
+            return;
+        }
+        let report = self.run_report();
+        fonduer_obsd::publish_report(report.render_text(), report.render_jsonl());
+        if let Some(sup) = self.supervision.as_ref() {
+            fonduer_obsd::publish_lf_diagnostics(crate::report::lf_diagnostics_json(
+                &sup.value.lf_diagnostics,
+            ));
+        }
+    }
+
     // ------------------------------------------------------------ cache keys
 
     /// Record one hit/miss for `stage`, once per traversal (a single
@@ -512,9 +552,11 @@ impl<'a> PipelineSession<'a> {
             return Ok(());
         }
         self.note(StageId::Candidates, false);
-        let (set, took) = observe::timed("candgen", || {
-            self.extractor
-                .extract_parallel(self.corpus, self.cfg.n_threads)
+        let (set, took) = progress_stage("candgen", || {
+            observe::timed("candgen", || {
+                self.extractor
+                    .extract_parallel(self.corpus, self.cfg.n_threads)
+            })
         });
         // Validate every candidate's document id once, up front, so the
         // historical index panics deep inside later stages become a typed
@@ -574,12 +616,14 @@ impl<'a> PipelineSession<'a> {
         }
         self.note(StageId::Featurize, false);
         let cands = &self.candidates.as_ref().unwrap().value;
-        let (feats, took) = observe::timed("featurize", || {
-            Featurizer::new(self.cfg.features).featurize_parallel(
-                self.corpus,
-                cands,
-                self.cfg.n_threads,
-            )
+        let (feats, took) = progress_stage("featurize", || {
+            observe::timed("featurize", || {
+                Featurizer::new(self.cfg.features).featurize_parallel(
+                    self.corpus,
+                    cands,
+                    self.cfg.n_threads,
+                )
+            })
         });
         let vocab = HashedVocab::new(self.cfg.vocab_size);
         let dataset = prepare(self.corpus, cands, &feats, &vocab, self.cfg.window);
@@ -618,28 +662,30 @@ impl<'a> PipelineSession<'a> {
         let gen_opts = &self.cfg.gen_opts;
         let n_threads = self.cfg.n_threads;
         let ((label_matrix, train_idx, train_marginals, label_coverage), took) =
-            observe::timed("supervise", || {
-                let train_idx: Vec<usize> = candidates
-                    .candidates
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
-                    .map(|(i, _)| i)
-                    .collect();
-                let train_subset = CandidateSet {
-                    schema: candidates.schema.clone(),
-                    candidates: train_idx
+            progress_stage("supervise", || {
+                observe::timed("supervise", || {
+                    let train_idx: Vec<usize> = candidates
+                        .candidates
                         .iter()
-                        .map(|&i| candidates.candidates[i].clone())
-                        .collect(),
-                };
-                let lf_refs: Vec<&LabelingFunction> = lfs.iter().collect();
-                let label_matrix =
-                    LabelMatrix::apply_parallel(&lf_refs, corpus, &train_subset, n_threads);
-                let gen = GenerativeModel::fit(&label_matrix, gen_opts);
-                let train_marginals = gen.predict(&label_matrix);
-                let label_coverage = label_matrix.total_coverage();
-                (label_matrix, train_idx, train_marginals, label_coverage)
+                        .enumerate()
+                        .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
+                        .map(|(i, _)| i)
+                        .collect();
+                    let train_subset = CandidateSet {
+                        schema: candidates.schema.clone(),
+                        candidates: train_idx
+                            .iter()
+                            .map(|&i| candidates.candidates[i].clone())
+                            .collect(),
+                    };
+                    let lf_refs: Vec<&LabelingFunction> = lfs.iter().collect();
+                    let label_matrix =
+                        LabelMatrix::apply_parallel(&lf_refs, corpus, &train_subset, n_threads);
+                    let gen = GenerativeModel::fit(&label_matrix, gen_opts);
+                    let train_marginals = gen.predict(&label_matrix);
+                    let label_coverage = label_matrix.total_coverage();
+                    (label_matrix, train_idx, train_marginals, label_coverage)
+                })
             });
         observe::gauge_set("supervision.label_coverage", label_coverage);
         // LF error-analysis table (empirical accuracy when gold is known).
@@ -722,23 +768,25 @@ impl<'a> PipelineSession<'a> {
             }
         }
         let cfg = &self.cfg;
-        let (model, took) = observe::timed("train", || {
-            let mut model: Box<dyn ProbClassifier> = match cfg.learner {
-                Learner::MultimodalLstm => Box::new(FonduerModel::new(
-                    cfg.model.clone(),
-                    dataset.vocab_size,
-                    dataset.n_features,
-                    dataset.arity,
-                )),
-                Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
-                Learner::HogwildLogReg => Box::new(HogwildLogReg::new(
-                    dataset.n_features,
-                    cfg.seed,
-                    cfg.n_threads,
-                )),
-            };
-            model.fit(&train_inputs, &train_targets);
-            model
+        let (model, took) = progress_stage("train", || {
+            observe::timed("train", || {
+                let mut model: Box<dyn ProbClassifier> = match cfg.learner {
+                    Learner::MultimodalLstm => Box::new(FonduerModel::new(
+                        cfg.model.clone(),
+                        dataset.vocab_size,
+                        dataset.n_features,
+                        dataset.arity,
+                    )),
+                    Learner::LogReg => Box::new(LogRegModel::new(dataset.n_features, cfg.seed)),
+                    Learner::HogwildLogReg => Box::new(HogwildLogReg::new(
+                        dataset.n_features,
+                        cfg.seed,
+                        cfg.n_threads,
+                    )),
+                };
+                model.fit(&train_inputs, &train_targets);
+                model
+            })
         });
         self.timings.train = took;
         self.model = Some(Cached { key, value: model });
@@ -765,7 +813,9 @@ impl<'a> PipelineSession<'a> {
         self.note(StageId::Infer, false);
         let model = &self.model.as_ref().unwrap().value;
         let dataset = &self.features.as_ref().unwrap().value.dataset;
-        let (marginals, took) = observe::timed("infer", || model.predict(&dataset.inputs));
+        let (marginals, took) = progress_stage("infer", || {
+            observe::timed("infer", || model.predict(&dataset.inputs))
+        });
         observe::counter("infer.candidates", marginals.len() as u64);
         self.timings.infer = took;
         self.marginals = Some(Cached {
@@ -831,6 +881,7 @@ impl<'a> PipelineSession<'a> {
         if observe::provenance::recording_enabled() {
             self.record_provenance();
         }
+        self.publish_obsd();
         let candidates = self.candidates.as_ref().unwrap().value.clone();
         let marginals = self.marginals.as_ref().unwrap().value.clone();
         let (train_docs, test_docs) = self.split.as_ref().unwrap().value.clone();

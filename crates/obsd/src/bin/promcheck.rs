@@ -1,0 +1,19 @@
+//! Validate a Prometheus text exposition read from stdin; exit non-zero on
+//! any violation. CI pipes `curl /metrics` through this.
+
+use std::io::Read;
+
+fn main() {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("promcheck: cannot read stdin: {e}");
+        std::process::exit(2);
+    }
+    match fonduer_observe::validate_prometheus(&text) {
+        Ok(samples) => println!("promcheck: ok ({samples} samples)"),
+        Err(e) => {
+            eprintln!("promcheck: invalid exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}

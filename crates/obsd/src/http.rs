@@ -1,0 +1,145 @@
+//! Minimal HTTP/1.1 plumbing for the debug server: request-line parsing and
+//! `Connection: close` response writing over a raw [`TcpStream`].
+//!
+//! Deliberately tiny — GET only, headers ignored, one request per
+//! connection — because the server exists to expose telemetry, not to be a
+//! web framework. Hostile input is bounded by [`MAX_REQUEST_BYTES`] and the
+//! caller's socket read timeout.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Anything
+/// larger is answered `431` and dropped.
+pub(crate) const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A parsed request line: method, path, and decomposed query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First query value under `key`, if present.
+    pub(crate) fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; each maps to one HTTP status.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ParseError {
+    /// Malformed request line (→ 400).
+    BadRequest,
+    /// Request head exceeded [`MAX_REQUEST_BYTES`] (→ 431).
+    TooLarge,
+    /// Socket error or timeout while reading (connection is dropped).
+    Io,
+}
+
+/// Split `path?query` and decompose the query into `(key, value)` pairs.
+pub(crate) fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| match p.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (p.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), pairs)
+        }
+    }
+}
+
+/// Read and parse one request head from `stream`. Headers are consumed (so
+/// the response is not written into unread input) but otherwise ignored.
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut total = 0usize;
+    reader.read_line(&mut line).map_err(|_| ParseError::Io)?;
+    total += line.len();
+    if total > MAX_REQUEST_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    // Drain the header block until the blank line, bounding total size.
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header).map_err(|_| ParseError::Io)?;
+        total += n;
+        if total > MAX_REQUEST_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(ParseError::BadRequest),
+    };
+    if !version.starts_with("HTTP/") || !target.starts_with('/') {
+        return Err(ParseError::BadRequest);
+    }
+    let (path, query) = parse_target(target);
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+    })
+}
+
+/// Write a complete `Connection: close` response with a `Content-Length`.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing() {
+        assert_eq!(parse_target("/metrics"), ("/metrics".to_string(), vec![]));
+        let (path, q) = parse_target("/docs/slowest?k=5&x&y=");
+        assert_eq!(path, "/docs/slowest");
+        assert_eq!(
+            q,
+            vec![
+                ("k".to_string(), "5".to_string()),
+                ("x".to_string(), String::new()),
+                ("y".to_string(), String::new()),
+            ]
+        );
+        let req = Request {
+            method: "GET".into(),
+            path,
+            query: q,
+        };
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+}

@@ -1,0 +1,643 @@
+//! `fonduer-obsd`: a hand-rolled, zero-dependency HTTP/1.1 debug server
+//! that exposes the `fonduer-observe` substrate **live** while a pipeline
+//! runs — the scrape plane that ROADMAP item 1's extraction service will
+//! sit on.
+//!
+//! Endpoints (all `GET`, one request per connection):
+//!
+//! | path | payload |
+//! |---|---|
+//! | `/` | plain-text endpoint index |
+//! | `/healthz` | liveness (`ok`) |
+//! | `/readyz` | `200` once any telemetry exists, `503` before |
+//! | `/metrics` | Prometheus text exposition of a fresh snapshot |
+//! | `/report` | last published `RunReport` (human text) |
+//! | `/report.json` | last published `RunReport` (JSONL) |
+//! | `/trace` | Chrome `trace_event` JSON of the current epoch |
+//! | `/docs/slowest?k=N` | per-document stage timings, slowest first |
+//! | `/lfs` | labeling-function diagnostics (JSON) |
+//! | `/events` | SSE stream of stage/doc progress events |
+//!
+//! The server is a bounded worker pool over `std::net::TcpListener`: an
+//! acceptor thread feeds a capped queue, workers answer with per-request
+//! read/write timeouts, and [`ObsdHandle::shutdown`] stops everything via
+//! an atomic flag plus a self-connect wake. `/metrics` reads are
+//! epoch-coherent against `observe::reset()` (the snapshot seqlock), so a
+//! scraper never sees a torn exposition.
+//!
+//! Activation is either programmatic ([`serve`] / `session.serve_obsd`) or
+//! ambient: `FONDUER_OBSD=127.0.0.1:9100` (or `=1` for that default) makes
+//! [`activate_from_env`] start a process-global server, so every example
+//! becomes scrapeable with zero code changes.
+
+#![warn(missing_docs)]
+
+mod http;
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fonduer_observe as observe;
+use parking_lot::RwLock;
+
+use http::{read_request, write_response, ParseError, Request};
+
+/// Default bind address used by `FONDUER_OBSD=1`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:9100";
+
+/// Tunables for [`serve`]. The defaults suit a debug endpoint scraped a
+/// few times per second: tiny pool, tight timeouts, bounded queue.
+#[derive(Debug, Clone)]
+pub struct ObsdOptions {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Queued-connection cap; excess connections are answered `503`.
+    pub max_connections: usize,
+    /// Per-request socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-request socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum lifetime of one `/events` SSE stream.
+    pub sse_max: Duration,
+    /// SSE idle heartbeat (`: ping`) cadence.
+    pub sse_heartbeat: Duration,
+}
+
+impl Default for ObsdOptions {
+    fn default() -> Self {
+        ObsdOptions {
+            workers: 2,
+            max_connections: 32,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            sse_max: Duration::from_secs(30),
+            sse_heartbeat: Duration::from_secs(1),
+        }
+    }
+}
+
+/// State shared between the acceptor, the workers, and the handle.
+struct Shared {
+    queue: StdMutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    opts: ObsdOptions,
+}
+
+/// A running server. Dropping the handle leaves the server running (the
+/// process-global instance relies on this); call [`ObsdHandle::shutdown`]
+/// for a deterministic stop.
+pub struct ObsdHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsdHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the workers, and join every thread. Safe to
+    /// call while SSE clients are connected — streams notice the flag at
+    /// heartbeat cadence.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor is parked in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the debug endpoints until
+/// [`ObsdHandle::shutdown`]. Also switches on the progress feed and the
+/// span-event log so `/events` and `/trace` have live data.
+pub fn serve(addr: &str, opts: ObsdOptions) -> std::io::Result<ObsdHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    observe::set_progress(true);
+    observe::set_span_events(true);
+    let shared = Arc::new(Shared {
+        queue: StdMutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        opts: opts.clone(),
+    });
+    let mut workers = Vec::with_capacity(opts.workers.max(1));
+    for i in 0..opts.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("obsd-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("obsd-accept".to_string())
+        .spawn(move || accept_loop(listener, &acceptor_shared))?;
+    Ok(ObsdHandle {
+        addr: bound,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= shared.opts.max_connections {
+            drop(queue);
+            // Over the connection cap: refuse politely instead of queueing
+            // unboundedly or stalling the acceptor.
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+            let _ = write_response(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "text/plain",
+                "busy\n",
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(250))
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+        handle_connection(&mut stream, shared);
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let req = match read_request(stream) {
+        Ok(req) => req,
+        Err(ParseError::TooLarge) => {
+            let _ = write_response(
+                stream,
+                431,
+                "Request Header Fields Too Large",
+                "text/plain",
+                "request too large\n",
+            );
+            return;
+        }
+        Err(ParseError::BadRequest) => {
+            let _ = write_response(stream, 400, "Bad Request", "text/plain", "bad request\n");
+            return;
+        }
+        Err(ParseError::Io) => return,
+    };
+    if req.method != "GET" {
+        let _ = write_response(
+            stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+        return;
+    }
+    route(stream, &req, shared);
+}
+
+fn route(stream: &mut TcpStream, req: &Request, shared: &Shared) {
+    match req.path.as_str() {
+        "/" => {
+            let _ = write_response(stream, 200, "OK", "text/plain", INDEX);
+        }
+        "/healthz" => {
+            let _ = write_response(stream, 200, "OK", "text/plain", "ok\n");
+        }
+        "/readyz" => {
+            let snap = observe::snapshot();
+            let ready =
+                !snap.spans.is_empty() || !snap.counters.is_empty() || !snap.histograms.is_empty();
+            if ready {
+                let _ = write_response(stream, 200, "OK", "text/plain", "ready\n");
+            } else {
+                let _ = write_response(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "no telemetry yet\n",
+                );
+            }
+        }
+        "/metrics" => {
+            let body = render_metrics();
+            let _ = write_response(stream, 200, "OK", "text/plain; version=0.0.4", &body);
+        }
+        "/report" => match report_slot().read().clone() {
+            Some(text) => {
+                let _ = write_response(stream, 200, "OK", "text/plain", &text);
+            }
+            None => {
+                let _ = slot_pending(stream, "no RunReport published yet\n");
+            }
+        },
+        "/report.json" => match report_jsonl_slot().read().clone() {
+            Some(jsonl) => {
+                let _ = write_response(stream, 200, "OK", "application/x-ndjson", &jsonl);
+            }
+            None => {
+                let _ = slot_pending(stream, "no RunReport published yet\n");
+            }
+        },
+        "/trace" => {
+            let body = render_trace();
+            let _ = write_response(stream, 200, "OK", "application/json", &body);
+        }
+        "/docs/slowest" => {
+            let k = req
+                .query_param("k")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(10);
+            let body = render_slowest_docs(k);
+            let _ = write_response(stream, 200, "OK", "application/json", &body);
+        }
+        "/lfs" => match lf_slot().read().clone() {
+            Some(json) => {
+                let _ = write_response(stream, 200, "OK", "application/json", &json);
+            }
+            None => {
+                let _ = slot_pending(stream, "no LF diagnostics published yet\n");
+            }
+        },
+        "/events" => serve_sse(stream, shared),
+        _ => {
+            let _ = write_response(stream, 404, "Not Found", "text/plain", "not found\n");
+        }
+    }
+}
+
+fn slot_pending(stream: &mut TcpStream, msg: &str) -> std::io::Result<()> {
+    write_response(stream, 503, "Service Unavailable", "text/plain", msg)
+}
+
+const INDEX: &str = "fonduer-obsd debug server\n\
+\n\
+GET /healthz            liveness\n\
+GET /readyz             readiness (503 until telemetry exists)\n\
+GET /metrics            Prometheus text exposition\n\
+GET /report             current RunReport (text)\n\
+GET /report.json        current RunReport (JSONL)\n\
+GET /trace              Chrome trace_event JSON (current epoch)\n\
+GET /docs/slowest?k=N   per-document stage timings, slowest first\n\
+GET /lfs                labeling-function diagnostics (JSON)\n\
+GET /events             SSE progress stream (stage + per-doc events)\n";
+
+/// Stream progress events as Server-Sent Events: replay the retained ring
+/// first (so a late subscriber — e.g. CI connecting after the run — still
+/// sees data), then follow live with `: ping` heartbeats while idle.
+fn serve_sse(stream: &mut TcpStream, shared: &Shared) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut after = 0u64;
+    let deadline = Instant::now() + shared.opts.sse_max;
+    loop {
+        let (events, _evicted) = observe::progress_since(after);
+        if let Some(last) = events.last() {
+            after = last.seq;
+        }
+        if events.is_empty() {
+            if stream.write_all(b": ping\n\n").is_err() || stream.flush().is_err() {
+                return;
+            }
+        } else {
+            for ev in &events {
+                let frame = format!(
+                    "id: {}\nevent: {}\ndata: {}\n\n",
+                    ev.seq,
+                    ev.kind,
+                    ev.to_json()
+                );
+                if stream.write_all(frame.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            if stream.flush().is_err() {
+                return;
+            }
+        }
+        if Instant::now() >= deadline || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Block until new events arrive or a heartbeat is due.
+        let _ = observe::progress_wait(after, shared.opts.sse_heartbeat);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Renderers — public so benches and embedders can measure/reuse them.
+// ---------------------------------------------------------------------------
+
+/// Prometheus text exposition of a fresh, epoch-coherent snapshot. This is
+/// exactly the `/metrics` response body.
+pub fn render_metrics() -> String {
+    observe::render_prometheus(&observe::snapshot())
+}
+
+/// Chrome `trace_event` JSON for the current epoch (`/trace` body).
+pub fn render_trace() -> String {
+    observe::render_chrome_trace_with(&observe::snapshot(), &observe::span_events())
+}
+
+/// JSON array of the `k` slowest documents with per-stage µs
+/// (`/docs/slowest` body).
+pub fn render_slowest_docs(k: usize) -> String {
+    let docs = observe::doc_timings();
+    let mut out = String::from("[");
+    for (i, d) in docs.iter().take(k).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"doc\":\"{}\",\"total_us\":{},\"stages\":{{",
+            observe::json::escape(&d.doc),
+            d.total_ns() / 1_000,
+        ));
+        for (j, (stage, ns)) in d.stage_ns.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                observe::json::escape(stage),
+                ns / 1_000
+            ));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Publish slots — the session renders owned strings into these so server
+// threads never borrow pipeline state.
+// ---------------------------------------------------------------------------
+
+fn report_slot() -> &'static RwLock<Option<String>> {
+    static SLOT: OnceLock<RwLock<Option<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn report_jsonl_slot() -> &'static RwLock<Option<String>> {
+    static SLOT: OnceLock<RwLock<Option<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn lf_slot() -> &'static RwLock<Option<String>> {
+    static SLOT: OnceLock<RwLock<Option<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Publish the current `RunReport` renderings for `/report` and
+/// `/report.json`. Each call atomically replaces the previous pair.
+pub fn publish_report(text: String, jsonl: String) {
+    *report_slot().write() = Some(text);
+    *report_jsonl_slot().write() = Some(jsonl);
+}
+
+/// Publish labeling-function diagnostics JSON for `/lfs`.
+pub fn publish_lf_diagnostics(json: String) {
+    *lf_slot().write() = Some(json);
+}
+
+// ---------------------------------------------------------------------------
+// Process-global instance (env activation).
+// ---------------------------------------------------------------------------
+
+static GLOBAL: StdMutex<Option<ObsdHandle>> = StdMutex::new(None);
+
+/// Whether a process-global server is running.
+pub fn is_active() -> bool {
+    global_addr().is_some()
+}
+
+/// Bound address of the process-global server, if any.
+pub fn global_addr() -> Option<SocketAddr> {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(ObsdHandle::addr)
+}
+
+/// Start (or reuse) the process-global server on `addr`. Subsequent calls
+/// return the already-bound address regardless of the requested one — the
+/// global instance lives for the rest of the process.
+pub fn ensure_global(addr: &str) -> std::io::Result<SocketAddr> {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(handle) = slot.as_ref() {
+        return Ok(handle.addr());
+    }
+    let handle = serve(addr, ObsdOptions::default())?;
+    let bound = handle.addr();
+    *slot = Some(handle);
+    Ok(bound)
+}
+
+/// Honor `FONDUER_OBSD`: unset/`0`/`off` → `None`; `1`/`true`/`on` →
+/// [`DEFAULT_ADDR`]; anything else is the bind address. Bind failures are
+/// reported to stderr, never fatal — telemetry must not kill the pipeline.
+pub fn activate_from_env() -> Option<SocketAddr> {
+    let raw = std::env::var("FONDUER_OBSD").ok()?;
+    let v = raw.trim();
+    let addr = match v.to_ascii_lowercase().as_str() {
+        "" | "0" | "off" | "false" | "none" => return None,
+        "1" | "true" | "on" => DEFAULT_ADDR,
+        _ => v,
+    };
+    match ensure_global(addr) {
+        Ok(bound) => Some(bound),
+        Err(e) => {
+            eprintln!("fonduer-obsd: cannot serve FONDUER_OBSD={v}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    /// Blocking mini HTTP client: returns (status, headers, body) and
+    /// asserts the advertised `Content-Length` matches the body.
+    fn http_get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .expect("status")
+            .parse()
+            .expect("numeric status");
+        if let Some(cl) = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+        {
+            assert_eq!(cl.parse::<usize>().unwrap(), body.len(), "{target}");
+        }
+        (status, head.to_string(), body.to_string())
+    }
+
+    /// One end-to-end test (the server + observe registries are
+    /// process-global, so the cases must not interleave).
+    #[test]
+    fn server_end_to_end() {
+        let handle = serve("127.0.0.1:0", ObsdOptions::default()).expect("bind");
+        let addr = handle.addr();
+
+        let (status, _, body) = http_get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        observe::counter("obsd_t.requests", 3);
+        let (status, head, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        observe::validate_prometheus(&body).expect("exposition validates");
+        assert!(body.contains("fonduer_obsd_t_requests_total 3"), "{body}");
+
+        let (status, _, _) = http_get(addr, "/readyz");
+        assert_eq!(status, 200, "counter exists → ready");
+
+        let (status, _, body) = http_get(addr, "/");
+        assert_eq!(status, 200);
+        assert!(body.contains("/metrics") && body.contains("/events"));
+
+        let (status, _, _) = http_get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        // Non-GET and malformed requests.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"garbage\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        let long = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "x".repeat(http::MAX_REQUEST_BYTES)
+        );
+        s.write_all(long.as_bytes()).unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 431"), "{raw}");
+
+        // Publish slots: 503 before, 200 after.
+        let (status, _, _) = http_get(addr, "/report");
+        assert!(status == 503 || status == 200);
+        publish_report("report text\n".into(), "{\"kind\":\"stage\"}\n".into());
+        publish_lf_diagnostics("{\"lfs\":[]}\n".into());
+        let (status, _, body) = http_get(addr, "/report");
+        assert_eq!((status, body.as_str()), (200, "report text\n"));
+        let (status, _, body) = http_get(addr, "/report.json");
+        assert_eq!(status, 200);
+        assert!(body.starts_with('{'));
+        let (status, _, body) = http_get(addr, "/lfs");
+        assert_eq!((status, body.as_str()), (200, "{\"lfs\":[]}\n"));
+
+        // Doc timings → /docs/slowest.
+        observe::doc_stage_ns("obsd_t_doc", "candgen", 2_000_000);
+        let (status, _, body) = http_get(addr, "/docs/slowest?k=3");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"doc\":\"obsd_t_doc\""), "{body}");
+        assert!(body.contains("\"candgen\":2000"), "{body}");
+
+        // Trace parses as JSON.
+        let (status, _, body) = http_get(addr, "/trace");
+        assert_eq!(status, 200);
+        observe::json::parse(&body).expect("trace is valid JSON");
+
+        // SSE: serve() enabled the progress feed; doc_stage_ns above fed
+        // the ring, so a subscriber sees ≥1 data frame without waiting.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /events HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 4096];
+        let mut acc = String::new();
+        while !acc.contains("\ndata: ") {
+            let n = s.read(&mut buf).expect("sse read");
+            assert!(n > 0, "stream closed before any event");
+            acc.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+        assert!(acc.contains("text/event-stream"), "{acc}");
+        assert!(acc.contains("event: doc"), "{acc}");
+        drop(s);
+
+        handle.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // A race with TIME_WAIT can let one connect through; a
+                // request on it must go unanswered.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_millis(300)))
+                    .unwrap();
+                let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                let mut buf = [0u8; 16];
+                matches!(s.read(&mut buf), Ok(0) | Err(_))
+            },
+            "server still answering after shutdown"
+        );
+    }
+}

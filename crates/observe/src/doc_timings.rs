@@ -85,6 +85,9 @@ pub fn doc_stage_ns(doc: &str, stage: &'static str, ns: u64) {
     let entry = map.entry(doc.to_string()).or_default();
     let slot = entry.entry(stage).or_insert(0);
     *slot = slot.saturating_add(ns);
+    drop(map);
+    // Live progress feed for SSE subscribers (no-op unless enabled).
+    crate::events::progress("doc", stage, doc, ns / 1_000);
 }
 
 /// One document's accumulated per-stage timings.

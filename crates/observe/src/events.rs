@@ -20,12 +20,20 @@
 //! every pool execution's `par.worker.3` maps to the same `tid` and the
 //! trace shows one stable row per logical worker. Unlabeled threads record
 //! under the `main` label.
+//!
+//! The module also hosts the **progress ring** (see [`progress`]): a
+//! bounded broadcast buffer of coarse pipeline progress events — stage
+//! start/finish and per-document stage completions — that live consumers
+//! (the `fonduer-obsd` SSE endpoint) tail with [`progress_since`] /
+//! [`progress_wait`]. Sequence numbers are process-monotonic and never
+//! reused, so a tailing reader can detect the events it missed when the
+//! ring wrapped.
 
 use std::cell::Cell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -268,6 +276,13 @@ pub fn flow_end(id: u64) {
     log.flows.push(ev);
 }
 
+/// Span/flow events discarded after the cap was reached — the saturation
+/// signal a scraper needs to know the trace is truncated. Cheap (one
+/// atomic load), unlike cloning the whole log via [`span_events`].
+pub fn span_events_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
 /// Copy the current event log (spans, flows, thread labels, drop count).
 pub fn span_events() -> SpanEvents {
     let log = log().lock();
@@ -287,6 +302,170 @@ pub(crate) fn reset() {
     log.spans.clear();
     log.flows.clear();
     DROPPED.store(0, Ordering::Relaxed);
+}
+
+// -------------------------------------------------------- progress ring
+
+/// One coarse pipeline progress event: a stage starting or finishing, or
+/// one document completing a stage's per-document work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Process-monotonic sequence number (never reset, never reused).
+    pub seq: u64,
+    /// Timestamp offset from the trace epoch, in microseconds.
+    pub ts_us: u64,
+    /// `"stage_start"`, `"stage_finish"`, or `"doc"`.
+    pub kind: &'static str,
+    /// Stage label (`candgen`, `featurize`, `lf_apply`, ...).
+    pub stage: String,
+    /// Document name for `"doc"` events; empty for stage-level events.
+    pub doc: String,
+    /// Measured duration in microseconds (0 for `"stage_start"`).
+    pub dur_us: u64,
+}
+
+impl ProgressEvent {
+    /// One-line JSON rendering (the SSE `data:` payload).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"ts_us\":{},\"kind\":\"{}\",\"stage\":\"{}\",\"doc\":\"{}\",\"dur_us\":{}}}",
+            self.seq,
+            self.ts_us,
+            self.kind,
+            crate::json::escape(&self.stage),
+            crate::json::escape(&self.doc),
+            self.dur_us,
+        )
+    }
+}
+
+struct ProgressRing {
+    buf: VecDeque<ProgressEvent>,
+    /// Events evicted because the ring was full (monotonic).
+    evicted: u64,
+}
+
+/// Recording is off by default: emitting into a ring nobody tails is
+/// wasted work. `fonduer-obsd` flips it on when a server starts.
+static PROGRESS_ON: AtomicBool = AtomicBool::new(false);
+static NEXT_PROGRESS_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn progress_ring() -> &'static (StdMutex<ProgressRing>, Condvar) {
+    static RING: OnceLock<(StdMutex<ProgressRing>, Condvar)> = OnceLock::new();
+    RING.get_or_init(|| {
+        (
+            StdMutex::new(ProgressRing {
+                buf: VecDeque::new(),
+                evicted: 0,
+            }),
+            Condvar::new(),
+        )
+    })
+}
+
+/// Ring capacity (`FONDUER_PROGRESS_CAP`, default 1024, resolved once).
+pub fn progress_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("FONDUER_PROGRESS_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1024)
+            .max(1)
+    })
+}
+
+/// Whether progress events are being recorded (one relaxed load).
+#[inline]
+pub fn progress_enabled() -> bool {
+    PROGRESS_ON.load(Ordering::Relaxed)
+}
+
+/// Turn progress recording on or off. The `fonduer-obsd` server enables it
+/// when it starts so the `/events` SSE stream has something to say.
+pub fn set_progress(on: bool) {
+    PROGRESS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Record one progress event (no-op while recording is off). The ring is
+/// bounded by [`progress_cap`]: the oldest event is evicted (and counted)
+/// to make room, so producers never block and memory never grows.
+pub fn progress(kind: &'static str, stage: &str, doc: &str, dur_us: u64) {
+    if !progress_enabled() {
+        return;
+    }
+    let ev = ProgressEvent {
+        seq: NEXT_PROGRESS_SEQ.fetch_add(1, Ordering::Relaxed),
+        ts_us: now_us(),
+        kind,
+        stage: stage.to_string(),
+        doc: doc.to_string(),
+        dur_us,
+    };
+    let (lock, cv) = progress_ring();
+    let mut ring = lock.lock().unwrap_or_else(|e| e.into_inner());
+    while ring.buf.len() >= progress_cap() {
+        ring.buf.pop_front();
+        ring.evicted += 1;
+    }
+    ring.buf.push_back(ev);
+    drop(ring);
+    cv.notify_all();
+}
+
+/// Every buffered event with `seq > after`, plus the total evicted count.
+/// A reader whose `after + 1` is older than the first returned seq missed
+/// the gap while the ring wrapped.
+pub fn progress_since(after: u64) -> (Vec<ProgressEvent>, u64) {
+    let (lock, _) = progress_ring();
+    let ring = lock.lock().unwrap_or_else(|e| e.into_inner());
+    (
+        ring.buf.iter().filter(|e| e.seq > after).cloned().collect(),
+        ring.evicted,
+    )
+}
+
+/// Block until at least one event with `seq > after` exists (returning all
+/// of them) or `timeout` elapses (returning whatever is there — possibly
+/// nothing). The SSE serving loop's tailing primitive.
+pub fn progress_wait(after: u64, timeout: Duration) -> Vec<ProgressEvent> {
+    let (lock, cv) = progress_ring();
+    let deadline = Instant::now() + timeout;
+    let mut ring = lock.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let have: Vec<ProgressEvent> = ring.buf.iter().filter(|e| e.seq > after).cloned().collect();
+        if !have.is_empty() {
+            return have;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Vec::new();
+        }
+        let (r, timed_out) = cv
+            .wait_timeout(ring, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        ring = r;
+        if timed_out.timed_out() {
+            return ring.buf.iter().filter(|e| e.seq > after).cloned().collect();
+        }
+    }
+}
+
+/// Events evicted from the progress ring (monotonic).
+pub fn progress_dropped() -> u64 {
+    let (lock, _) = progress_ring();
+    lock.lock().unwrap_or_else(|e| e.into_inner()).evicted
+}
+
+/// Clear the ring's buffered events. Sequence numbers stay monotonic so
+/// tailing readers never see a seq go backwards across a reset.
+pub(crate) fn progress_reset() {
+    let (lock, cv) = progress_ring();
+    let mut ring = lock.lock().unwrap_or_else(|e| e.into_inner());
+    ring.buf.clear();
+    ring.evicted = 0;
+    drop(ring);
+    cv.notify_all();
 }
 
 #[cfg(test)]
@@ -320,5 +499,59 @@ mod tests {
         assert!(halves[0].start && !halves[1].start);
         assert!(halves[1].ts_us >= halves[0].ts_us);
         set_span_events(false);
+    }
+
+    /// One test for the whole progress lifecycle: the on/off flag and the
+    /// ring are process-global, so concurrent tests would race.
+    #[test]
+    fn progress_ring_lifecycle() {
+        let _l = crate::test_lock();
+        progress_reset();
+        set_progress(false);
+        progress("stage_start", "off", "", 0);
+        assert!(progress_since(0).0.iter().all(|e| e.stage != "off"));
+
+        set_progress(true);
+        progress("stage_start", "candgen", "", 0);
+        progress("doc", "candgen", "doc-1", 42);
+        progress("stage_finish", "candgen", "", 1234);
+        let (evs, _) = progress_since(0);
+        let ours: Vec<_> = evs.iter().filter(|e| e.stage == "candgen").collect();
+        assert_eq!(ours.len(), 3);
+        assert!(ours.windows(2).all(|w| w[1].seq > w[0].seq));
+        assert_eq!(ours[1].doc, "doc-1");
+        assert_eq!(ours[2].dur_us, 1234);
+        // Tail from the middle: only newer events come back.
+        let (tail, _) = progress_since(ours[1].seq);
+        assert!(tail.iter().all(|e| e.seq > ours[1].seq));
+        // to_json lines parse even with hostile names.
+        progress("doc", "candgen", "we\"ird\ndoc", 1);
+        let (evs, _) = progress_since(0);
+        for e in &evs {
+            crate::json::parse(&e.to_json()).expect("progress event JSON parses");
+        }
+        // progress_wait returns promptly when events already exist and
+        // times out (empty) when tailing past the end.
+        assert!(!progress_wait(0, Duration::from_millis(10)).is_empty());
+        let last = evs.last().unwrap().seq;
+        assert!(progress_wait(last, Duration::from_millis(20)).is_empty());
+        set_progress(false);
+        progress_reset();
+    }
+
+    #[test]
+    fn progress_ring_is_bounded() {
+        let _l = crate::test_lock();
+        progress_reset();
+        set_progress(true);
+        let cap = progress_cap();
+        for i in 0..cap + 10 {
+            progress("doc", "bound_t", &format!("d{i}"), 1);
+        }
+        let (evs, evicted) = progress_since(0);
+        assert!(evs.len() <= cap, "ring exceeded cap: {}", evs.len());
+        assert!(evicted >= 10, "evictions not counted: {evicted}");
+        set_progress(false);
+        progress_reset();
     }
 }

@@ -214,15 +214,29 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
+/// Counter family name per Prometheus naming conventions: sanitized,
+/// `fonduer_`-prefixed, and `_total`-suffixed (idempotently, so a source
+/// name that already ends in `_total` is not doubled).
+fn prom_counter_name(name: &str) -> String {
+    let n = prom_name(name);
+    if n.ends_with("_total") {
+        n
+    } else {
+        n + "_total"
+    }
+}
+
 /// Render the snapshot in the Prometheus text exposition format.
 ///
-/// Counters and gauges map directly; histograms export as summaries
-/// (`quantile` labels plus `_sum`/`_count`); spans export as three span
-/// metric families labeled by dotted `path`.
+/// Counters map to `_total`-suffixed counter families (the Prometheus
+/// naming convention, enforced by [`validate_prometheus`]); gauges map
+/// directly; histograms export as summaries (`quantile` labels plus
+/// `_sum`/`_count`); spans export as three span metric families labeled by
+/// dotted `path`, each with a `# HELP` line.
 pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
-        let n = prom_name(name);
+        let n = prom_counter_name(name);
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {v}");
     }
@@ -241,24 +255,36 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
         let _ = writeln!(out, "{n}_count {}", h.count);
     }
     if !snap.spans.is_empty() {
-        let _ = writeln!(out, "# TYPE fonduer_span_total_us counter");
+        let _ = writeln!(
+            out,
+            "# HELP fonduer_span_us_total Total inclusive span wall time by dotted path, in microseconds."
+        );
+        let _ = writeln!(out, "# TYPE fonduer_span_us_total counter");
         for (path, s) in &snap.spans {
             let _ = writeln!(
                 out,
-                "fonduer_span_total_us{{path=\"{}\"}} {}",
+                "fonduer_span_us_total{{path=\"{}\"}} {}",
                 prom_label(path),
                 s.total_us
             );
         }
-        let _ = writeln!(out, "# TYPE fonduer_span_count counter");
+        let _ = writeln!(
+            out,
+            "# HELP fonduer_span_invocations_total Completed span invocations by dotted path."
+        );
+        let _ = writeln!(out, "# TYPE fonduer_span_invocations_total counter");
         for (path, s) in &snap.spans {
             let _ = writeln!(
                 out,
-                "fonduer_span_count{{path=\"{}\"}} {}",
+                "fonduer_span_invocations_total{{path=\"{}\"}} {}",
                 prom_label(path),
                 s.count
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP fonduer_span_max_us Slowest single span invocation by dotted path, in microseconds."
+        );
         let _ = writeln!(out, "# TYPE fonduer_span_max_us gauge");
         for (path, s) in &snap.spans {
             let _ = writeln!(
@@ -274,14 +300,30 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
 
 /// Structural validation of a Prometheus text exposition: every
 /// non-comment line must be `name[{labels}] value` with a well-formed name
-/// and a parseable value. Returns the number of sample lines.
+/// and a parseable value, and every sample of a family declared
+/// `# TYPE ... counter` must carry the conventional `_total` suffix.
+/// Returns the number of sample lines.
 ///
-/// Used by the round-trip tests and the CI telemetry check; not a full
-/// parser (no timestamp support — this crate never emits timestamps).
+/// Used by the round-trip tests, the CI telemetry check, and the
+/// `promcheck` binary `fonduer-obsd`'s CI e2e pipes `/metrics` through;
+/// not a full parser (no timestamp support — this crate never emits
+/// timestamps).
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     let mut samples = 0usize;
+    let mut counter_families: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let (name, ty) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if name.is_empty() || ty.is_empty() {
+                return Err(format!("line {}: malformed TYPE declaration", lineno + 1));
+            }
+            if ty == "counter" {
+                counter_families.insert(name);
+            }
+            continue;
+        }
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -307,6 +349,12 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             && !name.starts_with(|c: char| c.is_ascii_digit());
         if !valid_name {
             return Err(format!("line {}: bad metric name '{name}'", lineno + 1));
+        }
+        if counter_families.contains(name) && !name.ends_with("_total") {
+            return Err(format!(
+                "line {}: counter '{name}' missing _total suffix",
+                lineno + 1
+            ));
         }
         samples += 1;
     }
@@ -550,12 +598,28 @@ mod tests {
         let samples = validate_prometheus(&out).expect("valid exposition");
         // 2 counters + 1 gauge + 5 summary lines + 3 span families × 4 spans.
         assert_eq!(samples, 2 + 1 + 5 + 12);
-        assert!(out.contains("# TYPE fonduer_candgen_candidates counter"));
-        assert!(out.contains("fonduer_candgen_candidates 42"));
+        // Counters carry the conventional _total suffix.
+        assert!(out.contains("# TYPE fonduer_candgen_candidates_total counter"));
+        assert!(out.contains("fonduer_candgen_candidates_total 42"));
         assert!(out.contains("fonduer_candgen_doc_us{quantile=\"0.5\"} 90"));
-        assert!(out.contains("fonduer_span_total_us{path=\"run_task.candgen\"} 300"));
+        assert!(out.contains("fonduer_span_us_total{path=\"run_task.candgen\"} 300"));
+        assert!(out.contains("fonduer_span_invocations_total{path=\"run_task.candgen\"} 1"));
+        // Span families are documented with HELP lines.
+        assert!(out.contains("# HELP fonduer_span_us_total "));
+        assert!(out.contains("# HELP fonduer_span_invocations_total "));
+        assert!(out.contains("# HELP fonduer_span_max_us "));
         // Hostile characters sanitized out of metric names.
-        assert!(out.contains("fonduer_hostile_name 7"));
+        assert!(out.contains("fonduer_hostile_name_total 7"));
+    }
+
+    #[test]
+    fn prometheus_counter_suffix_is_idempotent() {
+        let mut s = Snapshot::default();
+        s.counters.insert("already_total".into(), 1);
+        let out = render_prometheus(&s);
+        assert!(out.contains("fonduer_already_total 1"));
+        assert!(!out.contains("fonduer_already_total_total"));
+        validate_prometheus(&out).expect("idempotent suffix validates");
     }
 
     #[test]
@@ -590,5 +654,10 @@ mod tests {
         assert!(validate_prometheus("9bad_name 1").is_err());
         assert!(validate_prometheus("name notanumber").is_err());
         assert!(validate_prometheus("name{unterminated 1").is_err());
+        // Counter families must end in _total; gauges need not.
+        assert!(validate_prometheus("# TYPE foo counter\nfoo 1").is_err());
+        assert!(validate_prometheus("# TYPE foo_total counter\nfoo_total 1").is_ok());
+        assert!(validate_prometheus("# TYPE bar gauge\nbar 1").is_ok());
+        assert!(validate_prometheus("# TYPE foo\nx 1").is_err());
     }
 }

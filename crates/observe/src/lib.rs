@@ -44,8 +44,9 @@ pub use doc_timings::{
     set_doc_timings_cap, DocTiming,
 };
 pub use events::{
-    flow_end, flow_start, set_span_events, set_thread_label, span_events, span_events_enabled,
-    FlowEvent, SpanEvent, SpanEvents,
+    flow_end, flow_start, progress, progress_cap, progress_dropped, progress_enabled,
+    progress_since, progress_wait, set_progress, set_span_events, set_thread_label, span_events,
+    span_events_dropped, span_events_enabled, FlowEvent, ProgressEvent, SpanEvent, SpanEvents,
 };
 pub use export::{
     render_chrome_trace, render_chrome_trace_with, render_prometheus, validate_prometheus,

@@ -167,8 +167,34 @@ impl Snapshot {
     }
 }
 
+/// Registry reset sequence, seqlock-style: [`reset`] bumps it to an odd
+/// value while clearing and back to even when done, so [`snapshot`] can
+/// detect (and retry across) a concurrent reset instead of returning a
+/// torn capture whose counters came from one epoch and spans from another.
+static RESET_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Capture the current state of every counter, gauge, histogram, and span.
+///
+/// The capture is **epoch-coherent** with respect to [`reset`]: if a reset
+/// starts or finishes while the maps are being walked, the walk is retried,
+/// so a snapshot never mixes pre- and post-reset state. (Concurrent
+/// *writers* are fine — they only add to whichever epoch is current.)
 pub fn snapshot() -> Snapshot {
+    loop {
+        let before = RESET_SEQ.load(Ordering::Acquire);
+        if before & 1 == 1 {
+            // A reset is mid-flight; wait it out.
+            std::hint::spin_loop();
+            continue;
+        }
+        let snap = collect_snapshot();
+        if RESET_SEQ.load(Ordering::Acquire) == before {
+            return snap;
+        }
+    }
+}
+
+fn collect_snapshot() -> Snapshot {
     let reg = registry();
     let counters = reg
         .counters
@@ -176,12 +202,26 @@ pub fn snapshot() -> Snapshot {
         .iter()
         .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
         .collect();
-    let gauges = reg
+    let mut gauges: std::collections::BTreeMap<String, f64> = reg
         .gauges
         .read()
         .iter()
         .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
         .collect();
+    // Saturation signals that otherwise vanish silently: scrapers must be
+    // able to see when the bounded tables truncated data.
+    gauges.insert(
+        "doc_timings.dropped".to_string(),
+        crate::doc_timings::doc_timings_dropped() as f64,
+    );
+    gauges.insert(
+        "span_events.dropped".to_string(),
+        crate::events::span_events_dropped() as f64,
+    );
+    gauges.insert(
+        "progress.dropped".to_string(),
+        crate::events::progress_dropped() as f64,
+    );
     let histograms = reg
         .histograms
         .read()
@@ -218,6 +258,7 @@ pub fn snapshot() -> Snapshot {
 /// concurrent writers that cached a [`Counter`] handle keep writing into
 /// the detached atomic, which is harmless.
 pub fn reset() {
+    RESET_SEQ.fetch_add(1, Ordering::AcqRel); // odd: reset in progress
     let reg = registry();
     reg.counters.write().clear();
     reg.gauges.write().clear();
@@ -225,6 +266,8 @@ pub fn reset() {
     reg.spans.write().clear();
     crate::span::clear_stack();
     crate::events::reset();
+    crate::events::progress_reset();
     crate::doc_timings::reset();
     crate::provenance::reset();
+    RESET_SEQ.fetch_add(1, Ordering::AcqRel); // even: coherent again
 }

@@ -207,18 +207,38 @@ pub fn write_report(mode: TraceMode, path: &str) -> std::io::Result<()> {
 /// their work.
 pub fn emit_report() {
     let mode = trace_mode();
-    if mode == TraceMode::Off {
+    if mode != TraceMode::Off {
+        match trace_out_path() {
+            Some(path) => {
+                if let Err(e) = write_report(mode, &path) {
+                    eprintln!("fonduer-observe: cannot write FONDUER_TRACE_OUT={path}: {e}");
+                    eprint!("{}", render(mode));
+                }
+            }
+            None => eprint!("{}", render(mode)),
+        }
+    }
+    obsd_linger();
+}
+
+/// Keep the process alive briefly after the final report so an external
+/// scraper (CI curling the `fonduer-obsd` debug server) can finish its
+/// requests. No-op unless **both** `FONDUER_OBSD` and `FONDUER_OBSD_LINGER`
+/// (seconds, capped at 300) are set.
+fn obsd_linger() {
+    if std::env::var("FONDUER_OBSD").is_err() {
         return;
     }
-    match trace_out_path() {
-        Some(path) => {
-            if let Err(e) = write_report(mode, &path) {
-                eprintln!("fonduer-observe: cannot write FONDUER_TRACE_OUT={path}: {e}");
-                eprint!("{}", render(mode));
-            }
-        }
-        None => eprint!("{}", render(mode)),
-    }
+    let Some(secs) = std::env::var("FONDUER_OBSD_LINGER")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+    else {
+        return;
+    };
+    let secs = secs.min(300.0);
+    eprintln!("fonduer-observe: FONDUER_OBSD_LINGER={secs}s — holding process for scrapers");
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
 }
 
 #[cfg(test)]

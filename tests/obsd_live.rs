@@ -1,0 +1,220 @@
+//! Scrape-under-load: the `fonduer-obsd` debug server must serve complete,
+//! validating responses while a 4-thread pipeline runs and resets the
+//! telemetry registry between runs — no torn or mixed-epoch snapshots.
+//!
+//! One `#[test]` only: the server, the observe registry, and the progress
+//! ring are process-global, so concurrent test functions would race.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use fonduer::prelude::*;
+use fonduer_core::{domains, PipelineSession};
+use fonduer_observe as observe;
+
+fn corpus() -> Corpus {
+    let mut c = Corpus::new("obsd-live");
+    for i in 0..12 {
+        let name = format!("sheet{i:02}");
+        let html = format!(
+            r#"<h1>SMBT{i:04}</h1>
+               <table><tr><th>Parameter</th><th>Value</th></tr>
+               <tr><td>Collector current</td><td>{}</td></tr>
+               <tr><td>Junction temperature</td><td>150</td></tr></table>"#,
+            100 + i * 10,
+        );
+        c.add(parse_document(
+            &name,
+            &html,
+            DocFormat::Pdf,
+            &Default::default(),
+        ));
+    }
+    c
+}
+
+fn extractor() -> CandidateExtractor {
+    let parts: Vec<String> = (0..12).map(|i| format!("SMBT{i:04}")).collect();
+    CandidateExtractor::new(
+        RelationSchema::new("has_collector_current", &["part", "current"]),
+        vec![
+            MentionType::new("part", Box::new(DictionaryMatcher::new(&parts))),
+            MentionType::new("current", Box::new(NumberRangeMatcher::new(90.0, 995.0))),
+        ],
+    )
+    .with_scope(ContextScope::Document)
+}
+
+fn lfs() -> Vec<LabelingFunction> {
+    vec![LabelingFunction::new(
+        "collector_row",
+        Modality::Tabular,
+        |doc, cand| {
+            let row = domains::row_words(doc, domains::arg(cand, 1));
+            if row.is_empty() {
+                ABSTAIN
+            } else if fonduer_nlp::contains_word(&row, "collector") {
+                TRUE
+            } else {
+                FALSE
+            }
+        },
+    )]
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::builder()
+        .train_frac(1.0)
+        .learner(Learner::LogReg)
+        .features(FeatureConfig::all())
+        .n_threads(4)
+        .build()
+        .unwrap()
+}
+
+/// Minimal blocking HTTP client. Panics on short/torn responses: the
+/// advertised `Content-Length` must equal the received body length.
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let cl: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .unwrap();
+    assert_eq!(cl, body.len(), "torn response for {target}");
+    (status, body.to_string())
+}
+
+#[test]
+fn scrape_under_load_is_never_torn() {
+    let corpus = corpus();
+    let gold = GoldKb::new();
+    let ex = extractor();
+    let lf_lib = lfs();
+    let mut session = PipelineSession::from_parts(&corpus, &gold, &ex, &lf_lib, cfg()).unwrap();
+
+    let addr = session.serve_obsd("127.0.0.1:0").expect("bind obsd");
+
+    // First run so /report.json and /readyz have content before the
+    // scrapers start asserting.
+    session.output().expect("cold run");
+
+    let stop = AtomicBool::new(false);
+    let metrics_scrapes = AtomicU64::new(0);
+    let report_scrapes = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Scraper 1: /metrics must always be a complete, validating
+        // exposition — even mid-reset (the snapshot seqlock).
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = http_get(addr, "/metrics");
+                assert_eq!(status, 200);
+                observe::validate_prometheus(&body)
+                    .unwrap_or_else(|e| panic!("invalid exposition under load: {e}\n{body}"));
+                metrics_scrapes.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // Scraper 2: every /report.json line parses as JSON.
+        s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = http_get(addr, "/report.json");
+                assert_eq!(status, 200, "report published before scrapers started");
+                for line in body.lines() {
+                    observe::json::parse(line)
+                        .unwrap_or_else(|e| panic!("bad report line ({e}): {line}"));
+                }
+                report_scrapes.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        // Load generator: repeated 4-thread runs with registry resets in
+        // between — the hostile path for snapshot coherence.
+        for _ in 0..4 {
+            observe::reset();
+            session.invalidate();
+            session.output().expect("run under scrape");
+        }
+        // A fast host can finish all four runs before either scraper
+        // completes a round trip; hold the window open until both have
+        // landed at least one request (the per-request read timeout
+        // bounds each attempt, the deadline bounds the wait).
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while (metrics_scrapes.load(Ordering::Relaxed) == 0
+            || report_scrapes.load(Ordering::Relaxed) == 0)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        metrics_scrapes.load(Ordering::Relaxed) > 0,
+        "metrics scraper never completed a request"
+    );
+    assert!(
+        report_scrapes.load(Ordering::Relaxed) > 0,
+        "report scraper never completed a request"
+    );
+
+    // Spot checks on the remaining endpoints, post-load.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _) = http_get(addr, "/readyz");
+    assert_eq!(status, 200);
+    let (status, body) = http_get(addr, "/trace");
+    assert_eq!(status, 200);
+    observe::json::parse(&body).expect("trace is valid JSON");
+    let (status, body) = http_get(addr, "/docs/slowest?k=5");
+    assert_eq!(status, 200);
+    assert!(body.starts_with('['), "{body}");
+    let (status, body) = http_get(addr, "/lfs");
+    assert_eq!(status, 200);
+    let v = observe::json::parse(&body).expect("lfs is valid JSON");
+    assert!(
+        v.get("lfs").is_some(),
+        "lfs payload missing rows array: {body}"
+    );
+
+    // SSE: the ring replays retained events on connect, so three data
+    // frames arrive without waiting for new work.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /events HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut acc = String::new();
+    let mut buf = [0u8; 4096];
+    while acc.matches("\ndata: ").count() < 3 {
+        let n = stream.read(&mut buf).expect("sse read");
+        assert!(n > 0, "SSE stream closed early:\n{acc}");
+        acc.push_str(&String::from_utf8_lossy(&buf[..n]));
+    }
+    assert!(acc.contains("text/event-stream"));
+    assert!(
+        acc.contains("event: stage_finish") || acc.contains("event: doc"),
+        "no recognizable progress events:\n{acc}"
+    );
+}
