@@ -13,7 +13,8 @@
 use fonduer_candidates::ContextScope;
 use fonduer_core::domains::electronics;
 use fonduer_core::{PipelineConfig, PipelineSession, StageId};
-use fonduer_features::Featurizer;
+use fonduer_datamodel::DocId;
+use fonduer_features::{FeatureShardMerger, Featurizer};
 use fonduer_learning::{prepare, FonduerModel, ModelConfig, ProbClassifier};
 use fonduer_nlp::HashedVocab;
 use fonduer_observe as observe;
@@ -282,6 +283,108 @@ fn bench_session(results: &mut Vec<BenchResult>) {
     );
 }
 
+/// Incremental-recomputation rows over a 512-document corpus: the
+/// shard-covered walk (candidate generation → featurization → label
+/// application) cold, then warm after a single-document upsert, then the
+/// deterministic feature-shard merge in isolation. The warm walk serves
+/// 511 documents from the shard cache and recomputes exactly one, so it
+/// must beat the cold walk by at least an order of magnitude; that ratio
+/// is asserted here, next to the measurement, rather than in the
+/// `bench_smoke` gate (which never fails rows it has no baseline for).
+/// Downstream train/infer are excluded on both sides: they are unchanged
+/// by sharding and would only dilute the measured increment.
+fn bench_incremental(results: &mut Vec<BenchResult>) {
+    let n_docs = 512;
+    let ds = Domain::Electronics.generate(n_docs, 7);
+    let relation = "has_collector_current";
+    let ex = electronics::extractor(&ds, relation, ContextScope::Document)
+        .with_throttler(electronics::default_throttler(relation));
+    let lfs = electronics::lfs(relation);
+    let cfg = PipelineConfig::builder()
+        .features(fonduer_features::FeatureConfig::all().with_hashing(16))
+        .build()
+        .expect("bench config is valid");
+
+    bench(results, "session/cold_512", 1, 5, || {
+        let mut s = PipelineSession::from_parts(&ds.corpus, &ds.gold, &ex, &lfs, cfg.clone())
+            .expect("valid session");
+        s.candidates().expect("candgen").len();
+        s.featurize().expect("featurize").n_features();
+        s.supervise().expect("supervise");
+    });
+
+    // Revised editions of the datasheets: same names, different content.
+    // Each iteration upserts a *new* revision (a different position from
+    // the seed-8 corpus) so the upserted document is a genuine shard-cache
+    // miss every time — flipping between two fixed revisions would be all
+    // hits after the first two, measuring only the merge.
+    let alt = Domain::Electronics.generate(n_docs, 8);
+    let mut s = PipelineSession::from_parts(&ds.corpus, &ds.gold, &ex, &lfs, cfg.clone())
+        .expect("valid session");
+    s.supervise().expect("prime the shard cache");
+    let mut next = 0usize;
+    bench(results, "session/upsert_one_doc", 3, 10, || {
+        let doc = alt.corpus.doc(DocId::from_usize(next)).clone();
+        next += 1;
+        s.upsert_document(doc).expect("upsert keeps names unique");
+        s.candidates().expect("candgen").len();
+        s.featurize().expect("featurize").n_features();
+        s.supervise().expect("supervise");
+    });
+    // `recomputed_docs` counts the docs touched by the *last* traversal,
+    // so check it right after a featurize walk (the supervise walk above
+    // only recomputes label shards for train-split documents).
+    let doc = alt.corpus.doc(DocId::from_usize(next)).clone();
+    s.upsert_document(doc).expect("upsert keeps names unique");
+    s.featurize().expect("featurize");
+    assert_eq!(
+        s.recomputed_docs(),
+        1,
+        "a one-document upsert must recompute exactly one document"
+    );
+
+    // The merge alone: per-document shards are already computed, assemble
+    // the corpus-level CSR in deterministic input order.
+    let cands = ex.extract(&ds.corpus);
+    let fz = Featurizer::new(fonduer_features::FeatureConfig::all().with_hashing(16));
+    let mut shards = Vec::with_capacity(n_docs);
+    let mut lo = 0usize;
+    for di in 0..n_docs {
+        let id = DocId::from_usize(di);
+        let mut hi = lo;
+        while hi < cands.candidates.len() && cands.candidates[hi].doc == id {
+            hi += 1;
+        }
+        shards.push(fz.featurize_doc(ds.corpus.doc(id), &cands.candidates[lo..hi]));
+        lo = hi;
+    }
+    bench(results, "session/shard_merge", 2, 10, || {
+        let mut m = FeatureShardMerger::new(16);
+        for sh in &shards {
+            m.push(sh);
+        }
+        m.finish()
+    });
+    with_throughput(results, cands.len());
+
+    let cold = results
+        .iter()
+        .find(|r| r.name == "session/cold_512")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(0.0);
+    let warm = results
+        .iter()
+        .find(|r| r.name == "session/upsert_one_doc")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(f64::MAX);
+    let ratio = cold / warm.max(1.0);
+    println!("incremental cold/upsert speedup: {ratio:.1}x over {n_docs} docs");
+    assert!(
+        ratio >= 10.0,
+        "single-document upsert must be >=10x faster than the cold walk (got {ratio:.1}x)"
+    );
+}
+
 /// Thread-scaling rows for the four `fonduer-par`-routed hot stages:
 /// candidate extraction, featurization, LF application, and one Hogwild
 /// training epoch, each at 1/2/4/8 worker threads. Speedups are honest
@@ -434,6 +537,7 @@ fn main() {
     bench_model_step(&mut results);
     bench_generative(&mut results);
     bench_session(&mut results);
+    bench_incremental(&mut results);
     bench_scaling(&mut results);
     bench_observe(&mut results);
     bench_obsd(&mut results);

@@ -397,6 +397,33 @@ impl CandidateExtractor {
             candidates,
         }
     }
+
+    /// Extract candidates for a subset of documents only — the dirty-doc
+    /// path of shard-cached sessions. Returns one `(candidates, worker ns)`
+    /// pair per id, in `ids` order; the caller records the timings in input
+    /// order (the same reduction contract as
+    /// [`CandidateExtractor::extract_parallel`]) and is responsible for the
+    /// `extract_corpus` span. Worker ns is 0 when per-document timing is
+    /// disabled.
+    pub fn extract_docs(
+        &self,
+        corpus: &Corpus,
+        ids: &[DocId],
+        n_threads: usize,
+    ) -> Vec<(Vec<Candidate>, u64)> {
+        let time_docs = observe::doc_timings_enabled();
+        let work = |id: &DocId| {
+            let t0 = time_docs.then(std::time::Instant::now);
+            let cands = self.extract_doc(*id, corpus.doc(*id));
+            (cands, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+        };
+        let pool = fonduer_par::Pool::new(n_threads);
+        if pool.n_threads() == 1 || ids.len() < 2 {
+            ids.iter().map(work).collect()
+        } else {
+            pool.par_map(ids, work)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -435,5 +462,17 @@ mod parallel_tests {
             let par = ex.extract_parallel(&corpus, threads);
             assert_eq!(seq.candidates, par.candidates, "threads={threads}");
         }
+        // The dirty-doc subset path concatenates to the same result.
+        for threads in [1, 4] {
+            let ids: Vec<DocId> = corpus.doc_ids().collect();
+            let per_doc = ex.extract_docs(&corpus, &ids, threads);
+            assert_eq!(per_doc.len(), ids.len());
+            let concat: Vec<Candidate> = per_doc.into_iter().flat_map(|(c, _)| c).collect();
+            assert_eq!(seq.candidates, concat, "threads={threads}");
+        }
+        // A strict subset extracts only those documents' candidates.
+        let subset = ex.extract_docs(&corpus, &[DocId(2)], 1);
+        assert!(subset[0].0.iter().all(|c| c.doc == DocId(2)));
+        assert!(!subset[0].0.is_empty());
     }
 }

@@ -72,12 +72,24 @@ pub enum Error {
     /// The pipeline configuration failed validation.
     Config(ConfigError),
     /// A candidate references a document id the session's corpus does not
-    /// contain (previously an index panic inside `Corpus::doc`).
+    /// contain (previously an index panic inside `Corpus::doc`), or
+    /// `remove_document` was called with an id past the end of the corpus.
     DocNotFound {
         /// The missing document id.
         doc: DocId,
         /// Number of documents actually in the corpus.
         n_docs: usize,
+    },
+    /// An upsert would be ambiguous: the corpus already contains more than
+    /// one document with the incoming document's name, so there is no
+    /// single document to replace. Document names are the stable identity
+    /// the train/test split and the gold KB key on; fix the corpus (names
+    /// must be unique) before upserting.
+    DuplicateDocId {
+        /// The conflicting document name.
+        name: String,
+        /// How many existing documents carry it.
+        count: usize,
     },
     /// Candidate generation produced no candidates, so there is nothing to
     /// train or classify.
@@ -105,6 +117,11 @@ impl fmt::Display for Error {
             Error::DocNotFound { doc, n_docs } => write!(
                 f,
                 "candidate references document {doc:?} but the corpus has {n_docs} documents"
+            ),
+            Error::DuplicateDocId { name, count } => write!(
+                f,
+                "cannot upsert document {name:?}: {count} existing documents \
+                 share that name (document names must be unique)"
             ),
             Error::NoCandidates { relation } => {
                 write!(f, "no candidates extracted for relation {relation:?}")
@@ -168,5 +185,11 @@ mod tests {
         }
         .to_string()
         .contains('3'));
+        let s = Error::DuplicateDocId {
+            name: "datasheet_0001".into(),
+            count: 2,
+        }
+        .to_string();
+        assert!(s.contains("datasheet_0001") && s.contains('2'), "{s}");
     }
 }

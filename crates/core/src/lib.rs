@@ -38,4 +38,5 @@ pub use pipeline::{
     PipelineOutput, Task, Timings,
 };
 pub use report::{CriticalPath, DocReport, PoolTelemetry, RunReport, StageCoverage, StageTiming};
+pub use session::shard_cache::{ShardCacheSummary, ShardKey};
 pub use session::{PipelineSession, SessionStats, StageId, StageStats, SupervisionArtifact};

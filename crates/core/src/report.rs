@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::pipeline::Timings;
+use crate::session::shard_cache::ShardCacheSummary;
 use crate::session::{SessionStats, StageId};
 use fonduer_observe as observe;
 use fonduer_observe::HistogramSummary;
@@ -131,6 +132,9 @@ pub struct RunReport {
     pub stages: Vec<StageTiming>,
     /// The session's cache hit/miss counters.
     pub cache: SessionStats,
+    /// Per-document shard-cache counters plus the last traversal's
+    /// recomputed-document count (the incremental-recomputation layer).
+    pub shards: ShardCacheSummary,
     /// Work-stealing pool telemetry.
     pub pool: PoolTelemetry,
     /// Per-document stage timings, slowest first (bounded by
@@ -145,7 +149,12 @@ pub struct RunReport {
 impl RunReport {
     /// Assemble a report from the session's last-traversal timings and
     /// cache stats plus the current `fonduer-observe` registry state.
-    pub(crate) fn collect(timings: &Timings, cache: SessionStats, n_threads: usize) -> Self {
+    pub(crate) fn collect(
+        timings: &Timings,
+        cache: SessionStats,
+        shards: ShardCacheSummary,
+        n_threads: usize,
+    ) -> Self {
         let snap = observe::snapshot();
         let last = |id: StageId| -> u64 {
             let d = match id {
@@ -200,6 +209,7 @@ impl RunReport {
         RunReport {
             stages,
             cache,
+            shards,
             pool,
             docs,
             docs_dropped: observe::doc_timings_dropped(),
@@ -289,6 +299,12 @@ impl RunReport {
             );
         }
         let _ = writeln!(out, "cache: {}", self.cache.to_line());
+        let sh = &self.shards;
+        let _ = writeln!(
+            out,
+            "shard cache: hit={} miss={} evict={} cached={} recomputed_docs={}",
+            sh.hits, sh.misses, sh.evicts, sh.cached, sh.recomputed_docs,
+        );
         let p = &self.pool;
         let _ = writeln!(
             out,
@@ -358,6 +374,12 @@ impl RunReport {
                 st.misses,
             );
         }
+        let sh = &self.shards;
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"shard_cache\",\"hits\":{},\"misses\":{},\"evicts\":{},\"cached\":{},\"recomputed_docs\":{}}}",
+            sh.hits, sh.misses, sh.evicts, sh.cached, sh.recomputed_docs,
+        );
         let p = &self.pool;
         let _ = writeln!(
             out,
@@ -444,6 +466,7 @@ mod tests {
         RunReport {
             stages,
             cache: SessionStats::default(),
+            shards: ShardCacheSummary::default(),
             pool: PoolTelemetry::default(),
             docs,
             docs_dropped: 0,

@@ -31,14 +31,33 @@
 //! fingerprint changing (LFs are keyed by name). When editing an LF body
 //! in place, give it a new name — or call
 //! [`invalidate`](PipelineSession::invalidate) to force a full recompute.
+//!
+//! # Incremental corpora
+//!
+//! Below the stage cache sits a per-document [`shard_cache`]: candidate
+//! slices, feature CSR blocks, and LF vote blocks are each cached under
+//! `(document content hash, stage config fingerprint)` and stitched into
+//! the corpus-level artifacts by a deterministic input-order merge (the
+//! same reduction contract `fonduer-par` uses, so assembled artifacts are
+//! byte-identical to a cold sequential run). The corpus itself is owned
+//! copy-on-write: [`upsert_document`](PipelineSession::upsert_document)
+//! and [`remove_document`](PipelineSession::remove_document) mutate it in
+//! place, and only the touched document's shards miss on the next run —
+//! every unchanged document is a pure cache hit, and the cheap merge +
+//! downstream train/infer re-run. [`recomputed_docs`](PipelineSession::recomputed_docs)
+//! reports how many documents actually recomputed in the last traversal.
+
+pub mod shard_cache;
 
 use crate::error::Error;
 use crate::eval::{eval_tuples, gold_tuples_for_docs, PrF1, Tuple};
 use crate::kb::KnowledgeBase;
 use crate::pipeline::{is_train_doc, Learner, PipelineConfig, PipelineOutput, Task, Timings};
-use fonduer_candidates::{CandidateExtractor, CandidateSet};
-use fonduer_datamodel::Corpus;
-use fonduer_features::{FeatureConfig, FeatureSet, Featurizer};
+use fonduer_candidates::{Candidate, CandidateExtractor, CandidateSet};
+use fonduer_datamodel::{Corpus, DocId, Document};
+use fonduer_features::{
+    DocFeatureShard, FeatureConfig, FeatureSet, FeatureShardMerger, Featurizer,
+};
 use fonduer_learning::{
     prepare, FonduerModel, HogwildLogReg, LogRegModel, ModelConfig, PreparedDataset, ProbClassifier,
 };
@@ -46,10 +65,13 @@ use fonduer_nlp::{fnv1a, HashedVocab};
 use fonduer_observe as observe;
 use fonduer_observe::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
 use fonduer_supervision::{
-    GenerativeModel, GenerativeOptions, LabelMatrix, LabelingFunction, LfDiagnostics,
+    GenerativeModel, GenerativeOptions, LabelBlock, LabelMatrix, LabelingFunction, LfDiagnostics,
 };
 use fonduer_synth::GoldKb;
+use shard_cache::{ShardCache, ShardCacheSummary, ShardKey};
+use std::borrow::Cow;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The cached pipeline stages, in dependency order.
@@ -170,9 +192,57 @@ pub struct SupervisionArtifact {
     pub lf_diagnostics: LfDiagnostics,
 }
 
-struct FeatureArtifact {
-    feats: FeatureSet,
-    dataset: PreparedDataset,
+/// The candidate stage's artifact: the merged set plus the per-document
+/// row ranges the shard-assembled featurize/supervise stages slice by.
+struct CandidateArtifact {
+    set: CandidateSet,
+    /// `ranges[i]` is the `[lo, hi)` candidate index range of document `i`.
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Default shard capacity before the first corpus-sized resize.
+const DEFAULT_SHARD_CAPACITY: usize = 64;
+
+/// The session's per-document shard caches, one per shardable stage.
+struct ShardStore {
+    candidates: ShardCache<Vec<Candidate>>,
+    features: ShardCache<DocFeatureShard>,
+    labels: ShardCache<LabelBlock>,
+}
+
+impl ShardStore {
+    fn new() -> Self {
+        Self {
+            candidates: ShardCache::new(DEFAULT_SHARD_CAPACITY),
+            features: ShardCache::new(DEFAULT_SHARD_CAPACITY),
+            labels: ShardCache::new(DEFAULT_SHARD_CAPACITY),
+        }
+    }
+
+    /// Track the corpus size: keep roughly two generations of shards per
+    /// document so an upsert-then-revert still hits.
+    fn resize_for(&mut self, n_docs: usize) {
+        let cap = (n_docs * 2).max(DEFAULT_SHARD_CAPACITY);
+        self.candidates.set_capacity(cap);
+        self.features.set_capacity(cap);
+        self.labels.set_capacity(cap);
+    }
+
+    fn clear(&mut self) {
+        self.candidates.clear();
+        self.features.clear();
+        self.labels.clear();
+    }
+
+    fn summary(&self, recomputed_docs: usize) -> ShardCacheSummary {
+        ShardCacheSummary {
+            hits: self.candidates.hits() + self.features.hits() + self.labels.hits(),
+            misses: self.candidates.misses() + self.features.misses() + self.labels.misses(),
+            evicts: self.candidates.evicts() + self.features.evicts() + self.labels.evicts(),
+            cached: self.candidates.len() + self.features.len() + self.labels.len(),
+            recomputed_docs,
+        }
+    }
 }
 
 struct EvalArtifact {
@@ -219,7 +289,13 @@ fn hash_parts(tag: &str, parts: &[u64]) -> u64 {
 /// # Ok(()) }
 /// ```
 pub struct PipelineSession<'a> {
-    corpus: &'a Corpus,
+    /// Copy-on-write corpus: borrowed until the first
+    /// [`upsert_document`](Self::upsert_document) /
+    /// [`remove_document`](Self::remove_document), owned after.
+    corpus: Cow<'a, Corpus>,
+    /// `doc_hashes[i]` is the content hash of document `i` — the shard-key
+    /// half that tracks corpus mutations (kept in sync with `corpus`).
+    doc_hashes: Vec<u64>,
     gold: &'a GoldKb,
     extractor: &'a CandidateExtractor,
     lfs: &'a [LabelingFunction],
@@ -228,13 +304,22 @@ pub struct PipelineSession<'a> {
     /// strict empty-candidate / empty-training-set checks and reproduce
     /// the historical permissive behavior bit for bit.
     strict: bool,
-    candidates: Option<Cached<CandidateSet>>,
+    candidates: Option<Cached<CandidateArtifact>>,
     split: Option<Cached<(BTreeSet<String>, BTreeSet<String>)>>,
-    features: Option<Cached<FeatureArtifact>>,
+    features: Option<Cached<FeatureSet>>,
+    /// Model inputs derived from the feature matrix (token windows +
+    /// feature rows per candidate). Built lazily by the train stage — an
+    /// upsert's featurize→supervise walk never pays for it.
+    dataset: Option<Cached<PreparedDataset>>,
     supervision: Option<Cached<SupervisionArtifact>>,
     model: Option<Cached<Box<dyn ProbClassifier>>>,
     marginals: Option<Cached<Vec<f32>>>,
     evaluation: Option<Cached<EvalArtifact>>,
+    /// Per-document shard caches (the incremental-recomputation layer).
+    shards: ShardStore,
+    /// Names of documents with at least one shard recomputed during the
+    /// current traversal (cleared at each public stage entry).
+    recomputed: BTreeSet<String>,
     timings: Timings,
     stats: SessionStats,
     /// Stages already counted during the current top-level traversal: one
@@ -291,8 +376,12 @@ impl<'a> PipelineSession<'a> {
         // global debug server, making every session (and run_task caller)
         // scrapeable with zero code changes. No-op when unset.
         fonduer_obsd::activate_from_env();
+        let doc_hashes = corpus.iter().map(|(_, d)| d.content_hash()).collect();
+        let mut shards = ShardStore::new();
+        shards.resize_for(corpus.len());
         Self {
-            corpus,
+            corpus: Cow::Borrowed(corpus),
+            doc_hashes,
             gold,
             extractor,
             lfs,
@@ -301,10 +390,13 @@ impl<'a> PipelineSession<'a> {
             candidates: None,
             split: None,
             features: None,
+            dataset: None,
             supervision: None,
             model: None,
             marginals: None,
             evaluation: None,
+            shards,
+            recomputed: BTreeSet::new(),
             timings: Timings::default(),
             stats: SessionStats::default(),
             noted: [false; 6],
@@ -377,17 +469,94 @@ impl<'a> PipelineSession<'a> {
         &self.cfg
     }
 
-    /// Drop every cached artifact, forcing the next run to recompute all
-    /// stages. The escape hatch for in-place edits content hashing cannot
-    /// see (a closure body behind an unchanged matcher kind or LF name).
+    // ------------------------------------------------------- corpus mutation
+
+    /// Read-only view of the session's current corpus (including any
+    /// upserts/removals applied through the session).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Insert or replace one document, keyed by its name. Returns the
+    /// document's position. The next run recomputes only this document's
+    /// candidate/feature/label shards plus the cheap merge and downstream
+    /// train/infer — every other document is a pure shard-cache hit. An
+    /// upsert whose content is byte-identical to the existing document is a
+    /// no-op for caching (the content hash is unchanged).
+    ///
+    /// Errors with [`Error::DuplicateDocId`] when more than one existing
+    /// document already carries the name (there is no unique document to
+    /// replace).
+    pub fn upsert_document(&mut self, doc: Document) -> Result<DocId, Error> {
+        let count = self.corpus.count_named(&doc.name);
+        if count > 1 {
+            return Err(Error::DuplicateDocId {
+                name: doc.name.clone(),
+                count,
+            });
+        }
+        let hash = doc.content_hash();
+        match self.corpus.index_of(&doc.name) {
+            Some(id) => {
+                self.corpus.to_mut().replace(id, doc);
+                self.doc_hashes[id.index()] = hash;
+                Ok(id)
+            }
+            None => {
+                let id = self.corpus.to_mut().add(doc);
+                self.doc_hashes.push(hash);
+                Ok(id)
+            }
+        }
+    }
+
+    /// Remove the document at `id`, returning it. Later documents shift
+    /// down one position — shards are content-keyed, so their cached work
+    /// survives the shift and the next run recomputes nothing but the
+    /// merge + downstream stages.
+    ///
+    /// Errors with [`Error::DocNotFound`] when `id` is past the end of the
+    /// corpus.
+    pub fn remove_document(&mut self, id: DocId) -> Result<Document, Error> {
+        if id.index() >= self.corpus.len() {
+            return Err(Error::DocNotFound {
+                doc: id,
+                n_docs: self.corpus.len(),
+            });
+        }
+        self.doc_hashes.remove(id.index());
+        Ok(self.corpus.to_mut().remove(id))
+    }
+
+    /// Number of documents whose shards were recomputed during the most
+    /// recent traversal: the whole corpus on a cold run, exactly 1 after a
+    /// warm single-document upsert, 0 when every stage was served from the
+    /// monolithic stage cache.
+    pub fn recomputed_docs(&self) -> usize {
+        self.recomputed.len()
+    }
+
+    /// Aggregated shard-cache counters (lifetime hits/misses/evictions,
+    /// resident shards) plus the last traversal's recomputed-document
+    /// count.
+    pub fn shard_stats(&self) -> ShardCacheSummary {
+        self.shards.summary(self.recomputed.len())
+    }
+
+    /// Drop every cached artifact — including all per-document shards —
+    /// forcing the next run to recompute all stages. The escape hatch for
+    /// in-place edits content hashing cannot see (a closure body behind an
+    /// unchanged matcher kind or LF name).
     pub fn invalidate(&mut self) {
         self.candidates = None;
         self.split = None;
         self.features = None;
+        self.dataset = None;
         self.supervision = None;
         self.model = None;
         self.marginals = None;
         self.evaluation = None;
+        self.shards.clear();
     }
 
     /// Per-stage cache hit/miss counters accumulated over the session.
@@ -415,7 +584,12 @@ impl<'a> PipelineSession<'a> {
     /// span totals accumulate across traversals while `last_us` is this
     /// session's most recent walk only.
     pub fn run_report(&self) -> crate::report::RunReport {
-        crate::report::RunReport::collect(&self.timings, self.stats, self.cfg.n_threads)
+        crate::report::RunReport::collect(
+            &self.timings,
+            self.stats,
+            self.shard_stats(),
+            self.cfg.n_threads,
+        )
     }
 
     /// Start (or reuse) the process-global `fonduer-obsd` debug server on
@@ -452,6 +626,13 @@ impl<'a> PipelineSession<'a> {
     /// whether this was the first consult of the traversal, so callers can
     /// also gate per-traversal side effects (like zeroing a stage timing)
     /// on it.
+    /// Reset per-traversal bookkeeping (stage hit/miss notes and the
+    /// recomputed-document set) at each public stage entry.
+    fn begin_traversal(&mut self) {
+        self.noted = [false; 6];
+        self.recomputed.clear();
+    }
+
     fn note(&mut self, stage: StageId, hit: bool) -> bool {
         if self.noted[stage.index()] {
             return false;
@@ -468,12 +649,29 @@ impl<'a> PipelineSession<'a> {
         true
     }
 
+    /// Content hash of the whole corpus, folded into every stage key so
+    /// upserts/removals dirty the monolithic artifacts (shards below then
+    /// make the recompute cheap).
+    fn corpus_key(&self) -> u64 {
+        hash_parts("corpus", &self.doc_hashes)
+    }
+
     fn candidates_key(&self) -> u64 {
-        hash_parts("candidates", &[self.extractor.fingerprint()])
+        hash_parts(
+            "candidates",
+            &[self.extractor.fingerprint(), self.corpus_key()],
+        )
     }
 
     fn split_key(&self) -> u64 {
-        hash_parts("split", &[self.cfg.train_frac.to_bits(), self.cfg.seed])
+        hash_parts(
+            "split",
+            &[
+                self.cfg.train_frac.to_bits(),
+                self.cfg.seed,
+                self.corpus_key(),
+            ],
+        )
     }
 
     fn features_key(&self) -> u64 {
@@ -538,9 +736,9 @@ impl<'a> PipelineSession<'a> {
 
     /// Phase 2: candidate generation. Cached on the extractor fingerprint.
     pub fn candidates(&mut self) -> Result<&CandidateSet, Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_candidates()?;
-        Ok(&self.candidates.as_ref().unwrap().value)
+        Ok(&self.candidates.as_ref().unwrap().value.set)
     }
 
     fn ensure_candidates(&mut self) -> Result<(), Error> {
@@ -552,25 +750,84 @@ impl<'a> PipelineSession<'a> {
             return Ok(());
         }
         self.note(StageId::Candidates, false);
-        let (set, took) = progress_stage("candgen", || {
+        let cfg_fp = hash_parts("shard.cand", &[self.extractor.fingerprint()]);
+        let n = self.corpus.len();
+        self.shards.resize_for(n);
+        let corpus: &Corpus = &self.corpus;
+        let extractor = self.extractor;
+        let n_threads = self.cfg.n_threads;
+        let doc_hashes = &self.doc_hashes;
+        let cache = &mut self.shards.candidates;
+        let recomputed = &mut self.recomputed;
+        let (value, took) = progress_stage("candgen", || {
             observe::timed("candgen", || {
-                self.extractor
-                    .extract_parallel(self.corpus, self.cfg.n_threads)
+                // Per-document shard plan: content-addressed lookups first,
+                // then one parallel pass over only the misses. The
+                // `extract_corpus` span covers only this per-document work
+                // (what the doc-timings table measures); the merge below is
+                // corpus-global reduction, outside it.
+                let plan = {
+                    let _span = observe::span("extract_corpus");
+                    let time_docs = observe::doc_timings_enabled();
+                    let mut plan: Vec<Option<Arc<Vec<Candidate>>>> = (0..n)
+                        .map(|i| {
+                            cache.get(ShardKey {
+                                doc_hash: doc_hashes[i],
+                                config: cfg_fp,
+                            })
+                        })
+                        .collect();
+                    let missing: Vec<DocId> = plan
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_none())
+                        .map(|(i, _)| DocId::from_usize(i))
+                        .collect();
+                    if !missing.is_empty() {
+                        let computed = extractor.extract_docs(corpus, &missing, n_threads);
+                        for (&id, (cands, ns)) in missing.iter().zip(computed) {
+                            let name = &corpus.doc(id).name;
+                            if time_docs {
+                                observe::doc_stage_ns(name, "candgen", ns);
+                            }
+                            recomputed.insert(name.clone());
+                            let shard = Arc::new(cands);
+                            cache.insert(
+                                ShardKey {
+                                    doc_hash: doc_hashes[id.index()],
+                                    config: cfg_fp,
+                                },
+                                Arc::clone(&shard),
+                            );
+                            plan[id.index()] = Some(shard);
+                        }
+                    }
+                    plan
+                };
+                // Deterministic input-order merge (the fonduer-par reduction
+                // contract), re-pointing each candidate at its current
+                // corpus position so shards survive the DocId shifts a
+                // removal causes.
+                let mut candidates = Vec::new();
+                let mut ranges = Vec::with_capacity(n);
+                for (i, shard) in plan.iter().enumerate() {
+                    let shard = shard.as_ref().expect("every shard resolved above");
+                    let lo = candidates.len() as u32;
+                    let id = DocId::from_usize(i);
+                    candidates.extend(shard.iter().map(|c| Candidate::new(id, c.mentions.clone())));
+                    ranges.push((lo, candidates.len() as u32));
+                }
+                CandidateArtifact {
+                    set: CandidateSet {
+                        schema: extractor.schema.clone(),
+                        candidates,
+                    },
+                    ranges,
+                }
             })
         });
-        // Validate every candidate's document id once, up front, so the
-        // historical index panics deep inside later stages become a typed
-        // error at the point the candidates enter the session.
-        for c in &set.candidates {
-            if self.corpus.get(c.doc).is_none() {
-                return Err(Error::DocNotFound {
-                    doc: c.doc,
-                    n_docs: self.corpus.len(),
-                });
-            }
-        }
         self.timings.candgen = took;
-        self.candidates = Some(Cached { key, value: set });
+        self.candidates = Some(Cached { key, value });
         Ok(())
     }
 
@@ -600,9 +857,9 @@ impl<'a> PipelineSession<'a> {
     /// Cached on the candidate key plus the [`FeatureConfig`] mask, vocab
     /// size, and sentence window.
     pub fn featurize(&mut self) -> Result<&FeatureSet, Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_featurize()?;
-        Ok(&self.features.as_ref().unwrap().value.feats)
+        Ok(&self.features.as_ref().unwrap().value)
     }
 
     fn ensure_featurize(&mut self) -> Result<(), Error> {
@@ -615,22 +872,117 @@ impl<'a> PipelineSession<'a> {
             return Ok(());
         }
         self.note(StageId::Featurize, false);
-        let cands = &self.candidates.as_ref().unwrap().value;
+        let cfg_fp = hash_parts(
+            "shard.feat",
+            &[
+                self.extractor.fingerprint(),
+                self.cfg.features.fingerprint(),
+            ],
+        );
+        let n = self.corpus.len();
+        self.shards.resize_for(n);
+        let corpus: &Corpus = &self.corpus;
+        let art = &self.candidates.as_ref().unwrap().value;
+        let featurizer = Featurizer::new(self.cfg.features);
+        let hashing_bits = self.cfg.features.hashing_bits;
+        let n_threads = self.cfg.n_threads;
+        let doc_hashes = &self.doc_hashes;
+        let cache = &mut self.shards.features;
+        let recomputed = &mut self.recomputed;
         let (feats, took) = progress_stage("featurize", || {
             observe::timed("featurize", || {
-                Featurizer::new(self.cfg.features).featurize_parallel(
-                    self.corpus,
-                    cands,
-                    self.cfg.n_threads,
-                )
+                // The `featurize_corpus` span covers only the per-document
+                // work (what the doc-timings table measures); the merge
+                // below is corpus-global reduction, outside it.
+                let plan = {
+                    let _span = observe::span("featurize_corpus");
+                    let time_docs = observe::doc_timings_enabled();
+                    let mut plan: Vec<Option<Arc<DocFeatureShard>>> = (0..n)
+                        .map(|i| {
+                            cache.get(ShardKey {
+                                doc_hash: doc_hashes[i],
+                                config: cfg_fp,
+                            })
+                        })
+                        .collect();
+                    let missing: Vec<usize> = plan
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !missing.is_empty() {
+                        let work = |&i: &usize| {
+                            let t0 = time_docs.then(std::time::Instant::now);
+                            let (lo, hi) = art.ranges[i];
+                            let shard = featurizer.featurize_doc(
+                                corpus.doc(DocId::from_usize(i)),
+                                &art.set.candidates[lo as usize..hi as usize],
+                            );
+                            (shard, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+                        };
+                        let pool = fonduer_par::Pool::new(n_threads);
+                        let computed: Vec<(DocFeatureShard, u64)> =
+                            if pool.n_threads() == 1 || missing.len() < 2 {
+                                missing.iter().map(work).collect()
+                            } else {
+                                pool.par_map(&missing, work)
+                            };
+                        for (&i, (shard, ns)) in missing.iter().zip(computed) {
+                            let name = &corpus.doc(DocId::from_usize(i)).name;
+                            if time_docs {
+                                observe::doc_stage_ns(name, "featurize", ns);
+                            }
+                            recomputed.insert(name.clone());
+                            let shard = Arc::new(shard);
+                            cache.insert(
+                                ShardKey {
+                                    doc_hash: doc_hashes[i],
+                                    config: cfg_fp,
+                                },
+                                Arc::clone(&shard),
+                            );
+                            plan[i] = Some(shard);
+                        }
+                    }
+                    plan
+                };
+                // Input-order merge: shard-local feature ids remap through
+                // a shared vocab in first-occurrence order, reproducing the
+                // sequential featurizer's intern order byte for byte.
+                let mut merger = FeatureShardMerger::new(hashing_bits);
+                for shard in &plan {
+                    merger.push(shard.as_ref().expect("every shard resolved above"));
+                }
+                merger.finish()
             })
         });
-        let vocab = HashedVocab::new(self.cfg.vocab_size);
-        let dataset = prepare(self.corpus, cands, &feats, &vocab, self.cfg.window);
         self.timings.featurize = took;
-        self.features = Some(Cached {
+        self.features = Some(Cached { key, value: feats });
+        Ok(())
+    }
+
+    /// Model-input preparation (token windows + feature rows per
+    /// candidate), keyed with the feature artifact. Only the train/infer
+    /// path needs it, so featurize-stage consumers (and warm upsert walks)
+    /// never pay for it.
+    fn ensure_dataset(&mut self) -> Result<(), Error> {
+        self.ensure_featurize()?;
+        let key = self.features_key();
+        if self.dataset.as_ref().is_some_and(|c| c.key == key) {
+            return Ok(());
+        }
+        let vocab = HashedVocab::new(self.cfg.vocab_size);
+        let dataset = prepare(
+            &self.corpus,
+            &self.candidates.as_ref().unwrap().value.set,
+            &self.features.as_ref().unwrap().value,
+            &vocab,
+            self.cfg.window,
+        );
+        self.dataset = Some(Cached {
             key,
-            value: FeatureArtifact { feats, dataset },
+            value: dataset,
         });
         Ok(())
     }
@@ -639,7 +991,7 @@ impl<'a> PipelineSession<'a> {
     /// the training split. Cached on the candidate and split keys plus the
     /// LF names and generative options.
     pub fn supervise(&mut self) -> Result<&SupervisionArtifact, Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_supervise()?;
         Ok(&self.supervision.as_ref().unwrap().value)
     }
@@ -655,32 +1007,108 @@ impl<'a> PipelineSession<'a> {
             return Ok(());
         }
         self.note(StageId::Supervise, false);
-        let candidates = &self.candidates.as_ref().unwrap().value;
+        let cfg_fp = {
+            let mut lf_names = Vec::new();
+            for lf in self.lfs {
+                lf_names.push(0x1f);
+                lf_names.extend_from_slice(lf.name.as_bytes());
+            }
+            // Keyed without split params: changing the train/test split
+            // reuses every label shard already computed for a document.
+            hash_parts(
+                "shard.label",
+                &[self.extractor.fingerprint(), fnv1a(&lf_names)],
+            )
+        };
+        let n = self.corpus.len();
+        self.shards.resize_for(n);
+        let corpus: &Corpus = &self.corpus;
+        let art = &self.candidates.as_ref().unwrap().value;
         let (train_docs, _) = &self.split.as_ref().unwrap().value;
-        let corpus = self.corpus;
         let lfs = self.lfs;
         let gen_opts = &self.cfg.gen_opts;
         let n_threads = self.cfg.n_threads;
+        let doc_hashes = &self.doc_hashes;
+        let cache = &mut self.shards.labels;
+        let recomputed = &mut self.recomputed;
         let ((label_matrix, train_idx, train_marginals, label_coverage), took) =
             progress_stage("supervise", || {
                 observe::timed("supervise", || {
-                    let train_idx: Vec<usize> = candidates
-                        .candidates
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, c)| train_docs.contains(&corpus.doc(c.doc).name))
-                        .map(|(i, _)| i)
-                        .collect();
-                    let train_subset = CandidateSet {
-                        schema: candidates.schema.clone(),
-                        candidates: train_idx
-                            .iter()
-                            .map(|&i| candidates.candidates[i].clone())
-                            .collect(),
-                    };
                     let lf_refs: Vec<&LabelingFunction> = lfs.iter().collect();
+                    // Corpus positions of training-split documents, in input
+                    // order; label shards exist only for these.
+                    let train_positions: Vec<usize> = (0..n)
+                        .filter(|&i| train_docs.contains(&corpus.doc(DocId::from_usize(i)).name))
+                        .collect();
+                    let blocks: Vec<Arc<LabelBlock>> = {
+                        let _span = observe::span("lf_apply");
+                        let time_docs = observe::doc_timings_enabled();
+                        let mut plan: Vec<Option<Arc<LabelBlock>>> = train_positions
+                            .iter()
+                            .map(|&i| {
+                                cache.get(ShardKey {
+                                    doc_hash: doc_hashes[i],
+                                    config: cfg_fp,
+                                })
+                            })
+                            .collect();
+                        // Missing slots, as indices into `train_positions`.
+                        let missing: Vec<usize> = plan
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.is_none())
+                            .map(|(k, _)| k)
+                            .collect();
+                        if !missing.is_empty() {
+                            let work = |&k: &usize| {
+                                let t0 = time_docs.then(std::time::Instant::now);
+                                let i = train_positions[k];
+                                let (lo, hi) = art.ranges[i];
+                                let block = LabelBlock::compute(
+                                    &lf_refs,
+                                    corpus.doc(DocId::from_usize(i)),
+                                    &art.set.candidates[lo as usize..hi as usize],
+                                );
+                                (block, t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+                            };
+                            let pool = fonduer_par::Pool::new(n_threads);
+                            let computed: Vec<(LabelBlock, u64)> =
+                                if pool.n_threads() == 1 || missing.len() < 2 {
+                                    missing.iter().map(work).collect()
+                                } else {
+                                    pool.par_map(&missing, work)
+                                };
+                            for (&k, (block, ns)) in missing.iter().zip(computed) {
+                                let i = train_positions[k];
+                                let name = &corpus.doc(DocId::from_usize(i)).name;
+                                if time_docs {
+                                    observe::doc_stage_ns(name, "lf_apply", ns);
+                                }
+                                recomputed.insert(name.clone());
+                                let block = Arc::new(block);
+                                cache.insert(
+                                    ShardKey {
+                                        doc_hash: doc_hashes[i],
+                                        config: cfg_fp,
+                                    },
+                                    Arc::clone(&block),
+                                );
+                                plan[k] = Some(block);
+                            }
+                        }
+                        plan.into_iter()
+                            .map(|b| b.expect("every block resolved above"))
+                            .collect()
+                    };
                     let label_matrix =
-                        LabelMatrix::apply_parallel(&lf_refs, corpus, &train_subset, n_threads);
+                        LabelMatrix::from_blocks(lfs.len(), blocks.iter().map(|b| b.as_ref()));
+                    // Candidate indices of the training split, grouped by
+                    // document in input order — identical to filtering the
+                    // merged candidate list by train-doc membership.
+                    let train_idx: Vec<usize> = train_positions
+                        .iter()
+                        .flat_map(|&i| (art.ranges[i].0 as usize)..(art.ranges[i].1 as usize))
+                        .collect();
                     let gen = GenerativeModel::fit(&label_matrix, gen_opts);
                     let train_marginals = gen.predict(&label_matrix);
                     let label_coverage = label_matrix.total_coverage();
@@ -688,6 +1116,7 @@ impl<'a> PipelineSession<'a> {
                 })
             });
         observe::gauge_set("supervision.label_coverage", label_coverage);
+        let candidates = &self.candidates.as_ref().unwrap().value.set;
         // LF error-analysis table (empirical accuracy when gold is known).
         let lf_names: Vec<String> = lfs.iter().map(|lf| lf.name.clone()).collect();
         let train_gold: Vec<bool> = train_idx
@@ -726,12 +1155,12 @@ impl<'a> PipelineSession<'a> {
     /// [`Error::NoCandidates`] / [`Error::EmptyTrainingSet`] instead of
     /// silently fitting nothing.
     pub fn train(&mut self) -> Result<(), Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_train()
     }
 
     fn ensure_train(&mut self) -> Result<(), Error> {
-        self.ensure_featurize()?;
+        self.ensure_dataset()?;
         self.ensure_supervise()?;
         let key = self.train_key();
         if self.model.as_ref().is_some_and(|c| c.key == key) {
@@ -741,8 +1170,8 @@ impl<'a> PipelineSession<'a> {
             return Ok(());
         }
         self.note(StageId::Train, false);
-        let candidates = &self.candidates.as_ref().unwrap().value;
-        let dataset = &self.features.as_ref().unwrap().value.dataset;
+        let candidates = &self.candidates.as_ref().unwrap().value.set;
+        let dataset = &self.dataset.as_ref().unwrap().value;
         let sup = &self.supervision.as_ref().unwrap().value;
         // Keep only candidates some LF labeled (Snorkel's behavior).
         let mut train_inputs = Vec::new();
@@ -796,7 +1225,7 @@ impl<'a> PipelineSession<'a> {
     /// Inference: marginal P(true) for every candidate (aligned with
     /// [`candidates`](Self::candidates)). Cached with the trained model.
     pub fn infer(&mut self) -> Result<&[f32], Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_infer()?;
         Ok(&self.marginals.as_ref().unwrap().value)
     }
@@ -812,7 +1241,7 @@ impl<'a> PipelineSession<'a> {
         }
         self.note(StageId::Infer, false);
         let model = &self.model.as_ref().unwrap().value;
-        let dataset = &self.features.as_ref().unwrap().value.dataset;
+        let dataset = &self.dataset.as_ref().unwrap().value;
         let (marginals, took) = progress_stage("infer", || {
             observe::timed("infer", || model.predict(&dataset.inputs))
         });
@@ -828,7 +1257,7 @@ impl<'a> PipelineSession<'a> {
     /// Held-out evaluation against gold plus KB construction. Cached on the
     /// inference key and the classification threshold.
     pub fn evaluate(&mut self) -> Result<&PrF1, Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_evaluate()?;
         Ok(&self.evaluation.as_ref().unwrap().value.metrics)
     }
@@ -841,7 +1270,7 @@ impl<'a> PipelineSession<'a> {
             return Ok(());
         }
         self.note(StageId::Evaluate, false);
-        let candidates = &self.candidates.as_ref().unwrap().value;
+        let candidates = &self.candidates.as_ref().unwrap().value.set;
         let marginals = &self.marginals.as_ref().unwrap().value;
         let (_, test_docs) = &self.split.as_ref().unwrap().value;
         let relation = candidates.schema.name.clone();
@@ -876,13 +1305,13 @@ impl<'a> PipelineSession<'a> {
     /// [`PipelineOutput`] — byte-identical to what the one-shot
     /// [`run_task`](crate::run_task) produces for the same inputs.
     pub fn output(&mut self) -> Result<PipelineOutput, Error> {
-        self.noted = [false; 6];
+        self.begin_traversal();
         self.ensure_evaluate()?;
         if observe::provenance::recording_enabled() {
             self.record_provenance();
         }
         self.publish_obsd();
-        let candidates = self.candidates.as_ref().unwrap().value.clone();
+        let candidates = self.candidates.as_ref().unwrap().value.set.clone();
         let marginals = self.marginals.as_ref().unwrap().value.clone();
         let (train_docs, test_docs) = self.split.as_ref().unwrap().value.clone();
         let sup = &self.supervision.as_ref().unwrap().value;
@@ -905,10 +1334,10 @@ impl<'a> PipelineSession<'a> {
     /// to its marginal (same records `run_task` has always emitted).
     fn record_provenance(&self) {
         let _span = observe::span("provenance");
-        let candidates = &self.candidates.as_ref().unwrap().value;
+        let candidates = &self.candidates.as_ref().unwrap().value.set;
         let marginals = &self.marginals.as_ref().unwrap().value;
         let sup = &self.supervision.as_ref().unwrap().value;
-        let feats = &self.features.as_ref().unwrap().value.feats;
+        let feats = &self.features.as_ref().unwrap().value;
         observe::provenance::set_meta(ProvenanceMeta {
             relation: candidates.schema.name.clone(),
             arg_names: candidates.schema.arg_names.clone(),

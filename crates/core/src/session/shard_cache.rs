@@ -1,0 +1,229 @@
+//! The per-document shard cache behind incremental
+//! [`PipelineSession`](crate::PipelineSession) recomputation.
+//!
+//! Stage artifacts (candidate slices, feature CSR blocks, LF vote blocks)
+//! are cached per document under a [`ShardKey`] —
+//! `(document content hash, stage config fingerprint)` — so mutating one
+//! document invalidates exactly that document's shards: its content hash
+//! changes, every other key still hits. Shards are content-addressed, not
+//! position-addressed, which keeps them valid across the `DocId` shifts a
+//! removal causes.
+//!
+//! Eviction is deterministic LRU over an insertion/access tick, bounded by
+//! a capacity the session resizes to track the corpus (a few generations
+//! of shards per document). Hits, misses, and evictions are mirrored to
+//! the `fonduer-observe` counters
+//! `session.shard_cache.{hit,miss,evict}` (exported by `fonduer-obsd` as
+//! `fonduer_session_shard_cache_{hit,miss,evict}_total`).
+
+use fonduer_observe as observe;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of one per-document stage shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardKey {
+    /// [`Document::content_hash`](fonduer_datamodel::Document::content_hash)
+    /// of the document the shard was computed from.
+    pub doc_hash: u64,
+    /// Fingerprint of every stage input that shapes the shard (extractor,
+    /// feature config, LF names, ...).
+    pub config: u64,
+}
+
+struct Entry<T> {
+    value: Arc<T>,
+    last_used: u64,
+}
+
+/// A bounded, deterministically-LRU-evicting map from [`ShardKey`] to one
+/// stage's per-document shard type.
+pub struct ShardCache<T> {
+    map: HashMap<ShardKey, Entry<T>>,
+    /// Monotonic access clock; unique per get/insert, so LRU order is a
+    /// total order and eviction is deterministic.
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evicts: u64,
+}
+
+impl<T> ShardCache<T> {
+    /// An empty cache holding at most `capacity` shards.
+    pub fn new(capacity: usize) -> Self {
+        // Register the counters at zero so a live `/metrics` scrape shows
+        // the full family even before any traversal runs.
+        observe::counter("session.shard_cache.hit", 0);
+        observe::counter("session.shard_cache.miss", 0);
+        observe::counter("session.shard_cache.evict", 0);
+        Self {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evicts: 0,
+        }
+    }
+
+    /// Grow or shrink the capacity (evicting LRU-first if over the new
+    /// bound). Sessions call this as the corpus grows or shrinks.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.evict_over_capacity();
+    }
+
+    /// Look up a shard, counting a hit or miss and refreshing LRU order.
+    pub fn get(&mut self, key: ShardKey) -> Option<Arc<T>> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                observe::counter("session.shard_cache.hit", 1);
+                Some(Arc::clone(&e.value))
+            }
+            None => {
+                self.misses += 1;
+                observe::counter("session.shard_cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Insert (or overwrite) a shard, evicting least-recently-used entries
+    /// if the cache is over capacity.
+    pub fn insert(&mut self, key: ShardKey, value: Arc<T>) {
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+        self.evict_over_capacity();
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("cache over capacity implies at least one entry");
+            self.map.remove(&victim);
+            self.evicts += 1;
+            observe::counter("session.shard_cache.evict", 1);
+        }
+    }
+
+    /// Shards currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every shard (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evicts(&self) -> u64 {
+        self.evicts
+    }
+}
+
+/// Aggregated shard-cache state for reporting: lifetime hit/miss/evict
+/// totals across a session's candidate, feature, and label caches plus the
+/// last traversal's recomputed-document count — the `RunReport`
+/// incremental-run section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheSummary {
+    /// Shard lookups served from cache (all stages, session lifetime).
+    pub hits: u64,
+    /// Shard lookups that required recomputation.
+    pub misses: u64,
+    /// Shards evicted under capacity pressure.
+    pub evicts: u64,
+    /// Shards currently resident across all stage caches.
+    pub cached: usize,
+    /// Documents with at least one shard recomputed in the last traversal
+    /// (1 after a warm single-document upsert; the whole corpus when cold).
+    pub recomputed_docs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(doc: u64, cfg: u64) -> ShardKey {
+        ShardKey {
+            doc_hash: doc,
+            config: cfg,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let mut c: ShardCache<u32> = ShardCache::new(8);
+        assert!(c.get(k(1, 1)).is_none());
+        c.insert(k(1, 1), Arc::new(42));
+        assert_eq!(c.get(k(1, 1)).as_deref(), Some(&42));
+        assert!(
+            c.get(k(1, 2)).is_none(),
+            "config fingerprint is part of the key"
+        );
+        assert!(c.get(k(2, 1)).is_none(), "doc hash is part of the key");
+        assert_eq!((c.hits(), c.misses(), c.evicts()), (1, 3, 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let mut c: ShardCache<u32> = ShardCache::new(2);
+        c.insert(k(1, 0), Arc::new(1));
+        c.insert(k(2, 0), Arc::new(2));
+        // Touch 1 so 2 is now least recently used.
+        assert!(c.get(k(1, 0)).is_some());
+        c.insert(k(3, 0), Arc::new(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evicts(), 1);
+        assert!(c.get(k(2, 0)).is_none(), "LRU entry evicted");
+        assert!(c.get(k(1, 0)).is_some());
+        assert!(c.get(k(3, 0)).is_some());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut c: ShardCache<u32> = ShardCache::new(4);
+        for i in 0..4 {
+            c.insert(k(i, 0), Arc::new(i as u32));
+        }
+        c.set_capacity(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evicts(), 2);
+        // The two most recently inserted survive.
+        assert!(c.get(k(2, 0)).is_some());
+        assert!(c.get(k(3, 0)).is_some());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

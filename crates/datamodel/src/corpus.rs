@@ -28,6 +28,40 @@ impl Corpus {
         id
     }
 
+    /// Replace the document at `id` in place, returning the previous one.
+    /// The id stays valid and every other document keeps its position.
+    ///
+    /// Panics when `id` is out of range.
+    pub fn replace(&mut self, id: DocId, doc: Document) -> Document {
+        std::mem::replace(&mut self.docs[id.index()], doc)
+    }
+
+    /// Remove and return the document at `id`. Every later document shifts
+    /// down one position, so previously issued `DocId`s past `id` now name
+    /// different documents — callers holding derived artifacts (candidates,
+    /// feature rows) must re-key them by document *content*, not position.
+    ///
+    /// Panics when `id` is out of range; sessions bounds-check first and
+    /// surface a typed `DocNotFound` error instead.
+    pub fn remove(&mut self, id: DocId) -> Document {
+        self.docs.remove(id.index())
+    }
+
+    /// Position of the first document named `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<DocId> {
+        self.docs
+            .iter()
+            .position(|d| d.name == name)
+            .map(DocId::from_usize)
+    }
+
+    /// Number of documents named `name`. Document names are expected to be
+    /// unique (the train/test split and gold KB key on them); upserts treat
+    /// a count above one as a conflict.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.docs.iter().filter(|d| d.name == name).count()
+    }
+
     /// Look up a document.
     ///
     /// Panics when `id` is out of range; use [`Corpus::get`] for the
@@ -111,6 +145,29 @@ mod tests {
         assert!(c.get(DocId(99)).is_none());
         let names: Vec<&str> = c.iter().map(|(_, d)| d.name.as_str()).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn replace_and_remove_mutate_in_place() {
+        let mut c = Corpus::new("test");
+        c.add(Document::new("a", DocFormat::Pdf));
+        c.add(Document::new("b", DocFormat::Pdf));
+        c.add(Document::new("c", DocFormat::Pdf));
+        assert_eq!(c.index_of("b"), Some(DocId(1)));
+        assert_eq!(c.index_of("zzz"), None);
+        assert_eq!(c.count_named("b"), 1);
+
+        let old = c.replace(DocId(1), Document::new("b2", DocFormat::Html));
+        assert_eq!(old.name, "b");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.doc(DocId(1)).name, "b2");
+
+        let removed = c.remove(DocId(0));
+        assert_eq!(removed.name, "a");
+        assert_eq!(c.len(), 2);
+        // Later documents shifted down one position.
+        assert_eq!(c.doc(DocId(0)).name, "b2");
+        assert_eq!(c.doc(DocId(1)).name, "c");
     }
 
     #[test]

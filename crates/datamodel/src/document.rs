@@ -245,6 +245,31 @@ impl Document {
         }
     }
 
+    /// Stable 64-bit hash of the document's full parsed content — name,
+    /// structure arenas, text, linguistic and visual attributes. Two
+    /// documents hash equal iff every field is identical, so pipeline
+    /// sessions can key per-document artifact shards on
+    /// `(content_hash, stage fingerprint)` and treat an upsert that did
+    /// not actually change the document as a pure cache hit.
+    ///
+    /// Streams the `Debug` rendering through FNV-1a so no intermediate
+    /// string is materialized.
+    pub fn content_hash(&self) -> u64 {
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for &b in s.as_bytes() {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        let _ = std::fmt::write(&mut h, format_args!("{self:?}"));
+        h.0
+    }
+
     /// Look up a sentence.
     #[inline]
     pub fn sentence(&self, id: SentenceId) -> &Sentence {
@@ -408,5 +433,28 @@ mod tests {
         };
         assert_eq!(s.page(), None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let a = Document::new("a", DocFormat::Html);
+        let a2 = Document::new("a", DocFormat::Html);
+        assert_eq!(a.content_hash(), a2.content_hash());
+        // A different name alone changes the hash.
+        let b = Document::new("b", DocFormat::Html);
+        assert_ne!(a.content_hash(), b.content_hash());
+        // So does any content change under an unchanged name.
+        let mut a3 = Document::new("a", DocFormat::Html);
+        a3.sentences.push(Sentence {
+            parent: ParagraphId(0),
+            abs_position: 0,
+            text: "x".into(),
+            words: vec!["x".into()],
+            char_offsets: vec![(0, 1)],
+            ling: vec![WordLinguistic::default()],
+            visual: None,
+            structural: Structural::default(),
+        });
+        assert_ne!(a.content_hash(), a3.content_hash());
     }
 }

@@ -615,6 +615,208 @@ fn merge_chunk(
     }
 }
 
+/// One document's featurization shard: self-contained CSR-block rows for
+/// that document's candidates. In interned mode every symbol id is
+/// [`DELTA_BIT`]-tagged and indexes the shard's own first-occurrence
+/// `delta` vocabulary; in hashing mode ids are final buckets and the delta
+/// is empty. Shards carry no document id — sessions key them by
+/// `(document content hash, feature-config fingerprint)` and stitch them
+/// into a corpus-level [`FeatureSet`] with a [`FeatureShardMerger`], so a
+/// document's shard stays valid when other documents are inserted or
+/// removed around it.
+#[derive(Debug, Clone)]
+pub struct DocFeatureShard {
+    /// All rows back-to-back (already deduped within each row by local id).
+    flat: Vec<(u32, u8)>,
+    /// Row boundaries into `flat` (`n_rows + 1` offsets).
+    offsets: Vec<u32>,
+    /// Shard-local first-occurrence vocabulary (empty in hashing mode).
+    delta: FeatureVocab,
+    stats: CacheStats,
+    tally: [u64; 5],
+    /// `FeatureConfig::hashing_bits` the shard was built with.
+    hashing_bits: u8,
+}
+
+impl DocFeatureShard {
+    /// Number of candidate rows in this shard.
+    pub fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Approximate retained heap bytes (rows + delta vocab arena).
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.capacity() * std::mem::size_of::<(u32, u8)>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.delta.heap_bytes()
+    }
+}
+
+impl Featurizer {
+    /// Featurize one document's candidates into a self-contained
+    /// [`DocFeatureShard`]. `cands` must be this document's contiguous
+    /// candidate slice (their stored [`Candidate::doc`] ids are ignored —
+    /// only the mention spans are read — so positionally stale candidates
+    /// from a mutated corpus featurize correctly).
+    ///
+    /// The per-document mention cache works exactly as in
+    /// [`Featurizer::featurize`]; merging shards in corpus order via
+    /// [`FeatureShardMerger`] reproduces the sequential output
+    /// byte-for-byte.
+    pub fn featurize_doc(&self, doc: &Document, cands: &[Candidate]) -> DocFeatureShard {
+        let hashed = self.cfg.hashing_bits > 0;
+        let mut delta = FeatureVocab::new();
+        let mut flat: Vec<(u32, u8)> = Vec::with_capacity(cands.len() * 64);
+        let mut offsets: Vec<u32> = Vec::with_capacity(cands.len() + 1);
+        offsets.push(0);
+        let mut stats = CacheStats::default();
+        let mut cache: MentionCache = HashMap::new();
+        let tally;
+        {
+            let mut sink = if hashed {
+                FeatureSink::hashed(self.cfg.hashing_bits)
+            } else {
+                FeatureSink::delta(&mut delta)
+            };
+            for cand in cands {
+                self.candidate_into(
+                    doc,
+                    cand,
+                    &mut sink,
+                    self.cache_enabled.then_some(&mut cache),
+                    &mut stats,
+                );
+                let row = sink.row_mut();
+                // Dedup by local id in the shard: a name maps to exactly one
+                // delta id, so this removes the same duplicates the
+                // sequential path would.
+                dedup_row(row);
+                flat.extend_from_slice(row);
+                row.clear();
+                offsets.push(flat.len() as u32);
+            }
+            tally = sink.tally();
+        }
+        DocFeatureShard {
+            flat,
+            offsets,
+            delta,
+            stats,
+            tally,
+            hashing_bits: self.cfg.hashing_bits,
+        }
+    }
+}
+
+/// Input-order reducer stitching [`DocFeatureShard`]s into one
+/// [`FeatureSet`] — the same reduction contract `featurize_parallel` uses
+/// for chunk deltas, packaged for shard-cached sessions. Push shards in
+/// corpus order; each shard's delta names are interned into the global
+/// vocabulary in first-occurrence order, its rows remapped to global
+/// columns and re-deduped, and its cache statistics accumulated. The
+/// finished artifact is byte-identical to [`Featurizer::featurize`] over
+/// the concatenated candidates.
+pub struct FeatureShardMerger {
+    hashing_bits: u8,
+    vocab: FeatureVocab,
+    csr: CsrMatrix,
+    stats: CacheStats,
+    tally: [u64; 5],
+    row_modality: Option<Vec<[u32; 5]>>,
+    row_buf: Vec<(u32, u8)>,
+    remap: Vec<u32>,
+}
+
+impl FeatureShardMerger {
+    /// Merger for shards built with the given hashing bit width
+    /// (0 = interned vocabulary mode).
+    pub fn new(hashing_bits: u8) -> Self {
+        Self {
+            hashing_bits,
+            vocab: FeatureVocab::new(),
+            csr: CsrMatrix::new(),
+            stats: CacheStats::default(),
+            tally: [0; 5],
+            row_modality: (hashing_bits > 0).then(Vec::new),
+            row_buf: Vec::with_capacity(128),
+            remap: Vec::new(),
+        }
+    }
+
+    /// Append one document's shard (must be called in corpus order).
+    pub fn push(&mut self, shard: &DocFeatureShard) {
+        debug_assert_eq!(shard.hashing_bits, self.hashing_bits);
+        if self.hashing_bits > 0 {
+            // Hashed mode: shard ids are final buckets and each row is
+            // already sorted and deduped, so rows stream straight into the
+            // CSR with no remap, copy, or re-sort.
+            debug_assert_eq!(shard.delta.len(), 0);
+            for w in shard.offsets.windows(2) {
+                let row = &shard.flat[w[0] as usize..w[1] as usize];
+                if let Some(rm) = self.row_modality.as_mut() {
+                    let mut counts = [0u32; 5];
+                    for &(_, m) in row {
+                        counts[(m as usize).min(4)] += 1;
+                    }
+                    rm.push(counts);
+                }
+                self.csr.push_ids(row.iter().map(|&(id, _)| id));
+            }
+            self.stats.hits += shard.stats.hits;
+            self.stats.misses += shard.stats.misses;
+            for (t, v) in self.tally.iter_mut().zip(shard.tally) {
+                *t += v;
+            }
+            return;
+        }
+        self.remap.clear();
+        for i in 0..shard.delta.len() as u32 {
+            let gid = self.vocab.intern(shard.delta.name(i));
+            self.remap.push(gid);
+        }
+        for w in shard.offsets.windows(2) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            self.row_buf.clear();
+            self.row_buf
+                .extend(shard.flat[lo..hi].iter().map(|&(id, m)| {
+                    if id & DELTA_BIT != 0 {
+                        (self.remap[(id & !DELTA_BIT) as usize], m)
+                    } else {
+                        (id, m)
+                    }
+                }));
+            dedup_row(&mut self.row_buf);
+            if let Some(rm) = self.row_modality.as_mut() {
+                let mut counts = [0u32; 5];
+                for &(_, m) in self.row_buf.iter() {
+                    counts[(m as usize).min(4)] += 1;
+                }
+                rm.push(counts);
+            }
+            self.csr.push_ids(self.row_buf.iter().map(|&(id, _)| id));
+        }
+        self.stats.hits += shard.stats.hits;
+        self.stats.misses += shard.stats.misses;
+        for (t, v) in self.tally.iter_mut().zip(shard.tally) {
+            *t += v;
+        }
+    }
+
+    /// Finish the merge, flushing the accumulated emission tallies and
+    /// cache counters to `fonduer-observe` exactly as the monolithic paths
+    /// do.
+    pub fn finish(self) -> FeatureSet {
+        flush_tally(&self.tally, &self.stats);
+        FeatureSet {
+            vocab: self.vocab,
+            matrix: Arc::new(self.csr),
+            stats: self.stats,
+            hashing_bits: self.hashing_bits,
+            row_modality: self.row_modality,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +1087,81 @@ mod parallel_tests {
                 assert_eq!(par.modality_counts(r), seq.modality_counts(r), "row {r}");
             }
         }
+    }
+
+    /// Split a candidate set into per-document contiguous slices.
+    fn doc_slices(cands: &CandidateSet) -> Vec<(DocId, &[Candidate])> {
+        let mut out: Vec<(DocId, &[Candidate])> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=cands.len() {
+            if i == cands.len() || cands.candidates[i].doc != cands.candidates[i - 1].doc {
+                out.push((cands.candidates[start].doc, &cands.candidates[start..i]));
+                start = i;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn doc_shard_merge_matches_sequential() {
+        let (corpus, cands) = corpus_and_cands();
+        let f = Featurizer::default();
+        let seq = f.featurize(&corpus, &cands);
+        let mut merger = FeatureShardMerger::new(0);
+        for (doc, slice) in doc_slices(&cands) {
+            let shard = f.featurize_doc(corpus.doc(doc), slice);
+            assert_eq!(shard.n_rows(), slice.len());
+            merger.push(&shard);
+        }
+        let merged = merger.finish();
+        assert_eq!(merged.vocab.len(), seq.vocab.len());
+        for c in 0..seq.vocab.len() as u32 {
+            assert_eq!(merged.vocab.name(c), seq.vocab.name(c));
+            assert_eq!(merged.vocab.modality_idx(c), seq.vocab.modality_idx(c));
+        }
+        assert_eq!(merged.matrix, seq.matrix);
+        assert_eq!(merged.stats, seq.stats);
+    }
+
+    #[test]
+    fn doc_shard_merge_matches_sequential_hashed() {
+        let (corpus, cands) = corpus_and_cands();
+        let f = Featurizer::new(FeatureConfig::all().with_hashing(16));
+        let seq = f.featurize(&corpus, &cands);
+        let mut merger = FeatureShardMerger::new(16);
+        for (doc, slice) in doc_slices(&cands) {
+            merger.push(&f.featurize_doc(corpus.doc(doc), slice));
+        }
+        let merged = merger.finish();
+        assert_eq!(merged.matrix, seq.matrix);
+        assert_eq!(merged.stats, seq.stats);
+        for r in 0..cands.len() {
+            assert_eq!(merged.modality_counts(r), seq.modality_counts(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn doc_shards_are_position_independent() {
+        // A shard computed for a document must merge identically no matter
+        // what DocId the candidates carried when it was computed — the
+        // content-keyed shard cache relies on this.
+        let (corpus, cands) = corpus_and_cands();
+        let f = Featurizer::default();
+        let slices = doc_slices(&cands);
+        let (doc, slice) = slices[2];
+        let shard = f.featurize_doc(corpus.doc(doc), slice);
+        // Same mentions, deliberately wrong positional ids.
+        let stale: Vec<Candidate> = slice
+            .iter()
+            .map(|c| Candidate::new(DocId(999), c.mentions.clone()))
+            .collect();
+        let shard_stale = f.featurize_doc(corpus.doc(doc), &stale);
+        let (mut a, mut b) = (FeatureShardMerger::new(0), FeatureShardMerger::new(0));
+        a.push(&shard);
+        b.push(&shard_stale);
+        let (a, b) = (a.finish(), b.finish());
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -422,6 +422,12 @@ enum Encoder<'a> {
         base: &'a ShardedInterner,
         delta: &'a mut FeatureVocab,
     },
+    /// Document-shard worker: intern *every* name into a shard-local delta
+    /// vocabulary (ids tagged with [`DELTA_BIT`]). The "empty base" case of
+    /// `Shared`, without probing a base table — produces self-contained
+    /// per-document shards whose local ids an input-order merge remaps to
+    /// global columns.
+    Delta(&'a mut FeatureVocab),
     /// Feature hashing (the vocab-free fast path): bucket by salted hash.
     Hashed { mask: u64 },
     /// Debug/compat: collect fully rendered strings (the seed string path).
@@ -466,6 +472,13 @@ impl<'a> FeatureSink<'a> {
     /// names into `delta` with [`DELTA_BIT`]-tagged local ids.
     pub(crate) fn shared(base: &'a ShardedInterner, delta: &'a mut FeatureVocab) -> Self {
         Self::with_encoder(Encoder::Shared { base, delta })
+    }
+
+    /// Sink for a self-contained document shard: interns every name into
+    /// `delta` with [`DELTA_BIT`]-tagged local ids, so shards carry their
+    /// own first-occurrence-ordered vocabulary and need no shared base.
+    pub(crate) fn delta(delta: &'a mut FeatureVocab) -> Self {
+        Self::with_encoder(Encoder::Delta(delta))
     }
 
     /// Vocab-free feature-hashing sink with `1 << bits` buckets.
@@ -544,6 +557,10 @@ impl<'a> FeatureSink<'a> {
                     Some(id) => id,
                     None => delta.intern_hashed(h, &self.scratch) | DELTA_BIT,
                 }
+            }
+            Encoder::Delta(delta) => {
+                let h = fnv1a64(self.scratch.as_bytes());
+                delta.intern_hashed(h, &self.scratch) | DELTA_BIT
             }
             Encoder::Hashed { mask } => {
                 ((fnv1a64(self.scratch.as_bytes()) ^ FEATURE_HASH_SALT) & *mask) as u32

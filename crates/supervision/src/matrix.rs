@@ -3,8 +3,8 @@
 //! "coverage, conflict, and overlap").
 
 use crate::lf::LabelingFunction;
-use fonduer_candidates::CandidateSet;
-use fonduer_datamodel::{Corpus, DocId};
+use fonduer_candidates::{Candidate, CandidateSet};
+use fonduer_datamodel::{Corpus, DocId, Document};
 
 /// Dense label matrix: `n` candidates × `l` labeling functions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +158,43 @@ impl LabelMatrix {
         m
     }
 
+    /// Assemble a matrix from per-document vote blocks, in corpus order.
+    /// The row layout and the telemetry counters
+    /// (`supervision.votes.{positive,negative,abstain}`,
+    /// `supervision.rows_covered`) are byte-identical to
+    /// [`LabelMatrix::apply`] over the concatenated candidates — this is
+    /// the shard-cached session's reduction step, mirroring
+    /// `apply_parallel`'s input-order fold.
+    pub fn from_blocks<'b>(
+        n_cols: usize,
+        blocks: impl IntoIterator<Item = &'b LabelBlock>,
+    ) -> Self {
+        let mut m = Self {
+            n_rows: 0,
+            n_cols,
+            data: Vec::new(),
+        };
+        let (mut pos, mut neg, mut abstain) = (0u64, 0u64, 0u64);
+        for b in blocks {
+            debug_assert_eq!(b.n_cols, n_cols);
+            m.data.extend_from_slice(&b.rows);
+            pos += b.positive;
+            neg += b.negative;
+            abstain += b.abstain;
+        }
+        m.n_rows = m.data.len().checked_div(n_cols).unwrap_or(0);
+        fonduer_observe::counter("supervision.votes.positive", pos);
+        fonduer_observe::counter("supervision.votes.negative", neg);
+        fonduer_observe::counter("supervision.votes.abstain", abstain);
+        fonduer_observe::counter(
+            "supervision.rows_covered",
+            (0..m.n_rows)
+                .filter(|&i| m.row(i).iter().any(|&v| v != 0))
+                .count() as u64,
+        );
+        m
+    }
+
     /// Number of candidates.
     pub fn n_rows(&self) -> usize {
         self.n_rows
@@ -254,6 +291,55 @@ impl LabelMatrix {
     }
 }
 
+/// One document's LF-vote shard: the dense vote rows for that document's
+/// candidates plus this block's vote tallies, ready for the input-order
+/// [`LabelMatrix::from_blocks`] reduction. Blocks carry no document id —
+/// shard-cached sessions key them by
+/// `(document content hash, LF-library fingerprint)`, so a block stays
+/// valid when other documents are inserted or removed around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelBlock {
+    /// Row-major votes: one row of `n_cols` labels per candidate.
+    rows: Vec<i8>,
+    n_cols: usize,
+    positive: u64,
+    negative: u64,
+    abstain: u64,
+}
+
+impl LabelBlock {
+    /// Vote every LF on one document's candidates. Only the mention spans
+    /// of each candidate are read against `doc`, so positionally stale
+    /// `Candidate::doc` ids (from a mutated corpus) are harmless.
+    pub fn compute(lfs: &[&LabelingFunction], doc: &Document, cands: &[Candidate]) -> Self {
+        let mut rows: Vec<i8> = Vec::with_capacity(cands.len() * lfs.len());
+        let (mut positive, mut negative, mut abstain) = (0u64, 0u64, 0u64);
+        for cand in cands {
+            for lf in lfs {
+                let v = lf.label(doc, cand);
+                match v {
+                    1 => positive += 1,
+                    -1 => negative += 1,
+                    _ => abstain += 1,
+                }
+                rows.push(v);
+            }
+        }
+        Self {
+            rows,
+            n_cols: lfs.len(),
+            positive,
+            negative,
+            abstain,
+        }
+    }
+
+    /// Number of candidate rows in this block.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len().checked_div(self.n_cols).unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +392,50 @@ mod tests {
         let m = matrix();
         assert_eq!(m.row(0), &[1, 1, 0]);
         assert_eq!(m.row(3), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn from_blocks_matches_apply() {
+        use crate::lf::Modality;
+        use fonduer_candidates::RelationSchema;
+        use fonduer_datamodel::DocFormat;
+
+        let mut corpus = Corpus::new("t");
+        let d0 = corpus.add(Document::new("a", DocFormat::Html));
+        let d1 = corpus.add(Document::new("b", DocFormat::Html));
+        let cands = CandidateSet {
+            schema: RelationSchema::new("r", &["x"]),
+            candidates: vec![
+                Candidate::new(d0, vec![]),
+                Candidate::new(d0, vec![]),
+                Candidate::new(d1, vec![]),
+            ],
+        };
+        let lfs = [
+            LabelingFunction::new(
+                "by_name",
+                Modality::Textual,
+                |d: &Document, _: &Candidate| {
+                    if d.name == "a" {
+                        1
+                    } else {
+                        -1
+                    }
+                },
+            ),
+            LabelingFunction::new(
+                "abstains",
+                Modality::Textual,
+                |_: &Document, _: &Candidate| 0,
+            ),
+        ];
+        let lf_refs: Vec<&LabelingFunction> = lfs.iter().collect();
+        let whole = LabelMatrix::apply(&lf_refs, &corpus, &cands);
+        let b0 = LabelBlock::compute(&lf_refs, corpus.doc(d0), &cands.candidates[0..2]);
+        let b1 = LabelBlock::compute(&lf_refs, corpus.doc(d1), &cands.candidates[2..3]);
+        assert_eq!(b0.n_rows(), 2);
+        assert_eq!(b1.n_rows(), 1);
+        let merged = LabelMatrix::from_blocks(lf_refs.len(), [&b0, &b1]);
+        assert_eq!(merged, whole);
     }
 }

@@ -44,8 +44,11 @@ fn main() {
             .expect("session inputs are valid");
         let metrics = *session.evaluate().expect("pipeline run");
         println!(
-            "  {rel:<14} P={:.2} R={:.2} F1={:.2}",
-            metrics.precision, metrics.recall, metrics.f1
+            "  {rel:<14} P={:.2} R={:.2} F1={:.2} ({} docs)",
+            metrics.precision,
+            metrics.recall,
+            metrics.f1,
+            session.corpus().len()
         );
     }
 }

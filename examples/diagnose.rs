@@ -85,10 +85,11 @@ fn main() {
         out.metrics.f1,
         out.kb.len()
     );
-    // Show a few errors on the held-out split.
+    // Show a few errors on the held-out split, reading documents through
+    // the session's own (possibly upserted) corpus view.
     let mut shown = 0;
     for (c, &p) in out.candidates.candidates.iter().zip(&out.marginals) {
-        let d = ds.corpus.doc(c.doc);
+        let d = session.corpus().doc(c.doc);
         if !out.test_docs.contains(&d.name) {
             continue;
         }

@@ -54,6 +54,23 @@ fn main() {
                     m.precision, m.recall, m.f1
                 );
             }
+            // Corpus mutation on the live session: retire the last
+            // datasheet and re-evaluate. The per-document shard caches
+            // serve every surviving document, so the re-run only pays
+            // for the merge and downstream train/infer.
+            session
+                .set_threshold(cfg.threshold)
+                .expect("default is valid");
+            let last = fonduer_datamodel::DocId::from_usize(session.corpus().len() - 1);
+            let gone = session.remove_document(last).expect("id is in range");
+            let m = *session.evaluate().expect("evaluate after removal");
+            println!(
+                "after remove_document({:?}): {} docs remain, F1={:.2}, recomputed_docs={}",
+                gone.name,
+                session.corpus().len(),
+                m.f1,
+                session.recomputed_docs(),
+            );
         }
     }
     println!("\naverage F1 over 4 relations: {:.2}", f1_sum / 4.0);

@@ -63,7 +63,7 @@ fn main() {
     );
 
     // Phase 2 — candidate generation: matchers + document-level scope.
-    let parts = ["SMBT3904", "MMBT3904", "BC547", "PN2222A"];
+    let parts = ["SMBT3904", "MMBT3904", "BC547", "PN2222A", "2N3906"];
     let extractor = CandidateExtractor::new(
         RelationSchema::new("has_collector_current", &["part", "current"]),
         vec![
@@ -108,7 +108,9 @@ fn main() {
         .build()
         .expect("quickstart config is valid");
     let gold = GoldKb::new(); // no gold: we just print the KB
-    let out = fonduer::core::run_task(&corpus, &gold, &task, &cfg);
+    let mut session =
+        PipelineSession::new(&corpus, &gold, &task, cfg).expect("session inputs are valid");
+    let out = session.output().expect("quickstart run");
 
     println!(
         "\n{} candidates, LF coverage {:.0}%",
@@ -116,6 +118,29 @@ fn main() {
         out.label_coverage * 100.0
     );
     println!("\nExtracted knowledge base:\n{}", out.kb.to_tsv());
+
+    // A fourth datasheet arrives later: upsert it into the live session.
+    // The original three documents are served from the per-document shard
+    // cache — only the new sheet's candidates/features/labels compute.
+    let new_sheet = parse_document(
+        "2n3906",
+        r#"<h1>2N3906</h1>
+           <p>PNP general purpose amplifier.</p>
+           <table>
+             <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+             <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+           </table>"#,
+        DocFormat::Pdf,
+        &Default::default(),
+    );
+    session.upsert_document(new_sheet).expect("name is new");
+    let refreshed = session.output().expect("refresh run");
+    println!(
+        "after upsert: {} documents, recomputed_docs={}",
+        session.corpus().len(),
+        session.recomputed_docs()
+    );
+    println!("\nUpdated knowledge base:\n{}", refreshed.kb.to_tsv());
 
     fonduer::observe::emit_report();
 }
