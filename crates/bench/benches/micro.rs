@@ -183,8 +183,8 @@ fn bench_model_step(results: &mut Vec<BenchResult>) {
     let targets: Vec<f32> = (0..dataset.inputs.len())
         .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
         .collect();
-    bench(results, "learning/train_epoch", 1, 10, || {
-        let mut m = FonduerModel::new(
+    let model = || {
+        FonduerModel::new(
             ModelConfig {
                 epochs: 1,
                 ..Default::default()
@@ -192,10 +192,134 @@ fn bench_model_step(results: &mut Vec<BenchResult>) {
             dataset.vocab_size,
             dataset.n_features,
             dataset.arity,
-        );
+        )
+    };
+    bench(results, "learning/train_epoch", 1, 10, || {
+        let mut m = model();
         m.fit(&dataset.inputs, &targets);
         m.predict_one(&dataset.inputs[0])
     });
+    // The frozen pre-rewrite scalar path on the identical workload — the
+    // honest old-vs-new comparison the flat-kernel PR is measured by.
+    bench(
+        results,
+        "learning/train_epoch/scalar_reference",
+        1,
+        10,
+        || {
+            let mut m = model();
+            m.fit_reference(&dataset.inputs, &targets);
+            m.predict_one(&dataset.inputs[0])
+        },
+    );
+    let old = results
+        .iter()
+        .find(|r| r.name == "learning/train_epoch/scalar_reference")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(0.0);
+    let new = results
+        .iter()
+        .find(|r| r.name == "learning/train_epoch")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(1.0);
+    println!(
+        "train_epoch flat-kernel speedup vs scalar reference: {:.2}x",
+        old / new.max(1.0)
+    );
+    // Batched inference over the full candidate set (length-bucketed GEMMs).
+    let trained = {
+        let mut m = model();
+        m.fit(&dataset.inputs, &targets);
+        m
+    };
+    bench(results, "learning/predict_all", 2, 20, || {
+        trained.predict(&dataset.inputs)
+    });
+    with_throughput(results, dataset.inputs.len());
+}
+
+/// Kernel-level rows for the `fonduer-tensor` substrate and the batched
+/// Bi-LSTM, gated by `bench_smoke` under the `tensor/` and `nn/` prefixes.
+fn bench_tensor_kernels(results: &mut Vec<BenchResult>) {
+    use fonduer_nn::{BiBatchScratch, BiLstm, BiLstmCache, ParamStore};
+    use fonduer_tensor::Mat;
+
+    // The kernel rows depend on which dispatch path CPUID selected; record
+    // it so committed numbers are interpretable across hosts.
+    println!("tensor kernel path: {}", fonduer_tensor::simd_level());
+
+    // gemv at the training stack's own shape: the 4h × d gate matmul
+    // (h = 16, d = 16 → 64 × 16), run 64 times per call to get a stable
+    // per-iteration time.
+    let (rows, cols) = (64usize, 16usize);
+    let w: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.37).sin()).collect();
+    let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.73).cos()).collect();
+    let mut y = vec![0.0f32; rows];
+    bench(results, "tensor/gemv", 100, 1000, || {
+        for _ in 0..64 {
+            fonduer_tensor::gemv(black_box(&w), rows, cols, black_box(&x), black_box(&mut y));
+        }
+    });
+
+    // Sparse gather-dot at featurization shape: ~40 active ids over a
+    // 64k-column space, 256 candidates per iteration.
+    let sw: Vec<f32> = (0..65_536).map(|i| (i as f32 * 0.11).sin()).collect();
+    let ids: Vec<u32> = (0..40u32).map(|i| (i * 1621) % 65_536).collect();
+    bench(results, "tensor/sparse_dot", 100, 1000, || {
+        let mut acc = 0.0f32;
+        for _ in 0..256 {
+            acc += fonduer_tensor::sparse_dot(black_box(&sw), black_box(&ids));
+        }
+        acc
+    });
+
+    // The Bi-LSTM at model shape (d_emb = d_h = 16), sequential vs batched
+    // over the same 32 length-8 sequences.
+    let mut store = ParamStore::new(42);
+    let bi = BiLstm::new(&mut store, 16, 16);
+    let (batch, t_max) = (32usize, 8usize);
+    let mut xs = Mat::zeros(t_max * batch, 16);
+    for r in 0..xs.rows() {
+        let row = xs.row_mut(r);
+        for (k, v) in row.iter_mut().enumerate() {
+            *v = ((r * 31 + k * 7) as f32 * 0.05).sin();
+        }
+    }
+    let seqs: Vec<Mat> = (0..batch)
+        .map(|b| {
+            let mut m = Mat::zeros(t_max, 16);
+            for t in 0..t_max {
+                m.row_mut(t).copy_from_slice(xs.row(t * batch + b));
+            }
+            m
+        })
+        .collect();
+    let mut cache = BiLstmCache::default();
+    let mut hs = Mat::default();
+    bench(results, "nn/lstm_forward_seq", 10, 200, || {
+        for sq in &seqs {
+            bi.forward_flat(&store, black_box(sq), &mut cache, &mut hs);
+        }
+    });
+    let mut scratch = BiBatchScratch::default();
+    let mut hs_b = Mat::default();
+    bench(results, "nn/lstm_forward_batch", 10, 200, || {
+        bi.forward_batch(&store, black_box(&xs), batch, &mut scratch, &mut hs_b);
+    });
+    let seq_ns = results
+        .iter()
+        .find(|r| r.name == "nn/lstm_forward_seq")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(0.0);
+    let batch_ns = results
+        .iter()
+        .find(|r| r.name == "nn/lstm_forward_batch")
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(1.0);
+    println!(
+        "bilstm batched speedup vs sequential ({batch} seqs x len {t_max}): {:.2}x",
+        seq_ns / batch_ns.max(1.0)
+    );
 }
 
 fn bench_generative(results: &mut Vec<BenchResult>) {
@@ -535,6 +659,7 @@ fn main() {
     bench_candgen(&mut results);
     bench_featurize(&mut results);
     bench_model_step(&mut results);
+    bench_tensor_kernels(&mut results);
     bench_generative(&mut results);
     bench_session(&mut results);
     bench_incremental(&mut results);

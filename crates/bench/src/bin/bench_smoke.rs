@@ -5,8 +5,10 @@
 //! `features/featurize/uncached`, where instrumentation overhead would
 //! surface first), `observe/*` (the substrate's own span and doc-timings
 //! costs, so the observability layer cannot quietly get more expensive
-//! than the work it measures), and `obsd/*` (the debug server's scrape
-//! path).
+//! than the work it measures), `obsd/*` (the debug server's scrape path),
+//! and the training-kernel rows `tensor/*` and `nn/*` (the flat SIMD
+//! kernels and the batched Bi-LSTM — the substance of the train_epoch
+//! speedup, which must not erode).
 //!
 //! The gate normalizes for host drift first: PR 6's baseline regeneration
 //! showed untouched rows moving +25–70% purely from CI-host slowdown.
@@ -26,7 +28,7 @@
 
 use fonduer_observe::json;
 
-const WATCH_PREFIXES: [&str; 3] = ["features/featurize/", "observe/", "obsd/"];
+const WATCH_PREFIXES: [&str; 5] = ["features/featurize/", "observe/", "obsd/", "tensor/", "nn/"];
 /// Rows untouched by observability work, used to estimate host drift.
 const SENTINELS: [&str; 2] = ["nlp/tokenize", "parser/parse_document"];
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;

@@ -1,0 +1,147 @@
+//! Standalone profile of the training hot path: reproduces the
+//! `learning/train_epoch` micro-bench workload in isolation and prints a
+//! per-component breakdown (forward / backward / optimizer), so kernel work
+//! on `fonduer-tensor` can be measured without running the whole micro
+//! suite.
+//!
+//! Usage: `cargo run --release -p fonduer-bench --bin train_profile [iters]`
+
+use fonduer_candidates::ContextScope;
+use fonduer_core::domains::electronics;
+use fonduer_features::Featurizer;
+use fonduer_learning::{prepare, FonduerModel, ModelConfig, ProbClassifier};
+use fonduer_nlp::HashedVocab;
+use fonduer_synth::Domain;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let ds = Domain::Electronics.generate(5, 7);
+    let ex = electronics::extractor(&ds, "has_collector_current", ContextScope::Document);
+    let cands = ex.extract(&ds.corpus);
+    let feats = Featurizer::default().featurize(&ds.corpus, &cands);
+    let vocab = HashedVocab::new(2048);
+    let dataset = prepare(&ds.corpus, &cands, &feats, &vocab, 6);
+    let targets: Vec<f32> = (0..dataset.inputs.len())
+        .map(|i| if i % 2 == 0 { 0.9 } else { 0.1 })
+        .collect();
+    println!(
+        "candidates={} n_features={} vocab={} arity={}",
+        dataset.inputs.len(),
+        dataset.n_features,
+        dataset.vocab_size,
+        dataset.arity
+    );
+    let seq_lens: Vec<usize> = dataset
+        .inputs
+        .iter()
+        .flat_map(|i| i.mention_tokens.iter().map(|t| t.len()))
+        .collect();
+    println!(
+        "seq lens: min={} max={} mean={:.1}",
+        seq_lens.iter().min().unwrap(),
+        seq_lens.iter().max().unwrap(),
+        seq_lens.iter().sum::<usize>() as f64 / seq_lens.len() as f64
+    );
+
+    // Whole-epoch timing, same shape as the micro row.
+    let mut laps = Vec::new();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let mut m = FonduerModel::new(
+            ModelConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            dataset.vocab_size,
+            dataset.n_features,
+            dataset.arity,
+        );
+        m.fit(&dataset.inputs, &targets);
+        black_box(m.predict_one(&dataset.inputs[0]));
+        laps.push(t.elapsed().as_nanos() as u64);
+    }
+    laps.sort_unstable();
+    println!(
+        "train_epoch: median {:.1} µs over {} iters",
+        laps[laps.len() / 2] as f64 / 1e3,
+        iters
+    );
+
+    // Same epoch on the frozen scalar reference path, to price the
+    // fast-path kernels end to end.
+    let mut laps_ref = Vec::new();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let mut m = FonduerModel::new(
+            ModelConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            dataset.vocab_size,
+            dataset.n_features,
+            dataset.arity,
+        );
+        m.fit_reference(&dataset.inputs, &targets);
+        black_box(m.predict_one(&dataset.inputs[0]));
+        laps_ref.push(t.elapsed().as_nanos() as u64);
+    }
+    laps_ref.sort_unstable();
+    println!(
+        "train_epoch (scalar reference): median {:.1} µs over {} iters",
+        laps_ref[laps_ref.len() / 2] as f64 / 1e3,
+        iters
+    );
+
+    // Per-component breakdown on a trained model. `debug_step` runs
+    // forward + backward without the optimizer; `predict_one` is forward
+    // only; a `fit` epoch adds Adam. The differences attribute the epoch.
+    let mut m = FonduerModel::new(
+        ModelConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        dataset.vocab_size,
+        dataset.n_features,
+        dataset.arity,
+    );
+    m.fit(&dataset.inputs, &targets);
+    let t = Instant::now();
+    for _ in 0..iters {
+        for (inp, &y) in dataset.inputs.iter().zip(&targets) {
+            black_box(m.debug_step(inp, y, false));
+        }
+    }
+    let fwd_bwd_us = t.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+    let t = Instant::now();
+    for _ in 0..iters {
+        for inp in &dataset.inputs {
+            black_box(m.predict_one(inp));
+        }
+    }
+    let fwd_us = t.elapsed().as_nanos() as f64 / iters as f64 / 1e3;
+    println!(
+        "forward only (predict_one x {}): {:.1} µs",
+        dataset.inputs.len(),
+        fwd_us
+    );
+    println!(
+        "forward+backward (debug_step x {}): {:.1} µs  => backward ~{:.1} µs",
+        dataset.inputs.len(),
+        fwd_bwd_us,
+        fwd_bwd_us - fwd_us
+    );
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(m.predict(&dataset.inputs));
+    }
+    println!(
+        "predict all, batched ({} cands): {:.1} µs",
+        dataset.inputs.len(),
+        t.elapsed().as_nanos() as f64 / iters as f64 / 1e3
+    );
+}

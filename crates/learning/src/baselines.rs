@@ -49,12 +49,8 @@ impl LogRegModel {
     }
 
     fn logit(&self, input: &CandidateInput) -> f32 {
-        let w = self.store.p(self.w);
-        let mut z = self.store.p(self.b)[0];
-        for &c in input.features.ids() {
-            z += w[c as usize];
-        }
-        z
+        self.store.p(self.b)[0]
+            + fonduer_tensor::sparse_dot(self.store.p(self.w), input.features.ids())
     }
 }
 
@@ -78,12 +74,11 @@ impl ProbClassifier for LogRegModel {
                 let z = self.logit(&inputs[i]);
                 let (loss, dz) = bce_with_logit(z, targets[i]);
                 epoch_loss += loss as f64;
-                {
-                    let g = self.store.grad_mut(self.w);
-                    for &c in inputs[i].features.ids() {
-                        g[c as usize] += dz;
-                    }
-                }
+                fonduer_tensor::sparse_add(
+                    self.store.grad_mut(self.w),
+                    inputs[i].features.ids(),
+                    dz,
+                );
                 self.store.grad_mut(self.b)[0] += dz;
                 self.store.adam_step(self.lr, Some(5.0));
             }

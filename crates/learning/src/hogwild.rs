@@ -18,6 +18,7 @@
 use crate::input::CandidateInput;
 use crate::model::ProbClassifier;
 use fonduer_nn::{bce_with_logit, sigmoid};
+use fonduer_tensor::{sparse_add_atomic, sparse_dot_atomic};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
@@ -40,6 +41,13 @@ pub struct HogwildLogReg {
     pub seed: u64,
     /// Worker threads; 1 = deterministic sequential reference, 0 = auto.
     pub n_threads: usize,
+    /// Minimum samples each worker must receive before another worker is
+    /// worth spinning up. Small epochs on many threads lose more to
+    /// sharding overhead and cache-line contention than they gain (the
+    /// committed microbench showed `threads=4` *slower* than `threads=2` on
+    /// a 134-sample epoch), so the effective worker count is
+    /// `min(n_threads, len / min_work_per_worker)`, floored at 1.
+    pub min_work_per_worker: usize,
 }
 
 impl HogwildLogReg {
@@ -53,34 +61,34 @@ impl HogwildLogReg {
             lr: 0.5,
             seed,
             n_threads,
+            min_work_per_worker: 256,
         }
     }
 
     fn logit(&self, input: &CandidateInput) -> f32 {
         let bias = self.weights.len() - 1;
-        let mut z = f32::from_bits(self.weights[bias].load(Relaxed));
-        for &c in input.features.ids() {
-            z += f32::from_bits(self.weights[c as usize].load(Relaxed));
-        }
-        z
+        f32::from_bits(self.weights[bias].load(Relaxed))
+            + sparse_dot_atomic(&self.weights, input.features.ids())
     }
 
     /// One racy SGD step on the shared weights; returns the sample loss.
     fn step(weights: &[AtomicU32], input: &CandidateInput, target: f32, lr: f32) -> f32 {
         let bias = weights.len() - 1;
-        let mut z = f32::from_bits(weights[bias].load(Relaxed));
-        for &c in input.features.ids() {
-            z += f32::from_bits(weights[c as usize].load(Relaxed));
-        }
+        let z = f32::from_bits(weights[bias].load(Relaxed))
+            + sparse_dot_atomic(weights, input.features.ids());
         let (loss, dz) = bce_with_logit(z, target);
         let g = lr * dz;
-        for &c in input.features.ids() {
-            let w = &weights[c as usize];
-            w.store((f32::from_bits(w.load(Relaxed)) - g).to_bits(), Relaxed);
-        }
+        sparse_add_atomic(weights, input.features.ids(), -g);
         let w = &weights[bias];
         w.store((f32::from_bits(w.load(Relaxed)) - g).to_bits(), Relaxed);
         loss
+    }
+
+    /// Effective worker count for an epoch of `n` samples (see
+    /// [`HogwildLogReg::min_work_per_worker`]).
+    fn effective_threads(&self, n: usize) -> usize {
+        let cap = fonduer_par::resolve_threads(self.n_threads);
+        (n / self.min_work_per_worker.max(1)).clamp(1, cap)
     }
 
     /// Mean binary-cross-entropy of the current weights over a dataset —
@@ -124,7 +132,7 @@ impl ProbClassifier for HogwildLogReg {
             return;
         }
         let _span = fonduer_observe::span("model_fit");
-        let pool = fonduer_par::Pool::new(self.n_threads);
+        let pool = fonduer_par::Pool::exact(self.effective_threads(inputs.len()));
         fonduer_observe::gauge_set("train.hogwild_threads", pool.n_threads() as f64);
         let steps = fonduer_observe::Counter::named("train.steps");
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbeef);
@@ -183,10 +191,39 @@ mod tests {
     fn learns_separable_features_in_parallel() {
         let (inputs, targets) = feature_dataset(40);
         let mut m = HogwildLogReg::new(3, 1, 4);
+        m.min_work_per_worker = 1; // force real parallelism on a small epoch
         m.fit(&inputs, &targets);
         for (inp, &t) in inputs.iter().zip(&targets) {
             assert_eq!(m.predict_one(inp) > 0.5, t > 0.5);
         }
+    }
+
+    #[test]
+    fn min_work_threshold_collapses_small_epochs_to_one_worker() {
+        // 40 samples / min_work 256 → one worker even with n_threads=4, so
+        // the run is bitwise identical to the sequential reference.
+        let (inputs, targets) = feature_dataset(40);
+        let mut seq = HogwildLogReg::new(3, 9, 1);
+        let mut par = HogwildLogReg::new(3, 9, 4);
+        assert_eq!(par.effective_threads(inputs.len()), 1);
+        seq.fit(&inputs, &targets);
+        par.fit(&inputs, &targets);
+        for inp in &inputs {
+            assert_eq!(
+                seq.predict_one(inp).to_bits(),
+                par.predict_one(inp).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn effective_threads_scales_with_workload() {
+        let m = HogwildLogReg::new(3, 1, 4);
+        let cap = fonduer_par::resolve_threads(4);
+        assert_eq!(m.effective_threads(0), 1);
+        assert_eq!(m.effective_threads(255), 1);
+        assert_eq!(m.effective_threads(512), 2.min(cap));
+        assert_eq!(m.effective_threads(1_000_000), cap);
     }
 
     #[test]
@@ -203,17 +240,22 @@ mod tests {
 
     #[test]
     fn parallel_loss_matches_sequential_within_tolerance() {
+        // Extended Hogwild loss-parity: several worker counts, all forced
+        // past the min-work threshold so the lock-free races really happen.
         let (inputs, targets) = feature_dataset(200);
         let mut seq = HogwildLogReg::new(3, 5, 1);
         seq.fit(&inputs, &targets);
-        let mut par = HogwildLogReg::new(3, 5, 4);
-        par.fit(&inputs, &targets);
         let l_seq = seq.mean_loss(&inputs, &targets);
-        let l_par = par.mean_loss(&inputs, &targets);
-        assert!(
-            (l_seq - l_par).abs() < 0.05,
-            "sequential {l_seq} vs hogwild {l_par}"
-        );
+        for threads in [2, 4, 8] {
+            let mut par = HogwildLogReg::new(3, 5, threads);
+            par.min_work_per_worker = 1;
+            par.fit(&inputs, &targets);
+            let l_par = par.mean_loss(&inputs, &targets);
+            assert!(
+                (l_seq - l_par).abs() < 0.05,
+                "sequential {l_seq} vs hogwild({threads}) {l_par}"
+            );
+        }
     }
 
     #[test]

@@ -9,9 +9,16 @@
 //! A soft word-selection conditioned on a learned context vector `u_w`,
 //! letting the network "pay more attention to the subsets of the input
 //! sequence where the most relevant information is concentrated" (§2.2).
+//!
+//! The hot path operates on flat `n × d` [`Mat`] activations: the
+//! projection of all hidden states is one `gemm_nt`, the scores one `gemv`
+//! against the context vector, and the softmax/pool fused slice kernels —
+//! with the cache matrices reused across calls. The pre-rewrite scalar
+//! formulation lives in [`crate::reference`].
 
-use crate::layers::{tanh_backward, Linear};
+use crate::layers::Linear;
 use crate::store::{ParamId, ParamStore};
+use fonduer_tensor::{self as tensor, Mat};
 
 /// Attention pooling layer.
 #[derive(Debug, Clone, Copy)]
@@ -24,12 +31,14 @@ pub struct Attention {
     pub d_attn: usize,
 }
 
-/// Cache for the backward pass.
-#[derive(Debug, Clone)]
+/// Cache for the backward pass. `hs` is only populated by the legacy
+/// [`Attention::forward`] wrapper; flat callers keep the hidden states
+/// themselves and pass them back to [`Attention::backward_flat`].
+#[derive(Debug, Clone, Default)]
 pub struct AttentionCache {
-    hs: Vec<Vec<f32>>,
-    us: Vec<Vec<f32>>,
+    us: Mat,
     alphas: Vec<f32>,
+    hs: Mat,
 }
 
 impl Attention {
@@ -43,102 +52,122 @@ impl Attention {
         }
     }
 
-    /// Pool a sequence of hidden states into one `d_attn` vector. Empty
-    /// input pools to the zero vector.
-    pub fn forward(&self, store: &ParamStore, hs: &[Vec<f32>]) -> (Vec<f32>, AttentionCache) {
-        if hs.is_empty() {
-            return (
-                vec![0.0; self.d_attn],
-                AttentionCache {
-                    hs: Vec::new(),
-                    us: Vec::new(),
-                    alphas: Vec::new(),
-                },
-            );
+    /// Pool an `n × d_in` matrix of hidden states into `t_out`
+    /// (length `d_attn`), reusing `cache`. Empty input pools to zero.
+    pub fn forward_flat(
+        &self,
+        store: &ParamStore,
+        hs: &Mat,
+        cache: &mut AttentionCache,
+        t_out: &mut [f32],
+    ) {
+        debug_assert_eq!(t_out.len(), self.d_attn);
+        let n = hs.rows();
+        cache.us.resize(n, self.d_attn);
+        cache.alphas.clear();
+        t_out.fill(0.0);
+        if n == 0 {
+            return;
         }
-        let uw = store.p(self.context);
-        let us: Vec<Vec<f32>> = hs
-            .iter()
-            .map(|h| {
-                self.proj
-                    .forward(store, h)
-                    .iter()
-                    .map(|v| v.tanh())
-                    .collect()
-            })
-            .collect();
-        let scores: Vec<f32> = us
-            .iter()
-            .map(|u| u.iter().zip(uw).map(|(a, b)| a * b).sum())
-            .collect();
-        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
-        let z: f32 = exps.iter().sum();
-        let alphas: Vec<f32> = exps.iter().map(|e| e / z).collect();
-        let mut t = vec![0.0; self.d_attn];
-        for (a, u) in alphas.iter().zip(&us) {
-            for (tk, uk) in t.iter_mut().zip(u) {
-                *tk += a * uk;
+        // u_k = tanh(W_w h_k + b_w) for all k at once.
+        tensor::gemm_nt(
+            hs.as_slice(),
+            n,
+            self.proj.d_in,
+            store.p(self.proj.w),
+            self.d_attn,
+            cache.us.as_mut_slice(),
+        );
+        let b = store.p(self.proj.b);
+        for j in 0..n {
+            tensor::add(b, cache.us.row_mut(j));
+        }
+        tensor::tanh_slice(cache.us.as_mut_slice());
+        // α = softmax(U u_w); t = Σ α_j u_j.
+        cache.alphas.resize(n, 0.0);
+        tensor::gemv(
+            cache.us.as_slice(),
+            n,
+            self.d_attn,
+            store.p(self.context),
+            &mut cache.alphas,
+        );
+        tensor::softmax_inplace(&mut cache.alphas);
+        for j in 0..n {
+            tensor::axpy(cache.alphas[j], cache.us.row(j), t_out);
+        }
+    }
+
+    /// Backward through the flat pass: given `dL/dt`, accumulate parameter
+    /// grads and `+=` the hidden-state grads into `dhs` (`n × d_in`). `hs`
+    /// must be the matrix given to [`Attention::forward_flat`].
+    pub fn backward_flat(
+        &self,
+        store: &mut ParamStore,
+        hs: &Mat,
+        cache: &AttentionCache,
+        dt: &[f32],
+        dhs: &mut Mat,
+    ) {
+        let n = cache.us.rows();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(hs.rows(), n);
+        debug_assert_eq!(dhs.rows(), n);
+        // t = Σ α_j u_j ; scores s_j = u_j · u_w ; α = softmax(s).
+        // dL/du_j = α_j dt + (dL/ds_j) u_w ;  dL/dα_j = dt · u_j.
+        let mut dalpha = vec![0.0f32; n];
+        for (j, d) in dalpha.iter_mut().enumerate() {
+            *d = tensor::dot(dt, cache.us.row(j));
+        }
+        // Softmax backward: ds_j = α_j (dα_j - Σ_k α_k dα_k).
+        let weighted = tensor::dot(&cache.alphas, &dalpha);
+        let mut d_uw = vec![0.0f32; self.d_attn];
+        let mut du = vec![0.0f32; self.d_attn];
+        for (j, &da_j) in dalpha.iter().enumerate() {
+            let ds_j = cache.alphas[j] * (da_j - weighted);
+            let u_j = cache.us.row(j);
+            tensor::axpy(ds_j, u_j, &mut d_uw);
+            let uw = store.p(self.context);
+            for k in 0..self.d_attn {
+                // Through tanh: du ∘ (1 − u²).
+                du[k] = (cache.alphas[j] * dt[k] + ds_j * uw[k]) * (1.0 - u_j[k] * u_j[k]);
             }
+            self.proj
+                .backward_acc(store, hs.row(j), &du, dhs.row_mut(j));
         }
-        (
-            t,
-            AttentionCache {
-                hs: hs.to_vec(),
-                us,
-                alphas,
-            },
-        )
+        tensor::add(&d_uw, store.grad_mut(self.context));
+    }
+
+    /// Pool a sequence of hidden states into one `d_attn` vector. Empty
+    /// input pools to the zero vector. (Legacy wrapper over
+    /// [`Attention::forward_flat`].)
+    pub fn forward(&self, store: &ParamStore, hs: &[Vec<f32>]) -> (Vec<f32>, AttentionCache) {
+        let hm = if hs.is_empty() {
+            Mat::zeros(0, self.proj.d_in)
+        } else {
+            Mat::from_rows(hs)
+        };
+        let mut cache = AttentionCache::default();
+        let mut t = vec![0.0; self.d_attn];
+        self.forward_flat(store, &hm, &mut cache, &mut t);
+        cache.hs = hm;
+        (t, cache)
     }
 
     /// Backward: given `dL/dt`, accumulate parameter grads and return
-    /// `dL/dh_k`.
-    #[allow(clippy::needless_range_loop)]
+    /// `dL/dh_k`. (Legacy wrapper over [`Attention::backward_flat`].)
     pub fn backward(
         &self,
         store: &mut ParamStore,
         cache: &AttentionCache,
         dt: &[f32],
     ) -> Vec<Vec<f32>> {
-        let n = cache.hs.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let uw = store.p(self.context).to_vec();
-        // t = Σ α_j u_j ; scores s_j = u_j · u_w ; α = softmax(s).
-        // dL/du_j = α_j dt + (dL/ds_j) u_w ;  dL/dα_j = dt · u_j.
-        let dalpha: Vec<f32> = cache.us.iter().map(|u| dot(dt, u)).collect();
-        // Softmax backward: ds_j = α_j (dα_j - Σ_k α_k dα_k).
-        let weighted: f32 = cache.alphas.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
-        let ds: Vec<f32> = cache
-            .alphas
-            .iter()
-            .zip(&dalpha)
-            .map(|(a, d)| a * (d - weighted))
-            .collect();
-        let mut dhs = Vec::with_capacity(n);
-        let mut d_uw = vec![0.0; self.d_attn];
-        for j in 0..n {
-            let mut du: Vec<f32> = (0..self.d_attn)
-                .map(|k| cache.alphas[j] * dt[k] + ds[j] * uw[k])
-                .collect();
-            for (acc, u) in d_uw.iter_mut().zip(&cache.us[j]) {
-                *acc += ds[j] * u;
-            }
-            // Through tanh.
-            du = tanh_backward(&cache.us[j], &du);
-            let dh = self.proj.backward(store, &cache.hs[j], &du);
-            dhs.push(dh);
-        }
-        for (g, d) in store.grad_mut(self.context).iter_mut().zip(&d_uw) {
-            *g += d;
-        }
-        dhs
+        let mut dhs = Mat::zeros(cache.hs.rows(), self.proj.d_in);
+        self.backward_flat(store, &cache.hs, cache, dt, &mut dhs);
+        dhs.to_rows()
     }
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]
@@ -175,6 +204,29 @@ mod tests {
         let (t, cache) = att.forward(&s, &[]);
         assert_eq!(t, vec![0.0; 3]);
         assert!(att.backward(&mut s, &cache, &[1.0, 1.0, 1.0]).is_empty());
+    }
+
+    #[test]
+    fn matches_scalar_reference() {
+        let mut s = ParamStore::new(5);
+        let att = Attention::new(&mut s, 4, 3);
+        let input = hs(9, 6, 4);
+        let (t, cache) = att.forward(&s, &input);
+        let (t_ref, cache_ref) = crate::reference::attention_forward(&att, &s, &input);
+        for (a, b) in t.iter().zip(&t_ref) {
+            assert!((a - b).abs() < 1e-5, "pooled: {a} vs {b}");
+        }
+        let mut s2 = s.clone();
+        s.zero_grad();
+        s2.zero_grad();
+        let dhs = att.backward(&mut s, &cache, &t);
+        let dhs_ref = crate::reference::attention_backward(&att, &mut s2, &cache_ref, &t_ref);
+        for (a, b) in s.g.iter().zip(&s2.g) {
+            assert!((a - b).abs() < 1e-4, "grad: {a} vs {b}");
+        }
+        for (a, b) in dhs.iter().flatten().zip(dhs_ref.iter().flatten()) {
+            assert!((a - b).abs() < 1e-4, "dh: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Linear and embedding layers.
 
-use crate::store::{matvec, matvec_backward, ParamId, ParamStore};
+use crate::store::{ParamId, ParamStore};
+use fonduer_tensor::{self as tensor, Mat};
 
 /// Fully connected layer `y = W x + b`.
 #[derive(Debug, Clone, Copy)]
@@ -26,29 +27,35 @@ impl Linear {
         }
     }
 
+    /// Forward pass into a caller-provided buffer (allocation-free).
+    pub fn forward_into(&self, store: &ParamStore, x: &[f32], y: &mut [f32]) {
+        tensor::gemv(store.p(self.w), self.d_out, self.d_in, x, y);
+        tensor::add(store.p(self.b), y);
+    }
+
     /// Forward pass.
     pub fn forward(&self, store: &ParamStore, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0; self.d_out];
-        matvec(store.p(self.w), self.d_out, self.d_in, x, &mut y);
-        for (yi, bi) in y.iter_mut().zip(store.p(self.b)) {
-            *yi += bi;
-        }
+        self.forward_into(store, x, &mut y);
         y
+    }
+
+    /// Backward pass accumulating `dL/dx` into `dx` (`+=`), parameter
+    /// grads into the store. The weight values and gradients are
+    /// split-borrowed — no copy.
+    pub fn backward_acc(&self, store: &mut ParamStore, x: &[f32], dy: &[f32], dx: &mut [f32]) {
+        {
+            let (w_vals, dw) = store.p_grad_mut(self.w);
+            tensor::outer_acc(dy, x, dw);
+            tensor::gemv_t_acc(w_vals, self.d_out, self.d_in, dy, dx);
+        }
+        tensor::add(dy, store.grad_mut(self.b));
     }
 
     /// Backward pass: accumulates parameter grads, returns `dL/dx`.
     pub fn backward(&self, store: &mut ParamStore, x: &[f32], dy: &[f32]) -> Vec<f32> {
         let mut dx = vec![0.0; self.d_in];
-        // Copy weight values to avoid aliasing the gradient borrow
-        // (layers are small; the copy is cheap).
-        {
-            let w_vals = store.p(self.w).to_vec();
-            let dw = store.grad_mut(self.w);
-            matvec_backward(&w_vals, self.d_out, self.d_in, x, dy, dw, &mut dx);
-        }
-        for (db, d) in store.grad_mut(self.b).iter_mut().zip(dy) {
-            *db += d;
-        }
+        self.backward_acc(store, x, dy, &mut dx);
         dx
     }
 }
@@ -83,8 +90,31 @@ impl Embedding {
     /// Accumulate the gradient for one looked-up row.
     pub fn backward(&self, store: &mut ParamStore, idx: usize, dy: &[f32]) {
         let g = &mut store.grad_mut(self.table)[idx * self.dim..(idx + 1) * self.dim];
-        for (gi, d) in g.iter_mut().zip(dy) {
-            *gi += d;
+        tensor::add(dy, g);
+    }
+
+    /// Gather the rows for a token sequence into a reused `T × dim` matrix
+    /// (the flat-model replacement for per-token [`Embedding::forward`]
+    /// calls, which each allocate).
+    pub fn gather_rows(&self, store: &ParamStore, toks: &[u32], out: &mut Mat) {
+        out.resize(toks.len(), self.dim);
+        let table = store.p(self.table);
+        for (t, &tok) in toks.iter().enumerate() {
+            let idx = tok as usize;
+            debug_assert!(idx < self.vocab);
+            out.row_mut(t)
+                .copy_from_slice(&table[idx * self.dim..(idx + 1) * self.dim]);
+        }
+    }
+
+    /// Scatter-accumulate per-token gradients (`T × dim`) back into the
+    /// table.
+    pub fn scatter_grad(&self, store: &mut ParamStore, toks: &[u32], d: &Mat) {
+        debug_assert_eq!(d.rows(), toks.len());
+        let g = store.grad_mut(self.table);
+        for (t, &tok) in toks.iter().enumerate() {
+            let idx = tok as usize;
+            tensor::add(d.row(t), &mut g[idx * self.dim..(idx + 1) * self.dim]);
         }
     }
 }

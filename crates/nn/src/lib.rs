@@ -7,11 +7,17 @@
 //! noise-aware loss used to train against probabilistic labels ([`loss`],
 //! Appendix A).
 //!
-//! Every layer exposes explicit `forward`/`backward` pairs over `Vec<f32>`
-//! activations; gradients accumulate into the shared [`ParamStore`] so that
-//! composite models (see `fonduer-learning`) are trained with one
-//! `zero_grad` / backward sweep / `adam_step` cycle. All layers are
-//! verified against numerical gradients in their tests.
+//! Every layer exposes explicit `forward`/`backward` pairs; gradients
+//! accumulate into the shared [`ParamStore`] so that composite models (see
+//! `fonduer-learning`) are trained with one `zero_grad` / backward sweep /
+//! `adam_step` cycle. All layers are verified against numerical gradients
+//! in their tests.
+//!
+//! Activations on the hot path are flat row-major `fonduer_tensor::Mat`
+//! matrices driven through unrolled kernels (`forward_flat`/
+//! `backward_flat`, plus batched `forward_batch` on the Bi-LSTM); the
+//! original `Vec<Vec<f32>>` scalar formulation is frozen in [`reference`]
+//! and every flat path is tested to 1e-5 parity against it.
 
 #![warn(missing_docs)]
 
@@ -20,12 +26,13 @@ pub mod layers;
 pub mod loss;
 pub mod lstm;
 pub mod persist;
+pub mod reference;
 pub mod store;
 pub mod testutil;
 
 pub use attention::{Attention, AttentionCache};
 pub use layers::{tanh_backward, tanh_vec, Embedding, Linear};
 pub use loss::{batch_bce, bce_with_logit, sigmoid};
-pub use lstm::{BiLstm, BiLstmCache, LstmCache, LstmCell};
+pub use lstm::{BatchScratch, BiBatchScratch, BiLstm, BiLstmCache, LstmCache, LstmCell};
 pub use persist::{load_weights, save_weights, PersistError};
 pub use store::{matvec, matvec_backward, ParamId, ParamStore};

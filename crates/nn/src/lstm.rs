@@ -1,4 +1,5 @@
-//! LSTM cell with full backpropagation through time (paper §2.2).
+//! LSTM cell with full backpropagation through time (paper §2.2), on flat
+//! [`Mat`] activations.
 //!
 //! Gate equations exactly as in the paper:
 //! ```text
@@ -10,42 +11,66 @@
 //! ```
 //! The four gate blocks are packed into single `4h × d` matrices in order
 //! `[i, f, o, g]`.
+//!
+//! Two execution shapes share the parameters:
+//!
+//! * **Flat sequential** ([`LstmCell::forward_flat`]): one sequence, all
+//!   activations in reused `T × d` [`Mat`] caches — zero allocations in
+//!   steady state, gate math through the fused `fonduer-tensor` kernels.
+//!   The reversed direction of a [`BiLstm`] runs over the *same* input
+//!   matrix with an index mapping; the old per-call
+//!   `xs.iter().rev().cloned()` copy is gone.
+//! * **Batched** ([`BiLstm::forward_batch`]): `B` same-length sequences
+//!   packed timestep-major into one `(T·B) × d` matrix, so each gate
+//!   pre-activation is a real GEMM (`Z_t = X_t Wᵀ + H_{t-1} Uᵀ`) instead of
+//!   `B` matrix–vector products. Row-for-row it runs the same dot kernel as
+//!   the sequential path, so batched and sequential hidden states are
+//!   equal, not merely close.
+//!
+//! The pre-rewrite scalar implementation is preserved in
+//! [`crate::reference`] and the two are held to 1e-5 parity in tests.
 
-use crate::store::{matvec, matvec_backward, ParamId, ParamStore};
+use crate::store::{ParamId, ParamStore};
+use fonduer_tensor::{self as tensor, Mat};
 
 /// An LSTM cell (one direction).
 #[derive(Debug, Clone, Copy)]
 pub struct LstmCell {
-    w: ParamId,
-    u: ParamId,
-    b: ParamId,
+    pub(crate) w: ParamId,
+    pub(crate) u: ParamId,
+    pub(crate) b: ParamId,
     /// Input dimension.
     pub d_in: usize,
     /// Hidden dimension.
     pub d_h: usize,
 }
 
-/// Per-timestep cache for BPTT.
-#[derive(Debug, Clone)]
-struct StepCache {
-    x: Vec<f32>,
-    h_prev: Vec<f32>,
-    c_prev: Vec<f32>,
-    i: Vec<f32>,
-    f: Vec<f32>,
-    o: Vec<f32>,
-    g: Vec<f32>,
-    tanh_c: Vec<f32>,
-}
-
-/// Sequence cache returned by the forward pass.
+/// Flat sequence cache for BPTT. Rows are in *processed* order (step `t` of
+/// a reversed pass reads input row `T−1−t`); all matrices keep their arenas
+/// across calls, so reusing a cache is allocation-free in steady state.
 #[derive(Debug, Clone, Default)]
 pub struct LstmCache {
-    steps: Vec<StepCache>,
+    /// Inputs in processed order (`T × d_in`).
+    x: Mat,
+    /// Activated gates `[i, f, o, g]` (`T × 4h`).
+    gates: Mat,
+    /// Cell states (`T × h`).
+    c: Mat,
+    /// `tanh(c)` (`T × h`).
+    tanh_c: Mat,
+    /// Hidden states in processed order (`T × h`).
+    hs: Mat,
+    /// Zero vector standing in for `h_{-1}` / `c_{-1}`.
+    zero: Vec<f32>,
+    /// Whether the pass consumed the input back-to-front.
+    reversed: bool,
 }
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+impl LstmCache {
+    /// Hidden states in processed order (`T × h`).
+    pub fn hs(&self) -> &Mat {
+        &self.hs
+    }
 }
 
 impl LstmCell {
@@ -65,118 +90,200 @@ impl LstmCell {
         cell
     }
 
-    /// Run the cell over a sequence, returning hidden states and the cache.
-    pub fn forward_seq(&self, store: &ParamStore, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, LstmCache) {
+    /// Run the cell over a `T × d_in` input matrix, filling `cache` (which
+    /// is reused — no allocations once its arenas have grown). With
+    /// `reversed`, the input is consumed back-to-front without copying it.
+    pub fn forward_flat(
+        &self,
+        store: &ParamStore,
+        xs: &Mat,
+        reversed: bool,
+        cache: &mut LstmCache,
+    ) {
+        let t_max = xs.rows();
         let h = self.d_h;
-        let mut hs = Vec::with_capacity(xs.len());
-        let mut cache = LstmCache {
-            steps: Vec::with_capacity(xs.len()),
-        };
-        let mut h_prev = vec![0.0; h];
-        let mut c_prev = vec![0.0; h];
-        let mut z = vec![0.0; 4 * h];
-        let mut z2 = vec![0.0; 4 * h];
-        for x in xs {
-            matvec(store.p(self.w), 4 * h, self.d_in, x, &mut z);
-            matvec(store.p(self.u), 4 * h, h, &h_prev, &mut z2);
-            let b = store.p(self.b);
-            let mut i_g = vec![0.0; h];
-            let mut f_g = vec![0.0; h];
-            let mut o_g = vec![0.0; h];
-            let mut g_g = vec![0.0; h];
-            for k in 0..h {
-                i_g[k] = sigmoid(z[k] + z2[k] + b[k]);
-                f_g[k] = sigmoid(z[h + k] + z2[h + k] + b[h + k]);
-                o_g[k] = sigmoid(z[2 * h + k] + z2[2 * h + k] + b[2 * h + k]);
-                g_g[k] = (z[3 * h + k] + z2[3 * h + k] + b[3 * h + k]).tanh();
-            }
-            let mut c = vec![0.0; h];
-            let mut tanh_c = vec![0.0; h];
-            let mut h_new = vec![0.0; h];
-            for k in 0..h {
-                c[k] = f_g[k] * c_prev[k] + i_g[k] * g_g[k];
-                tanh_c[k] = c[k].tanh();
-                h_new[k] = o_g[k] * tanh_c[k];
-            }
-            cache.steps.push(StepCache {
-                x: x.clone(),
-                h_prev: h_prev.clone(),
-                c_prev: c_prev.clone(),
-                i: i_g,
-                f: f_g,
-                o: o_g,
-                g: g_g,
-                tanh_c,
-            });
-            hs.push(h_new.clone());
-            h_prev = h_new;
-            c_prev = c;
+        debug_assert!(t_max == 0 || xs.cols() == self.d_in);
+        cache.reversed = reversed;
+        cache.x.resize(t_max, self.d_in);
+        cache.gates.resize(t_max, 4 * h);
+        cache.c.resize(t_max, h);
+        cache.tanh_c.resize(t_max, h);
+        cache.hs.resize(t_max, h);
+        cache.zero.clear();
+        cache.zero.resize(h, 0.0);
+        let LstmCache {
+            x,
+            gates,
+            c,
+            tanh_c,
+            hs,
+            zero,
+            ..
+        } = cache;
+        for t in 0..t_max {
+            let src = if reversed { t_max - 1 - t } else { t };
+            x.row_mut(t).copy_from_slice(xs.row(src));
         }
-        (hs, cache)
+        let w = store.p(self.w);
+        let u = store.p(self.u);
+        let b = store.p(self.b);
+        for t in 0..t_max {
+            let z = gates.row_mut(t);
+            tensor::gemv(w, 4 * h, self.d_in, x.row(t), z);
+            let h_prev = if t == 0 { &zero[..] } else { hs.row(t - 1) };
+            tensor::gemv_acc(u, 4 * h, h, h_prev, z);
+            tensor::lstm_gates(z, b, h);
+            let (c_prev, c_t) = if t == 0 {
+                (&zero[..], c.row_mut(0))
+            } else {
+                c.row_pair_mut(t - 1, t)
+            };
+            tensor::lstm_state(gates.row(t), c_prev, c_t, tanh_c.row_mut(t), hs.row_mut(t));
+        }
     }
 
-    /// BPTT: given `dL/dh_t` for every step, accumulate parameter grads and
-    /// return `dL/dx_t`.
-    pub fn backward_seq(
+    /// BPTT over a flat cache. `dhs` is indexed in *original* sequence
+    /// order; the cell reads columns `[dh_off, dh_off + d_h)` of each row,
+    /// so a [`BiLstm`] hands both directions the same `T × 2h` gradient
+    /// matrix. Input gradients accumulate (`+=`) into `dxs` rows in
+    /// original order.
+    pub fn backward_flat(
         &self,
         store: &mut ParamStore,
         cache: &LstmCache,
-        dhs: &[Vec<f32>],
-    ) -> Vec<Vec<f32>> {
+        dhs: &Mat,
+        dh_off: usize,
+        dxs: &mut Mat,
+    ) {
         let h = self.d_h;
-        let t_max = cache.steps.len();
-        assert_eq!(dhs.len(), t_max);
-        let w_vals = store.p(self.w).to_vec();
-        let u_vals = store.p(self.u).to_vec();
-        let mut dxs = vec![vec![0.0; self.d_in]; t_max];
-        let mut dh_next = vec![0.0; h];
-        let mut dc_next = vec![0.0; h];
+        let t_max = cache.hs.rows();
+        debug_assert_eq!(dhs.rows(), t_max);
+        debug_assert_eq!(dxs.rows(), t_max);
+        let mut dz = vec![0.0f32; 4 * h];
+        let mut dh = vec![0.0f32; h];
+        let mut dh_next = vec![0.0f32; h];
+        // `dc` carries the cell-state gradient across timesteps in place —
+        // the fused kernel consumes the carry and writes the next one.
+        let mut dc = vec![0.0f32; h];
         for t in (0..t_max).rev() {
-            let s = &cache.steps[t];
-            let mut dh = dhs[t].clone();
-            for k in 0..h {
-                dh[k] += dh_next[k];
-            }
-            // h = o * tanh(c)
-            let mut dz = vec![0.0; 4 * h]; // grads wrt pre-activations [i,f,o,g]
-            let mut dc = dc_next.clone();
-            for k in 0..h {
-                let do_ = dh[k] * s.tanh_c[k];
-                dc[k] += dh[k] * s.o[k] * (1.0 - s.tanh_c[k] * s.tanh_c[k]);
-                dz[2 * h + k] = do_ * s.o[k] * (1.0 - s.o[k]);
-            }
-            // c = f*c_prev + i*g
-            for k in 0..h {
-                let di = dc[k] * s.g[k];
-                let df = dc[k] * s.c_prev[k];
-                let dg = dc[k] * s.i[k];
-                dz[k] = di * s.i[k] * (1.0 - s.i[k]);
-                dz[h + k] = df * s.f[k] * (1.0 - s.f[k]);
-                dz[3 * h + k] = dg * (1.0 - s.g[k] * s.g[k]);
-            }
-            // dc_prev through the forget gate.
-            for k in 0..h {
-                dc_next[k] = dc[k] * s.f[k];
-            }
-            // z = W x + U h_prev + b
+            let orig = if cache.reversed { t_max - 1 - t } else { t };
+            let c_prev = if t == 0 {
+                &cache.zero[..]
+            } else {
+                cache.c.row(t - 1)
+            };
+            dh.copy_from_slice(&dhs.row(orig)[dh_off..dh_off + h]);
+            tensor::add(&dh_next, &mut dh);
+            // h = o ∘ tanh(c); c = f ∘ c_prev + i ∘ g.
+            tensor::lstm_backward_gates(
+                cache.gates.row(t),
+                cache.tanh_c.row(t),
+                c_prev,
+                &dh,
+                &mut dc,
+                &mut dz,
+            );
+            // z = W x + U h_prev + b — split-borrow the store so the weight
+            // values and their gradients alias-free without copying.
             {
-                let dw = store.grad_mut(self.w);
-                matvec_backward(&w_vals, 4 * h, self.d_in, &s.x, &dz, dw, &mut dxs[t]);
+                let (w_vals, dw) = store.p_grad_mut(self.w);
+                tensor::outer_acc(&dz, cache.x.row(t), dw);
+                tensor::gemv_t_acc(w_vals, 4 * h, self.d_in, &dz, dxs.row_mut(orig));
             }
             dh_next.fill(0.0);
             {
-                let du = store.grad_mut(self.u);
-                matvec_backward(&u_vals, 4 * h, h, &s.h_prev, &dz, du, &mut dh_next);
+                let h_prev = if t == 0 {
+                    &cache.zero[..]
+                } else {
+                    cache.hs.row(t - 1)
+                };
+                let (u_vals, du) = store.p_grad_mut(self.u);
+                tensor::outer_acc(&dz, h_prev, du);
+                tensor::gemv_t_acc(u_vals, 4 * h, h, &dz, &mut dh_next);
             }
-            {
-                let db = store.grad_mut(self.b);
-                for k in 0..4 * h {
-                    db[k] += dz[k];
-                }
-            }
+            tensor::add(&dz, store.grad_mut(self.b));
         }
-        dxs
     }
+
+    /// Batched forward over `B` same-length sequences packed timestep-major
+    /// (`xs` row `t·B + b` is step `t` of sequence `b`). Hidden states land
+    /// in `hs` with the same layout, in original time order. Gate
+    /// pre-activations are computed as one GEMM per timestep.
+    pub fn forward_batch(
+        &self,
+        store: &ParamStore,
+        xs: &Mat,
+        batch: usize,
+        reversed: bool,
+        scratch: &mut BatchScratch,
+        hs: &mut Mat,
+    ) {
+        let h = self.d_h;
+        assert!(batch > 0, "empty batch");
+        assert_eq!(xs.rows() % batch, 0, "rows must be T·B");
+        let t_max = xs.rows() / batch;
+        hs.resize(xs.rows(), h);
+        scratch.gates.resize(batch, 4 * h);
+        scratch.c.resize(xs.rows(), h);
+        scratch.tanh_c.resize(batch, h);
+        scratch.zero.clear();
+        scratch.zero.resize(h, 0.0);
+        let w = store.p(self.w);
+        let u = store.p(self.u);
+        let bias = store.p(self.b);
+        let mut prev_src = 0usize;
+        for t in 0..t_max {
+            let src = if reversed { t_max - 1 - t } else { t };
+            // Z = X_t W^T (+ H_{t-1} U^T after the first step).
+            tensor::gemm_nt(
+                xs.rows_range(src * batch, (src + 1) * batch),
+                batch,
+                self.d_in,
+                w,
+                4 * h,
+                scratch.gates.as_mut_slice(),
+            );
+            if t > 0 {
+                tensor::gemm_nt_acc(
+                    hs.rows_range(prev_src * batch, (prev_src + 1) * batch),
+                    batch,
+                    h,
+                    u,
+                    4 * h,
+                    scratch.gates.as_mut_slice(),
+                );
+            }
+            for b in 0..batch {
+                let z = scratch.gates.row_mut(b);
+                tensor::lstm_gates(z, bias, h);
+                let (c_prev, c_t) = if t == 0 {
+                    (&scratch.zero[..], scratch.c.row_mut(src * batch + b))
+                } else {
+                    scratch
+                        .c
+                        .row_pair_mut(prev_src * batch + b, src * batch + b)
+                };
+                tensor::lstm_state(
+                    scratch.gates.row(b),
+                    c_prev,
+                    c_t,
+                    scratch.tanh_c.row_mut(b),
+                    hs.row_mut(src * batch + b),
+                );
+            }
+            prev_src = src;
+        }
+    }
+}
+
+/// Reusable workspace for [`LstmCell::forward_batch`] (inference only — no
+/// BPTT cache is kept).
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    gates: Mat,
+    c: Mat,
+    tanh_c: Mat,
+    zero: Vec<f32>,
 }
 
 /// Bidirectional LSTM: forward and backward cells whose hidden states are
@@ -190,10 +297,19 @@ pub struct BiLstm {
 }
 
 /// Cache for the bidirectional pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BiLstmCache {
     fwd: LstmCache,
     bwd: LstmCache,
+}
+
+/// Reusable workspace for [`BiLstm::forward_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct BiBatchScratch {
+    fwd: BatchScratch,
+    bwd: BatchScratch,
+    hf: Mat,
+    hb: Mat,
 }
 
 impl BiLstm {
@@ -210,19 +326,103 @@ impl BiLstm {
         2 * self.fwd.d_h
     }
 
+    /// Flat bidirectional forward: both directions walk the same `T × d_in`
+    /// input (the reversed direction via index mapping — no reversed copy),
+    /// and `hs_out` receives the concatenated `T × 2h` hidden states in
+    /// original time order.
+    pub fn forward_flat(
+        &self,
+        store: &ParamStore,
+        xs: &Mat,
+        cache: &mut BiLstmCache,
+        hs_out: &mut Mat,
+    ) {
+        self.fwd.forward_flat(store, xs, false, &mut cache.fwd);
+        self.bwd.forward_flat(store, xs, true, &mut cache.bwd);
+        let n = xs.rows();
+        let h = self.fwd.d_h;
+        hs_out.resize(n, 2 * h);
+        for t in 0..n {
+            let row = hs_out.row_mut(t);
+            row[..h].copy_from_slice(cache.fwd.hs.row(t));
+            row[h..].copy_from_slice(cache.bwd.hs.row(n - 1 - t));
+        }
+    }
+
+    /// Flat bidirectional backward: `dhs` is `T × 2h` in original order;
+    /// input gradients accumulate into `dxs` (`T × d_in`, original order).
+    pub fn backward_flat(
+        &self,
+        store: &mut ParamStore,
+        cache: &BiLstmCache,
+        dhs: &Mat,
+        dxs: &mut Mat,
+    ) {
+        self.fwd.backward_flat(store, &cache.fwd, dhs, 0, dxs);
+        self.bwd
+            .backward_flat(store, &cache.bwd, dhs, self.fwd.d_h, dxs);
+    }
+
+    /// Batched bidirectional forward over `B` same-length sequences packed
+    /// timestep-major; `hs_out` row `t·B + b` is the concatenated `2h`
+    /// hidden state of sequence `b` at step `t`.
+    pub fn forward_batch(
+        &self,
+        store: &ParamStore,
+        xs: &Mat,
+        batch: usize,
+        scratch: &mut BiBatchScratch,
+        hs_out: &mut Mat,
+    ) {
+        let h = self.fwd.d_h;
+        self.fwd
+            .forward_batch(store, xs, batch, false, &mut scratch.fwd, &mut scratch.hf);
+        self.bwd
+            .forward_batch(store, xs, batch, true, &mut scratch.bwd, &mut scratch.hb);
+        hs_out.resize(xs.rows(), 2 * h);
+        for r in 0..xs.rows() {
+            let row = hs_out.row_mut(r);
+            row[..h].copy_from_slice(scratch.hf.row(r));
+            row[h..].copy_from_slice(scratch.hb.row(r));
+        }
+    }
+}
+
+// --- Legacy `Vec<Vec<f32>>` wrappers (kept for in-crate callers/tests and
+// --- the document-RNN baseline; hot paths use the flat API above).
+
+impl LstmCell {
+    /// Run the cell over a sequence, returning hidden states and the cache.
+    pub fn forward_seq(&self, store: &ParamStore, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, LstmCache) {
+        let x = Mat::from_rows(xs);
+        let mut cache = LstmCache::default();
+        self.forward_flat(store, &x, false, &mut cache);
+        (cache.hs.to_rows(), cache)
+    }
+
+    /// BPTT: given `dL/dh_t` for every step, accumulate parameter grads and
+    /// return `dL/dx_t`.
+    pub fn backward_seq(
+        &self,
+        store: &mut ParamStore,
+        cache: &LstmCache,
+        dhs: &[Vec<f32>],
+    ) -> Vec<Vec<f32>> {
+        let dm = Mat::from_rows(dhs);
+        let mut dxs = Mat::zeros(dhs.len(), self.d_in);
+        self.backward_flat(store, cache, &dm, 0, &mut dxs);
+        dxs.to_rows()
+    }
+}
+
+impl BiLstm {
     /// Forward over a sequence: concatenated hidden states per step.
     pub fn forward_seq(&self, store: &ParamStore, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiLstmCache) {
-        let (hf, cf) = self.fwd.forward_seq(store, xs);
-        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
-        let (hb_rev, cb) = self.bwd.forward_seq(store, &rev);
-        let n = xs.len();
-        let mut hs = Vec::with_capacity(n);
-        for t in 0..n {
-            let mut v = hf[t].clone();
-            v.extend_from_slice(&hb_rev[n - 1 - t]);
-            hs.push(v);
-        }
-        (hs, BiLstmCache { fwd: cf, bwd: cb })
+        let x = Mat::from_rows(xs);
+        let mut cache = BiLstmCache::default();
+        let mut hs = Mat::default();
+        self.forward_flat(store, &x, &mut cache, &mut hs);
+        (hs.to_rows(), cache)
     }
 
     /// Backward over the sequence given per-step grads of the concatenated
@@ -233,24 +433,19 @@ impl BiLstm {
         cache: &BiLstmCache,
         dhs: &[Vec<f32>],
     ) -> Vec<Vec<f32>> {
-        let h = self.fwd.d_h;
-        let n = dhs.len();
-        let df: Vec<Vec<f32>> = dhs.iter().map(|d| d[..h].to_vec()).collect();
-        let db_rev: Vec<Vec<f32>> = (0..n).map(|t| dhs[n - 1 - t][h..].to_vec()).collect();
-        let dx_f = self.fwd.backward_seq(store, &cache.fwd, &df);
-        let dx_b_rev = self.bwd.backward_seq(store, &cache.bwd, &db_rev);
-        let mut dxs = dx_f;
-        for t in 0..n {
-            for (a, b) in dxs[t].iter_mut().zip(&dx_b_rev[n - 1 - t]) {
-                *a += b;
-            }
-        }
-        dxs
+        let dm = Mat::from_rows(dhs);
+        let mut dxs = Mat::zeros(dhs.len(), self.fwd.d_in);
+        self.backward_flat(store, cache, &dm, &mut dxs);
+        dxs.to_rows()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // Index loops are the clearest form for the element-by-element
+    // batched-vs-sequential comparisons below.
+    #![allow(clippy::needless_range_loop)]
+
     use super::*;
     use crate::testutil::num_grad;
 
@@ -283,6 +478,27 @@ mod tests {
         assert_eq!(hs, hs2);
         // Hidden states are bounded by construction.
         assert!(hs.iter().flatten().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn lstm_matches_scalar_reference() {
+        let mut s = ParamStore::new(11);
+        let cell = LstmCell::new(&mut s, 3, 4);
+        let xs = seq(6, 7, 3);
+        let (hs, cache) = cell.forward_seq(&s, &xs);
+        let (hs_ref, cache_ref) = crate::reference::lstm_forward_seq(&cell, &s, &xs);
+        for (a, b) in hs.iter().flatten().zip(hs_ref.iter().flatten()) {
+            assert!((a - b).abs() < 1e-5, "forward: {a} vs {b}");
+        }
+        // Gradients too: same upstream grads through both paths.
+        let mut s2 = s.clone();
+        s.zero_grad();
+        s2.zero_grad();
+        cell.backward_seq(&mut s, &cache, &hs);
+        crate::reference::lstm_backward_seq(&cell, &mut s2, &cache_ref, &hs_ref);
+        for (a, b) in s.g.iter().zip(&s2.g) {
+            assert!((a - b).abs() < 1e-4, "grad: {a} vs {b}");
+        }
     }
 
     #[test]
@@ -335,20 +551,35 @@ mod tests {
         assert_eq!(hs.len(), 5);
         assert_eq!(hs[0].len(), 6);
         assert_eq!(bi.d_out(), 6);
-        // The forward half at t=0 only saw x_0; the backward half at t=0
-        // saw the whole sequence. Check reversal symmetry: running on the
-        // reversed input swaps the halves.
         let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
         let (hs_rev, _) = bi.forward_seq(&s, &rev);
         let n = xs.len();
         for t in 0..n {
-            // fwd(x)[t] forward-half == bwd pass of reversed? Not identical
-            // (different params), but the forward cell on reversed input at
-            // position n-1-t must equal... use same cell: compare fwd half of
-            // hs_rev[n-1-t] with nothing — instead just check both runs are
-            // deterministic and bounded.
             assert!(hs_rev[t].iter().all(|v| v.abs() <= 1.0));
             assert!(hs[t].iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn bilstm_matches_scalar_reference() {
+        let mut s = ParamStore::new(12);
+        let bi = BiLstm::new(&mut s, 3, 4);
+        let xs = seq(9, 6, 3);
+        let (hs, cache) = bi.forward_seq(&s, &xs);
+        let (hs_ref, cache_ref) = crate::reference::bilstm_forward_seq(&bi, &s, &xs);
+        for (a, b) in hs.iter().flatten().zip(hs_ref.iter().flatten()) {
+            assert!((a - b).abs() < 1e-5, "forward: {a} vs {b}");
+        }
+        let mut s2 = s.clone();
+        s.zero_grad();
+        s2.zero_grad();
+        let dx = bi.backward_seq(&mut s, &cache, &hs);
+        let dx_ref = crate::reference::bilstm_backward_seq(&bi, &mut s2, &cache_ref, &hs_ref);
+        for (a, b) in s.g.iter().zip(&s2.g) {
+            assert!((a - b).abs() < 1e-4, "grad: {a} vs {b}");
+        }
+        for (a, b) in dx.iter().flatten().zip(dx_ref.iter().flatten()) {
+            assert!((a - b).abs() < 1e-4, "dx: {a} vs {b}");
         }
     }
 
@@ -368,6 +599,98 @@ mod tests {
         num_grad(&mut s, bi.bwd.w, loss, 0.05);
         num_grad(&mut s, bi.fwd.u, loss, 0.05);
         num_grad(&mut s, bi.bwd.b, loss, 0.05);
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential() {
+        let mut s = ParamStore::new(13);
+        let bi = BiLstm::new(&mut s, 3, 4);
+        // A bucket of 3 sequences of length 5, packed timestep-major.
+        let seqs: Vec<Vec<Vec<f32>>> = (0..3).map(|b| seq(20 + b, 5, 3)).collect();
+        let (t_max, batch) = (5usize, 3usize);
+        let mut xs = Mat::zeros(t_max * batch, 3);
+        for (b, sq) in seqs.iter().enumerate() {
+            for (t, x) in sq.iter().enumerate() {
+                xs.row_mut(t * batch + b).copy_from_slice(x);
+            }
+        }
+        let mut scratch = BiBatchScratch::default();
+        let mut hs_b = Mat::default();
+        bi.forward_batch(&s, &xs, batch, &mut scratch, &mut hs_b);
+        for (b, sq) in seqs.iter().enumerate() {
+            let (hs_s, _) = bi.forward_seq(&s, sq);
+            for t in 0..t_max {
+                for k in 0..bi.d_out() {
+                    let batched = hs_b.row(t * batch + b)[k];
+                    let sequential = hs_s[t][k];
+                    assert!(
+                        (batched - sequential).abs() < 1e-6,
+                        "seq {b} t {t} k {k}: {batched} vs {sequential}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential_over_ragged_buckets() {
+        // Ragged sequence lengths (1, 2, 3, 5, 8 — including repeats) are
+        // grouped into per-length buckets the way batched inference does;
+        // every bucket must reproduce the sequential hidden states.
+        let mut s = ParamStore::new(15);
+        let bi = BiLstm::new(&mut s, 3, 4);
+        let lens = [1usize, 2, 3, 3, 5, 5, 5, 8, 1, 2];
+        let seqs: Vec<Vec<Vec<f32>>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| seq(40 + i as u64, l, 3))
+            .collect();
+        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, &l) in lens.iter().enumerate() {
+            buckets.entry(l).or_default().push(i);
+        }
+        let mut scratch = BiBatchScratch::default();
+        let mut hs_b = Mat::default();
+        let mut xs = Mat::default();
+        for (&len, members) in &buckets {
+            let batch = members.len();
+            xs.resize(len * batch, 3);
+            for (b, &si) in members.iter().enumerate() {
+                for (t, x) in seqs[si].iter().enumerate() {
+                    xs.row_mut(t * batch + b).copy_from_slice(x);
+                }
+            }
+            bi.forward_batch(&s, &xs, batch, &mut scratch, &mut hs_b);
+            for (b, &si) in members.iter().enumerate() {
+                let (hs_s, _) = bi.forward_seq(&s, &seqs[si]);
+                for t in 0..len {
+                    for k in 0..bi.d_out() {
+                        assert!(
+                            (hs_b.row(t * batch + b)[k] - hs_s[t][k]).abs() < 1e-6,
+                            "len {len} member {b} t {t} k {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_single_sequence_degenerates() {
+        let mut s = ParamStore::new(14);
+        let bi = BiLstm::new(&mut s, 2, 3);
+        let sq = seq(31, 4, 2);
+        let xs = Mat::from_rows(&sq);
+        let mut scratch = BiBatchScratch::default();
+        let mut hs_b = Mat::default();
+        bi.forward_batch(&s, &xs, 1, &mut scratch, &mut hs_b);
+        let (hs_s, _) = bi.forward_seq(&s, &sq);
+        for t in 0..sq.len() {
+            for k in 0..bi.d_out() {
+                assert!((hs_b.row(t)[k] - hs_s[t][k]).abs() < 1e-6);
+            }
+        }
     }
 
     #[test]

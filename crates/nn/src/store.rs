@@ -110,6 +110,17 @@ impl ParamStore {
         &mut self.g[id.offset..id.offset + id.len()]
     }
 
+    /// Parameter values and their gradients of one block, borrowed
+    /// simultaneously (values shared, gradients mutable). Backward passes
+    /// use this instead of copying the weights to satisfy the borrow
+    /// checker — values and gradients live in separate arrays, so the
+    /// split is free.
+    #[inline]
+    pub fn p_grad_mut(&mut self, id: ParamId) -> (&[f32], &mut [f32]) {
+        let range = id.offset..id.offset + id.len();
+        (&self.w[range.clone()], &mut self.g[range])
+    }
+
     /// Zero all gradients.
     pub fn zero_grad(&mut self) {
         self.g.fill(0.0);
@@ -122,14 +133,35 @@ impl ParamStore {
 
     /// One Adam step over every parameter, with optional gradient clipping
     /// by global norm.
+    ///
+    /// The step **consumes the gradients**: `g` is read and zeroed in the
+    /// same fused sweep, so callers in a step loop do not need a separate
+    /// [`Self::zero_grad`] between steps (an extra `zero_grad` remains
+    /// correct, just redundant). This is what lets the per-sample training
+    /// loop drop one full pass over the parameter arrays per step.
     pub fn adam_step(&mut self, lr: f32, clip: Option<f32>) {
+        let grad_sq = if clip.is_some() {
+            fonduer_tensor::sq_sum(&self.g)
+        } else {
+            0.0
+        };
+        self.adam_step_with_grad_sq(lr, clip, grad_sq);
+    }
+
+    /// [`Self::adam_step`] with the squared gradient norm supplied by the
+    /// caller. Callers that know the gradient's support (which blocks a
+    /// backward pass actually touched) can compute the norm over just that
+    /// support instead of paying a full sweep over `g` — exact as long as
+    /// every untouched entry is exactly zero, which the consuming
+    /// [`Self::adam_step`] guarantees between steps.
+    pub fn adam_step_with_grad_sq(&mut self, lr: f32, clip: Option<f32>, grad_sq: f32) {
         fonduer_observe::counter("nn.adam_steps", 1);
         const B1: f32 = 0.9;
         const B2: f32 = 0.999;
         const EPS: f32 = 1e-8;
         let mut scale = 1.0f32;
         if let Some(max_norm) = clip {
-            let norm: f32 = self.g.iter().map(|g| g * g).sum::<f32>().sqrt();
+            let norm = grad_sq.sqrt();
             if norm > max_norm {
                 scale = max_norm / norm;
             }
@@ -137,30 +169,26 @@ impl ParamStore {
         self.t += 1;
         let bc1 = 1.0 - B1.powi(self.t as i32);
         let bc2 = 1.0 - B2.powi(self.t as i32);
-        for i in 0..self.w.len() {
-            let g = self.g[i] * scale;
-            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
-            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
-            let mhat = self.m[i] / bc1;
-            let vhat = self.v[i] / bc2;
-            self.w[i] -= lr * mhat / (vhat.sqrt() + EPS);
-        }
+        fonduer_tensor::adam_step_consume(
+            &mut self.w,
+            &mut self.g,
+            &mut self.m,
+            &mut self.v,
+            lr,
+            B1,
+            B2,
+            EPS,
+            bc1,
+            bc2,
+            scale,
+        );
     }
 }
 
-/// Matrix–vector product `y = W x` for a `rows × cols` parameter block.
+/// Matrix–vector product `y = W x` for a `rows × cols` parameter block
+/// (delegates to the unrolled `fonduer-tensor` kernel).
 pub fn matvec(w: &[f32], rows: usize, cols: usize, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(w.len(), rows * cols);
-    debug_assert_eq!(x.len(), cols);
-    debug_assert_eq!(y.len(), rows);
-    for r in 0..rows {
-        let row = &w[r * cols..(r + 1) * cols];
-        let mut acc = 0.0f32;
-        for (a, b) in row.iter().zip(x) {
-            acc += a * b;
-        }
-        y[r] = acc;
-    }
+    fonduer_tensor::gemv(w, rows, cols, x, y);
 }
 
 /// Accumulate `W^T dy` into `dx` and the outer product `dy x^T` into `dw`.
@@ -173,18 +201,9 @@ pub fn matvec_backward(
     dw: &mut [f32],
     dx: &mut [f32],
 ) {
-    for r in 0..rows {
-        let d = dy[r];
-        if d == 0.0 {
-            continue;
-        }
-        let row = &w[r * cols..(r + 1) * cols];
-        let drow = &mut dw[r * cols..(r + 1) * cols];
-        for c in 0..cols {
-            drow[c] += d * x[c];
-            dx[c] += d * row[c];
-        }
-    }
+    debug_assert_eq!(w.len(), rows * cols);
+    fonduer_tensor::outer_acc(dy, x, dw);
+    fonduer_tensor::gemv_t_acc(w, rows, cols, dy, dx);
 }
 
 #[cfg(test)]

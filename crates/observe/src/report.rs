@@ -100,14 +100,18 @@ pub fn render_human(snap: &Snapshot) -> String {
     if !snap.histograms.is_empty() {
         let _ = writeln!(out, "histograms:");
         for (name, h) in &snap.histograms {
+            // Histogram values are unitless; duration histograms carry
+            // their unit in the name (`_us` by convention, `_ns` for the
+            // nanosecond-resolution training epochs).
+            let scale = if name.ends_with("_ns") { 1000 } else { 1 };
             let _ = writeln!(
                 out,
                 "  {name:<28} count={:<7} p50={:<9} p95={:<9} p99={:<9} max={}",
                 h.count,
-                fmt_us(h.p50),
-                fmt_us(h.p95),
-                fmt_us(h.p99),
-                fmt_us(h.max),
+                fmt_us(h.p50 / scale),
+                fmt_us(h.p95 / scale),
+                fmt_us(h.p99 / scale),
+                fmt_us(h.max / scale),
             );
         }
     }
