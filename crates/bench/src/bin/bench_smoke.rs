@@ -6,15 +6,23 @@
 //! surface first), `observe/*` (the substrate's own span and doc-timings
 //! costs, so the observability layer cannot quietly get more expensive
 //! than the work it measures), `obsd/*` (the debug server's scrape path),
-//! and the training-kernel rows `tensor/*` and `nn/*` (the flat SIMD
-//! kernels and the batched Bi-LSTM — the substance of the train_epoch
-//! speedup, which must not erode).
+//! the training-kernel rows `tensor/*` and `nn/*` (the flat SIMD kernels
+//! and the batched Bi-LSTM — the substance of the train_epoch speedup,
+//! which must not erode), and since the arena rewrite also `nlp/*` and
+//! `parser/*` (the zero-copy ingest front end — the 2x parse+tokenize
+//! win must not erode either).
 //!
 //! The gate normalizes for host drift first: PR 6's baseline regeneration
 //! showed untouched rows moving +25–70% purely from CI-host slowdown.
-//! `nlp/tokenize` and `parser/parse_document` act as sentinels — code
-//! paths no observability PR touches — and the geometric mean of their
-//! cur/base ratios estimates the host's drift factor. Watched rows are
+//! `observe/span_overhead` and `supervision/generative_fit` act as
+//! sentinels — rows no recent PR touches (the former is a few atomic ops,
+//! the latter pure scalar math far from the ingest and training paths) —
+//! and the geometric mean of their cur/base ratios estimates the host's
+//! drift factor. (They replaced `nlp/tokenize`/`parser/parse_document`,
+//! which the arena+SIMD ingest rewrite deliberately changed: a sentinel
+//! must be a row whose true cost is expected constant, and those two got
+//! ~2–10x faster on purpose, which would have read as a bogus 'host got
+//! faster' signal and masked real regressions elsewhere.) Watched rows are
 //! divided by that factor before the threshold applies, so the gate
 //! measures *relative* regressions, not the weather on the CI host. The
 //! factor is clamped to [0.25, 4.0]; drift beyond that means the sentinels
@@ -28,9 +36,17 @@
 
 use fonduer_observe::json;
 
-const WATCH_PREFIXES: [&str; 5] = ["features/featurize/", "observe/", "obsd/", "tensor/", "nn/"];
-/// Rows untouched by observability work, used to estimate host drift.
-const SENTINELS: [&str; 2] = ["nlp/tokenize", "parser/parse_document"];
+const WATCH_PREFIXES: [&str; 7] = [
+    "features/featurize/",
+    "observe/",
+    "obsd/",
+    "tensor/",
+    "nn/",
+    "nlp/",
+    "parser/",
+];
+/// Rows untouched by recent perf work, used to estimate host drift.
+const SENTINELS: [&str; 2] = ["observe/span_overhead", "supervision/generative_fit"];
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
 /// Drift clamp: beyond 4× in either direction the sentinels themselves
 /// are suspect and the gate stops extrapolating.

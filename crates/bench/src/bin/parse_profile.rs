@@ -1,0 +1,102 @@
+//! Phase breakdown of the ingest front end: markup tree build, markup →
+//! data-model ingest (fused NLP pass included), and visual layout, timed
+//! separately over the same document the `parser/parse_document` bench row
+//! uses. Run with `cargo run --release -p fonduer-bench --bin parse_profile`.
+
+use std::time::Instant;
+
+const HTML: &str = r#"
+<h1>SMBT3904...MMBT3904</h1>
+<p>NPN Silicon Switching Transistors. High DC current gain. Low
+collector-emitter saturation voltage 0.2 V at 10 mA.</p>
+<table>
+  <caption>Maximum Ratings at TA = 25</caption>
+  <tr><th>Parameter</th><th>Symbol</th><th>Value</th><th>Unit</th></tr>
+  <tr><td>Collector current</td><td>IC</td><td>200</td><td>mA</td></tr>
+  <tr><td>Collector-emitter voltage</td><td>VCEO</td><td>40</td><td>V</td></tr>
+  <tr><td>Total power dissipation</td><td>Ptot</td><td>330</td><td>mW</td></tr>
+</table>
+<p>Storage temperature range TS: -65 ... 150. Thermal resistance 417 K/W.</p>"#;
+
+fn median_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // Warmup.
+    for _ in 0..200 {
+        std::hint::black_box(fonduer_parser::parse_document(
+            "d",
+            HTML,
+            fonduer_datamodel::DocFormat::Pdf,
+            &Default::default(),
+        ));
+    }
+    let n = 2000;
+    let markup = median_ns(n, || fonduer_parser::parse(HTML));
+    let ingest = median_ns(n, || {
+        fonduer_parser::ingest("d", HTML, fonduer_datamodel::DocFormat::Pdf)
+    });
+    let full = median_ns(n, || {
+        fonduer_parser::parse_document(
+            "d",
+            HTML,
+            fonduer_datamodel::DocFormat::Pdf,
+            &Default::default(),
+        )
+    });
+    println!("markup tree build : {:>10.0} ns", markup);
+    println!(
+        "ingest (tree+NLP) : {:>10.0} ns  (NLP share ~{:.0} ns)",
+        ingest,
+        ingest - markup
+    );
+    println!(
+        "full parse_document: {:>9.0} ns  (layout share ~{:.0} ns)",
+        full,
+        full - ingest
+    );
+
+    // Component breakdown of the NLP share over the document's full text.
+    let doc = fonduer_parser::ingest("d", HTML, fonduer_datamodel::DocFormat::Pdf);
+    let text = doc.text.clone();
+    let split = median_ns(n, || fonduer_nlp::split_sentences(&text));
+    let mut toks = Vec::new();
+    let tok = median_ns(n, || {
+        let mut total = 0usize;
+        for (a, e) in fonduer_nlp::split_sentences(&text) {
+            fonduer_nlp::tokenize_into(&text[a..e], &mut toks);
+            total += toks.len();
+        }
+        total
+    });
+    let structural = std::sync::Arc::new(fonduer_datamodel::Structural::default());
+    let fused = median_ns(n, || {
+        let mut b = fonduer_datamodel::DocumentBuilder::new("p", fonduer_datamodel::DocFormat::Pdf);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let para = b.paragraph(fonduer_datamodel::ContextRef::TextBlock(tb));
+        let mut scratch = fonduer_nlp::NlpScratch::new();
+        fonduer_nlp::preprocess_into(&mut b, para, &text, &structural, &mut scratch);
+        b.finish()
+    });
+    println!(
+        "-- over doc text ({} bytes, {} tokens) --",
+        text.len(),
+        doc.word_count()
+    );
+    println!("split_sentences   : {:>10.0} ns", split);
+    println!("split+tokenize    : {:>10.0} ns", tok);
+    println!(
+        "fused preprocess  : {:>10.0} ns  (tag+intern+build ~{:.0} ns)",
+        fused,
+        fused - tok
+    );
+}

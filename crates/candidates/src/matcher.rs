@@ -92,13 +92,16 @@ impl DictionaryMatcher {
         let mut set = BTreeSet::new();
         let mut max_tokens = 1;
         for e in entries {
-            let toks = fonduer_nlp::token_texts(e.as_ref());
+            let text = e.as_ref();
+            let toks = fonduer_nlp::tokenize(text);
             max_tokens = max_tokens.max(toks.len());
-            let norm = toks
-                .iter()
-                .map(|t| t.to_lowercase())
-                .collect::<Vec<_>>()
-                .join(" ");
+            let mut norm = String::new();
+            for (i, t) in toks.iter().enumerate() {
+                if i > 0 {
+                    norm.push(' ');
+                }
+                norm.push_str(&t.text(text).to_lowercase());
+            }
             if !norm.is_empty() {
                 set.insert(norm);
             }
@@ -168,10 +171,10 @@ impl Matcher for NumberRangeMatcher {
         }
         let s = doc.sentence(span.sentence);
         let idx = span.start as usize;
-        if s.ling[idx].ner != "NUMBER" {
+        if s.ner(doc, idx) != "NUMBER" {
             return false;
         }
-        match s.words[idx].parse::<f64>() {
+        match s.word(doc, idx).parse::<f64>() {
             Ok(v) => v >= self.min && v <= self.max,
             Err(_) => false,
         }
@@ -358,8 +361,8 @@ mod tests {
                 "cur",
                 Box::new(FnMatcher::new(1, |doc: &Document, sp: Span| {
                     let s = doc.sentence(sp.sentence);
-                    s.ling[sp.start as usize].ner == "NUMBER"
-                        && s.ling.iter().any(|l| l.lemma == "current")
+                    s.ner(doc, sp.start as usize) == "NUMBER"
+                        && s.lemmas(doc).any(|l| l == "current")
                 })),
             )
         };

@@ -105,7 +105,7 @@ mod tests {
 
     fn sentence_with(d: &Document, needle: &str) -> SentenceId {
         for sid in d.sentence_ids() {
-            if d.sentence(sid).text.contains(needle) {
+            if d.sentence(sid).text(d).contains(needle) {
                 return sid;
             }
         }

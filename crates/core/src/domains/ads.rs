@@ -20,10 +20,13 @@ fn phone_matcher() -> Box<FnMatcher<impl Fn(&Document, fonduer_datamodel::Span) 
             return false;
         }
         let s = doc.sentence(sp.sentence);
-        let w = &s.words[sp.start as usize..sp.end as usize];
-        let is_num =
-            |t: &String, len: usize| t.len() == len && t.chars().all(|c| c.is_ascii_digit());
-        is_num(&w[0], 3) && w[1] == "-" && is_num(&w[2], 3) && w[3] == "-" && is_num(&w[4], 4)
+        let w: Vec<&str> = s
+            .words(doc)
+            .skip(sp.start as usize)
+            .take(sp.len())
+            .collect();
+        let is_num = |t: &str, len: usize| t.len() == len && t.chars().all(|c| c.is_ascii_digit());
+        is_num(w[0], 3) && w[1] == "-" && is_num(w[2], 3) && w[3] == "-" && is_num(w[4], 4)
     }))
 }
 
@@ -161,9 +164,10 @@ pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
                     // "24/7" availability is not an age.
                     let v = arg(cand, 1);
                     let s = doc.sentence(v.sentence);
-                    match s.words.get(v.end as usize) {
-                        Some(next) if next == "/" => FALSE,
-                        _ => ABSTAIN,
+                    if (v.end as usize) < s.len() && s.word(doc, v.end as usize) == "/" {
+                        FALSE
+                    } else {
+                        ABSTAIN
                     }
                 },
             ));
@@ -187,11 +191,8 @@ pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
                 |doc: &Document, cand: &Candidate| {
                     let v = arg(cand, 1);
                     let s = doc.sentence(v.sentence);
-                    let prev = v
-                        .start
-                        .checked_sub(1)
-                        .map(|i| s.ling[i as usize].lemma.clone());
-                    match prev.as_deref() {
+                    let prev = v.start.checked_sub(1).map(|i| s.lemma(doc, i as usize));
+                    match prev {
                         Some("in") | Some("visiting") | Some("to") => TRUE,
                         _ => ABSTAIN,
                     }

@@ -24,7 +24,7 @@ pub const RELATIONS: [&str; 4] = [
 fn rsid_matcher() -> Box<FnMatcher<impl Fn(&Document, fonduer_datamodel::Span) -> bool>> {
     Box::new(FnMatcher::new(1, |doc: &Document, sp| {
         let s = doc.sentence(sp.sentence);
-        let w = &s.words[sp.start as usize];
+        let w = s.word(doc, sp.start as usize);
         w.len() > 3 && w.starts_with("rs") && w[2..].chars().all(|c| c.is_ascii_digit())
     }))
 }

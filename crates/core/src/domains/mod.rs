@@ -36,8 +36,7 @@ pub fn in_table(doc: &Document, span: Span) -> bool {
 /// Lower-cased words of the span's own sentence.
 pub fn sentence_words(doc: &Document, span: Span) -> Vec<String> {
     doc.sentence(span.sentence)
-        .words
-        .iter()
+        .words(doc)
         .map(|w| w.to_lowercase())
         .collect()
 }
@@ -45,9 +44,8 @@ pub fn sentence_words(doc: &Document, span: Span) -> Vec<String> {
 /// Lemmas of the span's own sentence.
 pub fn sentence_lemmas(doc: &Document, span: Span) -> Vec<String> {
     doc.sentence(span.sentence)
-        .ling
-        .iter()
-        .map(|l| l.lemma.clone())
+        .lemmas(doc)
+        .map(|l| l.to_string())
         .collect()
 }
 
@@ -63,8 +61,7 @@ pub fn caption_words(doc: &Document, span: Span) -> Vec<String> {
         .into_iter()
         .flat_map(|sid| {
             doc.sentence(sid)
-                .words
-                .iter()
+                .words(doc)
                 .map(|w| w.to_lowercase())
                 .collect::<Vec<_>>()
         })
@@ -79,8 +76,7 @@ pub fn paragraph_words(doc: &Document, span: Span) -> Vec<String> {
         .iter()
         .flat_map(|&sid| {
             doc.sentence(sid)
-                .words
-                .iter()
+                .words(doc)
                 .map(|w| w.to_lowercase())
                 .collect::<Vec<_>>()
         })
@@ -157,7 +153,7 @@ mod tests {
 
     fn span_of(d: &Document, word: &str) -> Span {
         for sid in d.sentence_ids() {
-            if let Some(i) = d.sentence(sid).words.iter().position(|w| w == word) {
+            if let Some(i) = d.sentence(sid).words(d).position(|w| w == word) {
                 return Span::new(sid, i as u32, i as u32 + 1);
             }
         }

@@ -170,7 +170,10 @@ pub fn lfs(rel: &str) -> Vec<LabelingFunction> {
                 let row = row_words(doc, arg(cand, 1));
                 let cap = caption_words(doc, arg(cand, 1));
                 let taxon = arg(cand, 0);
-                let genus = doc.sentence(taxon.sentence).words[taxon.start as usize].to_lowercase();
+                let genus = doc
+                    .sentence(taxon.sentence)
+                    .word(doc, taxon.start as usize)
+                    .to_lowercase();
                 if cap.contains(&genus) && any_in(&row, &[element]) {
                     TRUE
                 } else {

@@ -116,8 +116,11 @@ pub struct WordVisual {
     pub page: u16,
     /// Bounding box in page coordinates.
     pub bbox: BBox,
-    /// Font family name (e.g. `"Arial"`).
-    pub font: String,
+    /// Font family name (e.g. `"Arial"`). `Cow` because the layout engine
+    /// draws from a static font table and attaches one of these per word —
+    /// borrowing keeps the visual modality allocation-free — while loaders
+    /// of real converted PDFs can still carry owned names.
+    pub font: std::borrow::Cow<'static, str>,
     /// Font size in points.
     pub font_size: f32,
     /// Whether the word is rendered in bold.
@@ -144,11 +147,14 @@ pub struct Structural {
     /// 0-based position of the element among its siblings.
     pub node_pos: u32,
     /// Tags of all ancestors, root first (e.g. `["html", "body", "table"]`).
-    pub ancestor_tags: Vec<String>,
+    /// Shared by refcount: every element under the same open-ancestor state
+    /// (all the cells of a table, say) points at one snapshot, so the ingest
+    /// walk clones three `Arc`s instead of three string vectors per element.
+    pub ancestor_tags: std::sync::Arc<Vec<String>>,
     /// `class` attribute values of all ancestors that have one, root first.
-    pub ancestor_classes: Vec<String>,
+    pub ancestor_classes: std::sync::Arc<Vec<String>>,
     /// `id` attribute values of all ancestors that have one, root first.
-    pub ancestor_ids: Vec<String>,
+    pub ancestor_ids: std::sync::Arc<Vec<String>>,
 }
 
 impl Structural {

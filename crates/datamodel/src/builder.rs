@@ -276,11 +276,11 @@ impl DocumentBuilder {
     }
 
     /// Append a sentence to `paragraph`. `ling` is padded with defaults if
-    /// shorter than `words`.
+    /// shorter than `words`. Convenience wrapper over the streaming arena
+    /// API ([`DocumentBuilder::sentence_begin`] /
+    /// [`DocumentBuilder::push_token`]) for callers that already hold fully
+    /// materialized per-sentence data (synthetic corpora, tests).
     pub fn sentence(&mut self, paragraph: ParagraphId, data: SentenceData) -> SentenceId {
-        let id = SentenceId::from_usize(self.doc.sentences.len());
-        let mut ling = data.ling;
-        ling.resize(data.words.len(), WordLinguistic::default());
         if let Some(v) = &data.visual {
             assert_eq!(
                 v.len(),
@@ -288,18 +288,95 @@ impl DocumentBuilder {
                 "visual attributes must be per-word"
             );
         }
+        let id = self.sentence_begin(paragraph, &data.text, std::sync::Arc::new(data.structural));
+        let default_ling = WordLinguistic::default();
+        for (i, word) in data.words.iter().enumerate() {
+            let (start, end) = data.char_offsets[i];
+            let ling = data.ling.get(i).unwrap_or(&default_ling);
+            self.push_token(start, end, word, &ling.lemma, &ling.pos, &ling.ner);
+        }
+        self.doc.sentences[id.index()].visual = data.visual;
+        id
+    }
+
+    /// Open a new sentence at the end of the document arenas: appends `text`
+    /// to the document text buffer and starts an empty token range. Tokens
+    /// are then streamed in with [`DocumentBuilder::push_token`]. This is
+    /// the zero-copy path used by the fused parse→NLP pass: no per-sentence
+    /// `Vec<String>` is ever materialized.
+    pub fn sentence_begin(
+        &mut self,
+        paragraph: ParagraphId,
+        text: &str,
+        structural: std::sync::Arc<Structural>,
+    ) -> SentenceId {
+        let id = SentenceId::from_usize(self.doc.sentences.len());
+        let text_start = self.doc.text.len() as u32;
+        self.doc.text.push_str(text);
+        let tok = self.doc.tok_offsets.len() as u32;
         self.doc.sentences.push(Sentence {
             parent: paragraph,
             abs_position: id.0,
-            text: data.text,
-            words: data.words,
-            char_offsets: data.char_offsets,
-            ling,
-            visual: data.visual,
-            structural: data.structural,
+            text_start,
+            text_end: self.doc.text.len() as u32,
+            tok_start: tok,
+            tok_end: tok,
+            visual: None,
+            structural,
         });
         self.doc.paragraphs[paragraph.index()].sentences.push(id);
         id
+    }
+
+    /// Append one token to the sentence most recently opened with
+    /// [`DocumentBuilder::sentence_begin`]. `start..end` are byte offsets
+    /// relative to that sentence's text; word/lemma/POS/NER are interned
+    /// into the document symbol table.
+    ///
+    /// # Panics
+    /// Panics if no sentence has been opened yet.
+    pub fn push_token(
+        &mut self,
+        start: u32,
+        end: u32,
+        word: &str,
+        lemma: &str,
+        pos: &str,
+        ner: &str,
+    ) {
+        let d = &mut self.doc;
+        d.tok_offsets.push((start, end));
+        let w = d.symbols.intern(word);
+        // Lower-case unsuffixed words (and numbers) lemmatize to themselves;
+        // reuse the word's id instead of hashing the same bytes again.
+        let l = if lemma == word {
+            w
+        } else {
+            d.symbols.intern(lemma)
+        };
+        d.tok_words.push(w);
+        d.tok_lemmas.push(l);
+        d.tok_pos.push(d.symbols.intern(pos));
+        d.tok_ner.push(d.symbols.intern(ner));
+        d.sentences
+            .last_mut()
+            .expect("push_token before sentence_begin")
+            .tok_end += 1;
+    }
+
+    /// Attach per-word visual attributes to an existing sentence.
+    ///
+    /// # Panics
+    /// Panics if the attribute count does not match the sentence's token
+    /// count.
+    pub fn set_sentence_visual(&mut self, sentence: SentenceId, visual: Vec<WordVisual>) {
+        let s = &mut self.doc.sentences[sentence.index()];
+        assert_eq!(
+            visual.len(),
+            (s.tok_end - s.tok_start) as usize,
+            "visual attributes must be per-word"
+        );
+        s.visual = Some(visual);
     }
 
     /// Finish and return the document.

@@ -5,9 +5,24 @@
 //! back-pointer, so that both downward traversal (candidate extraction walks
 //! leaves) and upward traversal (feature generation walks ancestors) are
 //! cheap index lookups rather than pointer chasing.
+//!
+//! # Document memory layout
+//!
+//! Sentence text and per-token attributes live in *document-level arenas*
+//! rather than per-sentence `String`/`Vec<String>` fields: one contiguous
+//! text buffer holds every sentence's text back-to-back, flat arrays hold
+//! `(start, end)` byte offsets (sentence-relative) for each token, and the
+//! word / lemma / POS / NER of each token are interned symbol ids into a
+//! per-document [`crate::SymbolArena`]. A [`Sentence`] is then just a pair
+//! of ranges — `[text_start, text_end)` into the text buffer and
+//! `[tok_start, tok_end)` into the token arrays — so parsing a document
+//! performs O(sentences) allocations instead of O(tokens), and downstream
+//! consumers read words as `&str` slices borrowed from the arena with zero
+//! copies.
 
-use crate::attrs::{BBox, DocFormat, Structural, WordLinguistic, WordVisual};
+use crate::attrs::{BBox, DocFormat, Structural, WordVisual};
 use crate::ids::*;
+use crate::intern::SymbolArena;
 use serde::{Deserialize, Serialize};
 
 /// A top-level section of a document. Sections partition the document into
@@ -141,8 +156,11 @@ pub struct Paragraph {
     pub sentences: Vec<SentenceId>,
 }
 
-/// A sentence: the leaf context. Words and all per-word modality attributes
-/// live here.
+/// A sentence: the leaf context. The sentence owns no strings — its text is
+/// a byte range of [`Document::text`] and its tokens are a range of the
+/// document-level token arrays (see the module docs on memory layout).
+/// Per-word attributes are read through the accessor methods, which resolve
+/// against the owning document's arenas.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sentence {
     /// The owning paragraph.
@@ -150,30 +168,102 @@ pub struct Sentence {
     /// Global document-order index of this sentence (0-based). Used for
     /// textual distance features and document-scope iteration order.
     pub abs_position: u32,
-    /// The full sentence text.
-    pub text: String,
-    /// Tokenized words, in order.
-    pub words: Vec<String>,
-    /// `(start, end)` byte offsets of each word within `text`.
-    pub char_offsets: Vec<(u32, u32)>,
-    /// Linguistic attributes per word (same length as `words`).
-    pub ling: Vec<WordLinguistic>,
+    /// Start byte of this sentence's text in [`Document::text`].
+    pub text_start: u32,
+    /// End byte (exclusive) of this sentence's text in [`Document::text`].
+    pub text_end: u32,
+    /// First token index in the document token arrays.
+    pub tok_start: u32,
+    /// One past the last token index in the document token arrays.
+    pub tok_end: u32,
     /// Visual attributes per word; `None` for formats without a rendering
     /// (native XML), `Some` with one entry per word otherwise.
     pub visual: Option<Vec<WordVisual>>,
-    /// Structural (markup-tree) attributes of the sentence.
-    pub structural: Structural,
+    /// Structural (markup-tree) attributes of the sentence. `Arc` because
+    /// every sentence of a paragraph shares the same markup position: the
+    /// ingest path builds one `Structural` per markup element and the
+    /// sentences share it by refcount instead of deep-cloning its tag,
+    /// attribute, and ancestor strings.
+    pub structural: std::sync::Arc<Structural>,
 }
 
 impl Sentence {
+    /// The token range of this sentence within the document token arrays.
+    #[inline]
+    pub fn tok_range(&self) -> std::ops::Range<usize> {
+        self.tok_start as usize..self.tok_end as usize
+    }
+
+    /// Full sentence text.
+    #[inline]
+    pub fn text<'d>(&'d self, doc: &'d Document) -> &'d str {
+        &doc.text[self.text_start as usize..self.text_end as usize]
+    }
+
+    /// Word `i`.
+    #[inline]
+    pub fn word<'d>(&'d self, doc: &'d Document, i: usize) -> &'d str {
+        debug_assert!(i < self.len());
+        doc.symbols
+            .resolve(doc.tok_words[self.tok_start as usize + i])
+    }
+
+    /// Lemma of word `i`.
+    #[inline]
+    pub fn lemma<'d>(&'d self, doc: &'d Document, i: usize) -> &'d str {
+        debug_assert!(i < self.len());
+        doc.symbols
+            .resolve(doc.tok_lemmas[self.tok_start as usize + i])
+    }
+
+    /// POS tag of word `i`.
+    #[inline]
+    pub fn pos<'d>(&'d self, doc: &'d Document, i: usize) -> &'d str {
+        debug_assert!(i < self.len());
+        doc.symbols
+            .resolve(doc.tok_pos[self.tok_start as usize + i])
+    }
+
+    /// NER tag of word `i`.
+    #[inline]
+    pub fn ner<'d>(&'d self, doc: &'d Document, i: usize) -> &'d str {
+        debug_assert!(i < self.len());
+        doc.symbols
+            .resolve(doc.tok_ner[self.tok_start as usize + i])
+    }
+
+    /// Iterate over the words of this sentence, zero-copy.
+    #[inline]
+    pub fn words<'d>(&'d self, doc: &'d Document) -> impl Iterator<Item = &'d str> {
+        doc.tok_words[self.tok_range()]
+            .iter()
+            .map(|&id| doc.symbols.resolve(id))
+    }
+
+    /// Iterate over the lemmas of this sentence, zero-copy.
+    #[inline]
+    pub fn lemmas<'d>(&'d self, doc: &'d Document) -> impl Iterator<Item = &'d str> {
+        doc.tok_lemmas[self.tok_range()]
+            .iter()
+            .map(|&id| doc.symbols.resolve(id))
+    }
+
+    /// `(start, end)` byte offsets of each word within the sentence text.
+    #[inline]
+    pub fn char_offsets<'d>(&'d self, doc: &'d Document) -> &'d [(u32, u32)] {
+        &doc.tok_offsets[self.tok_range()]
+    }
+
     /// Number of words.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.words.len()
+        (self.tok_end - self.tok_start) as usize
     }
 
     /// Whether the sentence has no words.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.tok_end == self.tok_start
     }
 
     /// Page the sentence starts on, if visual information is available.
@@ -197,7 +287,8 @@ impl Sentence {
 }
 
 /// A parsed document: the root of the context DAG, owning flat arenas of all
-/// context nodes (paper Figure 3).
+/// context nodes (paper Figure 3) plus the text/token arenas that sentences
+/// index into (see the module docs on memory layout).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Document {
     /// Document name (stable across runs; e.g. a filename).
@@ -224,6 +315,22 @@ pub struct Document {
     pub paragraphs: Vec<Paragraph>,
     /// Arena of sentences, in document order.
     pub sentences: Vec<Sentence>,
+    /// Every sentence's text, concatenated in document order. Sentences
+    /// address it by `[text_start, text_end)`.
+    pub text: String,
+    /// `(start, end)` byte offsets of each token, relative to its sentence's
+    /// text slice. Indexed by sentence `[tok_start, tok_end)` ranges.
+    pub tok_offsets: Vec<(u32, u32)>,
+    /// Interned word symbol of each token.
+    pub tok_words: Vec<u32>,
+    /// Interned lemma symbol of each token.
+    pub tok_lemmas: Vec<u32>,
+    /// Interned POS-tag symbol of each token.
+    pub tok_pos: Vec<u32>,
+    /// Interned NER-tag symbol of each token.
+    pub tok_ner: Vec<u32>,
+    /// Per-document symbol table backing the token attribute arrays.
+    pub symbols: SymbolArena,
 }
 
 impl Document {
@@ -242,31 +349,129 @@ impl Document {
             cells: Vec::new(),
             paragraphs: Vec::new(),
             sentences: Vec::new(),
+            text: String::new(),
+            tok_offsets: Vec::new(),
+            tok_words: Vec::new(),
+            tok_lemmas: Vec::new(),
+            tok_pos: Vec::new(),
+            tok_ner: Vec::new(),
+            symbols: SymbolArena::new(),
         }
     }
 
     /// Stable 64-bit hash of the document's full parsed content — name,
     /// structure arenas, text, linguistic and visual attributes. Two
-    /// documents hash equal iff every field is identical, so pipeline
-    /// sessions can key per-document artifact shards on
+    /// documents hash equal iff their logical content is identical, so
+    /// pipeline sessions can key per-document artifact shards on
     /// `(content_hash, stage fingerprint)` and treat an upsert that did
     /// not actually change the document as a pure cache hit.
     ///
-    /// Streams the `Debug` rendering through FNV-1a so no intermediate
-    /// string is materialized.
+    /// The hash streams *resolved* logical values — token attributes are
+    /// looked up through the symbol table, never hashed as raw ids — so it
+    /// is independent of the physical memory layout: symbol intern order,
+    /// arena placement, and buffer capacities do not affect it.
     pub fn content_hash(&self) -> u64 {
-        struct Fnv(u64);
-        impl std::fmt::Write for Fnv {
-            fn write_str(&mut self, s: &str) -> std::fmt::Result {
-                for &b in s.as_bytes() {
-                    self.0 ^= u64::from(b);
-                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-                }
-                Ok(())
+        let mut h = Fnv::new();
+        h.str_(&self.name);
+        h.str_(self.format.label());
+        h.usize_(self.sections.len());
+        for s in &self.sections {
+            h.u32_(s.position);
+            h.usize_(s.children.len());
+            for &c in &s.children {
+                h.ctx(c);
             }
         }
-        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
-        let _ = std::fmt::write(&mut h, format_args!("{self:?}"));
+        h.usize_(self.text_blocks.len());
+        for t in &self.text_blocks {
+            h.u32_(t.parent.0);
+            h.u32_(t.position);
+            h.ids(&t.paragraphs);
+        }
+        h.usize_(self.tables.len());
+        for t in &self.tables {
+            h.u32_(t.parent.0);
+            h.u32_(t.position);
+            h.u32_(t.n_rows);
+            h.u32_(t.n_cols);
+            h.ids(&t.rows);
+            h.ids(&t.columns);
+            h.ids(&t.cells);
+            h.u32_(t.caption.map_or(u32::MAX, |c| c.0));
+        }
+        h.usize_(self.figures.len());
+        for f in &self.figures {
+            h.u32_(f.parent.0);
+            h.u32_(f.position);
+            h.str_(&f.src);
+            h.u32_(f.caption.map_or(u32::MAX, |c| c.0));
+        }
+        h.usize_(self.captions.len());
+        for c in &self.captions {
+            h.ctx(c.parent);
+            h.ids(&c.paragraphs);
+        }
+        h.usize_(self.rows.len());
+        for r in &self.rows {
+            h.u32_(r.table.0);
+            h.u32_(r.index);
+            h.ids(&r.cells);
+        }
+        h.usize_(self.columns.len());
+        for c in &self.columns {
+            h.u32_(c.table.0);
+            h.u32_(c.index);
+            h.ids(&c.cells);
+        }
+        h.usize_(self.cells.len());
+        for c in &self.cells {
+            h.u32_(c.table.0);
+            h.u32_(c.row_start);
+            h.u32_(c.row_end);
+            h.u32_(c.col_start);
+            h.u32_(c.col_end);
+            h.ids(&c.paragraphs);
+        }
+        h.usize_(self.paragraphs.len());
+        for p in &self.paragraphs {
+            h.ctx(p.parent);
+            h.u32_(p.position);
+            h.ids(&p.sentences);
+        }
+        h.usize_(self.sentences.len());
+        for s in &self.sentences {
+            h.u32_(s.parent.0);
+            h.u32_(s.abs_position);
+            h.str_(s.text(self));
+            h.usize_(s.len());
+            for i in s.tok_range() {
+                let (a, b) = self.tok_offsets[i];
+                h.u32_(a);
+                h.u32_(b);
+                h.str_(self.symbols.resolve(self.tok_words[i]));
+                h.str_(self.symbols.resolve(self.tok_lemmas[i]));
+                h.str_(self.symbols.resolve(self.tok_pos[i]));
+                h.str_(self.symbols.resolve(self.tok_ner[i]));
+            }
+            match &s.visual {
+                None => h.u8_(0),
+                Some(vis) => {
+                    h.u8_(1);
+                    h.usize_(vis.len());
+                    for w in vis {
+                        h.u32_(u32::from(w.page));
+                        h.u32_(w.bbox.x0.to_bits());
+                        h.u32_(w.bbox.y0.to_bits());
+                        h.u32_(w.bbox.x1.to_bits());
+                        h.u32_(w.bbox.y1.to_bits());
+                        h.str_(&w.font);
+                        h.u32_(w.font_size.to_bits());
+                        h.u8_(u8::from(w.bold));
+                    }
+                }
+            }
+            h.structural(&s.structural);
+        }
         h.0
     }
 
@@ -336,14 +541,14 @@ impl Document {
     }
 
     /// Total number of words in the document.
+    #[inline]
     pub fn word_count(&self) -> usize {
-        self.sentences.iter().map(|s| s.words.len()).sum()
+        self.tok_words.len()
     }
 
     /// Approximate serialized size in bytes (used for Table 1's corpus-size
     /// column): full sentence text plus a fixed per-node overhead.
     pub fn approx_bytes(&self) -> usize {
-        let text: usize = self.sentences.iter().map(|s| s.text.len()).sum();
         let nodes = self.sections.len()
             + self.text_blocks.len()
             + self.tables.len()
@@ -354,13 +559,116 @@ impl Document {
             + self.cells.len()
             + self.paragraphs.len()
             + self.sentences.len();
-        text + nodes * 64
+        self.text.len() + nodes * 64
+    }
+}
+
+/// Streaming FNV-1a over logical document content. Every variable-length
+/// field is either length-prefixed or 0xff-terminated so that adjacent
+/// fields cannot alias each other's bytes.
+struct Fnv(u64);
+
+impl Fnv {
+    #[inline]
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn u8_(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    #[inline]
+    fn u32_(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn usize_(&mut self, v: usize) {
+        self.bytes(&(v as u64).to_le_bytes());
+    }
+
+    /// Strings are 0xff-terminated: 0xff never occurs in UTF-8.
+    #[inline]
+    fn str_(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        self.bytes(&[0xff]);
+    }
+
+    fn opt_str(&mut self, s: &Option<String>) {
+        match s {
+            None => self.u8_(0),
+            Some(v) => {
+                self.u8_(1);
+                self.str_(v);
+            }
+        }
+    }
+
+    fn ctx(&mut self, c: ContextRef) {
+        let (kind, idx) = match c {
+            ContextRef::Document => (0u8, 0),
+            ContextRef::Section(id) => (1, id.0),
+            ContextRef::TextBlock(id) => (2, id.0),
+            ContextRef::Table(id) => (3, id.0),
+            ContextRef::Figure(id) => (4, id.0),
+            ContextRef::Caption(id) => (5, id.0),
+            ContextRef::Row(id) => (6, id.0),
+            ContextRef::Column(id) => (7, id.0),
+            ContextRef::Cell(id) => (8, id.0),
+            ContextRef::Paragraph(id) => (9, id.0),
+            ContextRef::Sentence(id) => (10, id.0),
+        };
+        self.u8_(kind);
+        self.u32_(idx);
+    }
+
+    fn ids<I: Copy + Into<u32>>(&mut self, ids: &[I]) {
+        self.usize_(ids.len());
+        for &id in ids {
+            self.u32_(id.into());
+        }
+    }
+
+    fn structural(&mut self, s: &Structural) {
+        self.str_(&s.tag);
+        self.usize_(s.attrs.len());
+        for (k, v) in &s.attrs {
+            self.str_(k);
+            self.str_(v);
+        }
+        self.str_(&s.parent_tag);
+        self.opt_str(&s.prev_sibling_tag);
+        self.opt_str(&s.next_sibling_tag);
+        self.u32_(s.node_pos);
+        self.usize_(s.ancestor_tags.len());
+        for t in s.ancestor_tags.iter() {
+            self.str_(t);
+        }
+        self.usize_(s.ancestor_classes.len());
+        for c in s.ancestor_classes.iter() {
+            self.str_(c);
+        }
+        self.usize_(s.ancestor_ids.len());
+        for i in s.ancestor_ids.iter() {
+            self.str_(i);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{DocumentBuilder, SentenceData};
 
     #[test]
     fn cell_spans() {
@@ -384,6 +692,48 @@ mod tests {
         assert!(d.approx_bytes() == 0);
     }
 
+    fn one_sentence_doc(words: &[&str]) -> Document {
+        let mut b = DocumentBuilder::new("d", DocFormat::Html);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        b.sentence(p, SentenceData::from_words(words));
+        b.finish()
+    }
+
+    #[test]
+    fn arena_accessors_resolve_tokens() {
+        let d = one_sentence_doc(&["Storage", "temperature", "150"]);
+        let s = &d.sentences[0];
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.text(&d), "Storage temperature 150");
+        assert_eq!(s.word(&d, 0), "Storage");
+        assert_eq!(s.word(&d, 2), "150");
+        assert_eq!(s.lemma(&d, 1), "temperature");
+        assert_eq!(s.char_offsets(&d), &[(0, 7), (8, 19), (20, 23)]);
+        assert_eq!(
+            s.words(&d).collect::<Vec<_>>(),
+            ["Storage", "temperature", "150"]
+        );
+    }
+
+    #[test]
+    fn arena_is_shared_across_sentences() {
+        let mut b = DocumentBuilder::new("d", DocFormat::Html);
+        let sec = b.section();
+        let tb = b.text_block(sec);
+        let p = b.paragraph(ContextRef::TextBlock(tb));
+        b.sentence(p, SentenceData::from_words(&["volt", "amp"]));
+        b.sentence(p, SentenceData::from_words(&["amp", "ohm"]));
+        let d = b.finish();
+        assert_eq!(d.text, "volt ampamp ohm");
+        assert_eq!(d.word_count(), 4);
+        // "amp" is interned once and shared by both sentences.
+        assert_eq!(d.tok_words[1], d.tok_words[2]);
+        assert_eq!(d.sentences[1].text(&d), "amp ohm");
+        assert_eq!(d.sentences[1].word(&d, 1), "ohm");
+    }
+
     #[test]
     fn sentence_bbox_union_and_page() {
         let vis = vec![
@@ -405,12 +755,12 @@ mod tests {
         let s = Sentence {
             parent: ParagraphId(0),
             abs_position: 0,
-            text: "ab cd".into(),
-            words: vec!["ab".into(), "cd".into()],
-            char_offsets: vec![(0, 2), (3, 5)],
-            ling: vec![WordLinguistic::default(), WordLinguistic::default()],
+            text_start: 0,
+            text_end: 5,
+            tok_start: 0,
+            tok_end: 2,
             visual: Some(vis),
-            structural: Structural::default(),
+            structural: std::sync::Arc::new(Structural::default()),
         };
         assert_eq!(s.page(), Some(2));
         let bb = s.bbox_of(0, 2).unwrap();
@@ -424,12 +774,12 @@ mod tests {
         let s = Sentence {
             parent: ParagraphId(0),
             abs_position: 0,
-            text: String::new(),
-            words: vec![],
-            char_offsets: vec![],
-            ling: vec![],
+            text_start: 0,
+            text_end: 0,
+            tok_start: 0,
+            tok_end: 0,
             visual: None,
-            structural: Structural::default(),
+            structural: std::sync::Arc::new(Structural::default()),
         };
         assert_eq!(s.page(), None);
         assert!(s.is_empty());
@@ -444,17 +794,33 @@ mod tests {
         let b = Document::new("b", DocFormat::Html);
         assert_ne!(a.content_hash(), b.content_hash());
         // So does any content change under an unchanged name.
-        let mut a3 = Document::new("a", DocFormat::Html);
-        a3.sentences.push(Sentence {
-            parent: ParagraphId(0),
-            abs_position: 0,
-            text: "x".into(),
-            words: vec!["x".into()],
-            char_offsets: vec![(0, 1)],
-            ling: vec![WordLinguistic::default()],
-            visual: None,
-            structural: Structural::default(),
-        });
-        assert_ne!(a.content_hash(), a3.content_hash());
+        let mut with = DocumentBuilder::new("a", DocFormat::Html);
+        let sec = with.section();
+        let tb = with.text_block(sec);
+        let p = with.paragraph(ContextRef::TextBlock(tb));
+        with.sentence(p, SentenceData::from_words(&["x"]));
+        assert_ne!(a.content_hash(), with.finish().content_hash());
+    }
+
+    #[test]
+    fn content_hash_ignores_intern_order() {
+        // Same logical sentences, interned in different orders, must hash
+        // identically: the hash streams resolved strings, not symbol ids.
+        let build = |pre_intern: &[&str]| {
+            let mut b = DocumentBuilder::new("d", DocFormat::Html);
+            let sec = b.section();
+            let tb = b.text_block(sec);
+            let p = b.paragraph(ContextRef::TextBlock(tb));
+            b.sentence(p, SentenceData::from_words(&["alpha", "beta"]));
+            let mut d = b.finish();
+            for s in pre_intern {
+                d.symbols.intern(s);
+            }
+            d
+        };
+        let plain = build(&[]);
+        let padded = build(&["zeta", "eta"]);
+        assert_ne!(plain.symbols.len(), padded.symbols.len());
+        assert_eq!(plain.content_hash(), padded.content_hash());
     }
 }

@@ -28,6 +28,7 @@ mod builder;
 mod corpus;
 mod document;
 mod ids;
+mod intern;
 mod outline;
 mod span;
 mod traverse;
@@ -43,5 +44,6 @@ pub use ids::{
     CaptionId, CellId, ColumnId, ContextRef, DocId, FigureId, ParagraphId, RowId, SectionId,
     SentenceId, TableId, TextBlockId,
 };
+pub use intern::{fnv1a64, ShardedInterner, SymbolArena};
 pub use span::{Span, SpanRef};
 pub use validate::{assert_valid, validate};

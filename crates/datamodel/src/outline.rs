@@ -26,7 +26,7 @@ impl Document {
                             .paragraphs
                             .first()
                             .and_then(|p| self.paragraph(*p).sentences.first())
-                            .map(|&s| truncate(&self.sentence(s).text, 48))
+                            .map(|&s| truncate(self.sentence(s).text(self), 48))
                             .unwrap_or_default();
                         let tag = tb
                             .paragraphs

@@ -46,28 +46,37 @@ impl Span {
         self.start >= self.end
     }
 
-    /// The words covered by this span.
-    pub fn words<'d>(&self, doc: &'d Document) -> &'d [String] {
-        &doc.sentence(self.sentence).words[self.start as usize..self.end as usize]
+    /// The words covered by this span, zero-copy from the document arena.
+    pub fn words<'d>(&self, doc: &'d Document) -> impl Iterator<Item = &'d str> {
+        let s = doc.sentence(self.sentence);
+        let lo = s.tok_start as usize + self.start as usize;
+        let hi = s.tok_start as usize + self.end as usize;
+        doc.tok_words[lo..hi]
+            .iter()
+            .map(|&id| doc.symbols.resolve(id))
     }
 
     /// The covered text, reconstructed from the sentence's original text via
     /// character offsets (preserving original spacing).
     pub fn text(&self, doc: &Document) -> String {
         let s = doc.sentence(self.sentence);
-        let (a, _) = s.char_offsets[self.start as usize];
-        let (_, b) = s.char_offsets[self.end as usize - 1];
-        s.text[a as usize..b as usize].to_string()
+        let offsets = s.char_offsets(doc);
+        let (a, _) = offsets[self.start as usize];
+        let (_, b) = offsets[self.end as usize - 1];
+        s.text(doc)[a as usize..b as usize].to_string()
     }
 
     /// Lower-cased covered text with single-space joining (canonical form
     /// used for entity-level KB comparison).
     pub fn normalized_text(&self, doc: &Document) -> String {
-        self.words(doc)
-            .iter()
-            .map(|w| w.to_lowercase())
-            .collect::<Vec<_>>()
-            .join(" ")
+        let mut out = String::new();
+        for (i, w) in self.words(doc).enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&w.to_lowercase());
+        }
+        out
     }
 
     /// Union bounding box of the covered words, if visual data exists.
@@ -128,7 +137,7 @@ mod tests {
         let d = doc();
         let sp = Span::new(SentenceId(0), 1, 3);
         assert_eq!(sp.len(), 2);
-        assert_eq!(sp.words(&d), &["SMBT3904".to_string(), "part".to_string()]);
+        assert_eq!(sp.words(&d).collect::<Vec<_>>(), ["SMBT3904", "part"]);
         assert_eq!(sp.text(&d), "SMBT3904 part");
         assert_eq!(sp.normalized_text(&d), "smbt3904 part");
     }

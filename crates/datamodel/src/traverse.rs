@@ -211,7 +211,7 @@ impl Document {
     fn for_each_cell_word<F: FnMut(&str)>(&self, cell: CellId, f: &mut F) {
         for &p in &self.cells[cell.index()].paragraphs {
             for &s in &self.paragraphs[p.index()].sentences {
-                for w in &self.sentences[s.index()].words {
+                for w in self.sentences[s.index()].words(self) {
                     f(w);
                 }
             }
@@ -331,7 +331,7 @@ impl Document {
                 if wv.page == page
                     && (wv.bbox.y_overlaps(bbox) || (!y_only && wv.bbox.x_overlaps(bbox)))
                 {
-                    f(&s.ling[wi].lemma);
+                    f(s.lemma(self, wi));
                 }
             }
         }

@@ -100,26 +100,62 @@ pub fn validate(doc: &Document) -> Vec<String> {
         }
     }
 
-    // Sentences: attribute vectors are per-word; offsets are in range and
-    // monotone; abs_position matches arena order.
+    // Token arrays are parallel and backed by the symbol table.
+    let n_toks = doc.tok_offsets.len();
+    if doc.tok_words.len() != n_toks
+        || doc.tok_lemmas.len() != n_toks
+        || doc.tok_pos.len() != n_toks
+        || doc.tok_ner.len() != n_toks
+    {
+        errs.push("token attribute arrays have mismatched lengths".to_string());
+    }
+    let n_syms = doc.symbols.len() as u32;
+    for arr in [&doc.tok_words, &doc.tok_lemmas, &doc.tok_pos, &doc.tok_ner] {
+        if arr.iter().any(|&id| id >= n_syms) {
+            errs.push("token symbol id outside symbol table".to_string());
+            break;
+        }
+    }
+
+    // Sentences: text and token ranges tile the document arenas in order;
+    // token offsets are in range and monotone within each sentence;
+    // abs_position matches arena order.
+    let mut text_cursor = 0u32;
+    let mut tok_cursor = 0u32;
     for (si, s) in doc.sentences.iter().enumerate() {
         if s.abs_position as usize != si {
             errs.push(format!("sentence {si}: abs_position {}", s.abs_position));
         }
-        if s.ling.len() != s.words.len() {
-            errs.push(format!("sentence {si}: ling length mismatch"));
+        if s.text_start != text_cursor
+            || s.text_end < s.text_start
+            || s.text_end as usize > doc.text.len()
+        {
+            errs.push(format!("sentence {si}: text range not contiguous"));
         }
-        if s.char_offsets.len() != s.words.len() {
-            errs.push(format!("sentence {si}: offsets length mismatch"));
+        if !doc.text.is_char_boundary(s.text_start as usize)
+            || !doc
+                .text
+                .is_char_boundary(s.text_end.min(doc.text.len() as u32) as usize)
+        {
+            errs.push(format!("sentence {si}: text range splits a character"));
         }
+        text_cursor = s.text_end;
+        if s.tok_start != tok_cursor || s.tok_end < s.tok_start || s.tok_end as usize > n_toks {
+            errs.push(format!("sentence {si}: token range not contiguous"));
+        }
+        tok_cursor = s.tok_end;
         if let Some(v) = &s.visual {
-            if v.len() != s.words.len() {
+            if v.len() != s.len() {
                 errs.push(format!("sentence {si}: visual length mismatch"));
             }
         }
+        let sent_len = s.text_end.saturating_sub(s.text_start);
         let mut prev_end = 0u32;
-        for (wi, &(a, b)) in s.char_offsets.iter().enumerate() {
-            if a > b || b as usize > s.text.len() {
+        let lo = (s.tok_start as usize).min(n_toks);
+        let hi = (s.tok_end as usize).clamp(lo, n_toks);
+        let toks = &doc.tok_offsets[lo..hi];
+        for (wi, &(a, b)) in toks.iter().enumerate() {
+            if a > b || b > sent_len {
                 errs.push(format!("sentence {si} word {wi}: offsets out of range"));
             }
             if a < prev_end {
@@ -131,6 +167,12 @@ pub fn validate(doc: &Document) -> Vec<String> {
         if !doc.format.has_visual() && s.visual.is_some() {
             errs.push(format!("sentence {si}: visual data in XML document"));
         }
+    }
+    if text_cursor as usize != doc.text.len() {
+        errs.push("document text arena extends past the last sentence".to_string());
+    }
+    if tok_cursor as usize != n_toks {
+        errs.push("document token arena extends past the last sentence".to_string());
     }
 
     errs

@@ -55,7 +55,7 @@ fn textual(doc: &Document, a: Span, b: Span, sink: &mut FeatureSink<'_>) {
         sink.feat_fmt(format_args!("TOKEN_DIST_{}", bucket(gap)));
         let s = doc.sentence(a.sentence);
         for i in lo.end..hi.start {
-            sink.feat_fmt(format_args!("BETWEEN_LEMMA_{}", s.ling[i as usize].lemma));
+            sink.feat_fmt(format_args!("BETWEEN_LEMMA_{}", s.lemma(doc, i as usize)));
         }
     } else {
         let d = doc
@@ -101,8 +101,8 @@ fn tabular(doc: &Document, a: Span, b: Span, sink: &mut FeatureSink<'_>) {
                 let word_diff = hi.start.saturating_sub(lo.end) as usize;
                 sink.feat_fmt(format_args!("WORD_DIFF_{}", bucket(word_diff)));
                 let s = doc.sentence(a.sentence);
-                let (ca_off, _) = s.char_offsets[lo.start as usize];
-                let (cb_off, _) = s.char_offsets[hi.start as usize];
+                let (ca_off, _) = s.char_offsets(doc)[lo.start as usize];
+                let (cb_off, _) = s.char_offsets(doc)[hi.start as usize];
                 sink.feat_fmt(format_args!(
                     "CHAR_DIFF_{}",
                     bucket(cb_off.saturating_sub(ca_off) as usize)
@@ -176,7 +176,7 @@ mod tests {
 
     fn span_of(d: &Document, word: &str) -> Span {
         for sid in d.sentence_ids() {
-            if let Some(i) = d.sentence(sid).words.iter().position(|w| w == word) {
+            if let Some(i) = d.sentence(sid).words(d).position(|w| w == word) {
                 return Span::new(sid, i as u32, i as u32 + 1);
             }
         }

@@ -62,28 +62,28 @@ pub fn unary_features_into(
 fn textual(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     let s = doc.sentence(span.sentence);
     let (a, b) = (span.start as usize, span.end as usize);
-    for w in &s.words[a..b] {
-        sink.feat_fmt(format_args!("WORD_{}", Lower(w)));
+    for i in a..b {
+        sink.feat_fmt(format_args!("WORD_{}", Lower(s.word(doc, i))));
     }
-    for l in &s.ling[a..b] {
-        sink.feat_fmt(format_args!("LEMMA_{}", l.lemma));
-        sink.feat_fmt(format_args!("NER_{}", l.ner));
+    for i in a..b {
+        sink.feat_fmt(format_args!("LEMMA_{}", s.lemma(doc, i)));
+        sink.feat_fmt(format_args!("NER_{}", s.ner(doc, i)));
     }
     sink.begin();
     sink.push("POS_");
-    for (k, l) in s.ling[a..b].iter().enumerate() {
+    for (k, i) in (a..b).enumerate() {
         if k > 0 {
             sink.push("_");
         }
-        sink.push(&l.pos);
+        sink.push(s.pos(doc, i));
     }
     sink.commit();
     sink.feat_fmt(format_args!("LEN_{}", bucket(b - a)));
     for i in a.saturating_sub(WINDOW)..a {
-        sink.feat_fmt(format_args!("LEFT_LEMMA_{}", s.ling[i].lemma));
+        sink.feat_fmt(format_args!("LEFT_LEMMA_{}", s.lemma(doc, i)));
     }
     for i in b..(b + WINDOW).min(s.len()) {
-        sink.feat_fmt(format_args!("RIGHT_LEMMA_{}", s.ling[i].lemma));
+        sink.feat_fmt(format_args!("RIGHT_LEMMA_{}", s.lemma(doc, i)));
     }
 }
 
@@ -110,10 +110,10 @@ fn structural(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
         sink.push(t);
     }
     sink.commit();
-    for c in &st.ancestor_classes {
+    for c in st.ancestor_classes.iter() {
         sink.feat_fmt(format_args!("ANCESTOR_CLASS_{c}"));
     }
-    for i in &st.ancestor_ids {
+    for i in st.ancestor_ids.iter() {
         sink.feat_fmt(format_args!("ANCESTOR_ID_{i}"));
     }
 }
@@ -130,7 +130,7 @@ fn tabular(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     sink.feat_fmt(format_args!("COL_SPAN_{}", cell.col_span()));
     // Words sharing the mention's cell (excluding the mention's own tokens).
     let s = doc.sentence(span.sentence);
-    for (i, w) in s.words.iter().enumerate() {
+    for (i, w) in s.words(doc).enumerate() {
         if (i as u32) < span.start || (i as u32) >= span.end {
             sink.feat_fmt(format_args!("CELL_{}", Lower(w)));
         }
@@ -153,7 +153,7 @@ fn tabular(doc: &Document, span: Span, sink: &mut FeatureSink<'_>) {
     if let Some(table) = doc.table_of_sentence(span.sentence) {
         if let Some(cap) = doc.table(table).caption {
             for sid in doc.sentences_in(fonduer_datamodel::ContextRef::Caption(cap)) {
-                for w in &doc.sentence(sid).words {
+                for w in doc.sentence(sid).words(doc) {
                     sink.feat_fmt(format_args!("CAPTION_{}", Lower(w)));
                 }
             }
@@ -204,7 +204,7 @@ mod tests {
 
     fn span_of(d: &Document, word: &str) -> Span {
         for sid in d.sentence_ids() {
-            if let Some(i) = d.sentence(sid).words.iter().position(|w| w == word) {
+            if let Some(i) = d.sentence(sid).words(d).position(|w| w == word) {
                 return Span::new(sid, i as u32, i as u32 + 1);
             }
         }

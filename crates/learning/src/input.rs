@@ -119,7 +119,7 @@ pub fn mention_token_ids(
     let lo = a.saturating_sub(window);
     let hi = (b + window).min(s.len());
     let mut out = Vec::with_capacity(hi - lo + 2);
-    for (k, w) in s.words[lo..hi].iter().enumerate() {
+    for (k, w) in s.words(doc).skip(lo).take(hi - lo).enumerate() {
         let idx = lo + k;
         if idx == a {
             out.push(start_marker(vocab, arg));
@@ -181,7 +181,7 @@ pub fn doc_token_ids(
     let mut out = Vec::new();
     for sid in doc.sentence_ids() {
         let s = doc.sentence(sid);
-        for (k, w) in s.words.iter().enumerate() {
+        for (k, w) in s.words(doc).enumerate() {
             for (arg, m) in cand.mentions.iter().enumerate() {
                 if m.sentence == sid && m.start as usize == k {
                     out.push(start_marker(vocab, arg));

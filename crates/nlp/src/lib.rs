@@ -7,25 +7,35 @@
 //! stand-in for CoreNLP-style tooling, documented as a substitution in
 //! DESIGN.md.
 //!
-//! * [`token`] — tokenizer aware of numbers, units, part codes, intervals;
+//! * [`token`] — span-based tokenizer aware of numbers, units, part codes,
+//!   intervals; emits byte offsets into the source text, no `String`s;
 //! * [`sentence`] — sentence splitter with abbreviation/decimal protection;
+//! * [`simd`] — SWAR/AVX2 byte-class scanners behind runtime dispatch,
+//!   bit-identical to the scalar path (`FONDUER_NO_AVX2=1` forces scalar);
 //! * [`tag`] — POS tagger, lemmatizer, entity-style tagger;
 //! * [`ngram`] — n-gram helpers used by matchers and labeling functions;
 //! * [`vocab`] — hashed vocabulary backing trainable word embeddings;
-//! * [`preprocess`] — raw text → `SentenceData` for the document builder.
+//! * [`preprocess`] — fused split→tokenize→tag pass writing the document
+//!   arena directly, plus the allocating `SentenceData` compatibility path.
 
 #![warn(missing_docs)]
 
 pub mod ngram;
 pub mod preprocess;
 pub mod sentence;
+pub mod simd;
 pub mod tag;
 pub mod token;
 pub mod vocab;
 
 pub use ngram::{contains_word, ngrams, up_to_ngrams};
-pub use preprocess::{preprocess, preprocess_sentence};
+pub use preprocess::{
+    preprocess, preprocess_into, preprocess_sentence, preprocess_sentence_into, NlpScratch,
+};
 pub use sentence::{sentence_texts, split_sentences};
-pub use tag::{is_number, lemmatize, ner_tag, pos_tag, UNITS};
-pub use token::{token_texts, tokenize, Token};
+pub use simd::simd_level;
+pub use tag::{is_number, lemmatize, lower_into, ner_tag, pos_tag, UNITS};
+#[allow(deprecated)]
+pub use token::token_texts;
+pub use token::{tokenize, tokenize_into, Token};
 pub use vocab::{fnv1a, HashedVocab};

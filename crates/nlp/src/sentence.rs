@@ -21,51 +21,58 @@ fn ends_with_abbreviation(prefix: &str) -> bool {
 }
 
 /// Split `text` into sentence substrings with byte ranges `(start, end)`.
+///
+/// Byte-oriented scan: candidate terminators (`.`, `!`, `?` — all ASCII)
+/// are located with the SWAR/AVX2 scanner in [`crate::simd`], and only the
+/// look-ahead over following whitespace decodes chars (non-ASCII
+/// whitespace and uppercase tests are Unicode-aware, matching the original
+/// char-indexed implementation exactly).
 pub fn split_sentences(text: &str) -> Vec<(usize, usize)> {
-    let chars: Vec<(usize, char)> = text.char_indices().collect();
-    let n = chars.len();
+    let b = text.as_bytes();
+    let n = b.len();
     let mut spans = Vec::new();
     let mut sent_start = 0usize;
     let mut i = 0usize;
     while i < n {
-        let (pos, c) = chars[i];
-        if c == '!' || c == '?' || c == '.' {
-            // Decimal point inside a number is not a boundary.
-            if c == '.'
-                && i > 0
-                && chars[i - 1].1.is_ascii_digit()
-                && i + 1 < n
-                && chars[i + 1].1.is_ascii_digit()
-            {
-                i += 1;
-                continue;
+        i = crate::simd::find_terminator(b, i);
+        if i >= n {
+            break;
+        }
+        let c = b[i];
+        // Decimal point inside a number is not a boundary.
+        if c == b'.' && i > 0 && b[i - 1].is_ascii_digit() && i + 1 < n && b[i + 1].is_ascii_digit()
+        {
+            i += 1;
+            continue;
+        }
+        // Abbreviation protection.
+        if c == b'.' && ends_with_abbreviation(&text[sent_start..i]) {
+            i += 1;
+            continue;
+        }
+        // Look ahead: boundary only if followed by whitespace then an
+        // upper-case letter/digit (or end of text).
+        let mut j = i + 1;
+        loop {
+            j = crate::simd::ws_run_end(b, j);
+            match text[j..].chars().next() {
+                Some(ch) if !ch.is_ascii() && ch.is_whitespace() => j += ch.len_utf8(),
+                _ => break,
             }
-            // Abbreviation protection.
-            if c == '.' && ends_with_abbreviation(&text[sent_start..pos]) {
-                i += 1;
-                continue;
+        }
+        let next = text[j..].chars().next();
+        let is_boundary = match next {
+            None => true,
+            Some(ch) => j > i + 1 && (ch.is_uppercase() || ch.is_ascii_digit()),
+        };
+        if is_boundary {
+            let end = i + 1;
+            if !text[sent_start..end].trim().is_empty() {
+                spans.push((sent_start, end));
             }
-            // Look ahead: boundary only if followed by whitespace then an
-            // upper-case letter/digit (or end of text).
-            let mut j = i + 1;
-            while j < n && chars[j].1.is_whitespace() {
-                j += 1;
-            }
-            let is_boundary =
-                j >= n || (j > i + 1 && (chars[j].1.is_uppercase() || chars[j].1.is_ascii_digit()));
-            if is_boundary {
-                let end = if i + 1 < n {
-                    chars[i + 1].0
-                } else {
-                    text.len()
-                };
-                if !text[sent_start..end].trim().is_empty() {
-                    spans.push((sent_start, end));
-                }
-                sent_start = if j < n { chars[j].0 } else { text.len() };
-                i = j;
-                continue;
-            }
+            sent_start = j;
+            i = j;
+            continue;
         }
         i += 1;
     }

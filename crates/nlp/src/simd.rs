@@ -1,0 +1,428 @@
+//! SIMD-assisted byte-class scanning for the tokenizer and sentence
+//! splitter.
+//!
+//! The tokenizer's hot loops are runs: "consume ASCII digits", "consume
+//! ASCII word characters", "skip ASCII whitespace", "find the next sentence
+//! terminator". This module provides run scanners at three widths:
+//!
+//! * a scalar tail loop (always);
+//! * a SWAR path that tests 8 bytes per step with branch-free `u64`
+//!   byte-lane arithmetic (the portable "generic" path);
+//! * an AVX2 path behind `#[target_feature]` that tests 32 bytes per step
+//!   with vector compares + `movemask`, selected at runtime via CPUID
+//!   (honoring `FONDUER_NO_AVX2`), following the same dispatch pattern as
+//!   `fonduer-tensor`'s kernel shims.
+//!
+//! All paths classify *ASCII* byte classes only; any byte ≥ 0x80 terminates
+//! a run and is handed back to the caller's scalar char decoder. Because
+//! classification is exact per byte, every path returns bit-identical run
+//! boundaries — a parity test tokenizes adversarial and random inputs under
+//! both paths and asserts equality.
+
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+/// 0 = undetected, 1 = generic (SWAR) path, 2 = AVX2 path.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the AVX2 scanners should be used. First call performs CPUID
+/// detection (honoring `FONDUER_NO_AVX2` as an opt-out for debugging);
+/// later calls are one relaxed load.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_enabled() -> bool {
+    match STATE.load(Relaxed) {
+        0 => {
+            let on = std::arch::is_x86_feature_detected!("avx2")
+                && std::env::var_os("FONDUER_NO_AVX2").is_none();
+            STATE.store(if on { 2 } else { 1 }, Relaxed);
+            on
+        }
+        s => s == 2,
+    }
+}
+
+/// Which tokenizer scan path is active: `"avx2"` or `"generic"`.
+pub fn simd_level() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_enabled() {
+            return "avx2";
+        }
+    }
+    "generic"
+}
+
+/// Test hook: force the generic SWAR path (`true`) or re-run detection on
+/// the next scan (`false`). Used by the bitwise path-parity tests.
+#[doc(hidden)]
+pub fn force_generic(on: bool) {
+    STATE.store(if on { 1 } else { 0 }, Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Byte classes
+// ---------------------------------------------------------------------------
+
+/// ASCII whitespace in the sense of `char::is_whitespace`: HT, LF, VT, FF,
+/// CR, space.
+#[inline]
+pub(crate) fn is_ascii_ws(b: u8) -> bool {
+    matches!(b, 0x09..=0x0d | b' ')
+}
+
+/// ASCII word characters: `[0-9A-Za-z_]`.
+#[inline]
+pub(crate) fn is_ascii_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[inline]
+fn is_terminator(b: u8) -> bool {
+    matches!(b, b'.' | b'!' | b'?')
+}
+
+// ---------------------------------------------------------------------------
+// SWAR lane arithmetic. Each helper sets the high bit of every byte lane
+// that satisfies the predicate; lanes with byte >= 0x80 are never flagged,
+// so non-ASCII bytes always terminate a run.
+// ---------------------------------------------------------------------------
+
+const ONES: u64 = 0x0101_0101_0101_0101;
+const HIGH: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn splat(b: u8) -> u64 {
+    ONES * u64::from(b)
+}
+
+/// High bit set in each lane whose byte is `< n` (requires `n <= 0x80`;
+/// lanes >= 0x80 are never flagged). ORing in the lane high bits before the
+/// subtraction keeps every lane >= 0x80 >= n, so no borrow ever crosses a
+/// lane boundary and the test is exact per lane — the textbook
+/// `(x - n·ONES) & ~x & HIGH` form is only exact up to the first true hit,
+/// because a borrow out of a matching lane falsely flags the lane above it.
+#[inline]
+fn lt(x: u64, n: u8) -> u64 {
+    !(x | HIGH).wrapping_sub(splat(n)) & !x & HIGH
+}
+
+/// High bit set in each lane equal to `b` (requires `b < 0x80`). Same
+/// borrow-isolation trick as [`lt`]: `(v | HIGH) - 1` keeps lanes
+/// independent, and its high bit clears exactly when `v == 0`.
+#[inline]
+fn eq(x: u64, b: u8) -> u64 {
+    let v = x ^ splat(b);
+    !(v | HIGH).wrapping_sub(ONES) & !v & HIGH
+}
+
+/// High bit set in each lane whose byte is in `lo..=hi` (ASCII bounds).
+#[inline]
+fn in_range(x: u64, lo: u8, hi: u8) -> u64 {
+    lt(x, hi + 1) & !lt(x, lo)
+}
+
+#[inline]
+fn word_lanes(x: u64) -> u64 {
+    in_range(x, b'0', b'9') | in_range(x, b'A', b'Z') | in_range(x, b'a', b'z') | eq(x, b'_')
+}
+
+#[inline]
+fn digit_lanes(x: u64) -> u64 {
+    in_range(x, b'0', b'9')
+}
+
+#[inline]
+fn ws_lanes(x: u64) -> u64 {
+    in_range(x, 0x09, 0x0d) | eq(x, b' ')
+}
+
+#[inline]
+fn terminator_lanes(x: u64) -> u64 {
+    eq(x, b'.') | eq(x, b'!') | eq(x, b'?')
+}
+
+#[inline]
+fn load8(bytes: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap())
+}
+
+macro_rules! swar_run {
+    ($bytes:ident, $i:ident, $lanes:ident, $scalar:expr) => {{
+        while $i + 8 <= $bytes.len() {
+            let miss = $lanes(load8($bytes, $i)) ^ HIGH;
+            if miss != 0 {
+                return $i + (miss.trailing_zeros() / 8) as usize;
+            }
+            $i += 8;
+        }
+        #[allow(clippy::redundant_closure_call)]
+        while $i < $bytes.len() && $scalar($bytes[$i]) {
+            $i += 1;
+        }
+        $i
+    }};
+}
+
+fn word_run_end_swar(bytes: &[u8], mut i: usize) -> usize {
+    swar_run!(bytes, i, word_lanes, is_ascii_word)
+}
+
+fn digit_run_end_swar(bytes: &[u8], mut i: usize) -> usize {
+    swar_run!(bytes, i, digit_lanes, |b: u8| b.is_ascii_digit())
+}
+
+fn ws_run_end_swar(bytes: &[u8], mut i: usize) -> usize {
+    swar_run!(bytes, i, ws_lanes, is_ascii_ws)
+}
+
+fn find_terminator_swar(bytes: &[u8], mut i: usize) -> usize {
+    while i + 8 <= bytes.len() {
+        let hit = terminator_lanes(load8(bytes, i));
+        if hit != 0 {
+            return i + (hit.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && !is_terminator(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 shims: 32 bytes per step via vector compares + movemask. Unsigned
+// range tests use the min/max idiom (`b >= lo  ⇔  max(b, lo) == b`), which
+// classifies bytes >= 0x80 correctly without bias tricks.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn range_mask(v: __m256i, lo: u8, hi: u8) -> __m256i {
+        let ge = _mm256_cmpeq_epi8(v, _mm256_max_epu8(v, _mm256_set1_epi8(lo as i8)));
+        let le = _mm256_cmpeq_epi8(v, _mm256_min_epu8(v, _mm256_set1_epi8(hi as i8)));
+        _mm256_and_si256(ge, le)
+    }
+
+    #[inline]
+    unsafe fn eq_mask(v: __m256i, b: u8) -> __m256i {
+        _mm256_cmpeq_epi8(v, _mm256_set1_epi8(b as i8))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn word_run_end(bytes: &[u8], mut i: usize) -> usize {
+        while i + 32 <= bytes.len() {
+            let v = _mm256_loadu_si256(bytes.as_ptr().add(i) as *const __m256i);
+            let d = range_mask(v, b'0', b'9');
+            let up = range_mask(v, b'A', b'Z');
+            let lo = range_mask(v, b'a', b'z');
+            let us = eq_mask(v, b'_');
+            let class = _mm256_or_si256(_mm256_or_si256(d, up), _mm256_or_si256(lo, us));
+            let stop = !(_mm256_movemask_epi8(class) as u32);
+            if stop != 0 {
+                return i + stop.trailing_zeros() as usize;
+            }
+            i += 32;
+        }
+        super::word_run_end_swar(bytes, i)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn digit_run_end(bytes: &[u8], mut i: usize) -> usize {
+        while i + 32 <= bytes.len() {
+            let v = _mm256_loadu_si256(bytes.as_ptr().add(i) as *const __m256i);
+            let class = range_mask(v, b'0', b'9');
+            let stop = !(_mm256_movemask_epi8(class) as u32);
+            if stop != 0 {
+                return i + stop.trailing_zeros() as usize;
+            }
+            i += 32;
+        }
+        super::digit_run_end_swar(bytes, i)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn ws_run_end(bytes: &[u8], mut i: usize) -> usize {
+        while i + 32 <= bytes.len() {
+            let v = _mm256_loadu_si256(bytes.as_ptr().add(i) as *const __m256i);
+            let class = _mm256_or_si256(range_mask(v, 0x09, 0x0d), eq_mask(v, b' '));
+            let stop = !(_mm256_movemask_epi8(class) as u32);
+            if stop != 0 {
+                return i + stop.trailing_zeros() as usize;
+            }
+            i += 32;
+        }
+        super::ws_run_end_swar(bytes, i)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn find_terminator(bytes: &[u8], mut i: usize) -> usize {
+        while i + 32 <= bytes.len() {
+            let v = _mm256_loadu_si256(bytes.as_ptr().add(i) as *const __m256i);
+            let class = _mm256_or_si256(
+                _mm256_or_si256(eq_mask(v, b'.'), eq_mask(v, b'!')),
+                eq_mask(v, b'?'),
+            );
+            let hit = _mm256_movemask_epi8(class) as u32;
+            if hit != 0 {
+                return i + hit.trailing_zeros() as usize;
+            }
+            i += 32;
+        }
+        super::find_terminator_swar(bytes, i)
+    }
+}
+
+macro_rules! dispatch {
+    ($name:ident, $swar:ident, $lanes:ident, $invert:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[inline]
+        pub(crate) fn $name(bytes: &[u8], i: usize) -> usize {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // Hybrid: probe the first 8 bytes with one SWAR step before
+                // going wide. Most tokenizer runs (a word, a single space)
+                // end inside that block, where an AVX2 load + three vector
+                // compares costs more than it saves; only runs that survive
+                // the probe switch to 32-byte steps. The 40-byte floor
+                // guarantees at least one full vector block after the probe.
+                if bytes.len() - i >= 40 && avx2_enabled() {
+                    let lanes = $lanes(load8(bytes, i));
+                    let stop = if $invert { lanes ^ HIGH } else { lanes };
+                    if stop != 0 {
+                        return i + (stop.trailing_zeros() / 8) as usize;
+                    }
+                    // SAFETY: avx2_enabled() gates on runtime CPUID.
+                    return unsafe { avx2::$name(bytes, i + 8) };
+                }
+            }
+            $swar(bytes, i)
+        }
+    };
+}
+
+dispatch!(
+    word_run_end,
+    word_run_end_swar,
+    word_lanes,
+    true,
+    "First index `>= i` whose byte is not an ASCII word character \
+     (`[0-9A-Za-z_]`), or `bytes.len()`."
+);
+dispatch!(
+    digit_run_end,
+    digit_run_end_swar,
+    digit_lanes,
+    true,
+    "First index `>= i` whose byte is not an ASCII digit, or `bytes.len()`."
+);
+dispatch!(
+    ws_run_end,
+    ws_run_end_swar,
+    ws_lanes,
+    true,
+    "First index `>= i` whose byte is not ASCII whitespace, or \
+     `bytes.len()`."
+);
+dispatch!(
+    find_terminator,
+    find_terminator_swar,
+    terminator_lanes,
+    false,
+    "First index `>= i` whose byte is a sentence terminator (`.`, `!`, \
+     `?`), or `bytes.len()`."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_run(bytes: &[u8], mut i: usize, pred: fn(u8) -> bool) -> usize {
+        while i < bytes.len() && pred(bytes[i]) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Deterministic pseudo-random byte soup spanning all classes.
+    fn soup(seed: u64, len: usize) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Mostly ASCII, occasionally high bytes.
+            let b = (state % 160) as u8;
+            out.push(if b >= 128 { 0xce } else { b });
+        }
+        out
+    }
+
+    #[test]
+    fn swar_runs_match_scalar_on_byte_soup() {
+        for seed in 0..8u64 {
+            let bytes = soup(seed, 257);
+            for start in 0..bytes.len() {
+                assert_eq!(
+                    word_run_end_swar(&bytes, start),
+                    scalar_run(&bytes, start, is_ascii_word),
+                    "word run at {start}, seed {seed}"
+                );
+                assert_eq!(
+                    digit_run_end_swar(&bytes, start),
+                    scalar_run(&bytes, start, |b| b.is_ascii_digit()),
+                    "digit run at {start}, seed {seed}"
+                );
+                assert_eq!(
+                    ws_run_end_swar(&bytes, start),
+                    scalar_run(&bytes, start, is_ascii_ws),
+                    "ws run at {start}, seed {seed}"
+                );
+                assert_eq!(
+                    find_terminator_swar(&bytes, start),
+                    scalar_run(&bytes, start, |b| !matches!(b, b'.' | b'!' | b'?')),
+                    "terminator scan at {start}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_runs_match_swar() {
+        // On AVX2 hosts this exercises the vector path against SWAR; on
+        // others it is a self-check.
+        for seed in 8..12u64 {
+            let bytes = soup(seed, 300);
+            for start in 0..bytes.len() {
+                assert_eq!(
+                    word_run_end(&bytes, start),
+                    word_run_end_swar(&bytes, start)
+                );
+                assert_eq!(
+                    digit_run_end(&bytes, start),
+                    digit_run_end_swar(&bytes, start)
+                );
+                assert_eq!(ws_run_end(&bytes, start), ws_run_end_swar(&bytes, start));
+                assert_eq!(
+                    find_terminator(&bytes, start),
+                    find_terminator_swar(&bytes, start)
+                );
+            }
+        }
+        assert!(matches!(simd_level(), "avx2" | "generic"));
+    }
+
+    #[test]
+    fn lane_arithmetic_edge_bytes() {
+        // 0x80-adjacent bytes must never be classified into any ASCII class.
+        let bytes = [0x7f, 0x80, 0xff, b'a', b'0', b' ', b'.', 0x00];
+        assert_eq!(word_run_end_swar(&bytes, 0), 0);
+        assert_eq!(word_run_end_swar(&bytes, 3), 5);
+        assert_eq!(digit_run_end_swar(&bytes, 4), 5);
+        assert_eq!(ws_run_end_swar(&bytes, 5), 6);
+        assert_eq!(find_terminator_swar(&bytes, 0), 6);
+    }
+}

@@ -13,31 +13,60 @@ pub const POS_TAGS: &[&str] = &[
     "NNP", "SYM", "PUNCT",
 ];
 
-const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "each"];
-const PREPOSITIONS: &[&str] = &[
-    "in", "on", "at", "of", "for", "with", "from", "by", "over", "under", "between", "into",
-    "through", "per", "within",
-];
-const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor"];
-const MODALS: &[&str] = &[
-    "can", "may", "must", "shall", "will", "should", "would", "could",
-];
-const PRONOUNS: &[&str] = &["it", "they", "we", "he", "she", "you", "i"];
-const ADJECTIVES: &[&str] = &[
-    "high", "low", "maximum", "minimum", "typical", "total", "new", "small", "large", "silicon",
-];
-const VERBS_BASE: &[&str] = &[
-    "be", "is", "are", "was", "were", "have", "has", "show", "shows", "contain", "contains",
-    "exceed", "exceeds", "provide", "provides", "measure", "found", "use", "uses",
-];
+/// Closed-class word → tag, compiled to one string `match` (rustc switches
+/// on length then bytes) instead of per-class linear dictionary scans — the
+/// fused ingest pass consults this for every token, and seven sequential
+/// `&[&str]::contains` walks were a measurable share of parse+NLP time.
+/// Verb forms ending in `s` resolve to `VBZ`, other known verbs to `VB`.
+fn closed_class(lower: &str) -> Option<&'static str> {
+    Some(match lower {
+        "the" | "a" | "an" | "this" | "that" | "these" | "those" | "each" => "DT",
+        "in" | "on" | "at" | "of" | "for" | "with" | "from" | "by" | "over" | "under"
+        | "between" | "into" | "through" | "per" | "within" => "IN",
+        "and" | "or" | "but" | "nor" => "CC",
+        "can" | "may" | "must" | "shall" | "will" | "should" | "would" | "could" => "MD",
+        "it" | "they" | "we" | "he" | "she" | "you" | "i" => "PRP",
+        "high" | "low" | "maximum" | "minimum" | "typical" | "total" | "new" | "small"
+        | "large" | "silicon" => "JJ",
+        "is" | "was" | "has" | "shows" | "contains" | "exceeds" | "provides" | "uses" => "VBZ",
+        "be" | "are" | "were" | "have" | "show" | "contain" | "exceed" | "provide" | "measure"
+        | "found" | "use" => "VB",
+        _ => return None,
+    })
+}
 
-/// Whether the token is numeric (optionally signed decimal).
+/// Whether the token is numeric (optionally signed decimal). Single
+/// byte-wise pass; any non-ASCII byte rejects, matching the char-wise
+/// definition (`is_ascii_digit` or `.`) exactly.
 pub fn is_number(tok: &str) -> bool {
-    let t = tok.strip_prefix(['-', '+']).unwrap_or(tok);
-    !t.is_empty()
-        && t.chars().all(|c| c.is_ascii_digit() || c == '.')
-        && t.chars().any(|c| c.is_ascii_digit())
-        && t.matches('.').count() <= 1
+    let b = tok.as_bytes();
+    let b = match b.first() {
+        Some(b'-') | Some(b'+') => &b[1..],
+        _ => b,
+    };
+    let (mut digits, mut dots) = (0u32, 0u32);
+    for &c in b {
+        match c {
+            b'0'..=b'9' => digits += 1,
+            b'.' => dots += 1,
+            _ => return false,
+        }
+    }
+    digits > 0 && dots <= 1
+}
+
+/// Lower-case `tok` into `out`, reusing its allocation. Byte-wise for
+/// ASCII tokens (the overwhelmingly common case); falls back to
+/// `str::to_lowercase` otherwise so that multi-char and final-sigma
+/// lowercasing match the allocating API exactly.
+pub fn lower_into(tok: &str, out: &mut String) {
+    out.clear();
+    if tok.is_ascii() {
+        out.push_str(tok);
+        out.make_ascii_lowercase();
+    } else {
+        out.push_str(&tok.to_lowercase());
+    }
 }
 
 /// Tag one token given its sentence position.
@@ -56,30 +85,34 @@ pub fn pos_tag(tok: &str, is_sentence_initial: bool) -> &'static str {
             "SYM"
         };
     }
-    let lower = tok.to_lowercase();
+    let mut lower = String::new();
+    lower_into(tok, &mut lower);
+    pos_tag_cached(tok, &lower, is_sentence_initial)
+}
+
+/// [`pos_tag`] with the token's lower-cased form supplied by the caller
+/// (the fused ingest pass computes it once per token and shares it across
+/// the POS, lemma, and NER taggers).
+pub(crate) fn pos_tag_cached(tok: &str, lower: &str, is_sentence_initial: bool) -> &'static str {
+    if is_number(tok) {
+        return "CD";
+    }
+    let first = match tok.chars().next() {
+        Some(c) => c,
+        None => return "PUNCT",
+    };
+    if !first.is_alphanumeric() && first != '°' {
+        return if tok.chars().all(|c| c.is_ascii_punctuation()) {
+            "PUNCT"
+        } else {
+            "SYM"
+        };
+    }
     if tok == "to" {
         return "TO";
     }
-    if DETERMINERS.contains(&lower.as_str()) {
-        return "DT";
-    }
-    if PREPOSITIONS.contains(&lower.as_str()) {
-        return "IN";
-    }
-    if CONJUNCTIONS.contains(&lower.as_str()) {
-        return "CC";
-    }
-    if MODALS.contains(&lower.as_str()) {
-        return "MD";
-    }
-    if PRONOUNS.contains(&lower.as_str()) {
-        return "PRP";
-    }
-    if ADJECTIVES.contains(&lower.as_str()) {
-        return "JJ";
-    }
-    if VERBS_BASE.contains(&lower.as_str()) {
-        return if lower.ends_with('s') { "VBZ" } else { "VB" };
+    if let Some(tag) = closed_class(lower) {
+        return tag;
     }
     if lower.ends_with("ing") && lower.len() > 4 {
         return "VBG";
@@ -107,36 +140,61 @@ pub fn pos_tag(tok: &str, is_sentence_initial: bool) -> &'static str {
 /// Lemmatize one token: lower-case plus light suffix stripping.
 pub fn lemmatize(tok: &str) -> String {
     let lower = tok.to_lowercase();
-    if is_number(&lower) {
-        return lower;
+    let mut out = String::new();
+    lemma_from_lower(&lower, &mut out);
+    out
+}
+
+/// [`lemmatize`] operating on a pre-lowered token, writing into a reusable
+/// buffer instead of allocating.
+pub(crate) fn lemma_from_lower(lower: &str, out: &mut String) {
+    out.clear();
+    if is_number(lower) {
+        out.push_str(lower);
+        return;
     }
     // Irregulars that matter for technical prose.
-    match lower.as_str() {
-        "is" | "are" | "was" | "were" | "been" | "being" => return "be".to_string(),
-        "has" | "had" => return "have".to_string(),
-        "found" => return "find".to_string(),
+    match lower {
+        "is" | "are" | "was" | "were" | "been" | "being" => {
+            out.push_str("be");
+            return;
+        }
+        "has" | "had" => {
+            out.push_str("have");
+            return;
+        }
+        "found" => {
+            out.push_str("find");
+            return;
+        }
         _ => {}
     }
     if let Some(stem) = lower.strip_suffix("ies") {
         if stem.len() >= 2 {
-            return format!("{stem}y");
+            out.push_str(stem);
+            out.push('y');
+            return;
         }
     }
     if let Some(stem) = lower.strip_suffix("sses") {
-        return format!("{stem}ss");
+        out.push_str(stem);
+        out.push_str("ss");
+        return;
     }
     if let Some(stem) = lower.strip_suffix("es") {
         if stem.len() >= 3 && (stem.ends_with("sh") || stem.ends_with("ch") || stem.ends_with('x'))
         {
-            return stem.to_string();
+            out.push_str(stem);
+            return;
         }
     }
     if let Some(stem) = lower.strip_suffix('s') {
         if stem.len() >= 3 && !stem.ends_with('s') && !stem.ends_with('u') {
-            return stem.to_string();
+            out.push_str(stem);
+            return;
         }
     }
-    lower
+    out.push_str(lower);
 }
 
 /// Unit dictionary for the entity tagger: electrical, physical, biological.
@@ -146,14 +204,66 @@ pub const UNITS: &[&str] = &[
     "ms", "us", "ns", "db", "usd", "%",
 ];
 
+/// [`UNITS`] membership as a single `match` for the per-token hot path
+/// (kept in sync with the public dictionary — see the `unit_match_covers_
+/// dictionary` test).
+fn is_unit(lower: &str) -> bool {
+    matches!(
+        lower,
+        "v" | "mv"
+            | "kv"
+            | "a"
+            | "ma"
+            | "ua"
+            | "na"
+            | "w"
+            | "mw"
+            | "kw"
+            | "hz"
+            | "khz"
+            | "mhz"
+            | "ghz"
+            | "°c"
+            | "°f"
+            | "k"
+            | "ohm"
+            | "kohm"
+            | "mohm"
+            | "pf"
+            | "nf"
+            | "uf"
+            | "mm"
+            | "cm"
+            | "m"
+            | "km"
+            | "g"
+            | "kg"
+            | "mg"
+            | "s"
+            | "ms"
+            | "us"
+            | "ns"
+            | "db"
+            | "usd"
+            | "%"
+    )
+}
+
 /// Entity-style tag for one token: `NUMBER`, `UNIT`, `CODE` (alphanumeric
 /// identifier such as a part number or an rs-id), or `O`.
 pub fn ner_tag(tok: &str) -> &'static str {
     if is_number(tok) {
         return "NUMBER";
     }
-    let lower = tok.to_lowercase();
-    if UNITS.contains(&lower.as_str()) {
+    ner_tag_cached(tok, &tok.to_lowercase())
+}
+
+/// [`ner_tag`] with the lower-cased form supplied by the caller.
+pub(crate) fn ner_tag_cached(tok: &str, lower: &str) -> &'static str {
+    if is_number(tok) {
+        return "NUMBER";
+    }
+    if is_unit(lower) {
         return "UNIT";
     }
     let has_alpha = tok.chars().any(|c| c.is_alphabetic());
@@ -222,6 +332,64 @@ mod tests {
         // Short words and trailing double-s are not stripped.
         assert_eq!(lemmatize("gas"), "gas");
         assert_eq!(lemmatize("class"), "class");
+    }
+
+    #[test]
+    fn unit_match_covers_dictionary() {
+        for u in UNITS {
+            assert!(is_unit(u), "UNITS entry {u:?} missing from is_unit match");
+            assert_eq!(ner_tag_cached(u, u), "UNIT");
+        }
+    }
+
+    #[test]
+    fn closed_class_match_agrees_with_dictionaries() {
+        let classes: &[(&[&str], &str)] = &[
+            (
+                &["the", "a", "an", "this", "that", "these", "those", "each"],
+                "DT",
+            ),
+            (
+                &[
+                    "in", "on", "at", "of", "for", "with", "from", "by", "over", "under",
+                    "between", "into", "through", "per", "within",
+                ],
+                "IN",
+            ),
+            (&["and", "or", "but", "nor"], "CC"),
+            (
+                &[
+                    "can", "may", "must", "shall", "will", "should", "would", "could",
+                ],
+                "MD",
+            ),
+            (&["it", "they", "we", "he", "she", "you", "i"], "PRP"),
+            (
+                &[
+                    "high", "low", "maximum", "minimum", "typical", "total", "new", "small",
+                    "large", "silicon",
+                ],
+                "JJ",
+            ),
+        ];
+        for (words, tag) in classes {
+            for w in *words {
+                assert_eq!(closed_class(w), Some(*tag), "{w}");
+            }
+        }
+        // Verbs: `s`-forms are VBZ, base/irregular forms VB.
+        for w in [
+            "is", "was", "has", "shows", "contains", "exceeds", "provides", "uses",
+        ] {
+            assert_eq!(closed_class(w), Some("VBZ"), "{w}");
+        }
+        for w in [
+            "be", "are", "were", "have", "show", "contain", "exceed", "provide", "measure",
+            "found", "use",
+        ] {
+            assert_eq!(closed_class(w), Some("VB"), "{w}");
+        }
+        assert_eq!(closed_class("voltage"), None);
     }
 
     #[test]

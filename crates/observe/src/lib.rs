@@ -54,7 +54,8 @@ pub use export::{
 pub use hist::{Histogram, HistogramSummary};
 pub use provenance::{MentionProvenance, ProvenanceMeta, ProvenanceRecord};
 pub use registry::{
-    counter, gauge_get, gauge_set, hist_record, reset, snapshot, Counter, Snapshot, SpanSummary,
+    counter, gauge_get, gauge_set, hist_record, reset, reset_epoch, snapshot, Counter, Snapshot,
+    SpanSummary,
 };
 pub use report::{
     emit_report, render, render_human, render_jsonl, trace_mode, trace_out_path, write_report,

@@ -251,6 +251,14 @@ fn collect_snapshot() -> Snapshot {
     }
 }
 
+/// Monotonic epoch bumped (twice) by every [`reset`]. Callers that cache
+/// [`Counter`] handles across calls can compare epochs to notice that the
+/// registry was cleared underneath them and re-resolve their handles, so
+/// cached increments don't silently land in detached atomics.
+pub fn reset_epoch() -> u64 {
+    RESET_SEQ.load(Ordering::Acquire)
+}
+
 /// Clear every registered metric, every thread's open-span stack (via an
 /// epoch bump — pooled threads discard stale frames on their next span),
 /// the span-event log, the per-document timing table, and the provenance

@@ -11,7 +11,8 @@ use crate::markup::{parse, Element, Node};
 use fonduer_datamodel::{
     ContextRef, DocFormat, Document, DocumentBuilder, SectionId, Structural, TableId,
 };
-use fonduer_nlp::preprocess;
+use fonduer_nlp::{preprocess_into, NlpScratch};
+use std::sync::Arc;
 
 /// Tags treated as inline formatting: their text folds into the enclosing
 /// block.
@@ -45,6 +46,7 @@ pub fn ingest(name: &str, markup: &str, format: DocFormat) -> Document {
     let mut ing = Ingestor {
         b: DocumentBuilder::new(name, format),
         current_section: None,
+        scratch: NlpScratch::new(),
     };
     let mut stack = AncestorStack::default();
     ing.walk_children(&nodes, &mut stack);
@@ -52,11 +54,26 @@ pub fn ingest(name: &str, markup: &str, format: DocFormat) -> Document {
 }
 
 /// Tracks open ancestor elements for structural attribute extraction.
+///
+/// The `Arc` snapshots of the three vectors are built lazily and cached
+/// until the next push/pop, so every element emitted under the same
+/// open-ancestor state (all the cells of a table, say) shares one set of
+/// allocations instead of deep-cloning three string vectors each.
 #[derive(Default)]
 struct AncestorStack {
     tags: Vec<String>,
     classes: Vec<String>,
     ids: Vec<String>,
+    snapshot: Option<AncestorSnapshot>,
+}
+
+/// One shared copy of the ancestor state, cloned into each `Structural` as
+/// three `Arc` bumps.
+#[derive(Clone)]
+struct AncestorSnapshot {
+    tags: Arc<Vec<String>>,
+    classes: Arc<Vec<String>>,
+    ids: Arc<Vec<String>>,
 }
 
 impl AncestorStack {
@@ -68,6 +85,7 @@ impl AncestorStack {
         if let Some(i) = e.attr("id") {
             self.ids.push(i.to_string());
         }
+        self.snapshot = None;
     }
 
     fn pop(&mut self, e: &Element) {
@@ -78,19 +96,35 @@ impl AncestorStack {
         if e.attr("id").is_some() {
             self.ids.pop();
         }
+        self.snapshot = None;
+    }
+
+    /// Current ancestor state as shared vectors (cached until mutation).
+    fn snapshot(&mut self) -> &AncestorSnapshot {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(AncestorSnapshot {
+                tags: Arc::new(self.tags.clone()),
+                classes: Arc::new(self.classes.clone()),
+                ids: Arc::new(self.ids.clone()),
+            });
+        }
+        self.snapshot.as_ref().expect("just populated")
     }
 }
 
 struct Ingestor {
     b: DocumentBuilder,
     current_section: Option<SectionId>,
+    scratch: NlpScratch,
 }
 
-/// Sibling context for one element within its parent's children.
-struct SiblingInfo {
-    parent_tag: String,
-    prev: Option<String>,
-    next: Option<String>,
+/// Sibling context for one element within its parent's children. Borrowed
+/// from the markup tree; the owned copies are made once, inside
+/// [`Ingestor::structural`].
+struct SiblingInfo<'a> {
+    parent_tag: &'a str,
+    prev: Option<&'a str>,
+    next: Option<&'a str>,
     pos: u32,
 }
 
@@ -106,18 +140,26 @@ impl Ingestor {
         }
     }
 
-    fn structural(&mut self, e: &Element, sib: &SiblingInfo, stack: &AncestorStack) -> Structural {
-        Structural {
+    // One `Arc<Structural>` per markup element; every sentence emitted from
+    // the element's text shares it by refcount.
+    fn structural(
+        &mut self,
+        e: &Element,
+        sib: &SiblingInfo<'_>,
+        stack: &mut AncestorStack,
+    ) -> Arc<Structural> {
+        let snap = stack.snapshot().clone();
+        Arc::new(Structural {
             tag: e.tag.clone(),
             attrs: e.attrs.clone(),
-            parent_tag: sib.parent_tag.clone(),
-            prev_sibling_tag: sib.prev.clone(),
-            next_sibling_tag: sib.next.clone(),
+            parent_tag: sib.parent_tag.to_string(),
+            prev_sibling_tag: sib.prev.map(str::to_string),
+            next_sibling_tag: sib.next.map(str::to_string),
             node_pos: sib.pos,
-            ancestor_tags: stack.tags.clone(),
-            ancestor_classes: stack.classes.clone(),
-            ancestor_ids: stack.ids.clone(),
-        }
+            ancestor_tags: snap.tags,
+            ancestor_classes: snap.classes,
+            ancestor_ids: snap.ids,
+        })
     }
 
     fn walk_children(&mut self, nodes: &[Node], stack: &mut AncestorStack) {
@@ -130,12 +172,14 @@ impl Ingestor {
                 _ => None,
             })
             .collect();
+        // Cloned once per container (the stack is mutated during recursion,
+        // so a borrow would not survive the loop).
         let parent_tag = stack.tags.last().cloned().unwrap_or_default();
         for (ei, &(i, e)) in elems.iter().enumerate() {
             let sib = SiblingInfo {
-                parent_tag: parent_tag.clone(),
-                prev: ei.checked_sub(1).map(|p| elems[p].1.tag.clone()),
-                next: elems.get(ei + 1).map(|n| n.1.tag.clone()),
+                parent_tag: &parent_tag,
+                prev: ei.checked_sub(1).map(|p| elems[p].1.tag.as_str()),
+                next: elems.get(ei + 1).map(|n| n.1.tag.as_str()),
                 pos: ei as u32,
             };
             let _ = i;
@@ -152,7 +196,7 @@ impl Ingestor {
             .join(" ");
         if !direct_text.trim().is_empty() {
             let sib = SiblingInfo {
-                parent_tag: parent_tag.clone(),
+                parent_tag: &parent_tag,
                 prev: None,
                 next: None,
                 pos: 0,
@@ -163,7 +207,7 @@ impl Ingestor {
         }
     }
 
-    fn walk_element(&mut self, e: &Element, sib: &SiblingInfo, stack: &mut AncestorStack) {
+    fn walk_element(&mut self, e: &Element, sib: &SiblingInfo<'_>, stack: &mut AncestorStack) {
         let tag = e.tag.as_str();
         if SECTION_TAGS.contains(&tag) {
             let s = self.b.section();
@@ -219,17 +263,17 @@ impl Ingestor {
         self.emit_text_block(&text, structural);
     }
 
-    fn emit_text_block(&mut self, text: &str, structural: Structural) {
+    fn emit_text_block(&mut self, text: &str, structural: Arc<Structural>) {
         let sec = self.section();
         let tb = self.b.text_block(sec);
         self.emit_paragraphs(ContextRef::TextBlock(tb), text, structural);
     }
 
-    fn emit_paragraphs(&mut self, parent: ContextRef, text: &str, structural: Structural) {
+    fn emit_paragraphs(&mut self, parent: ContextRef, text: &str, structural: Arc<Structural>) {
         let para = self.b.paragraph(parent);
-        for sd in preprocess(text, &structural) {
-            self.b.sentence(para, sd);
-        }
+        // Fused pass: sentences, token spans, and interned tags are written
+        // straight into the builder's arena — no intermediate SentenceData.
+        preprocess_into(&mut self.b, para, text, &structural, &mut self.scratch);
     }
 
     /// Build a table from `<tr>`/`<td>`/`<th>` children with rowspan/colspan
@@ -304,7 +348,7 @@ impl Ingestor {
         if let Some(cap) = table_elem.children_with_tag("caption").next() {
             let cid = self.b.table_caption(tid);
             let sib = SiblingInfo {
-                parent_tag: "table".into(),
+                parent_tag: "table",
                 prev: None,
                 next: None,
                 pos: 0,
@@ -320,9 +364,9 @@ impl Ingestor {
                 continue;
             }
             let sib = SiblingInfo {
-                parent_tag: "tr".into(),
-                prev: pi.checked_sub(1).map(|_| "td".to_string()),
-                next: Some("td".to_string()),
+                parent_tag: "tr",
+                prev: pi.checked_sub(1).map(|_| "td"),
+                next: Some("td"),
                 pos: p.c0,
             };
             let structural = self.structural(p.elem, &sib, stack);
@@ -392,7 +436,7 @@ mod tests {
                     d.paragraphs[p.index()]
                         .sentences
                         .iter()
-                        .any(|&s| d.sentences[s.index()].text.contains("P2"))
+                        .any(|&s| d.sentences[s.index()].text(&d).contains("P2"))
                 })
             })
             .unwrap();
@@ -447,7 +491,7 @@ mod tests {
         assert!(d
             .sentences
             .iter()
-            .any(|s| s.structural.tag == "title" && s.text.contains("GWAS")));
+            .any(|s| s.structural.tag == "title" && s.text(&d).contains("GWAS")));
         // XML: no visual modality anywhere.
         assert!(d.sentences.iter().all(|s| s.visual.is_none()));
     }

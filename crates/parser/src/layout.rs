@@ -180,8 +180,8 @@ impl Engine<'_> {
     fn layout_sentence(&mut self, s: SentenceId, left: f32, right: f32) {
         let style = style_for_tag(&self.doc.sentences[s.index()].structural.tag);
         let line_h = style.size * 1.3;
-        let words = self.doc.sentences[s.index()].words.clone();
-        let mut vis = Vec::with_capacity(words.len());
+        let n = self.doc.sentences[s.index()].len();
+        let mut vis = Vec::with_capacity(n);
         let mut x = left;
         // Ensure the first line fits on this page.
         if self.cur.y + line_h > self.bottom() {
@@ -189,7 +189,9 @@ impl Engine<'_> {
             self.cur.y = self.opts.margin;
         }
         let mut y = self.cur.y;
-        for w in &words {
+        for i in 0..n {
+            // Words are read straight out of the document arena; no clone.
+            let w = self.doc.sentences[s.index()].word(self.doc, i);
             let ww = word_width(w, style.size);
             if x + ww > right && x > left {
                 x = left;
@@ -204,7 +206,7 @@ impl Engine<'_> {
             vis.push(WordVisual {
                 page: self.cur.page,
                 bbox: BBox::new(x + jx, y + jy, x + jx + ww, y + jy + style.size),
-                font: style.font.to_string(),
+                font: style.font.into(),
                 font_size: style.size,
                 bold: style.bold,
             });
@@ -295,7 +297,7 @@ mod tests {
         let d = laid_out();
         for s in &d.sentences {
             let v = s.visual.as_ref().expect("visual attached");
-            assert_eq!(v.len(), s.words.len());
+            assert_eq!(v.len(), s.len());
         }
     }
 
@@ -324,7 +326,7 @@ mod tests {
         // "200" and "mA" are in the same table row → same y origin.
         let find = |w: &str| -> WordVisual {
             for s in &d.sentences {
-                if let Some(i) = s.words.iter().position(|x| x == w) {
+                if let Some(i) = (0..s.len()).find(|&i| s.word(&d, i) == w) {
                     return s.visual.as_ref().unwrap()[i].clone();
                 }
             }

@@ -145,11 +145,24 @@ pub fn parse(input: &str) -> Vec<Node> {
     let mut i = 0usize;
 
     fn flush_text(text: &str, stack: &mut [Element], roots: &mut Vec<Node>) {
-        let decoded = decode_entities(text);
-        if decoded.trim().is_empty() {
+        // Trim before decoding so plain text (the common case) allocates
+        // exactly once; entity-bearing text re-trims because a decoded
+        // `&nbsp;` can leave fresh edge whitespace.
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
             return;
         }
-        let node = Node::Text(decoded.trim().to_string());
+        let owned = if trimmed.contains('&') {
+            let decoded = decode_entities(trimmed);
+            let t = decoded.trim();
+            if t.is_empty() {
+                return;
+            }
+            t.to_string()
+        } else {
+            trimmed.to_string()
+        };
+        let node = Node::Text(owned);
         if let Some(top) = stack.last_mut() {
             top.children.push(node);
         } else {
@@ -195,10 +208,12 @@ pub fn parse(input: &str) -> Vec<Node> {
             let inner = &input[i + 1..close];
             if let Some(name) = inner.strip_prefix('/') {
                 // Closing tag: pop to the matching open element if any.
-                let name = name.trim().to_lowercase();
-                if stack.iter().any(|e| e.tag == name) {
+                // Open tags are stored lower-cased, so a case-insensitive
+                // compare avoids allocating a lowered copy of the name.
+                let name = name.trim();
+                if stack.iter().any(|e| e.tag.eq_ignore_ascii_case(name)) {
                     while let Some(top) = stack.last() {
-                        let is_match = top.tag == name;
+                        let is_match = top.tag.eq_ignore_ascii_case(name);
                         close_one(&mut stack, &mut roots);
                         if is_match {
                             break;
@@ -209,12 +224,13 @@ pub fn parse(input: &str) -> Vec<Node> {
                 let self_closing = inner.ends_with('/');
                 let inner = inner.trim_end_matches('/');
                 let (tag, attrs) = parse_tag_contents(inner);
+                let void = self_closing || VOID_ELEMENTS.contains(&tag.as_str());
                 let elem = Element {
-                    tag: tag.clone(),
+                    tag,
                     attrs,
                     children: Vec::new(),
                 };
-                if self_closing || VOID_ELEMENTS.contains(&tag.as_str()) {
+                if void {
                     let node = Node::Element(elem);
                     if let Some(top) = stack.last_mut() {
                         top.children.push(node);
@@ -239,62 +255,74 @@ pub fn parse(input: &str) -> Vec<Node> {
     roots
 }
 
-/// Parse the inside of a tag: name plus attributes.
+/// Lower-case a tag or attribute name into an owned `String`, skipping the
+/// Unicode lowering pass when the input is already lower-case ASCII (the
+/// overwhelmingly common case for real markup).
+fn lowered(s: &str) -> String {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) || !s.is_ascii() {
+        s.to_lowercase()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parse the inside of a tag: name plus attributes. Byte-indexed — every
+/// delimiter tested for (`=`, quotes, whitespace) is a single ASCII byte,
+/// which never occurs inside a multi-byte UTF-8 sequence, so byte scanning
+/// splits at exactly the same boundaries as the equivalent `char` walk
+/// without collecting a `Vec<char>` per tag.
 fn parse_tag_contents(inner: &str) -> (String, Vec<(String, String)>) {
     let inner = inner.trim();
-    let name_end = inner
-        .find(|c: char| c.is_whitespace())
-        .unwrap_or(inner.len());
-    let tag = inner[..name_end].to_lowercase();
+    let bytes = inner.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|b| b.is_ascii_whitespace())
+        .unwrap_or(bytes.len());
+    let tag = lowered(&inner[..name_end]);
     let mut attrs = Vec::new();
-    let rest = &inner[name_end..];
-    let chars: Vec<char> = rest.chars().collect();
-    let mut i = 0usize;
-    while i < chars.len() {
-        while i < chars.len() && chars[i].is_whitespace() {
+    let mut i = name_end;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
             i += 1;
         }
-        if i >= chars.len() {
+        if i >= bytes.len() {
             break;
         }
         let name_start = i;
-        while i < chars.len() && chars[i] != '=' && !chars[i].is_whitespace() {
+        while i < bytes.len() && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() {
             i += 1;
         }
-        let name: String = chars[name_start..i]
-            .iter()
-            .collect::<String>()
-            .to_lowercase();
+        let name = lowered(&inner[name_start..i]);
         if name.is_empty() {
             i += 1;
             continue;
         }
-        while i < chars.len() && chars[i].is_whitespace() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
             i += 1;
         }
-        if i < chars.len() && chars[i] == '=' {
+        if i < bytes.len() && bytes[i] == b'=' {
             i += 1;
-            while i < chars.len() && chars[i].is_whitespace() {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
                 i += 1;
             }
-            let value = if i < chars.len() && (chars[i] == '"' || chars[i] == '\'') {
-                let quote = chars[i];
+            let value = if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                let quote = bytes[i];
                 i += 1;
                 let start = i;
-                while i < chars.len() && chars[i] != quote {
+                while i < bytes.len() && bytes[i] != quote {
                     i += 1;
                 }
-                let v: String = chars[start..i].iter().collect();
+                let v = &inner[start..i];
                 i += 1; // skip closing quote
                 v
             } else {
                 let start = i;
-                while i < chars.len() && !chars[i].is_whitespace() {
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
                     i += 1;
                 }
-                chars[start..i].iter().collect()
+                &inner[start..i]
             };
-            attrs.push((name, decode_entities(&value)));
+            attrs.push((name, decode_entities(value)));
         } else {
             // Bare boolean attribute.
             attrs.push((name, String::new()));

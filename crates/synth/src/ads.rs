@@ -279,7 +279,7 @@ mod tests {
             let text: String = doc
                 .sentences
                 .iter()
-                .flat_map(|s| s.words.iter().map(|w| w.to_lowercase()))
+                .flat_map(|s| s.words(doc).map(|w| w.to_lowercase()))
                 .collect::<Vec<_>>()
                 .join(" ");
             // Normalized phone ("206 - 555 - 0147") appears in token stream.

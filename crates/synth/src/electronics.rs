@@ -506,7 +506,7 @@ mod tests {
             let text: String = doc
                 .sentences
                 .iter()
-                .map(|s| s.text.to_lowercase())
+                .map(|s| s.text(doc).to_lowercase())
                 .collect::<Vec<_>>()
                 .join(" ");
             for a in args {
@@ -559,6 +559,6 @@ mod tests {
             .expect("h1 header");
         let v = &h1.visual.as_ref().unwrap()[0];
         assert!(v.bold && v.font_size >= 16.0);
-        assert!(h1.ling.iter().any(|l| l.ner == "CODE"));
+        assert!((0..h1.len()).any(|i| h1.ner(d, i) == "CODE"));
     }
 }

@@ -231,7 +231,7 @@ mod tests {
                 let in_table = d
                     .table_of_sentence(fonduer_datamodel::SentenceId(s.abs_position))
                     .is_some();
-                let has_rsid = s.words.iter().any(|w| {
+                let has_rsid = s.words(d).any(|w| {
                     w.starts_with("rs") && w.len() > 4 && w[2..].chars().all(|c| c.is_ascii_digit())
                 });
                 if has_rsid {

@@ -13,11 +13,14 @@ use std::collections::{BTreeMap, BTreeSet};
 /// candidate extraction normalize through this function, so a tuple matches
 /// iff the extracted span covers the same tokens.
 pub fn normalize_value(s: &str) -> String {
-    fonduer_nlp::token_texts(s)
-        .into_iter()
-        .map(|t| t.to_lowercase())
-        .collect::<Vec<_>>()
-        .join(" ")
+    let mut out = String::new();
+    for (i, t) in fonduer_nlp::tokenize(s).iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&t.text(s).to_lowercase());
+    }
+    out
 }
 
 /// A gold tuple: document name plus normalized argument strings.

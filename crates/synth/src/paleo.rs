@@ -279,13 +279,13 @@ mod tests {
         let taxon_page = d
             .sentences
             .iter()
-            .find(|s| s.text.contains("Holotype"))
+            .find(|s| s.text(d).contains("Holotype"))
             .and_then(|s| s.page())
             .unwrap();
         let meas_sent = d
             .sentences
             .iter()
-            .find(|s| s.text == "Femur")
+            .find(|s| s.text(d) == "Femur")
             .and_then(|s| s.page())
             .unwrap();
         assert!(meas_sent > taxon_page + 1, "{meas_sent} vs {taxon_page}");
@@ -304,7 +304,7 @@ mod tests {
                 .sentences
                 .iter()
                 .filter(|s| s.structural.tag == "caption")
-                .map(|s| s.text.clone())
+                .map(|s| s.text(d).to_string())
                 .collect::<Vec<_>>()
                 .join(" ");
             // Some caption names a taxon from the dictionary.

@@ -100,7 +100,7 @@ fn main() {
                 "  {} p={p:.2} gold={g} args={:?} value-sentence='{}'",
                 if g { "MISS" } else { "FP  " },
                 c.arg_texts(d),
-                d.sentence(c.mentions[1].sentence).text
+                d.sentence(c.mentions[1].sentence).text(d)
             );
         }
     }
